@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks reuse the cached trained artifacts (``artifacts/``); when they
+are missing the fixtures build them at ``fast`` scale, which takes a few
+minutes once.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir, default_bundle
+from repro.digital.characterize import characterize_delay_library
+from repro.digital.delay import DelayLibrary
+
+
+@pytest.fixture(scope="session")
+def bundle():
+    """Trained transfer-function bundle (cached)."""
+    return default_bundle(scale="fast")
+
+
+@pytest.fixture(scope="session")
+def delay_library():
+    """Characterized digital delay library (cached)."""
+    path = artifacts_dir() / "delay_library.json"
+    if path.exists():
+        return DelayLibrary.from_dict(json.loads(path.read_text()))
+    library = characterize_delay_library()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(library.to_dict()))
+    return library

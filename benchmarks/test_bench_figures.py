@@ -1,0 +1,92 @@
+"""Figures 1, 4 and 5: regenerate the paper's figure data series.
+
+Each test rebuilds the underlying data (no plotting in this offline
+environment) and prints the quantities the figure displays; the benchmark
+times the dominant computation of each figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import fig1_data, fig4_data, fig5_data
+from repro.eval.runner import ExperimentRunner
+from repro.eval.stimuli import StimulusConfig
+from repro.eval.table1 import nor_mapped
+
+
+def test_fig1_inverter_fit(benchmark):
+    """Fig. 1: inverter waveforms, their sigmoid fits, TOM parameters."""
+    data = benchmark.pedantic(fig1_data, rounds=1, iterations=1)
+    print()
+    print(
+        f"[fig1] fit rms: vin={data['fit_in_rms'] * 1e3:.1f}mV "
+        f"vout={data['fit_out_rms'] * 1e3:.1f}mV"
+    )
+    print(f"[fig1] input sigmoids (a, b): {np.round(data['fit_in_params'], 2)}")
+    print(f"[fig1] output sigmoids (a, b): {np.round(data['fit_out_params'], 2)}")
+    if data["tom"]:
+        tom = data["tom"]
+        print(
+            f"[fig1] TOM features: T={tom['T']:.3f} a_in={tom['a_in_n']:.1f} "
+            f"a_prev={tom['a_out_prev']:.1f} -> a_out={tom['a_out_n']:.1f} "
+            f"delta_b={tom['delta_b']:.3f}"
+        )
+    # The fits must track the analog waveforms closely (Sec. II quality).
+    assert data["fit_in_rms"] < 0.05
+    assert data["fit_out_rms"] < 0.05
+    # Over/undershoot exists in the raw waveform but not in the fit.
+    assert data["vout_analog"].max() > data["vout_fit"].max()
+
+
+def test_fig4_pulse_shaping(benchmark):
+    """Fig. 4: Heaviside stimulus and the shaped first-target input."""
+    data = benchmark.pedantic(fig4_data, rounds=1, iterations=1)
+    print()
+    shaped = data["shaped"]
+    heaviside = data["heaviside"]
+    print(
+        f"[fig4] TA/TB/TC = "
+        f"{data['intervals']['TA'] * 1e12:.0f}/"
+        f"{data['intervals']['TB'] * 1e12:.0f}/"
+        f"{data['intervals']['TC'] * 1e12:.0f} ps, "
+        f"4 Heaviside transitions at "
+        f"{np.round(np.asarray(data['transition_times']) * 1e12, 1)} ps"
+    )
+    # The generator edge is near-instant; the shaped edge is finite.
+    from repro.analog.waveform import Waveform
+
+    wf_shaped = Waveform(data["t"], shaped)
+    crossings = wf_shaped.crossings()
+    assert len(crossings) == 4  # all four transitions survive shaping
+    edge = wf_shaped.edge_time(crossings[0])
+    assert 2e-12 < edge < 15e-12
+    print(f"[fig4] shaped 10-90% edge: {edge * 1e12:.1f} ps")
+    assert heaviside.max() > 0.7
+
+
+def test_fig5_trace_comparison(bundle, delay_library, benchmark):
+    """Fig. 5: example output trace, digital vs sigmoid vs analog."""
+    runner = ExperimentRunner(nor_mapped("c1355_like"), bundle, delay_library)
+    data = benchmark.pedantic(
+        fig5_data,
+        args=(runner,),
+        kwargs={"config": StimulusConfig(20e-12, 10e-12, 20), "seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"[fig5] PO {data['po']}: reference transitions at "
+        f"{np.round(np.asarray(data['reference_times']) * 1e12, 1)} ps"
+    )
+    print(
+        f"[fig5] digital predicts {len(data['digital_times'])}, "
+        f"sigmoid predicts {len(data['sigmoid_times'])} transitions"
+    )
+    print(
+        f"[fig5] run t_err: digital={data['t_err_digital'] * 1e12:.1f}ps "
+        f"sigmoid={data['t_err_sigmoid'] * 1e12:.1f}ps "
+        f"ratio={data['error_ratio']:.2f}"
+    )
+    assert len(data["t"]) == len(data["analog"])
+    assert len(data["reference_times"]) > 0

@@ -1,0 +1,126 @@
+"""Table I: accuracy and runtime of the sigmoid simulator vs baselines.
+
+Regenerates the paper's main table at CI scale: every circuit appears,
+the (20 ps, 10 ps) column — where the paper's headline result lives — is
+measured for all three circuits, and the remaining stimulus
+configurations are exercised on c17.  The full grid at any run count is
+one call to :func:`repro.eval.table1.run_table1` (see
+``examples/iscas_comparison.py`` and EXPERIMENTS.md for full-grid
+results; the paper uses 50 runs per cell).
+
+The pytest-benchmark timing target is the sigmoid circuit simulator
+itself (the paper's ``tsim_Sigmoid``); analog/digital wall times and the
+``t_err`` columns are printed with each row.
+"""
+
+import pytest
+
+from repro.core.trace import SigmoidalTrace
+from repro.digital.trace import DigitalTrace
+from repro.eval.runner import ExperimentRunner
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+from repro.eval.table1 import (
+    Table1Config,
+    format_table1,
+    nor_mapped,
+    run_cell,
+    run_table1,
+)
+
+#: CI-scale cells: (circuit, stimulus config, averaged runs).  The
+#: remaining grid cells (c17 at (500,250), the c1355 rows — including the
+#: paper's same-stimulus row, covered by the Fig. 5 bench — etc.) are one
+#: `run_cell` call away; EXPERIMENTS.md records measured values for them.
+CELLS = [
+    ("c17", StimulusConfig(20e-12, 10e-12, 20), 2),
+    ("c17", StimulusConfig(100e-12, 50e-12, 10), 1),
+    ("c499_like", StimulusConfig(20e-12, 10e-12, 20), 1),
+]
+
+
+@pytest.fixture(scope="module")
+def runners(bundle, delay_library):
+    names = {circuit for circuit, _, _ in CELLS}
+    return {
+        name: ExperimentRunner(nor_mapped(name), bundle, delay_library)
+        for name in names
+    }
+
+
+@pytest.mark.parametrize(
+    "circuit,config,n_runs",
+    CELLS,
+    ids=[f"{c}-{cfg.label}" for c, cfg, _ in CELLS],
+)
+def test_table1_cell(runners, circuit, config, n_runs, benchmark):
+    """One Table I cell; the benchmark times the sigmoid simulator core."""
+    runner = runners[circuit]
+    row = run_cell(runner, config, n_runs=n_runs, seed=0)
+
+    # Time the sigmoid circuit simulator on a fixed stimulus (the paper's
+    # tsim_Sigmoid) without re-running the analog reference: nominal-slope
+    # sigmoid stimuli have identical transition counts and cost.
+    sources, _ = random_pi_sources(runner.core.primary_inputs, config, seed=0)
+    pi_traces = {
+        pi: SigmoidalTrace.from_digital(
+            DigitalTrace(bool(src.initial_levels[0]),
+                         src.run_transitions[0].tolist())
+        )
+        for pi, src in sources.items()
+    }
+    benchmark(runner.sigmoid.simulate, pi_traces)
+
+    print()
+    print(
+        f"[{circuit} | {config.label} ps | {n_runs} runs] "
+        f"#NOR={row.n_nor_gates} ratio={row.error_ratio:.2f} "
+        f"terr_dig={row.t_err_digital_ps:.1f}ps "
+        f"terr_sig={row.t_err_sigmoid_ps:.1f}ps "
+        f"tsim_sig={row.t_sim_sigmoid_s:.3f}s "
+        f"tsim_analog={row.t_sim_analog_s:.1f}s"
+    )
+    assert row.t_err_sigmoid_ps >= 0.0
+    assert row.t_sim_analog_s > row.t_sim_sigmoid_s
+
+
+def test_table1_same_stimulus_row(runners, benchmark):
+    """The paper's last row: same-stimulus mode, CI-scaled to c17.
+
+    (The c1355-scale same-stimulus comparison is the Fig. 5 bench, which
+    prints the same t_err quantities for the full-size circuit.)
+    """
+    runner = runners["c17"]
+    config = StimulusConfig(20e-12, 10e-12, 20)
+    row = benchmark.pedantic(
+        run_cell,
+        args=(runner, config),
+        kwargs={"n_runs": 1, "seed": 0, "same_stimulus": True},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"[c17 same-stimulus | {config.label} ps] "
+        f"ratio={row.error_ratio:.2f} "
+        f"terr_dig={row.t_err_digital_ps:.1f}ps "
+        f"terr_sig={row.t_err_sigmoid_ps:.1f}ps"
+    )
+    assert row.t_err_sigmoid_ps > 0.0
+
+
+def test_table1_harness_renders(bundle, delay_library, benchmark):
+    """The harness end to end, rendered exactly like the paper's table."""
+    config = Table1Config(
+        circuits=("c17",),
+        stimuli=(StimulusConfig(20e-12, 10e-12, 12),),
+        n_runs=1,
+        include_same_stimulus_row=False,
+    )
+    result = benchmark.pedantic(
+        run_table1, args=(bundle, delay_library, config), rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table1(result))
+    assert len(result.rows) == 1
+    assert "error ratio" in format_table1(result)

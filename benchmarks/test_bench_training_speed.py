@@ -1,0 +1,80 @@
+"""Section IV claims: ANN training time and simulator speedup.
+
+The paper reports (a) "the training time of one ANN is less than 10
+minutes on a conventional laptop" and (b) the prototype outperforming
+Spectre by up to 60x wall-clock on c1355.  These benches measure our
+equivalents: one 3-10-10-5-1 network trained on a characterization-sized
+dataset, and the sigmoid-vs-analog wall-time ratio on the biggest circuit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_waveform
+from repro.eval.runner import ExperimentRunner
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+from repro.eval.table1 import nor_mapped
+from repro.nn.mlp import paper_architecture
+from repro.nn.training import TrainingConfig, train_mlp
+
+
+def test_single_ann_training_time(benchmark):
+    """Training one transfer-function ANN (paper: < 10 min; ours: seconds)."""
+    rng = np.random.default_rng(0)
+    n = 2000  # typical per-polarity channel dataset size
+    x = rng.normal(size=(n, 3))
+    y = (np.tanh(x[:, :1]) + 0.1 * x[:, 1:2] * x[:, 2:3])
+
+    def train_once():
+        model = paper_architecture(rng=np.random.default_rng(1))
+        train_mlp(model, x, y, TrainingConfig(epochs=250, seed=0))
+        return model
+
+    model = benchmark.pedantic(train_once, rounds=1, iterations=1)
+    pred = model.forward(x)
+    assert float(np.mean((pred - y) ** 2)) < 0.05
+
+
+def test_sigmoid_vs_analog_speedup(bundle, delay_library, benchmark):
+    """Wall-clock ratio t_analog / t_sigmoid (CI scale: c17).
+
+    The paper reports up to 60x against Spectre on c1355; measured at
+    full scale here: 75x on c499-like and 91x on c1355-like (see
+    EXPERIMENTS.md).  The magnitude depends on both sides being Python,
+    but the direction and order must hold on every circuit size.
+    """
+    runner = ExperimentRunner(nor_mapped("c17"), bundle, delay_library)
+    config = StimulusConfig(20e-12, 10e-12, 20)
+    result = runner.run(config, seed=0)
+    speedup = result.t_sim_analog / result.t_sim_sigmoid
+    print()
+    print(
+        f"[speedup] analog={result.t_sim_analog:.1f}s "
+        f"sigmoid={result.t_sim_sigmoid:.2f}s -> {speedup:.0f}x "
+        f"(digital={result.t_sim_digital * 1e3:.0f}ms)"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert speedup > 5.0
+
+
+def test_input_fitting_throughput(benchmark):
+    """Sigmoid fitting of stimulus waveforms (simulator preprocessing)."""
+    core = nor_mapped("c17")
+    from repro.eval.runner import augment_with_shaping
+    from repro.analog.staged import StagedSimulator
+
+    augmented = augment_with_shaping(core)
+    sim = StagedSimulator(augmented)
+    sources, t_last = random_pi_sources(
+        core.primary_inputs, StimulusConfig(20e-12, 10e-12, 20), seed=0
+    )
+    aug_sources = {f"{pi}__src": sources[pi] for pi in core.primary_inputs}
+    analog = sim.simulate(aug_sources, t_stop=t_last + 100e-12,
+                          record_nets=core.primary_inputs)
+    waveforms = [analog.waveform(pi) for pi in core.primary_inputs]
+
+    def fit_all():
+        return [fit_waveform(wf) for wf in waveforms]
+
+    fits = benchmark(fit_all)
+    assert all(f.rms_error < 0.05 for f in fits)

@@ -1,0 +1,65 @@
+"""ISCAS-85 comparison: one Table-I cell end to end.
+
+NOR-maps c17, runs the analog reference, the digital baseline and the
+sigmoid simulator on random stimuli, and prints the paper's metrics
+(t_err per simulator, their ratio, wall times).
+
+Uses cached artifacts when available (``artifacts/bundle_fast.json``);
+otherwise builds them at fast scale first (a few minutes, one time).
+
+Run:  python examples/iscas_comparison.py [circuit] [mu_ps] [sigma_ps]
+      e.g. python examples/iscas_comparison.py c17 20 10
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.characterization.artifacts import artifacts_dir, default_bundle
+from repro.digital.characterize import characterize_delay_library
+from repro.digital.delay import DelayLibrary
+from repro.eval.runner import ExperimentRunner
+from repro.eval.stimuli import StimulusConfig
+from repro.eval.table1 import nor_mapped
+
+
+def load_delay_library() -> DelayLibrary:
+    path = artifacts_dir() / "delay_library.json"
+    if path.exists():
+        return DelayLibrary.from_dict(json.loads(path.read_text()))
+    library = characterize_delay_library()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(library.to_dict()))
+    return library
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "c17"
+    mu = float(sys.argv[2]) * 1e-12 if len(sys.argv) > 2 else 20e-12
+    sigma = float(sys.argv[3]) * 1e-12 if len(sys.argv) > 3 else 10e-12
+    n_transitions = max(3, int(round(400e-12 / mu)))
+
+    print(f"building/loading models ...")
+    bundle = default_bundle(scale="fast")
+    delay_library = load_delay_library()
+
+    core = nor_mapped(circuit)
+    print(f"{circuit}: {core.n_gates} NOR gates after mapping, "
+          f"depth {core.depth()}")
+    runner = ExperimentRunner(core, bundle, delay_library)
+    config = StimulusConfig(mu, sigma, n_transitions)
+
+    for seed in range(3):
+        result = runner.run(config, seed=seed)
+        print(
+            f"seed {seed}: t_err digital = {result.t_err_digital * 1e12:7.1f} ps   "
+            f"sigmoid = {result.t_err_sigmoid * 1e12:7.1f} ps   "
+            f"ratio = {result.error_ratio:5.2f}   "
+            f"(analog {result.t_sim_analog:5.1f}s, "
+            f"sigmoid {result.t_sim_sigmoid:5.2f}s, "
+            f"digital {result.t_sim_digital * 1e3:4.0f}ms)"
+        )
+
+
+if __name__ == "__main__":
+    main()

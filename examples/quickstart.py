@@ -1,0 +1,81 @@
+"""Quickstart: waveforms -> sigmoids -> a trained gate -> a prediction.
+
+Runs in under a minute (no cached artifacts needed):
+
+1. simulate a tied-NOR (inverter-class) chain on the analog engine,
+2. fit the stage waveforms to sigmoidal traces (Eq. 1/2 of the paper),
+3. train the four TOM transfer-function ANNs of one channel at tiny scale,
+4. predict a gate output with Algorithm 1 and compare against the analog
+   reference.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analog.staged import StagedSimulator
+from repro.analog.stimuli import SteppedSource
+from repro.characterization.artifacts import characterize_all, PRESETS
+from repro.characterization.train_gate import train_gate_model
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.core.fitting import fit_waveform
+from repro.core.tom import predict_gate_output
+from repro.nn.training import TrainingConfig
+
+
+def build_tied_chain(n_stages: int) -> Netlist:
+    """A chain of tied-input NOR gates (the pure-NOR inverter)."""
+    netlist = Netlist("quickstart_chain")
+    netlist.add_input("in")
+    prev = "in"
+    for i in range(n_stages):
+        netlist.add_gate(f"n{i}", GateType.NOR, [prev, prev])
+        prev = f"n{i}"
+    netlist.add_output(prev)
+    return netlist
+
+
+def main() -> None:
+    print("== 1. analog reference ==")
+    netlist = build_tied_chain(4)
+    simulator = StagedSimulator(netlist)
+    stimulus = SteppedSource([np.array([30e-12, 45e-12, 70e-12, 82e-12])],
+                             initial_levels=0)
+    result = simulator.simulate({"in": stimulus}, t_stop=130e-12,
+                                record_nets=["n0", "n1", "n2", "n3"])
+    wf = result.waveform("n1")
+    print(f"n1 waveform: {len(wf)} samples, "
+          f"{len(wf.crossings())} threshold crossings")
+
+    print("\n== 2. sigmoid fitting (Sec. II) ==")
+    fit = fit_waveform(wf)
+    print(f"fitted {fit.n_transitions} sigmoids, rms error "
+          f"{fit.rms_error * 1e3:.1f} mV")
+    for a, b in fit.trace.params:
+        print(f"  a = {a:7.1f}   b = {b:.4f}  (crossing at {b * 100:.2f} ps)")
+
+    print("\n== 3. characterize + train one channel (tiny scale) ==")
+    datasets, _ = characterize_all(scale="tiny")
+    dataset = datasets[("NOR2T", 0, "fo2")]
+    print(f"channel NOR2T/fo2: {len(dataset)} training records")
+    model, report = train_gate_model(
+        dataset, config=PRESETS["tiny"].training_config()
+    )
+    print(f"delay MAE rising/falling: {report.delay_mae_rising_ps:.2f} / "
+          f"{report.delay_mae_falling_ps:.2f} ps")
+
+    print("\n== 4. Algorithm 1 prediction vs analog ==")
+    trace = fit.trace
+    predicted = predict_gate_output(
+        trace, model.tf_rise, model.tf_fall,
+        initial_output_level=1 - trace.initial_level,
+    )
+    reference = result.waveform("n2").crossing_times()
+    predicted_times = np.asarray(predicted.crossing_times_tau()) / 1e10
+    print(f"analog n2 crossings (ps): {np.round(reference * 1e12, 2)}")
+    print(f"TOM    n2 crossings (ps): {np.round(predicted_times * 1e12, 2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` path through this file when PEP 517 builds are not
+available (offline environments without ``wheel``).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Sigmoidal signal prediction for digital circuits (DATE 2025 repro).
+
+Reproduction of "Signal Prediction for Digital Circuits by Sigmoidal
+Approximations Using Neural Networks" (Salzmann & Schmid, DATE 2025),
+including every substrate the paper depends on: an analog transient
+simulator (SPICE role), a numpy neural-network library (PyTorch role), an
+event-driven digital simulator (ModelSim role), ISCAS-85-class benchmark
+circuits, the characterization/training pipeline, and the evaluation
+harness.
+
+Entry points
+------------
+* :func:`repro.characterization.artifacts.default_bundle` — trained
+  transfer-function models (cached under ``artifacts/``).
+* :class:`repro.core.simulator.SigmoidCircuitSimulator` — the paper's
+  prototype simulator.
+* :class:`repro.eval.runner.ExperimentRunner` — one circuit × stimulus ×
+  {analog, digital, sigmoid} experiment.
+* :func:`repro.eval.table1.run_table1` — the Table I harness.
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for results.
+"""
+
+__version__ = "0.1.0"

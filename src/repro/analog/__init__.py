@@ -1,0 +1,43 @@
+"""Analog transient simulation substrate (replaces SPICE/Spectre).
+
+The paper trains and evaluates against SPICE waveforms of a 15 nm FinFET
+library.  This package provides the equivalent reference in pure numpy:
+
+* :mod:`~repro.analog.mosfet` — a smooth EKV-style MOSFET compact model
+  calibrated to 15 nm-class numbers (VDD = 0.8 V, ~50 µA on-current),
+* :mod:`~repro.analog.netlist` / :mod:`~repro.analog.engine` — a batch
+  transient engine integrating ``C dv/dt = i(v, t)`` for full transistor
+  networks, vectorized across many stimulus runs at once,
+* :mod:`~repro.analog.cells` — transistor-level INV / NOR2 / NOR3 / NAND2
+  cells shared by every engine,
+* :mod:`~repro.analog.staged` — a topological-staged engine that makes
+  c1355-scale combinational circuits tractable as the "SPICE" reference,
+* :mod:`~repro.analog.waveform` — waveform containers and measurements.
+
+The engines reproduce the analog phenomena the paper's approach feeds on:
+finite slopes, pulse degradation, sub-threshold runt pulses, and Miller
+over/undershoot.
+"""
+
+from repro.analog.waveform import Waveform
+from repro.analog.mosfet import MosfetParams, NMOS_15NM, PMOS_15NM, mosfet_current
+from repro.analog.netlist import AnalogCircuit
+from repro.analog.stimuli import SteppedSource
+from repro.analog.engine import TransientEngine, TransientResult
+from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
+from repro.analog.staged import StagedSimulator
+
+__all__ = [
+    "Waveform",
+    "MosfetParams",
+    "NMOS_15NM",
+    "PMOS_15NM",
+    "mosfet_current",
+    "AnalogCircuit",
+    "SteppedSource",
+    "TransientEngine",
+    "TransientResult",
+    "CellLibrary",
+    "DEFAULT_LIBRARY",
+    "StagedSimulator",
+]

@@ -1,0 +1,153 @@
+"""Transistor-level standard cells shared by both analog engines.
+
+A :class:`CellLibrary` fixes device models, sizings and interconnect
+parasitics.  The same library instance is used by:
+
+* :meth:`CellLibrary.add_inv` / :meth:`CellLibrary.add_nor2` / ... to
+  instantiate cells into a full :class:`~repro.analog.netlist.AnalogCircuit`
+  (characterization chains), and
+* :class:`~repro.analog.staged.StagedSimulator`, which re-derives its
+  per-gate ODEs from the identical parameters,
+
+so the two engines are physically consistent (verified by tests comparing
+them on inverter chains).
+
+Pin convention for NOR2: pin 0 ("A") gates the series PMOS next to VDD and
+one parallel NMOS; pin 1 ("B") gates the PMOS next to the output.  The
+asymmetric stack position is why the paper trains separate ANNs per input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.mosfet import MosfetParams, NMOS_15NM, PMOS_15NM
+from repro.analog.netlist import AnalogCircuit
+from repro.errors import AnalogCircuitError
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """Device models, cell sizings and parasitics of the substitute library.
+
+    Attributes
+    ----------
+    nmos, pmos:
+        Compact-model parameters.
+    inv_wn, inv_wp:
+        Inverter pull-down / pull-up width multipliers.
+    nor_wn, nor_wp:
+        NOR2 widths: each parallel NMOS and each series PMOS (the series
+        PMOS is upsized to compensate stacking).
+    wire_cap:
+        Interconnect capacitance per fanout branch in farads — identical
+        for all stages, matching the paper's uniform-interconnect setup.
+    staged_miller_factor:
+        Extra multiple of each receiving pin's gate-drain capacitance added
+        to the driver's load in the staged engine, compensating the
+        receiver-side Miller coupling the staged topology lumps to ground.
+        Calibrated against the full network engine on inverter chains.
+    """
+
+    nmos: MosfetParams = NMOS_15NM
+    pmos: MosfetParams = PMOS_15NM
+    inv_wn: float = 1.0
+    inv_wp: float = 1.6
+    nor_wn: float = 1.0
+    nor_wp: float = 3.0
+    wire_cap: float = 0.05e-15
+    staged_miller_factor: float = 0.38
+
+    # ------------------------------------------------------------------
+    # capacitance bookkeeping (used by the staged engine and load models)
+    # ------------------------------------------------------------------
+    def input_capacitance(self, cell_type: str, pin: int = 0) -> float:
+        """Gate capacitance presented by one input pin of a cell."""
+        c_per_w_n = self.nmos.c_gs + self.nmos.c_gd
+        c_per_w_p = self.pmos.c_gs + self.pmos.c_gd
+        if cell_type == "INV":
+            return c_per_w_n * self.inv_wn + c_per_w_p * self.inv_wp
+        if cell_type == "NOR2":
+            if pin not in (0, 1):
+                raise AnalogCircuitError("NOR2 has pins 0 and 1")
+            return c_per_w_n * self.nor_wn + c_per_w_p * self.nor_wp
+        if cell_type == "NOR3":
+            if pin not in (0, 1, 2):
+                raise AnalogCircuitError("NOR3 has pins 0..2")
+            return c_per_w_n * self.nor_wn + c_per_w_p * self.nor_wp
+        if cell_type == "NAND2":
+            if pin not in (0, 1):
+                raise AnalogCircuitError("NAND2 has pins 0 and 1")
+            return c_per_w_n * self.inv_wn * 2 + c_per_w_p * self.inv_wp
+        raise AnalogCircuitError(f"unknown cell type {cell_type!r}")
+
+    def input_miller_capacitance(self, cell_type: str, pin: int = 0) -> float:
+        """Gate-drain (Miller) part of one input pin's capacitance."""
+        if cell_type == "INV":
+            return self.nmos.c_gd * self.inv_wn + self.pmos.c_gd * self.inv_wp
+        if cell_type == "NOR2":
+            if pin not in (0, 1):
+                raise AnalogCircuitError("NOR2 has pins 0 and 1")
+            return self.nmos.c_gd * self.nor_wn + self.pmos.c_gd * self.nor_wp
+        raise AnalogCircuitError(f"unknown cell type {cell_type!r}")
+
+    def output_self_capacitance(self, cell_type: str) -> float:
+        """Drain capacitance a cell contributes to its own output node."""
+        if cell_type == "INV":
+            return (self.nmos.c_gd + self.nmos.c_db) * self.inv_wn + (
+                self.pmos.c_gd + self.pmos.c_db
+            ) * self.inv_wp
+        if cell_type == "NOR2":
+            # Output sees: P_bot drain, both NMOS drains.
+            return (self.pmos.c_gd + self.pmos.c_db) * self.nor_wp + 2 * (
+                self.nmos.c_gd + self.nmos.c_db
+            ) * self.nor_wn
+        raise AnalogCircuitError(f"unknown cell type {cell_type!r}")
+
+    # ------------------------------------------------------------------
+    # instantiation into a full AnalogCircuit
+    # ------------------------------------------------------------------
+    def add_inv(self, circuit: AnalogCircuit, inp: str, out: str) -> None:
+        """Instantiate an inverter between nets ``inp`` and ``out``."""
+        circuit.add_mosfet(self.pmos, out, inp, "vdd", width=self.inv_wp)
+        circuit.add_mosfet(self.nmos, out, inp, "gnd", width=self.inv_wn)
+
+    def add_nor2(self, circuit: AnalogCircuit, in_a: str, in_b: str, out: str) -> None:
+        """Instantiate a NOR2; the internal PMOS-stack node is ``{out}.m``."""
+        mid = f"{out}.m"
+        circuit.add_mosfet(self.pmos, mid, in_a, "vdd", width=self.nor_wp)
+        circuit.add_mosfet(self.pmos, out, in_b, mid, width=self.nor_wp)
+        circuit.add_mosfet(self.nmos, out, in_a, "gnd", width=self.nor_wn)
+        circuit.add_mosfet(self.nmos, out, in_b, "gnd", width=self.nor_wn)
+
+    def add_nor3(
+        self, circuit: AnalogCircuit, in_a: str, in_b: str, in_c: str, out: str
+    ) -> None:
+        """Three-input NOR (two internal stack nodes)."""
+        mid1 = f"{out}.m1"
+        mid2 = f"{out}.m2"
+        circuit.add_mosfet(self.pmos, mid1, in_a, "vdd", width=self.nor_wp)
+        circuit.add_mosfet(self.pmos, mid2, in_b, mid1, width=self.nor_wp)
+        circuit.add_mosfet(self.pmos, out, in_c, mid2, width=self.nor_wp)
+        for pin in (in_a, in_b, in_c):
+            circuit.add_mosfet(self.nmos, out, pin, "gnd", width=self.nor_wn)
+
+    def add_nand2(self, circuit: AnalogCircuit, in_a: str, in_b: str, out: str) -> None:
+        """Two-input NAND (series NMOS stack, parallel PMOS)."""
+        mid = f"{out}.m"
+        circuit.add_mosfet(self.nmos, out, in_a, mid, width=self.inv_wn * 2)
+        circuit.add_mosfet(self.nmos, mid, in_b, "gnd", width=self.inv_wn * 2)
+        circuit.add_mosfet(self.pmos, out, in_a, "vdd", width=self.inv_wp)
+        circuit.add_mosfet(self.pmos, out, in_b, "vdd", width=self.inv_wp)
+
+    def add_wire_load(self, circuit: AnalogCircuit, net: str, branches: int = 1) -> None:
+        """Add interconnect capacitance for ``branches`` fanout branches."""
+        if branches < 1:
+            raise AnalogCircuitError("need at least one branch")
+        circuit.add_capacitor(net, "gnd", self.wire_cap * branches)
+
+
+#: The library instance used everywhere unless a test overrides it.
+DEFAULT_LIBRARY = CellLibrary()

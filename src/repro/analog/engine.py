@@ -1,0 +1,218 @@
+"""Batch transient engine for full transistor networks.
+
+Solves ``C_ff dv_f/dt = i_f(v, t) - C_fx dv_x/dt`` where ``v_f`` are the
+free node voltages, ``v_x`` the fixed (rail/stimulus) nodes, ``C`` the
+assembled capacitance matrix and ``i_f`` the device KCL currents.  The
+state carries an extra *runs* axis, so a whole characterization sweep
+(hundreds of stimulus combinations over one topology, Sec. IV-A of the
+paper) integrates in lock-step with fully vectorized device evaluation.
+
+This engine plays the role of SPICE for the circuits it is asked to solve;
+``staged.py`` builds on the same device models for circuit sizes where a
+monolithic network would be wasteful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import lu_solve
+
+from repro.analog.integrator import integrate_fixed
+from repro.analog.mosfet import vectorized_current
+from repro.analog.netlist import GND, VDD_NODE, AnalogCircuit, CompiledCircuit
+from repro.analog.stimuli import SteppedSource
+from repro.analog.waveform import Waveform
+from repro.constants import VDD
+from repro.errors import SimulationError
+
+#: Default integration step (seconds): well below the ~3 ps edges produced
+#: by the calibrated cells.
+DEFAULT_DT = 0.05e-12
+
+#: Default settling period prepended before t=0 so the circuit starts from
+#: its DC operating point without a Newton solve.
+DEFAULT_SETTLE = 40e-12
+
+
+class TransientResult:
+    """Recorded node waveforms of a batch transient run."""
+
+    def __init__(
+        self,
+        t: np.ndarray,
+        voltages: dict[str, np.ndarray],
+        n_runs: int,
+    ) -> None:
+        self.t = t
+        self.voltages = voltages
+        self.n_runs = n_runs
+
+    @property
+    def recorded_nodes(self) -> list[str]:
+        return list(self.voltages)
+
+    def samples(self, node: str) -> np.ndarray:
+        """Raw samples of ``node``: shape ``(n_times, n_runs)``."""
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise KeyError(
+                f"node {node!r} was not recorded; recorded: {self.recorded_nodes}"
+            ) from None
+
+    def waveform(self, node: str, run: int = 0) -> Waveform:
+        """The waveform of one node in one run."""
+        samples = self.samples(node)
+        if not 0 <= run < self.n_runs:
+            raise IndexError(f"run {run} out of range (n_runs={self.n_runs})")
+        return Waveform(self.t, samples[:, run].astype(float))
+
+
+class TransientEngine:
+    """Transient simulator bound to one compiled circuit."""
+
+    def __init__(self, circuit: AnalogCircuit, vdd: float = VDD) -> None:
+        self.circuit = circuit
+        self.vdd = vdd
+        self.compiled: CompiledCircuit = circuit.compile()
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        sources: dict[str, SteppedSource],
+        t_stop: float,
+        t_start: float = 0.0,
+        dt: float = DEFAULT_DT,
+        record_nodes: list[str] | None = None,
+        record_every: int = 2,
+        settle: float = DEFAULT_SETTLE,
+    ) -> TransientResult:
+        """Run a batch transient analysis.
+
+        Parameters
+        ----------
+        sources:
+            One :class:`SteppedSource` per declared input node.  All
+            sources must agree on the run count.
+        record_nodes:
+            Node names to record (default: every node).
+        settle:
+            Duration integrated before ``t_start`` with the stimulus frozen
+            at its ``t_start`` value, replacing a DC operating-point solve.
+        """
+        comp = self.compiled
+        missing = [name for name in self.circuit.inputs if name not in sources]
+        if missing:
+            raise SimulationError(f"missing sources for inputs: {missing}")
+        extra = [name for name in sources if name not in self.circuit.inputs]
+        if extra:
+            raise SimulationError(f"sources for undeclared inputs: {extra}")
+
+        run_counts = {src.n_runs for src in sources.values()}
+        if sources:
+            if len(run_counts) != 1:
+                raise SimulationError(f"sources disagree on run count: {run_counts}")
+            n_runs = run_counts.pop()
+        else:
+            n_runs = 1
+
+        if record_nodes is None:
+            record_nodes = [n for n in self.circuit.node_names]
+        unknown = [n for n in record_nodes if n not in comp.node_index]
+        if unknown:
+            raise SimulationError(f"cannot record unknown nodes: {unknown}")
+
+        n_nodes = comp.n_nodes
+        fixed_rows = {name: row for row, name in enumerate(comp.fixed_names)}
+
+        def fixed_values(t: float, frozen: bool) -> tuple[np.ndarray, np.ndarray]:
+            """Fixed node voltages and their derivatives at time t."""
+            vals = np.zeros((len(comp.fixed_names), n_runs))
+            derivs = np.zeros_like(vals)
+            vals[fixed_rows[VDD_NODE]] = self.vdd
+            query_t = t_start if frozen else t
+            for name, src in sources.items():
+                row = fixed_rows[name]
+                vals[row] = src.value(query_t)
+                if not frozen:
+                    derivs[row] = src.derivative(query_t)
+            return vals, derivs
+
+        v_all = np.empty((n_nodes, n_runs))
+
+        def make_rhs(frozen: bool):
+            def rhs(t: float, v_free: np.ndarray) -> np.ndarray:
+                fixed_v, fixed_dv = fixed_values(t, frozen)
+                v_all[comp.free_idx] = v_free
+                v_all[comp.fixed_idx] = fixed_v
+                currents = np.zeros((n_nodes, n_runs))
+                if comp.m_d.size:
+                    i_drain = vectorized_current(
+                        comp.m_vth[:, None],
+                        comp.m_nslope[:, None],
+                        comp.m_ispec[:, None],
+                        comp.m_lam[:, None],
+                        comp.m_pmos[:, None],
+                        v_all[comp.m_g],
+                        v_all[comp.m_d],
+                        v_all[comp.m_s],
+                        comp.m_width[:, None],
+                        vdd=self.vdd,
+                    )
+                    np.add.at(currents, comp.m_d, i_drain)
+                    np.add.at(currents, comp.m_s, -i_drain)
+                if comp.r_a.size:
+                    i_r = (v_all[comp.r_b] - v_all[comp.r_a]) * comp.r_g[:, None]
+                    np.add.at(currents, comp.r_a, i_r)
+                    np.add.at(currents, comp.r_b, -i_r)
+                i_free = currents[comp.free_idx]
+                i_free -= comp.c_fx @ fixed_dv
+                return lu_solve(comp.c_ff_lu, i_free)
+
+            return rhs
+
+        # --- settle to the DC operating point ---------------------------
+        v0 = np.zeros((comp.n_free, n_runs))
+        if settle > 0:
+            _, __, v0 = integrate_fixed(
+                make_rhs(frozen=True),
+                v0,
+                t_start - settle,
+                t_start,
+                dt=max(dt, 0.1e-12),
+                record_every=10**9,
+            )
+
+        # --- main run ----------------------------------------------------
+        record_rows = np.array(
+            [comp.free_pos[comp.node_index[n]] for n in record_nodes
+             if comp.node_index[n] in comp.free_pos],
+            dtype=int,
+        )
+        recorded_free = [
+            n for n in record_nodes if comp.node_index[n] in comp.free_pos
+        ]
+        t_rec, y_rec, _ = integrate_fixed(
+            make_rhs(frozen=False),
+            v0,
+            t_start,
+            t_stop,
+            dt=dt,
+            record_every=record_every,
+            record_transform=lambda y: y[record_rows],
+        )
+
+        voltages: dict[str, np.ndarray] = {}
+        for row, name in enumerate(recorded_free):
+            voltages[name] = y_rec[:, row, :]
+        # Fixed nodes requested for recording are reconstructed exactly.
+        for name in record_nodes:
+            if name in voltages:
+                continue
+            if name == GND:
+                voltages[name] = np.zeros((t_rec.size, n_runs))
+            elif name == VDD_NODE:
+                voltages[name] = np.full((t_rec.size, n_runs), self.vdd)
+            elif name in sources:
+                voltages[name] = sources[name].value(t_rec)
+        return TransientResult(t_rec, voltages, n_runs)

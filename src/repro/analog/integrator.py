@@ -1,0 +1,83 @@
+"""Fixed-step RK4 integration with selective recording.
+
+The transient engines integrate stiff-ish but picosecond-fast node
+dynamics.  The classical fourth-order Runge-Kutta method at a step well
+below the fastest edge (default 0.05 ps against ~3 ps edges) is accurate
+and — crucially — keeps every batched run in lock-step so the whole sweep
+vectorizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+RHS = Callable[[float, np.ndarray], np.ndarray]
+
+
+def rk4_step(f: RHS, t: float, y: np.ndarray, dt: float) -> np.ndarray:
+    """One classical RK4 step from ``(t, y)`` to ``t + dt``."""
+    k1 = f(t, y)
+    k2 = f(t + dt / 2.0, y + dt / 2.0 * k1)
+    k3 = f(t + dt / 2.0, y + dt / 2.0 * k2)
+    k4 = f(t + dt, y + dt * k3)
+    return y + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def integrate_fixed(
+    f: RHS,
+    y0: np.ndarray,
+    t_start: float,
+    t_stop: float,
+    dt: float,
+    record_every: int = 1,
+    record_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    record_dtype=np.float32,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Integrate ``y' = f(t, y)`` on a fixed grid, recording periodically.
+
+    Parameters
+    ----------
+    record_every:
+        Record every k-th grid point (the initial and final points are
+        always recorded).
+    record_transform:
+        Maps the full state to the recorded quantity (e.g. a row subset);
+        identity when omitted.
+    record_dtype:
+        Recorded samples are stored in this dtype (float32 by default to
+        halve memory in large sweeps).
+
+    Returns
+    -------
+    (t_rec, y_rec, y_final):
+        Recorded times, recorded samples stacked on axis 0, and the full
+        final state in float64.
+    """
+    if dt <= 0:
+        raise SimulationError("dt must be positive")
+    if t_stop <= t_start:
+        raise SimulationError("t_stop must exceed t_start")
+    if record_every < 1:
+        raise SimulationError("record_every must be >= 1")
+    n_steps = int(np.ceil((t_stop - t_start) / dt))
+    if record_transform is None:
+        record_transform = lambda y: y  # noqa: E731 - trivial identity
+
+    y = np.array(y0, dtype=float)
+    t = t_start
+    times = [t]
+    records = [np.asarray(record_transform(y), dtype=record_dtype)]
+    for step in range(1, n_steps + 1):
+        step_dt = min(dt, t_stop - t)
+        y = rk4_step(f, t, y, step_dt)
+        t = t_start + step * dt if step < n_steps else t_stop
+        if step % record_every == 0 or step == n_steps:
+            times.append(t)
+            records.append(np.asarray(record_transform(y), dtype=record_dtype))
+        if not np.all(np.isfinite(y)):
+            raise SimulationError(f"integration diverged at t = {t:.3e}s")
+    return np.asarray(times), np.stack(records, axis=0), y

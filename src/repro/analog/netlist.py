@@ -1,0 +1,266 @@
+"""Analog circuit graph: nodes, devices and compilation for the engine.
+
+An :class:`AnalogCircuit` collects transistors, capacitors and resistors
+between named nodes.  ``gnd`` and ``vdd`` are built-in fixed rails; nodes
+driven by stimulus sources are declared with :meth:`AnalogCircuit.declare_input`.
+:meth:`AnalogCircuit.compile` lowers the circuit to flat index arrays and a
+prefactorized capacitance matrix for the transient engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import lu_factor
+
+from repro.analog.mosfet import MosfetParams
+from repro.errors import AnalogCircuitError
+
+#: Name of the ground rail node (fixed at 0 V).
+GND = "gnd"
+#: Name of the supply rail node (fixed at VDD).
+VDD_NODE = "vdd"
+
+#: Small default capacitance added from every free node to ground so the
+#: capacitance matrix is never singular (models minimal node parasitics).
+DEFAULT_NODE_CAP = 0.01e-15
+
+
+@dataclass
+class MosfetInstance:
+    """One transistor instance: model parameters plus terminal node names."""
+
+    params: MosfetParams
+    drain: str
+    gate: str
+    source: str
+    width: float = 1.0
+
+
+@dataclass
+class CapacitorInstance:
+    node_a: str
+    node_b: str
+    value: float
+
+
+@dataclass
+class ResistorInstance:
+    node_a: str
+    node_b: str
+    value: float
+
+
+@dataclass
+class CompiledCircuit:
+    """Flat arrays the transient engine consumes (see ``engine.py``)."""
+
+    node_names: list[str]
+    node_index: dict[str, int]
+    free_idx: np.ndarray
+    fixed_idx: np.ndarray
+    fixed_names: list[str]
+    # MOSFET arrays (one entry per device)
+    m_vth: np.ndarray
+    m_nslope: np.ndarray
+    m_ispec: np.ndarray
+    m_lam: np.ndarray
+    m_pmos: np.ndarray
+    m_width: np.ndarray
+    m_d: np.ndarray
+    m_g: np.ndarray
+    m_s: np.ndarray
+    # resistor arrays
+    r_a: np.ndarray
+    r_b: np.ndarray
+    r_g: np.ndarray  # conductances
+    # capacitance matrix partitions, prefactorized
+    c_ff_lu: tuple
+    c_fx: np.ndarray
+    # scatter map from free-node row to global node index
+    free_pos: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def n_free(self) -> int:
+        return int(self.free_idx.size)
+
+
+class AnalogCircuit:
+    """A transistor-level circuit under construction.
+
+    Nodes are referenced by name and created on first use.  The rails
+    ``gnd`` and ``vdd`` always exist and are fixed.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, int] = {}
+        self.mosfets: list[MosfetInstance] = []
+        self.capacitors: list[CapacitorInstance] = []
+        self.resistors: list[ResistorInstance] = []
+        self.inputs: list[str] = []
+        self.node(GND)
+        self.node(VDD_NODE)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> int:
+        """Index of node ``name``, creating it if new."""
+        if name not in self._nodes:
+            self._nodes[name] = len(self._nodes)
+        return self._nodes[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def declare_input(self, name: str) -> None:
+        """Mark ``name`` as a stimulus-driven (fixed) node."""
+        self.node(name)
+        if name in (GND, VDD_NODE):
+            raise AnalogCircuitError(f"{name} is a rail, not a stimulus node")
+        if name not in self.inputs:
+            self.inputs.append(name)
+
+    def add_mosfet(
+        self,
+        params: MosfetParams,
+        drain: str,
+        gate: str,
+        source: str,
+        width: float = 1.0,
+    ) -> None:
+        if width <= 0:
+            raise AnalogCircuitError("mosfet width must be positive")
+        for name in (drain, gate, source):
+            self.node(name)
+        self.mosfets.append(MosfetInstance(params, drain, gate, source, width))
+
+    def add_capacitor(self, node_a: str, node_b: str, value: float) -> None:
+        if value <= 0:
+            raise AnalogCircuitError("capacitance must be positive")
+        self.node(node_a)
+        self.node(node_b)
+        self.capacitors.append(CapacitorInstance(node_a, node_b, value))
+
+    def add_resistor(self, node_a: str, node_b: str, value: float) -> None:
+        if value <= 0:
+            raise AnalogCircuitError("resistance must be positive")
+        self.node(node_a)
+        self.node(node_b)
+        self.resistors.append(ResistorInstance(node_a, node_b, value))
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self, default_node_cap: float = DEFAULT_NODE_CAP) -> CompiledCircuit:
+        """Lower to flat arrays and prefactorize the capacitance matrix.
+
+        Raises :class:`AnalogCircuitError` when the circuit has no free
+        nodes or a free node has no devices at all.
+        """
+        n = self.n_nodes
+        index = dict(self._nodes)
+        fixed_names = [GND, VDD_NODE] + [i for i in self.inputs]
+        fixed_set = set(fixed_names)
+        free_names = [name for name in self._nodes if name not in fixed_set]
+        if not free_names:
+            raise AnalogCircuitError("circuit has no free nodes to integrate")
+
+        free_idx = np.array([index[name] for name in free_names], dtype=int)
+        fixed_idx = np.array([index[name] for name in fixed_names], dtype=int)
+
+        # --- capacitance matrix over all nodes -------------------------
+        c_full = np.zeros((n, n))
+        for cap in self.capacitors:
+            a, b = index[cap.node_a], index[cap.node_b]
+            c_full[a, a] += cap.value
+            c_full[b, b] += cap.value
+            c_full[a, b] -= cap.value
+            c_full[b, a] -= cap.value
+        for inst in self.mosfets:
+            d = index[inst.drain]
+            g = index[inst.gate]
+            s = index[inst.source]
+            p = inst.params
+            w = inst.width
+            for na, nb, c in (
+                (g, s, p.c_gs * w),
+                (g, d, p.c_gd * w),
+                (d, index[GND], p.c_db * w),
+            ):
+                c_full[na, na] += c
+                c_full[nb, nb] += c
+                c_full[na, nb] -= c
+                c_full[nb, na] -= c
+        for i in free_idx:
+            c_full[i, i] += default_node_cap
+
+        c_ff = c_full[np.ix_(free_idx, free_idx)]
+        c_fx = c_full[np.ix_(free_idx, fixed_idx)]
+        try:
+            c_ff_lu = lu_factor(c_ff)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise AnalogCircuitError(f"singular capacitance matrix: {exc}") from exc
+
+        # --- device arrays ---------------------------------------------
+        n_m = len(self.mosfets)
+        m_vth = np.empty(n_m)
+        m_nslope = np.empty(n_m)
+        m_ispec = np.empty(n_m)
+        m_lam = np.empty(n_m)
+        m_pmos = np.empty(n_m, dtype=bool)
+        m_width = np.empty(n_m)
+        m_d = np.empty(n_m, dtype=int)
+        m_g = np.empty(n_m, dtype=int)
+        m_s = np.empty(n_m, dtype=int)
+        for k, inst in enumerate(self.mosfets):
+            m_vth[k] = inst.params.v_th
+            m_nslope[k] = inst.params.n_slope
+            m_ispec[k] = inst.params.i_spec
+            m_lam[k] = inst.params.lam
+            m_pmos[k] = inst.params.polarity == "pmos"
+            m_width[k] = inst.width
+            m_d[k] = index[inst.drain]
+            m_g[k] = index[inst.gate]
+            m_s[k] = index[inst.source]
+
+        r_a = np.array([index[r.node_a] for r in self.resistors], dtype=int)
+        r_b = np.array([index[r.node_b] for r in self.resistors], dtype=int)
+        r_g = np.array([1.0 / r.value for r in self.resistors])
+
+        free_pos = {int(node): row for row, node in enumerate(free_idx)}
+        return CompiledCircuit(
+            node_names=list(self._nodes),
+            node_index=index,
+            free_idx=free_idx,
+            fixed_idx=fixed_idx,
+            fixed_names=fixed_names,
+            m_vth=m_vth,
+            m_nslope=m_nslope,
+            m_ispec=m_ispec,
+            m_lam=m_lam,
+            m_pmos=m_pmos,
+            m_width=m_width,
+            m_d=m_d,
+            m_g=m_g,
+            m_s=m_s,
+            r_a=r_a,
+            r_b=r_b,
+            r_g=r_g,
+            c_ff_lu=c_ff_lu,
+            c_fx=c_fx,
+            free_pos=free_pos,
+        )

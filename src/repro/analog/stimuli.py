@@ -1,0 +1,138 @@
+"""Stimulus sources: near-Heaviside transition trains.
+
+The paper's characterization stimulates chains with "traces of Heaviside
+transitions in a carefully controlled way" (Fig. 4).  A physical pulse
+generator still has a finite rise time, and an ideal zero-time step would
+put an infinite derivative into the Miller-coupling term of the engine, so
+the source uses a smoothstep edge of configurable (sub-picosecond) rise
+time.  Pulse-shaping stages then convert these into realistic waveforms.
+
+A :class:`SteppedSource` is *batched*: it describes one stimulus node for
+``n_runs`` simultaneous runs, each with its own transition times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.constants import VDD
+from repro.errors import SimulationError
+
+#: Default generator edge time (0-100%), in seconds.
+DEFAULT_EDGE_TIME = 0.5e-12
+
+
+def _smoothstep(x: np.ndarray) -> np.ndarray:
+    """C1 smoothstep: 0 below 0, 1 above 1, ``3x^2 - 2x^3`` between."""
+    x = np.clip(x, 0.0, 1.0)
+    return x * x * (3.0 - 2.0 * x)
+
+
+def _smoothstep_deriv(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`_smoothstep` w.r.t. its argument."""
+    inside = (x > 0.0) & (x < 1.0)
+    return np.where(inside, 6.0 * x * (1.0 - x), 0.0)
+
+
+class SteppedSource:
+    """A batch of step-train stimuli sharing one node.
+
+    Parameters
+    ----------
+    transition_times:
+        Sequence of per-run transition time arrays (seconds).  Runs may
+        have different transition counts; each run's times must be
+        non-decreasing.
+    initial_levels:
+        Per-run starting logic level (0 or 1), or a single level for all.
+    v_high:
+        Rail voltage of the high level.
+    edge_time:
+        0-100% edge duration of each generated transition.
+    """
+
+    def __init__(
+        self,
+        transition_times: Sequence[np.ndarray],
+        initial_levels: Sequence[int] | int = 0,
+        v_high: float = VDD,
+        edge_time: float = DEFAULT_EDGE_TIME,
+    ) -> None:
+        if edge_time <= 0:
+            raise SimulationError("edge_time must be positive")
+        runs = [np.asarray(times, dtype=float).ravel() for times in transition_times]
+        if not runs:
+            raise SimulationError("need at least one run")
+        for times in runs:
+            if times.size and np.any(np.diff(times) < 0):
+                raise SimulationError("transition times must be non-decreasing")
+        self.n_runs = len(runs)
+        if isinstance(initial_levels, (int, np.integer)):
+            levels = np.full(self.n_runs, int(initial_levels))
+        else:
+            levels = np.asarray(list(initial_levels), dtype=int)
+        if levels.shape != (self.n_runs,):
+            raise SimulationError("initial_levels length must match run count")
+        if not np.all((levels == 0) | (levels == 1)):
+            raise SimulationError("initial levels must be 0 or 1")
+
+        self.v_high = v_high
+        self.edge_time = edge_time
+        self.initial_levels = levels
+        max_tr = max((times.size for times in runs), default=0)
+        # Pad with +inf so vectorized evaluation ignores missing transitions.
+        padded = np.full((self.n_runs, max(max_tr, 1)), np.inf)
+        for i, times in enumerate(runs):
+            padded[i, : times.size] = times
+        self.times = padded
+        # Transition k flips the level: direction alternates from the start.
+        ks = np.arange(self.times.shape[1])
+        start_dir = np.where(levels == 0, 1.0, -1.0)[:, None]
+        self.directions = start_dir * np.where(ks[None, :] % 2 == 0, 1.0, -1.0)
+        self.run_transitions = [times.copy() for times in runs]
+
+    @classmethod
+    def constant(cls, level: int, n_runs: int, v_high: float = VDD) -> "SteppedSource":
+        """A source pinned at a logic level for every run."""
+        return cls([np.array([])] * n_runs, initial_levels=level, v_high=v_high)
+
+    def value(self, t: float | np.ndarray) -> np.ndarray:
+        """Source voltage at time(s) ``t``.
+
+        Scalar ``t`` returns shape ``(n_runs,)``; an array of shape ``(m,)``
+        returns ``(m, n_runs)``.
+        """
+        t_arr = np.asarray(t, dtype=float)
+        scalar = t_arr.ndim == 0
+        t_arr = np.atleast_1d(t_arr)
+        # x shape: (m, n_runs, n_transitions)
+        x = (t_arr[:, None, None] - self.times[None, :, :]) / self.edge_time
+        steps = _smoothstep(x) * self.directions[None, :, :]
+        v = (self.initial_levels[None, :] + steps.sum(axis=2)) * self.v_high
+        return v[0] if scalar else v
+
+    def derivative(self, t: float | np.ndarray) -> np.ndarray:
+        """Time derivative of the source voltage (V/s), same shapes as value."""
+        t_arr = np.asarray(t, dtype=float)
+        scalar = t_arr.ndim == 0
+        t_arr = np.atleast_1d(t_arr)
+        x = (t_arr[:, None, None] - self.times[None, :, :]) / self.edge_time
+        slopes = _smoothstep_deriv(x) * self.directions[None, :, :] / self.edge_time
+        dv = slopes.sum(axis=2) * self.v_high
+        return dv[0] if scalar else dv
+
+
+def pulse_train_times(
+    t_first: float, intervals: Sequence[float]
+) -> np.ndarray:
+    """Cumulative transition times from a first time plus gap list.
+
+    ``pulse_train_times(10e-12, [TA, TB, TC])`` reproduces the paper's
+    four-transition stimulus of Fig. 4.
+    """
+    gaps = np.asarray(intervals, dtype=float)
+    if np.any(gaps <= 0):
+        raise SimulationError("intervals must be positive")
+    return t_first + np.concatenate(([0.0], np.cumsum(gaps)))

@@ -1,0 +1,192 @@
+"""Waveform container and measurement helpers.
+
+A :class:`Waveform` is a sampled analog signal: strictly increasing times
+in seconds and voltages in volts.  It provides the measurements the rest of
+the system needs: threshold crossings (with direction), slew extraction,
+clipping (Sec. II-B of the paper clips SPICE waveforms to ``[0, VDD]``
+before fitting), resampling, and digitization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import VDD, VTH
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Crossing:
+    """A threshold crossing: time in seconds and direction (+1 rise, -1 fall)."""
+
+    time: float
+    direction: int
+
+
+class Waveform:
+    """A sampled voltage waveform ``v(t)``.
+
+    Parameters
+    ----------
+    t:
+        Sample times in seconds, strictly increasing, at least two samples.
+    v:
+        Voltages in volts, same length as ``t``.
+    """
+
+    __slots__ = ("t", "v")
+
+    def __init__(self, t: np.ndarray, v: np.ndarray) -> None:
+        t = np.asarray(t, dtype=float)
+        v = np.asarray(v, dtype=float)
+        if t.ndim != 1 or v.ndim != 1 or t.shape != v.shape:
+            raise ValueError("t and v must be 1-D arrays of equal length")
+        if t.size < 2:
+            raise ValueError("waveform needs at least two samples")
+        if not np.all(np.diff(t) > 0):
+            raise ValueError("times must be strictly increasing")
+        self.t = t
+        self.v = v
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def t_start(self) -> float:
+        return float(self.t[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self.t[-1])
+
+    @property
+    def duration(self) -> float:
+        return self.t_stop - self.t_start
+
+    def __len__(self) -> int:
+        return self.t.size
+
+    def value_at(self, times) -> np.ndarray:
+        """Linear interpolation; clamps outside the sampled span."""
+        return np.interp(np.asarray(times, dtype=float), self.t, self.v)
+
+    def derivative(self) -> "Waveform":
+        """Centered finite-difference derivative dv/dt (V/s)."""
+        dv = np.gradient(self.v, self.t)
+        return Waveform(self.t, dv)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def clipped(self, lo: float = 0.0, hi: float = VDD) -> "Waveform":
+        """Clip voltages to ``[lo, hi]`` (removes over/undershoot, Sec. II-B)."""
+        if lo >= hi:
+            raise ValueError("lo must be below hi")
+        return Waveform(self.t, np.clip(self.v, lo, hi))
+
+    def resampled(self, t_new: np.ndarray) -> "Waveform":
+        """Linear-interpolated resampling onto a new time grid."""
+        t_new = np.asarray(t_new, dtype=float)
+        return Waveform(t_new, self.value_at(t_new))
+
+    def restricted(self, t0: float, t1: float) -> "Waveform":
+        """Sub-waveform covering ``[t0, t1]`` (endpoints interpolated in)."""
+        if t1 <= t0:
+            raise ValueError("t1 must exceed t0")
+        inside = (self.t > t0) & (self.t < t1)
+        t = np.concatenate(([t0], self.t[inside], [t1]))
+        return Waveform(t, self.value_at(t))
+
+    def shifted(self, dt: float) -> "Waveform":
+        """Time-shift the waveform by ``dt`` seconds."""
+        return Waveform(self.t + dt, self.v.copy())
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def crossings(self, threshold: float = VTH) -> list[Crossing]:
+        """All threshold crossings, linearly interpolated, in time order.
+
+        Samples exactly on the threshold are resolved by the sign of the
+        surrounding segment; flat segments on the threshold produce no
+        crossing.
+        """
+        above = self.v > threshold
+        change = np.nonzero(above[1:] != above[:-1])[0]
+        result = []
+        for i in change:
+            v0, v1 = self.v[i], self.v[i + 1]
+            if v1 == v0:
+                continue
+            frac = (threshold - v0) / (v1 - v0)
+            time = self.t[i] + frac * (self.t[i + 1] - self.t[i])
+            direction = 1 if v1 > v0 else -1
+            result.append(Crossing(float(time), direction))
+        return result
+
+    def crossing_times(self, threshold: float = VTH) -> np.ndarray:
+        """Crossing times only, as a float array."""
+        return np.array([c.time for c in self.crossings(threshold)])
+
+    def slew_at_crossing(self, crossing: Crossing, window: float = 2e-12) -> float:
+        """Signal derivative (V/s) averaged over a small window at a crossing."""
+        t0 = max(crossing.time - window / 2, self.t_start)
+        t1 = min(crossing.time + window / 2, self.t_stop)
+        if t1 <= t0:
+            raise SimulationError("crossing window outside waveform span")
+        v0 = float(self.value_at(t0))
+        v1 = float(self.value_at(t1))
+        return (v1 - v0) / (t1 - t0)
+
+    def edge_time(
+        self,
+        crossing: Crossing,
+        lo_frac: float = 0.1,
+        hi_frac: float = 0.9,
+        vdd: float = VDD,
+    ) -> float:
+        """10-90% (by default) transition time of the edge at ``crossing``.
+
+        Searches outward from the crossing for the first samples beyond the
+        fractional levels.  Returns a positive duration in seconds.
+        """
+        lo_v = lo_frac * vdd
+        hi_v = hi_frac * vdd
+        idx = int(np.searchsorted(self.t, crossing.time))
+        idx = min(max(idx, 1), len(self) - 1)
+        if crossing.direction > 0:
+            start_level, end_level = lo_v, hi_v
+        else:
+            start_level, end_level = hi_v, lo_v
+        t_lo = self._search_level_backward(idx, start_level)
+        t_hi = self._search_level_forward(idx, end_level)
+        return abs(t_hi - t_lo)
+
+    def _search_level_backward(self, idx: int, level: float) -> float:
+        for i in range(idx, 0, -1):
+            v0, v1 = self.v[i - 1], self.v[i]
+            if (v0 - level) * (v1 - level) <= 0 and v0 != v1:
+                frac = (level - v0) / (v1 - v0)
+                return float(self.t[i - 1] + frac * (self.t[i] - self.t[i - 1]))
+        return self.t_start
+
+    def _search_level_forward(self, idx: int, level: float) -> float:
+        for i in range(idx, len(self)):
+            v0, v1 = self.v[i - 1], self.v[i]
+            if (v0 - level) * (v1 - level) <= 0 and v0 != v1:
+                frac = (level - v0) / (v1 - v0)
+                return float(self.t[i - 1] + frac * (self.t[i] - self.t[i - 1]))
+        return self.t_stop
+
+    def rms_error(self, other: "Waveform") -> float:
+        """RMS voltage difference, with ``other`` resampled onto this grid."""
+        return float(np.sqrt(np.mean((self.v - other.value_at(self.t)) ** 2)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Waveform({len(self)} samples, "
+            f"[{self.t_start:.3e}, {self.t_stop:.3e}]s, "
+            f"v in [{self.v.min():.3f}, {self.v.max():.3f}]V)"
+        )

@@ -1,0 +1,38 @@
+"""Training-data generation and model training (Sec. IV-A of the paper).
+
+The pipeline mirrors the paper's characterization exactly, with the staged
+analog engine playing SPICE's role:
+
+1. :mod:`~repro.characterization.chains` builds Fig. 3-style chains:
+   pulse-shaping stages, N identical target gates, termination stages
+   (plus fanout-2 variants).
+2. :mod:`~repro.characterization.sweep` stimulates them with four
+   Heaviside transitions governed by TA/TB/TC swept over a grid
+   (Fig. 4), all combinations integrated as one vectorized batch.
+3. :mod:`~repro.characterization.extract` fits every stage waveform to
+   sigmoids and pairs input/output transitions into TOM training records.
+4. :mod:`~repro.characterization.train_gate` trains the four ANNs per
+   channel and builds the valid region.
+5. :mod:`~repro.characterization.artifacts` caches datasets and trained
+   bundles under ``artifacts/`` so benches and tests reuse them.
+"""
+
+from repro.characterization.chains import ChainSpec, build_chain_netlist
+from repro.characterization.sweep import SweepConfig, run_chain_sweep
+from repro.characterization.extract import extract_transfer_records
+from repro.characterization.dataset import TransferDataset, TransferRecord
+from repro.characterization.train_gate import train_gate_model
+from repro.characterization.artifacts import default_bundle, build_bundle
+
+__all__ = [
+    "ChainSpec",
+    "build_chain_netlist",
+    "SweepConfig",
+    "run_chain_sweep",
+    "extract_transfer_records",
+    "TransferDataset",
+    "TransferRecord",
+    "train_gate_model",
+    "default_bundle",
+    "build_bundle",
+]

@@ -1,0 +1,231 @@
+"""Artifact cache: characterized datasets and trained model bundles.
+
+The characterize+train pipeline is deterministic but takes minutes at
+paper scale, so its outputs are cached as JSON under ``artifacts/`` at the
+repository root (override with the ``REPRO_ARTIFACTS`` environment
+variable).  Scales:
+
+* ``tiny`` — smallest grid/chains; seconds per chain, used by tests.
+* ``fast`` — coarse TA/TB/TC grid; a few minutes to build.
+* ``standard`` — the default for benches.
+* ``paper`` — the paper's 1 ps granularity (~15^3 combos per chain);
+  included for completeness, expect a long build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.characterization.chains import DEFAULT_CHAIN_SPECS, ChainSpec
+from repro.characterization.dataset import TransferDataset
+from repro.characterization.extract import extract_transfer_records
+from repro.characterization.sweep import SweepConfig, run_chain_sweep
+from repro.characterization.train_gate import train_gate_model
+from repro.core.models import GateModelBundle
+from repro.errors import DatasetError
+from repro.nn.training import TrainingConfig
+
+
+def artifacts_dir() -> Path:
+    """Artifact directory: ``$REPRO_ARTIFACTS`` or ``<repo>/artifacts``."""
+    env = os.environ.get("REPRO_ARTIFACTS")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "artifacts"
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Grid/chain sizing of one characterization scale."""
+
+    name: str
+    sweep_step: float
+    n_periods: int
+    nn_epochs: int
+
+    def sweep_config(self) -> SweepConfig:
+        if self.name == "tiny":
+            return SweepConfig(
+                step=self.sweep_step,
+                long_gaps=(60e-12,),
+                include_falling_start=False,
+            )
+        return SweepConfig(step=self.sweep_step)
+
+    def chain_specs(self) -> tuple[ChainSpec, ...]:
+        return tuple(
+            ChainSpec(
+                pattern=spec.pattern,
+                extra_fanout=spec.extra_fanout,
+                n_periods=max(1, self.n_periods // len(spec.pattern)),
+            )
+            for spec in DEFAULT_CHAIN_SPECS
+        )
+
+    def training_config(self, seed: int = 0) -> TrainingConfig:
+        return TrainingConfig(epochs=self.nn_epochs, seed=seed)
+
+
+PRESETS = {
+    "tiny": ScalePreset(name="tiny", sweep_step=7.5e-12, n_periods=3,
+                        nn_epochs=120),
+    "fast": ScalePreset(name="fast", sweep_step=5e-12, n_periods=5,
+                        nn_epochs=250),
+    "standard": ScalePreset(name="standard", sweep_step=3e-12, n_periods=6,
+                            nn_epochs=400),
+    "paper": ScalePreset(name="paper", sweep_step=1e-12, n_periods=6,
+                         nn_epochs=400),
+}
+
+#: Channels the pure-NOR prototype needs: single-pin NOR on either pin and
+#: the tied (inverter-class) NOR, each in fanout-1 and fanout->=2 flavours.
+CHANNELS: tuple[tuple[str, int, str], ...] = (
+    ("NOR2", 0, "fo1"),
+    ("NOR2", 0, "fo2"),
+    ("NOR2", 1, "fo1"),
+    ("NOR2", 1, "fo2"),
+    ("NOR2T", 0, "fo1"),
+    ("NOR2T", 0, "fo2"),
+)
+
+
+def _preset(scale: str) -> ScalePreset:
+    try:
+        return PRESETS[scale]
+    except KeyError:
+        raise DatasetError(
+            f"unknown scale {scale!r}; options: {sorted(PRESETS)}"
+        ) from None
+
+
+def characterize_all(
+    scale: str = "fast", verbose: bool = False
+) -> tuple[dict[tuple[str, int, str], TransferDataset], dict]:
+    """Sweep every chain of the preset and merge records per channel."""
+    preset = _preset(scale)
+    merged: dict[tuple[str, int, str], TransferDataset] = {}
+    stats: dict[str, dict] = {}
+    for spec in preset.chain_specs():
+        t0 = time.perf_counter()
+        sweep = run_chain_sweep(spec, preset.sweep_config())
+        t_sweep = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        datasets, report = extract_transfer_records(sweep)
+        t_extract = time.perf_counter() - t0
+        for channel, dataset in datasets.items():
+            if channel in merged:
+                merged[channel].extend(dataset.records)
+            else:
+                merged[channel] = dataset
+        stats[spec.tag] = {
+            "sweep_runs": sweep.n_runs,
+            "sweep_seconds": t_sweep,
+            "extract_seconds": t_extract,
+            "records": report.n_records,
+            "bad_fits": report.n_bad_fits,
+            "empty_stages": report.n_empty_stages,
+            "unpaired": report.n_unpaired_outputs,
+        }
+        if verbose:
+            print(
+                f"[chain {spec.tag}] runs={sweep.n_runs} "
+                f"records={report.n_records} ({t_sweep:.1f}s sweep)"
+            )
+    return merged, stats
+
+
+def _datasets_path(scale: str) -> Path:
+    return artifacts_dir() / f"datasets_{scale}.json"
+
+
+def save_datasets(
+    datasets: dict[tuple[str, int, str], TransferDataset], scale: str
+) -> None:
+    path = _datasets_path(scale)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "_".join(str(p) for p in key): ds.to_dict()
+        for key, ds in datasets.items()
+    }
+    path.write_text(json.dumps(payload))
+
+
+def load_datasets(scale: str) -> dict[tuple[str, int, str], TransferDataset]:
+    path = _datasets_path(scale)
+    if not path.exists():
+        raise DatasetError(f"no cached datasets at {path}")
+    payload = json.loads(path.read_text())
+    result = {}
+    for key_str, data in payload.items():
+        cell, pin, fo = key_str.rsplit("_", 2)
+        result[(cell, int(pin), fo)] = TransferDataset.from_dict(data)
+    return result
+
+
+def default_datasets(
+    scale: str = "fast", force: bool = False, verbose: bool = False
+) -> dict[tuple[str, int, str], TransferDataset]:
+    """Cached characterization datasets for ``scale`` (built if missing)."""
+    if not force and _datasets_path(scale).exists():
+        return load_datasets(scale)
+    datasets, _stats = characterize_all(scale=scale, verbose=verbose)
+    save_datasets(datasets, scale)
+    return datasets
+
+
+def build_bundle(
+    scale: str = "fast", seed: int = 0, verbose: bool = False
+) -> tuple[GateModelBundle, dict]:
+    """Characterize and train every channel from scratch."""
+    preset = _preset(scale)
+    datasets, stats = characterize_all(scale=scale, verbose=verbose)
+    save_datasets(datasets, scale)
+    missing = [c for c in CHANNELS if c not in datasets]
+    if missing:
+        raise DatasetError(f"characterization produced no data for {missing}")
+
+    bundle = GateModelBundle(
+        metadata={"scale": scale, "seed": seed, "built_at": time.time()}
+    )
+    for channel in CHANNELS:
+        dataset = datasets[channel]
+        t0 = time.perf_counter()
+        model, report = train_gate_model(
+            dataset, config=preset.training_config(seed), seed=seed
+        )
+        bundle.add(model)
+        key = "_".join(str(part) for part in channel)
+        stats[key] = {
+            "records": len(dataset),
+            "train_seconds": time.perf_counter() - t0,
+            "delay_mae_rising_ps": report.delay_mae_rising_ps,
+            "delay_mae_falling_ps": report.delay_mae_falling_ps,
+            "slope_mae_rising": report.slope_mae_rising,
+            "slope_mae_falling": report.slope_mae_falling,
+        }
+        if verbose:
+            print(
+                f"[train {key}] n={len(dataset)} delay_mae="
+                f"{report.delay_mae_rising_ps:.2f}/"
+                f"{report.delay_mae_falling_ps:.2f} ps"
+            )
+    bundle.metadata["build_stats"] = stats
+    return bundle, stats
+
+
+def default_bundle(
+    scale: str = "standard", force: bool = False, verbose: bool = False
+) -> GateModelBundle:
+    """Load the cached bundle for ``scale``, building it if missing."""
+    path = artifacts_dir() / f"bundle_{scale}.json"
+    if path.exists() and not force:
+        return GateModelBundle.load(path)
+    bundle, stats = build_bundle(scale=scale, verbose=verbose)
+    bundle.save(path)
+    stats_path = artifacts_dir() / f"bundle_{scale}_stats.json"
+    stats_path.write_text(json.dumps(stats, indent=2))
+    return bundle

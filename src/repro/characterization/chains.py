@@ -1,0 +1,187 @@
+"""Characterization chain circuits (Fig. 3 of the paper), pure-NOR edition.
+
+The benchmark circuits consist of NOR2 gates only (inversion = tied-input
+NOR), so the characterization chains are built from three stage kinds:
+
+* ``P0`` — ``NOR(x, GND)``: signal on pin 0, pin 1 grounded,
+* ``P1`` — ``NOR(GND, x)``: signal on pin 1,
+* ``T``  — ``NOR(x, x)``: tied inputs (the inverter-class gate).
+
+A chain is: pulse-shaping stages, then target stages following a repeating
+*pattern* of stage kinds, then termination stages.  Heterogeneous patterns
+(e.g. ``("T", "P0", "P0")``) make targets see input slopes from the other
+stage families — the circuits mix tied and single-pin NOR gates, so the
+training clouds must too.  Optional dummy consumers put targets into the
+fanout-2 class (the paper trains dedicated fanout-2 ANNs).
+
+Each target stage is tagged with the *channel* its records belong to:
+``(cell, pin, fanout_class)`` with cell ``"NOR2"`` (single-pin) or
+``"NOR2T"`` (tied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+#: Name of the stimulus primary input.
+STIM = "stim"
+#: Name of the constant-low primary input for inactive NOR pins.
+LOW = "lo"
+
+#: Stage kinds and the pins their signal input occupies.
+STAGE_KINDS = ("P0", "P1", "T")
+
+#: Pins of gate input capacitance one stage presents to its driver.
+_PINS_CONSUMED = {"P0": 1, "P1": 1, "T": 2}
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """Configuration of one characterization chain.
+
+    Attributes
+    ----------
+    pattern:
+        Repeating sequence of stage kinds for the target section.
+    extra_fanout:
+        Dummy single-pin consumers attached to every target output.
+    n_periods:
+        Number of pattern repetitions in the target section.
+    n_shaping / n_termination:
+        Stage counts of the shaping (same kind as the last pattern
+        element) and termination sections.
+    """
+
+    pattern: tuple[str, ...] = ("P0",)
+    extra_fanout: int = 0
+    n_periods: int = 5
+    n_shaping: int = 3
+    n_termination: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise NetlistError("pattern must not be empty")
+        for kind in self.pattern:
+            if kind not in STAGE_KINDS:
+                raise NetlistError(f"unknown stage kind {kind!r}")
+        if self.extra_fanout < 0:
+            raise NetlistError("extra_fanout must be >= 0")
+        if self.n_periods < 1 or self.n_shaping < 1:
+            raise NetlistError("need at least one period and shaping stage")
+
+    @property
+    def tag(self) -> str:
+        pat = "-".join(self.pattern).lower()
+        return f"{pat}_x{self.extra_fanout}"
+
+    @property
+    def uses_low(self) -> bool:
+        return any(k in ("P0", "P1") for k in self.pattern) or self.extra_fanout
+
+
+@dataclass(frozen=True)
+class StageProbe:
+    """One target stage: nets to record plus its channel identity."""
+
+    in_net: str
+    out_net: str
+    kind: str  # P0 / P1 / T
+    fanout_pins: int
+
+    @property
+    def cell(self) -> str:
+        return "NOR2T" if self.kind == "T" else "NOR2"
+
+    @property
+    def pin(self) -> int:
+        return 1 if self.kind == "P1" else 0
+
+    @property
+    def fanout_class(self) -> str:
+        return "fo1" if self.fanout_pins <= 1 else "fo2"
+
+    @property
+    def channel(self) -> tuple[str, int, str]:
+        return (self.cell, self.pin, self.fanout_class)
+
+
+@dataclass
+class ChainProbes:
+    """All target stages of one chain."""
+
+    stages: list[StageProbe] = field(default_factory=list)
+
+    @property
+    def record_nets(self) -> list[str]:
+        nets: list[str] = []
+        for stage in self.stages:
+            for net in (stage.in_net, stage.out_net):
+                if net not in nets:
+                    nets.append(net)
+        return nets
+
+
+def _add_stage(netlist: Netlist, kind: str, name: str, inp: str) -> str:
+    if kind == "P0":
+        netlist.add_gate(name, GateType.NOR, [inp, LOW])
+    elif kind == "P1":
+        netlist.add_gate(name, GateType.NOR, [LOW, inp])
+    elif kind == "T":
+        netlist.add_gate(name, GateType.NOR, [inp, inp])
+    else:  # pragma: no cover - guarded by ChainSpec
+        raise NetlistError(f"unknown stage kind {kind!r}")
+    return name
+
+
+def build_chain_netlist(spec: ChainSpec) -> tuple[Netlist, ChainProbes]:
+    """Construct the chain netlist and its per-stage probe map."""
+    netlist = Netlist(f"chain_{spec.tag}")
+    netlist.add_input(STIM)
+    netlist.add_input(LOW)
+
+    kinds = list(spec.pattern) * spec.n_periods
+    shaping_kind = spec.pattern[-1]
+
+    prev = STIM
+    for i in range(spec.n_shaping):
+        prev = _add_stage(netlist, shaping_kind, f"shape{i}", prev)
+
+    probes = ChainProbes()
+    for i, kind in enumerate(kinds):
+        out = _add_stage(netlist, kind, f"target{i}", prev)
+        next_kind = kinds[i + 1] if i + 1 < len(kinds) else spec.pattern[0]
+        fanout_pins = _PINS_CONSUMED[next_kind] + spec.extra_fanout
+        for k in range(spec.extra_fanout):
+            _add_stage(netlist, "P0", f"dummy{i}_{k}", out)
+        probes.stages.append(
+            StageProbe(in_net=prev, out_net=out, kind=kind,
+                       fanout_pins=fanout_pins)
+        )
+        prev = out
+
+    for i in range(spec.n_termination):
+        prev = _add_stage(netlist, spec.pattern[0], f"term{i}", prev)
+    netlist.add_output(prev)
+    if not spec.uses_low:
+        # LOW was declared but never consumed: attach a sink gate so the
+        # netlist stays clean (it is fixed at GND either way).
+        netlist.add_gate("losink", GateType.NOR, [LOW, LOW])
+    netlist.validate()
+    return netlist, probes
+
+
+#: The default chain set: homogeneous chains per channel plus alternating
+#: chains that cross slope families and cover tied-gate fanout-1.
+DEFAULT_CHAIN_SPECS: tuple[ChainSpec, ...] = (
+    ChainSpec(pattern=("P0",), extra_fanout=0),
+    ChainSpec(pattern=("P1",), extra_fanout=0),
+    ChainSpec(pattern=("P0",), extra_fanout=1),
+    ChainSpec(pattern=("P1",), extra_fanout=1),
+    ChainSpec(pattern=("T",), extra_fanout=0),
+    ChainSpec(pattern=("T", "P0", "P0"), extra_fanout=0),
+    ChainSpec(pattern=("T", "P1", "P1"), extra_fanout=0),
+)

@@ -1,0 +1,152 @@
+"""TOM training datasets.
+
+One :class:`TransferRecord` is a single Eq. 3 sample: features
+``(T, a_out_prev, a_in)`` and targets ``(a_out, delta_b)``, all in scaled
+time units.  A :class:`TransferDataset` collects records for one channel
+(cell, pin, fanout class), offers the polarity split the paper trains on
+(rising vs falling input transitions), and round-trips through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One training sample of the TOM transfer function."""
+
+    T: float
+    a_prev: float
+    a_in: float
+    a_out: float
+    delta_b: float
+    stage: int = -1
+    run: int = -1
+
+    def features(self) -> tuple[float, float, float]:
+        return (self.T, self.a_prev, self.a_in)
+
+    def targets(self) -> tuple[float, float]:
+        return (self.a_out, self.delta_b)
+
+
+class TransferDataset:
+    """A bag of transfer records for one gate channel."""
+
+    def __init__(
+        self,
+        cell: str,
+        pin: int,
+        fanout_class: str,
+        records: list[TransferRecord] | None = None,
+    ) -> None:
+        self.cell = cell
+        self.pin = pin
+        self.fanout_class = fanout_class
+        self.records: list[TransferRecord] = list(records or [])
+
+    # ------------------------------------------------------------------
+    def add(self, record: TransferRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    def features(self) -> np.ndarray:
+        """(n, 3) feature matrix ``(T, a_prev, a_in)``."""
+        return np.array([r.features() for r in self.records], dtype=float).reshape(
+            -1, 3
+        )
+
+    def targets(self) -> np.ndarray:
+        """(n, 2) target matrix ``(a_out, delta_b)``."""
+        return np.array([r.targets() for r in self.records], dtype=float).reshape(
+            -1, 2
+        )
+
+    def split_polarity(self) -> tuple["TransferDataset", "TransferDataset"]:
+        """(rising-input records, falling-input records)."""
+        rising = [r for r in self.records if r.a_in > 0]
+        falling = [r for r in self.records if r.a_in < 0]
+        make = lambda rs: TransferDataset(  # noqa: E731 - local helper
+            self.cell, self.pin, self.fanout_class, rs
+        )
+        return make(rising), make(falling)
+
+    def drop_outliers(self, quantile: float = 0.995) -> "TransferDataset":
+        """Drop records with extreme delay targets (fit glitches)."""
+        if not self.records:
+            return self
+        deltas = np.array([abs(r.delta_b) for r in self.records])
+        cutoff = np.quantile(deltas, quantile)
+        kept = [r for r in self.records if abs(r.delta_b) <= cutoff]
+        return TransferDataset(self.cell, self.pin, self.fanout_class, kept)
+
+    def summary(self) -> dict:
+        """Human-readable stats used in logs and EXPERIMENTS.md."""
+        if not self.records:
+            return {"n": 0}
+        feats = self.features()
+        targs = self.targets()
+        return {
+            "n": len(self.records),
+            "n_rising": int(np.sum(feats[:, 2] > 0)),
+            "n_falling": int(np.sum(feats[:, 2] < 0)),
+            "T_range": [float(feats[:, 0].min()), float(feats[:, 0].max())],
+            "a_in_range": [float(feats[:, 2].min()), float(feats[:, 2].max())],
+            "delay_ps_range": [
+                float(targs[:, 1].min() * 100),
+                float(targs[:, 1].max() * 100),
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell,
+            "pin": self.pin,
+            "fanout_class": self.fanout_class,
+            "records": [
+                [r.T, r.a_prev, r.a_in, r.a_out, r.delta_b, r.stage, r.run]
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransferDataset":
+        records = [
+            TransferRecord(
+                T=row[0],
+                a_prev=row[1],
+                a_in=row[2],
+                a_out=row[3],
+                delta_b=row[4],
+                stage=int(row[5]),
+                run=int(row[6]),
+            )
+            for row in data["records"]
+        ]
+        return cls(data["cell"], int(data["pin"]), data["fanout_class"], records)
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TransferDataset":
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"no dataset at {path}")
+        return cls.from_dict(json.loads(path.read_text()))

@@ -1,0 +1,159 @@
+"""Waveform fitting and transition pairing: sweep results -> TOM records.
+
+For every target stage of every sweep run, the stage's input and output
+waveforms are fitted to sigmoidal traces (Sec. II) and the transitions are
+paired causally: each output transition is matched with the earliest
+unconsumed input transition of opposite polarity that precedes it.  The
+pair plus the previous output transition yields one Eq. 3 record.
+
+The first output transition of a run has no real predecessor; its history
+is the dummy of Algorithm 1 — history clamped to ``T_CAP`` and previous
+slope set to the nominal dummy value with the polarity of the initial
+conditions — so the networks learn the steady-state case under exactly
+the convention used at inference time.
+
+Runs whose fits are poor or whose pairing is inconsistent are dropped and
+counted in the extraction report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.characterization.dataset import TransferDataset, TransferRecord
+from repro.characterization.sweep import SweepResult
+from repro.constants import NOMINAL_SLOPE
+from repro.core.fitting import fit_waveform
+from repro.core.tom import T_CAP
+from repro.core.trace import SigmoidalTrace
+
+#: Maximum RMS fit error (volts) before a waveform is rejected.  Loose
+#: enough to keep marginal (barely-crossing) pulses — they carry the
+#: degradation information the transfer functions must learn.
+MAX_FIT_RMS = 0.07
+
+#: Maximum causal delay (scaled units, = 60 ps) when pairing transitions.
+MAX_PAIR_DELAY = 0.6
+
+
+@dataclass
+class ExtractionReport:
+    """Bookkeeping of what the extraction kept and dropped."""
+
+    n_records: int = 0
+    n_stages_processed: int = 0
+    n_bad_fits: int = 0
+    n_unpaired_outputs: int = 0
+    n_empty_stages: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def pair_transitions(
+    input_trace: SigmoidalTrace,
+    output_trace: SigmoidalTrace,
+    max_delay: float = MAX_PAIR_DELAY,
+) -> list[tuple[int, int]]:
+    """Causal pairing: output transition k -> index of its input cause.
+
+    Returns (input_index, output_index) pairs.  An output transition of
+    polarity p is caused by an input transition of polarity -p (the chain
+    stages invert) that happened before it, within ``max_delay``.
+    """
+    pairs: list[tuple[int, int]] = []
+    used = np.zeros(input_trace.n_transitions, dtype=bool)
+    for k, (a_out, b_out) in enumerate(output_trace.params):
+        best = None
+        for j, (a_in, b_in) in enumerate(input_trace.params):
+            if used[j]:
+                continue
+            if np.sign(a_in) == np.sign(a_out):
+                continue
+            if b_in > b_out:
+                break
+            if b_out - b_in > max_delay:
+                continue
+            best = j  # keep the latest admissible cause
+        if best is None:
+            return []  # inconsistent stage: caller drops it
+        used[best] = True
+        pairs.append((best, k))
+    return pairs
+
+
+def extract_transfer_records(
+    sweep: SweepResult,
+    max_fit_rms: float = MAX_FIT_RMS,
+    dummy_slope: float = NOMINAL_SLOPE,
+) -> tuple[dict[tuple[str, int, str], TransferDataset], ExtractionReport]:
+    """Fit all stage waveforms of a sweep and build per-channel datasets.
+
+    Returns a mapping ``(cell, pin, fanout_class) -> TransferDataset``; a
+    heterogeneous chain contributes records to several channels.
+    """
+    datasets: dict[tuple[str, int, str], TransferDataset] = {}
+    report = ExtractionReport()
+
+    run_offset = 0
+    for batch in sweep.batches:
+        result = batch.result
+        for run in range(result.n_runs):
+            # Fit each probe net once per run (stage inputs are the
+            # previous stage's outputs).
+            fitted: dict[str, SigmoidalTrace | None] = {}
+            for net in sweep.probes.record_nets:
+                fit = fit_waveform(result.waveform(net, run))
+                if fit.rms_error > max_fit_rms:
+                    fitted[net] = None
+                    report.n_bad_fits += 1
+                else:
+                    fitted[net] = fit.trace
+
+            for stage_idx, stage in enumerate(sweep.probes.stages):
+                report.n_stages_processed += 1
+                in_trace = fitted.get(stage.in_net)
+                out_trace = fitted.get(stage.out_net)
+                if in_trace is None or out_trace is None:
+                    continue
+                if out_trace.n_transitions == 0:
+                    report.n_empty_stages += 1
+                    continue
+                pairs = pair_transitions(in_trace, out_trace)
+                if not pairs:
+                    report.n_unpaired_outputs += out_trace.n_transitions
+                    continue
+
+                channel = stage.channel
+                if channel not in datasets:
+                    datasets[channel] = TransferDataset(
+                        stage.cell, stage.pin, stage.fanout_class
+                    )
+                dataset = datasets[channel]
+
+                initial_out = out_trace.initial_level
+                s_sign = 1.0 if initial_out == 1 else -1.0
+                prev_a = s_sign * abs(dummy_slope)
+                prev_b = None  # steady state marker
+                for j, k in pairs:
+                    a_in, b_in = in_trace.params[j]
+                    a_out, b_out = out_trace.params[k]
+                    if prev_b is None:
+                        T = T_CAP
+                    else:
+                        T = min(float(b_in - prev_b), T_CAP)
+                    dataset.add(
+                        TransferRecord(
+                            T=float(T),
+                            a_prev=float(prev_a),
+                            a_in=float(a_in),
+                            a_out=float(a_out),
+                            delta_b=float(b_out - b_in),
+                            stage=stage_idx,
+                            run=run_offset + run,
+                        )
+                    )
+                    report.n_records += 1
+                    prev_a, prev_b = float(a_out), float(b_out)
+        run_offset += result.n_runs
+    return datasets, report

@@ -1,0 +1,174 @@
+"""Characterization stimulus sweeps (Fig. 4 of the paper).
+
+The chain input is stimulated by four Heaviside transitions governed by
+the three intervals TA, TB, TC.  The paper sweeps each interval over
+[5 ps, 20 ps] at 1 ps granularity (~15^3 runs); the granularity here is a
+parameter so CI-scale runs stay cheap, and the full grid is one vectorized
+batch of the staged engine.
+
+Beyond the paper's grid, a small set of *long-gap* combinations is added
+so the ANNs also see history values between the short-pulse regime and the
+steady-state cap (the paper relies on valid-region projection for that
+range; including a few samples makes the projection less lossy and is
+documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
+from repro.analog.staged import StagedResult, StagedSimulator
+from repro.analog.stimuli import SteppedSource, pulse_train_times
+from repro.characterization.chains import (
+    LOW,
+    STIM,
+    ChainProbes,
+    ChainSpec,
+    build_chain_netlist,
+)
+from repro.errors import SimulationError
+
+#: Per-stage propagation allowance when sizing the simulation span.
+_STAGE_DELAY_ALLOWANCE = 12e-12
+
+
+@dataclass
+class SweepConfig:
+    """Grid definition for one chain sweep."""
+
+    t_min: float = 5e-12
+    t_max: float = 20e-12
+    step: float = 3e-12
+    t_first: float = 30e-12
+    long_gaps: tuple[float, ...] = (60e-12, 200e-12)
+    degradation_set: bool = True
+    degradation_step: float = 1e-12
+    include_falling_start: bool = True
+    dt: float = 0.1e-12
+
+    def grid_values(self) -> np.ndarray:
+        if self.t_min <= 0 or self.t_max < self.t_min or self.step <= 0:
+            raise SimulationError("invalid sweep grid bounds")
+        n = int(np.floor((self.t_max - self.t_min) / self.step + 1e-9)) + 1
+        return self.t_min + self.step * np.arange(n)
+
+    def combinations(self) -> list[tuple[float, float, float]]:
+        """The paper's full (TA, TB, TC) grid."""
+        values = self.grid_values()
+        return list(itertools.product(values, values, values))
+
+    def long_gap_combinations(self) -> list[tuple[float, float, float]]:
+        """Sparse long-history combinations (see module docstring)."""
+        if not self.long_gaps:
+            return []
+        combos = []
+        short = [self.t_min, self.t_max]
+        for gap in self.long_gaps:
+            for width in short:
+                combos.append((gap, width, gap))
+                combos.append((width, gap, width))
+        return combos
+
+    def degradation_combinations(self) -> list[tuple[float, float, float]]:
+        """Fine sweep of near-marginal pulse widths.
+
+        Pulse degradation is a cliff: below a critical width an output
+        pulse vanishes within a stage or two.  The paper's 1 ps master
+        grid samples this band automatically; coarser grids would miss it,
+        so this dedicated set sweeps one interval at ``degradation_step``
+        granularity across [t_min, ~t_min+8ps] while the others stay wide.
+        """
+        if not self.degradation_set:
+            return []
+        start = max(self.t_min - 2e-12, 2e-12)
+        widths = start + self.degradation_step * np.arange(
+            int(np.ceil((self.t_min + 8e-12 - start) / self.degradation_step)) + 1
+        )
+        rest = self.t_max
+        combos = []
+        for width in widths:
+            combos.append((float(width), rest, rest))
+            combos.append((rest, float(width), rest))
+        return combos
+
+
+@dataclass
+class SweepBatch:
+    """One staged-engine batch: stimulus combos sharing a time grid."""
+
+    combos: list[tuple[float, float, float]]
+    result: StagedResult
+    t_stop: float
+
+
+@dataclass
+class SweepResult:
+    """All batches of one chain sweep plus the probe map."""
+
+    spec: ChainSpec
+    probes: ChainProbes
+    batches: list[SweepBatch] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        return sum(len(b.combos) for b in self.batches)
+
+
+def _chain_span(spec: ChainSpec, combos, t_first: float) -> float:
+    longest = max(sum(c) for c in combos)
+    stages = (
+        spec.n_shaping
+        + len(spec.pattern) * spec.n_periods
+        + spec.n_termination
+    )
+    return t_first + longest + stages * _STAGE_DELAY_ALLOWANCE + 40e-12
+
+
+def run_chain_sweep(
+    spec: ChainSpec,
+    config: SweepConfig | None = None,
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> SweepResult:
+    """Simulate the full stimulus grid over one chain.
+
+    Returns recorded waveform batches for the target-stage nets; pass the
+    result to :func:`repro.characterization.extract.extract_transfer_records`.
+    """
+    if config is None:
+        config = SweepConfig()
+    netlist, probes = build_chain_netlist(spec)
+    sim = StagedSimulator(netlist, library=library, dt=config.dt)
+    sweep = SweepResult(spec=spec, probes=probes)
+
+    batches = [config.combinations() + config.degradation_combinations()]
+    long_combos = config.long_gap_combinations()
+    if long_combos:
+        batches.append(long_combos)
+
+    for combos in batches:
+        if not combos:
+            continue
+        runs = [
+            pulse_train_times(config.t_first, combo) for combo in combos
+        ]
+        if config.include_falling_start:
+            # Complementary trains double polarity coverage per stage.
+            runs = runs + runs
+            levels = [0] * len(combos) + [1] * len(combos)
+            combos_all = combos + combos
+        else:
+            levels = [0] * len(combos)
+            combos_all = list(combos)
+        stim = SteppedSource(runs, initial_levels=levels)
+        sources = {STIM: stim, LOW: SteppedSource.constant(0, stim.n_runs)}
+        t_stop = _chain_span(spec, combos, config.t_first)
+        result = sim.simulate(sources, t_stop=t_stop,
+                              record_nets=probes.record_nets)
+        sweep.batches.append(
+            SweepBatch(combos=list(combos_all), result=result, t_stop=t_stop)
+        )
+    return sweep

@@ -1,0 +1,152 @@
+"""Training the TOM transfer-function ANNs (Sec. IV).
+
+Each channel (cell, pin, fanout class) gets four networks: rising and
+falling input polarity, each with a slope net and a delay net, all using
+the paper's 3-10-10-5-1 ReLU architecture.  The valid region of Sec. IV-B
+is built from the same polarity-split features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.characterization.dataset import TransferDataset
+from repro.core.ann_transfer import ANNTransferFunction, GateModel
+from repro.core.valid_region import ConvexHullRegion, KNNRegion
+from repro.errors import DatasetError
+from repro.nn.losses import mae_loss
+from repro.nn.mlp import paper_architecture
+from repro.nn.scaling import StandardScaler
+from repro.nn.training import TrainingConfig, train_mlp
+
+
+@dataclass
+class ChannelTrainingReport:
+    """Validation-quality metrics of one trained channel."""
+
+    cell: str
+    pin: int
+    fanout_class: str
+    n_rising: int
+    n_falling: int
+    slope_mae_rising: float
+    delay_mae_rising_ps: float
+    slope_mae_falling: float
+    delay_mae_falling_ps: float
+    histories: dict = field(default_factory=dict)
+
+
+def train_transfer_function(
+    features: np.ndarray,
+    slopes: np.ndarray,
+    delays: np.ndarray,
+    region_kind: str = "knn",
+    config: TrainingConfig | None = None,
+    seed: int = 0,
+) -> tuple[ANNTransferFunction, dict]:
+    """Train one polarity's slope+delay networks on raw (unscaled) data."""
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    slopes = np.asarray(slopes, dtype=float).reshape(-1, 1)
+    delays = np.asarray(delays, dtype=float).reshape(-1, 1)
+    if features.shape[0] < 10:
+        raise DatasetError(
+            f"too few samples to train a transfer function ({features.shape[0]})"
+        )
+    if config is None:
+        config = TrainingConfig(seed=seed)
+
+    x_scaler = StandardScaler().fit(features)
+    y_slope_scaler = StandardScaler().fit(slopes)
+    y_delay_scaler = StandardScaler().fit(delays)
+    x = x_scaler.transform(features)
+
+    slope_net = paper_architecture(rng=np.random.default_rng(seed))
+    slope_history = train_mlp(
+        slope_net, x, y_slope_scaler.transform(slopes), config
+    )
+    delay_net = paper_architecture(rng=np.random.default_rng(seed + 1))
+    delay_history = train_mlp(
+        delay_net, x, y_delay_scaler.transform(delays), config
+    )
+
+    if region_kind == "knn":
+        region = KNNRegion(features)
+    elif region_kind == "convex":
+        region = ConvexHullRegion(features)
+    elif region_kind == "none":
+        region = None
+    else:
+        raise DatasetError(f"unknown region kind {region_kind!r}")
+
+    tf = ANNTransferFunction(
+        slope_net=slope_net,
+        delay_net=delay_net,
+        x_scaler=x_scaler,
+        y_slope_scaler=y_slope_scaler,
+        y_delay_scaler=y_delay_scaler,
+        region=region,
+    )
+    # Native-unit training-set MAE for reporting.
+    pred_slope, pred_delay = tf.predict_batch(features)
+    metrics = {
+        "slope_mae": mae_loss(pred_slope.reshape(-1, 1), slopes),
+        "delay_mae": mae_loss(pred_delay.reshape(-1, 1), delays),
+        "slope_epochs": slope_history.epochs_run,
+        "delay_epochs": delay_history.epochs_run,
+    }
+    return tf, metrics
+
+
+def train_gate_model(
+    dataset: TransferDataset,
+    region_kind: str = "knn",
+    config: TrainingConfig | None = None,
+    seed: int = 0,
+) -> tuple[GateModel, ChannelTrainingReport]:
+    """Train the four ANNs of one channel from its dataset."""
+    clean = dataset.drop_outliers()
+    rising, falling = clean.split_polarity()
+    if len(rising) < 10 or len(falling) < 10:
+        raise DatasetError(
+            f"channel {dataset.cell}/p{dataset.pin}/{dataset.fanout_class}: "
+            f"not enough samples (rising={len(rising)}, falling={len(falling)})"
+        )
+
+    tf_rise, rise_metrics = train_transfer_function(
+        rising.features(),
+        rising.targets()[:, 0],
+        rising.targets()[:, 1],
+        region_kind=region_kind,
+        config=config,
+        seed=seed,
+    )
+    tf_fall, fall_metrics = train_transfer_function(
+        falling.features(),
+        falling.targets()[:, 0],
+        falling.targets()[:, 1],
+        region_kind=region_kind,
+        config=config,
+        seed=seed + 100,
+    )
+    model = GateModel(
+        cell=dataset.cell,
+        pin=dataset.pin,
+        fanout_class=dataset.fanout_class,
+        tf_rise=tf_rise,
+        tf_fall=tf_fall,
+    )
+    report = ChannelTrainingReport(
+        cell=dataset.cell,
+        pin=dataset.pin,
+        fanout_class=dataset.fanout_class,
+        n_rising=len(rising),
+        n_falling=len(falling),
+        slope_mae_rising=rise_metrics["slope_mae"],
+        delay_mae_rising_ps=rise_metrics["delay_mae"] * 100.0,
+        slope_mae_falling=fall_metrics["slope_mae"],
+        delay_mae_falling_ps=fall_metrics["delay_mae"] * 100.0,
+        histories={"rising": rise_metrics, "falling": fall_metrics},
+    )
+    return model, report

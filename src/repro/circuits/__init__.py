@@ -1,0 +1,27 @@
+"""Gate-level netlists, ISCAS-85 benchmarks and NOR-only technology mapping.
+
+The paper evaluates on ISCAS-85 c17/c499/c1355 with every gate replaced by
+NOR-equivalent logic (Sec. V-B).  This package provides the netlist data
+model, a ``.bench`` parser for genuine ISCAS files, the c17 netlist
+verbatim, generators for c499/c1355-class circuits, and the NOR-only
+rewriter with logic-equivalence checking.
+"""
+
+from repro.circuits.gates import GateType, eval_gate
+from repro.circuits.netlist import Gate, Netlist
+from repro.circuits.bench import parse_bench, format_bench
+from repro.circuits.nor_map import nor_map
+from repro.circuits.iscas85 import c17, c499_like, c1355_like
+
+__all__ = [
+    "GateType",
+    "eval_gate",
+    "Gate",
+    "Netlist",
+    "parse_bench",
+    "format_bench",
+    "nor_map",
+    "c17",
+    "c499_like",
+    "c1355_like",
+]

@@ -1,0 +1,95 @@
+"""Reader/writer for the ISCAS-85 ``.bench`` netlist format.
+
+Example::
+
+    # c17
+    INPUT(1)
+    INPUT(2)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+
+With this parser the genuine ISCAS-85 files (c432, c499, c1355, ...) can be
+dropped into the flow unchanged; the repo itself ships c17 plus generated
+c499/c1355-class circuits (see ``iscas85.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*)\s*\)$")
+
+#: .bench mnemonic -> GateType (NOT is the historical alias of INV).
+_TYPE_ALIASES = {
+    "NOT": GateType.INV,
+    "INV": GateType.INV,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a validated :class:`Netlist`."""
+    netlist = Netlist(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.group(1).upper(), io_match.group(2).strip()
+            if kind == "INPUT":
+                netlist.add_input(net)
+            else:
+                netlist.add_output(net)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            out = gate_match.group(1).strip()
+            mnemonic = gate_match.group(2).upper()
+            args = [a.strip() for a in gate_match.group(3).split(",") if a.strip()]
+            gtype = _TYPE_ALIASES.get(mnemonic)
+            if gtype is None:
+                raise NetlistError(f"line {lineno}: unknown gate type {mnemonic!r}")
+            netlist.add_gate(out, gtype, args)
+            continue
+        raise NetlistError(f"line {lineno}: cannot parse {raw!r}")
+    netlist.validate()
+    return netlist
+
+
+def load_bench(path: str | Path) -> Netlist:
+    """Parse a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def format_bench(netlist: Netlist) -> str:
+    """Render a netlist back to ``.bench`` text (INV emitted as NOT)."""
+    lines = [f"# {netlist.name}"]
+    lines += [f"INPUT({net})" for net in netlist.primary_inputs]
+    lines += [f"OUTPUT({net})" for net in netlist.primary_outputs]
+    lines.append("")
+    for name in netlist.topological_order():
+        gate = netlist.gates[name]
+        mnemonic = "NOT" if gate.gtype is GateType.INV else gate.gtype.value
+        lines.append(f"{name} = {mnemonic}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(netlist: Netlist, path: str | Path) -> None:
+    """Write a netlist as a ``.bench`` file."""
+    Path(path).write_text(format_bench(netlist))

@@ -1,0 +1,60 @@
+"""Gate types and boolean evaluation."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import NetlistError
+
+
+class GateType(str, Enum):
+    """Combinational gate kinds supported by the netlist layer.
+
+    The sigmoid simulator itself only accepts ``INV`` and ``NOR`` (the
+    paper's prototype, Sec. V-A); everything else exists so arbitrary
+    benchmarks can be read and then rewritten by
+    :func:`repro.circuits.nor_map.nor_map`.
+    """
+
+    INV = "INV"
+    BUF = "BUF"
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+
+
+#: Gate types whose input count is exactly one.
+UNARY_TYPES = {GateType.INV, GateType.BUF}
+
+
+def eval_gate(gtype: GateType, inputs: list[bool]) -> bool:
+    """Evaluate one gate on boolean inputs.
+
+    Multi-input AND/OR/NAND/NOR accept two or more inputs; XOR/XNOR are
+    parity gates of two or more inputs.
+    """
+    n = len(inputs)
+    if gtype in UNARY_TYPES:
+        if n != 1:
+            raise NetlistError(f"{gtype.value} needs exactly 1 input, got {n}")
+        value = inputs[0]
+        return not value if gtype is GateType.INV else value
+    if n < 2:
+        raise NetlistError(f"{gtype.value} needs at least 2 inputs, got {n}")
+    if gtype is GateType.AND:
+        return all(inputs)
+    if gtype is GateType.OR:
+        return any(inputs)
+    if gtype is GateType.NAND:
+        return not all(inputs)
+    if gtype is GateType.NOR:
+        return not any(inputs)
+    parity = sum(inputs) % 2 == 1
+    if gtype is GateType.XOR:
+        return parity
+    if gtype is GateType.XNOR:
+        return not parity
+    raise NetlistError(f"unknown gate type {gtype!r}")  # pragma: no cover

@@ -1,0 +1,166 @@
+"""ISCAS-85 benchmark circuits.
+
+* :func:`c17` — the genuine 6-gate benchmark, verbatim.
+* :func:`c499_like` / :func:`c1355_like` — generated stand-ins for the two
+  larger benchmarks the paper evaluates.  The genuine netlist files are not
+  distributable inside this offline repo, but both originals are 32-bit
+  single-error-correcting (SEC) circuits: c499 computes syndromes with XOR
+  trees and corrects the data word, and c1355 is c499 with every XOR
+  expanded into four NAND2 gates.  The generators build exactly that
+  structure class — XOR syndrome trees over a 32-bit word, an AND-decoder
+  selecting the bit to flip, and an XOR correction stage — yielding
+  NOR-mapped gate counts in the same range as the paper's Table I
+  (860 / 2068 NOR gates; measured counts are recorded in EXPERIMENTS.md).
+  Genuine ``.bench`` files can be used instead via
+  :func:`repro.circuits.bench.load_bench`.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+#: Number of data bits of the SEC generators (the originals are 32-bit).
+_SEC_DATA_BITS = 32
+#: Number of syndrome groups: 5 bits address all 32 positions.
+_SEC_SYNDROMES = 5
+
+
+def c17() -> Netlist:
+    """The genuine ISCAS-85 c17: 5 PIs, 6 NAND2 gates, 2 POs."""
+    netlist = Netlist("c17")
+    for pi in ("1", "2", "3", "6", "7"):
+        netlist.add_input(pi)
+    netlist.add_gate("10", GateType.NAND, ["1", "3"])
+    netlist.add_gate("11", GateType.NAND, ["3", "6"])
+    netlist.add_gate("16", GateType.NAND, ["2", "11"])
+    netlist.add_gate("19", GateType.NAND, ["11", "7"])
+    netlist.add_gate("22", GateType.NAND, ["10", "16"])
+    netlist.add_gate("23", GateType.NAND, ["16", "19"])
+    netlist.add_output("22")
+    netlist.add_output("23")
+    netlist.validate()
+    return netlist
+
+
+def _xor_tree(netlist: Netlist, nets: list[str], prefix: str) -> str:
+    """Balanced XOR2 tree over ``nets``; returns the root net name."""
+    layer = list(nets)
+    level = 0
+    while len(layer) > 1:
+        next_layer = []
+        for i in range(0, len(layer) - 1, 2):
+            out = f"{prefix}_x{level}_{i // 2}"
+            netlist.add_gate(out, GateType.XOR, [layer[i], layer[i + 1]])
+            next_layer.append(out)
+        if len(layer) % 2 == 1:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    return layer[0]
+
+
+def _and_tree(netlist: Netlist, nets: list[str], prefix: str) -> str:
+    """Balanced AND2 tree over ``nets``; returns the root net name."""
+    layer = list(nets)
+    level = 0
+    while len(layer) > 1:
+        next_layer = []
+        for i in range(0, len(layer) - 1, 2):
+            out = f"{prefix}_a{level}_{i // 2}"
+            netlist.add_gate(out, GateType.AND, [layer[i], layer[i + 1]])
+            next_layer.append(out)
+        if len(layer) % 2 == 1:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    return layer[0]
+
+
+def _build_sec(name: str, expand_xor_to_nand: bool) -> Netlist:
+    """32-bit SEC circuit: syndrome XOR trees + decoder + correction.
+
+    Inputs: ``d0..d31`` (data), ``c0..c4`` (received check bits),
+    ``r0..r3`` (spare control lines folded into an enable term, bringing
+    the PI count to 41 like the original c499).  Outputs: the corrected
+    data word ``o0..o31``.
+    """
+    netlist = Netlist(name)
+    data = [netlist.add_input(f"d{i}") for i in range(_SEC_DATA_BITS)]
+    checks = [netlist.add_input(f"c{j}") for j in range(_SEC_SYNDROMES)]
+    controls = [netlist.add_input(f"r{k}") for k in range(4)]
+
+    # Syndrome j = parity of all data bits whose index has bit j set,
+    # XORed with the received check bit.
+    syndromes = []
+    for j in range(_SEC_SYNDROMES):
+        members = [data[i] for i in range(_SEC_DATA_BITS) if (i >> j) & 1]
+        tree = _xor_tree(netlist, members + [checks[j]], prefix=f"s{j}")
+        syndromes.append(tree)
+
+    # Enable: correction is applied only when the control lines allow it.
+    enable = _and_tree(netlist, controls, prefix="en")
+
+    # Inverted syndromes for decoder terms.
+    syndrome_n = []
+    for j, s in enumerate(syndromes):
+        inv = f"sn{j}"
+        netlist.add_gate(inv, GateType.INV, [s])
+        syndrome_n.append(inv)
+
+    # Decoder: flip_i = enable AND (s_j == bit j of i for all j).
+    outputs = []
+    for i in range(_SEC_DATA_BITS):
+        terms = [
+            syndromes[j] if (i >> j) & 1 else syndrome_n[j]
+            for j in range(_SEC_SYNDROMES)
+        ]
+        flip = _and_tree(netlist, terms + [enable], prefix=f"f{i}")
+        out = f"o{i}"
+        netlist.add_gate(out, GateType.XOR, [data[i], flip])
+        netlist.add_output(out)
+        outputs.append(out)
+
+    netlist.validate()
+    if not expand_xor_to_nand:
+        return netlist
+    return _expand_xors(netlist, f"{name}")
+
+
+def _expand_xors(netlist: Netlist, name: str) -> Netlist:
+    """Replace every XOR2/XNOR2 by its four-NAND2 structure (the c1355 trick)."""
+    expanded = Netlist(name)
+    for pi in netlist.primary_inputs:
+        expanded.add_input(pi)
+    for gate_name in netlist.topological_order():
+        gate = netlist.gates[gate_name]
+        if gate.gtype in (GateType.XOR, GateType.XNOR) and len(gate.inputs) == 2:
+            a, b = gate.inputs
+            n1 = f"{gate_name}_n1"
+            n2 = f"{gate_name}_n2"
+            n3 = f"{gate_name}_n3"
+            expanded.add_gate(n1, GateType.NAND, [a, b])
+            expanded.add_gate(n2, GateType.NAND, [a, n1])
+            expanded.add_gate(n3, GateType.NAND, [b, n1])
+            if gate.gtype is GateType.XOR:
+                expanded.add_gate(gate_name, GateType.NAND, [n2, n3])
+            else:
+                xor_net = f"{gate_name}_x"
+                expanded.add_gate(xor_net, GateType.NAND, [n2, n3])
+                expanded.add_gate(gate_name, GateType.INV, [xor_net])
+        else:
+            expanded.add_gate(gate_name, gate.gtype, list(gate.inputs))
+    for po in netlist.primary_outputs:
+        expanded.add_output(po)
+    expanded.validate()
+    return expanded
+
+
+def c499_like(name: str = "c499_like") -> Netlist:
+    """A 32-bit SEC circuit of the c499 structure class (XOR trees kept)."""
+    return _build_sec(name, expand_xor_to_nand=False)
+
+
+def c1355_like(name: str = "c1355_like") -> Netlist:
+    """The c499-like circuit with XORs expanded to NAND2s, like real c1355."""
+    return _build_sec(name, expand_xor_to_nand=True)

@@ -1,0 +1,196 @@
+"""Gate-level netlist data model.
+
+A :class:`Netlist` is a named DAG of gates: every gate drives exactly the
+net of its own name (ISCAS ``.bench`` convention).  The class provides the
+structural queries every simulator in this repo needs: validation,
+topological levelization, fanout maps, boolean evaluation, and stats.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import GateType, UNARY_TYPES, eval_gate
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: output net name, type, ordered input net names."""
+
+    name: str
+    gtype: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("gate needs a name")
+        if self.gtype in UNARY_TYPES and len(self.inputs) != 1:
+            raise NetlistError(f"{self.gtype.value} gate {self.name} needs 1 input")
+        if self.gtype not in UNARY_TYPES and len(self.inputs) < 2:
+            raise NetlistError(
+                f"{self.gtype.value} gate {self.name} needs >= 2 inputs"
+            )
+
+
+@dataclass
+class Netlist:
+    """A combinational circuit.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"c17"``.
+    primary_inputs:
+        Ordered PI net names.
+    gates:
+        Mapping from output net name to :class:`Gate`.
+    primary_outputs:
+        Ordered PO net names (each must be a PI or a gate output).
+    """
+
+    name: str
+    primary_inputs: list[str] = field(default_factory=list)
+    gates: dict[str, Gate] = field(default_factory=dict)
+    primary_outputs: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        if name in self.primary_inputs:
+            raise NetlistError(f"duplicate primary input {name!r}")
+        if name in self.gates:
+            raise NetlistError(f"net {name!r} already driven by a gate")
+        self.primary_inputs.append(name)
+        return name
+
+    def add_gate(self, name: str, gtype: GateType | str, inputs: list[str]) -> str:
+        """Add a gate driving net ``name``; returns the net name."""
+        if isinstance(gtype, str):
+            gtype = GateType(gtype)
+        if name in self.gates:
+            raise NetlistError(f"net {name!r} already driven by a gate")
+        if name in self.primary_inputs:
+            raise NetlistError(f"net {name!r} is a primary input")
+        self.gates[name] = Gate(name, gtype, tuple(inputs))
+        return name
+
+    def add_output(self, name: str) -> None:
+        if name in self.primary_outputs:
+            raise NetlistError(f"duplicate primary output {name!r}")
+        self.primary_outputs.append(name)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> list[str]:
+        """All driven nets: primary inputs then gate outputs."""
+        return list(self.primary_inputs) + list(self.gates)
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on dangling nets, cycles or bad POs."""
+        driven = set(self.primary_inputs) | set(self.gates)
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in driven:
+                    raise NetlistError(
+                        f"gate {gate.name!r} reads undriven net {net!r}"
+                    )
+        for net in self.primary_outputs:
+            if net not in driven:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        if not self.primary_outputs:
+            raise NetlistError("netlist has no primary outputs")
+        self.topological_order()  # raises on combinational cycles
+
+    def topological_order(self) -> list[str]:
+        """Gate output nets in dependency order (Kahn's algorithm)."""
+        indegree = {name: 0 for name in self.gates}
+        consumers: dict[str, list[str]] = {}
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net in self.gates:
+                    indegree[gate.name] += 1
+                    consumers.setdefault(net, []).append(gate.name)
+        ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
+        order: list[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for consumer in consumers.get(name, ()):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.gates):
+            raise NetlistError("combinational cycle detected")
+        return order
+
+    def levels(self) -> list[list[str]]:
+        """Gates grouped into topological levels (all inputs in earlier levels)."""
+        level_of: dict[str, int] = {net: 0 for net in self.primary_inputs}
+        result: list[list[str]] = []
+        for name in self.topological_order():
+            gate = self.gates[name]
+            lvl = max((level_of.get(net, 0) for net in gate.inputs), default=0)
+            level_of[name] = lvl + 1
+            while len(result) < lvl + 1:
+                result.append([])
+            result[lvl].append(name)
+        return result
+
+    def fanout(self) -> dict[str, list[tuple[str, int]]]:
+        """Map net -> list of (consumer gate, pin index)."""
+        result: dict[str, list[tuple[str, int]]] = {net: [] for net in self.nets}
+        for gate in self.gates.values():
+            for pin, net in enumerate(gate.inputs):
+                result.setdefault(net, []).append((gate.name, pin))
+        return result
+
+    def fanout_count(self, net: str) -> int:
+        """Number of gate pins the net drives (POs not counted)."""
+        count = 0
+        for gate in self.gates.values():
+            count += sum(1 for inp in gate.inputs if inp == net)
+        return count
+
+    def depth(self) -> int:
+        """Logic depth in gate levels."""
+        return len(self.levels())
+
+    def count_by_type(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for gate in self.gates.values():
+            counts[gate.gtype.value] = counts.get(gate.gtype.value, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    # ------------------------------------------------------------------
+    # boolean evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: dict[str, bool]) -> dict[str, bool]:
+        """Evaluate all nets given PI values; returns every net's value."""
+        missing = [pi for pi in self.primary_inputs if pi not in assignment]
+        if missing:
+            raise NetlistError(f"missing PI values: {missing}")
+        values = {pi: bool(assignment[pi]) for pi in self.primary_inputs}
+        for name in self.topological_order():
+            gate = self.gates[name]
+            values[name] = eval_gate(gate.gtype, [values[n] for n in gate.inputs])
+        return values
+
+    def evaluate_outputs(self, assignment: dict[str, bool]) -> dict[str, bool]:
+        """PO values only."""
+        values = self.evaluate(assignment)
+        return {po: values[po] for po in self.primary_outputs}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}: {len(self.primary_inputs)} PI, "
+            f"{self.n_gates} gates, {len(self.primary_outputs)} PO)"
+        )

@@ -1,0 +1,105 @@
+"""Command-line entry points.
+
+``python -m repro.cli table1 [--circuits c17] [--runs 3] [--scale fast]``
+    Run the Table I harness and print the rendered table.
+
+``python -m repro.cli characterize [--scale fast]``
+    Build (or rebuild) the trained model artifacts.
+
+``python -m repro.cli info``
+    Show circuit statistics for the shipped benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.characterization.artifacts import artifacts_dir, default_bundle
+from repro.digital.characterize import characterize_delay_library
+from repro.digital.delay import DelayLibrary
+from repro.eval.stimuli import PAPER_CONFIGS
+from repro.eval.table1 import (
+    CIRCUIT_BUILDERS,
+    Table1Config,
+    format_table1,
+    nor_mapped,
+    run_table1,
+)
+
+
+def _load_delay_library() -> DelayLibrary:
+    path = artifacts_dir() / "delay_library.json"
+    if path.exists():
+        return DelayLibrary.from_dict(json.loads(path.read_text()))
+    library = characterize_delay_library()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(library.to_dict()))
+    return library
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    bundle = default_bundle(scale=args.scale, verbose=True)
+    delay_library = _load_delay_library()
+    config = Table1Config(
+        circuits=tuple(args.circuits),
+        n_runs=args.runs,
+        seed=args.seed,
+        include_same_stimulus_row=not args.no_same_stimulus,
+    )
+    result = run_table1(bundle, delay_library, config)
+    print(format_table1(result))
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    default_bundle(scale=args.scale, force=args.force, verbose=True)
+    _load_delay_library()
+    print(f"artifacts ready under {artifacts_dir()}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    for name in CIRCUIT_BUILDERS:
+        core = nor_mapped(name)
+        print(
+            f"{name}: {len(core.primary_inputs)} PIs, "
+            f"{core.n_gates} NOR gates, "
+            f"{len(core.primary_outputs)} POs, depth {core.depth()}"
+        )
+    print("stimulus configs:", ", ".join(c.label for c in PAPER_CONFIGS))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="run the Table I harness")
+    p_table.add_argument("--circuits", nargs="+",
+                         default=list(CIRCUIT_BUILDERS),
+                         choices=list(CIRCUIT_BUILDERS))
+    p_table.add_argument("--runs", type=int, default=3)
+    p_table.add_argument("--seed", type=int, default=0)
+    p_table.add_argument("--scale", default="fast",
+                         choices=("tiny", "fast", "standard", "paper"))
+    p_table.add_argument("--no-same-stimulus", action="store_true")
+    p_table.set_defaults(func=cmd_table1)
+
+    p_char = sub.add_parser("characterize", help="build model artifacts")
+    p_char.add_argument("--scale", default="fast",
+                        choices=("tiny", "fast", "standard", "paper"))
+    p_char.add_argument("--force", action="store_true")
+    p_char.set_defaults(func=cmd_characterize)
+
+    p_info = sub.add_parser("info", help="benchmark circuit statistics")
+    p_info.set_defaults(func=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

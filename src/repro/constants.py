@@ -1,0 +1,44 @@
+"""Global physical and numerical conventions shared by every subsystem.
+
+The paper (Eq. 1) parameterizes sigmoids in *scaled time* ``tau = t * 1e10``
+so that crossing times ``b`` and slopes ``a`` live in comfortable numeric
+ranges for picosecond-scale circuits.  Everything that touches sigmoid
+parameters uses scaled time; everything that touches waveforms uses seconds.
+The two helpers below are the only sanctioned conversion points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Scale factor between seconds and sigmoid-parameter time units (Eq. 1).
+TIME_SCALE: float = 1e10
+
+#: Supply voltage of the 15 nm-class technology the paper characterizes
+#: (Nangate 15 nm FinFET at 0.8 V).
+VDD: float = 0.8
+
+#: Logic threshold used for digitization and the t_err metric (VDD / 2).
+VTH: float = VDD / 2.0
+
+#: Thermal voltage at room temperature, used by the EKV MOSFET model.
+PHI_T: float = 0.02585
+
+#: Default nominal sigmoid slope magnitude (scaled units) assigned to
+#: digital-equivalent stimuli in "same stimulus" mode (Table I last row).
+#: Corresponds to a 10-90% edge of roughly 10 ps.
+NOMINAL_SLOPE: float = 60.0
+
+#: Picosecond / nanosecond in seconds, for readability at call sites.
+PS: float = 1e-12
+NS: float = 1e-9
+
+
+def to_scaled(t_seconds):
+    """Convert time in seconds to the scaled units used by sigmoid params."""
+    return np.asarray(t_seconds, dtype=float) * TIME_SCALE
+
+
+def from_scaled(tau):
+    """Convert scaled sigmoid-parameter time back to seconds."""
+    return np.asarray(tau, dtype=float) / TIME_SCALE

@@ -1,0 +1,60 @@
+"""The paper's contribution: sigmoidal traces, fitting, TOM, simulator.
+
+Submodules
+----------
+``sigmoid``
+    Eq. 1 single-transition model and Eq. 2 joint model with Jacobians.
+``trace``
+    :class:`SigmoidalTrace` — the sigmoid-parameter signal representation.
+``lm``
+    Weighted Levenberg-Marquardt least squares (from scratch).
+``fitting``
+    Waveform -> sigmoid-parameter extraction with the paper's fitting
+    improvements (clipping, inflection-point weighting).
+``tom``
+    The third-order-model transfer function interface and Algorithm 1.
+``cancellation``
+    Sub-threshold output pulse removal.
+``valid_region``
+    Valid-region containment for ANN inputs (Sec. IV-B).
+``ann_transfer``
+    The four-MLP transfer-function implementation (Sec. IV).
+``table_transfer``
+    LUT / polynomial / RBF alternatives used for comparison.
+``multi_input``
+    NOR decision procedure reducing multi-input gates to channels.
+``simulator``
+    Full-circuit sigmoid simulator for INV/NOR netlists.
+``models``
+    Serializable bundles of trained gate models.
+"""
+
+from repro.core.sigmoid import sigmoid_tau, sigmoid_value, sum_model_tau
+from repro.core.trace import SigmoidalTrace
+from repro.core.lm import LMResult, levenberg_marquardt
+from repro.core.fitting import FitResult, fit_waveform
+from repro.core.tom import TransferFunction, predict_gate_output
+from repro.core.valid_region import ConvexHullRegion, KNNRegion, ValidRegion
+from repro.core.ann_transfer import ANNTransferFunction, GateModel
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.models import GateModelBundle
+
+__all__ = [
+    "sigmoid_tau",
+    "sigmoid_value",
+    "sum_model_tau",
+    "SigmoidalTrace",
+    "LMResult",
+    "levenberg_marquardt",
+    "FitResult",
+    "fit_waveform",
+    "TransferFunction",
+    "predict_gate_output",
+    "ValidRegion",
+    "ConvexHullRegion",
+    "KNNRegion",
+    "ANNTransferFunction",
+    "GateModel",
+    "SigmoidCircuitSimulator",
+    "GateModelBundle",
+]

@@ -1,0 +1,141 @@
+"""ANN implementation of the TOM transfer functions (Sec. IV).
+
+Each polarity's transfer function is realized by **two** MLPs — one
+predicting the output slope ``a_out``, one the output delay
+``delta_b = b_out - b_in`` — so a single-input gate needs four ANNs, as in
+the paper (Fig. 2).  Each network is the paper's architecture: two hidden
+layers of 10 neurons and one of 5, ReLU everywhere (built by
+:func:`repro.nn.mlp.paper_architecture`).
+
+Features are standardized; queries are first clamped to the valid region
+(Sec. IV-B) before scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.valid_region import region_from_dict
+from repro.errors import ModelError
+from repro.nn.io import mlp_from_dict, mlp_to_dict
+from repro.nn.mlp import MLP
+from repro.nn.scaling import StandardScaler
+
+
+class ANNTransferFunction:
+    """One polarity's ``F_G``: slope net + delay net + scalers + region."""
+
+    def __init__(
+        self,
+        slope_net: MLP,
+        delay_net: MLP,
+        x_scaler: StandardScaler,
+        y_slope_scaler: StandardScaler,
+        y_delay_scaler: StandardScaler,
+        region=None,
+    ) -> None:
+        if slope_net.n_inputs != 3 or delay_net.n_inputs != 3:
+            raise ModelError("TOM transfer networks take 3 features")
+        if slope_net.n_outputs != 1 or delay_net.n_outputs != 1:
+            raise ModelError("TOM transfer networks emit 1 target each")
+        self.slope_net = slope_net
+        self.delay_net = delay_net
+        self.x_scaler = x_scaler
+        self.y_slope_scaler = y_slope_scaler
+        self.y_delay_scaler = y_delay_scaler
+        self.region = region
+
+    # ------------------------------------------------------------------
+    def predict_batch(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized prediction for (n, 3) feature rows ``(T, a_prev, a_in)``.
+
+        Returns ``(a_out, delta_b)`` arrays of length n.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != 3:
+            raise ModelError("features must be (n, 3): (T, a_out_prev, a_in)")
+        if self.region is not None:
+            features = self.region.project(features)
+        scaled = self.x_scaler.transform(features)
+        slope = self.y_slope_scaler.inverse_transform(
+            self.slope_net.forward(scaled)
+        )[:, 0]
+        delay = self.y_delay_scaler.inverse_transform(
+            self.delay_net.forward(scaled)
+        )[:, 0]
+        return slope, delay
+
+    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
+        """Scalar convenience wrapper (the :class:`TransferFunction` protocol)."""
+        slope, delay = self.predict_batch(np.array([[T, a_out_prev, a_in]]))
+        return float(slope[0]), float(delay[0])
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "slope_net": mlp_to_dict(self.slope_net),
+            "delay_net": mlp_to_dict(self.delay_net),
+            "x_scaler": self.x_scaler.to_dict(),
+            "y_slope_scaler": self.y_slope_scaler.to_dict(),
+            "y_delay_scaler": self.y_delay_scaler.to_dict(),
+            "region": self.region.to_dict() if self.region is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ANNTransferFunction":
+        region = data.get("region")
+        return cls(
+            slope_net=mlp_from_dict(data["slope_net"]),
+            delay_net=mlp_from_dict(data["delay_net"]),
+            x_scaler=StandardScaler.from_dict(data["x_scaler"]),
+            y_slope_scaler=StandardScaler.from_dict(data["y_slope_scaler"]),
+            y_delay_scaler=StandardScaler.from_dict(data["y_delay_scaler"]),
+            region=region_from_dict(region) if region is not None else None,
+        )
+
+
+class GateModel:
+    """Transfer functions of one gate input channel.
+
+    Identified by cell type, input pin and fanout class (the paper uses
+    distinct ANNs for NOR gates with fanout 1 and fanout >= 2, Sec. V-A).
+    """
+
+    def __init__(
+        self,
+        cell: str,
+        pin: int,
+        fanout_class: str,
+        tf_rise,
+        tf_fall,
+    ) -> None:
+        if fanout_class not in ("fo1", "fo2"):
+            raise ModelError("fanout_class must be 'fo1' or 'fo2'")
+        self.cell = cell
+        self.pin = pin
+        self.fanout_class = fanout_class
+        self.tf_rise = tf_rise
+        self.tf_fall = tf_fall
+
+    @property
+    def key(self) -> tuple[str, int, str]:
+        return (self.cell, self.pin, self.fanout_class)
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell,
+            "pin": self.pin,
+            "fanout_class": self.fanout_class,
+            "tf_rise": self.tf_rise.to_dict(),
+            "tf_fall": self.tf_fall.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GateModel":
+        return cls(
+            cell=data["cell"],
+            pin=int(data["pin"]),
+            fanout_class=data["fanout_class"],
+            tf_rise=ANNTransferFunction.from_dict(data["tf_rise"]),
+            tf_fall=ANNTransferFunction.from_dict(data["tf_fall"]),
+        )

@@ -1,0 +1,97 @@
+"""Sub-threshold pulse cancellation (Sec. III, below Algorithm 1).
+
+Two adjacent output tuples form a pulse; if the sum of their two sigmoids
+never crosses the threshold voltage, the pulse would not be visible at the
+digital level and the tuples "can safely be dropped from the output list".
+
+For a rising-falling pair above a low rail, the pulse peak is
+``VDD * max_t (Fs(a1,b1) + Fs(a2,b2) - 1)``; the pair is kept only when
+that peak reaches the threshold.  The falling-rising case (a dip below a
+high rail) is symmetric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from repro.constants import VDD, VTH
+from repro.core.sigmoid import sigmoid_tau, transition_width_tau
+from repro.errors import ModelError
+
+
+def pulse_peak_value(
+    first: tuple[float, float],
+    second: tuple[float, float],
+    vdd: float = VDD,
+) -> float:
+    """Extreme voltage reached by an adjacent pair of output sigmoids.
+
+    For a rising-then-falling pair the returned value is the maximum of
+    the pulse; for a falling-then-rising pair it is the minimum of the dip.
+    """
+    a1, b1 = first
+    a2, b2 = second
+    if a1 == 0.0 or a2 == 0.0:
+        raise ModelError("slope parameters must be nonzero")
+    if np.sign(a1) == np.sign(a2):
+        raise ModelError("a pulse pair needs opposite transition polarities")
+
+    rising_first = a1 > 0
+
+    def height(tau: float) -> float:
+        # Pair contribution relative to the rail before the pulse.
+        value = sigmoid_tau(tau, a1, b1) + sigmoid_tau(tau, a2, b2)
+        return value - 1.0 if rising_first else value
+
+    # The extremum lies between the two crossing times; search a bracket
+    # padded by both transition widths.
+    w1 = transition_width_tau(a1)
+    w2 = transition_width_tau(a2)
+    lo = min(b1, b2) - 2 * (w1 + w2)
+    hi = max(b1, b2) + 2 * (w1 + w2)
+    sign = -1.0 if rising_first else 1.0
+    result = minimize_scalar(
+        lambda tau: sign * height(tau), bounds=(lo, hi), method="bounded"
+    )
+    extreme = height(float(result.x))
+    return float(vdd * extreme if rising_first else vdd * extreme)
+
+
+def pair_crosses_threshold(
+    first: tuple[float, float],
+    second: tuple[float, float],
+    vdd: float = VDD,
+    threshold: float = VTH,
+) -> bool:
+    """Whether the pulse formed by two adjacent tuples crosses VDD/2."""
+    peak = pulse_peak_value(first, second, vdd=vdd)
+    if first[0] > 0:  # pulse above the low rail
+        return peak >= threshold
+    return peak <= threshold  # dip below the high rail
+
+
+def cancel_subthreshold_pulses(
+    params: list[tuple[float, float]],
+    initial_level: int,
+    vdd: float = VDD,
+    threshold: float = VTH,
+) -> list[tuple[float, float]]:
+    """Post-pass form of the cancellation: scan until no pair is droppable.
+
+    Equivalent to the in-loop cancellation of Algorithm 1 when applied to
+    a complete output list; exposed for testing and for the table-based
+    transfer functions.
+    """
+    result = list(params)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(result) - 1):
+            if not pair_crosses_threshold(
+                result[i], result[i + 1], vdd=vdd, threshold=threshold
+            ):
+                del result[i : i + 2]
+                changed = True
+                break
+    return result

@@ -1,0 +1,195 @@
+"""Waveform -> sigmoidal-trace fitting (Sec. II of the paper).
+
+Pipeline implemented by :func:`fit_waveform`:
+
+1. clip the waveform to ``[0, VDD]`` — sigmoids cannot represent Miller
+   over/undershoot and it is irrelevant for delay estimation (Sec. II-B),
+2. detect VDD/2 threshold crossings; each becomes one sigmoid transition,
+3. build initial parameters: ``b_i`` from the crossing time, ``a_i`` from
+   the measured crossing slew,
+4. weight samples near the inflection points (the paper uses the fitter's
+   sigma vector for "a tight fit at the inflection points"),
+5. jointly refine all parameters with Levenberg-Marquardt on the Eq. 2
+   model minus its rail offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analog.waveform import Waveform
+from repro.constants import TIME_SCALE, VDD
+from repro.core.lm import levenberg_marquardt
+from repro.core.sigmoid import (
+    slope_param_from_slew,
+    sum_model_jacobian_tau,
+    sum_model_tau,
+)
+from repro.core.trace import SigmoidalTrace
+from repro.errors import FittingError
+
+#: Gaussian weighting width around inflection points, seconds.
+DEFAULT_WEIGHT_WIDTH = 2e-12
+#: Weight boost at inflection points (1 = no boost).
+DEFAULT_WEIGHT_PEAK = 6.0
+#: Maximum number of samples handed to the optimizer.
+DEFAULT_MAX_POINTS = 900
+#: Window margin around the transition region, seconds.
+DEFAULT_MARGIN = 15e-12
+
+
+@dataclass
+class FitResult:
+    """A fitted trace plus quality metrics."""
+
+    trace: SigmoidalTrace
+    rms_error: float
+    max_error: float
+    converged: bool
+    n_iterations: int
+
+    @property
+    def n_transitions(self) -> int:
+        return self.trace.n_transitions
+
+
+def fit_waveform(
+    waveform: Waveform,
+    vdd: float = VDD,
+    weight_peak: float = DEFAULT_WEIGHT_PEAK,
+    weight_width: float = DEFAULT_WEIGHT_WIDTH,
+    max_points: int = DEFAULT_MAX_POINTS,
+    margin: float = DEFAULT_MARGIN,
+    max_iter: int = 60,
+) -> FitResult:
+    """Fit a sigmoidal trace to an analog waveform.
+
+    Waveforms without any VDD/2 crossing yield a transition-free trace at
+    the appropriate rail.  Raises :class:`FittingError` for waveforms whose
+    crossing structure cannot be represented (sign alternation violations
+    survive the crossing filter only on pathological data).
+    """
+    clipped = waveform.clipped(0.0, vdd)
+    threshold = vdd / 2.0
+    crossings = clipped.crossings(threshold)
+    initial_level = 1 if clipped.v[0] > threshold else 0
+
+    # Enforce alternation (like DigitalTrace.from_waveform): drop crossings
+    # that repeat the direction we already hold.
+    filtered = []
+    level = bool(initial_level)
+    for crossing in crossings:
+        rising = crossing.direction > 0
+        if rising == level:
+            continue
+        filtered.append(crossing)
+        level = not level
+    if not filtered:
+        trace = SigmoidalTrace(initial_level, [], vdd=vdd)
+        residual = clipped.v - trace.value(clipped.t)
+        return FitResult(
+            trace=trace,
+            rms_error=float(np.sqrt(np.mean(residual**2))),
+            max_error=float(np.max(np.abs(residual))),
+            converged=True,
+            n_iterations=0,
+        )
+
+    # Initial parameters from crossing times and local slews.
+    params0 = []
+    for crossing in filtered:
+        slew = clipped.slew_at_crossing(crossing)
+        a0 = slope_param_from_slew(slew, vdd=vdd)
+        if a0 == 0.0 or np.sign(a0) != crossing.direction:
+            a0 = crossing.direction * 10.0
+        params0.append((a0, crossing.time * TIME_SCALE))
+    params0 = np.asarray(params0)
+
+    # Restrict the fit window to the transition region plus margins and
+    # decimate to keep the optimizer cheap.
+    t0 = max(filtered[0].time - margin, clipped.t_start)
+    t1 = min(filtered[-1].time + margin, clipped.t_stop)
+    window = clipped.restricted(t0, t1) if t1 > t0 else clipped
+    if len(window) > max_points:
+        idx = np.linspace(0, len(window) - 1, max_points).astype(int)
+        t_fit = window.t[idx]
+        v_fit = window.v[idx]
+    else:
+        t_fit, v_fit = window.t, window.v
+    tau_fit = t_fit * TIME_SCALE
+
+    weights = np.ones_like(t_fit)
+    for crossing in filtered:
+        weights += weight_peak * np.exp(
+            -(((t_fit - crossing.time) / weight_width) ** 2)
+        )
+
+    n_falling = sum(1 for c in filtered if c.direction < 0)
+    offset = float(n_falling - initial_level)
+
+    def unpack(x: np.ndarray) -> np.ndarray:
+        return x.reshape(-1, 2)
+
+    def residual_fn(x: np.ndarray) -> np.ndarray:
+        return sum_model_tau(tau_fit, unpack(x), offset, vdd=vdd) - v_fit
+
+    def jacobian_fn(x: np.ndarray) -> np.ndarray:
+        return sum_model_jacobian_tau(tau_fit, unpack(x), vdd=vdd)
+
+    result = levenberg_marquardt(
+        residual_fn,
+        jacobian_fn,
+        params0.ravel(),
+        weights=weights,
+        max_iter=max_iter,
+    )
+    params = unpack(result.x)
+
+    # The optimizer may in principle reorder or flip; repair gently by
+    # falling back to the initial estimate for any invalid transition.
+    if not _params_valid(params, initial_level):
+        params = _repair(params, params0, initial_level)
+
+    trace = SigmoidalTrace(initial_level, params, vdd=vdd)
+    residual = v_fit - trace.value(t_fit)
+    return FitResult(
+        trace=trace,
+        rms_error=float(np.sqrt(np.mean(residual**2))),
+        max_error=float(np.max(np.abs(residual))),
+        converged=result.converged,
+        n_iterations=result.n_iter,
+    )
+
+
+def _params_valid(params: np.ndarray, initial_level: int) -> bool:
+    if np.any(params[:, 0] == 0.0):
+        return False
+    if np.any(np.diff(params[:, 1]) < 0):
+        return False
+    expected = -1.0 if initial_level else 1.0
+    for a, _b in params:
+        if np.sign(a) != expected:
+            return False
+        expected = -expected
+    return True
+
+
+def _repair(
+    params: np.ndarray, params0: np.ndarray, initial_level: int
+) -> np.ndarray:
+    """Replace invalid rows with their initial estimates, then re-sort."""
+    repaired = params.copy()
+    expected = -1.0 if initial_level else 1.0
+    for i in range(repaired.shape[0]):
+        if np.sign(repaired[i, 0]) != expected or repaired[i, 0] == 0.0:
+            repaired[i] = params0[i]
+        expected = -expected
+    # Crossing times must stay ordered; if the fit scrambled them the
+    # initial estimates (which are ordered) win.
+    if np.any(np.diff(repaired[:, 1]) < 0):
+        repaired = params0.copy()
+    if not _params_valid(repaired, initial_level):
+        raise FittingError("could not repair fitted parameters")
+    return repaired

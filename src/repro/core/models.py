@@ -1,0 +1,78 @@
+"""Serializable bundles of trained gate models.
+
+A :class:`GateModelBundle` holds every trained channel —
+``(cell, pin, fanout_class) -> GateModel`` — plus provenance metadata, and
+round-trips through JSON so the expensive characterize+train pipeline runs
+once and is cached under ``artifacts/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.ann_transfer import GateModel
+from repro.errors import ModelError
+
+FORMAT_VERSION = 1
+
+
+class GateModelBundle:
+    """All trained transfer-function models of the cell set."""
+
+    def __init__(self, metadata: dict | None = None) -> None:
+        self._models: dict[tuple[str, int, str], GateModel] = {}
+        self.metadata = dict(metadata or {})
+
+    def add(self, model: GateModel) -> None:
+        self._models[model.key] = model
+
+    def keys(self) -> list[tuple[str, int, str]]:
+        return sorted(self._models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def get(self, cell: str, pin: int, fanout: int) -> GateModel:
+        """Resolve the model for an instance with ``fanout`` consumers.
+
+        Fanout >= 2 uses the ``fo2`` models when they exist (the paper
+        trains dedicated fanout-2 ANNs for NOR), falling back to ``fo1``.
+        """
+        preferred = "fo2" if fanout >= 2 else "fo1"
+        for fanout_class in (preferred, "fo1", "fo2"):
+            model = self._models.get((cell, pin, fanout_class))
+            if model is not None:
+                return model
+        raise ModelError(f"no model for cell={cell} pin={pin}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "metadata": self.metadata,
+            "models": [model.to_dict() for model in self._models.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GateModelBundle":
+        if data.get("format_version") != FORMAT_VERSION:
+            raise ModelError(
+                f"unsupported bundle version {data.get('format_version')!r}"
+            )
+        bundle = cls(metadata=data.get("metadata", {}))
+        for entry in data["models"]:
+            bundle.add(GateModel.from_dict(entry))
+        return bundle
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GateModelBundle":
+        path = Path(path)
+        if not path.exists():
+            raise ModelError(f"no model bundle at {path}")
+        return cls.from_dict(json.loads(path.read_text()))

@@ -1,0 +1,101 @@
+"""Multi-input gates: per-input channels plus a boolean decision procedure.
+
+The paper reduces multi-input gates to single-input channels with internal
+zero-time boolean logic (like the IDM): for a two-input NOR, Algorithm 1
+runs with input I1 as the relevant one as long as I2 = GND, and vice
+versa (Sec. III, last paragraph).
+
+:func:`predict_nor_output` implements that: it merges both inputs'
+transitions in time order, tracks each input's logic level, and emits an
+output prediction only for transitions that actually change the NOR
+output — using the transfer functions of the pin the relevant transition
+arrived on.  Masked transitions (the other input holds the output low) do
+not touch the channel state, and sub-threshold output pulses are cancelled
+on the fly exactly as in Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import NOMINAL_SLOPE
+from repro.core.cancellation import pair_crosses_threshold
+from repro.core.tom import T_CAP, clamp_history
+from repro.core.trace import SigmoidalTrace
+from repro.errors import ModelError
+
+
+def predict_nor_output(
+    input_traces: list[SigmoidalTrace],
+    pin_transfer_functions: list[tuple],
+    dummy_slope: float = NOMINAL_SLOPE,
+    t_cap: float = T_CAP,
+    cancel_subthreshold: bool = True,
+) -> SigmoidalTrace:
+    """Predict a NOR2 output trace from its two input traces.
+
+    Parameters
+    ----------
+    input_traces:
+        One :class:`SigmoidalTrace` per input pin.
+    pin_transfer_functions:
+        Per pin, a ``(tf_rise, tf_fall)`` pair dispatching on the *input*
+        transition polarity, as in Algorithm 1.
+    """
+    if len(input_traces) != 2 or len(pin_transfer_functions) != 2:
+        raise ModelError("NOR2 prediction needs exactly two inputs")
+
+    vdd = input_traces[0].vdd
+    levels = [bool(trace.initial_level) for trace in input_traces]
+    out_level = not (levels[0] or levels[1])
+    initial_output_level = int(out_level)
+
+    # Merge transitions across pins, sorted by crossing time.
+    events: list[tuple[float, int, float]] = []  # (b, pin, a)
+    for pin, trace in enumerate(input_traces):
+        for a, b in trace.params:
+            events.append((float(b), pin, float(a)))
+    events.sort(key=lambda e: e[0])
+
+    s_sign = 1.0 if initial_output_level == 1 else -1.0
+    prev_a = s_sign * abs(dummy_slope)
+    prev_b = -np.inf
+    expected_sign = -s_sign
+
+    output_params: list[tuple[float, float]] = []
+
+    for b_in, pin, a_in in events:
+        levels[pin] = a_in > 0  # the transition's own polarity sets the level
+        new_out = not (levels[0] or levels[1])
+        if new_out == out_level:
+            continue  # masked by the other input: no output transition
+        out_level = new_out
+
+        tf_rise, tf_fall = pin_transfer_functions[pin]
+        tf = tf_rise if a_in > 0 else tf_fall
+        T = clamp_history(b_in - prev_b, t_cap)
+        a_out, delta_b = tf.predict(T, prev_a, a_in)
+        if not np.isfinite(a_out) or not np.isfinite(delta_b):
+            raise ModelError("transfer function produced non-finite output")
+        a_out = expected_sign * abs(a_out)
+        b_out = b_in + delta_b
+        if output_params and b_out <= output_params[-1][1]:
+            b_out = output_params[-1][1] + 1e-6
+
+        output_params.append((a_out, b_out))
+        prev_a, prev_b = a_out, b_out
+        expected_sign = -expected_sign
+
+        if cancel_subthreshold and len(output_params) >= 2:
+            first = output_params[-2]
+            second = output_params[-1]
+            if not pair_crosses_threshold(first, second, vdd=vdd):
+                output_params.pop()
+                output_params.pop()
+                if output_params:
+                    prev_a, prev_b = output_params[-1]
+                else:
+                    prev_a, prev_b = s_sign * abs(dummy_slope), -np.inf
+                expected_sign = -np.sign(prev_a)
+
+    return SigmoidalTrace(initial_output_level, output_params, vdd=vdd)

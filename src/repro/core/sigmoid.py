@@ -1,0 +1,92 @@
+"""Sigmoid building blocks: Eq. 1 and Eq. 2 of the paper.
+
+The single-transition model (Eq. 1) is::
+
+    Fs(t, a, b) = 1 / (1 + exp(-a * (t * 1e10 - b)))
+
+``a`` encodes slope and polarity (``a > 0`` rising), ``b`` the threshold
+crossing time in *scaled time* (``tau = t * 1e10``; see
+:mod:`repro.constants`).  A waveform with N transitions is the joint model
+(Eq. 2): ``VDD * sum_i Fs(t, a_i, b_i)`` minus a rail offset.
+
+Everything here works in scaled time (``tau``); the ``*_value`` wrappers
+accept seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import expit
+
+from repro.constants import TIME_SCALE, VDD
+
+
+def sigmoid_tau(tau, a: float, b: float) -> np.ndarray:
+    """Eq. 1 evaluated in scaled time: ``1 / (1 + exp(-a (tau - b)))``."""
+    tau = np.asarray(tau, dtype=float)
+    return expit(a * (tau - b))
+
+
+def sigmoid_value(t_seconds, a: float, b: float) -> np.ndarray:
+    """Eq. 1 evaluated at times in seconds."""
+    return sigmoid_tau(np.asarray(t_seconds, dtype=float) * TIME_SCALE, a, b)
+
+
+def sum_model_tau(
+    tau, params: np.ndarray, offset: float, vdd: float = VDD
+) -> np.ndarray:
+    """Eq. 2 joint model: ``vdd * (sum_i Fs(tau, a_i, b_i) - offset)``.
+
+    ``params`` is an (N, 2) array of rows ``(a_i, b_i)``.  The offset
+    removes the rail multiples introduced by summing sigmoids (the paper
+    supplies ``FT - k*VDD`` to the fitter for the same reason).
+    """
+    tau = np.asarray(tau, dtype=float)
+    params = np.atleast_2d(np.asarray(params, dtype=float))
+    total = np.zeros_like(tau)
+    for a, b in params:
+        total = total + expit(a * (tau - b))
+    return vdd * (total - offset)
+
+
+def sum_model_jacobian_tau(
+    tau, params: np.ndarray, vdd: float = VDD
+) -> np.ndarray:
+    """Jacobian of :func:`sum_model_tau` w.r.t. the packed parameter vector.
+
+    Returns shape ``(len(tau), 2 N)`` with columns ordered
+    ``[a_1, b_1, a_2, b_2, ...]``:
+
+    * ``d/da_i = vdd * s_i (1 - s_i) (tau - b_i)``
+    * ``d/db_i = -vdd * a_i s_i (1 - s_i)``
+    """
+    tau = np.asarray(tau, dtype=float)
+    params = np.atleast_2d(np.asarray(params, dtype=float))
+    jac = np.empty((tau.size, 2 * params.shape[0]))
+    for i, (a, b) in enumerate(params):
+        s = expit(a * (tau - b))
+        core = s * (1.0 - s)
+        jac[:, 2 * i] = vdd * core * (tau - b)
+        jac[:, 2 * i + 1] = -vdd * a * core
+    return jac
+
+
+def transition_width_tau(a: float, lo: float = 0.1, hi: float = 0.9) -> float:
+    """Duration (scaled time) a sigmoid spends between ``lo`` and ``hi``.
+
+    For the logistic this is ``ln(hi(1-lo)/(lo(1-hi))) / |a|``
+    (≈ 4.39/|a| for 10-90%).
+    """
+    if a == 0:
+        raise ValueError("slope parameter must be nonzero")
+    span = np.log(hi * (1 - lo) / (lo * (1 - hi)))
+    return float(span / abs(a))
+
+
+def slope_param_from_slew(slew_v_per_s: float, vdd: float = VDD) -> float:
+    """Invert the mid-crossing derivative to a slope parameter.
+
+    At the crossing ``dV/dt = vdd * a * TIME_SCALE / 4``, so
+    ``a = 4 * slew / (vdd * TIME_SCALE)`` (sign preserved).
+    """
+    return 4.0 * slew_v_per_s / (vdd * TIME_SCALE)

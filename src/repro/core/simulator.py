@@ -1,0 +1,110 @@
+"""Full-circuit sigmoid simulator (the paper's prototype, Sec. V-A).
+
+Processes an INV/NOR2 netlist in topological order: every gate's output
+trace is predicted from its input traces with the trained TOM transfer
+functions — Algorithm 1 for inverters, the decision procedure of
+:mod:`~repro.core.multi_input` for NOR gates.  Models are selected per
+instance by fanout class (dedicated fanout >= 2 ANNs, Sec. V-A).
+
+Input signals are supplied "in the form of sigmoid parameter lists":
+either fits of analog waveforms (the Table-I default) or nominal-slope
+conversions of digital stimuli (the "same stimulus" row).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.core.models import GateModelBundle
+from repro.core.multi_input import predict_nor_output
+from repro.core.tom import predict_gate_output
+from repro.core.trace import SigmoidalTrace
+from repro.errors import SimulationError
+
+
+class SigmoidCircuitSimulator:
+    """Sigmoid-domain simulator bound to a netlist and trained models."""
+
+    def __init__(self, netlist: Netlist, bundle: GateModelBundle) -> None:
+        netlist.validate()
+        for gate in netlist.gates.values():
+            if gate.gtype is GateType.INV:
+                continue
+            if gate.gtype is GateType.NOR and len(gate.inputs) == 2:
+                continue
+            raise SimulationError(
+                "sigmoid simulator supports INV and NOR2 only; "
+                f"gate {gate.name} is {gate.gtype.value}/{len(gate.inputs)}"
+            )
+        self.netlist = netlist
+        self.bundle = bundle
+        self._order = netlist.topological_order()
+        self._fanout_count = {
+            net: netlist.fanout_count(net) for net in netlist.nets
+        }
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        pi_traces: dict[str, SigmoidalTrace],
+        record_nets: list[str] | None = None,
+    ) -> dict[str, SigmoidalTrace]:
+        """Predict traces for every requested net (default: primary outputs)."""
+        missing = [
+            pi for pi in self.netlist.primary_inputs if pi not in pi_traces
+        ]
+        if missing:
+            raise SimulationError(f"missing PI traces: {missing}")
+        if record_nets is None:
+            record_nets = list(self.netlist.primary_outputs)
+
+        # Steady-state levels anchor each gate's initial output level.
+        initial_levels = self.netlist.evaluate(
+            {
+                pi: bool(pi_traces[pi].initial_level)
+                for pi in self.netlist.primary_inputs
+            }
+        )
+
+        traces: dict[str, SigmoidalTrace] = dict(pi_traces)
+        for name in self._order:
+            gate = self.netlist.gates[name]
+            fanout = self._fanout_count[name]
+            if gate.gtype is GateType.INV:
+                model = self.bundle.get("INV", 0, fanout)
+                traces[name] = predict_gate_output(
+                    traces[gate.inputs[0]],
+                    model.tf_rise,
+                    model.tf_fall,
+                    initial_output_level=int(initial_levels[name]),
+                )
+            elif gate.inputs[0] == gate.inputs[1]:
+                # Tied-input NOR: the inverter-class elementary gate of the
+                # pure-NOR mapping — a single-input channel (Algorithm 1)
+                # with its dedicated tied-cell models.
+                model = self.bundle.get("NOR2T", 0, fanout)
+                traces[name] = predict_gate_output(
+                    traces[gate.inputs[0]],
+                    model.tf_rise,
+                    model.tf_fall,
+                    initial_output_level=int(initial_levels[name]),
+                )
+            else:
+                pin_tfs = []
+                for pin in range(2):
+                    model = self.bundle.get("NOR2", pin, fanout)
+                    pin_tfs.append((model.tf_rise, model.tf_fall))
+                traces[name] = predict_nor_output(
+                    [traces[gate.inputs[0]], traces[gate.inputs[1]]],
+                    pin_tfs,
+                )
+            predicted_initial = traces[name].initial_level
+            if predicted_initial != int(initial_levels[name]):
+                raise SimulationError(
+                    f"initial level mismatch at gate {name}"
+                )  # pragma: no cover - defensive
+
+        try:
+            return {net: traces[net] for net in record_nets}
+        except KeyError as exc:
+            raise SimulationError(f"unknown record net: {exc}") from None

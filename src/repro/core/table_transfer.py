@@ -1,0 +1,132 @@
+"""Table-based transfer-function alternatives.
+
+The paper mentions generating "interpolation polynomials, splines, and
+look-up-tables for comparison purposes" from the same characterization
+data (Sec. IV-A).  These implementations plug into Algorithm 1 through the
+same :class:`~repro.core.tom.TransferFunction` protocol, enabling the
+ANN-vs-table ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.interpolate import LinearNDInterpolator, NearestNDInterpolator, RBFInterpolator
+
+from repro.errors import ModelError
+
+
+class LUTTransferFunction:
+    """Scattered-data look-up table with linear interpolation.
+
+    Inside the convex hull of the training features, prediction is
+    barycentric-linear; outside, it falls back to nearest-neighbour
+    (mirroring how tabular delay models clamp at their corners).
+    """
+
+    def __init__(self, features: np.ndarray, slopes: np.ndarray, delays: np.ndarray):
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        slopes = np.asarray(slopes, dtype=float).ravel()
+        delays = np.asarray(delays, dtype=float).ravel()
+        if features.shape[0] != slopes.size or slopes.size != delays.size:
+            raise ModelError("feature/target row counts differ")
+        if features.shape[0] < features.shape[1] + 1:
+            raise ModelError("need at least d+1 samples")
+        self._linear_slope = LinearNDInterpolator(features, slopes)
+        self._linear_delay = LinearNDInterpolator(features, delays)
+        self._nearest_slope = NearestNDInterpolator(features, slopes)
+        self._nearest_delay = NearestNDInterpolator(features, delays)
+
+    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
+        query = np.array([[T, a_out_prev, a_in]])
+        slope = self._linear_slope(query)[0]
+        delay = self._linear_delay(query)[0]
+        if not np.isfinite(slope):
+            slope = self._nearest_slope(query)[0]
+        if not np.isfinite(delay):
+            delay = self._nearest_delay(query)[0]
+        return float(slope), float(delay)
+
+
+class PolynomialTransferFunction:
+    """Multivariate polynomial least-squares fit of a fixed total degree."""
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        degree: int = 3,
+    ) -> None:
+        if degree < 1:
+            raise ModelError("degree must be >= 1")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != 3:
+            raise ModelError("expects 3 features")
+        self.degree = degree
+        self._mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        design = self._design((features - self._mean) / self._std)
+        if design.shape[0] < design.shape[1]:
+            raise ModelError("not enough samples for the polynomial degree")
+        self._coef_slope, *_ = np.linalg.lstsq(
+            design, np.asarray(slopes, dtype=float).ravel(), rcond=None
+        )
+        self._coef_delay, *_ = np.linalg.lstsq(
+            design, np.asarray(delays, dtype=float).ravel(), rcond=None
+        )
+
+    def _design(self, x: np.ndarray) -> np.ndarray:
+        columns = []
+        for i in range(self.degree + 1):
+            for j in range(self.degree + 1 - i):
+                for k in range(self.degree + 1 - i - j):
+                    columns.append(x[:, 0] ** i * x[:, 1] ** j * x[:, 2] ** k)
+        return np.column_stack(columns)
+
+    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
+        x = (np.array([[T, a_out_prev, a_in]]) - self._mean) / self._std
+        design = self._design(x)
+        return (
+            float((design @ self._coef_slope)[0]),
+            float((design @ self._coef_delay)[0]),
+        )
+
+
+class RBFTransferFunction:
+    """Thin-plate-spline radial-basis interpolation (the "splines" entry)."""
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        max_points: int = 600,
+        smoothing: float = 1e-8,
+        seed: int = 0,
+    ) -> None:
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        slopes = np.asarray(slopes, dtype=float).ravel()
+        delays = np.asarray(delays, dtype=float).ravel()
+        if features.shape[0] != slopes.size:
+            raise ModelError("feature/target row counts differ")
+        if features.shape[0] > max_points:
+            rng = np.random.default_rng(seed)
+            idx = rng.choice(features.shape[0], size=max_points, replace=False)
+            features, slopes, delays = features[idx], slopes[idx], delays[idx]
+        self._mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        scaled = (features - self._mean) / self._std
+        self._rbf_slope = RBFInterpolator(
+            scaled, slopes, kernel="thin_plate_spline", smoothing=smoothing
+        )
+        self._rbf_delay = RBFInterpolator(
+            scaled, delays, kernel="thin_plate_spline", smoothing=smoothing
+        )
+
+    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
+        x = (np.array([[T, a_out_prev, a_in]]) - self._mean) / self._std
+        return float(self._rbf_slope(x)[0]), float(self._rbf_delay(x)[0])

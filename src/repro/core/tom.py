@@ -1,0 +1,134 @@
+"""Third-order model (TOM) transfer functions and Algorithm 1.
+
+The TOM (Sec. III, Eq. 3) predicts the parameters of the next output
+sigmoid of a gate from the current input sigmoid and the previous output
+sigmoid::
+
+    (a_out_n, b_out_n - b_in_n) = F_G(b_in_n - b_out_{n-1}, a_in_n, a_out_{n-1})
+
+:func:`predict_gate_output` is the paper's Algorithm 1: it seeds the
+output list with a dummy transition at ``-inf`` (realized as a large but
+finite history so ANN inputs stay in range), walks the input transitions
+in time order, dispatches to the rising/falling transfer function, and
+applies sub-threshold pulse cancellation on the fly (the refinement the
+paper describes below Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.constants import NOMINAL_SLOPE
+from repro.core.cancellation import pair_crosses_threshold
+from repro.core.trace import SigmoidalTrace
+from repro.errors import ModelError
+
+#: History cap (scaled time units, = 100 ps): a previous output transition
+#: farther back than this has no influence (the paper's decay property —
+#: gate-state recovery completes within a few gate delays); it also
+#: realizes the dummy ``(s, -inf)`` seed with in-range ANN inputs.  Keeping
+#: the cap close to the dynamic range matters: it anchors the feature
+#: scaling that the valid region uses, so near-cliff queries project onto
+#: cliff-edge training points instead of healthy ones.
+T_CAP: float = 1.0
+
+
+class TransferFunction(Protocol):
+    """One polarity's transfer function ``F_G`` (Eq. 3).
+
+    Implementations: :class:`~repro.core.ann_transfer.ANNTransferFunction`
+    (the paper's), plus LUT/polynomial/RBF alternatives in
+    :mod:`~repro.core.table_transfer`.
+    """
+
+    def predict(
+        self, T: float, a_out_prev: float, a_in: float
+    ) -> tuple[float, float]:
+        """Return ``(a_out, delta_b)`` with ``delta_b = b_out - b_in``."""
+        ...
+
+
+def clamp_history(T: float, t_cap: float = T_CAP) -> float:
+    """Clamp the history feature to the decay cap (handles the -inf seed)."""
+    return float(min(T, t_cap))
+
+
+def predict_gate_output(
+    input_trace: SigmoidalTrace,
+    tf_rise: TransferFunction,
+    tf_fall: TransferFunction,
+    initial_output_level: int,
+    dummy_slope: float = NOMINAL_SLOPE,
+    t_cap: float = T_CAP,
+    cancel_subthreshold: bool = True,
+) -> SigmoidalTrace:
+    """Algorithm 1: predict a single-input gate's output sigmoid list.
+
+    Parameters
+    ----------
+    input_trace:
+        The gate input as a sigmoidal trace.
+    tf_rise / tf_fall:
+        Transfer functions used for rising (``a_in > 0``) and falling
+        input transitions respectively.
+    initial_output_level:
+        Steady-state output level before any transition (for an inverter:
+        the complement of the input's initial level).
+    dummy_slope:
+        Magnitude of the dummy previous-output slope ``s``; its polarity
+        matches the initial conditions (line 1 of Algorithm 1).
+    cancel_subthreshold:
+        Remove adjacent output pairs that never cross VDD/2, as described
+        below Algorithm 1.
+    """
+    if initial_output_level not in (0, 1):
+        raise ModelError("initial_output_level must be 0 or 1")
+
+    # Dummy previous output transition (s, -inf): the polarity is the one
+    # that *led to* the initial level (rising if the output now rests high).
+    s_sign = 1.0 if initial_output_level == 1 else -1.0
+    prev_a = s_sign * abs(dummy_slope)
+    prev_b = -np.inf
+
+    output_params: list[tuple[float, float]] = []
+    expected_sign = -s_sign  # output transitions alternate after the dummy
+
+    for a_in, b_in in input_trace.params:
+        T = clamp_history(b_in - prev_b, t_cap)
+        tf = tf_rise if a_in > 0 else tf_fall
+        a_out, delta_b = tf.predict(T, prev_a, a_in)
+        if not np.isfinite(a_out) or not np.isfinite(delta_b):
+            raise ModelError("transfer function produced non-finite output")
+        # Enforce the structural alternation of the output trace: the
+        # prediction's magnitude is kept, the polarity is dictated by the
+        # sequence (a mispredicted sign cannot produce a valid trace).
+        a_out = expected_sign * abs(a_out)
+        b_out = b_in + delta_b
+
+        # Output transitions must stay ordered; a prediction that would
+        # jump before its predecessor is snapped just after it.
+        if output_params and b_out <= output_params[-1][1]:
+            b_out = output_params[-1][1] + 1e-6
+
+        output_params.append((a_out, b_out))
+        prev_a, prev_b = a_out, b_out
+        expected_sign = -expected_sign
+
+        if cancel_subthreshold and len(output_params) >= 2:
+            first = output_params[-2]
+            second = output_params[-1]
+            if not pair_crosses_threshold(first, second):
+                # Drop the sub-threshold pulse; the previous output
+                # transition reverts to the one before the pair.
+                output_params.pop()
+                output_params.pop()
+                if output_params:
+                    prev_a, prev_b = output_params[-1]
+                else:
+                    prev_a, prev_b = s_sign * abs(dummy_slope), -np.inf
+                expected_sign = -np.sign(prev_a)
+
+    return SigmoidalTrace(initial_output_level, output_params,
+                          vdd=input_trace.vdd)

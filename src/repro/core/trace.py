@@ -1,0 +1,174 @@
+"""Sigmoidal traces: the signal representation of the paper.
+
+A :class:`SigmoidalTrace` generalizes a digital trace: each transition
+carries a slope parameter ``a`` and a crossing time ``b`` (scaled time).
+The trace evaluates to an analog voltage via the Eq. 2 joint model, can be
+digitized at VDD/2, and can be constructed from a digital trace with a
+nominal slope (the "same stimulus" mode of Table I's last row).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.constants import NOMINAL_SLOPE, TIME_SCALE, VDD, VTH, from_scaled
+from repro.core.sigmoid import sum_model_tau, transition_width_tau
+from repro.digital.trace import DigitalTrace
+from repro.errors import FittingError
+
+
+class SigmoidalTrace:
+    """A signal as a sum of sigmoids plus an initial rail level.
+
+    Parameters
+    ----------
+    initial_level:
+        Logic value long before the first transition (0 or 1).
+    params:
+        Sequence of ``(a, b)`` rows sorted by ascending ``b``; the signs of
+        ``a`` must alternate, starting opposite to ``initial_level``
+        (a trace resting at 0 must begin with a rising sigmoid).
+    vdd:
+        Rail voltage of the represented signal.
+    """
+
+    __slots__ = ("initial_level", "params", "vdd")
+
+    def __init__(
+        self,
+        initial_level: int,
+        params: Sequence[tuple[float, float]] | np.ndarray = (),
+        vdd: float = VDD,
+    ) -> None:
+        if initial_level not in (0, 1):
+            raise FittingError("initial_level must be 0 or 1")
+        array = np.asarray(list(params), dtype=float).reshape(-1, 2)
+        if array.size:
+            if np.any(array[:, 0] == 0.0):
+                raise FittingError("slope parameters must be nonzero")
+            if np.any(np.diff(array[:, 1]) < 0):
+                raise FittingError("crossing times must be ascending")
+            expected_sign = -1.0 if initial_level else 1.0
+            for a, _b in array:
+                if np.sign(a) != expected_sign:
+                    raise FittingError(
+                        "slope signs must alternate starting "
+                        f"{'falling' if initial_level else 'rising'}"
+                    )
+                expected_sign = -expected_sign
+        self.initial_level = int(initial_level)
+        self.params = array
+        self.vdd = vdd
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digital(
+        cls,
+        trace: DigitalTrace,
+        slope: float = NOMINAL_SLOPE,
+        vdd: float = VDD,
+    ) -> "SigmoidalTrace":
+        """Digital trace -> sigmoids with a fixed nominal slope magnitude."""
+        params = []
+        sign = -1.0 if trace.initial else 1.0
+        for time in trace.times:
+            params.append((sign * abs(slope), time * TIME_SCALE))
+            sign = -sign
+        return cls(int(trace.initial), params, vdd=vdd)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n_transitions(self) -> int:
+        return int(self.params.shape[0])
+
+    @property
+    def offset(self) -> float:
+        """Rail offset of the Eq. 2 sum (``n_falling - initial_level``)."""
+        n_falling = int(np.sum(self.params[:, 0] < 0)) if self.params.size else 0
+        return float(n_falling - self.initial_level)
+
+    def final_level(self) -> int:
+        return (self.initial_level + self.n_transitions) % 2
+
+    def value(self, t_seconds) -> np.ndarray:
+        """Analog value at times (seconds)."""
+        tau = np.asarray(t_seconds, dtype=float) * TIME_SCALE
+        if not self.params.size:
+            return np.full(tau.shape, self.initial_level * self.vdd)
+        return sum_model_tau(tau, self.params, self.offset, vdd=self.vdd)
+
+    def value_tau(self, tau) -> np.ndarray:
+        """Analog value at scaled times."""
+        tau = np.asarray(tau, dtype=float)
+        if not self.params.size:
+            return np.full(tau.shape, self.initial_level * self.vdd)
+        return sum_model_tau(tau, self.params, self.offset, vdd=self.vdd)
+
+    # ------------------------------------------------------------------
+    # digitization
+    # ------------------------------------------------------------------
+    def crossing_times_tau(self, threshold: float = VTH) -> list[float]:
+        """Scaled times where the trace crosses ``threshold``.
+
+        Well-separated transitions cross once near each ``b_i``; degraded
+        (overlapping) pairs may not cross at all.  The search samples a
+        dense grid spanning all transitions and refines each sign change
+        with Brent's method.
+        """
+        if not self.params.size:
+            return []
+        widths = np.array([transition_width_tau(a) for a, _ in self.params])
+        lo = float(self.params[0, 1] - 8 * widths[0] - 1.0)
+        hi = float(self.params[-1, 1] + 8 * widths[-1] + 1.0)
+        # Dense local grids around each transition + a coarse global grid.
+        pieces = [np.linspace(lo, hi, 256)]
+        for (a, b), w in zip(self.params, widths):
+            pieces.append(np.linspace(b - 6 * w, b + 6 * w, 128))
+        grid = np.unique(np.concatenate(pieces))
+        values = self.value_tau(grid) - threshold
+        crossings = []
+        signs = np.sign(values)
+        change = np.nonzero(np.diff(signs) != 0)[0]
+        for i in change:
+            if values[i] == 0.0:
+                crossings.append(float(grid[i]))
+                continue
+            root = brentq(
+                lambda x: float(self.value_tau(np.array([x]))[0] - threshold),
+                grid[i],
+                grid[i + 1],
+                xtol=1e-8,
+            )
+            crossings.append(float(root))
+        return crossings
+
+    def digitize(self, threshold: float = VTH) -> DigitalTrace:
+        """Threshold the trace into a :class:`DigitalTrace`."""
+        crossings = self.crossing_times_tau(threshold)
+        initial = bool(self.initial_level)
+        times = []
+        value = initial
+        for tau in crossings:
+            times.append(from_scaled(tau).item())
+            value = not value
+        return DigitalTrace(initial, times)
+
+    # ------------------------------------------------------------------
+    def shifted(self, dt_seconds: float) -> "SigmoidalTrace":
+        params = self.params.copy()
+        if params.size:
+            params[:, 1] += dt_seconds * TIME_SCALE
+        return SigmoidalTrace(self.initial_level, params, vdd=self.vdd)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SigmoidalTrace(initial={self.initial_level}, "
+            f"n={self.n_transitions})"
+        )

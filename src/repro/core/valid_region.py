@@ -1,0 +1,224 @@
+"""Valid-region containment for transfer-function inputs (Sec. IV-B).
+
+ANNs extrapolate arbitrarily outside their training set, and in a circuit
+the output of one gate feeds the next, so prediction errors could carry a
+query far outside the characterized region and then amplify.  The paper
+computes a concave hull of the training inputs ``(T, a_out_prev, a_in)``
+and projects out-of-region queries onto it.
+
+Computing a true 3-D concave hull is, as the paper notes, "a delicate
+task" (it is not uniquely defined).  Two practical region families are
+provided:
+
+* :class:`ConvexHullRegion` — Delaunay-based membership with exact
+  nearest-point-on-hull projection.  Slightly larger than the concave
+  hull but unambiguous.
+* :class:`KNNRegion` — the Moreira-Santos k-nearest-neighbour flavour of
+  concavity: a query is valid when its k-th-neighbour distance (in
+  feature-scaled space) does not exceed a calibrated radius; invalid
+  queries are projected to the nearest training point.  This tracks
+  concave training sets more tightly and is the default.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+from scipy.spatial import ConvexHull, Delaunay, cKDTree
+
+from repro.errors import RegionError
+
+
+class ValidRegion(Protocol):
+    """Membership plus projection onto the region."""
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask for (n, d) query points."""
+        ...
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Project queries onto the region (valid points pass through)."""
+        ...
+
+
+def _check_points(points: np.ndarray, dim: int | None = None) -> np.ndarray:
+    array = np.atleast_2d(np.asarray(points, dtype=float))
+    if array.ndim != 2:
+        raise RegionError("points must be a 2-D array")
+    if dim is not None and array.shape[1] != dim:
+        raise RegionError(f"expected {dim}-D points, got {array.shape[1]}-D")
+    return array
+
+
+class KNNRegion:
+    """k-NN concave region with nearest-training-point projection.
+
+    Distances are measured after per-feature standardization so the
+    heterogeneous TOM features (time differences vs slopes) contribute
+    comparably.  The validity radius is the ``radius_quantile`` of the
+    training points' own k-th-neighbour distances times ``margin``.
+    """
+
+    def __init__(
+        self,
+        training_points: np.ndarray,
+        k: int = 5,
+        radius_quantile: float = 0.98,
+        margin: float = 1.5,
+    ) -> None:
+        points = _check_points(training_points)
+        if points.shape[0] < k + 1:
+            raise RegionError(f"need at least {k + 1} training points")
+        self.dim = points.shape[1]
+        self.k = k
+        self._mean = points.mean(axis=0)
+        std = points.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._std = std
+        self._scaled = (points - self._mean) / self._std
+        self._points = points
+        self._tree = cKDTree(self._scaled)
+        own_dists, _ = self._tree.query(self._scaled, k=k + 1)
+        self.radius = float(np.quantile(own_dists[:, k], radius_quantile) * margin)
+        if self.radius <= 0:
+            raise RegionError("degenerate training set (zero radius)")
+
+    def _scale(self, points: np.ndarray) -> np.ndarray:
+        return (points - self._mean) / self._std
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        queries = self._scale(_check_points(points, self.dim))
+        dists, _ = self._tree.query(queries, k=self.k)
+        kth = dists[:, -1] if self.k > 1 else dists
+        return np.asarray(kth) <= self.radius
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        queries = _check_points(points, self.dim)
+        inside = self.contains(queries)
+        if np.all(inside):
+            return queries
+        result = queries.copy()
+        scaled = self._scale(queries[~inside])
+        _, nearest = self._tree.query(scaled, k=1)
+        result[~inside] = self._points[np.atleast_1d(nearest)]
+        return result
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "knn",
+            "points": self._points.tolist(),
+            "k": self.k,
+            "radius": self.radius,
+            "mean": self._mean.tolist(),
+            "std": self._std.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KNNRegion":
+        region = cls.__new__(cls)
+        points = np.asarray(data["points"], dtype=float)
+        region._points = points
+        region.dim = points.shape[1]
+        region.k = int(data["k"])
+        region._mean = np.asarray(data["mean"], dtype=float)
+        region._std = np.asarray(data["std"], dtype=float)
+        region._scaled = (points - region._mean) / region._std
+        region._tree = cKDTree(region._scaled)
+        region.radius = float(data["radius"])
+        return region
+
+
+class ConvexHullRegion:
+    """Convex-hull membership with exact projection onto the hull surface."""
+
+    def __init__(self, training_points: np.ndarray) -> None:
+        points = _check_points(training_points)
+        if points.shape[0] < points.shape[1] + 1:
+            raise RegionError("not enough points for a full-dimensional hull")
+        self.dim = points.shape[1]
+        self._points = points
+        try:
+            self._delaunay = Delaunay(points)
+            self._hull = ConvexHull(points)
+        except Exception as exc:
+            raise RegionError(f"degenerate training set: {exc}") from exc
+        # Facet vertex coordinates, (n_facets, d, d).
+        self._facets = points[self._hull.simplices]
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        queries = _check_points(points, self.dim)
+        return self._delaunay.find_simplex(queries) >= 0
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        queries = _check_points(points, self.dim)
+        inside = self.contains(queries)
+        if np.all(inside):
+            return queries
+        result = queries.copy()
+        for i in np.nonzero(~inside)[0]:
+            result[i] = self._project_single(queries[i])
+        return result
+
+    def _project_single(self, query: np.ndarray) -> np.ndarray:
+        best = None
+        best_dist = np.inf
+        for facet in self._facets:
+            candidate = _closest_point_on_simplex(query, facet)
+            dist = float(np.linalg.norm(candidate - query))
+            if dist < best_dist:
+                best_dist = dist
+                best = candidate
+        return best
+
+    def to_dict(self) -> dict:
+        return {"kind": "convex", "points": self._points.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConvexHullRegion":
+        return cls(np.asarray(data["points"], dtype=float))
+
+
+def region_from_dict(data: dict):
+    """Rebuild a region serialized by either class."""
+    kind = data.get("kind")
+    if kind == "knn":
+        return KNNRegion.from_dict(data)
+    if kind == "convex":
+        return ConvexHullRegion.from_dict(data)
+    raise RegionError(f"unknown region kind {kind!r}")
+
+
+def _closest_point_on_simplex(query: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+    """Closest point on a (d-1)-simplex embedded in R^d.
+
+    Solves the small constrained least-squares problem over barycentric
+    coordinates by active-set enumeration (facets here have at most three
+    vertices for 3-D hulls, so enumeration is cheap and exact).
+    """
+    n = vertices.shape[0]
+    best = None
+    best_dist = np.inf
+    # Enumerate all non-empty vertex subsets; project onto each affine
+    # hull and keep feasible (all-nonnegative barycentric) candidates.
+    for mask in range(1, 2**n):
+        subset = vertices[[i for i in range(n) if mask >> i & 1]]
+        base = subset[0]
+        if subset.shape[0] == 1:
+            candidate = base
+        else:
+            directions = subset[1:] - base
+            gram = directions @ directions.T
+            rhs = directions @ (query - base)
+            try:
+                coefficients = np.linalg.solve(gram, rhs)
+            except np.linalg.LinAlgError:
+                continue
+            if np.any(coefficients < -1e-12) or coefficients.sum() > 1 + 1e-12:
+                continue
+            candidate = base + coefficients @ directions
+        dist = float(np.linalg.norm(candidate - query))
+        if dist < best_dist:
+            best_dist = dist
+            best = candidate
+    return best

@@ -1,0 +1,38 @@
+"""Event-driven digital simulation substrate (replaces ModelSim).
+
+Provides the slope-blind baseline the paper compares against:
+
+* :class:`~repro.digital.trace.DigitalTrace` — Heaviside transition traces
+  and the mismatch-time measure underlying the paper's ``t_err`` metric,
+* :mod:`~repro.digital.delay` — delay models: per-instance fixed arc
+  delays (SDF-style Table-I baseline), load-interpolated tables, and the
+  DDM exponential degradation model from the literature,
+* :mod:`~repro.digital.hybrid` — a thresholded hybrid (involution-style)
+  channel, the stronger digital baseline family the paper cites,
+* :class:`~repro.digital.simulator.DigitalSimulator` — event queue with
+  inertial cancellation,
+* :mod:`~repro.digital.characterize` — extracts the delay tables from the
+  analog substrate (playing the role of Genus/Innovus extraction).
+"""
+
+from repro.digital.trace import DigitalTrace
+from repro.digital.delay import (
+    ArcKey,
+    DelayLibrary,
+    DDMDelayModel,
+    FixedDelayModel,
+    LoadTableDelayModel,
+)
+from repro.digital.hybrid import HybridExpChannel
+from repro.digital.simulator import DigitalSimulator
+
+__all__ = [
+    "DigitalTrace",
+    "ArcKey",
+    "DelayLibrary",
+    "FixedDelayModel",
+    "LoadTableDelayModel",
+    "DDMDelayModel",
+    "HybridExpChannel",
+    "DigitalSimulator",
+]

@@ -1,0 +1,190 @@
+"""Delay characterization from the analog substrate.
+
+Plays the role of the Genus/Innovus extraction the paper used for its
+ModelSim baseline: each timing arc (cell, input pin, output edge) is
+measured on the staged analog engine for a range of output loads, with the
+input driven through pulse-shaping inverters so the stimulus slew matches
+what gates see inside a real circuit.
+
+The result is a :class:`~repro.digital.delay.DelayLibrary`; the digital
+simulator resolves per-instance fixed delays from it at each gate's actual
+fanout load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
+from repro.analog.staged import StagedSimulator
+from repro.analog.stimuli import SteppedSource
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.constants import VTH
+from repro.digital.delay import ArcKey, ArcTable, DelayLibrary
+from repro.errors import SimulationError
+
+#: Number of pulse-shaping inverters in front of every measured gate.
+N_SHAPING = 2
+
+#: Stimulus edges: one rising and one falling, far apart (no history effect).
+_T_RISE = 40e-12
+_T_FALL = 110e-12
+_T_STOP = 170e-12
+
+
+def _arc_configs(loads: tuple[int, ...]):
+    """All (cell, pin, load) combinations to measure.
+
+    ``NOR2T`` is the tied-input NOR (the pure-NOR mapping's inverter).
+    """
+    for cell, pins in (("INV", (0,)), ("NOR2", (0, 1)), ("NOR2T", (0,))):
+        for pin in pins:
+            for load in loads:
+                yield cell, pin, load
+
+
+def _build_bench_netlist(loads: tuple[int, ...]) -> tuple[Netlist, dict]:
+    """One netlist holding every measurement structure in parallel.
+
+    Returns the netlist and a map config -> (input net, output net).
+    """
+    netlist = Netlist("char")
+    netlist.add_input("stim")
+    netlist.add_input("lo")
+    probes: dict[tuple[str, int, int], tuple[str, str]] = {}
+    for cell, pin, load in _arc_configs(loads):
+        tag = f"{cell.lower()}_p{pin}_l{load}"
+        prev = "stim"
+        for i in range(N_SHAPING):
+            net = f"{tag}_s{i}"
+            netlist.add_gate(net, GateType.INV, [prev])
+            prev = net
+        out = f"{tag}_out"
+        if cell == "INV":
+            netlist.add_gate(out, GateType.INV, [prev])
+        elif cell == "NOR2T":
+            netlist.add_gate(out, GateType.NOR, [prev, prev])
+        else:
+            inputs = [prev, "lo"] if pin == 0 else ["lo", prev]
+            netlist.add_gate(out, GateType.NOR, inputs)
+        for k in range(load):
+            netlist.add_gate(f"{tag}_ld{k}", GateType.INV, [out])
+        netlist.add_output(out)
+        probes[(cell, pin, load)] = (prev, out)
+    netlist.validate()
+    return netlist, probes
+
+
+def characterize_delay_library(
+    library: CellLibrary = DEFAULT_LIBRARY,
+    loads: tuple[int, ...] = (1, 2, 3, 4),
+    dt: float = 0.1e-12,
+) -> DelayLibrary:
+    """Measure all arcs on the staged analog engine.
+
+    ``loads`` are fanout counts (each load unit is one inverter input);
+    the resulting tables are indexed by capacitive load in farads so the
+    simulator can interpolate at arbitrary instance loads.
+    """
+    if not loads:
+        raise SimulationError("need at least one load point")
+    netlist, probes = _build_bench_netlist(tuple(loads))
+    sim = StagedSimulator(netlist, library=library)
+    record = sorted({net for pair in probes.values() for net in pair})
+    stim = SteppedSource([np.array([_T_RISE, _T_FALL])], initial_levels=0)
+    lo = SteppedSource.constant(0, 1)
+    result = sim.simulate({"stim": stim, "lo": lo}, t_stop=_T_STOP,
+                          record_nets=record)
+
+    # Group measurements: arc -> load -> (delay, slew)
+    measured: dict[tuple[str, int, str], dict[int, tuple[float, float]]] = {}
+    for (cell, pin, load), (in_net, out_net) in probes.items():
+        wf_in = result.waveform(in_net)
+        wf_out = result.waveform(out_net)
+        in_xs = wf_in.crossings(VTH)
+        out_xs = wf_out.crossings(VTH)
+        if len(in_xs) != 2 or len(out_xs) != 2:
+            raise SimulationError(
+                f"unexpected crossing counts for {cell} pin{pin} load{load}: "
+                f"{len(in_xs)} in, {len(out_xs)} out"
+            )
+        for in_x, out_x in zip(in_xs, out_xs):
+            edge = "rise" if out_x.direction > 0 else "fall"
+            delay = out_x.time - in_x.time
+            if delay <= 0:
+                raise SimulationError("non-causal delay measured")
+            slew = wf_out.edge_time(out_x)
+            measured.setdefault((cell, pin, edge), {})[load] = (delay, slew)
+
+    # Convert fanout counts to capacitive loads and build tables.
+    delay_lib = DelayLibrary()
+    for (cell, pin, edge), by_load in measured.items():
+        fanouts = sorted(by_load)
+        cap_loads = [
+            library.wire_cap + n * library.input_capacitance("INV") for n in fanouts
+        ]
+        delays = [by_load[n][0] for n in fanouts]
+        slews = [by_load[n][1] for n in fanouts]
+        delay_lib.add(
+            ArcKey(cell, pin, edge),
+            ArcTable(np.asarray(cap_loads), np.asarray(delays), np.asarray(slews)),
+        )
+    return delay_lib
+
+
+def instance_load(
+    netlist: Netlist, net: str, library: CellLibrary = DEFAULT_LIBRARY
+) -> float:
+    """Capacitive load a gate output drives inside ``netlist`` (farads)."""
+    consumers = netlist.fanout().get(net, [])
+    load = library.wire_cap * max(len(consumers), 1)
+    for consumer, pin in consumers:
+        gtype = netlist.gates[consumer].gtype
+        cell = "INV" if gtype is GateType.INV else "NOR2"
+        load += library.input_capacitance(cell, pin)
+    return load
+
+
+def build_instance_delays(
+    netlist: Netlist,
+    delay_library: DelayLibrary,
+    library: CellLibrary = DEFAULT_LIBRARY,
+):
+    """Fixed per-instance delay models for every gate of ``netlist``.
+
+    This is the digital baseline configuration of Table I: individual
+    delays per gate resolved at the gate's actual interconnect + fanout
+    load, like an SDF annotation.
+    """
+    from repro.digital.delay import FixedDelayModel
+
+    fanout = netlist.fanout()
+    models = {}
+    for name, gate in netlist.gates.items():
+        if gate.gtype is GateType.INV:
+            cell = "INV"
+        elif gate.inputs[0] == gate.inputs[1]:
+            cell = "NOR2T"
+        else:
+            cell = "NOR2"
+        consumers = fanout.get(name, [])
+        load = library.wire_cap * max(len(consumers), 1)
+        for consumer, pin in consumers:
+            ctype = netlist.gates[consumer].gtype
+            ccell = "INV" if ctype is GateType.INV else "NOR2"
+            load += library.input_capacitance(ccell, pin)
+        if cell == "NOR2":
+            models[name] = FixedDelayModel.from_library(
+                delay_library, cell, 2, load
+            )
+        else:
+            # Single-channel cells; tied gates may be poked on either pin
+            # by the event loop, so both map to the same arc.
+            delays = {}
+            for edge in ("rise", "fall"):
+                value = delay_library.delay(ArcKey(cell, 0, edge), load)
+                delays[(0, edge)] = value
+                delays[(1, edge)] = value
+            models[name] = FixedDelayModel(delays)
+    return models

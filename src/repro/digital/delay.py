@@ -1,0 +1,195 @@
+"""Gate delay models for the digital simulator.
+
+The Table-I digital baseline mirrors a ModelSim+SDF flow: every gate
+instance carries fixed pin-to-output rise/fall delays, looked up from
+tables characterized on the analog substrate at the instance's actual
+load (the role Genus/Innovus extraction plays in the paper).
+
+Model hierarchy:
+
+* :class:`FixedDelayModel` — constant per-arc delays (resolved per
+  instance from a :class:`DelayLibrary` at build time),
+* :class:`LoadTableDelayModel` — 1-D load-interpolated tables,
+* :class:`DDMDelayModel` — the Delay Degradation Model of Bellido-Diaz et
+  al.: the effective delay shrinks exponentially when the previous output
+  transition was recent, modeling pulse degradation in a purely digital
+  simulator.
+
+All delays are in seconds.  ``ArcKey`` identifies a timing arc by cell,
+input pin and *output* edge direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True, order=True)
+class ArcKey:
+    """Identifies one timing arc: cell type, input pin, output edge."""
+
+    cell: str  # "INV" | "NOR2"
+    pin: int
+    edge: str  # "rise" | "fall" of the output
+
+    def __post_init__(self) -> None:
+        if self.edge not in ("rise", "fall"):
+            raise ModelError("edge must be 'rise' or 'fall'")
+
+
+@dataclass
+class ArcTable:
+    """Delay and output slew of one arc, tabulated over output load."""
+
+    loads: np.ndarray  # farads, ascending
+    delays: np.ndarray  # seconds
+    slews: np.ndarray  # seconds (10-90% edge time)
+
+    def __post_init__(self) -> None:
+        self.loads = np.asarray(self.loads, dtype=float)
+        self.delays = np.asarray(self.delays, dtype=float)
+        self.slews = np.asarray(self.slews, dtype=float)
+        if self.loads.ndim != 1 or self.loads.size < 1:
+            raise ModelError("need at least one load point")
+        if self.delays.shape != self.loads.shape or self.slews.shape != self.loads.shape:
+            raise ModelError("table arrays must share one shape")
+        if self.loads.size > 1 and np.any(np.diff(self.loads) <= 0):
+            raise ModelError("loads must be ascending")
+
+    def delay_at(self, load: float) -> float:
+        """Linearly interpolated (clamped) delay at ``load``."""
+        return float(np.interp(load, self.loads, self.delays))
+
+    def slew_at(self, load: float) -> float:
+        return float(np.interp(load, self.loads, self.slews))
+
+    def to_dict(self) -> dict:
+        return {
+            "loads": self.loads.tolist(),
+            "delays": self.delays.tolist(),
+            "slews": self.slews.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArcTable":
+        return cls(
+            np.asarray(data["loads"]),
+            np.asarray(data["delays"]),
+            np.asarray(data["slews"]),
+        )
+
+
+@dataclass
+class DelayLibrary:
+    """All characterized arcs of the cell set."""
+
+    arcs: dict[ArcKey, ArcTable] = field(default_factory=dict)
+
+    def add(self, key: ArcKey, table: ArcTable) -> None:
+        self.arcs[key] = table
+
+    def table(self, key: ArcKey) -> ArcTable:
+        try:
+            return self.arcs[key]
+        except KeyError:
+            raise ModelError(f"no characterized arc for {key}") from None
+
+    def delay(self, key: ArcKey, load: float) -> float:
+        return self.table(key).delay_at(load)
+
+    def to_dict(self) -> dict:
+        return {
+            f"{k.cell}|{k.pin}|{k.edge}": v.to_dict() for k, v in self.arcs.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DelayLibrary":
+        lib = cls()
+        for key_str, table in data.items():
+            cell, pin, edge = key_str.split("|")
+            lib.add(ArcKey(cell, int(pin), edge), ArcTable.from_dict(table))
+        return lib
+
+
+class InstanceDelayModel:
+    """Per-gate-instance delay interface used by the simulator."""
+
+    def delay(self, pin: int, edge: str, now: float, last_output_time: float) -> float:
+        """Delay of an output ``edge`` caused by input ``pin`` at ``now``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class FixedDelayModel(InstanceDelayModel):
+    """Constant per-arc delays (the SDF-style ModelSim baseline)."""
+
+    def __init__(self, delays: dict[tuple[int, str], float]) -> None:
+        if not delays:
+            raise ModelError("need at least one arc delay")
+        for (pin, edge), value in delays.items():
+            if edge not in ("rise", "fall"):
+                raise ModelError("edge must be 'rise' or 'fall'")
+            if value <= 0:
+                raise ModelError(f"delay for pin {pin} {edge} must be positive")
+        self._delays = dict(delays)
+
+    @classmethod
+    def from_library(
+        cls, library: DelayLibrary, cell: str, n_pins: int, load: float
+    ) -> "FixedDelayModel":
+        """Resolve instance delays from the library at the instance load."""
+        delays = {}
+        for pin in range(n_pins):
+            for edge in ("rise", "fall"):
+                delays[(pin, edge)] = library.delay(ArcKey(cell, pin, edge), load)
+        return cls(delays)
+
+    def delay(self, pin: int, edge: str, now: float, last_output_time: float) -> float:
+        try:
+            return self._delays[(pin, edge)]
+        except KeyError:
+            raise ModelError(f"no delay for pin {pin} edge {edge}") from None
+
+
+class LoadTableDelayModel(FixedDelayModel):
+    """Alias constructor emphasizing table-based per-instance resolution."""
+
+
+class DDMDelayModel(InstanceDelayModel):
+    """Delay Degradation Model (Bellido-Diaz et al., 2000).
+
+    The nominal arc delay ``d0`` degrades when the time ``T`` since the
+    previous *output* transition is short::
+
+        d_eff(T) = d0 * (1 - exp(-(T - t0) / tau))    for T > t0
+
+    For ``T <= t0`` the new transition would be fully degraded; the model
+    returns a non-positive delay which the simulator interprets as pulse
+    cancellation.
+    """
+
+    def __init__(
+        self,
+        base: dict[tuple[int, str], float],
+        tau: float,
+        t0: float = 0.0,
+    ) -> None:
+        if tau <= 0:
+            raise ModelError("tau must be positive")
+        if t0 < 0:
+            raise ModelError("t0 must be non-negative")
+        self._base = FixedDelayModel(base)
+        self.tau = tau
+        self.t0 = t0
+
+    def delay(self, pin: int, edge: str, now: float, last_output_time: float) -> float:
+        d0 = self._base.delay(pin, edge, now, last_output_time)
+        T = now - last_output_time
+        if not np.isfinite(T):
+            return d0
+        if T <= self.t0:
+            return 0.0
+        return d0 * (1.0 - float(np.exp(-(T - self.t0) / self.tau)))

@@ -1,0 +1,130 @@
+"""Digital (Heaviside) signal traces.
+
+A :class:`DigitalTrace` is an initial logic value plus strictly increasing
+transition times; the value alternates at every transition.  It is the
+common currency of the evaluation pipeline: analog waveforms and sigmoid
+traces are digitized at VDD/2 into this representation, and the paper's
+``t_err`` — the total time two traces disagree about being above/below the
+threshold — is :meth:`DigitalTrace.mismatch_time`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.constants import VTH
+from repro.errors import SimulationError
+
+
+class DigitalTrace:
+    """An alternating boolean signal over time."""
+
+    __slots__ = ("initial", "times")
+
+    def __init__(self, initial: bool, times: Sequence[float] = ()) -> None:
+        self.initial = bool(initial)
+        times = [float(t) for t in times]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise SimulationError("transition times must be strictly increasing")
+        self.times = times
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_waveform(cls, waveform, threshold: float = VTH) -> "DigitalTrace":
+        """Digitize an analog :class:`~repro.analog.waveform.Waveform`."""
+        crossings = waveform.crossings(threshold)
+        initial = bool(waveform.v[0] > threshold)
+        # Keep only consistent alternations (runt numerical double-crossings
+        # are already separated by direction in Waveform.crossings).
+        times = []
+        value = initial
+        for crossing in crossings:
+            rising = crossing.direction > 0
+            if rising == value:
+                continue  # crossing in the direction we already hold
+            times.append(crossing.time)
+            value = not value
+        return cls(initial, times)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n_transitions(self) -> int:
+        return len(self.times)
+
+    def value_at(self, t: float) -> bool:
+        """Logic value at time ``t`` (transitions take effect at their time)."""
+        value = self.initial
+        for time in self.times:
+            if time > t:
+                break
+            value = not value
+        return value
+
+    def final_value(self) -> bool:
+        return self.initial ^ (len(self.times) % 2 == 1)
+
+    def segments(self, t_start: float, t_stop: float):
+        """Yield ``(seg_start, seg_stop, value)`` covering ``[t_start, t_stop]``."""
+        if t_stop <= t_start:
+            raise SimulationError("t_stop must exceed t_start")
+        value = self.initial
+        prev = t_start
+        for time in self.times:
+            if time <= t_start:
+                value = not value
+                continue
+            if time >= t_stop:
+                break
+            yield prev, time, value
+            prev = time
+            value = not value
+        yield prev, t_stop, value
+
+    def mismatch_time(
+        self, other: "DigitalTrace", t_start: float, t_stop: float
+    ) -> float:
+        """Total duration in ``[t_start, t_stop]`` where the traces differ.
+
+        This is the per-signal contribution to the paper's ``t_err``.
+        """
+        boundaries = sorted(
+            {t_start, t_stop}
+            | {t for t in self.times if t_start < t < t_stop}
+            | {t for t in other.times if t_start < t < t_stop}
+        )
+        total = 0.0
+        for a, b in zip(boundaries, boundaries[1:]):
+            mid = 0.5 * (a + b)
+            if self.value_at(mid) != other.value_at(mid):
+                total += b - a
+        return total
+
+    def shifted(self, dt: float) -> "DigitalTrace":
+        return DigitalTrace(self.initial, [t + dt for t in self.times])
+
+    def restricted(self, t_start: float, t_stop: float) -> "DigitalTrace":
+        """Trace restricted to a window (initial value re-evaluated)."""
+        initial = self.value_at(t_start)
+        times = [t for t in self.times if t_start < t < t_stop]
+        return DigitalTrace(initial, times)
+
+    def sample(self, t: np.ndarray, v_high: float = 1.0) -> np.ndarray:
+        """Sample as a 0/v_high rectangular waveform on a time grid."""
+        t = np.asarray(t, dtype=float)
+        counts = np.searchsorted(np.asarray(self.times), t, side="right")
+        values = (int(self.initial) + counts) % 2
+        return values.astype(float) * v_high
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DigitalTrace):
+            return NotImplemented
+        return self.initial == other.initial and self.times == other.times
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DigitalTrace(initial={int(self.initial)}, n={len(self.times)})"

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch domain failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NetlistError(ReproError):
+    """A gate-level netlist is malformed (dangling nets, cycles, ...)."""
+
+
+class AnalogCircuitError(ReproError):
+    """An analog circuit description is malformed or unsolvable."""
+
+
+class SimulationError(ReproError):
+    """A transient / event-driven simulation failed to run."""
+
+
+class FittingError(ReproError):
+    """Sigmoid fitting could not converge or produced invalid parameters."""
+
+
+class ConvergenceError(FittingError):
+    """An iterative optimizer exhausted its iteration budget."""
+
+
+class DatasetError(ReproError):
+    """A characterization dataset is empty, inconsistent, or unreadable."""
+
+
+class ModelError(ReproError):
+    """A trained model bundle is missing, stale, or malformed."""
+
+
+class RegionError(ReproError):
+    """A valid-region construction received degenerate input."""

@@ -1,0 +1,28 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. V).
+
+* :mod:`~repro.eval.stimuli` — randomized transition sequences with
+  normal inter-transition times (Sec. V-B),
+* :mod:`~repro.eval.metrics` — the ``t_err`` mismatch-time metric,
+* :mod:`~repro.eval.runner` — one experiment: circuit × stimuli ×
+  {analog reference, digital simulator, sigmoid simulator},
+* :mod:`~repro.eval.table1` — the Table I harness,
+* :mod:`~repro.eval.figures` — data series for Figs. 1, 4 and 5,
+* :mod:`~repro.eval.report` — plain-text table rendering.
+"""
+
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+from repro.eval.metrics import total_mismatch_time
+from repro.eval.runner import ExperimentResult, ExperimentRunner
+from repro.eval.table1 import Table1Config, Table1Row, format_table1, run_table1
+
+__all__ = [
+    "StimulusConfig",
+    "random_pi_sources",
+    "total_mismatch_time",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "Table1Config",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+]

@@ -1,0 +1,155 @@
+"""Data generators for the paper's figures.
+
+Figures are regenerated as *data series* (plotting is environment
+dependent); each function returns a dict of named arrays plus the derived
+quantities the figure annotates.  The figure benches print compact
+summaries of these series.
+
+* :func:`fig1_data` — Fig. 1: an inverter's analog input/output waveforms
+  for a two-transition pulse, their sigmoid fits, and the TOM parameters.
+  Uses the fully coupled network engine for maximum fidelity.
+* :func:`fig4_data` — Fig. 4: the four-Heaviside-transition stimulus
+  (TA, TB, TC) and the pulse-shaped waveform arriving at the first target
+  gate of a characterization chain.
+* :func:`fig5_data` — Fig. 5: an example output trace of the c1355-class
+  circuit comparing the digital prediction, the sigmoid prediction and
+  the analog reference (same-stimulus mode, like the paper's last-row
+  comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.cells import DEFAULT_LIBRARY
+from repro.analog.engine import TransientEngine
+from repro.analog.netlist import AnalogCircuit
+from repro.analog.stimuli import SteppedSource, pulse_train_times
+from repro.characterization.chains import ChainSpec, build_chain_netlist, STIM, LOW
+from repro.analog.staged import StagedSimulator
+from repro.core.fitting import fit_waveform
+from repro.core.tom import T_CAP
+from repro.eval.runner import ExperimentRunner
+from repro.eval.stimuli import StimulusConfig
+
+
+def fig1_data(
+    pulse: tuple[float, float] = (30e-12, 42e-12),
+    t_stop: float = 80e-12,
+) -> dict:
+    """Inverter waveform + fit, with the TOM parameters of Eq. 3 / Fig. 1."""
+    lib = DEFAULT_LIBRARY
+    circuit = AnalogCircuit()
+    circuit.declare_input("src")
+    # Two shaping inverters produce a realistic input edge, then the
+    # observed inverter drives a fanout-1 load.
+    lib.add_inv(circuit, "src", "s0")
+    lib.add_inv(circuit, "s0", "vin")
+    lib.add_inv(circuit, "vin", "vout")
+    lib.add_inv(circuit, "vout", "load")
+    for net in ("s0", "vin", "vout", "load"):
+        lib.add_wire_load(circuit, net, 1)
+    engine = TransientEngine(circuit)
+    source = SteppedSource([np.array(pulse)], initial_levels=0)
+    result = engine.simulate(
+        {"src": source}, t_stop=t_stop, record_nodes=["vin", "vout"]
+    )
+
+    wf_in = result.waveform("vin")
+    wf_out = result.waveform("vout")
+    fit_in = fit_waveform(wf_in)
+    fit_out = fit_waveform(wf_out)
+
+    tom_features = None
+    if fit_in.n_transitions >= 2 and fit_out.n_transitions >= 2:
+        (a_in_0, b_in_0), (a_in_1, b_in_1) = fit_in.trace.params[:2]
+        (a_out_0, b_out_0), (a_out_1, b_out_1) = fit_out.trace.params[:2]
+        tom_features = {
+            "T": min(float(b_in_1 - b_out_0), T_CAP),
+            "a_in_n": float(a_in_1),
+            "a_out_prev": float(a_out_0),
+            "a_out_n": float(a_out_1),
+            "delta_b": float(b_out_1 - b_in_1),
+        }
+    return {
+        "t": wf_in.t,
+        "vin_analog": wf_in.v,
+        "vin_fit": fit_in.trace.value(wf_in.t),
+        "vout_analog": wf_out.v,
+        "vout_fit": fit_out.trace.value(wf_out.t),
+        "fit_in_params": fit_in.trace.params,
+        "fit_out_params": fit_out.trace.params,
+        "fit_in_rms": fit_in.rms_error,
+        "fit_out_rms": fit_out.rms_error,
+        "tom": tom_features,
+    }
+
+
+def fig4_data(
+    ta: float = 16e-12,
+    tb: float = 16e-12,
+    tc: float = 16e-12,
+    t_stop: float = 140e-12,
+) -> dict:
+    """Heaviside stimulus and the pulse-shaped input of the first target.
+
+    Default intervals sit above this technology's pulse-death cliff
+    (~2x the NOR gate delay) so all four transitions survive shaping, as
+    in the paper's figure.
+    """
+    spec = ChainSpec(pattern=("P0",), n_periods=2, n_shaping=2)
+    netlist, probes = build_chain_netlist(spec)
+    sim = StagedSimulator(netlist)
+    times = pulse_train_times(30e-12, [ta, tb, tc])
+    stim = SteppedSource([times], initial_levels=0)
+    low = SteppedSource.constant(0, 1)
+    first_target_input = probes.stages[0].in_net
+    result = sim.simulate(
+        {STIM: stim, LOW: low},
+        t_stop=t_stop,
+        record_nets=[first_target_input],
+    )
+    wf = result.waveform(first_target_input)
+    return {
+        "t": wf.t,
+        "heaviside": stim.value(wf.t)[:, 0],
+        "shaped": wf.v,
+        "transition_times": times,
+        "intervals": {"TA": ta, "TB": tb, "TC": tc},
+    }
+
+
+def fig5_data(
+    runner: ExperimentRunner,
+    config: StimulusConfig | None = None,
+    seed: int = 0,
+    n_samples: int = 2000,
+) -> dict:
+    """Example output trace comparison (digital vs sigmoid vs analog).
+
+    Picks the primary output with the most reference transitions so the
+    figure shows interesting switching activity, mirroring Fig. 5.
+    """
+    if config is None:
+        config = StimulusConfig(20e-12, 10e-12, 20)
+    result = runner.run(config, seed=seed, same_stimulus=True, keep_traces=True)
+    references = result.po_traces["references"]
+    po = max(references, key=lambda name: references[name].n_transitions)
+
+    wf = result.po_traces["analog_waveforms"][po]
+    t = np.linspace(0.0, result.t_stop, n_samples)
+    digital = result.po_traces["digital"][po]
+    sigmoid = result.po_traces["sigmoid"][po]
+    return {
+        "po": po,
+        "t": t,
+        "analog": wf.value_at(t),
+        "digital": digital.sample(t, v_high=wf.v.max()),
+        "sigmoid": sigmoid.value(t),
+        "reference_times": references[po].times,
+        "digital_times": digital.times,
+        "sigmoid_times": [b / 1e10 for b in sigmoid.crossing_times_tau()],
+        "t_err_digital": result.t_err_digital,
+        "t_err_sigmoid": result.t_err_sigmoid,
+        "error_ratio": result.error_ratio,
+    }

@@ -1,0 +1,56 @@
+"""The paper's accuracy metric: mismatch time against the analog reference.
+
+"The total amount of time t_err during which the respective prediction and
+SPICE did not match were summed among all outputs of a circuit ... the
+prediction trace and the SPICE trace are considered to match at time t if
+both traces are above (below) the threshold Vdd/2." (Sec. V-B)
+"""
+
+from __future__ import annotations
+
+from repro.analog.waveform import Waveform
+from repro.constants import VTH
+from repro.core.trace import SigmoidalTrace
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+
+
+def as_digital(trace, threshold: float = VTH) -> DigitalTrace:
+    """Normalize any supported trace type to a :class:`DigitalTrace`."""
+    if isinstance(trace, DigitalTrace):
+        return trace
+    if isinstance(trace, SigmoidalTrace):
+        return trace.digitize(threshold)
+    if isinstance(trace, Waveform):
+        return DigitalTrace.from_waveform(trace, threshold)
+    raise SimulationError(f"cannot digitize {type(trace).__name__}")
+
+
+def mismatch_time(
+    reference,
+    prediction,
+    t_start: float,
+    t_stop: float,
+    threshold: float = VTH,
+) -> float:
+    """Mismatch time of one signal pair over ``[t_start, t_stop]``."""
+    ref = as_digital(reference, threshold)
+    pred = as_digital(prediction, threshold)
+    return ref.mismatch_time(pred, t_start, t_stop)
+
+
+def total_mismatch_time(
+    references: dict,
+    predictions: dict,
+    t_start: float,
+    t_stop: float,
+    threshold: float = VTH,
+) -> float:
+    """Sum of mismatch times over all outputs (the paper's per-run t_err)."""
+    missing = set(references) - set(predictions)
+    if missing:
+        raise SimulationError(f"predictions missing outputs: {sorted(missing)}")
+    total = 0.0
+    for name, ref in references.items():
+        total += mismatch_time(ref, predictions[name], t_start, t_stop, threshold)
+    return total

@@ -1,0 +1,16 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+
+def format_table(header: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width table with a separator line, ready for terminals/logs."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+    out = [line(header), line(["-" * w for w in widths])]
+    out += [line(row) for row in rows]
+    return "\n".join(out)

@@ -1,0 +1,188 @@
+"""One evaluation experiment: circuit × stimulus × three simulators.
+
+Flow (matching Sec. V-B):
+
+1. random Heaviside trains stimulate the circuit's primary inputs,
+2. the **analog reference** runs on the netlist augmented with
+   pulse-shaping inverters at every input and termination inverters at
+   every output (like the paper's SPICE setup) — the shaped PI waveforms
+   and the PO waveforms are recorded,
+3. the **digital simulator** is driven by the digitized PI waveforms
+   (per-instance fixed arc delays),
+4. the **sigmoid simulator** is driven by sigmoid fits of the same PI
+   waveforms — or, in *same-stimulus* mode (Table I last row), by
+   nominal-slope conversions of exactly the digital stimuli,
+5. every simulator's PO traces are digitized and scored with ``t_err``
+   against the analog reference, and wall-clock times are recorded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
+from repro.analog.staged import StagedSimulator
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.core.fitting import fit_waveform
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.characterize import build_instance_delays
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.digital.trace import DigitalTrace
+from repro.eval.metrics import total_mismatch_time
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+
+#: Propagation allowance per logic level when sizing the simulation span.
+_LEVEL_DELAY_ALLOWANCE = 10e-12
+
+
+def augment_with_shaping(core: Netlist) -> Netlist:
+    """Add pulse-shaping inverter pairs at PIs and termination at POs.
+
+    The returned netlist drives each original PI net from a new source
+    input ``<pi>__src`` through two inverters (non-inverting overall), and
+    loads each PO with a two-inverter termination chain, mirroring the
+    paper's SPICE circuit augmentation.
+    """
+    aug = Netlist(f"{core.name}_aug")
+    for pi in core.primary_inputs:
+        aug.add_input(f"{pi}__src")
+        aug.add_gate(f"{pi}__s0", GateType.NOR, [f"{pi}__src", f"{pi}__src"])
+        aug.add_gate(pi, GateType.NOR, [f"{pi}__s0", f"{pi}__s0"])
+    for name in core.topological_order():
+        gate = core.gates[name]
+        aug.add_gate(name, gate.gtype, list(gate.inputs))
+    for po in core.primary_outputs:
+        aug.add_gate(f"{po}__t0", GateType.NOR, [po, po])
+        aug.add_gate(f"{po}__t1", GateType.NOR, [f"{po}__t0", f"{po}__t0"])
+        aug.add_output(po)
+    aug.validate()
+    return aug
+
+
+@dataclass
+class ExperimentResult:
+    """Scores and timings of one run."""
+
+    circuit: str
+    config: StimulusConfig
+    seed: int
+    t_stop: float
+    t_err_digital: float
+    t_err_sigmoid: float
+    t_sim_analog: float
+    t_sim_digital: float
+    t_sim_sigmoid: float
+    t_fit_inputs: float
+    po_traces: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def error_ratio(self) -> float:
+        if self.t_err_digital == 0.0:
+            return float("inf") if self.t_err_sigmoid > 0 else 1.0
+        return self.t_err_sigmoid / self.t_err_digital
+
+
+class ExperimentRunner:
+    """Reusable harness bound to one core netlist and trained models."""
+
+    def __init__(
+        self,
+        core: Netlist,
+        bundle: GateModelBundle,
+        delay_library: DelayLibrary,
+        library: CellLibrary = DEFAULT_LIBRARY,
+    ) -> None:
+        core.validate()
+        self.core = core
+        self.bundle = bundle
+        self.library = library
+        self.augmented = augment_with_shaping(core)
+        self.analog = StagedSimulator(self.augmented, library=library)
+        self.digital = DigitalSimulator(
+            core, build_instance_delays(core, delay_library, library)
+        )
+        self.sigmoid = SigmoidCircuitSimulator(core, bundle)
+        self._depth = core.depth()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        config: StimulusConfig,
+        seed: int,
+        same_stimulus: bool = False,
+        keep_traces: bool = False,
+    ) -> ExperimentResult:
+        """Execute one randomized run and score it."""
+        pis = self.core.primary_inputs
+        pos = self.core.primary_outputs
+        sources, t_last = random_pi_sources(pis, config, seed)
+        t_stop = (
+            t_last + self._depth * _LEVEL_DELAY_ALLOWANCE + 60e-12
+        )
+
+        # --- analog reference -----------------------------------------
+        aug_sources = {f"{pi}__src": sources[pi] for pi in pis}
+        t0 = time.perf_counter()
+        analog = self.analog.simulate(
+            aug_sources, t_stop=t_stop, record_nets=pis + pos
+        )
+        t_sim_analog = time.perf_counter() - t0
+
+        pi_waveforms = {pi: analog.waveform(pi) for pi in pis}
+        po_references = {
+            po: DigitalTrace.from_waveform(analog.waveform(po)) for po in pos
+        }
+
+        # --- digital stimulus + simulation ------------------------------
+        pi_digital = {
+            pi: DigitalTrace.from_waveform(wf) for pi, wf in pi_waveforms.items()
+        }
+        t0 = time.perf_counter()
+        po_digital = self.digital.simulate_outputs(pi_digital, t_stop)
+        t_sim_digital = time.perf_counter() - t0
+
+        # --- sigmoid stimulus + simulation -------------------------------
+        t0 = time.perf_counter()
+        if same_stimulus:
+            pi_sigmoid = {
+                pi: SigmoidalTrace.from_digital(trace)
+                for pi, trace in pi_digital.items()
+            }
+        else:
+            pi_sigmoid = {
+                pi: fit_waveform(wf).trace for pi, wf in pi_waveforms.items()
+            }
+        t_fit_inputs = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        po_sigmoid = self.sigmoid.simulate(pi_sigmoid, record_nets=pos)
+        t_sim_sigmoid = time.perf_counter() - t0
+
+        # --- scoring -----------------------------------------------------
+        t_err_digital = total_mismatch_time(po_references, po_digital, 0.0, t_stop)
+        t_err_sigmoid = total_mismatch_time(po_references, po_sigmoid, 0.0, t_stop)
+
+        result = ExperimentResult(
+            circuit=self.core.name,
+            config=config,
+            seed=seed,
+            t_stop=t_stop,
+            t_err_digital=t_err_digital,
+            t_err_sigmoid=t_err_sigmoid,
+            t_sim_analog=t_sim_analog,
+            t_sim_digital=t_sim_digital,
+            t_sim_sigmoid=t_sim_sigmoid,
+            t_fit_inputs=t_fit_inputs,
+        )
+        if keep_traces:
+            result.po_traces = {
+                "analog_waveforms": {po: analog.waveform(po) for po in pos},
+                "digital": po_digital,
+                "sigmoid": po_sigmoid,
+                "references": po_references,
+            }
+        return result

@@ -1,0 +1,173 @@
+"""Table I harness: the paper's main numerical experiment.
+
+For each ISCAS-85-class circuit (NOR-mapped) and each stimulus
+configuration, R randomized runs are scored: mean t_err of the digital
+baseline and the sigmoid simulator against the analog reference, their
+ratio, and mean simulation wall times.  A final c1355 same-stimulus row
+repeats the comparison with the sigmoid simulator driven by exactly the
+digital stimulus (nominal slopes).
+
+Paper scale is 50 runs per cell; the default here is CI-scale and
+configurable.  Expected *shape* (not absolute numbers): ratio < 1 at
+(20 ps, 10 ps), growing toward ~1 as inter-transition times increase, and
+sigmoid wall time far below the analog reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.iscas85 import c17, c499_like, c1355_like
+from repro.circuits.netlist import Netlist
+from repro.circuits.nor_map import nor_map
+from repro.core.models import GateModelBundle
+from repro.digital.delay import DelayLibrary
+from repro.eval.report import format_table
+from repro.eval.runner import ExperimentRunner
+from repro.eval.stimuli import PAPER_CONFIGS, StimulusConfig
+
+CIRCUIT_BUILDERS = {
+    "c17": c17,
+    "c499_like": c499_like,
+    "c1355_like": c1355_like,
+}
+
+
+@dataclass
+class Table1Config:
+    """Harness configuration (defaults are CI-scale)."""
+
+    circuits: tuple[str, ...] = ("c17", "c499_like", "c1355_like")
+    stimuli: tuple[StimulusConfig, ...] = PAPER_CONFIGS
+    n_runs: int = 3
+    seed: int = 0
+    include_same_stimulus_row: bool = True
+    same_stimulus_circuit: str = "c1355_like"
+
+
+@dataclass
+class Table1Row:
+    """One table cell-row: circuit × stimulus configuration."""
+
+    circuit: str
+    n_nor_gates: int
+    config: StimulusConfig
+    error_ratio: float
+    t_err_digital_ps: float
+    t_err_sigmoid_ps: float
+    t_sim_sigmoid_s: float
+    t_sim_analog_s: float
+    same_stimulus: bool = False
+    n_runs: int = 0
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row] = field(default_factory=list)
+
+
+def nor_mapped(circuit: str) -> Netlist:
+    """Build and NOR-map one of the benchmark circuits."""
+    try:
+        builder = CIRCUIT_BUILDERS[circuit]
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {circuit!r}; options: {sorted(CIRCUIT_BUILDERS)}"
+        ) from None
+    return nor_map(builder())
+
+
+def run_cell(
+    runner: ExperimentRunner,
+    config: StimulusConfig,
+    n_runs: int,
+    seed: int,
+    same_stimulus: bool = False,
+) -> Table1Row:
+    """Average one circuit × stimulus cell over ``n_runs`` random runs."""
+    results = [
+        runner.run(config, seed=seed + k, same_stimulus=same_stimulus)
+        for k in range(n_runs)
+    ]
+    err_d = float(np.mean([r.t_err_digital for r in results]))
+    err_s = float(np.mean([r.t_err_sigmoid for r in results]))
+    return Table1Row(
+        circuit=runner.core.name,
+        n_nor_gates=runner.core.n_gates,
+        config=config,
+        error_ratio=(err_s / err_d) if err_d > 0 else float("nan"),
+        t_err_digital_ps=err_d * 1e12,
+        t_err_sigmoid_ps=err_s * 1e12,
+        t_sim_sigmoid_s=float(np.mean([r.t_sim_sigmoid for r in results])),
+        t_sim_analog_s=float(np.mean([r.t_sim_analog for r in results])),
+        same_stimulus=same_stimulus,
+        n_runs=n_runs,
+    )
+
+
+def run_table1(
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary,
+    config: Table1Config | None = None,
+) -> Table1Result:
+    """Run the full Table I grid."""
+    if config is None:
+        config = Table1Config()
+    result = Table1Result()
+    runners: dict[str, ExperimentRunner] = {}
+    for circuit in config.circuits:
+        runner = ExperimentRunner(nor_mapped(circuit), bundle, delay_library)
+        runners[circuit] = runner
+        for stim in config.stimuli:
+            result.rows.append(
+                run_cell(runner, stim, config.n_runs, config.seed)
+            )
+    if (
+        config.include_same_stimulus_row
+        and config.same_stimulus_circuit in runners
+    ):
+        runner = runners[config.same_stimulus_circuit]
+        result.rows.append(
+            run_cell(
+                runner,
+                config.stimuli[0],
+                config.n_runs,
+                config.seed,
+                same_stimulus=True,
+            )
+        )
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render rows in the layout of the paper's Table I."""
+    header = [
+        "circuit",
+        "#NOR-gates",
+        "mu,sigma(ps)",
+        "error ratio",
+        "terr_Digital(ps)",
+        "terr_Sigmoid(ps)",
+        "tsim_Sigmoid(s)",
+        "tsim_Analog(s)",
+    ]
+    rows = []
+    for row in result.rows:
+        name = row.circuit.replace("_nor", "")
+        if row.same_stimulus:
+            name += " (same stimulus)"
+        rows.append(
+            [
+                name,
+                str(row.n_nor_gates),
+                row.config.label,
+                f"{row.error_ratio:.2f}",
+                f"{row.t_err_digital_ps:.2f}",
+                f"{row.t_err_sigmoid_ps:.2f}",
+                f"{row.t_sim_sigmoid_s:.3f}",
+                f"{row.t_sim_analog_s:.1f}",
+            ]
+        )
+    return format_table(header, rows)

@@ -1,0 +1,45 @@
+"""Minimal neural-network substrate (replaces PyTorch for this repro).
+
+The paper's transfer-function ANNs are tiny multilayer perceptrons
+(two hidden layers of 10 neurons plus one of 5, ReLU activations), so a
+dependency-free numpy implementation is both sufficient and fully
+deterministic.  The package provides:
+
+* :class:`~repro.nn.mlp.MLP` — the network container with forward and
+  backward passes,
+* :mod:`~repro.nn.optim` — SGD and Adam optimizers,
+* :mod:`~repro.nn.training` — a minibatch fit loop with early stopping,
+* :class:`~repro.nn.scaling.StandardScaler` — feature/target scaling,
+* :mod:`~repro.nn.io` — JSON serialization of trained models.
+
+Backpropagation is verified against finite differences in the test suite.
+"""
+
+from repro.nn.layers import Dense, Identity, ReLU, Tanh
+from repro.nn.losses import mae_loss, mse_loss, mse_loss_grad
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD, Adam
+from repro.nn.scaling import StandardScaler
+from repro.nn.training import TrainingHistory, TrainingConfig, train_mlp
+from repro.nn.io import mlp_from_dict, mlp_to_dict, load_mlp, save_mlp
+
+__all__ = [
+    "Dense",
+    "Identity",
+    "ReLU",
+    "Tanh",
+    "MLP",
+    "SGD",
+    "Adam",
+    "StandardScaler",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_mlp",
+    "mse_loss",
+    "mse_loss_grad",
+    "mae_loss",
+    "mlp_to_dict",
+    "mlp_from_dict",
+    "save_mlp",
+    "load_mlp",
+]

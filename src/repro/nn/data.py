@@ -1,0 +1,53 @@
+"""Dataset utilities: splits and minibatch iteration."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def train_val_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    val_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/validation parts.
+
+    Returns ``(x_train, y_train, x_val, y_val)``.  With fewer than five
+    samples the validation side may be empty; callers should handle that.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.atleast_2d(np.asarray(y, dtype=float))
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y row counts differ")
+    if not 0.0 <= val_fraction < 1.0:
+        raise ValueError("val_fraction must be in [0, 1)")
+    if rng is None:
+        rng = np.random.default_rng()
+    n = x.shape[0]
+    order = rng.permutation(n)
+    n_val = int(round(n * val_fraction))
+    val_idx = order[:n_val]
+    train_idx = order[n_val:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
+
+
+def minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield shuffled minibatches covering the whole epoch.
+
+    The final batch may be smaller than ``batch_size``.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    n = x.shape[0]
+    order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]

@@ -1,0 +1,40 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is reproducible end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He (Kaiming) normal initialization, the standard choice for ReLU nets.
+
+    Weights are drawn from ``N(0, sqrt(2 / fan_in))`` which keeps the
+    forward-pass variance roughly constant through ReLU layers.
+    """
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh/linear layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "he_normal": he_normal,
+    "xavier_uniform": xavier_uniform,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name, raising ``KeyError`` with options."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        options = ", ".join(sorted(INITIALIZERS))
+        raise KeyError(f"unknown initializer {name!r}; options: {options}") from None

@@ -1,0 +1,52 @@
+"""JSON serialization of trained MLPs (architecture + weights)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.mlp import MLP
+
+
+def mlp_to_dict(model: MLP) -> dict:
+    """Serialize architecture and parameters to a JSON-compatible dict."""
+    return {
+        "layer_sizes": list(model.layer_sizes),
+        "activation": model.activation_name,
+        "weights": [layer.weight.tolist() for layer in model.dense_layers()],
+        "biases": [layer.bias.tolist() for layer in model.dense_layers()],
+    }
+
+
+def mlp_from_dict(data: dict) -> MLP:
+    """Rebuild an MLP from :func:`mlp_to_dict` output."""
+    model = MLP(
+        data["layer_sizes"],
+        activation=data.get("activation", "relu"),
+        rng=np.random.default_rng(0),
+    )
+    dense = model.dense_layers()
+    if len(dense) != len(data["weights"]):
+        raise ValueError("weight count does not match architecture")
+    for layer, weight, bias in zip(dense, data["weights"], data["biases"]):
+        weight = np.asarray(weight, dtype=float)
+        bias = np.asarray(bias, dtype=float)
+        if weight.shape != layer.weight.shape or bias.shape != layer.bias.shape:
+            raise ValueError("parameter shapes do not match architecture")
+        layer.weight[...] = weight
+        layer.bias[...] = bias
+    return model
+
+
+def save_mlp(model: MLP, path: str | Path) -> None:
+    """Write a model to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(mlp_to_dict(model)))
+
+
+def load_mlp(path: str | Path) -> MLP:
+    """Read a model previously written by :func:`save_mlp`."""
+    return mlp_from_dict(json.loads(Path(path).read_text()))

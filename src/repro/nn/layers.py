@@ -1,0 +1,144 @@
+"""Layer primitives: dense affine maps and elementwise activations.
+
+Each layer implements ``forward(x)`` and ``backward(grad_out)`` where
+``backward`` consumes the gradient of the loss w.r.t. the layer output and
+returns the gradient w.r.t. the layer input, accumulating parameter
+gradients on the layer itself.  Shapes are ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+
+
+class Layer:
+    """Base class; stateless layers only need ``forward``/``backward``."""
+
+    #: parameter arrays exposed to optimizers, name -> array
+    def params(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    fan_in, fan_out:
+        Input / output feature counts.
+    rng:
+        Generator used for weight initialization.
+    init:
+        Initializer name from :mod:`repro.nn.initializers`.
+    """
+
+    def __init__(
+        self,
+        fan_in: int,
+        fan_out: int,
+        rng: np.random.Generator,
+        init: str = "he_normal",
+    ) -> None:
+        if fan_in <= 0 or fan_out <= 0:
+            raise ValueError("fan_in and fan_out must be positive")
+        initializer = get_initializer(init)
+        self.weight = initializer(rng, fan_in, fan_out)
+        self.bias = np.zeros(fan_out)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    @property
+    def fan_in(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def fan_out(self) -> int:
+        return self.weight.shape[1]
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight = self._x.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+
+class ReLU(Layer):
+    """Rectified linear activation, the paper's choice for every neuron."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation (offered for ablation experiments)."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class Identity(Layer):
+    """No-op activation used for linear output layers."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "identity": Identity,
+}
+
+
+def make_activation(name: str) -> Layer:
+    """Instantiate an activation layer by name."""
+    try:
+        return ACTIVATIONS[name]()
+    except KeyError:
+        options = ", ".join(sorted(ACTIVATIONS))
+        raise KeyError(f"unknown activation {name!r}; options: {options}") from None

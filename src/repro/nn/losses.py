@@ -1,0 +1,32 @@
+"""Loss functions and their gradients for regression training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over every element of the batch."""
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.mean((pred - target) ** 2))
+
+
+def mse_loss_grad(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`mse_loss` with respect to ``pred``."""
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return 2.0 * (pred - target) / pred.size
+
+
+def mae_loss(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error, reported as a robust validation metric."""
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.mean(np.abs(pred - target)))

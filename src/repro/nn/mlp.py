@@ -1,0 +1,114 @@
+"""Multilayer perceptron container.
+
+The paper's transfer-function networks are ``MLP([3, 10, 10, 5, 1])`` with
+ReLU activations on every hidden layer and a linear output (Sec. IV,
+Fig. 2).  :func:`paper_architecture` builds exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, Layer, make_activation
+
+
+class MLP:
+    """A plain feed-forward network: alternating Dense and activation layers.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Feature counts including input and output,
+        e.g. ``[3, 10, 10, 5, 1]``.
+    activation:
+        Hidden activation name (``relu``/``tanh``). Output is linear.
+    rng:
+        Seeded generator for reproducible initialization; a fresh default
+        generator is used when omitted.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+        init: str = "he_normal",
+    ) -> None:
+        sizes = list(layer_sizes)
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s <= 0 for s in sizes):
+            raise ValueError("layer sizes must be positive")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.layer_sizes = sizes
+        self.activation_name = activation
+        self.layers: list[Layer] = []
+        for i, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            self.layers.append(Dense(fan_in, fan_out, rng, init=init))
+            is_last = i == len(sizes) - 2
+            if not is_last:
+                self.layers.append(make_activation(activation))
+
+    @property
+    def n_inputs(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.layer_sizes[-1]
+
+    def dense_layers(self) -> list[Dense]:
+        """The trainable layers, in forward order."""
+        return [layer for layer in self.layers if isinstance(layer, Dense)]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network on a ``(batch, n_inputs)`` array."""
+        out = np.atleast_2d(np.asarray(x, dtype=float))
+        if out.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input features, got {out.shape[1]}"
+            )
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate a loss gradient; returns gradient w.r.t. inputs."""
+        grad = np.asarray(grad_out, dtype=float)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward`, matching common estimator APIs."""
+        return self.forward(x)
+
+    def n_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(
+            layer.weight.size + layer.bias.size for layer in self.dense_layers()
+        )
+
+    def copy_weights_from(self, other: "MLP") -> None:
+        """Copy parameters from a network with identical architecture."""
+        if other.layer_sizes != self.layer_sizes:
+            raise ValueError("architectures differ")
+        for mine, theirs in zip(self.dense_layers(), other.dense_layers()):
+            mine.weight[...] = theirs.weight
+            mine.bias[...] = theirs.bias
+
+
+def paper_architecture(
+    n_inputs: int = 3, rng: np.random.Generator | None = None
+) -> MLP:
+    """The exact network of the paper: two hidden layers of 10 and one of 5.
+
+    Each transfer-function ANN maps the three TOM features
+    ``(T, a_out_prev, a_in)`` to a single output (slope or delay).
+    """
+    return MLP([n_inputs, 10, 10, 5, 1], activation="relu", rng=rng)

@@ -1,0 +1,97 @@
+"""Optimizers operating on the parameter dictionaries exposed by layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.mlp import MLP
+
+
+class Optimizer:
+    """Base optimizer bound to one model's trainable layers."""
+
+    def __init__(self, model: MLP) -> None:
+        self.model = model
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients on all dense layers."""
+        for layer in self.model.dense_layers():
+            layer.grad_weight[...] = 0.0
+            layer.grad_bias[...] = 0.0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, model: MLP, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(model)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [
+            (np.zeros_like(layer.weight), np.zeros_like(layer.bias))
+            for layer in model.dense_layers()
+        ]
+
+    def step(self) -> None:
+        for layer, (vel_w, vel_b) in zip(self.model.dense_layers(), self._velocity):
+            vel_w *= self.momentum
+            vel_w -= self.lr * layer.grad_weight
+            vel_b *= self.momentum
+            vel_b -= self.lr * layer.grad_bias
+            layer.weight += vel_w
+            layer.bias += vel_b
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        model: MLP,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(model)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._t = 0
+        self._m = [
+            (np.zeros_like(layer.weight), np.zeros_like(layer.bias))
+            for layer in model.dense_layers()
+        ]
+        self._v = [
+            (np.zeros_like(layer.weight), np.zeros_like(layer.bias))
+            for layer in model.dense_layers()
+        ]
+
+    def step(self) -> None:
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for layer, (m_w, m_b), (v_w, v_b) in zip(
+            self.model.dense_layers(), self._m, self._v
+        ):
+            for param, grad, m, v in (
+                (layer.weight, layer.grad_weight, m_w, v_w),
+                (layer.bias, layer.grad_bias, m_b, v_b),
+            ):
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad**2
+                m_hat = m / correction1
+                v_hat = v / correction2
+                param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,65 @@
+"""Standard (z-score) scaling for features and regression targets.
+
+The TOM features mix time differences (~0.05..1 in scaled units) with
+slopes (~20..100), so training without normalization would be badly
+conditioned.  The scaler is stored alongside each trained network and is
+part of the serialized model bundle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature standardization ``(x - mean) / std``.
+
+    Features with zero variance get ``std = 1`` so they pass through
+    centered but unscaled (and remain invertible).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return (x - self.mean_) / self.std_
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x * self.std_ + self.mean_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def to_dict(self) -> dict:
+        self._check_fitted()
+        return {"mean": self.mean_.tolist(), "std": self.std_.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(data["mean"], dtype=float)
+        scaler.std_ = np.asarray(data["std"], dtype=float)
+        return scaler
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("scaler used before fit()")

@@ -1,0 +1,237 @@
+"""Tests for the full network engine, stimuli and the integrator."""
+
+import numpy as np
+import pytest
+
+from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
+from repro.analog.engine import TransientEngine
+from repro.analog.integrator import integrate_fixed, rk4_step
+from repro.analog.netlist import AnalogCircuit
+from repro.analog.stimuli import SteppedSource, pulse_train_times
+from repro.constants import VDD
+from repro.errors import AnalogCircuitError, SimulationError
+
+
+class TestIntegrator:
+    def test_exponential_decay_accuracy(self):
+        # y' = -y / tau with tau = 2 ps, over 10 ps.
+        tau = 2e-12
+
+        def f(t, y):
+            return -y / tau
+
+        t, rec, final = integrate_fixed(f, np.array([1.0]), 0.0, 10e-12,
+                                        dt=0.05e-12, record_dtype=float)
+        expected = np.exp(-10e-12 / tau)
+        assert final[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_harmonic_oscillator_energy(self):
+        omega = 1e12
+
+        def f(t, y):
+            return np.array([y[1], -(omega**2) * y[0]])
+
+        _, __, final = integrate_fixed(f, np.array([1.0, 0.0]), 0.0, 20e-12,
+                                       dt=0.02e-12)
+        energy = final[0] ** 2 + (final[1] / omega) ** 2
+        assert energy == pytest.approx(1.0, rel=1e-6)
+
+    def test_rk4_step_order(self):
+        """Halving dt must reduce the error ~16x (4th order)."""
+        def f(t, y):
+            return -y
+
+        def err(dt):
+            y = np.array([1.0])
+            t = 0.0
+            while t < 1.0 - 1e-12:
+                y = rk4_step(f, t, y, dt)
+                t += dt
+            return abs(y[0] - np.exp(-1.0))
+
+        ratio = err(0.01) / err(0.005)
+        assert 12 < ratio < 20
+
+    def test_invalid_args(self):
+        f = lambda t, y: y  # noqa: E731
+        with pytest.raises(SimulationError):
+            integrate_fixed(f, np.array([1.0]), 0.0, 1.0, dt=-1.0)
+        with pytest.raises(SimulationError):
+            integrate_fixed(f, np.array([1.0]), 1.0, 0.0, dt=0.1)
+
+    def test_divergence_detected(self):
+        def f(t, y):
+            return y * 1e30
+
+        with pytest.raises(SimulationError, match="diverged"):
+            integrate_fixed(f, np.array([1.0]), 0.0, 1.0, dt=0.1)
+
+
+class TestSteppedSource:
+    def test_constant_source(self):
+        src = SteppedSource.constant(1, n_runs=3)
+        values = src.value(np.array([0.0, 1e-9]))
+        assert values.shape == (2, 3)
+        np.testing.assert_allclose(values, VDD)
+
+    def test_single_transition_levels(self):
+        src = SteppedSource([np.array([10e-12])], initial_levels=0)
+        assert src.value(0.0)[0] == pytest.approx(0.0)
+        assert src.value(20e-12)[0] == pytest.approx(VDD)
+
+    def test_alternation(self):
+        src = SteppedSource([np.array([10e-12, 20e-12])], initial_levels=0)
+        assert src.value(15e-12)[0] == pytest.approx(VDD)
+        assert src.value(30e-12)[0] == pytest.approx(0.0)
+
+    def test_falling_start(self):
+        src = SteppedSource([np.array([10e-12])], initial_levels=1)
+        assert src.value(0.0)[0] == pytest.approx(VDD)
+        assert src.value(20e-12)[0] == pytest.approx(0.0)
+
+    def test_derivative_integrates_to_swing(self):
+        src = SteppedSource([np.array([10e-12])], initial_levels=0)
+        t = np.linspace(9e-12, 12e-12, 2000)
+        dv = src.derivative(t)[:, 0]
+        integral = np.trapezoid(dv, t)
+        assert integral == pytest.approx(VDD, rel=1e-3)
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(SimulationError):
+            SteppedSource([np.array([2e-12, 1e-12])])
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(SimulationError):
+            SteppedSource([np.array([1e-12])], initial_levels=2)
+
+    def test_pulse_train_times(self):
+        times = pulse_train_times(30e-12, [5e-12, 10e-12, 15e-12])
+        np.testing.assert_allclose(times, [30e-12, 35e-12, 45e-12, 60e-12])
+
+    def test_pulse_train_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            pulse_train_times(0.0, [1e-12, -1e-12])
+
+
+class TestAnalogCircuit:
+    def test_rail_nodes_exist(self):
+        circuit = AnalogCircuit()
+        assert circuit.has_node("gnd")
+        assert circuit.has_node("vdd")
+
+    def test_rails_not_inputs(self):
+        circuit = AnalogCircuit()
+        with pytest.raises(AnalogCircuitError):
+            circuit.declare_input("vdd")
+
+    def test_invalid_devices_rejected(self):
+        circuit = AnalogCircuit()
+        with pytest.raises(AnalogCircuitError):
+            circuit.add_capacitor("a", "gnd", -1e-15)
+        with pytest.raises(AnalogCircuitError):
+            circuit.add_resistor("a", "gnd", 0.0)
+
+    def test_compile_requires_free_nodes(self):
+        circuit = AnalogCircuit()
+        with pytest.raises(AnalogCircuitError):
+            circuit.compile()
+
+    def test_cell_library_capacitances_positive(self):
+        lib = DEFAULT_LIBRARY
+        for cell in ("INV", "NOR2"):
+            assert lib.input_capacitance(cell) > 0
+            assert lib.output_self_capacitance(cell) > 0
+            assert lib.input_miller_capacitance(cell) > 0
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(AnalogCircuitError):
+            DEFAULT_LIBRARY.input_capacitance("XOR9")
+
+
+class TestTransientEngine:
+    def test_rc_discharge_matches_analytic(self):
+        """A resistor discharging a capacitor: classic RC decay."""
+        circuit = AnalogCircuit()
+        circuit.node("x")
+        circuit.add_capacitor("x", "gnd", 1e-15)
+        circuit.add_resistor("x", "gnd", 1e4)  # tau ~ 10 ps incl default cap
+        engine = TransientEngine(circuit)
+        result = engine.simulate({}, t_stop=20e-12, settle=0.0,
+                                 record_nodes=["x"])
+        # Initial condition is 0 and there is no source: stays at 0.
+        np.testing.assert_allclose(result.waveform("x").v, 0.0, atol=1e-12)
+
+    def test_rc_charging_through_resistor(self):
+        circuit = AnalogCircuit()
+        circuit.declare_input("src")
+        circuit.add_resistor("src", "x", 1e4)
+        circuit.add_capacitor("x", "gnd", 1e-15)
+        engine = TransientEngine(circuit)
+        src = SteppedSource([np.array([5e-12])], initial_levels=0)
+        result = engine.simulate({"src": src}, t_stop=80e-12,
+                                 record_nodes=["x"], settle=10e-12)
+        wf = result.waveform("x")
+        tau = 1e4 * (1e-15 + 0.01e-15)
+        value = wf.value_at(5e-12 + 3 * tau)
+        assert value == pytest.approx(VDD * (1 - np.exp(-3)), rel=0.05)
+
+    def test_inverter_dc_levels(self):
+        circuit = AnalogCircuit()
+        circuit.declare_input("a")
+        DEFAULT_LIBRARY.add_inv(circuit, "a", "y")
+        engine = TransientEngine(circuit)
+        low = SteppedSource.constant(0, 1)
+        res = engine.simulate({"a": low}, t_stop=20e-12, record_nodes=["y"])
+        assert res.waveform("y").v[-1] == pytest.approx(VDD, abs=0.02)
+
+    def test_missing_source_rejected(self):
+        circuit = AnalogCircuit()
+        circuit.declare_input("a")
+        DEFAULT_LIBRARY.add_inv(circuit, "a", "y")
+        engine = TransientEngine(circuit)
+        with pytest.raises(SimulationError, match="missing sources"):
+            engine.simulate({}, t_stop=1e-12)
+
+    def test_extra_source_rejected(self):
+        circuit = AnalogCircuit()
+        circuit.declare_input("a")
+        DEFAULT_LIBRARY.add_inv(circuit, "a", "y")
+        engine = TransientEngine(circuit)
+        with pytest.raises(SimulationError, match="undeclared"):
+            engine.simulate(
+                {
+                    "a": SteppedSource.constant(0, 1),
+                    "b": SteppedSource.constant(0, 1),
+                },
+                t_stop=1e-12,
+            )
+
+    def test_nand_logic_levels(self):
+        circuit = AnalogCircuit()
+        circuit.declare_input("a")
+        circuit.declare_input("b")
+        DEFAULT_LIBRARY.add_nand2(circuit, "a", "b", "y")
+        engine = TransientEngine(circuit)
+        for la, lb, expected in ((0, 0, VDD), (1, 0, VDD), (1, 1, 0.0)):
+            res = engine.simulate(
+                {
+                    "a": SteppedSource.constant(la, 1),
+                    "b": SteppedSource.constant(lb, 1),
+                },
+                t_stop=30e-12,
+                record_nodes=["y"],
+            )
+            assert res.waveform("y").v[-1] == pytest.approx(expected, abs=0.05)
+
+    def test_nor3_logic(self):
+        circuit = AnalogCircuit()
+        for pin in ("a", "b", "c"):
+            circuit.declare_input(pin)
+        DEFAULT_LIBRARY.add_nor3(circuit, "a", "b", "c", "y")
+        engine = TransientEngine(circuit)
+        res = engine.simulate(
+            {p: SteppedSource.constant(0, 1) for p in ("a", "b", "c")},
+            t_stop=30e-12,
+            record_nodes=["y"],
+        )
+        assert res.waveform("y").v[-1] == pytest.approx(VDD, abs=0.05)

@@ -1,0 +1,191 @@
+"""Tests for ANN transfer functions, table alternatives and model bundles."""
+
+import numpy as np
+import pytest
+
+from repro.core.ann_transfer import ANNTransferFunction, GateModel
+from repro.core.models import GateModelBundle
+from repro.core.table_transfer import (
+    LUTTransferFunction,
+    PolynomialTransferFunction,
+    RBFTransferFunction,
+)
+from repro.core.valid_region import KNNRegion
+from repro.errors import ModelError
+from repro.nn.mlp import paper_architecture
+from repro.nn.scaling import StandardScaler
+
+
+def make_tf(seed=0, with_region=True):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(80, 3)) * np.array([0.3, 50.0, 50.0])
+    x_scaler = StandardScaler().fit(features)
+    y1 = StandardScaler().fit(rng.normal(size=(80, 1)) * 50)
+    y2 = StandardScaler().fit(rng.normal(size=(80, 1)) * 0.05)
+    region = KNNRegion(features) if with_region else None
+    return ANNTransferFunction(
+        slope_net=paper_architecture(rng=np.random.default_rng(seed)),
+        delay_net=paper_architecture(rng=np.random.default_rng(seed + 1)),
+        x_scaler=x_scaler,
+        y_slope_scaler=y1,
+        y_delay_scaler=y2,
+        region=region,
+    ), features
+
+
+class TestANNTransferFunction:
+    def test_paper_architecture_enforced(self):
+        """Fig. 2: every transfer net is 3-10-10-5-1."""
+        tf, _ = make_tf()
+        assert tf.slope_net.layer_sizes == [3, 10, 10, 5, 1]
+        assert tf.delay_net.layer_sizes == [3, 10, 10, 5, 1]
+
+    def test_wrong_arity_rejected(self):
+        from repro.nn.mlp import MLP
+
+        with pytest.raises(ModelError):
+            ANNTransferFunction(
+                MLP([2, 4, 1], rng=np.random.default_rng(0)),
+                paper_architecture(),
+                StandardScaler().fit(np.zeros((2, 3)) + np.arange(3)),
+                StandardScaler().fit(np.ones((2, 1))),
+                StandardScaler().fit(np.ones((2, 1))),
+            )
+
+    def test_scalar_and_batch_agree(self):
+        tf, features = make_tf()
+        query = features[3]
+        a_scalar, d_scalar = tf.predict(*query)
+        a_batch, d_batch = tf.predict_batch(query.reshape(1, 3))
+        assert a_scalar == pytest.approx(float(a_batch[0]))
+        assert d_scalar == pytest.approx(float(d_batch[0]))
+
+    def test_region_clamps_outliers(self):
+        tf, features = make_tf()
+        crazy = np.array([[100.0, 1e4, -1e4]])
+        inside = tf.region.project(crazy)
+        a1, d1 = tf.predict_batch(crazy)
+        a2, d2 = tf.predict_batch(inside)
+        assert a1[0] == pytest.approx(a2[0])
+        assert d1[0] == pytest.approx(d2[0])
+
+    def test_serialization_round_trip(self):
+        tf, features = make_tf()
+        clone = ANNTransferFunction.from_dict(tf.to_dict())
+        queries = features[:7]
+        np.testing.assert_allclose(
+            tf.predict_batch(queries)[0], clone.predict_batch(queries)[0]
+        )
+        np.testing.assert_allclose(
+            tf.predict_batch(queries)[1], clone.predict_batch(queries)[1]
+        )
+
+    def test_serialization_without_region(self):
+        tf, _ = make_tf(with_region=False)
+        clone = ANNTransferFunction.from_dict(tf.to_dict())
+        assert clone.region is None
+
+
+class TestGateModelBundle:
+    def make_bundle(self):
+        bundle = GateModelBundle(metadata={"scale": "test"})
+        for cell, pin, fo in (
+            ("NOR2", 0, "fo1"),
+            ("NOR2", 0, "fo2"),
+            ("NOR2T", 0, "fo1"),
+        ):
+            tf, _ = make_tf(seed=pin + (fo == "fo2") * 10)
+            bundle.add(GateModel(cell, pin, fo, tf, tf))
+        return bundle
+
+    def test_fanout_dispatch(self):
+        bundle = self.make_bundle()
+        assert bundle.get("NOR2", 0, 1).fanout_class == "fo1"
+        assert bundle.get("NOR2", 0, 2).fanout_class == "fo2"
+        assert bundle.get("NOR2", 0, 5).fanout_class == "fo2"
+
+    def test_fallback_to_existing_class(self):
+        bundle = self.make_bundle()
+        # NOR2T has only fo1: fanout-3 queries fall back to it.
+        assert bundle.get("NOR2T", 0, 3).fanout_class == "fo1"
+
+    def test_missing_model_raises(self):
+        bundle = self.make_bundle()
+        with pytest.raises(ModelError):
+            bundle.get("NAND9", 0, 1)
+
+    def test_bundle_round_trip(self, tmp_path):
+        bundle = self.make_bundle()
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        clone = GateModelBundle.load(path)
+        assert clone.keys() == bundle.keys()
+        assert clone.metadata["scale"] == "test"
+        query = (0.2, 40.0, 45.0)
+        original = bundle.get("NOR2", 0, 1).tf_rise.predict(*query)
+        loaded = clone.get("NOR2", 0, 1).tf_rise.predict(*query)
+        assert original == pytest.approx(loaded)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            GateModelBundle.load(tmp_path / "ghost.json")
+
+    def test_invalid_fanout_class(self):
+        tf, _ = make_tf()
+        with pytest.raises(ModelError):
+            GateModel("NOR2", 0, "fo9", tf, tf)
+
+
+def training_cloud(seed=0, n=120):
+    rng = np.random.default_rng(seed)
+    features = np.column_stack(
+        [
+            rng.uniform(0.0, 1.0, n),
+            rng.uniform(30, 70, n),
+            rng.uniform(30, 70, n),
+        ]
+    )
+    slopes = -features[:, 2] * 0.9 + 0.1 * features[:, 0]
+    delays = 0.05 + 0.01 * np.tanh(features[:, 0] * 3)
+    return features, slopes, delays
+
+
+class TestTableTransferFunctions:
+    def test_lut_interpolates_training_points(self):
+        features, slopes, delays = training_cloud()
+        lut = LUTTransferFunction(features, slopes, delays)
+        a, d = lut.predict(*features[5])
+        assert a == pytest.approx(slopes[5], rel=1e-6)
+        assert d == pytest.approx(delays[5], rel=1e-6)
+
+    def test_lut_nearest_fallback_outside_hull(self):
+        features, slopes, delays = training_cloud()
+        a, d = LUTTransferFunction(features, slopes, delays).predict(
+            10.0, 500.0, 500.0
+        )
+        assert np.isfinite(a) and np.isfinite(d)
+
+    def test_polynomial_captures_smooth_map(self):
+        features, slopes, delays = training_cloud()
+        poly = PolynomialTransferFunction(features, slopes, delays, degree=3)
+        errs = [
+            abs(poly.predict(*f)[1] - d) for f, d in zip(features, delays)
+        ]
+        assert float(np.mean(errs)) < 2e-3
+
+    def test_polynomial_invalid_degree(self):
+        features, slopes, delays = training_cloud()
+        with pytest.raises(ModelError):
+            PolynomialTransferFunction(features, slopes, delays, degree=0)
+
+    def test_rbf_interpolates(self):
+        features, slopes, delays = training_cloud()
+        rbf = RBFTransferFunction(features, slopes, delays)
+        a, d = rbf.predict(*features[10])
+        assert a == pytest.approx(slopes[10], abs=0.5)
+        assert d == pytest.approx(delays[10], abs=5e-3)
+
+    def test_mismatched_rows_rejected(self):
+        features, slopes, delays = training_cloud()
+        with pytest.raises(ModelError):
+            LUTTransferFunction(features, slopes[:-1], delays)

@@ -1,0 +1,196 @@
+"""Tests for sub-threshold pulse cancellation and valid regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import VDD, VTH
+from repro.core.cancellation import (
+    cancel_subthreshold_pulses,
+    pair_crosses_threshold,
+    pulse_peak_value,
+)
+from repro.core.valid_region import (
+    ConvexHullRegion,
+    KNNRegion,
+    region_from_dict,
+)
+from repro.errors import ModelError, RegionError
+
+
+class TestPulsePeak:
+    def test_wide_pulse_reaches_rail(self):
+        peak = pulse_peak_value((60.0, 1.0), (-60.0, 3.0))
+        assert peak == pytest.approx(VDD, rel=1e-3)
+
+    def test_narrow_pulse_reduced(self):
+        peak = pulse_peak_value((60.0, 1.0), (-60.0, 1.02))
+        assert 0.0 < peak < 0.3 * VDD
+
+    def test_dip_symmetric(self):
+        dip = pulse_peak_value((-60.0, 1.0), (60.0, 3.0))
+        assert dip == pytest.approx(0.0, abs=1e-3)
+        shallow = pulse_peak_value((-60.0, 1.0), (60.0, 1.02))
+        assert shallow > 0.7 * VDD
+
+    def test_same_polarity_rejected(self):
+        with pytest.raises(ModelError):
+            pulse_peak_value((60.0, 1.0), (60.0, 2.0))
+
+    def test_zero_slope_rejected(self):
+        with pytest.raises(ModelError):
+            pulse_peak_value((0.0, 1.0), (-60.0, 2.0))
+
+    @given(
+        st.floats(min_value=20.0, max_value=120.0),
+        st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_peak_monotone_in_spacing(self, a, spacing):
+        narrow = pulse_peak_value((a, 1.0), (-a, 1.0 + spacing))
+        wide = pulse_peak_value((a, 1.0), (-a, 1.0 + spacing + 0.1))
+        assert wide >= narrow - 1e-9
+
+
+class TestPairCrossing:
+    def test_wide_pulse_crosses(self):
+        assert pair_crosses_threshold((60.0, 1.0), (-60.0, 2.0))
+
+    def test_narrow_pulse_does_not(self):
+        assert not pair_crosses_threshold((60.0, 1.0), (-60.0, 1.01))
+
+    def test_dip_logic(self):
+        assert pair_crosses_threshold((-60.0, 1.0), (60.0, 2.0))
+        assert not pair_crosses_threshold((-60.0, 1.0), (60.0, 1.01))
+
+
+class TestCancelPostPass:
+    def test_keeps_healthy_list(self):
+        params = [(60.0, 1.0), (-60.0, 2.0), (60.0, 3.0), (-60.0, 4.0)]
+        assert cancel_subthreshold_pulses(params, 0) == params
+
+    def test_drops_subthreshold_pair(self):
+        params = [(60.0, 1.0), (-60.0, 1.01), (60.0, 3.0), (-60.0, 4.0)]
+        result = cancel_subthreshold_pulses(params, 0)
+        assert result == [(60.0, 3.0), (-60.0, 4.0)]
+
+    def test_cascaded_cancellation(self):
+        # Removing the middle pair leaves an outer pair that is itself
+        # sub-threshold: the scan must iterate to a fixed point.
+        params = [
+            (40.0, 1.00),
+            (-40.0, 1.02),
+            (40.0, 1.04),
+            (-40.0, 1.06),
+        ]
+        result = cancel_subthreshold_pulses(params, 0)
+        assert result == []
+
+    def test_empty_list(self):
+        assert cancel_subthreshold_pulses([], 0) == []
+
+
+def cloud_3d(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, 3)) * np.array([1.0, 10.0, 5.0])
+
+
+class TestKNNRegion:
+    def test_training_points_inside(self):
+        points = cloud_3d()
+        region = KNNRegion(points)
+        assert region.contains(points).mean() > 0.95
+
+    def test_far_point_outside(self):
+        region = KNNRegion(cloud_3d())
+        assert not region.contains(np.array([[100.0, 0.0, 0.0]]))[0]
+
+    def test_projection_returns_inside_point(self):
+        region = KNNRegion(cloud_3d())
+        query = np.array([[50.0, 200.0, -80.0]])
+        projected = region.project(query)
+        assert region.contains(projected)[0]
+
+    def test_inside_points_pass_through(self):
+        points = cloud_3d()
+        region = KNNRegion(points)
+        inside = points[:5]
+        np.testing.assert_array_equal(region.project(inside), inside)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(RegionError):
+            KNNRegion(np.zeros((3, 3)))
+
+    def test_serialization_round_trip(self):
+        region = KNNRegion(cloud_3d())
+        clone = region_from_dict(region.to_dict())
+        queries = cloud_3d(20, seed=9) * 3
+        np.testing.assert_allclose(
+            region.project(queries), clone.project(queries)
+        )
+
+    def test_projection_prefers_nearest_cluster(self):
+        """A query near a sparse cluster must project to it, not the bulk."""
+        bulk = np.random.default_rng(0).normal(size=(200, 3))
+        outpost = np.array([[10.0, 10.0, 10.0]])
+        region = KNNRegion(np.vstack([bulk, np.repeat(outpost, 6, axis=0)
+                                      + np.random.default_rng(1).normal(
+                                          scale=0.1, size=(6, 3))]))
+        query = np.array([[11.0, 11.0, 11.0]])
+        projected = region.project(query)
+        assert np.linalg.norm(projected - outpost) < 2.0
+
+
+class TestConvexHullRegion:
+    def test_inside_outside(self):
+        points = cloud_3d()
+        region = ConvexHullRegion(points)
+        assert region.contains(points.mean(axis=0, keepdims=True))[0]
+        assert not region.contains(np.array([[1e3, 1e3, 1e3]]))[0]
+
+    def test_projection_lands_on_hull(self):
+        points = cloud_3d()
+        region = ConvexHullRegion(points)
+        query = np.array([[30.0, 300.0, 150.0]])
+        projected = region.project(query)
+        # The projected point must be (numerically) inside or on the hull.
+        assert region.contains(projected * 0.999 +
+                               points.mean(axis=0) * 0.001)[0]
+
+    def test_projection_is_closest_among_vertices(self):
+        """Projection must be at least as close as any training vertex."""
+        points = cloud_3d(50)
+        region = ConvexHullRegion(points)
+        query = np.array([[40.0, -90.0, 70.0]])
+        projected = region.project(query)[0]
+        dist_projected = np.linalg.norm(projected - query[0])
+        dist_vertices = np.linalg.norm(points - query[0], axis=1).min()
+        assert dist_projected <= dist_vertices + 1e-9
+
+    def test_degenerate_rejected(self):
+        flat = np.zeros((10, 3))
+        flat[:, 0] = np.arange(10)
+        with pytest.raises(RegionError):
+            ConvexHullRegion(flat)
+
+    def test_serialization_round_trip(self):
+        region = ConvexHullRegion(cloud_3d(60))
+        clone = region_from_dict(region.to_dict())
+        query = np.array([[5.0, 80.0, -60.0]])
+        np.testing.assert_allclose(region.project(query), clone.project(query),
+                                   rtol=1e-9)
+
+    def test_region_from_dict_unknown(self):
+        with pytest.raises(RegionError):
+            region_from_dict({"kind": "banana"})
+
+
+class Test2DProjectionExactness:
+    def test_square_projection(self):
+        square = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, 0.5]]
+        )
+        region = ConvexHullRegion(square)
+        projected = region.project(np.array([[2.0, 0.5]]))[0]
+        np.testing.assert_allclose(projected, [1.0, 0.5], atol=1e-9)

@@ -1,0 +1,188 @@
+"""Tests for chains, sweeps, extraction and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.chains import (
+    DEFAULT_CHAIN_SPECS,
+    ChainSpec,
+    StageProbe,
+    build_chain_netlist,
+)
+from repro.characterization.dataset import TransferDataset, TransferRecord
+from repro.characterization.extract import pair_transitions
+from repro.characterization.sweep import SweepConfig
+from repro.circuits.gates import GateType
+from repro.core.trace import SigmoidalTrace
+from repro.errors import NetlistError
+
+
+class TestChainSpec:
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(NetlistError):
+            ChainSpec(pattern=("XX",))
+        with pytest.raises(NetlistError):
+            ChainSpec(pattern=())
+
+    def test_tags_unique(self):
+        tags = [spec.tag for spec in DEFAULT_CHAIN_SPECS]
+        assert len(tags) == len(set(tags))
+
+    def test_probe_channels(self):
+        probe = StageProbe("a", "b", "T", fanout_pins=1)
+        assert probe.channel == ("NOR2T", 0, "fo1")
+        probe = StageProbe("a", "b", "P1", fanout_pins=2)
+        assert probe.channel == ("NOR2", 1, "fo2")
+
+
+class TestChainNetlists:
+    def test_homogeneous_p0_chain(self):
+        netlist, probes = build_chain_netlist(
+            ChainSpec(pattern=("P0",), n_periods=4)
+        )
+        netlist.validate()
+        assert len(probes.stages) == 4
+        assert all(s.channel == ("NOR2", 0, "fo1") for s in probes.stages)
+
+    def test_fanout2_chain(self):
+        netlist, probes = build_chain_netlist(
+            ChainSpec(pattern=("P0",), extra_fanout=1, n_periods=3)
+        )
+        assert all(s.fanout_class == "fo2" for s in probes.stages)
+        # Dummy loads exist in the netlist.
+        assert any(name.startswith("dummy") for name in netlist.gates)
+
+    def test_tied_chain_gates_are_tied(self):
+        netlist, probes = build_chain_netlist(
+            ChainSpec(pattern=("T",), n_periods=3)
+        )
+        for stage in probes.stages:
+            gate = netlist.gates[stage.out_net]
+            assert gate.inputs[0] == gate.inputs[1]
+
+    def test_alternating_chain_channels(self):
+        netlist, probes = build_chain_netlist(
+            ChainSpec(pattern=("T", "P0", "P0"), n_periods=2)
+        )
+        channels = {s.channel for s in probes.stages}
+        # Tied stages drive P0 (1 pin) -> tied fo1; the last P0 of each
+        # period drives a T stage (2 pins) -> P0 fo2.
+        assert ("NOR2T", 0, "fo1") in channels
+        assert ("NOR2", 0, "fo2") in channels
+        assert ("NOR2", 0, "fo1") in channels
+
+    def test_every_default_spec_builds(self):
+        for spec in DEFAULT_CHAIN_SPECS:
+            netlist, probes = build_chain_netlist(spec)
+            netlist.validate()
+            assert probes.stages
+
+    def test_default_specs_cover_all_channels(self):
+        from repro.characterization.artifacts import CHANNELS
+
+        covered = set()
+        for spec in DEFAULT_CHAIN_SPECS:
+            _, probes = build_chain_netlist(spec)
+            covered |= {s.channel for s in probes.stages}
+        assert set(CHANNELS) <= covered
+
+
+class TestSweepConfig:
+    def test_grid_values(self):
+        config = SweepConfig(t_min=5e-12, t_max=20e-12, step=5e-12)
+        np.testing.assert_allclose(
+            config.grid_values(), [5e-12, 10e-12, 15e-12, 20e-12]
+        )
+
+    def test_combination_count(self):
+        config = SweepConfig(step=5e-12)
+        assert len(config.combinations()) == 4**3
+
+    def test_paper_scale_combination_count(self):
+        config = SweepConfig(step=1e-12, t_min=5e-12, t_max=20e-12)
+        # The paper: "approximately 15^3 different SPICE simulation runs".
+        assert len(config.combinations()) == 16**3
+
+    def test_degradation_set_granularity(self):
+        config = SweepConfig(degradation_step=1e-12)
+        combos = config.degradation_combinations()
+        widths = sorted({c[0] for c in combos if c[1] == config.t_max})
+        assert len(widths) >= 8
+        assert min(widths) < config.t_min
+
+    def test_invalid_grid_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            SweepConfig(t_min=0.0).grid_values()
+
+
+class TestPairing:
+    def test_simple_alternating_pairing(self):
+        inp = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 2.0)])
+        out = SigmoidalTrace(1, [(-60.0, 1.05), (60.0, 2.05)])
+        pairs = pair_transitions(inp, out)
+        assert pairs == [(0, 0), (1, 1)]
+
+    def test_swallowed_pulse_pairing(self):
+        """Output lost a pulse: remaining transitions pair to the latest
+        admissible causes."""
+        inp = SigmoidalTrace(
+            0,
+            [(60.0, 1.0), (-60.0, 1.05), (60.0, 3.0), (-60.0, 4.0)],
+        )
+        out = SigmoidalTrace(1, [(-60.0, 3.06), (60.0, 4.06)])
+        pairs = pair_transitions(inp, out)
+        assert pairs == [(2, 0), (3, 1)]
+
+    def test_non_causal_returns_empty(self):
+        inp = SigmoidalTrace(0, [(60.0, 5.0)])
+        out = SigmoidalTrace(1, [(-60.0, 1.0)])  # output before its cause
+        assert pair_transitions(inp, out) == []
+
+    def test_same_polarity_never_pairs(self):
+        inp = SigmoidalTrace(0, [(60.0, 1.0)])
+        out = SigmoidalTrace(0, [(60.0, 1.05)])  # non-inverting: invalid
+        assert pair_transitions(inp, out) == []
+
+
+class TestTransferDataset:
+    def make(self):
+        ds = TransferDataset("NOR2", 0, "fo1")
+        ds.add(TransferRecord(0.1, 60.0, 50.0, -45.0, 0.07))
+        ds.add(TransferRecord(0.2, -60.0, -50.0, 45.0, 0.06))
+        ds.add(TransferRecord(1.0, 60.0, 55.0, -50.0, 0.08))
+        return ds
+
+    def test_matrices(self):
+        ds = self.make()
+        assert ds.features().shape == (3, 3)
+        assert ds.targets().shape == (3, 2)
+
+    def test_polarity_split(self):
+        rising, falling = self.make().split_polarity()
+        assert len(rising) == 2
+        assert len(falling) == 1
+        assert all(r.a_in > 0 for r in rising.records)
+
+    def test_round_trip(self, tmp_path):
+        ds = self.make()
+        path = tmp_path / "ds.json"
+        ds.save(path)
+        clone = TransferDataset.load(path)
+        assert len(clone) == len(ds)
+        np.testing.assert_allclose(clone.features(), ds.features())
+        assert clone.cell == "NOR2"
+
+    def test_outlier_dropping(self):
+        ds = self.make()
+        ds.add(TransferRecord(0.1, 60.0, 50.0, -45.0, 99.0))  # glitch
+        cleaned = ds.drop_outliers(quantile=0.75)
+        assert len(cleaned) < len(ds)
+        assert max(abs(r.delta_b) for r in cleaned.records) < 99.0
+
+    def test_summary(self):
+        summary = self.make().summary()
+        assert summary["n"] == 3
+        assert summary["n_rising"] == 2
+        assert TransferDataset("NOR2", 0, "fo1").summary() == {"n": 0}

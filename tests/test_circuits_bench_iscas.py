@@ -1,0 +1,148 @@
+"""Tests for the .bench parser and the ISCAS-85 circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.bench import format_bench, load_bench, parse_bench, save_bench
+from repro.circuits.gates import GateType
+from repro.circuits.iscas85 import c17, c1355_like, c499_like
+from repro.errors import NetlistError
+
+C17_BENCH = """
+# c17 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestBenchParser:
+    def test_parses_c17(self):
+        nl = parse_bench(C17_BENCH, name="c17")
+        assert len(nl.primary_inputs) == 5
+        assert nl.n_gates == 6
+        assert nl.primary_outputs == ["22", "23"]
+
+    def test_parsed_matches_builtin_c17(self):
+        parsed = parse_bench(C17_BENCH, name="c17")
+        builtin = c17()
+        rng = np.random.default_rng(0)
+        for _ in range(32):
+            assign = {pi: bool(rng.integers(0, 2)) for pi in builtin.primary_inputs}
+            assert parsed.evaluate_outputs(assign) == builtin.evaluate_outputs(assign)
+
+    def test_not_alias(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(b)\nb = NOT(a)")
+        assert nl.gates["b"].gtype is GateType.INV
+
+    def test_comments_and_blank_lines_ignored(self):
+        nl = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(b)\nb = BUF(a)  # trailing")
+        assert nl.n_gates == 1
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(NetlistError, match="unknown gate"):
+            parse_bench("INPUT(a)\nOUTPUT(b)\nb = FROB(a)")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(NetlistError, match="cannot parse"):
+            parse_bench("INPUT(a)\nOUTPUT(a)\nwhat is this")
+
+    def test_round_trip(self):
+        nl = parse_bench(C17_BENCH, name="c17")
+        again = parse_bench(format_bench(nl), name="c17")
+        rng = np.random.default_rng(1)
+        for _ in range(16):
+            assign = {pi: bool(rng.integers(0, 2)) for pi in nl.primary_inputs}
+            assert again.evaluate_outputs(assign) == nl.evaluate_outputs(assign)
+
+    def test_file_round_trip(self, tmp_path):
+        nl = c17()
+        path = tmp_path / "c17.bench"
+        save_bench(nl, path)
+        loaded = load_bench(path)
+        assert loaded.n_gates == nl.n_gates
+        assert loaded.primary_outputs == nl.primary_outputs
+
+
+class TestC17:
+    def test_structure(self):
+        nl = c17()
+        assert nl.n_gates == 6
+        assert all(g.gtype is GateType.NAND for g in nl.gates.values())
+
+    def test_known_vector(self):
+        # All inputs 0: 10=1, 11=1, 16=1, 19=1 -> 22=NAND(1,1)=0, 23=0.
+        out = c17().evaluate_outputs({pi: False for pi in "12367"})
+        assert out == {"22": False, "23": False}
+
+    def test_sensitized_path(self):
+        nl = c17()
+        base = {pi: False for pi in "12367"}
+        base.update({"3": True, "6": True, "2": True})
+        low = nl.evaluate_outputs({**base, "1": False})
+        high = nl.evaluate_outputs({**base, "1": True})
+        assert low["22"] != high["22"]
+
+
+class TestSECGenerators:
+    def test_c499_like_shape(self):
+        nl = c499_like()
+        assert len(nl.primary_inputs) == 41  # like the real c499
+        assert len(nl.primary_outputs) == 32
+        nl.validate()
+
+    def test_c1355_like_shape(self):
+        nl = c1355_like()
+        assert len(nl.primary_inputs) == 41
+        assert len(nl.primary_outputs) == 32
+        # The XOR expansion must remove every XOR gate.
+        assert all(
+            g.gtype not in (GateType.XOR, GateType.XNOR)
+            for g in nl.gates.values()
+        )
+
+    def test_c1355_like_equivalent_to_c499_like(self):
+        a, b = c499_like(), c1355_like()
+        rng = np.random.default_rng(2)
+        for _ in range(24):
+            assign = {pi: bool(rng.integers(0, 2)) for pi in a.primary_inputs}
+            assert a.evaluate_outputs(assign) == b.evaluate_outputs(assign)
+
+    def test_sec_correction_works(self):
+        """The circuit is a real single-error corrector when enabled."""
+        nl = c499_like()
+        rng = np.random.default_rng(3)
+        data = [bool(rng.integers(0, 2)) for _ in range(32)]
+        # Compute matching check bits: parity of data bits with index bit j.
+        checks = []
+        for j in range(5):
+            members = [data[i] for i in range(32) if (i >> j) & 1]
+            checks.append(sum(members) % 2 == 1)
+        # Flip one data bit, enable correction.
+        flip = 13
+        corrupted = list(data)
+        corrupted[flip] = not corrupted[flip]
+        assign = {f"d{i}": corrupted[i] for i in range(32)}
+        assign.update({f"c{j}": checks[j] for j in range(5)})
+        assign.update({f"r{k}": True for k in range(4)})
+        out = nl.evaluate_outputs(assign)
+        recovered = [out[f"o{i}"] for i in range(32)]
+        assert recovered == data
+
+    def test_gate_count_in_table1_range(self):
+        # Paper Table I: 860 NOR gates for c499, 2068 for c1355; the
+        # generators must land in the same size class once NOR-mapped.
+        from repro.circuits.nor_map import nor_map
+
+        assert 600 <= nor_map(c499_like()).n_gates <= 1200
+        assert 1300 <= nor_map(c1355_like()).n_gates <= 2600

@@ -1,0 +1,176 @@
+"""Tests for gate types, the netlist data model and its structural queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GateType, eval_gate
+from repro.circuits.netlist import Gate, Netlist
+from repro.errors import NetlistError
+
+
+class TestEvalGate:
+    def test_inv(self):
+        assert eval_gate(GateType.INV, [False]) is True
+        assert eval_gate(GateType.INV, [True]) is False
+
+    def test_buf(self):
+        assert eval_gate(GateType.BUF, [True]) is True
+
+    def test_unary_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            eval_gate(GateType.INV, [True, False])
+
+    def test_binary_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            eval_gate(GateType.NOR, [True])
+
+    @pytest.mark.parametrize(
+        "gtype,table",
+        [
+            (GateType.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (GateType.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (GateType.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (GateType.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_two_input_truth_tables(self, gtype, table):
+        for (a, b), expected in table.items():
+            assert eval_gate(gtype, [bool(a), bool(b)]) == bool(expected)
+
+    def test_multi_input_parity(self):
+        assert eval_gate(GateType.XOR, [True, True, True]) is True
+        assert eval_gate(GateType.XNOR, [True, True, True]) is False
+
+    def test_multi_input_and(self):
+        assert eval_gate(GateType.AND, [True, True, True]) is True
+        assert eval_gate(GateType.AND, [True, False, True]) is False
+
+
+def small_netlist() -> Netlist:
+    nl = Netlist("t")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("n1", GateType.NOR, ["a", "b"])
+    nl.add_gate("n2", GateType.INV, ["n1"])
+    nl.add_output("n2")
+    return nl
+
+
+class TestNetlistConstruction:
+    def test_duplicate_input_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_input("a")
+
+    def test_gate_shadowing_input_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_gate("a", GateType.INV, ["a"])
+
+    def test_duplicate_gate_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError):
+            nl.add_gate("n1", GateType.INV, ["a"])
+
+    def test_gate_arity_checked(self):
+        with pytest.raises(NetlistError):
+            Gate("g", GateType.INV, ("a", "b"))
+        with pytest.raises(NetlistError):
+            Gate("g", GateType.NOR, ("a",))
+
+    def test_string_gate_type_accepted(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", "INV", ["a"])
+        assert nl.gates["g"].gtype is GateType.INV
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self):
+        small_netlist().validate()
+
+    def test_dangling_input_detected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.INV, ["ghost"])
+        nl.add_output("g")
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.validate()
+
+    def test_undriven_output_detected(self):
+        nl = small_netlist()
+        nl.add_output("ghost")
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.validate()
+
+    def test_no_outputs_detected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.INV, ["a"])
+        with pytest.raises(NetlistError, match="no primary outputs"):
+            nl.validate()
+
+    def test_cycle_detected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g1", GateType.NOR, ["a", "g2"])
+        nl.add_gate("g2", GateType.INV, ["g1"])
+        nl.add_output("g2")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.validate()
+
+
+class TestStructure:
+    def test_topological_order_respects_deps(self):
+        nl = small_netlist()
+        order = nl.topological_order()
+        assert order.index("n1") < order.index("n2")
+
+    def test_levels(self):
+        nl = small_netlist()
+        levels = nl.levels()
+        assert levels[0] == ["n1"]
+        assert levels[1] == ["n2"]
+        assert nl.depth() == 2
+
+    def test_fanout_map(self):
+        nl = small_netlist()
+        fan = nl.fanout()
+        assert fan["n1"] == [("n2", 0)]
+        assert fan["a"] == [("n1", 0)]
+        assert fan["b"] == [("n1", 1)]
+
+    def test_fanout_count_counts_pins(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.NOR, ["a", "a"])
+        nl.add_output("g")
+        assert nl.fanout_count("a") == 2
+
+    def test_count_by_type(self):
+        assert small_netlist().count_by_type() == {"INV": 1, "NOR": 1}
+
+
+class TestEvaluation:
+    def test_nor_inv_chain(self):
+        nl = small_netlist()
+        out = nl.evaluate_outputs({"a": False, "b": False})
+        assert out["n2"] is False  # NOR(0,0)=1, INV(1)=0
+
+    def test_missing_pi_raises(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError):
+            nl.evaluate({"a": True})
+
+    @given(st.booleans(), st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_direct_logic(self, a, b):
+        nl = small_netlist()
+        out = nl.evaluate_outputs({"a": a, "b": b})
+        assert out["n2"] == (a or b)

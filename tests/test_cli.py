@@ -1,0 +1,25 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out
+        assert "c1355_like" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--circuits", "c9000"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--scale", "galactic"])

@@ -1,0 +1,178 @@
+"""Tests for the Levenberg-Marquardt optimizer and the waveform fitter."""
+
+import numpy as np
+import pytest
+from scipy.optimize import least_squares
+
+from repro.analog.waveform import Waveform
+from repro.constants import TIME_SCALE, VDD
+from repro.core.fitting import fit_waveform
+from repro.core.lm import levenberg_marquardt
+from repro.core.sigmoid import sum_model_jacobian_tau, sum_model_tau
+from repro.core.trace import SigmoidalTrace
+from repro.errors import ConvergenceError
+
+
+class TestLM:
+    def test_recovers_linear_parameters(self):
+        t = np.linspace(0, 1, 50)
+        y = 3.0 * t + 1.0
+
+        def residual(x):
+            return x[0] * t + x[1] - y
+
+        def jacobian(x):
+            return np.column_stack([t, np.ones_like(t)])
+
+        result = levenberg_marquardt(residual, jacobian, np.array([0.0, 0.0]))
+        np.testing.assert_allclose(result.x, [3.0, 1.0], atol=1e-8)
+        assert result.converged
+
+    def test_recovers_sigmoid_parameters(self):
+        tau = np.linspace(0.0, 4.0, 120)
+        true = np.array([[55.0, 1.2], [-35.0, 2.8]])
+        y = sum_model_tau(tau, true, offset=1.0)
+
+        def residual(x):
+            return sum_model_tau(tau, x.reshape(-1, 2), 1.0) - y
+
+        def jacobian(x):
+            return sum_model_jacobian_tau(tau, x.reshape(-1, 2))
+
+        x0 = np.array([30.0, 1.0, -30.0, 3.0])
+        result = levenberg_marquardt(residual, jacobian, x0)
+        np.testing.assert_allclose(result.x.reshape(-1, 2), true, rtol=1e-4)
+
+    def test_matches_scipy(self):
+        tau = np.linspace(0.0, 4.0, 80)
+        rng = np.random.default_rng(0)
+        y = sum_model_tau(tau, np.array([[45.0, 2.0]]), 0.0)
+        y = y + rng.normal(0, 0.01, size=tau.shape)
+
+        def residual(x):
+            return sum_model_tau(tau, x.reshape(-1, 2), 0.0) - y
+
+        def jacobian(x):
+            return sum_model_jacobian_tau(tau, x.reshape(-1, 2))
+
+        x0 = np.array([30.0, 1.8])
+        ours = levenberg_marquardt(residual, jacobian, x0)
+        scipy_result = least_squares(residual, x0, jac=jacobian)
+        np.testing.assert_allclose(ours.x, scipy_result.x, rtol=1e-3)
+
+    def test_weights_change_solution(self):
+        t = np.linspace(0, 1, 20)
+        y = np.where(t < 0.5, 1.0, 2.0)
+
+        def residual(x):
+            return x[0] - y
+
+        def jacobian(x):
+            return np.ones((t.size, 1))
+
+        flat = levenberg_marquardt(residual, jacobian, np.array([0.0]))
+        weighted = levenberg_marquardt(
+            residual, jacobian, np.array([0.0]),
+            weights=np.where(t < 0.5, 10.0, 0.1),
+        )
+        assert weighted.x[0] < flat.x[0]  # pulled toward the heavy side
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            levenberg_marquardt(
+                lambda x: x, lambda x: np.eye(1), np.array([1.0]),
+                weights=np.array([-1.0]),
+            )
+
+    def test_bad_x0_shape_rejected(self):
+        with pytest.raises(ValueError):
+            levenberg_marquardt(
+                lambda x: x.ravel(), lambda x: np.eye(2),
+                np.zeros((2, 1)),
+            )
+
+    def test_raise_on_failure(self):
+        # A residual that cannot improve (constant, gradient nonzero is
+        # impossible) -> immediately "converged by gradient"; force a
+        # failure with max_iter=1 on a hard problem instead.
+        tau = np.linspace(0.0, 4.0, 50)
+        y = sum_model_tau(tau, np.array([[55.0, 1.2]]), 0.0)
+
+        def residual(x):
+            return sum_model_tau(tau, x.reshape(-1, 2), 0.0) - y
+
+        def jacobian(x):
+            return sum_model_jacobian_tau(tau, x.reshape(-1, 2))
+
+        result = levenberg_marquardt(
+            residual, jacobian, np.array([5.0, 3.9]), max_iter=1
+        )
+        assert not result.converged or result.cost < 1e-6
+
+
+def synthetic_waveform(params, initial, n=800, span=(0.0, 6.0)):
+    trace = SigmoidalTrace(initial, params)
+    tau = np.linspace(*span, n)
+    return Waveform(tau / TIME_SCALE, trace.value_tau(tau))
+
+
+class TestFitWaveform:
+    def test_flat_waveform(self):
+        t = np.linspace(0, 1e-10, 60)
+        fit = fit_waveform(Waveform(t, np.zeros(60)))
+        assert fit.n_transitions == 0
+        assert fit.trace.initial_level == 0
+        assert fit.rms_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_recovers_synthetic_two_transition(self):
+        true = [(70.0, 2.0), (-50.0, 4.0)]
+        wf = synthetic_waveform(true, 0)
+        fit = fit_waveform(wf)
+        assert fit.n_transitions == 2
+        np.testing.assert_allclose(
+            fit.trace.params, np.asarray(true), rtol=0.05, atol=0.05
+        )
+        assert fit.rms_error < 5e-3
+
+    def test_recovers_falling_start(self):
+        true = [(-60.0, 2.0), (45.0, 4.5)]
+        wf = synthetic_waveform(true, 1)
+        fit = fit_waveform(wf)
+        assert fit.trace.initial_level == 1
+        np.testing.assert_allclose(
+            fit.trace.params, np.asarray(true), rtol=0.05, atol=0.05
+        )
+
+    def test_noisy_waveform(self):
+        rng = np.random.default_rng(1)
+        wf = synthetic_waveform([(60.0, 3.0)], 0)
+        noisy = Waveform(wf.t, wf.v + rng.normal(0, 0.01, wf.v.shape))
+        fit = fit_waveform(noisy)
+        assert fit.n_transitions == 1
+        assert abs(fit.trace.params[0, 1] - 3.0) < 0.02
+
+    def test_clipping_of_overshoot(self):
+        wf = synthetic_waveform([(60.0, 3.0)], 0)
+        over = Waveform(wf.t, wf.v + 0.15 * np.exp(
+            -((wf.t * TIME_SCALE - 3.3) ** 2) / 0.01))
+        fit = fit_waveform(over)
+        assert fit.n_transitions == 1
+        # Crossing time must stay accurate despite the overshoot bump.
+        assert abs(fit.trace.params[0, 1] - 3.0) < 0.05
+
+    def test_fit_quality_metrics_reported(self):
+        wf = synthetic_waveform([(60.0, 2.0), (-60.0, 4.0)], 0)
+        fit = fit_waveform(wf)
+        assert fit.rms_error >= 0.0
+        assert fit.max_error >= fit.rms_error
+        assert fit.n_iterations >= 1
+
+    def test_marginal_pulse_fit(self):
+        """A barely-crossing pulse fits to strongly overlapping sigmoids."""
+        true = [(60.0, 2.0), (-60.0, 2.04)]
+        wf = synthetic_waveform(true, 0)
+        assert wf.v.max() > VDD / 2  # it does cross
+        fit = fit_waveform(wf)
+        assert fit.n_transitions == 2
+        spacing = fit.trace.params[1, 1] - fit.trace.params[0, 1]
+        assert spacing < 0.2

@@ -1,0 +1,100 @@
+"""Tests for the Eq. 1/Eq. 2 sigmoid models and their Jacobians."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import TIME_SCALE, VDD
+from repro.core.sigmoid import (
+    sigmoid_tau,
+    sigmoid_value,
+    slope_param_from_slew,
+    sum_model_jacobian_tau,
+    sum_model_tau,
+    transition_width_tau,
+)
+
+
+class TestSigmoid:
+    def test_midpoint_half(self):
+        assert sigmoid_tau(2.0, 30.0, 2.0) == pytest.approx(0.5)
+
+    def test_rising_limits(self):
+        assert sigmoid_tau(-1e3, 5.0, 0.0) == pytest.approx(0.0, abs=1e-12)
+        assert sigmoid_tau(1e3, 5.0, 0.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_falling_limits(self):
+        assert sigmoid_tau(-1e3, -5.0, 0.0) == pytest.approx(1.0, abs=1e-12)
+        assert sigmoid_tau(1e3, -5.0, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_seconds_wrapper_matches_scaled(self):
+        t = 42e-12
+        assert sigmoid_value(t, 50.0, 0.3) == pytest.approx(
+            float(sigmoid_tau(t * TIME_SCALE, 50.0, 0.3))
+        )
+
+    def test_no_overflow_at_extreme_arguments(self):
+        values = sigmoid_tau(np.array([-1e8, 1e8]), 100.0, 0.0)
+        assert np.all(np.isfinite(values))
+
+    @given(
+        st.floats(min_value=1.0, max_value=200.0),
+        st.floats(min_value=-5.0, max_value=5.0),
+        st.floats(min_value=-10.0, max_value=10.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_monotone(self, a, b, tau):
+        lo = sigmoid_tau(tau, a, b)
+        hi = sigmoid_tau(tau + 1e-3, a, b)
+        assert hi >= lo  # rising for a > 0
+
+
+class TestSumModel:
+    def test_single_transition_offsets(self):
+        params = np.array([[50.0, 1.0]])
+        v = sum_model_tau(np.array([-10.0, 1.0, 10.0]), params, offset=0.0)
+        np.testing.assert_allclose(v, [0.0, VDD / 2, VDD], atol=1e-6)
+
+    def test_pulse_shape(self):
+        params = np.array([[60.0, 1.0], [-60.0, 2.0]])
+        v = sum_model_tau(np.array([0.0, 1.5, 3.0]), params, offset=1.0)
+        assert v[0] == pytest.approx(0.0, abs=1e-6)
+        assert v[1] == pytest.approx(VDD, rel=1e-6)
+        assert v[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_jacobian_matches_finite_difference(self):
+        tau = np.linspace(0.0, 3.0, 40)
+        params = np.array([[40.0, 1.0], [-55.0, 2.0]])
+        jac = sum_model_jacobian_tau(tau, params)
+        eps = 1e-7
+        flat = params.ravel()
+        for col in range(flat.size):
+            up = flat.copy()
+            up[col] += eps
+            down = flat.copy()
+            down[col] -= eps
+            numeric = (
+                sum_model_tau(tau, up.reshape(-1, 2), 0.0)
+                - sum_model_tau(tau, down.reshape(-1, 2), 0.0)
+            ) / (2 * eps)
+            np.testing.assert_allclose(jac[:, col], numeric, rtol=1e-5,
+                                       atol=1e-8)
+
+
+class TestHelpers:
+    def test_transition_width(self):
+        # 10-90% width of the logistic is ln(81)/a.
+        assert transition_width_tau(10.0) == pytest.approx(np.log(81) / 10.0)
+
+    def test_transition_width_sign_invariant(self):
+        assert transition_width_tau(-10.0) == transition_width_tau(10.0)
+
+    def test_transition_width_zero_slope_rejected(self):
+        with pytest.raises(ValueError):
+            transition_width_tau(0.0)
+
+    def test_slope_param_round_trip(self):
+        a = 70.0
+        slew = VDD * a * TIME_SCALE / 4.0  # derivative at the crossing
+        assert slope_param_from_slew(slew) == pytest.approx(a)

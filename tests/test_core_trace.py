@@ -1,0 +1,123 @@
+"""Tests for SigmoidalTrace: validity, evaluation, digitization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import NOMINAL_SLOPE, VDD, VTH
+from repro.core.trace import SigmoidalTrace
+from repro.digital.trace import DigitalTrace
+from repro.errors import FittingError
+
+
+class TestValidation:
+    def test_rejects_bad_initial(self):
+        with pytest.raises(FittingError):
+            SigmoidalTrace(2, [])
+
+    def test_rejects_zero_slope(self):
+        with pytest.raises(FittingError):
+            SigmoidalTrace(0, [(0.0, 1.0)])
+
+    def test_rejects_descending_times(self):
+        with pytest.raises(FittingError):
+            SigmoidalTrace(0, [(50.0, 2.0), (-50.0, 1.0)])
+
+    def test_rejects_wrong_first_polarity(self):
+        with pytest.raises(FittingError):
+            SigmoidalTrace(0, [(-50.0, 1.0)])
+        with pytest.raises(FittingError):
+            SigmoidalTrace(1, [(50.0, 1.0)])
+
+    def test_rejects_non_alternating(self):
+        with pytest.raises(FittingError):
+            SigmoidalTrace(0, [(50.0, 1.0), (60.0, 2.0)])
+
+    def test_accepts_valid_sequences(self):
+        SigmoidalTrace(0, [(50.0, 1.0), (-40.0, 2.0), (30.0, 3.0)])
+        SigmoidalTrace(1, [(-50.0, 1.0), (40.0, 2.0)])
+
+
+class TestEvaluation:
+    def test_empty_trace_rails(self):
+        low = SigmoidalTrace(0, [])
+        high = SigmoidalTrace(1, [])
+        t = np.array([0.0, 1e-10])
+        np.testing.assert_allclose(low.value(t), 0.0)
+        np.testing.assert_allclose(high.value(t), VDD)
+
+    def test_rails_before_and_after(self):
+        trace = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 2.0)])
+        assert trace.value(np.array([-1e-9]))[0] == pytest.approx(0.0, abs=1e-9)
+        assert trace.value(np.array([1e-9]))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_high_start_pulse_down(self):
+        trace = SigmoidalTrace(1, [(-60.0, 1.0), (60.0, 2.0)])
+        assert trace.value_tau(np.array([1.5]))[0] == pytest.approx(0.0, abs=1e-6)
+        assert trace.value_tau(np.array([-5.0]))[0] == pytest.approx(VDD, rel=1e-6)
+
+    def test_offset_property(self):
+        trace = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 2.0)])
+        assert trace.offset == 1.0  # one falling, initial 0
+        trace2 = SigmoidalTrace(1, [(-60.0, 1.0)])
+        assert trace2.offset == 0.0  # one falling minus initial 1
+
+    def test_final_level(self):
+        trace = SigmoidalTrace(0, [(60.0, 1.0)])
+        assert trace.final_level() == 1
+        trace = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 2.0)])
+        assert trace.final_level() == 0
+
+    @given(st.integers(min_value=0, max_value=1),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_rail_consistency(self, initial, n):
+        sign = -1.0 if initial else 1.0
+        params = []
+        for i in range(n):
+            params.append((sign * 60.0, float(i)))
+            sign = -sign
+        trace = SigmoidalTrace(initial, params)
+        start = trace.value_tau(np.array([-100.0]))[0]
+        end = trace.value_tau(np.array([100.0]))[0]
+        assert start == pytest.approx(initial * VDD, abs=1e-6)
+        assert end == pytest.approx(trace.final_level() * VDD, abs=1e-6)
+
+
+class TestDigitization:
+    def test_well_separated_crossings_near_b(self):
+        trace = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 3.0)])
+        crossings = trace.crossing_times_tau(VTH)
+        assert len(crossings) == 2
+        assert crossings[0] == pytest.approx(1.0, abs=1e-3)
+        assert crossings[1] == pytest.approx(3.0, abs=1e-3)
+
+    def test_degraded_pair_no_crossing(self):
+        # Heavily overlapping opposite sigmoids never reach VDD/2.
+        trace = SigmoidalTrace(0, [(30.0, 1.0), (-30.0, 1.01)])
+        assert trace.crossing_times_tau(VTH) == []
+
+    def test_digitize_returns_digital_trace(self):
+        trace = SigmoidalTrace(1, [(-60.0, 1.0), (60.0, 3.0)])
+        digital = trace.digitize()
+        assert digital.initial is True
+        assert digital.n_transitions == 2
+
+    def test_from_digital_round_trip(self):
+        digital = DigitalTrace(False, [10e-12, 30e-12, 55e-12])
+        trace = SigmoidalTrace.from_digital(digital, slope=NOMINAL_SLOPE)
+        assert trace.n_transitions == 3
+        back = trace.digitize()
+        assert back.initial == digital.initial
+        np.testing.assert_allclose(back.times, digital.times, atol=1e-14)
+
+    def test_from_digital_polarity(self):
+        digital = DigitalTrace(True, [10e-12])
+        trace = SigmoidalTrace.from_digital(digital)
+        assert trace.params[0, 0] < 0  # first transition falls
+
+    def test_shifted(self):
+        trace = SigmoidalTrace(0, [(60.0, 1.0)])
+        shifted = trace.shifted(10e-12)
+        assert shifted.params[0, 1] == pytest.approx(1.1)

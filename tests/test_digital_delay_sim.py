@@ -1,0 +1,258 @@
+"""Tests for delay models, the event-driven simulator and the hybrid channel."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.digital.delay import (
+    ArcKey,
+    ArcTable,
+    DDMDelayModel,
+    DelayLibrary,
+    FixedDelayModel,
+)
+from repro.digital.hybrid import HybridExpChannel
+from repro.digital.simulator import DigitalSimulator
+from repro.digital.trace import DigitalTrace
+from repro.errors import ModelError
+
+
+class TestArcTable:
+    def test_interpolation(self):
+        table = ArcTable(
+            loads=np.array([1e-16, 2e-16]),
+            delays=np.array([4e-12, 6e-12]),
+            slews=np.array([5e-12, 8e-12]),
+        )
+        assert table.delay_at(1.5e-16) == pytest.approx(5e-12)
+        assert table.slew_at(1.5e-16) == pytest.approx(6.5e-12)
+
+    def test_clamps_outside(self):
+        table = ArcTable(np.array([1e-16, 2e-16]), np.array([4e-12, 6e-12]),
+                         np.array([5e-12, 8e-12]))
+        assert table.delay_at(0.0) == pytest.approx(4e-12)
+        assert table.delay_at(1.0) == pytest.approx(6e-12)
+
+    def test_rejects_unsorted_loads(self):
+        with pytest.raises(ModelError):
+            ArcTable(np.array([2e-16, 1e-16]), np.array([1, 2]), np.array([1, 2]))
+
+    def test_round_trip(self):
+        table = ArcTable(np.array([1e-16]), np.array([4e-12]), np.array([5e-12]))
+        clone = ArcTable.from_dict(table.to_dict())
+        assert clone.delay_at(1e-16) == table.delay_at(1e-16)
+
+
+class TestDelayLibrary:
+    def test_missing_arc_raises(self):
+        with pytest.raises(ModelError):
+            DelayLibrary().table(ArcKey("INV", 0, "rise"))
+
+    def test_invalid_edge_rejected(self):
+        with pytest.raises(ModelError):
+            ArcKey("INV", 0, "up")
+
+    def test_round_trip(self):
+        lib = DelayLibrary()
+        lib.add(
+            ArcKey("INV", 0, "rise"),
+            ArcTable(np.array([1e-16]), np.array([4e-12]), np.array([5e-12])),
+        )
+        clone = DelayLibrary.from_dict(lib.to_dict())
+        assert clone.delay(ArcKey("INV", 0, "rise"), 1e-16) == pytest.approx(4e-12)
+
+
+class TestFixedDelayModel:
+    def test_lookup(self):
+        model = FixedDelayModel({(0, "rise"): 4e-12, (0, "fall"): 5e-12})
+        assert model.delay(0, "rise", 0.0, -np.inf) == 4e-12
+
+    def test_missing_arc(self):
+        model = FixedDelayModel({(0, "rise"): 4e-12})
+        with pytest.raises(ModelError):
+            model.delay(0, "fall", 0.0, -np.inf)
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ModelError):
+            FixedDelayModel({(0, "rise"): 0.0})
+
+
+class TestDDM:
+    def make(self):
+        return DDMDelayModel({(0, "rise"): 5e-12, (0, "fall"): 5e-12},
+                             tau=10e-12, t0=1e-12)
+
+    def test_full_delay_after_long_history(self):
+        model = self.make()
+        assert model.delay(0, "rise", 100e-12, -np.inf) == pytest.approx(5e-12)
+
+    def test_degrades_at_short_history(self):
+        model = self.make()
+        d_long = model.delay(0, "rise", 1.0, 0.0)
+        d_short = model.delay(0, "rise", 5e-12, 0.0)
+        assert 0 < d_short < d_long
+
+    def test_cancels_below_t0(self):
+        model = self.make()
+        assert model.delay(0, "rise", 0.5e-12, 0.0) == 0.0
+
+    def test_monotone_in_history(self):
+        model = self.make()
+        ts = np.linspace(2e-12, 60e-12, 20)
+        delays = [model.delay(0, "rise", t, 0.0) for t in ts]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+
+
+def inverter_chain(n: int) -> Netlist:
+    nl = Netlist("chain")
+    nl.add_input("in")
+    prev = "in"
+    for i in range(n):
+        nl.add_gate(f"g{i}", GateType.INV, [prev])
+        prev = f"g{i}"
+    nl.add_output(prev)
+    return nl
+
+
+def fixed_models(netlist: Netlist, rise=4e-12, fall=5e-12):
+    return {
+        name: FixedDelayModel(
+            {
+                (pin, "rise"): rise,
+                (pin, "fall"): fall,
+            }
+            if gate.gtype is GateType.INV
+            else {
+                (0, "rise"): rise,
+                (0, "fall"): fall,
+                (1, "rise"): rise,
+                (1, "fall"): fall,
+            }
+        )
+        for name, gate in netlist.gates.items()
+        for pin in [0]
+    }
+
+
+class TestDigitalSimulator:
+    def test_single_inverter_delay(self):
+        nl = inverter_chain(1)
+        sim = DigitalSimulator(nl, fixed_models(nl))
+        out = sim.simulate_outputs({"in": DigitalTrace(False, [10e-12])}, 1e-9)
+        # Input rises -> output falls after the fall delay.
+        assert out["g0"].initial is True
+        assert out["g0"].times == pytest.approx([15e-12])
+
+    def test_chain_accumulates_delay(self):
+        nl = inverter_chain(4)
+        sim = DigitalSimulator(nl, fixed_models(nl, rise=4e-12, fall=4e-12))
+        out = sim.simulate_outputs({"in": DigitalTrace(False, [10e-12])}, 1e-9)
+        assert out["g3"].times == pytest.approx([10e-12 + 4 * 4e-12])
+
+    def test_inertial_swallows_short_pulse(self):
+        nl = inverter_chain(1)
+        sim = DigitalSimulator(nl, fixed_models(nl, rise=5e-12, fall=5e-12))
+        out = sim.simulate_outputs(
+            {"in": DigitalTrace(False, [10e-12, 12e-12])}, 1e-9
+        )
+        assert out["g0"].n_transitions == 0
+
+    def test_long_pulse_propagates(self):
+        nl = inverter_chain(1)
+        sim = DigitalSimulator(nl, fixed_models(nl, rise=5e-12, fall=5e-12))
+        out = sim.simulate_outputs(
+            {"in": DigitalTrace(False, [10e-12, 30e-12])}, 1e-9
+        )
+        assert out["g0"].n_transitions == 2
+
+    def test_nor_gate_logic(self):
+        nl = Netlist("nor")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("g", GateType.NOR, ["a", "b"])
+        nl.add_output("g")
+        sim = DigitalSimulator(nl, fixed_models(nl))
+        out = sim.simulate_outputs(
+            {
+                "a": DigitalTrace(False, [10e-12]),
+                "b": DigitalTrace(False, [50e-12]),
+            },
+            1e-9,
+        )
+        # Out starts high, falls when a rises; b's rise is masked.
+        assert out["g"].initial is True
+        assert len(out["g"].times) == 1
+
+    def test_events_beyond_t_stop_ignored(self):
+        nl = inverter_chain(1)
+        sim = DigitalSimulator(nl, fixed_models(nl))
+        out = sim.simulate_outputs({"in": DigitalTrace(False, [10e-12])}, 12e-12)
+        assert out["g0"].n_transitions == 0
+
+    def test_missing_delay_model_rejected(self):
+        nl = inverter_chain(2)
+        models = fixed_models(nl)
+        models.pop("g1")
+        with pytest.raises(Exception):
+            DigitalSimulator(nl, models)
+
+    def test_ddm_kills_degraded_pulse(self):
+        nl = inverter_chain(1)
+        models = {
+            "g0": DDMDelayModel(
+                {(0, "rise"): 4e-12, (0, "fall"): 4e-12},
+                tau=8e-12,
+                t0=3e-12,
+            )
+        }
+        sim = DigitalSimulator(nl, models)
+        # 2 ps pulse: the second transition arrives 2 ps after the first
+        # OUTPUT transition was committed -> fully degraded.
+        out = sim.simulate_outputs(
+            {"in": DigitalTrace(False, [10e-12, 16e-12])}, 1e-9
+        )
+        # First output transition fires, second one is cancelled (leaving
+        # the output stuck) or both vanish depending on the exact timing;
+        # with these numbers the closing transition is degraded away.
+        assert out["g0"].n_transitions <= 1
+
+
+class TestHybridChannel:
+    def test_steady_state_delay(self):
+        ch = HybridExpChannel(tau_r=4e-12, tau_f=4e-12, theta=0.5, t_p=1e-12)
+        initial, times = ch.output_times([100e-12], initial_input=False)
+        assert initial is False
+        assert len(times) == 1
+        expected = 1e-12 + 4e-12 * np.log(1 / 0.5)
+        assert times[0] - 100e-12 == pytest.approx(expected, rel=1e-6)
+
+    def test_short_pulse_cancelled(self):
+        ch = HybridExpChannel(tau_r=6e-12, tau_f=6e-12)
+        _, times = ch.output_times([10e-12, 11e-12])
+        assert times == []
+
+    def test_long_pulse_passes(self):
+        ch = HybridExpChannel(tau_r=4e-12, tau_f=4e-12)
+        _, times = ch.output_times([10e-12, 40e-12])
+        assert len(times) == 2
+
+    def test_involution_property(self):
+        """-delta_down(-delta_up(T)) == T (the IDM defining identity)."""
+        ch = HybridExpChannel(tau_r=5e-12, tau_f=7e-12, theta=0.45, t_p=2e-12)
+        for T in np.linspace(1e-12, 60e-12, 12):
+            d_up = ch.delay_up(T)
+            recovered = -ch.delay_down(-d_up)
+            assert recovered == pytest.approx(T, rel=1e-9, abs=1e-18)
+
+    def test_delay_monotone_in_history(self):
+        ch = HybridExpChannel(tau_r=5e-12, tau_f=5e-12)
+        ts = np.linspace(0.5e-12, 50e-12, 20)
+        delays = [ch.delay_up(t) for t in ts]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            HybridExpChannel(tau_r=0.0, tau_f=1e-12)
+        with pytest.raises(ModelError):
+            HybridExpChannel(tau_r=1e-12, tau_f=1e-12, theta=1.5)

@@ -1,0 +1,149 @@
+"""Tests for DigitalTrace and the mismatch-time measure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.waveform import Waveform
+from repro.constants import VDD
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+
+
+class TestConstruction:
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(SimulationError):
+            DigitalTrace(False, [2e-12, 1e-12])
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(SimulationError):
+            DigitalTrace(False, [1e-12, 1e-12])
+
+    def test_empty_trace(self):
+        trace = DigitalTrace(True)
+        assert trace.n_transitions == 0
+        assert trace.value_at(1.0) is True
+        assert trace.final_value() is True
+
+
+class TestValueAt:
+    def test_alternation(self):
+        trace = DigitalTrace(False, [1e-12, 2e-12, 3e-12])
+        assert trace.value_at(0.5e-12) is False
+        assert trace.value_at(1.5e-12) is True
+        assert trace.value_at(2.5e-12) is False
+        assert trace.value_at(3.5e-12) is True
+
+    def test_transition_effective_at_time(self):
+        trace = DigitalTrace(False, [1e-12])
+        assert trace.value_at(1e-12) is True
+
+    def test_final_value_parity(self):
+        assert DigitalTrace(False, [1e-12]).final_value() is True
+        assert DigitalTrace(False, [1e-12, 2e-12]).final_value() is False
+
+
+class TestFromWaveform:
+    def test_ramp(self):
+        t = np.linspace(0, 10e-12, 100)
+        wf = Waveform(t, VDD * t / 10e-12)
+        trace = DigitalTrace.from_waveform(wf)
+        assert trace.initial is False
+        assert trace.n_transitions == 1
+        assert trace.times[0] == pytest.approx(5e-12, rel=1e-2)
+
+    def test_flat_high(self):
+        t = np.linspace(0, 1e-12, 10)
+        trace = DigitalTrace.from_waveform(Waveform(t, np.full(10, VDD)))
+        assert trace.initial is True
+        assert trace.n_transitions == 0
+
+
+class TestSegmentsAndSample:
+    def test_segments_cover_window(self):
+        trace = DigitalTrace(False, [2e-12, 5e-12])
+        segs = list(trace.segments(0.0, 10e-12))
+        assert segs[0] == (0.0, 2e-12, False)
+        assert segs[1] == (2e-12, 5e-12, True)
+        assert segs[2] == (5e-12, 10e-12, False)
+
+    def test_segments_invalid_window(self):
+        with pytest.raises(SimulationError):
+            list(DigitalTrace(False).segments(1.0, 1.0))
+
+    def test_sample(self):
+        trace = DigitalTrace(False, [1e-12, 3e-12])
+        t = np.array([0.5e-12, 2e-12, 4e-12])
+        np.testing.assert_array_equal(trace.sample(t, v_high=VDD),
+                                      [0.0, VDD, 0.0])
+
+
+class TestMismatchTime:
+    def test_identical_traces_zero(self):
+        trace = DigitalTrace(False, [1e-12, 3e-12])
+        assert trace.mismatch_time(trace, 0, 10e-12) == 0.0
+
+    def test_pure_shift(self):
+        a = DigitalTrace(False, [1e-12])
+        b = DigitalTrace(False, [3e-12])
+        assert a.mismatch_time(b, 0, 10e-12) == pytest.approx(2e-12)
+
+    def test_missed_pulse(self):
+        a = DigitalTrace(False, [1e-12, 4e-12])  # 3 ps pulse
+        b = DigitalTrace(False, [])
+        assert a.mismatch_time(b, 0, 10e-12) == pytest.approx(3e-12)
+
+    def test_symmetry(self):
+        a = DigitalTrace(False, [1e-12, 4e-12, 6e-12])
+        b = DigitalTrace(False, [2e-12, 3e-12])
+        ab = a.mismatch_time(b, 0, 10e-12)
+        ba = b.mismatch_time(a, 0, 10e-12)
+        assert ab == pytest.approx(ba)
+
+    def test_opposite_initial_values(self):
+        a = DigitalTrace(False)
+        b = DigitalTrace(True)
+        assert a.mismatch_time(b, 0, 5e-12) == pytest.approx(5e-12)
+
+    def test_window_restricts_measure(self):
+        a = DigitalTrace(False, [1e-12])
+        b = DigitalTrace(False)
+        assert a.mismatch_time(b, 0, 2e-12) == pytest.approx(1e-12)
+
+    @given(
+        st.lists(st.floats(min_value=1e-13, max_value=9e-12), max_size=6),
+        st.lists(st.floats(min_value=1e-13, max_value=9e-12), max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounded_and_symmetric(self, times_a, times_b):
+        a = DigitalTrace(False, sorted(set(times_a)))
+        b = DigitalTrace(False, sorted(set(times_b)))
+        m = a.mismatch_time(b, 0, 10e-12)
+        assert 0.0 <= m <= 10e-12
+        assert m == pytest.approx(b.mismatch_time(a, 0, 10e-12), abs=1e-20)
+
+    def test_triangle_inequality(self):
+        a = DigitalTrace(False, [1e-12, 4e-12])
+        b = DigitalTrace(False, [2e-12, 5e-12])
+        c = DigitalTrace(False, [3e-12])
+        ab = a.mismatch_time(b, 0, 10e-12)
+        bc = b.mismatch_time(c, 0, 10e-12)
+        ac = a.mismatch_time(c, 0, 10e-12)
+        assert ac <= ab + bc + 1e-20
+
+
+class TestTransforms:
+    def test_shifted(self):
+        trace = DigitalTrace(True, [1e-12]).shifted(1e-12)
+        assert trace.times == [2e-12]
+
+    def test_restricted_reevaluates_initial(self):
+        trace = DigitalTrace(False, [1e-12, 5e-12])
+        sub = trace.restricted(2e-12, 10e-12)
+        assert sub.initial is True
+        assert sub.times == [5e-12]
+
+    def test_equality(self):
+        assert DigitalTrace(False, [1e-12]) == DigitalTrace(False, [1e-12])
+        assert DigitalTrace(False, [1e-12]) != DigitalTrace(True, [1e-12])

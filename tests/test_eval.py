@@ -1,0 +1,140 @@
+"""Tests for stimuli, metrics, the report formatter and table plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.analog.waveform import Waveform
+from repro.constants import VDD
+from repro.core.trace import SigmoidalTrace
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+from repro.eval.metrics import as_digital, mismatch_time, total_mismatch_time
+from repro.eval.report import format_table
+from repro.eval.runner import augment_with_shaping
+from repro.eval.stimuli import (
+    PAPER_CONFIGS,
+    StimulusConfig,
+    random_pi_sources,
+    random_transition_times,
+)
+from repro.eval.table1 import nor_mapped
+
+
+class TestStimulusConfig:
+    def test_paper_configs(self):
+        assert [c.n_transitions for c in PAPER_CONFIGS] == [20, 10, 5]
+        assert PAPER_CONFIGS[0].label == "20,10"
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            StimulusConfig(-1e-12, 1e-12, 5)
+        with pytest.raises(SimulationError):
+            StimulusConfig(1e-12, 1e-12, 0)
+
+    def test_transition_times_sorted_positive_gaps(self):
+        rng = np.random.default_rng(0)
+        config = StimulusConfig(20e-12, 10e-12, 20)
+        times = random_transition_times(config, rng)
+        assert times.shape == (20,)
+        assert np.all(np.diff(times) >= 2e-12 - 1e-18)
+
+    def test_mean_gap_tracks_mu(self):
+        rng = np.random.default_rng(1)
+        config = StimulusConfig(100e-12, 10e-12, 1000)
+        times = random_transition_times(config, rng)
+        assert np.mean(np.diff(times)) == pytest.approx(100e-12, rel=0.05)
+
+    def test_sources_deterministic_per_seed(self):
+        config = StimulusConfig(20e-12, 10e-12, 5)
+        a, _ = random_pi_sources(["x", "y"], config, seed=7)
+        b, _ = random_pi_sources(["x", "y"], config, seed=7)
+        np.testing.assert_array_equal(a["x"].times, b["x"].times)
+        c, _ = random_pi_sources(["x", "y"], config, seed=8)
+        assert not np.array_equal(a["x"].times, c["x"].times)
+
+    def test_t_last_is_max(self):
+        config = StimulusConfig(20e-12, 10e-12, 5)
+        sources, t_last = random_pi_sources(["x", "y"], config, seed=0)
+        expected = max(sources["x"].times.max(), sources["y"].times.max())
+        assert t_last == pytest.approx(expected)
+
+
+class TestMetrics:
+    def test_as_digital_dispatch(self):
+        t = np.linspace(0, 10e-12, 50)
+        wf = Waveform(t, VDD * t / 10e-12)
+        assert as_digital(wf).n_transitions == 1
+        trace = SigmoidalTrace(0, [(60.0, 0.05)])
+        assert as_digital(trace).n_transitions == 1
+        digital = DigitalTrace(False, [1e-12])
+        assert as_digital(digital) is digital
+
+    def test_as_digital_rejects_unknown(self):
+        with pytest.raises(SimulationError):
+            as_digital(42)
+
+    def test_mismatch_across_types(self):
+        digital = DigitalTrace(False, [5e-12])
+        sigmoid = SigmoidalTrace.from_digital(DigitalTrace(False, [7e-12]))
+        err = mismatch_time(digital, sigmoid, 0.0, 20e-12)
+        assert err == pytest.approx(2e-12, rel=1e-6)
+
+    def test_total_sums_outputs(self):
+        refs = {
+            "a": DigitalTrace(False, [1e-12]),
+            "b": DigitalTrace(False, [2e-12]),
+        }
+        preds = {
+            "a": DigitalTrace(False, [2e-12]),
+            "b": DigitalTrace(False, [2e-12]),
+        }
+        total = total_mismatch_time(refs, preds, 0.0, 10e-12)
+        assert total == pytest.approx(1e-12)
+
+    def test_missing_prediction_rejected(self):
+        refs = {"a": DigitalTrace(False)}
+        with pytest.raises(SimulationError):
+            total_mismatch_time(refs, {}, 0.0, 1e-12)
+
+
+class TestAugmentation:
+    def test_shaping_and_termination_added(self):
+        core = nor_mapped("c17")
+        augmented = augment_with_shaping(core)
+        augmented.validate()
+        # Two tied NORs per PI and per PO.
+        expected = core.n_gates + 2 * len(core.primary_inputs) + 2 * len(
+            core.primary_outputs
+        )
+        assert augmented.n_gates == expected
+        assert augmented.primary_outputs == core.primary_outputs
+        # All added gates are tied NORs.
+        for pi in core.primary_inputs:
+            gate = augmented.gates[pi]
+            assert gate.inputs[0] == gate.inputs[1]
+
+    def test_augmented_logic_matches_core(self):
+        core = nor_mapped("c17")
+        augmented = augment_with_shaping(core)
+        rng = np.random.default_rng(0)
+        for _ in range(16):
+            assign = {pi: bool(rng.integers(0, 2))
+                      for pi in core.primary_inputs}
+            aug_assign = {f"{pi}__src": v for pi, v in assign.items()}
+            assert (
+                augmented.evaluate_outputs(aug_assign)
+                == core.evaluate_outputs(assign)
+            )
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_nor_mapped_unknown_circuit(self):
+        with pytest.raises(KeyError):
+            nor_mapped("c9999")

@@ -1,0 +1,101 @@
+"""Tests for figure data generators and digital delay characterization."""
+
+import numpy as np
+import pytest
+
+from repro.analog.waveform import Waveform
+from repro.constants import VDD
+from repro.digital.characterize import (
+    characterize_delay_library,
+    instance_load,
+)
+from repro.digital.delay import ArcKey
+from repro.eval.figures import fig1_data, fig4_data
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    return characterize_delay_library(loads=(1, 2))
+
+
+class TestDelayCharacterization:
+    def test_all_arcs_present(self, delay_library):
+        for cell, pins in (("INV", (0,)), ("NOR2", (0, 1)), ("NOR2T", (0,))):
+            for pin in pins:
+                for edge in ("rise", "fall"):
+                    table = delay_library.table(ArcKey(cell, pin, edge))
+                    assert np.all(table.delays > 0)
+                    assert np.all(table.slews > 0)
+
+    def test_delays_increase_with_load(self, delay_library):
+        for cell in ("INV", "NOR2", "NOR2T"):
+            table = delay_library.table(ArcKey(cell, 0, "fall"))
+            assert table.delays[-1] > table.delays[0]
+
+    def test_delays_physical_range(self, delay_library):
+        """All arcs must land in the technology's few-ps window."""
+        for key, table in delay_library.arcs.items():
+            assert np.all(table.delays > 1e-12), key
+            assert np.all(table.delays < 30e-12), key
+
+    def test_nor_slower_than_inverter(self, delay_library):
+        inv = delay_library.table(ArcKey("INV", 0, "fall")).delays[0]
+        nor = delay_library.table(ArcKey("NOR2", 0, "fall")).delays[0]
+        assert nor > inv
+
+    def test_tied_nor_fall_faster_than_single_pin(self, delay_library):
+        """Two parallel NMOS pull the tied gate's output down faster."""
+        tied = delay_library.table(ArcKey("NOR2T", 0, "fall")).delays[0]
+        single = delay_library.table(ArcKey("NOR2", 0, "fall")).delays[0]
+        assert tied < single
+
+    def test_instance_load_counts_pins(self):
+        from repro.circuits.gates import GateType
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.NOR, ["a", "a"])  # tied: 2 pins on 'a'
+        nl.add_output("g")
+        load_two_pins = instance_load(nl, "a")
+        nl2 = Netlist("t2")
+        nl2.add_input("a")
+        nl2.add_input("b")
+        nl2.add_gate("g", GateType.NOR, ["a", "b"])
+        nl2.add_output("g")
+        load_one_pin = instance_load(nl2, "a")
+        assert load_two_pins > load_one_pin
+
+
+class TestFigureData:
+    def test_fig1_structure(self):
+        data = fig1_data()
+        assert data["t"].shape == data["vin_analog"].shape
+        assert data["vin_fit"].shape == data["vin_analog"].shape
+        assert data["fit_in_rms"] < 0.05
+        assert data["fit_out_rms"] < 0.05
+        # Two transitions in, two out, TOM features derived.
+        assert data["fit_in_params"].shape == (2, 2)
+        assert data["tom"] is not None
+        assert data["tom"]["T"] > 0
+        # Inverter: rising input closes with falling input, output opposite.
+        assert np.sign(data["tom"]["a_in_n"]) == -np.sign(data["tom"]["a_out_n"])
+
+    def test_fig1_overshoot_only_in_analog(self):
+        data = fig1_data()
+        assert data["vout_analog"].max() > VDD  # Miller overshoot
+        assert data["vout_fit"].max() <= VDD + 1e-3  # sigmoids stay in rails
+
+    def test_fig4_all_transitions_survive(self):
+        data = fig4_data()
+        wf = Waveform(data["t"], data["shaped"])
+        assert len(wf.crossings()) == 4
+        assert len(data["transition_times"]) == 4
+
+    def test_fig4_shaping_slows_edges(self):
+        data = fig4_data()
+        wf_shaped = Waveform(data["t"], data["shaped"])
+        wf_heaviside = Waveform(data["t"], data["heaviside"])
+        edge_shaped = wf_shaped.edge_time(wf_shaped.crossings()[0])
+        edge_heaviside = wf_heaviside.edge_time(wf_heaviside.crossings()[0])
+        assert edge_shaped > 3 * edge_heaviside

@@ -1,0 +1,126 @@
+"""End-to-end integration tests across all subsystems.
+
+``test_tiny_pipeline_end_to_end`` runs the complete system — analog
+characterization, fitting, training, all three simulators, scoring — at
+the smallest scale (roughly half a minute).  The cached-artifact tests
+exercise the shipped trained models and are skipped when ``artifacts/``
+has not been built yet.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.characterization.artifacts import (
+    artifacts_dir,
+    characterize_all,
+)
+from repro.characterization.train_gate import train_gate_model
+from repro.circuits import c17, nor_map
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.delay import DelayLibrary
+from repro.digital.trace import DigitalTrace
+from repro.eval.runner import ExperimentRunner
+from repro.eval.stimuli import StimulusConfig
+from repro.nn.training import TrainingConfig
+
+BUNDLE_PATH = artifacts_dir() / "bundle_fast.json"
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached artifacts not built (run any benchmark once)",
+)
+
+
+@pytest.mark.slow
+def test_tiny_pipeline_end_to_end():
+    """Characterize -> train -> predict, fully self-contained."""
+    datasets, stats = characterize_all(scale="tiny")
+    assert ("NOR2T", 0, "fo2") in datasets
+    dataset = datasets[("NOR2T", 0, "fo2")]
+    assert len(dataset) > 50
+
+    model, report = train_gate_model(
+        dataset, config=TrainingConfig(epochs=100, seed=0)
+    )
+    # Training quality: sub-picosecond delay error on its own data.
+    assert report.delay_mae_rising_ps < 1.0
+    assert report.delay_mae_falling_ps < 1.0
+
+    # Build a 2-channel bundle and simulate a tied-NOR chain circuit.
+    bundle = GateModelBundle()
+    for fanout_class in ("fo1", "fo2"):
+        key = ("NOR2T", 0, fanout_class)
+        if key in datasets and len(datasets[key]) > 30:
+            m, _ = train_gate_model(
+                datasets[key], config=TrainingConfig(epochs=100, seed=0)
+            )
+            bundle.add(m)
+        else:
+            bundle.add(model)
+            break
+
+    from repro.circuits.gates import GateType
+    from repro.circuits.netlist import Netlist
+
+    nl = Netlist("tiny")
+    nl.add_input("in")
+    prev = "in"
+    for i in range(3):
+        nl.add_gate(f"g{i}", GateType.NOR, [prev, prev])
+        prev = f"g{i}"
+    nl.add_output(prev)
+
+    sim = SigmoidCircuitSimulator(nl, bundle)
+    pi = {"in": SigmoidalTrace.from_digital(
+        DigitalTrace(False, [30e-12, 70e-12]))}
+    out = sim.simulate(pi)["g2"]
+    assert out.initial_level == 1  # three inversions of a low input
+    assert out.n_transitions == 2
+    # Total delay through three stages: between 3 and 40 ps per stage.
+    delay = out.params[0, 1] / 1e10 * 1e12 - 30.0
+    assert 9.0 < delay < 120.0
+
+
+@needs_artifacts
+class TestWithCachedArtifacts:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return GateModelBundle.load(BUNDLE_PATH)
+
+    @pytest.fixture(scope="class")
+    def delay_library(self):
+        return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+    def test_bundle_has_all_channels(self, bundle):
+        from repro.characterization.artifacts import CHANNELS
+
+        assert set(bundle.keys()) == set(CHANNELS)
+
+    def test_c17_experiment_sigmoid_wins_at_short_gaps(
+        self, bundle, delay_library
+    ):
+        """The paper's headline: ratio < 1 at (20 ps, 10 ps)."""
+        runner = ExperimentRunner(nor_map(c17()), bundle, delay_library)
+        config = StimulusConfig(20e-12, 10e-12, 12)
+        results = [runner.run(config, seed=s) for s in range(2)]
+        err_d = float(np.mean([r.t_err_digital for r in results]))
+        err_s = float(np.mean([r.t_err_sigmoid for r in results]))
+        assert err_s < err_d
+
+    def test_simulators_causal_and_fast(self, bundle, delay_library):
+        runner = ExperimentRunner(nor_map(c17()), bundle, delay_library)
+        result = runner.run(StimulusConfig(50e-12, 20e-12, 6), seed=3)
+        assert result.t_sim_sigmoid < result.t_sim_analog
+        assert result.t_sim_digital < result.t_sim_analog
+
+    def test_same_stimulus_mode_runs(self, bundle, delay_library):
+        runner = ExperimentRunner(nor_map(c17()), bundle, delay_library)
+        result = runner.run(
+            StimulusConfig(20e-12, 10e-12, 8), seed=1, same_stimulus=True
+        )
+        assert result.t_err_sigmoid >= 0.0

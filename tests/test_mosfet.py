@@ -1,0 +1,150 @@
+"""Tests for the EKV MOSFET compact model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.mosfet import (
+    MosfetParams,
+    NMOS_15NM,
+    PMOS_15NM,
+    mosfet_current,
+    off_current,
+    on_current,
+    vectorized_current,
+)
+from repro.constants import VDD
+
+
+class TestParams:
+    def test_invalid_polarity(self):
+        with pytest.raises(ValueError):
+            MosfetParams("fet", 0.3, 1.3, 1e-6, 0.05, 1e-17, 1e-17, 1e-17)
+
+    def test_invalid_vth(self):
+        with pytest.raises(ValueError):
+            MosfetParams("nmos", -0.1, 1.3, 1e-6, 0.05, 1e-17, 1e-17, 1e-17)
+
+
+class TestNMOS:
+    def test_on_current_magnitude_is_15nm_class(self):
+        ion = on_current(NMOS_15NM)
+        assert 20e-6 < ion < 200e-6
+
+    def test_off_current_tiny(self):
+        assert off_current(NMOS_15NM) < 1e-8
+        assert off_current(NMOS_15NM) > 0.0
+
+    def test_on_off_ratio(self):
+        assert on_current(NMOS_15NM) / off_current(NMOS_15NM) > 1e4
+
+    def test_zero_vds_zero_current(self):
+        i = mosfet_current(NMOS_15NM, VDD, 0.5, 0.5)
+        assert i == pytest.approx(0.0, abs=1e-15)
+
+    def test_conducting_nmos_discharges_drain(self):
+        # Gate high, drain high, source grounded: current leaves the drain.
+        i = mosfet_current(NMOS_15NM, VDD, VDD, 0.0)
+        assert i < 0
+
+    def test_reverse_operation_symmetric_sign(self):
+        # Source above drain: channel current reverses.
+        i = mosfet_current(NMOS_15NM, VDD, 0.0, VDD)
+        assert i > 0
+
+    def test_monotone_in_gate_voltage(self):
+        vg = np.linspace(0.0, VDD, 30)
+        i = np.array([-mosfet_current(NMOS_15NM, g, VDD, 0.0) for g in vg])
+        assert np.all(np.diff(i) > 0)
+
+    def test_monotone_in_drain_voltage(self):
+        vd = np.linspace(0.01, VDD, 30)
+        i = np.array([-mosfet_current(NMOS_15NM, VDD, d, 0.0) for d in vd])
+        assert np.all(np.diff(i) > 0)  # clm keeps saturation slightly sloped
+
+    def test_width_scaling_linear(self):
+        i1 = mosfet_current(NMOS_15NM, VDD, VDD, 0.0, width=1.0)
+        i2 = mosfet_current(NMOS_15NM, VDD, VDD, 0.0, width=2.0)
+        assert i2 == pytest.approx(2 * i1, rel=1e-12)
+
+    @given(
+        st.floats(min_value=0.0, max_value=VDD),
+        st.floats(min_value=0.0, max_value=VDD),
+        st.floats(min_value=0.0, max_value=VDD),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_current_finite_everywhere(self, vg, vd, vs):
+        i = mosfet_current(NMOS_15NM, vg, vd, vs)
+        assert np.isfinite(i)
+
+    def test_smoothness_no_kinks(self):
+        """The current must be numerically smooth (for RK4 and fitting)."""
+        vd = np.linspace(0.0, VDD, 2001)
+        i = mosfet_current(NMOS_15NM, 0.5, vd, 0.0)
+        second = np.diff(i, n=2)
+        assert np.max(np.abs(second)) < 1e-8
+
+
+class TestPMOS:
+    def test_on_current_magnitude(self):
+        ion = on_current(PMOS_15NM)
+        assert 10e-6 < ion < 150e-6
+
+    def test_conducting_pmos_charges_drain(self):
+        # Gate low, source at VDD, drain low: current flows into drain.
+        i = mosfet_current(PMOS_15NM, 0.0, 0.0, VDD)
+        assert i > 0
+
+    def test_off_when_gate_high(self):
+        i = mosfet_current(PMOS_15NM, VDD, 0.0, VDD)
+        assert abs(i) < 1e-8
+
+    def test_mirror_symmetry_with_nmos_form(self):
+        """PMOS at mirrored voltages equals NMOS with mirrored sign."""
+        params_n = MosfetParams("nmos", 0.3, 1.3, 1e-6, 0.05,
+                                1e-17, 1e-17, 1e-17)
+        params_p = MosfetParams("pmos", 0.3, 1.3, 1e-6, 0.05,
+                                1e-17, 1e-17, 1e-17)
+        vg, vd, vs = 0.2, 0.3, 0.8
+        i_p = mosfet_current(params_p, vg, vd, vs)
+        i_n = mosfet_current(params_n, VDD - vg, VDD - vd, VDD - vs)
+        assert i_p == pytest.approx(-i_n, rel=1e-12)
+
+
+class TestVectorized:
+    def test_matches_scalar_api(self):
+        devices = [NMOS_15NM, PMOS_15NM]
+        rng = np.random.default_rng(0)
+        vg = rng.uniform(0, VDD, 2)
+        vd = rng.uniform(0, VDD, 2)
+        vs = rng.uniform(0, VDD, 2)
+        batched = vectorized_current(
+            np.array([d.v_th for d in devices]),
+            np.array([d.n_slope for d in devices]),
+            np.array([d.i_spec for d in devices]),
+            np.array([d.lam for d in devices]),
+            np.array([d.polarity == "pmos" for d in devices]),
+            vg,
+            vd,
+            vs,
+            np.ones(2),
+        )
+        for k, params in enumerate(devices):
+            single = mosfet_current(params, vg[k], vd[k], vs[k])
+            assert batched[k] == pytest.approx(float(single), rel=1e-12)
+
+    def test_broadcast_over_runs(self):
+        out = vectorized_current(
+            np.full((2, 1), NMOS_15NM.v_th),
+            np.full((2, 1), NMOS_15NM.n_slope),
+            np.full((2, 1), NMOS_15NM.i_spec),
+            np.full((2, 1), NMOS_15NM.lam),
+            np.zeros((2, 1), dtype=bool),
+            np.full((2, 5), VDD),
+            np.full((2, 5), VDD),
+            np.zeros((2, 5)),
+            np.ones((2, 1)),
+        )
+        assert out.shape == (2, 5)
+        assert np.allclose(out, out[0, 0])

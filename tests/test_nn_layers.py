@@ -1,0 +1,145 @@
+"""Unit tests for dense layers, activations and gradient correctness."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Identity, ReLU, Tanh, make_activation
+from repro.nn.initializers import get_initializer, he_normal, xavier_uniform
+
+
+class TestDense:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 5, rng)
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_forward_is_affine(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(2, 2, rng)
+        x1 = np.array([[1.0, 0.0]])
+        x2 = np.array([[0.0, 1.0]])
+        zero = layer.forward(np.zeros((1, 2)))
+        combined = layer.forward(x1 + x2)
+        separate = layer.forward(x1) + layer.forward(x2) - zero
+        np.testing.assert_allclose(combined, separate, atol=1e-12)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Dense(3, -1, np.random.default_rng(0))
+
+    def test_weight_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+
+        def loss():
+            return float(np.sum((layer.forward(x) - target) ** 2))
+
+        base_pred = layer.forward(x)
+        grad_out = 2.0 * (base_pred - target)
+        layer.backward(grad_out)
+        analytic = layer.grad_weight.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(layer.weight)
+        for i in range(layer.weight.shape[0]):
+            for j in range(layer.weight.shape[1]):
+                layer.weight[i, j] += eps
+                up = loss()
+                layer.weight[i, j] -= 2 * eps
+                down = loss()
+                layer.weight[i, j] += eps
+                numeric[i, j] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_input_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        target = rng.normal(size=(2, 3))
+
+        pred = layer.forward(x)
+        grad_out = 2.0 * (pred - target)
+        analytic = layer.backward(grad_out)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                xp = x.copy()
+                xp[i, j] += eps
+                up = float(np.sum((layer.forward(xp) - target) ** 2))
+                xm = x.copy()
+                xm[i, j] -= eps
+                down = float(np.sum((layer.forward(xm) - target) ** 2))
+                numeric[i, j] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_gradient_mask(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_tanh_range(self):
+        layer = Tanh()
+        out = layer.forward(np.linspace(-10, 10, 21).reshape(1, -1))
+        assert np.all(np.abs(out) < 1.0 + 1e-12)
+
+    def test_tanh_gradient_at_zero_is_one(self):
+        layer = Tanh()
+        layer.forward(np.array([[0.0]]))
+        grad = layer.backward(np.array([[1.0]]))
+        np.testing.assert_allclose(grad, [[1.0]])
+
+    def test_identity_passthrough(self):
+        layer = Identity()
+        x = np.array([[1.0, -2.0]])
+        np.testing.assert_array_equal(layer.forward(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.zeros((1, 1)))
+
+    def test_make_activation_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_activation("swish")
+
+
+class TestInitializers:
+    def test_he_normal_scale(self):
+        rng = np.random.default_rng(0)
+        w = he_normal(rng, 1000, 50)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 0.01
+
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(rng, 10, 10)
+        limit = np.sqrt(6.0 / 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_initializer("orthogonal")
+
+    def test_lookup_known(self):
+        assert get_initializer("he_normal") is he_normal

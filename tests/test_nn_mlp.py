@@ -1,0 +1,252 @@
+"""Tests for the MLP container: shapes, gradients, training, serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    MLP,
+    Adam,
+    SGD,
+    StandardScaler,
+    TrainingConfig,
+    load_mlp,
+    mlp_from_dict,
+    mlp_to_dict,
+    mse_loss,
+    mse_loss_grad,
+    save_mlp,
+    train_mlp,
+)
+from repro.nn.mlp import paper_architecture
+
+
+class TestMLPBasics:
+    def test_paper_architecture_sizes(self):
+        model = paper_architecture()
+        assert model.layer_sizes == [3, 10, 10, 5, 1]
+        assert model.activation_name == "relu"
+
+    def test_paper_architecture_parameter_count(self):
+        # (3*10+10) + (10*10+10) + (10*5+5) + (5*1+1) = 40+110+55+6 = 211
+        assert paper_architecture().n_parameters() == 211
+
+    def test_forward_shape(self):
+        model = MLP([2, 4, 3], rng=np.random.default_rng(0))
+        out = model.forward(np.zeros((6, 2)))
+        assert out.shape == (6, 3)
+
+    def test_wrong_input_width_raises(self):
+        model = MLP([2, 4, 3], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((6, 5)))
+
+    def test_too_few_layers_raises(self):
+        with pytest.raises(ValueError):
+            MLP([3])
+
+    def test_nonpositive_layer_raises(self):
+        with pytest.raises(ValueError):
+            MLP([3, 0, 1])
+
+    def test_deterministic_with_seed(self):
+        a = MLP([3, 5, 1], rng=np.random.default_rng(42))
+        b = MLP([3, 5, 1], rng=np.random.default_rng(42))
+        x = np.ones((4, 3))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_copy_weights(self):
+        a = MLP([3, 5, 1], rng=np.random.default_rng(1))
+        b = MLP([3, 5, 1], rng=np.random.default_rng(2))
+        b.copy_weights_from(a)
+        x = np.random.default_rng(3).normal(size=(4, 3))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_copy_weights_mismatched_raises(self):
+        a = MLP([3, 5, 1], rng=np.random.default_rng(1))
+        b = MLP([3, 6, 1], rng=np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            b.copy_weights_from(a)
+
+
+class TestBackprop:
+    def test_full_network_gradient_check(self):
+        """End-to-end backprop must match finite differences."""
+        rng = np.random.default_rng(7)
+        model = MLP([3, 6, 4, 2], activation="tanh", rng=rng)
+        x = rng.normal(size=(8, 3))
+        y = rng.normal(size=(8, 2))
+
+        pred = model.forward(x)
+        model.backward(mse_loss_grad(pred, y))
+        analytic = [
+            (layer.grad_weight.copy(), layer.grad_bias.copy())
+            for layer in model.dense_layers()
+        ]
+
+        eps = 1e-6
+        for layer_idx, layer in enumerate(model.dense_layers()):
+            numeric_w = np.zeros_like(layer.weight)
+            it = np.nditer(layer.weight, flags=["multi_index"])
+            while not it.finished:
+                idx = it.multi_index
+                layer.weight[idx] += eps
+                up = mse_loss(model.forward(x), y)
+                layer.weight[idx] -= 2 * eps
+                down = mse_loss(model.forward(x), y)
+                layer.weight[idx] += eps
+                numeric_w[idx] = (up - down) / (2 * eps)
+                it.iternext()
+            np.testing.assert_allclose(
+                analytic[layer_idx][0], numeric_w, rtol=1e-4, atol=1e-7
+            )
+
+    def test_input_gradient_shape(self):
+        model = MLP([3, 5, 2], rng=np.random.default_rng(0))
+        x = np.zeros((4, 3))
+        pred = model.forward(x)
+        grad_in = model.backward(np.ones_like(pred))
+        assert grad_in.shape == x.shape
+
+
+class TestTraining:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = (2.0 * x[:, :1] - 0.5 * x[:, 1:]) + 0.3
+        model = MLP([2, 16, 1], rng=np.random.default_rng(1))
+        history = train_mlp(
+            model, x, y, TrainingConfig(epochs=200, patience=200, seed=0)
+        )
+        final = mse_loss(model.forward(x), y)
+        assert final < 1e-3
+        assert history.epochs_run > 0
+
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(600, 1))
+        y = np.abs(x)
+        model = MLP([1, 16, 16, 1], rng=np.random.default_rng(1))
+        train_mlp(model, x, y, TrainingConfig(epochs=300, patience=300, seed=0))
+        assert mse_loss(model.forward(x), y) < 5e-3
+
+    def test_early_stopping_triggers_on_constant_target(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 2))
+        y = np.zeros((100, 1))
+        model = MLP([2, 4, 1], rng=np.random.default_rng(1))
+        history = train_mlp(
+            model, x, y, TrainingConfig(epochs=1000, patience=10, seed=0)
+        )
+        assert history.stopped_early
+        assert history.epochs_run < 1000
+
+    def test_empty_dataset_raises(self):
+        model = MLP([2, 4, 1], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_mlp(model, np.empty((0, 2)), np.empty((0, 1)))
+
+    def test_mismatched_rows_raise(self):
+        model = MLP([2, 4, 1], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_mlp(model, np.zeros((5, 2)), np.zeros((4, 1)))
+
+    def test_sgd_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 2))
+        y = x[:, :1] + x[:, 1:]
+        model = MLP([2, 8, 1], rng=np.random.default_rng(1))
+        opt = SGD(model, lr=1e-2, momentum=0.9)
+        before = mse_loss(model.forward(x), y)
+        for _ in range(200):
+            pred = model.forward(x)
+            opt.zero_grad()
+            model.backward(mse_loss_grad(pred, y))
+            opt.step()
+        assert mse_loss(model.forward(x), y) < before * 0.1
+
+    def test_adam_invalid_lr(self):
+        model = MLP([2, 4, 1], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Adam(model, lr=0.0)
+
+    def test_sgd_invalid_momentum(self):
+        model = MLP([2, 4, 1], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SGD(model, momentum=1.5)
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        model = paper_architecture(rng=np.random.default_rng(5))
+        clone = mlp_from_dict(mlp_to_dict(model))
+        x = np.random.default_rng(6).normal(size=(10, 3))
+        np.testing.assert_allclose(model.forward(x), clone.forward(x))
+
+    def test_round_trip_file(self, tmp_path):
+        model = MLP([2, 7, 3], activation="tanh", rng=np.random.default_rng(0))
+        path = tmp_path / "model.json"
+        save_mlp(model, path)
+        clone = load_mlp(path)
+        x = np.random.default_rng(1).normal(size=(5, 2))
+        np.testing.assert_allclose(model.forward(x), clone.forward(x))
+
+    def test_corrupt_dict_raises(self):
+        model = MLP([2, 3, 1], rng=np.random.default_rng(0))
+        data = mlp_to_dict(model)
+        data["weights"] = data["weights"][:-1]
+        with pytest.raises(ValueError):
+            mlp_from_dict(data)
+
+
+class TestScaler:
+    def test_transform_centers_and_scales(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(500, 2))
+        scaler = StandardScaler()
+        z = scaler.fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-12
+        )
+
+    def test_zero_variance_feature(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaler = StandardScaler().fit(x)
+        z = scaler.transform(x)
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 2)))
+
+    def test_serialization_round_trip(self):
+        x = np.random.default_rng(0).normal(size=(20, 2))
+        scaler = StandardScaler().fit(x)
+        clone = StandardScaler.from_dict(scaler.to_dict())
+        np.testing.assert_allclose(scaler.transform(x), clone.transform(x))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_inverse_identity(self, values):
+        x = np.asarray(values, dtype=float).reshape(-1, 1)
+        scaler = StandardScaler().fit(x)
+        recovered = scaler.inverse_transform(scaler.transform(x))
+        np.testing.assert_allclose(recovered, x, rtol=1e-9, atol=1e-6)

@@ -1,0 +1,135 @@
+"""Tests for the NOR-only technology mapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GateType
+from repro.circuits.iscas85 import c17
+from repro.circuits.netlist import Netlist
+from repro.circuits.nor_map import nor_map, verify_equivalence
+from repro.errors import NetlistError
+
+
+def single_gate_netlist(gtype: GateType, n_inputs: int) -> Netlist:
+    nl = Netlist(f"one_{gtype.value}")
+    pis = [nl.add_input(f"i{k}") for k in range(n_inputs)]
+    nl.add_gate("out", gtype, pis)
+    nl.add_output("out")
+    return nl
+
+
+class TestMappingCorrectness:
+    @pytest.mark.parametrize(
+        "gtype,n",
+        [
+            (GateType.INV, 1),
+            (GateType.BUF, 1),
+            (GateType.AND, 2),
+            (GateType.OR, 2),
+            (GateType.NAND, 2),
+            (GateType.NOR, 2),
+            (GateType.XOR, 2),
+            (GateType.XNOR, 2),
+            (GateType.AND, 3),
+            (GateType.OR, 4),
+            (GateType.NAND, 3),
+            (GateType.NOR, 3),
+            (GateType.XOR, 3),
+            (GateType.XNOR, 4),
+        ],
+    )
+    def test_single_gate_exhaustive(self, gtype, n):
+        nl = single_gate_netlist(gtype, n)
+        mapped = nor_map(nl)
+        for bits in range(2**n):
+            assign = {f"i{k}": bool(bits >> k & 1) for k in range(n)}
+            assert mapped.evaluate_outputs(assign) == nl.evaluate_outputs(assign)
+
+    def test_only_nor2_remains(self):
+        mapped = nor_map(c17())
+        for gate in mapped.gates.values():
+            assert gate.gtype is GateType.NOR
+            assert len(gate.inputs) == 2
+
+    def test_c17_equivalence(self):
+        verify_equivalence(c17(), nor_map(c17()), n_vectors=64)
+
+    def test_po_names_preserved(self):
+        mapped = nor_map(c17())
+        assert mapped.primary_outputs == c17().primary_outputs
+
+    def test_inverter_sharing(self):
+        """Two gates inverting the same net must share one tied NOR."""
+        nl = Netlist("share")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_input("c")
+        nl.add_gate("x", GateType.AND, ["a", "b"])
+        nl.add_gate("y", GateType.AND, ["a", "c"])
+        nl.add_output("x")
+        nl.add_output("y")
+        mapped = nor_map(nl)
+        inv_of_a = [
+            g for g in mapped.gates.values() if g.inputs == ("a", "a")
+        ]
+        assert len(inv_of_a) == 1
+
+    def test_inverters_are_tied_nors(self):
+        from repro.circuits.nor_map import is_tied_nor
+
+        nl = single_gate_netlist(GateType.INV, 1)
+        mapped = nor_map(nl)
+        assert all(is_tied_nor(g) for g in mapped.gates.values())
+
+
+class TestVerifyEquivalence:
+    def test_detects_wrong_logic(self):
+        original = single_gate_netlist(GateType.AND, 2)
+        bogus = Netlist("bogus")
+        bogus.add_input("i0")
+        bogus.add_input("i1")
+        bogus.add_gate("out", GateType.NOR, ["i0", "i1"])
+        bogus.add_output("out")
+        with pytest.raises(NetlistError, match="mismatch"):
+            verify_equivalence(original, bogus, n_vectors=32)
+
+    def test_detects_interface_mismatch(self):
+        a = single_gate_netlist(GateType.AND, 2)
+        b = single_gate_netlist(GateType.AND, 3)
+        with pytest.raises(NetlistError):
+            verify_equivalence(a, b)
+
+
+@st.composite
+def random_netlists(draw):
+    """Random small DAG netlists over arbitrary gate types."""
+    n_inputs = draw(st.integers(min_value=1, max_value=4))
+    n_gates = draw(st.integers(min_value=1, max_value=10))
+    nl = Netlist("rand")
+    nets = [nl.add_input(f"i{k}") for k in range(n_inputs)]
+    types = list(GateType)
+    for g in range(n_gates):
+        gtype = types[draw(st.integers(min_value=0, max_value=len(types) - 1))]
+        if gtype in (GateType.INV, GateType.BUF):
+            picks = [nets[draw(st.integers(0, len(nets) - 1))]]
+        else:
+            arity = draw(st.integers(min_value=2, max_value=3))
+            picks = [
+                nets[draw(st.integers(0, len(nets) - 1))] for _ in range(arity)
+            ]
+        nets.append(nl.add_gate(f"g{g}", gtype, picks))
+    nl.add_output(nets[-1])
+    return nl
+
+
+class TestPropertyBased:
+    @given(random_netlists(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_netlists_equivalent(self, nl, seed):
+        mapped = nor_map(nl)
+        rng = np.random.default_rng(seed)
+        for _ in range(8):
+            assign = {pi: bool(rng.integers(0, 2)) for pi in nl.primary_inputs}
+            assert mapped.evaluate_outputs(assign) == nl.evaluate_outputs(assign)

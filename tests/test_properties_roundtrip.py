@@ -1,0 +1,128 @@
+"""Cross-module property-based tests: round trips and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.waveform import Waveform
+from repro.constants import TIME_SCALE, VDD, VTH
+from repro.core.fitting import fit_waveform
+from repro.core.trace import SigmoidalTrace
+from repro.digital.trace import DigitalTrace
+
+
+@st.composite
+def alternating_params(draw, max_transitions=4, min_spacing=0.08):
+    """Random valid sigmoid parameter lists with safe spacing."""
+    initial = draw(st.integers(min_value=0, max_value=1))
+    n = draw(st.integers(min_value=1, max_value=max_transitions))
+    sign = -1.0 if initial else 1.0
+    params = []
+    b = draw(st.floats(min_value=0.5, max_value=1.5))
+    for _ in range(n):
+        a = sign * draw(st.floats(min_value=35.0, max_value=110.0))
+        params.append((a, b))
+        b += draw(st.floats(min_value=min_spacing, max_value=1.0))
+        sign = -sign
+    return initial, params
+
+
+class TestTraceDigitizeRoundTrip:
+    @given(alternating_params())
+    @settings(max_examples=40, deadline=None)
+    def test_digitize_preserves_transition_count(self, data):
+        """Well-separated sigmoids digitize to one crossing each."""
+        initial, params = data
+        trace = SigmoidalTrace(initial, params)
+        digital = trace.digitize()
+        assert digital.n_transitions == len(params)
+        assert digital.initial == bool(initial)
+
+    @given(alternating_params())
+    @settings(max_examples=40, deadline=None)
+    def test_crossing_times_close_to_b(self, data):
+        initial, params = data
+        trace = SigmoidalTrace(initial, params)
+        crossings = trace.crossing_times_tau()
+        for (a, b), tau in zip(params, crossings):
+            # Isolated transitions cross within a fraction of their width.
+            assert abs(tau - b) < 6.0 / abs(a)
+
+    @given(alternating_params())
+    @settings(max_examples=30, deadline=None)
+    def test_value_stays_near_rails(self, data):
+        """Eq. 2 sums can exceed the rails only by stacked sigmoid tails
+        (sub-millivolt for valid spacings), never by a threshold-relevant
+        amount."""
+        initial, params = data
+        trace = SigmoidalTrace(initial, params)
+        tau = np.linspace(params[0][1] - 2, params[-1][1] + 2, 400)
+        values = trace.value_tau(tau)
+        assert values.min() > -5e-3 * VDD
+        assert values.max() < VDD * (1 + 5e-3)
+
+
+class TestFitRoundTrip:
+    @given(alternating_params(max_transitions=3, min_spacing=0.15))
+    @settings(max_examples=25, deadline=None)
+    def test_fit_recovers_digitization(self, data):
+        """waveform -> fit -> digitize == waveform -> digitize."""
+        initial, params = data
+        trace = SigmoidalTrace(initial, params)
+        tau = np.linspace(params[0][1] - 3, params[-1][1] + 3, 1200)
+        waveform = Waveform(tau / TIME_SCALE, trace.value_tau(tau))
+        fit = fit_waveform(waveform)
+        direct = DigitalTrace.from_waveform(waveform)
+        refit = fit.trace.digitize()
+        assert refit.n_transitions == direct.n_transitions
+        for t_fit, t_direct in zip(refit.times, direct.times):
+            assert abs(t_fit - t_direct) < 0.5e-12
+
+    @given(alternating_params(max_transitions=3, min_spacing=0.15))
+    @settings(max_examples=25, deadline=None)
+    def test_fit_error_small_on_exact_model(self, data):
+        initial, params = data
+        trace = SigmoidalTrace(initial, params)
+        tau = np.linspace(params[0][1] - 3, params[-1][1] + 3, 1200)
+        waveform = Waveform(tau / TIME_SCALE, trace.value_tau(tau))
+        fit = fit_waveform(waveform)
+        assert fit.rms_error < 0.01
+
+
+class TestDigitalSigmoidBridge:
+    @given(
+        st.lists(
+            st.floats(min_value=1e-12, max_value=900e-12),
+            min_size=1,
+            max_size=6,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_from_digital_digitize_identity(self, raw_times, initial):
+        # Keep transitions well separated: the identity is exact only when
+        # the nominal-slope sigmoids do not overlap.
+        times = sorted(set(round(t, 15) for t in raw_times))
+        times = [
+            t for i, t in enumerate(times)
+            if i == 0 or t - times[i - 1] > 25e-12
+        ]
+        digital = DigitalTrace(initial, times)
+        back = SigmoidalTrace.from_digital(digital).digitize()
+        assert back.initial == digital.initial
+        assert back.n_transitions == digital.n_transitions
+        # Mild sigmoid overlap shifts crossings by a few femtoseconds.
+        np.testing.assert_allclose(back.times, digital.times, atol=5e-14)
+
+    @given(st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_mismatch_scale_invariance(self, frac):
+        """Scaling both traces' times scales the mismatch linearly."""
+        a = DigitalTrace(False, [10e-12, 30e-12])
+        b = DigitalTrace(False, [10e-12 + frac * 10e-12, 30e-12])
+        base = a.mismatch_time(b, 0, 100e-12)
+        a2 = DigitalTrace(False, [t * 2 for t in a.times])
+        b2 = DigitalTrace(False, [t * 2 for t in b.times])
+        doubled = a2.mismatch_time(b2, 0, 200e-12)
+        assert doubled == pytest.approx(2 * base, rel=1e-9)

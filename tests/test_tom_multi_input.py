@@ -1,0 +1,187 @@
+"""Tests for Algorithm 1, the NOR decision procedure and transfer plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_input import predict_nor_output
+from repro.core.tom import T_CAP, clamp_history, predict_gate_output
+from repro.core.trace import SigmoidalTrace
+from repro.errors import ModelError
+
+
+class IdentityInverterTF:
+    """Deterministic test transfer function: fixed delay, slope pass-through."""
+
+    def __init__(self, delay=0.05, slope=60.0):
+        self.delay = delay
+        self.slope = slope
+        self.calls: list[tuple[float, float, float]] = []
+
+    def predict(self, T, a_out_prev, a_in):
+        self.calls.append((T, a_out_prev, a_in))
+        return (-np.sign(a_in) * self.slope, self.delay)
+
+
+class DegradingTF(IdentityInverterTF):
+    """Collapses delay and slope when the history is short."""
+
+    def predict(self, T, a_out_prev, a_in):
+        self.calls.append((T, a_out_prev, a_in))
+        factor = min(max(T / 0.06, 0.05), 1.0)
+        return (-np.sign(a_in) * self.slope * factor, self.delay * factor)
+
+
+class TestAlgorithm1:
+    def test_empty_input(self):
+        out = predict_gate_output(
+            SigmoidalTrace(0, []), IdentityInverterTF(), IdentityInverterTF(),
+            initial_output_level=1,
+        )
+        assert out.n_transitions == 0
+        assert out.initial_level == 1
+
+    def test_single_transition_delay_applied(self):
+        tf_r, tf_f = IdentityInverterTF(), IdentityInverterTF()
+        inp = SigmoidalTrace(0, [(60.0, 1.0)])
+        out = predict_gate_output(inp, tf_r, tf_f, initial_output_level=1)
+        assert out.n_transitions == 1
+        a, b = out.params[0]
+        assert a < 0  # output falls for a rising input
+        assert b == pytest.approx(1.05)
+        # The rising-input function must have been used once.
+        assert len(tf_r.calls) == 1
+        assert len(tf_f.calls) == 0
+
+    def test_polarity_dispatch(self):
+        tf_r, tf_f = IdentityInverterTF(), IdentityInverterTF()
+        inp = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 2.0), (60.0, 3.0)])
+        predict_gate_output(inp, tf_r, tf_f, initial_output_level=1)
+        assert len(tf_r.calls) == 2
+        assert len(tf_f.calls) == 1
+
+    def test_first_history_is_capped(self):
+        tf_r, tf_f = IdentityInverterTF(), IdentityInverterTF()
+        inp = SigmoidalTrace(0, [(60.0, 5.0)])
+        predict_gate_output(inp, tf_r, tf_f, initial_output_level=1)
+        assert tf_r.calls[0][0] == T_CAP
+
+    def test_history_chains_through_outputs(self):
+        tf_r, tf_f = IdentityInverterTF(), IdentityInverterTF()
+        inp = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 1.5)])
+        predict_gate_output(inp, tf_r, tf_f, initial_output_level=1)
+        # Second transition: T = b_in2 - b_out1 = 1.5 - 1.05.
+        assert tf_f.calls[0][0] == pytest.approx(0.45)
+
+    def test_dummy_slope_polarity(self):
+        tf_r, tf_f = IdentityInverterTF(), IdentityInverterTF()
+        inp = SigmoidalTrace(0, [(60.0, 1.0)])
+        predict_gate_output(inp, tf_r, tf_f, initial_output_level=1,
+                            dummy_slope=42.0)
+        # Output rests high: the dummy transition that led there was rising.
+        assert tf_r.calls[0][1] == pytest.approx(42.0)
+
+    def test_output_alternation_enforced(self):
+        out = predict_gate_output(
+            SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 2.0)]),
+            IdentityInverterTF(),
+            IdentityInverterTF(),
+            initial_output_level=1,
+        )
+        signs = np.sign(out.params[:, 0])
+        assert signs.tolist() == [-1.0, 1.0]
+
+    def test_subthreshold_pulse_cancelled(self):
+        """A degraded pair that never crosses VDD/2 must be dropped."""
+        tf = DegradingTF(delay=0.05, slope=60.0)
+        # Narrow input pulse: second transition arrives with tiny history.
+        inp = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 1.055)])
+        out = predict_gate_output(inp, tf, tf, initial_output_level=1)
+        assert out.n_transitions == 0
+
+    def test_healthy_pulse_retained(self):
+        tf = DegradingTF(delay=0.05, slope=60.0)
+        inp = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 1.5)])
+        out = predict_gate_output(inp, tf, tf, initial_output_level=1)
+        assert out.n_transitions == 2
+
+    def test_cancellation_restores_history(self):
+        """After a cancelled pulse the next prediction sees the pre-pulse
+        output transition as its predecessor."""
+        tf = DegradingTF(delay=0.05, slope=60.0)
+        inp = SigmoidalTrace(
+            0,
+            [(60.0, 1.0), (-60.0, 1.055), (60.0, 3.0)],
+        )
+        out = predict_gate_output(inp, tf, tf, initial_output_level=1)
+        assert out.n_transitions == 1
+        # The surviving third prediction saw the capped steady-state history.
+        assert tf.calls[-1][0] == T_CAP
+
+    def test_invalid_initial_level(self):
+        with pytest.raises(ModelError):
+            predict_gate_output(
+                SigmoidalTrace(0, []), IdentityInverterTF(),
+                IdentityInverterTF(), initial_output_level=2,
+            )
+
+    def test_clamp_history(self):
+        assert clamp_history(np.inf) == T_CAP
+        assert clamp_history(0.3) == 0.3
+
+
+class TestNorDecisionProcedure:
+    def make_tfs(self):
+        tf = IdentityInverterTF()
+        return tf, [(tf, tf), (tf, tf)]
+
+    def test_inverts_with_other_input_low(self):
+        tf, pin_tfs = self.make_tfs()
+        a = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 2.0)])
+        b = SigmoidalTrace(0, [])
+        out = predict_nor_output([a, b], pin_tfs)
+        assert out.initial_level == 1
+        assert out.n_transitions == 2
+        assert np.sign(out.params[0, 0]) == -1
+
+    def test_masked_while_other_high(self):
+        """Transitions on one input are masked while the other holds 1."""
+        tf, pin_tfs = self.make_tfs()
+        a = SigmoidalTrace(0, [(60.0, 1.0)])  # rises and stays high
+        b = SigmoidalTrace(0, [(60.0, 2.0), (-60.0, 3.0)])  # pulse while a=1
+        out = predict_nor_output([a, b], pin_tfs)
+        assert out.n_transitions == 1  # only a's rise matters
+
+    def test_relevant_pin_selects_transfer_function(self):
+        tf0 = IdentityInverterTF(delay=0.04)
+        tf1 = IdentityInverterTF(delay=0.08)
+        a = SigmoidalTrace(0, [(60.0, 1.0)])
+        b = SigmoidalTrace(0, [(60.0, 5.0)])
+        out = predict_nor_output([a, b], [(tf0, tf0), (tf1, tf1)])
+        # Only pin 0's transition switches the output (b's rise is masked).
+        assert len(tf0.calls) == 1
+        assert len(tf1.calls) == 0
+
+    def test_initial_level_is_nor_of_inputs(self):
+        tf, pin_tfs = self.make_tfs()
+        a = SigmoidalTrace(1, [])
+        b = SigmoidalTrace(0, [])
+        out = predict_nor_output([a, b], pin_tfs)
+        assert out.initial_level == 0
+
+    def test_staggered_inputs(self):
+        """a rises (out falls), a falls while b already rose: out stays low
+        until both are low again."""
+        tf, pin_tfs = self.make_tfs()
+        a = SigmoidalTrace(0, [(60.0, 1.0), (-60.0, 3.0)])
+        b = SigmoidalTrace(0, [(60.0, 2.0), (-60.0, 4.0)])
+        out = predict_nor_output([a, b], pin_tfs)
+        # Events: a rise @1 -> fall; a fall @3 masked (b high);
+        # b fall @4 -> rise.
+        assert out.n_transitions == 2
+        assert out.params[0, 1] == pytest.approx(1.05)
+        assert out.params[1, 1] == pytest.approx(4.05)
+
+    def test_wrong_arity_rejected(self):
+        tf, pin_tfs = self.make_tfs()
+        with pytest.raises(ModelError):
+            predict_nor_output([SigmoidalTrace(0, [])], pin_tfs)

@@ -1,0 +1,139 @@
+"""Tests for the Waveform container and its measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.waveform import Crossing, Waveform
+from repro.constants import VDD
+
+
+def ramp_waveform(t0=0.0, t1=10e-12, v0=0.0, v1=VDD, n=200):
+    t = np.linspace(t0, t1, n)
+    return Waveform(t, v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_rejects_non_monotonic_time(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+    def test_basic_properties(self):
+        wf = ramp_waveform()
+        assert wf.t_start == 0.0
+        assert wf.t_stop == pytest.approx(10e-12)
+        assert wf.duration == pytest.approx(10e-12)
+        assert len(wf) == 200
+
+
+class TestInterpolation:
+    def test_value_at_midpoint(self):
+        wf = ramp_waveform()
+        assert wf.value_at(5e-12) == pytest.approx(VDD / 2, rel=1e-6)
+
+    def test_value_clamps_outside(self):
+        wf = ramp_waveform()
+        assert wf.value_at(-1e-12) == pytest.approx(0.0)
+        assert wf.value_at(20e-12) == pytest.approx(VDD)
+
+    def test_resample_preserves_values(self):
+        wf = ramp_waveform()
+        re = wf.resampled(np.linspace(0, 10e-12, 37))
+        np.testing.assert_allclose(re.v, wf.value_at(re.t))
+
+    def test_restricted_covers_endpoints(self):
+        wf = ramp_waveform()
+        sub = wf.restricted(2e-12, 7e-12)
+        assert sub.t_start == pytest.approx(2e-12)
+        assert sub.t_stop == pytest.approx(7e-12)
+        assert sub.v[0] == pytest.approx(wf.value_at(2e-12))
+
+    def test_restricted_invalid_window(self):
+        with pytest.raises(ValueError):
+            ramp_waveform().restricted(5e-12, 5e-12)
+
+    def test_shifted(self):
+        wf = ramp_waveform().shifted(3e-12)
+        assert wf.t_start == pytest.approx(3e-12)
+
+
+class TestClipping:
+    def test_clip_removes_overshoot(self):
+        t = np.linspace(0, 1e-11, 50)
+        v = np.sin(t * 1e12) * 1.2
+        wf = Waveform(t, v).clipped(0.0, VDD)
+        assert wf.v.min() >= 0.0
+        assert wf.v.max() <= VDD
+
+    def test_clip_invalid_range(self):
+        with pytest.raises(ValueError):
+            ramp_waveform().clipped(1.0, 0.5)
+
+
+class TestCrossings:
+    def test_single_rising_crossing(self):
+        wf = ramp_waveform()
+        crossings = wf.crossings(VDD / 2)
+        assert len(crossings) == 1
+        assert crossings[0].direction == 1
+        assert crossings[0].time == pytest.approx(5e-12, rel=1e-3)
+
+    def test_pulse_has_two_crossings(self):
+        t = np.linspace(0, 40e-12, 400)
+        v = VDD * np.exp(-(((t - 20e-12) / 6e-12) ** 2))
+        crossings = Waveform(t, v).crossings(VDD / 2)
+        assert [c.direction for c in crossings] == [1, -1]
+
+    def test_no_crossing_on_flat(self):
+        t = np.linspace(0, 1e-11, 10)
+        assert Waveform(t, np.full(10, 0.1)).crossings() == []
+
+    def test_crossing_times_array(self):
+        wf = ramp_waveform()
+        times = wf.crossing_times(VDD / 2)
+        assert times.shape == (1,)
+
+    def test_slew_at_crossing(self):
+        wf = ramp_waveform()
+        crossing = wf.crossings(VDD / 2)[0]
+        expected = VDD / 10e-12
+        assert wf.slew_at_crossing(crossing) == pytest.approx(expected, rel=1e-2)
+
+    def test_edge_time_of_linear_ramp(self):
+        wf = ramp_waveform()
+        crossing = wf.crossings(VDD / 2)[0]
+        # 10-90% of a linear 10 ps full-swing ramp is 8 ps.
+        assert wf.edge_time(crossing) == pytest.approx(8e-12, rel=1e-2)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_property_crossing_found_at_any_threshold(self, frac):
+        wf = ramp_waveform()
+        crossings = wf.crossings(frac * VDD)
+        assert len(crossings) == 1
+        assert 0 <= crossings[0].time <= 10e-12
+
+
+class TestDerivativeAndError:
+    def test_derivative_of_ramp_is_constant(self):
+        wf = ramp_waveform()
+        deriv = wf.derivative()
+        np.testing.assert_allclose(deriv.v, VDD / 10e-12, rtol=1e-6)
+
+    def test_rms_error_zero_on_self(self):
+        wf = ramp_waveform()
+        assert wf.rms_error(wf) == 0.0
+
+    def test_rms_error_of_offset(self):
+        wf = ramp_waveform()
+        shifted = Waveform(wf.t, wf.v + 0.1)
+        assert wf.rms_error(shifted) == pytest.approx(0.1, rel=1e-6)
