@@ -7,6 +7,14 @@ state carries an extra *runs* axis, so a whole characterization sweep
 (hundreds of stimulus combinations over one topology, Sec. IV-A of the
 paper) integrates in lock-step with fully vectorized device evaluation.
 
+Hot-path layout: every time-dependent quantity — stimulus values, their
+derivatives, and the Miller injection ``C_fx @ dv_x`` — is tabulated once
+per ``simulate()`` call on the RK4 fine grid (see
+:func:`repro.analog.integrator.fine_stage_times`), so the per-stage RHS
+reduces to one vectorized device evaluation plus an incidence
+scatter-add (``bincount`` over flattened node/run indices, replacing the
+much slower ``np.add.at``) and one triangular solve.
+
 This engine plays the role of SPICE for the circuits it is asked to solve;
 ``staged.py`` builds on the same device models for circuit sizes where a
 monolithic network would be wasteful.
@@ -17,10 +25,10 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import lu_solve
 
-from repro.analog.integrator import integrate_fixed
+from repro.analog.integrator import fine_stage_times, integrate_fixed_indexed
 from repro.analog.mosfet import vectorized_current
 from repro.analog.netlist import GND, VDD_NODE, AnalogCircuit, CompiledCircuit
-from repro.analog.stimuli import SteppedSource
+from repro.analog.stimuli import SteppedSource, StimulusTable
 from repro.analog.waveform import Waveform
 from repro.constants import VDD
 from repro.errors import SimulationError
@@ -32,6 +40,57 @@ DEFAULT_DT = 0.05e-12
 #: Default settling period prepended before t=0 so the circuit starts from
 #: its DC operating point without a Newton solve.
 DEFAULT_SETTLE = 40e-12
+
+
+class IncidenceScatter:
+    """KCL current accumulation via ``bincount`` over flattened indices.
+
+    Precomputes, once per (circuit, run count), the flattened
+    ``node * n_runs + run`` index vector covering every device terminal
+    contribution.  ``accumulate`` then reproduces the reference
+    sequence::
+
+        np.add.at(currents, m_d, i_drain)
+        np.add.at(currents, m_s, -i_drain)
+        np.add.at(currents, r_a, i_r)
+        np.add.at(currents, r_b, -i_r)
+
+    bit-for-bit: ``bincount`` adds its weights in input order, and the
+    concatenated weight vector preserves exactly the order the four
+    ``add.at`` calls would apply.
+    """
+
+    def __init__(self, comp: CompiledCircuit, n_runs: int) -> None:
+        self.n_nodes = comp.n_nodes
+        self.n_runs = n_runs
+        run = np.arange(n_runs)
+        parts = []
+        for idx in (comp.m_d, comp.m_s, comp.r_a, comp.r_b):
+            if idx.size:
+                parts.append((idx[:, None] * n_runs + run[None, :]).ravel())
+        self._flat_idx = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=int)
+        )
+
+    def accumulate(
+        self, i_drain: np.ndarray | None, i_r: np.ndarray | None
+    ) -> np.ndarray:
+        """Node currents of shape ``(n_nodes, n_runs)`` from device currents."""
+        parts = []
+        if i_drain is not None and i_drain.size:
+            parts.append(i_drain.ravel())
+            parts.append(-i_drain.ravel())
+        if i_r is not None and i_r.size:
+            parts.append(i_r.ravel())
+            parts.append(-i_r.ravel())
+        if not parts:
+            return np.zeros((self.n_nodes, self.n_runs))
+        weights = np.concatenate(parts)
+        flat = np.bincount(
+            self._flat_idx, weights=weights,
+            minlength=self.n_nodes * self.n_runs,
+        )
+        return flat.reshape(self.n_nodes, self.n_runs)
 
 
 class TransientResult:
@@ -75,6 +134,98 @@ class TransientEngine:
         self.circuit = circuit
         self.vdd = vdd
         self.compiled: CompiledCircuit = circuit.compile()
+
+    # ------------------------------------------------------------------
+    def _stimulus_tables(
+        self,
+        sources: dict[str, SteppedSource],
+        times: np.ndarray | None,
+        n_runs: int,
+        frozen_at: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fixed-node voltage and derivative tables on the fine grid.
+
+        Returns ``(vals, derivs)`` of shape ``(n_times, n_fixed, n_runs)``.
+        With ``frozen_at`` set (settle phase), the stimulus is
+        time-invariant: ``times`` must be omitted and a single table row
+        is returned, holding the value at that instant with zero
+        derivatives — the RHS broadcasts it to every stage.
+        """
+        comp = self.compiled
+        n_fixed = len(comp.fixed_names)
+        fixed_rows = {name: row for row, name in enumerate(comp.fixed_names)}
+        if (times is None) != (frozen_at is not None):
+            raise SimulationError(
+                "pass exactly one of a time grid or a freeze instant"
+            )
+        n_times = 1 if frozen_at is not None else times.size
+        vals = np.zeros((n_times, n_fixed, n_runs))
+        derivs = np.zeros_like(vals)
+        vals[:, fixed_rows[VDD_NODE], :] = self.vdd
+        for name, src in sources.items():
+            row = fixed_rows[name]
+            if frozen_at is not None:
+                vals[:, row, :] = src.value(frozen_at)[None, :]
+            else:
+                table = StimulusTable(src, times)
+                vals[:, row, :] = table.values
+                derivs[:, row, :] = table.derivatives
+        return vals, derivs
+
+    def _make_rhs(
+        self,
+        vals: np.ndarray,
+        derivs: np.ndarray,
+        n_runs: int,
+        scatter: IncidenceScatter,
+    ):
+        """Indexed RHS over precomputed fixed-node tables.
+
+        All per-step-invariant quantities — device parameter columns, the
+        Miller injection ``C_fx @ dv_x`` per fine index, the scatter index
+        map — are hoisted out of the closure's hot path.
+        """
+        comp = self.compiled
+        v_all = np.empty((comp.n_nodes, n_runs))
+        # Miller coupling of the fixed nodes, tabulated for every stage.
+        cfx_dv = np.tensordot(derivs, comp.c_fx, axes=([1], [1]))
+        cfx_dv = np.ascontiguousarray(np.moveaxis(cfx_dv, 2, 1))
+        # Single-row (frozen/settle) tables broadcast to every stage index.
+        last = vals.shape[0] - 1
+        m_vth = comp.m_vth[:, None]
+        m_nslope = comp.m_nslope[:, None]
+        m_ispec = comp.m_ispec[:, None]
+        m_lam = comp.m_lam[:, None]
+        m_pmos = comp.m_pmos[:, None]
+        m_width = comp.m_width[:, None]
+        r_g = comp.r_g[:, None]
+        free_idx = comp.free_idx
+        fixed_idx = comp.fixed_idx
+        has_m = comp.m_d.size > 0
+        has_r = comp.r_a.size > 0
+        vdd = self.vdd
+
+        def rhs(i: int, t: float, v_free: np.ndarray) -> np.ndarray:
+            if i > last:
+                i = last
+            v_all[free_idx] = v_free
+            v_all[fixed_idx] = vals[i]
+            i_drain = None
+            i_r = None
+            if has_m:
+                i_drain = vectorized_current(
+                    m_vth, m_nslope, m_ispec, m_lam, m_pmos,
+                    v_all[comp.m_g], v_all[comp.m_d], v_all[comp.m_s],
+                    m_width, vdd=vdd,
+                )
+            if has_r:
+                i_r = (v_all[comp.r_b] - v_all[comp.r_a]) * r_g
+            currents = scatter.accumulate(i_drain, i_r)
+            i_free = currents[free_idx]
+            i_free -= cfx_dv[i]
+            return lu_solve(comp.c_ff_lu, i_free)
+
+        return rhs
 
     # ------------------------------------------------------------------
     def simulate(
@@ -122,64 +273,21 @@ class TransientEngine:
         if unknown:
             raise SimulationError(f"cannot record unknown nodes: {unknown}")
 
-        n_nodes = comp.n_nodes
-        fixed_rows = {name: row for row, name in enumerate(comp.fixed_names)}
-
-        def fixed_values(t: float, frozen: bool) -> tuple[np.ndarray, np.ndarray]:
-            """Fixed node voltages and their derivatives at time t."""
-            vals = np.zeros((len(comp.fixed_names), n_runs))
-            derivs = np.zeros_like(vals)
-            vals[fixed_rows[VDD_NODE]] = self.vdd
-            query_t = t_start if frozen else t
-            for name, src in sources.items():
-                row = fixed_rows[name]
-                vals[row] = src.value(query_t)
-                if not frozen:
-                    derivs[row] = src.derivative(query_t)
-            return vals, derivs
-
-        v_all = np.empty((n_nodes, n_runs))
-
-        def make_rhs(frozen: bool):
-            def rhs(t: float, v_free: np.ndarray) -> np.ndarray:
-                fixed_v, fixed_dv = fixed_values(t, frozen)
-                v_all[comp.free_idx] = v_free
-                v_all[comp.fixed_idx] = fixed_v
-                currents = np.zeros((n_nodes, n_runs))
-                if comp.m_d.size:
-                    i_drain = vectorized_current(
-                        comp.m_vth[:, None],
-                        comp.m_nslope[:, None],
-                        comp.m_ispec[:, None],
-                        comp.m_lam[:, None],
-                        comp.m_pmos[:, None],
-                        v_all[comp.m_g],
-                        v_all[comp.m_d],
-                        v_all[comp.m_s],
-                        comp.m_width[:, None],
-                        vdd=self.vdd,
-                    )
-                    np.add.at(currents, comp.m_d, i_drain)
-                    np.add.at(currents, comp.m_s, -i_drain)
-                if comp.r_a.size:
-                    i_r = (v_all[comp.r_b] - v_all[comp.r_a]) * comp.r_g[:, None]
-                    np.add.at(currents, comp.r_a, i_r)
-                    np.add.at(currents, comp.r_b, -i_r)
-                i_free = currents[comp.free_idx]
-                i_free -= comp.c_fx @ fixed_dv
-                return lu_solve(comp.c_ff_lu, i_free)
-
-            return rhs
+        scatter = IncidenceScatter(comp, n_runs)
 
         # --- settle to the DC operating point ---------------------------
         v0 = np.zeros((comp.n_free, n_runs))
         if settle > 0:
-            _, __, v0 = integrate_fixed(
-                make_rhs(frozen=True),
+            settle_dt = max(dt, 0.1e-12)
+            vals, derivs = self._stimulus_tables(
+                sources, None, n_runs, frozen_at=t_start
+            )
+            _, __, v0 = integrate_fixed_indexed(
+                self._make_rhs(vals, derivs, n_runs, scatter),
                 v0,
                 t_start - settle,
                 t_start,
-                dt=max(dt, 0.1e-12),
+                dt=settle_dt,
                 record_every=10**9,
             )
 
@@ -192,8 +300,12 @@ class TransientEngine:
         recorded_free = [
             n for n in record_nodes if comp.node_index[n] in comp.free_pos
         ]
-        t_rec, y_rec, _ = integrate_fixed(
-            make_rhs(frozen=False),
+        stage_times = fine_stage_times(t_start, t_stop, dt)
+        vals, derivs = self._stimulus_tables(
+            sources, stage_times, n_runs, frozen_at=None
+        )
+        t_rec, y_rec, _ = integrate_fixed_indexed(
+            self._make_rhs(vals, derivs, n_runs, scatter),
             v0,
             t_start,
             t_stop,

@@ -5,6 +5,19 @@ dynamics.  The classical fourth-order Runge-Kutta method at a step well
 below the fastest edge (default 0.05 ps against ~3 ps edges) is accurate
 and — crucially — keeps every batched run in lock-step so the whole sweep
 vectorizes.
+
+Two RHS flavours share one marching kernel:
+
+* the classic ``f(t, y)`` callback (:func:`integrate_fixed`), and
+* an *indexed* callback ``f(i, t, y)`` where ``i`` addresses the RK4
+  stage time on the fine half-step grid of :func:`fine_stage_times`
+  (:func:`integrate_fixed_indexed`).  Engines use the indexed form to
+  look up precomputed stimulus/device tables instead of re-evaluating
+  time-dependent terms four times per step.
+
+Recording buffers are preallocated (the record count is known up front)
+and divergence is checked only at record points, keeping the per-step
+Python overhead at the minimum the explicit method allows.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ import numpy as np
 from repro.errors import SimulationError
 
 RHS = Callable[[float, np.ndarray], np.ndarray]
+IndexedRHS = Callable[[int, float, np.ndarray], np.ndarray]
 
 
 def rk4_step(f: RHS, t: float, y: np.ndarray, dt: float) -> np.ndarray:
@@ -25,6 +39,115 @@ def rk4_step(f: RHS, t: float, y: np.ndarray, dt: float) -> np.ndarray:
     k3 = f(t + dt / 2.0, y + dt / 2.0 * k2)
     k4 = f(t + dt, y + dt * k3)
     return y + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def plan_steps(t_start: float, t_stop: float, dt: float) -> int:
+    """Number of RK4 steps covering ``[t_start, t_stop]`` at step ``dt``.
+
+    The last step is shortened to land exactly on ``t_stop``.  When the
+    span is an exact multiple of ``dt`` up to float rounding,
+    ``ceil(span / dt)`` can overshoot by one, which would produce a final
+    step of length zero (and a duplicated final record); such zero-length
+    steps are clamped away here.
+    """
+    if dt <= 0:
+        raise SimulationError("dt must be positive")
+    if t_stop <= t_start:
+        raise SimulationError("t_stop must exceed t_start")
+    span = t_stop - t_start
+    n_steps = int(np.ceil(span / dt))
+    while n_steps > 1 and (n_steps - 1) * dt >= span:
+        n_steps -= 1
+    return n_steps
+
+
+def fine_stage_times(t_start: float, t_stop: float, dt: float) -> np.ndarray:
+    """All distinct RK4 stage times, on the half-step ("fine") grid.
+
+    Step ``k`` of the march evaluates its RHS at fine indices ``2k``
+    (stage 1), ``2k + 1`` (stages 2 and 3) and ``2k + 2`` (stage 4), so a
+    table built on this grid serves every stage without interpolation.
+    Length is ``2 * plan_steps(...) + 1``; the final step may be shorter
+    than ``dt`` so the last midpoint is not necessarily on the uniform
+    half grid.
+    """
+    n_steps = plan_steps(t_start, t_stop, dt)
+    times = np.empty(2 * n_steps + 1)
+    starts = t_start + dt * np.arange(n_steps)
+    ends = np.minimum(starts + dt, t_stop)
+    ends[-1] = t_stop
+    times[0::2] = np.concatenate((starts[:1], ends))
+    times[1::2] = 0.5 * (starts + ends)
+    return times
+
+
+#: Upper bound on steps between divergence checks when recording sparsely.
+_MAX_CHECK_GAP = 512
+
+
+def _record_steps(n_steps: int, record_every: int) -> np.ndarray:
+    """Step indices recorded by the kernel (initial step 0 excluded)."""
+    steps = np.arange(record_every, n_steps + 1, record_every)
+    if steps.size == 0 or steps[-1] != n_steps:
+        steps = np.append(steps, n_steps)
+    return steps
+
+
+def _march(
+    f: IndexedRHS,
+    y0: np.ndarray,
+    t_start: float,
+    t_stop: float,
+    dt: float,
+    record_every: int,
+    record_transform: Callable[[np.ndarray], np.ndarray] | None,
+    record_dtype,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared RK4 kernel; ``f`` takes ``(fine_index, t, y)``."""
+    if record_every < 1:
+        raise SimulationError("record_every must be >= 1")
+    n_steps = plan_steps(t_start, t_stop, dt)
+    if record_transform is None:
+        record_transform = lambda y: y  # noqa: E731 - trivial identity
+
+    y = np.array(y0, dtype=float)
+    rec_steps = _record_steps(n_steps, record_every)
+    first = np.asarray(record_transform(y), dtype=record_dtype)
+    times = np.empty(1 + rec_steps.size)
+    records = np.empty((1 + rec_steps.size,) + first.shape, dtype=record_dtype)
+    times[0] = t_start
+    records[0] = first
+
+    t = t_start
+    rec_row = 1
+    next_rec = rec_steps[0]
+    last_check = 0
+    for step in range(1, n_steps + 1):
+        h = min(dt, t_stop - t)
+        i = 2 * (step - 1)
+        k1 = f(i, t, y)
+        k2 = f(i + 1, t + h / 2.0, y + h / 2.0 * k1)
+        k3 = f(i + 1, t + h / 2.0, y + h / 2.0 * k2)
+        k4 = f(i + 2, t + h, y + h * k3)
+        y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        t = t_start + step * dt if step < n_steps else t_stop
+        # Divergence is checked at record points, but never more than
+        # _MAX_CHECK_GAP steps apart — sparse recording (e.g. a settle
+        # phase) must not march a diverged state to the end and report a
+        # misleading time.
+        if step == next_rec or step - last_check >= _MAX_CHECK_GAP:
+            if not np.all(np.isfinite(y)):
+                raise SimulationError(f"integration diverged at t = {t:.3e}s")
+            last_check = step
+        if step == next_rec:
+            times[rec_row] = t
+            records[rec_row] = record_transform(y)
+            if rec_row < rec_steps.size:
+                next_rec = rec_steps[rec_row]
+            rec_row += 1
+    if not np.all(np.isfinite(y)):
+        raise SimulationError(f"integration diverged at t = {t:.3e}s")
+    return times, records, y
 
 
 def integrate_fixed(
@@ -57,27 +180,28 @@ def integrate_fixed(
         Recorded times, recorded samples stacked on axis 0, and the full
         final state in float64.
     """
-    if dt <= 0:
-        raise SimulationError("dt must be positive")
-    if t_stop <= t_start:
-        raise SimulationError("t_stop must exceed t_start")
-    if record_every < 1:
-        raise SimulationError("record_every must be >= 1")
-    n_steps = int(np.ceil((t_stop - t_start) / dt))
-    if record_transform is None:
-        record_transform = lambda y: y  # noqa: E731 - trivial identity
+    return _march(
+        lambda i, t, y: f(t, y),
+        y0, t_start, t_stop, dt,
+        record_every, record_transform, record_dtype,
+    )
 
-    y = np.array(y0, dtype=float)
-    t = t_start
-    times = [t]
-    records = [np.asarray(record_transform(y), dtype=record_dtype)]
-    for step in range(1, n_steps + 1):
-        step_dt = min(dt, t_stop - t)
-        y = rk4_step(f, t, y, step_dt)
-        t = t_start + step * dt if step < n_steps else t_stop
-        if step % record_every == 0 or step == n_steps:
-            times.append(t)
-            records.append(np.asarray(record_transform(y), dtype=record_dtype))
-        if not np.all(np.isfinite(y)):
-            raise SimulationError(f"integration diverged at t = {t:.3e}s")
-    return np.asarray(times), np.stack(records, axis=0), y
+
+def integrate_fixed_indexed(
+    f: IndexedRHS,
+    y0: np.ndarray,
+    t_start: float,
+    t_stop: float,
+    dt: float,
+    record_every: int = 1,
+    record_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    record_dtype=np.float32,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`integrate_fixed` but ``f(i, t, y)`` also receives the
+    fine-grid index ``i`` matching :func:`fine_stage_times`, so the RHS
+    can index precomputed per-stage tables instead of recomputing
+    time-dependent terms."""
+    return _march(
+        f, y0, t_start, t_stop, dt,
+        record_every, record_transform, record_dtype,
+    )

@@ -91,19 +91,31 @@ PMOS_15NM = MosfetParams(
 )
 
 
+def softplus_exact(x: np.ndarray) -> np.ndarray:
+    """Overflow-safe softplus ``ln(1 + exp(x))``.
+
+    The ``max(x, 0) + log1p(exp(-|x|))`` decomposition is numerically
+    identical to ``logaddexp(0, x)`` but built from cheap SIMD-friendly
+    ufuncs.  This is the one softplus kernel of the compact model; the
+    staged engine's tabulated hot path builds on it too, so both engines
+    stay bit-consistent by construction.
+    """
+    x = np.asarray(x, dtype=float)
+    out = np.log1p(np.exp(-np.abs(x)))
+    out += np.maximum(x, 0.0)
+    return out
+
+
 def _ekv_interp(u: np.ndarray) -> np.ndarray:
     """EKV interpolation function ``F(u) = ln(1 + exp(u/2))^2``, overflow-safe."""
-    half = np.asarray(u, dtype=float) / 2.0
-    # log1p(exp(x)) == x + log1p(exp(-x)) for large x; select per element.
-    soft = np.where(half > 30.0, half + np.log1p(np.exp(-np.abs(half))),
-                    np.log1p(np.exp(np.minimum(half, 30.0))))
-    return soft**2
+    soft = softplus_exact(np.asarray(u, dtype=float) / 2.0)
+    soft *= soft
+    return soft
 
 
 def _softplus(x: np.ndarray) -> np.ndarray:
     """Overflow-safe softplus used for smooth channel-length modulation."""
-    x = np.asarray(x, dtype=float)
-    return np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+    return softplus_exact(x)
 
 
 def mosfet_current(

@@ -124,6 +124,41 @@ class SteppedSource:
         return dv[0] if scalar else dv
 
 
+class StimulusTable:
+    """Precomputed per-run stimulus values/derivatives on a fixed time grid.
+
+    The transient engines evaluate every RK4 stage on a known grid (see
+    :func:`repro.analog.integrator.fine_stage_times`), so each source's
+    ``(m, n_runs, n_transitions)`` smoothstep broadcast can be built once
+    per ``simulate()`` call instead of four times per step.  ``value_at``
+    and ``derivative_at`` are then O(1) row lookups.
+
+    The tables are exact: entry ``i`` equals ``source.value(times[i])``
+    (respectively ``derivative``) bit-for-bit, because they are produced
+    by the same vectorized evaluation.
+    """
+
+    def __init__(self, source: SteppedSource, times: np.ndarray) -> None:
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1:
+            raise SimulationError("stimulus table grid must be 1-D")
+        self.source = source
+        self.times = times
+        self.n_runs = source.n_runs
+        #: shape (n_times, n_runs)
+        self.values = source.value(times)
+        #: shape (n_times, n_runs)
+        self.derivatives = source.derivative(times)
+
+    def value_at(self, i: int) -> np.ndarray:
+        """Source voltages at grid index ``i``: shape ``(n_runs,)``."""
+        return self.values[i]
+
+    def derivative_at(self, i: int) -> np.ndarray:
+        """Source slopes (V/s) at grid index ``i``: shape ``(n_runs,)``."""
+        return self.derivatives[i]
+
+
 def pulse_train_times(
     t_first: float, intervals: Sequence[float]
 ) -> np.ndarray:

@@ -17,8 +17,16 @@ analog engine playing SPICE's role:
    bundles under ``artifacts/`` so benches and tests reuse them.
 """
 
-from repro.characterization.chains import ChainSpec, build_chain_netlist
-from repro.characterization.sweep import SweepConfig, run_chain_sweep
+from repro.characterization.chains import (
+    ChainSpec,
+    build_chain_netlist,
+    build_merged_chain_netlist,
+)
+from repro.characterization.sweep import (
+    SweepConfig,
+    run_chain_sweep,
+    run_chain_sweeps,
+)
 from repro.characterization.extract import extract_transfer_records
 from repro.characterization.dataset import TransferDataset, TransferRecord
 from repro.characterization.train_gate import train_gate_model
@@ -27,8 +35,10 @@ from repro.characterization.artifacts import default_bundle, build_bundle
 __all__ = [
     "ChainSpec",
     "build_chain_netlist",
+    "build_merged_chain_netlist",
     "SweepConfig",
     "run_chain_sweep",
+    "run_chain_sweeps",
     "extract_transfer_records",
     "TransferDataset",
     "TransferRecord",

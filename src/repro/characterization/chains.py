@@ -21,6 +21,7 @@ Each target stage is tagged with the *channel* its records belong to:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.circuits.gates import GateType
@@ -137,26 +138,24 @@ def _add_stage(netlist: Netlist, kind: str, name: str, inp: str) -> str:
     return name
 
 
-def build_chain_netlist(spec: ChainSpec) -> tuple[Netlist, ChainProbes]:
-    """Construct the chain netlist and its per-stage probe map."""
-    netlist = Netlist(f"chain_{spec.tag}")
-    netlist.add_input(STIM)
-    netlist.add_input(LOW)
-
+def _build_chain_into(
+    netlist: Netlist, spec: ChainSpec, prefix: str
+) -> ChainProbes:
+    """Instantiate one chain's stages (gate names under ``prefix``)."""
     kinds = list(spec.pattern) * spec.n_periods
     shaping_kind = spec.pattern[-1]
 
     prev = STIM
     for i in range(spec.n_shaping):
-        prev = _add_stage(netlist, shaping_kind, f"shape{i}", prev)
+        prev = _add_stage(netlist, shaping_kind, f"{prefix}shape{i}", prev)
 
     probes = ChainProbes()
     for i, kind in enumerate(kinds):
-        out = _add_stage(netlist, kind, f"target{i}", prev)
+        out = _add_stage(netlist, kind, f"{prefix}target{i}", prev)
         next_kind = kinds[i + 1] if i + 1 < len(kinds) else spec.pattern[0]
         fanout_pins = _PINS_CONSUMED[next_kind] + spec.extra_fanout
         for k in range(spec.extra_fanout):
-            _add_stage(netlist, "P0", f"dummy{i}_{k}", out)
+            _add_stage(netlist, "P0", f"{prefix}dummy{i}_{k}", out)
         probes.stages.append(
             StageProbe(in_net=prev, out_net=out, kind=kind,
                        fanout_pins=fanout_pins)
@@ -164,12 +163,49 @@ def build_chain_netlist(spec: ChainSpec) -> tuple[Netlist, ChainProbes]:
         prev = out
 
     for i in range(spec.n_termination):
-        prev = _add_stage(netlist, spec.pattern[0], f"term{i}", prev)
+        prev = _add_stage(netlist, spec.pattern[0], f"{prefix}term{i}", prev)
     netlist.add_output(prev)
     if not spec.uses_low:
         # LOW was declared but never consumed: attach a sink gate so the
         # netlist stays clean (it is fixed at GND either way).
-        netlist.add_gate("losink", GateType.NOR, [LOW, LOW])
+        netlist.add_gate(f"{prefix}losink", GateType.NOR, [LOW, LOW])
+    return probes
+
+
+def build_chain_netlist(spec: ChainSpec) -> tuple[Netlist, ChainProbes]:
+    """Construct the chain netlist and its per-stage probe map."""
+    netlist = Netlist(f"chain_{spec.tag}")
+    netlist.add_input(STIM)
+    netlist.add_input(LOW)
+    probes = _build_chain_into(netlist, spec, prefix="")
+    netlist.validate()
+    return netlist, probes
+
+
+def build_merged_chain_netlist(
+    specs: Sequence[ChainSpec],
+) -> tuple[Netlist, dict[str, ChainProbes]]:
+    """One netlist holding every chain side by side, sharing STIM/LOW.
+
+    The chains are structurally independent, so the staged engine
+    integrates the k-th stage of *every* chain as one lock-step batch —
+    the characterization sweep's main vectorization axis beyond stimulus
+    runs.  Gate names are prefixed with ``{tag}~``; each returned
+    :class:`ChainProbes` carries the prefixed nets of its chain.
+    """
+    specs = list(specs)
+    if not specs:
+        raise NetlistError("need at least one chain spec")
+    tags = [spec.tag for spec in specs]
+    if len(set(tags)) != len(tags):
+        raise NetlistError(f"chain specs must have unique tags: {tags}")
+    netlist = Netlist("chains_" + "+".join(tags))
+    netlist.add_input(STIM)
+    netlist.add_input(LOW)
+    probes = {
+        spec.tag: _build_chain_into(netlist, spec, prefix=f"{spec.tag}~")
+        for spec in specs
+    }
     netlist.validate()
     return netlist, probes
 

@@ -3,8 +3,20 @@
 The chain input is stimulated by four Heaviside transitions governed by
 the three intervals TA, TB, TC.  The paper sweeps each interval over
 [5 ps, 20 ps] at 1 ps granularity (~15^3 runs); the granularity here is a
-parameter so CI-scale runs stay cheap, and the full grid is one vectorized
-batch of the staged engine.
+parameter so CI-scale runs stay cheap.
+
+Execution model: all requested chains are instantiated side by side in
+one merged netlist (:func:`run_chain_sweeps`), so the staged engine
+integrates the k-th stage of every chain as a single lock-step batch —
+vectorizing across chains × runs instead of looping chains in Python.
+Each logical batch (main grid + degradation set, then the sparse
+long-gap set) is further *sharded* into groups of at most
+``SweepConfig.max_runs_per_shard`` stimulus runs.  The staged engine
+tabulates device terms over ``(chains · runs) × fine-grid`` arrays, so
+the shard bound keeps peak memory flat regardless of grid granularity,
+and shards are independent units of work: with ``n_workers > 1`` they
+are dispatched across processes (the paper-scale 15³ grid parallelizes
+trivially).
 
 Beyond the paper's grid, a small set of *long-gap* combinations is added
 so the ANNs also see history values between the short-pulse regime and the
@@ -16,6 +28,7 @@ documented in EXPERIMENTS.md).
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,7 +41,7 @@ from repro.characterization.chains import (
     STIM,
     ChainProbes,
     ChainSpec,
-    build_chain_netlist,
+    build_merged_chain_netlist,
 )
 from repro.errors import SimulationError
 
@@ -38,7 +51,12 @@ _STAGE_DELAY_ALLOWANCE = 12e-12
 
 @dataclass
 class SweepConfig:
-    """Grid definition for one chain sweep."""
+    """Grid definition for one chain sweep.
+
+    ``max_runs_per_shard`` bounds the lock-step batch handed to the
+    staged engine (memory ∝ runs × grid points); ``n_workers > 1``
+    dispatches shards over a process pool.
+    """
 
     t_min: float = 5e-12
     t_max: float = 20e-12
@@ -49,6 +67,8 @@ class SweepConfig:
     degradation_step: float = 1e-12
     include_falling_start: bool = True
     dt: float = 0.1e-12
+    max_runs_per_shard: int = 256
+    n_workers: int = 1
 
     def grid_values(self) -> np.ndarray:
         if self.t_min <= 0 or self.t_max < self.t_min or self.step <= 0:
@@ -98,7 +118,7 @@ class SweepConfig:
 
 @dataclass
 class SweepBatch:
-    """One staged-engine batch: stimulus combos sharing a time grid."""
+    """One staged-engine shard: stimulus combos sharing a time grid."""
 
     combos: list[tuple[float, float, float]]
     result: StagedResult
@@ -118,6 +138,18 @@ class SweepResult:
         return sum(len(b.combos) for b in self.batches)
 
 
+@dataclass(frozen=True)
+class _ShardJob:
+    """One picklable unit of staged-engine work (all chains, some runs)."""
+
+    specs: tuple[ChainSpec, ...]
+    combos: tuple[tuple[float, float, float], ...]
+    initial_levels: tuple[int, ...]
+    t_first: float
+    t_stop: float
+    dt: float
+
+
 def _chain_span(spec: ChainSpec, combos, t_first: float) -> float:
     longest = max(sum(c) for c in combos)
     stages = (
@@ -126,6 +158,126 @@ def _chain_span(spec: ChainSpec, combos, t_first: float) -> float:
         + spec.n_termination
     )
     return t_first + longest + stages * _STAGE_DELAY_ALLOWANCE + 40e-12
+
+
+def _shard_runs(
+    combos: list[tuple[float, float, float]],
+    levels: list[int],
+    max_runs: int,
+) -> list[tuple[list, list]]:
+    """Split aligned (combos, initial levels) into bounded lock-step groups."""
+    if max_runs < 1:
+        raise SimulationError("max_runs_per_shard must be >= 1")
+    shards = []
+    for lo in range(0, len(combos), max_runs):
+        hi = lo + max_runs
+        shards.append((combos[lo:hi], levels[lo:hi]))
+    return shards
+
+
+def _record_nets(specs, probes_map) -> list[str]:
+    nets: list[str] = []
+    for spec in specs:
+        nets.extend(probes_map[spec.tag].record_nets)
+    return nets
+
+
+def _run_shard_on(sim: StagedSimulator, record_nets: list[str],
+                  job: _ShardJob) -> StagedResult:
+    """Run one shard on an already-built simulator."""
+    runs = [pulse_train_times(job.t_first, combo) for combo in job.combos]
+    stim = SteppedSource(runs, initial_levels=list(job.initial_levels))
+    sources = {STIM: stim, LOW: SteppedSource.constant(0, stim.n_runs)}
+    return sim.simulate(sources, t_stop=job.t_stop, record_nets=record_nets)
+
+
+def _simulate_shard(job: _ShardJob, library: CellLibrary) -> StagedResult:
+    """Build and run one shard; top-level so process pools can pickle it."""
+    netlist, probes_map = build_merged_chain_netlist(job.specs)
+    sim = StagedSimulator(netlist, library=library, dt=job.dt)
+    return _run_shard_on(sim, _record_nets(job.specs, probes_map), job)
+
+
+def run_chain_sweeps(
+    specs: "list[ChainSpec] | tuple[ChainSpec, ...]",
+    config: SweepConfig | None = None,
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> dict[str, SweepResult]:
+    """Simulate the full stimulus grid over several chains at once.
+
+    All chains share the stimulus and the time grid, so the staged engine
+    integrates the k-th stage of every chain as one lock-step batch —
+    this cross-chain vectorization is what makes the characterization hot
+    path cheap, on top of the run batching.  Returns one
+    :class:`SweepResult` per spec, keyed by ``spec.tag``; each is
+    self-consistent (its probes name the merged-netlist nets its batches
+    recorded) and feeds
+    :func:`repro.characterization.extract.extract_transfer_records`
+    unchanged.
+    """
+    if config is None:
+        config = SweepConfig()
+    specs = list(specs)
+    netlist, probes_map = build_merged_chain_netlist(specs)
+    sweeps = {
+        spec.tag: SweepResult(spec=spec, probes=probes_map[spec.tag])
+        for spec in specs
+    }
+
+    batches = [config.combinations() + config.degradation_combinations()]
+    long_combos = config.long_gap_combinations()
+    if long_combos:
+        batches.append(long_combos)
+
+    jobs: list[_ShardJob] = []
+    for combos in batches:
+        if not combos:
+            continue
+        if config.include_falling_start:
+            # Complementary trains double polarity coverage per stage.
+            combos_all = combos + combos
+            levels = [0] * len(combos) + [1] * len(combos)
+        else:
+            combos_all = list(combos)
+            levels = [0] * len(combos)
+        # The span covers the longest chain and the batch's longest combo
+        # so every shard of one batch shares an identical time grid.
+        t_stop = max(
+            _chain_span(spec, combos, config.t_first) for spec in specs
+        )
+        for shard_combos, shard_levels in _shard_runs(
+            combos_all, levels, config.max_runs_per_shard
+        ):
+            jobs.append(
+                _ShardJob(
+                    specs=tuple(specs),
+                    combos=tuple(shard_combos),
+                    initial_levels=tuple(shard_levels),
+                    t_first=config.t_first,
+                    t_stop=t_stop,
+                    dt=config.dt,
+                )
+            )
+
+    if config.n_workers > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=config.n_workers) as pool:
+            results = list(pool.map(_simulate_shard,
+                                    jobs, [library] * len(jobs)))
+    else:
+        # In-process: reuse the merged netlist built above and one
+        # simulator for every shard (pool workers must rebuild — jobs
+        # are pickled).
+        sim = StagedSimulator(netlist, library=library, dt=config.dt)
+        nets = _record_nets(specs, probes_map)
+        results = [_run_shard_on(sim, nets, job) for job in jobs]
+
+    for job, result in zip(jobs, results):
+        for spec in specs:
+            sweeps[spec.tag].batches.append(
+                SweepBatch(combos=list(job.combos), result=result,
+                           t_stop=job.t_stop)
+            )
+    return sweeps
 
 
 def run_chain_sweep(
@@ -138,37 +290,4 @@ def run_chain_sweep(
     Returns recorded waveform batches for the target-stage nets; pass the
     result to :func:`repro.characterization.extract.extract_transfer_records`.
     """
-    if config is None:
-        config = SweepConfig()
-    netlist, probes = build_chain_netlist(spec)
-    sim = StagedSimulator(netlist, library=library, dt=config.dt)
-    sweep = SweepResult(spec=spec, probes=probes)
-
-    batches = [config.combinations() + config.degradation_combinations()]
-    long_combos = config.long_gap_combinations()
-    if long_combos:
-        batches.append(long_combos)
-
-    for combos in batches:
-        if not combos:
-            continue
-        runs = [
-            pulse_train_times(config.t_first, combo) for combo in combos
-        ]
-        if config.include_falling_start:
-            # Complementary trains double polarity coverage per stage.
-            runs = runs + runs
-            levels = [0] * len(combos) + [1] * len(combos)
-            combos_all = combos + combos
-        else:
-            levels = [0] * len(combos)
-            combos_all = list(combos)
-        stim = SteppedSource(runs, initial_levels=levels)
-        sources = {STIM: stim, LOW: SteppedSource.constant(0, stim.n_runs)}
-        t_stop = _chain_span(spec, combos, config.t_first)
-        result = sim.simulate(sources, t_stop=t_stop,
-                              record_nets=probes.record_nets)
-        sweep.batches.append(
-            SweepBatch(combos=list(combos_all), result=result, t_stop=t_stop)
-        )
-    return sweep
+    return run_chain_sweeps([spec], config=config, library=library)[spec.tag]

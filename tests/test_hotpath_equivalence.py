@@ -1,0 +1,242 @@
+"""Equivalence tests pinning the vectorized hot path to the seed physics.
+
+The transient-engine overhaul replaced per-step Python evaluation with
+precomputed tables, fused EKV kernels and a bincount incidence scatter.
+These tests assert each replacement agrees with its reference:
+
+* the integrator's recorded time grid (zero-length final-step regression),
+* :class:`StimulusTable` against ``SteppedSource.value``/``derivative``,
+* :class:`IncidenceScatter` against the ``np.add.at`` sequence bit-for-bit,
+* the staged engine's ``hotpath`` RHS against the closure-based seed path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analog.cells import DEFAULT_LIBRARY
+from repro.characterization.chains import ChainSpec
+from repro.characterization.sweep import SweepConfig, run_chain_sweep, run_chain_sweeps
+from repro.analog.engine import IncidenceScatter
+from repro.analog.integrator import (
+    fine_stage_times,
+    integrate_fixed,
+    integrate_fixed_indexed,
+    plan_steps,
+)
+from repro.analog.staged import StagedSimulator
+from repro.analog.stimuli import SteppedSource, StimulusTable
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.errors import SimulationError
+
+
+class TestIntegratorTimeGrid:
+    def test_exact_grid_span_not_duplicated(self):
+        """A span that is an exact step multiple up to float rounding must
+        not produce a zero-length final step with a duplicated record."""
+        dt = 0.1
+        t_stop = 0.1 * 3  # 0.30000000000000004: ceil(span/dt) overshoots
+        assert plan_steps(0.0, t_stop, dt) == 3
+        t, rec, _ = integrate_fixed(
+            lambda t_, y: -y, np.array([1.0]), 0.0, t_stop, dt,
+            record_every=1, record_dtype=float,
+        )
+        assert np.all(np.diff(t) > 0)
+        assert t.size == rec.shape[0] == 4
+        assert t[-1] == t_stop
+
+    @pytest.mark.parametrize("record_every", [1, 2, 3, 7])
+    def test_grid_strictly_increasing(self, record_every):
+        for t_stop in (1.0, 0.95, 0.1 * 7, 1.0 + 1e-13):
+            t, _, __ = integrate_fixed(
+                lambda t_, y: 0.0 * y, np.array([1.0]), 0.0, t_stop, 0.1,
+                record_every=record_every,
+            )
+            assert np.all(np.diff(t) > 0), (t_stop, record_every)
+            assert t[0] == 0.0 and t[-1] == t_stop
+
+    def test_fine_stage_times_shape_and_endpoints(self):
+        times = fine_stage_times(0.0, 1.0, 0.25)
+        assert times.size == 2 * plan_steps(0.0, 1.0, 0.25) + 1
+        assert times[0] == 0.0 and times[-1] == 1.0
+        # Odd entries are the step midpoints RK4 stages 2/3 sample.
+        np.testing.assert_allclose(times[1::2], (times[0:-1:2] + times[2::2]) / 2)
+
+    def test_indexed_kernel_matches_plain(self):
+        """The indexed RHS form must integrate identically to f(t, y)."""
+        def f(t, y):
+            return -3.0 * y + np.sin(1e1 * t)
+
+        args = (np.array([1.0, -0.5]), 0.0, 1.3, 0.01)
+        t1, r1, f1 = integrate_fixed(f, *args, record_every=5,
+                                     record_dtype=float)
+        t2, r2, f2 = integrate_fixed_indexed(
+            lambda i, t, y: f(t, y), *args, record_every=5,
+            record_dtype=float,
+        )
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(r1, r2)
+        np.testing.assert_array_equal(f1, f2)
+
+    def test_indexed_kernel_indices_hit_fine_grid(self):
+        """Every (i, t) pair handed to the RHS lies on fine_stage_times."""
+        seen = {}
+        times = fine_stage_times(0.0, 0.55, 0.1)
+
+        def f(i, t, y):
+            seen.setdefault(i, set()).add(t)
+            return 0.0 * y
+
+        integrate_fixed_indexed(f, np.array([1.0]), 0.0, 0.55, 0.1)
+        for i, ts in seen.items():
+            for t in ts:
+                assert t == pytest.approx(times[i], abs=1e-15)
+
+
+class TestStimulusTable:
+    def grid(self):
+        return np.linspace(0.0, 60e-12, 121)
+
+    def test_matches_scalar_value_calls(self):
+        src = SteppedSource(
+            [np.array([10e-12, 20e-12]), np.array([15e-12]), np.array([])],
+            initial_levels=[0, 1, 1],
+        )
+        times = self.grid()
+        table = StimulusTable(src, times)
+        assert table.values.shape == (times.size, 3)
+        for i, t in enumerate(times):
+            np.testing.assert_array_equal(table.value_at(i), src.value(t))
+            np.testing.assert_array_equal(
+                table.derivative_at(i), src.derivative(t)
+            )
+
+    def test_matches_array_evaluation(self):
+        src = SteppedSource([np.array([5e-12]), np.array([30e-12])],
+                            initial_levels=[1, 0])
+        times = self.grid()
+        table = StimulusTable(src, times)
+        np.testing.assert_array_equal(table.values, src.value(times))
+        np.testing.assert_array_equal(table.derivatives, src.derivative(times))
+
+    def test_constant_source_table(self):
+        src = SteppedSource.constant(1, n_runs=4)
+        table = StimulusTable(src, self.grid())
+        np.testing.assert_array_equal(table.values, src.v_high)
+        np.testing.assert_array_equal(table.derivatives, 0.0)
+
+    def test_rejects_non_1d_grid(self):
+        src = SteppedSource.constant(0, n_runs=1)
+        with pytest.raises(SimulationError):
+            StimulusTable(src, np.zeros((2, 2)))
+
+
+class TestIncidenceScatter:
+    def _nor2_compiled(self):
+        from repro.analog.netlist import AnalogCircuit
+
+        circuit = AnalogCircuit()
+        circuit.declare_input("a")
+        circuit.declare_input("b")
+        DEFAULT_LIBRARY.add_nor2(circuit, "a", "b", "y")
+        circuit.add_resistor("y", "gnd", 1e6)
+        return circuit.compile()
+
+    def test_matches_add_at_bit_for_bit(self):
+        comp = self._nor2_compiled()
+        n_runs = 7
+        rng = np.random.default_rng(42)
+        i_drain = rng.normal(size=(comp.m_d.size, n_runs)) * 1e-5
+        i_r = rng.normal(size=(comp.r_a.size, n_runs)) * 1e-6
+
+        reference = np.zeros((comp.n_nodes, n_runs))
+        np.add.at(reference, comp.m_d, i_drain)
+        np.add.at(reference, comp.m_s, -i_drain)
+        np.add.at(reference, comp.r_a, i_r)
+        np.add.at(reference, comp.r_b, -i_r)
+
+        scatter = IncidenceScatter(comp, n_runs)
+        np.testing.assert_array_equal(
+            scatter.accumulate(i_drain, i_r), reference
+        )
+
+    def test_empty_device_classes(self):
+        comp = self._nor2_compiled()
+        scatter = IncidenceScatter(comp, 2)
+        assert scatter.accumulate(None, None).shape == (comp.n_nodes, 2)
+        assert np.all(scatter.accumulate(None, None) == 0.0)
+
+
+class TestStagedHotpathEquivalence:
+    def _nor_netlist(self):
+        nl = Netlist("nor_mix")
+        nl.add_input("in")
+        nl.add_input("lo")
+        nl.add_gate("g0", GateType.NOR, ["in", "lo"])
+        nl.add_gate("g1", GateType.NOR, ["lo", "g0"])
+        nl.add_gate("g2", GateType.NOR, ["g1", "g1"])
+        nl.add_output("g2")
+        return nl
+
+    def _inv_netlist(self):
+        nl = Netlist("invchain")
+        nl.add_input("in")
+        prev = "in"
+        for i in range(3):
+            nl.add_gate(f"n{i}", GateType.INV, [prev])
+            prev = f"n{i}"
+        nl.add_output(prev)
+        return nl
+
+    def test_merged_sweep_matches_single_chain(self):
+        """Chains swept side by side must reproduce the standalone sweep
+        (the merged netlist only widens the lock-step batch)."""
+        specs = [
+            ChainSpec(pattern=("P0",), n_periods=1, n_shaping=1,
+                      n_termination=1),
+            ChainSpec(pattern=("T",), n_periods=1, n_shaping=1,
+                      n_termination=1),
+        ]
+        config = SweepConfig(step=15e-12, long_gaps=(),
+                             degradation_set=False,
+                             include_falling_start=False)
+        merged = run_chain_sweeps(specs, config)
+        for spec in specs:
+            single = run_chain_sweep(spec, config)
+            m = merged[spec.tag]
+            assert [b.combos for b in m.batches] == [
+                b.combos for b in single.batches
+            ]
+            for mb, sb in zip(m.batches, single.batches):
+                for m_stage, s_stage in zip(m.probes.stages,
+                                            single.probes.stages):
+                    assert m_stage.channel == s_stage.channel
+                    a = mb.result.samples(m_stage.out_net).astype(float)
+                    b = sb.result.samples(s_stage.out_net).astype(float)
+                    n = min(a.shape[1], b.shape[1])
+                    np.testing.assert_allclose(a[:, :n], b[:, :n],
+                                               atol=1e-4)
+
+    @pytest.mark.parametrize("builder", ["_nor_netlist", "_inv_netlist"])
+    def test_hotpath_matches_naive(self, builder):
+        nl = getattr(self, builder)()
+        src = SteppedSource(
+            [np.array([20e-12, 45e-12]), np.array([30e-12])],
+            initial_levels=[0, 1],
+        )
+        sources = {"in": src}
+        if "lo" in nl.primary_inputs:
+            sources["lo"] = SteppedSource.constant(0, src.n_runs)
+        record = list(nl.gates)
+        results = {}
+        for hotpath in (False, True):
+            sim = StagedSimulator(nl, hotpath=hotpath)
+            results[hotpath] = sim.simulate(sources, t_stop=90e-12,
+                                            record_nets=record)
+        for net in record:
+            np.testing.assert_allclose(
+                results[True].samples(net).astype(float),
+                results[False].samples(net).astype(float),
+                atol=1e-4,
+                err_msg=f"hotpath diverges from seed path on net {net}",
+            )

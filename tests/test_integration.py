@@ -2,9 +2,11 @@
 
 ``test_tiny_pipeline_end_to_end`` runs the complete system — analog
 characterization, fitting, training, all three simulators, scoring — at
-the smallest scale (roughly half a minute).  The cached-artifact tests
-exercise the shipped trained models and are skipped when ``artifacts/``
-has not been built yet.
+the smallest scale (measured ~10 s with the vectorized transient hot
+path; the ``timeout`` guard fails the test fast if a regression ever
+drags it out again).  The cached-artifact tests exercise the shipped
+trained models and are skipped when ``artifacts/`` has not been built
+yet.
 """
 
 import json
@@ -37,6 +39,7 @@ needs_artifacts = pytest.mark.skipif(
 
 
 @pytest.mark.slow
+@pytest.mark.timeout(120)
 def test_tiny_pipeline_end_to_end():
     """Characterize -> train -> predict, fully self-contained."""
     datasets, stats = characterize_all(scale="tiny")
