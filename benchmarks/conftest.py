@@ -6,7 +6,6 @@ minutes once.
 """
 
 import json
-from pathlib import Path
 
 import pytest
 

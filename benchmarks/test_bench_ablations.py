@@ -19,7 +19,6 @@ from repro.core.table_transfer import (
     PolynomialTransferFunction,
     RBFTransferFunction,
 )
-from repro.core.tom import predict_gate_output
 from repro.nn.training import TrainingConfig
 
 

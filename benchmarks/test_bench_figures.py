@@ -6,7 +6,6 @@ times the dominant computation of each figure.
 """
 
 import numpy as np
-import pytest
 
 from repro.eval.figures import fig1_data, fig4_data, fig5_data
 from repro.eval.runner import ExperimentRunner

@@ -13,6 +13,10 @@ itself (the paper's ``tsim_Sigmoid``); analog/digital wall times and the
 ``t_err`` columns are printed with each row.
 """
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.core.trace import SigmoidalTrace
@@ -26,6 +30,8 @@ from repro.eval.table1 import (
     run_cell,
     run_table1,
 )
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_table1.json"
 
 #: CI-scale cells: (circuit, stimulus config, averaged runs).  The
 #: remaining grid cells (c17 at (500,250), the c1355 rows — including the
@@ -106,6 +112,82 @@ def test_table1_same_stimulus_row(runners, benchmark):
         f"terr_sig={row.t_err_sigmoid_ps:.1f}ps"
     )
     assert row.t_err_sigmoid_ps > 0.0
+
+
+def test_table1_batched_speedup(bundle, delay_library):
+    """Batched vs per-run Table-I evaluation on c17 (fast-scale models).
+
+    The batched pipeline — one merged lock-step analog batch over all
+    runs, one stacked input fit, one sigmoid-simulator topological
+    pass — must amortize at least the 3x acceptance floor over the
+    serial per-run reference at CI scale (the margin grows with the run
+    count, since per-run analog overhead dominates small circuits).  The
+    measured ratio is appended to ``BENCH_table1.json`` so the perf
+    trajectory is tracked across PRs; the regression gate uses process
+    CPU time, which competing load on a shared runner cannot inflate.
+    """
+    runner = ExperimentRunner(nor_mapped("c17"), bundle, delay_library)
+    config = StimulusConfig(20e-12, 10e-12, 10)
+    seeds = list(range(6))
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    serial = [runner.run(config, seed=s) for s in seeds]
+    serial_seconds = time.perf_counter() - t0
+    serial_cpu = time.process_time() - c0
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    batched = runner.run_batch(config, seeds)
+    batched_seconds = time.perf_counter() - t0
+    batched_cpu = time.process_time() - c0
+
+    # Same science before comparing speed: every run's scores must agree
+    # with its serial twin to sub-femtosecond precision.
+    max_diff_ps = max(
+        max(
+            abs(s.t_err_digital - b.t_err_digital),
+            abs(s.t_err_sigmoid - b.t_err_sigmoid),
+        )
+        for s, b in zip(serial, batched)
+    ) * 1e12
+    assert max_diff_ps < 5e-3, f"batched scores diverged: {max_diff_ps} ps"
+
+    speedup = serial_cpu / batched_cpu
+    record = {
+        "bench": "table1_batched_vs_serial",
+        "circuit": "c17",
+        "stimulus": config.label,
+        "n_runs": len(seeds),
+        "serial_seconds": round(serial_seconds, 3),
+        "batched_seconds": round(batched_seconds, 3),
+        "serial_cpu_seconds": round(serial_cpu, 3),
+        "batched_cpu_seconds": round(batched_cpu, 3),
+        "speedup": round(speedup, 2),
+        "max_t_err_diff_ps": max_diff_ps,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    # Bound the ledger: the trajectory matters, not every local run.
+    history = history[-50:]
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print()
+    print(
+        f"[table1-batch] serial={serial_seconds:.2f}s "
+        f"batched={batched_seconds:.2f}s wall; cpu ratio {speedup:.1f}x "
+        f"over {len(seeds)} runs (recorded in {BENCH_PATH.name})"
+    )
+    assert speedup >= 3.0, (
+        f"batched Table-I evaluation regressed: only {speedup:.1f}x (CPU "
+        "time) over the per-run path (acceptance bar: 3x)"
+    )
 
 
 def test_table1_harness_renders(bundle, delay_library, benchmark):

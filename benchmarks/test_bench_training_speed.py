@@ -8,7 +8,6 @@ dataset, and the sigmoid-vs-analog wall-time ratio on the biggest circuit.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.fitting import fit_waveform
 from repro.eval.runner import ExperimentRunner

@@ -4,6 +4,15 @@ NOR-maps c17, runs the analog reference, the digital baseline and the
 sigmoid simulator on random stimuli, and prints the paper's metrics
 (t_err per simulator, their ratio, wall times).
 
+All seeds go through the batched pipeline —
+:meth:`repro.eval.runner.ExperimentRunner.run_batch` integrates every
+run in one merged lock-step analog batch, fits all PI waveforms through
+one stacked :func:`repro.core.fitting.fit_waveforms` call, and covers
+the runs in a single sigmoid-simulator pass (per-run wall times below
+are therefore amortized batch times).  Swap in ``runner.run(config,
+seed=...)`` per seed for the serial reference path; the full grid at
+any run count is one :func:`repro.eval.table1.run_table1` call.
+
 Uses cached artifacts when available (``artifacts/bundle_fast.json``);
 otherwise builds them at fast scale first (a few minutes, one time).
 
@@ -13,7 +22,6 @@ Run:  python examples/iscas_comparison.py [circuit] [mu_ps] [sigma_ps]
 
 import json
 import sys
-from pathlib import Path
 
 from repro.characterization.artifacts import artifacts_dir, default_bundle
 from repro.digital.characterize import characterize_delay_library
@@ -39,7 +47,7 @@ def main() -> None:
     sigma = float(sys.argv[3]) * 1e-12 if len(sys.argv) > 3 else 10e-12
     n_transitions = max(3, int(round(400e-12 / mu)))
 
-    print(f"building/loading models ...")
+    print("building/loading models ...")
     bundle = default_bundle(scale="fast")
     delay_library = load_delay_library()
 
@@ -49,10 +57,10 @@ def main() -> None:
     runner = ExperimentRunner(core, bundle, delay_library)
     config = StimulusConfig(mu, sigma, n_transitions)
 
-    for seed in range(3):
-        result = runner.run(config, seed=seed)
+    for result in runner.run_batch(config, seeds=list(range(3))):
         print(
-            f"seed {seed}: t_err digital = {result.t_err_digital * 1e12:7.1f} ps   "
+            f"seed {result.seed}: t_err digital = "
+            f"{result.t_err_digital * 1e12:7.1f} ps   "
             f"sigmoid = {result.t_err_sigmoid * 1e12:7.1f} ps   "
             f"ratio = {result.error_ratio:5.2f}   "
             f"(analog {result.t_sim_analog:5.1f}s, "

@@ -21,7 +21,6 @@ from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
 from repro.core.fitting import fit_waveform
 from repro.core.tom import predict_gate_output
-from repro.nn.training import TrainingConfig
 
 
 def build_tied_chain(n_stages: int) -> Netlist:

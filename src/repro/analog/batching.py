@@ -1,0 +1,109 @@
+"""Shared run-batching machinery for lock-step analog workloads.
+
+PR 1 taught the characterization sweeps to merge every chain and every
+stimulus run into one lock-step netlist, to *shard* those runs into
+bounded groups (peak staged-engine memory is proportional to
+``batch_rows x fine-grid points``), and to dispatch shards across a
+process pool.  The Table-I evaluation pipeline needs exactly the same
+three moves — merge many single-run stimuli into one batched
+:class:`~repro.analog.stimuli.SteppedSource` per input, bound the batch,
+fan shards out over workers — so the machinery lives here and both
+:mod:`repro.characterization.sweep` and :mod:`repro.eval.runner` build
+on it instead of growing private copies.
+
+The helpers are deliberately engine-agnostic: they know about
+:class:`SteppedSource` batching and about "a list of picklable jobs",
+nothing else.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+import numpy as np
+
+from repro.analog.stimuli import SteppedSource
+from repro.errors import SimulationError
+
+JobT = TypeVar("JobT")
+ResultT = TypeVar("ResultT")
+
+
+def shard_slices(n_items: int, max_per_shard: int) -> list[slice]:
+    """Split ``range(n_items)`` into contiguous slices of bounded length.
+
+    The characterization sweeps use this to bound staged-engine table
+    memory; the eval runner uses it to bound run batches.  Returns an
+    empty list for ``n_items == 0``.
+    """
+    if max_per_shard < 1:
+        raise SimulationError("max_per_shard must be >= 1")
+    if n_items < 0:
+        raise SimulationError("n_items must be non-negative")
+    return [
+        slice(lo, min(lo + max_per_shard, n_items))
+        for lo in range(0, n_items, max_per_shard)
+    ]
+
+
+def merge_run_sources(
+    per_run_sources: Sequence[dict[str, SteppedSource]],
+) -> dict[str, SteppedSource]:
+    """Merge per-run stimulus dicts into one batched source per input.
+
+    Every dict describes one run (each of its sources may itself hold
+    several runs); the merged dict drives all runs side by side so one
+    staged-engine call integrates them in lock-step.  All runs of one
+    input must agree on ``v_high`` and ``edge_time`` — merging must not
+    silently change the stimulus physics.
+    """
+    if not per_run_sources:
+        raise SimulationError("need at least one run to merge")
+    keys = set(per_run_sources[0])
+    for sources in per_run_sources[1:]:
+        if set(sources) != keys:
+            raise SimulationError(
+                "all runs must drive the same inputs; got "
+                f"{sorted(keys)} vs {sorted(sources)}"
+            )
+    merged: dict[str, SteppedSource] = {}
+    for key in keys:
+        runs: list[np.ndarray] = []
+        levels: list[int] = []
+        v_high = per_run_sources[0][key].v_high
+        edge_time = per_run_sources[0][key].edge_time
+        for sources in per_run_sources:
+            source = sources[key]
+            if source.v_high != v_high or source.edge_time != edge_time:
+                raise SimulationError(
+                    f"runs disagree on stimulus physics for input {key!r}"
+                )
+            runs.extend(source.run_transitions)
+            levels.extend(int(level) for level in source.initial_levels)
+        merged[key] = SteppedSource(
+            runs, initial_levels=levels, v_high=v_high, edge_time=edge_time
+        )
+    return merged
+
+
+def dispatch_jobs(
+    fn: Callable[[JobT], ResultT],
+    jobs: Sequence[JobT],
+    n_workers: int = 1,
+) -> list[ResultT]:
+    """Run independent jobs, optionally across a process pool.
+
+    With ``n_workers <= 1`` (or a single job) the jobs run in-process in
+    order — no pickling, no spawn overhead, the right choice at CI
+    scale.  Otherwise ``fn`` and every job must be picklable and results
+    come back in job order, exactly as the in-process path returns them.
+    """
+    if n_workers < 1:
+        raise SimulationError("n_workers must be >= 1")
+    jobs = list(jobs)
+    if n_workers == 1 or len(jobs) <= 1:
+        return [fn(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, jobs))

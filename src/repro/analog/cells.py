@@ -19,9 +19,7 @@ asymmetric stack position is why the paper trains separate ANNs per input.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.analog.mosfet import MosfetParams, NMOS_15NM, PMOS_15NM
 from repro.analog.netlist import AnalogCircuit

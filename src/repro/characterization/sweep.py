@@ -28,11 +28,12 @@ documented in EXPERIMENTS.md).
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
+from repro.analog.batching import dispatch_jobs, shard_slices
 from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
 from repro.analog.staged import StagedResult, StagedSimulator
 from repro.analog.stimuli import SteppedSource, pulse_train_times
@@ -166,13 +167,10 @@ def _shard_runs(
     max_runs: int,
 ) -> list[tuple[list, list]]:
     """Split aligned (combos, initial levels) into bounded lock-step groups."""
-    if max_runs < 1:
-        raise SimulationError("max_runs_per_shard must be >= 1")
-    shards = []
-    for lo in range(0, len(combos), max_runs):
-        hi = lo + max_runs
-        shards.append((combos[lo:hi], levels[lo:hi]))
-    return shards
+    return [
+        (combos[s], levels[s])
+        for s in shard_slices(len(combos), max_runs)
+    ]
 
 
 def _record_nets(specs, probes_map) -> list[str]:
@@ -260,9 +258,11 @@ def run_chain_sweeps(
             )
 
     if config.n_workers > 1 and len(jobs) > 1:
-        with ProcessPoolExecutor(max_workers=config.n_workers) as pool:
-            results = list(pool.map(_simulate_shard,
-                                    jobs, [library] * len(jobs)))
+        results = dispatch_jobs(
+            partial(_simulate_shard, library=library),
+            jobs,
+            n_workers=config.n_workers,
+        )
     else:
         # In-process: reuse the merged netlist built above and one
         # simulator for every shard (pool workers must rebuild — jobs

@@ -1,7 +1,10 @@
 """Command-line entry points.
 
 ``python -m repro.cli table1 [--circuits c17] [--runs 3] [--scale fast]``
-    Run the Table I harness and print the rendered table.
+    Run the Table I harness and print the rendered table.  Runs go
+    through the batched lock-step pipeline by default; ``--serial``
+    selects the per-run reference path and ``--workers N`` dispatches
+    circuits across a process pool.
 
 ``python -m repro.cli characterize [--scale fast]``
     Build (or rebuild) the trained model artifacts.
@@ -15,7 +18,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from pathlib import Path
 
 from repro.characterization.artifacts import artifacts_dir, default_bundle
 from repro.digital.characterize import characterize_delay_library
@@ -48,6 +50,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
         n_runs=args.runs,
         seed=args.seed,
         include_same_stimulus_row=not args.no_same_stimulus,
+        batched=not args.serial,
+        n_workers=args.workers,
     )
     result = run_table1(bundle, delay_library, config)
     print(format_table1(result))
@@ -73,6 +77,15 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        )
+    return number
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -86,6 +99,14 @@ def main(argv: list[str] | None = None) -> int:
     p_table.add_argument("--scale", default="fast",
                          choices=("tiny", "fast", "standard", "paper"))
     p_table.add_argument("--no-same-stimulus", action="store_true")
+    p_table.add_argument(
+        "--serial", action="store_true",
+        help="per-run reference path instead of the batched pipeline",
+    )
+    p_table.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="process pool size for dispatching circuits (1 = in-process)",
+    )
     p_table.set_defaults(func=cmd_table1)
 
     p_char = sub.add_parser("characterize", help="build model artifacts")

@@ -11,6 +11,16 @@ Pipeline implemented by :func:`fit_waveform`:
    sigma vector for "a tight fit at the inflection points"),
 5. jointly refine all parameters with Levenberg-Marquardt on the Eq. 2
    model minus its rail offset.
+
+:func:`fit_waveforms` runs the same pipeline for a whole batch of
+waveforms at once (the Table-I evaluation fits every primary input of
+every stimulus run): fits with the same transition count are grouped and
+refined through one stacked :func:`levenberg_marquardt_batch` call, with
+shorter fit windows padded behind zero weights.  Each waveform takes the
+identical numerical trajectory it would take through
+:func:`fit_waveform`, so the two APIs are bit-compatible — the batch
+amortizes the per-call numpy overhead across each group without
+touching the arithmetic.
 """
 
 from __future__ import annotations
@@ -21,11 +31,13 @@ import numpy as np
 
 from repro.analog.waveform import Waveform
 from repro.constants import TIME_SCALE, VDD
-from repro.core.lm import levenberg_marquardt
+from repro.core.lm import LMResult, levenberg_marquardt, levenberg_marquardt_batch
 from repro.core.sigmoid import (
     slope_param_from_slew,
     sum_model_jacobian_tau,
+    sum_model_jacobian_tau_stacked,
     sum_model_tau,
+    sum_model_tau_stacked,
 )
 from repro.core.trace import SigmoidalTrace
 from repro.errors import FittingError
@@ -55,22 +67,29 @@ class FitResult:
         return self.trace.n_transitions
 
 
-def fit_waveform(
-    waveform: Waveform,
-    vdd: float = VDD,
-    weight_peak: float = DEFAULT_WEIGHT_PEAK,
-    weight_width: float = DEFAULT_WEIGHT_WIDTH,
-    max_points: int = DEFAULT_MAX_POINTS,
-    margin: float = DEFAULT_MARGIN,
-    max_iter: int = 60,
-) -> FitResult:
-    """Fit a sigmoidal trace to an analog waveform.
+@dataclass
+class _PreparedFit:
+    """One waveform's fit problem, ready for the optimizer."""
 
-    Waveforms without any VDD/2 crossing yield a transition-free trace at
-    the appropriate rail.  Raises :class:`FittingError` for waveforms whose
-    crossing structure cannot be represented (sign alternation violations
-    survive the crossing filter only on pathological data).
-    """
+    initial_level: int
+    params0: np.ndarray
+    t_fit: np.ndarray
+    tau_fit: np.ndarray
+    v_fit: np.ndarray
+    weights: np.ndarray
+    offset: float
+    vdd: float
+
+
+def _prepare_fit(
+    waveform: Waveform,
+    vdd: float,
+    weight_peak: float,
+    weight_width: float,
+    max_points: int,
+    margin: float,
+) -> FitResult | _PreparedFit:
+    """Stages 1-4 of the pipeline; trivial waveforms fit immediately."""
     clipped = waveform.clipped(0.0, vdd)
     threshold = vdd / 2.0
     crossings = clipped.crossings(threshold)
@@ -128,6 +147,62 @@ def fit_waveform(
 
     n_falling = sum(1 for c in filtered if c.direction < 0)
     offset = float(n_falling - initial_level)
+    return _PreparedFit(
+        initial_level=initial_level,
+        params0=params0,
+        t_fit=t_fit,
+        tau_fit=tau_fit,
+        v_fit=v_fit,
+        weights=weights,
+        offset=offset,
+        vdd=vdd,
+    )
+
+
+def _finalize_fit(prepared: _PreparedFit, result: LMResult) -> FitResult:
+    """Validate/repair the refined parameters and score the fit."""
+    params = result.x.reshape(-1, 2)
+
+    # The optimizer may in principle reorder or flip; repair gently by
+    # falling back to the initial estimate for any invalid transition.
+    if not _params_valid(params, prepared.initial_level):
+        params = _repair(params, prepared.params0, prepared.initial_level)
+
+    trace = SigmoidalTrace(prepared.initial_level, params, vdd=prepared.vdd)
+    residual = prepared.v_fit - trace.value(prepared.t_fit)
+    return FitResult(
+        trace=trace,
+        rms_error=float(np.sqrt(np.mean(residual**2))),
+        max_error=float(np.max(np.abs(residual))),
+        converged=result.converged,
+        n_iterations=result.n_iter,
+    )
+
+
+def fit_waveform(
+    waveform: Waveform,
+    vdd: float = VDD,
+    weight_peak: float = DEFAULT_WEIGHT_PEAK,
+    weight_width: float = DEFAULT_WEIGHT_WIDTH,
+    max_points: int = DEFAULT_MAX_POINTS,
+    margin: float = DEFAULT_MARGIN,
+    max_iter: int = 60,
+) -> FitResult:
+    """Fit a sigmoidal trace to an analog waveform.
+
+    Waveforms without any VDD/2 crossing yield a transition-free trace at
+    the appropriate rail.  Raises :class:`FittingError` for waveforms whose
+    crossing structure cannot be represented (sign alternation violations
+    survive the crossing filter only on pathological data).
+    """
+    prepared = _prepare_fit(
+        waveform, vdd, weight_peak, weight_width, max_points, margin
+    )
+    if isinstance(prepared, FitResult):
+        return prepared
+    tau_fit = prepared.tau_fit
+    v_fit = prepared.v_fit
+    offset = prepared.offset
 
     def unpack(x: np.ndarray) -> np.ndarray:
         return x.reshape(-1, 2)
@@ -141,26 +216,86 @@ def fit_waveform(
     result = levenberg_marquardt(
         residual_fn,
         jacobian_fn,
-        params0.ravel(),
-        weights=weights,
+        prepared.params0.ravel(),
+        weights=prepared.weights,
         max_iter=max_iter,
     )
-    params = unpack(result.x)
+    return _finalize_fit(prepared, result)
 
-    # The optimizer may in principle reorder or flip; repair gently by
-    # falling back to the initial estimate for any invalid transition.
-    if not _params_valid(params, initial_level):
-        params = _repair(params, params0, initial_level)
 
-    trace = SigmoidalTrace(initial_level, params, vdd=vdd)
-    residual = v_fit - trace.value(t_fit)
-    return FitResult(
-        trace=trace,
-        rms_error=float(np.sqrt(np.mean(residual**2))),
-        max_error=float(np.max(np.abs(residual))),
-        converged=result.converged,
-        n_iterations=result.n_iter,
-    )
+def fit_waveforms(
+    waveforms: "list[Waveform]",
+    vdd: float = VDD,
+    weight_peak: float = DEFAULT_WEIGHT_PEAK,
+    weight_width: float = DEFAULT_WEIGHT_WIDTH,
+    max_points: int = DEFAULT_MAX_POINTS,
+    margin: float = DEFAULT_MARGIN,
+    max_iter: int = 60,
+) -> list[FitResult]:
+    """Fit many waveforms at once; bit-compatible with looped fits.
+
+    Fit problems sharing a transition count are refined through one
+    stacked Levenberg-Marquardt call (see
+    :func:`repro.core.lm.levenberg_marquardt_batch`); problems whose fit
+    windows hold fewer samples than their group's widest are padded with
+    zero-weight samples, which leaves every per-problem reduction
+    unchanged.  Results come back in input order and equal
+    ``[fit_waveform(w, ...) for w in waveforms]``.
+    """
+    prepared: list[FitResult | _PreparedFit] = [
+        _prepare_fit(w, vdd, weight_peak, weight_width, max_points, margin)
+        for w in waveforms
+    ]
+    results: list[FitResult | None] = [
+        p if isinstance(p, FitResult) else None for p in prepared
+    ]
+
+    groups: dict[int, list[int]] = {}
+    for k, prep in enumerate(prepared):
+        if isinstance(prep, _PreparedFit):
+            groups.setdefault(prep.params0.shape[0], []).append(k)
+
+    for members in groups.values():
+        probs = [prepared[k] for k in members]
+        n_samples = max(p.tau_fit.size for p in probs)
+        tau = np.empty((len(probs), n_samples))
+        v = np.zeros_like(tau)
+        weights = np.zeros_like(tau)
+        for row, prep in enumerate(probs):
+            m = prep.tau_fit.size
+            tau[row, :m] = prep.tau_fit
+            # Padding repeats the last sample behind zero weight: the
+            # model stays finite there and the extra residuals vanish
+            # exactly from every cost and normal-equation reduction.
+            tau[row, m:] = prep.tau_fit[-1]
+            v[row, :m] = prep.v_fit
+            weights[row, :m] = prep.weights
+        offsets = np.array([p.offset for p in probs])
+        x0 = np.stack([p.params0.ravel() for p in probs])
+
+        def residual_fn(x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            params = x.reshape(x.shape[0], -1, 2)
+            model = sum_model_tau_stacked(
+                tau[idx], params, offsets[idx], vdd=vdd
+            )
+            return model - v[idx]
+
+        def jacobian_fn(x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            params = x.reshape(x.shape[0], -1, 2)
+            return sum_model_jacobian_tau_stacked(tau[idx], params, vdd=vdd)
+
+        lm_results = levenberg_marquardt_batch(
+            residual_fn,
+            jacobian_fn,
+            x0,
+            weights=weights,
+            n_valid=np.array([p.tau_fit.size for p in probs]),
+            max_iter=max_iter,
+        )
+        for k, lm_result in zip(members, lm_results):
+            results[k] = _finalize_fit(prepared[k], lm_result)
+
+    return results
 
 
 def _params_valid(params: np.ndarray, initial_level: int) -> bool:

@@ -71,6 +71,51 @@ def sum_model_jacobian_tau(
     return jac
 
 
+def sum_model_tau_stacked(
+    tau: np.ndarray, params: np.ndarray, offset: np.ndarray, vdd: float = VDD
+) -> np.ndarray:
+    """Eq. 2 over a stack of independent problems in one call.
+
+    ``tau`` is ``(B, M)`` (each row its own fit grid), ``params`` is
+    ``(B, N, 2)`` and ``offset`` is ``(B,)``.  Row ``k`` of the result is
+    bit-identical to ``sum_model_tau(tau[k], params[k], offset[k])``: the
+    transitions accumulate in the same index order and every operation is
+    elementwise, so stacking never changes the arithmetic.
+    """
+    tau = np.asarray(tau, dtype=float)
+    params = np.asarray(params, dtype=float)
+    offset = np.asarray(offset, dtype=float)
+    total = np.zeros_like(tau)
+    for i in range(params.shape[1]):
+        a = params[:, i, 0][:, None]
+        b = params[:, i, 1][:, None]
+        total = total + expit(a * (tau - b))
+    return vdd * (total - offset[:, None])
+
+
+def sum_model_jacobian_tau_stacked(
+    tau: np.ndarray, params: np.ndarray, vdd: float = VDD
+) -> np.ndarray:
+    """Stacked Jacobians of :func:`sum_model_tau_stacked`.
+
+    Returns ``(B, M, 2 N)`` with the same column order as
+    :func:`sum_model_jacobian_tau`; row ``k`` is bit-identical to the
+    scalar Jacobian of problem ``k``.
+    """
+    tau = np.asarray(tau, dtype=float)
+    params = np.asarray(params, dtype=float)
+    n_problems, n_times = tau.shape
+    jac = np.empty((n_problems, n_times, 2 * params.shape[1]))
+    for i in range(params.shape[1]):
+        a = params[:, i, 0][:, None]
+        b = params[:, i, 1][:, None]
+        s = expit(a * (tau - b))
+        core = s * (1.0 - s)
+        jac[:, :, 2 * i] = vdd * core * (tau - b)
+        jac[:, :, 2 * i + 1] = -vdd * a * core
+    return jac
+
+
 def transition_width_tau(a: float, lo: float = 0.1, hi: float = 0.9) -> float:
     """Duration (scaled time) a sigmoid spends between ``lo`` and ``hi``.
 

@@ -42,6 +42,30 @@ class SigmoidCircuitSimulator:
         self._fanout_count = {
             net: netlist.fanout_count(net) for net in netlist.nets
         }
+        # Model selection depends only on the static netlist (gate type,
+        # tied inputs, fanout class), so it is resolved once per instance
+        # here instead of once per gate per run.  Each plan entry is
+        # ``(name, inputs, single_channel_tfs | None, nor_pin_tfs | None)``.
+        self._plan: list[tuple] = []
+        for name in self._order:
+            gate = netlist.gates[name]
+            fanout = self._fanout_count[name]
+            if gate.gtype is GateType.INV:
+                model = bundle.get("INV", 0, fanout)
+                entry = (name, gate.inputs, (model.tf_rise, model.tf_fall), None)
+            elif gate.inputs[0] == gate.inputs[1]:
+                # Tied-input NOR: the inverter-class elementary gate of the
+                # pure-NOR mapping — a single-input channel (Algorithm 1)
+                # with its dedicated tied-cell models.
+                model = bundle.get("NOR2T", 0, fanout)
+                entry = (name, gate.inputs, (model.tf_rise, model.tf_fall), None)
+            else:
+                pin_tfs = []
+                for pin in range(2):
+                    model = bundle.get("NOR2", pin, fanout)
+                    pin_tfs.append((model.tf_rise, model.tf_fall))
+                entry = (name, gate.inputs, None, pin_tfs)
+            self._plan.append(entry)
 
     # ------------------------------------------------------------------
     def simulate(
@@ -50,61 +74,64 @@ class SigmoidCircuitSimulator:
         record_nets: list[str] | None = None,
     ) -> dict[str, SigmoidalTrace]:
         """Predict traces for every requested net (default: primary outputs)."""
-        missing = [
-            pi for pi in self.netlist.primary_inputs if pi not in pi_traces
-        ]
-        if missing:
-            raise SimulationError(f"missing PI traces: {missing}")
+        return self.simulate_batch([pi_traces], record_nets)[0]
+
+    def simulate_batch(
+        self,
+        pi_traces_runs: "list[dict[str, SigmoidalTrace]]",
+        record_nets: list[str] | None = None,
+    ) -> list[dict[str, SigmoidalTrace]]:
+        """Predict traces for a batch of stimulus runs in one pass.
+
+        One walk of the topological order covers every run: the static
+        per-gate work (ordering, fanout classing, model resolution) is
+        done once for the whole batch and each gate's per-run predictions
+        run back to back.  Per run, the predictions are exactly the ones
+        :meth:`simulate` makes — the two entry points are bit-compatible.
+        """
+        pis = self.netlist.primary_inputs
+        for pi_traces in pi_traces_runs:
+            missing = [pi for pi in pis if pi not in pi_traces]
+            if missing:
+                raise SimulationError(f"missing PI traces: {missing}")
         if record_nets is None:
             record_nets = list(self.netlist.primary_outputs)
 
         # Steady-state levels anchor each gate's initial output level.
-        initial_levels = self.netlist.evaluate(
-            {
-                pi: bool(pi_traces[pi].initial_level)
-                for pi in self.netlist.primary_inputs
-            }
-        )
+        level_runs = [
+            self.netlist.evaluate(
+                {pi: bool(pi_traces[pi].initial_level) for pi in pis}
+            )
+            for pi_traces in pi_traces_runs
+        ]
 
-        traces: dict[str, SigmoidalTrace] = dict(pi_traces)
-        for name in self._order:
-            gate = self.netlist.gates[name]
-            fanout = self._fanout_count[name]
-            if gate.gtype is GateType.INV:
-                model = self.bundle.get("INV", 0, fanout)
-                traces[name] = predict_gate_output(
-                    traces[gate.inputs[0]],
-                    model.tf_rise,
-                    model.tf_fall,
-                    initial_output_level=int(initial_levels[name]),
-                )
-            elif gate.inputs[0] == gate.inputs[1]:
-                # Tied-input NOR: the inverter-class elementary gate of the
-                # pure-NOR mapping — a single-input channel (Algorithm 1)
-                # with its dedicated tied-cell models.
-                model = self.bundle.get("NOR2T", 0, fanout)
-                traces[name] = predict_gate_output(
-                    traces[gate.inputs[0]],
-                    model.tf_rise,
-                    model.tf_fall,
-                    initial_output_level=int(initial_levels[name]),
-                )
-            else:
-                pin_tfs = []
-                for pin in range(2):
-                    model = self.bundle.get("NOR2", pin, fanout)
-                    pin_tfs.append((model.tf_rise, model.tf_fall))
-                traces[name] = predict_nor_output(
-                    [traces[gate.inputs[0]], traces[gate.inputs[1]]],
-                    pin_tfs,
-                )
-            predicted_initial = traces[name].initial_level
-            if predicted_initial != int(initial_levels[name]):
-                raise SimulationError(
-                    f"initial level mismatch at gate {name}"
-                )  # pragma: no cover - defensive
+        trace_runs: list[dict[str, SigmoidalTrace]] = [
+            dict(pi_traces) for pi_traces in pi_traces_runs
+        ]
+        for name, inputs, single_tfs, nor_pin_tfs in self._plan:
+            for traces, initial_levels in zip(trace_runs, level_runs):
+                if single_tfs is not None:
+                    traces[name] = predict_gate_output(
+                        traces[inputs[0]],
+                        single_tfs[0],
+                        single_tfs[1],
+                        initial_output_level=int(initial_levels[name]),
+                    )
+                else:
+                    traces[name] = predict_nor_output(
+                        [traces[inputs[0]], traces[inputs[1]]],
+                        nor_pin_tfs,
+                    )
+                predicted_initial = traces[name].initial_level
+                if predicted_initial != int(initial_levels[name]):
+                    raise SimulationError(
+                        f"initial level mismatch at gate {name}"
+                    )  # pragma: no cover - defensive
 
         try:
-            return {net: traces[net] for net in record_nets}
+            return [
+                {net: traces[net] for net in record_nets}
+                for traces in trace_runs
+            ]
         except KeyError as exc:
             raise SimulationError(f"unknown record net: {exc}") from None

@@ -21,11 +21,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.analog.batching import merge_run_sources, shard_slices
 from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
 from repro.analog.staged import StagedSimulator
+from repro.analog.waveform import Waveform
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
-from repro.core.fitting import fit_waveform
+from repro.core.fitting import fit_waveform, fit_waveforms
 from repro.core.models import GateModelBundle
 from repro.core.simulator import SigmoidCircuitSimulator
 from repro.core.trace import SigmoidalTrace
@@ -109,6 +113,14 @@ class ExperimentRunner:
         self.sigmoid = SigmoidCircuitSimulator(core, bundle)
         self._depth = core.depth()
 
+    def _t_stop_for(self, t_last: float) -> float:
+        """Simulation span for a run whose last stimulus edge is ``t_last``.
+
+        Shared by the serial and batched paths — their score equivalence
+        relies on both sizing the span identically.
+        """
+        return t_last + self._depth * _LEVEL_DELAY_ALLOWANCE + 60e-12
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -121,9 +133,7 @@ class ExperimentRunner:
         pis = self.core.primary_inputs
         pos = self.core.primary_outputs
         sources, t_last = random_pi_sources(pis, config, seed)
-        t_stop = (
-            t_last + self._depth * _LEVEL_DELAY_ALLOWANCE + 60e-12
-        )
+        t_stop = self._t_stop_for(t_last)
 
         # --- analog reference -----------------------------------------
         aug_sources = {f"{pi}__src": sources[pi] for pi in pis}
@@ -186,3 +196,149 @@ class ExperimentRunner:
                 "references": po_references,
             }
         return result
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        config: StimulusConfig,
+        seeds: "list[int]",
+        same_stimulus: bool = False,
+        max_runs_per_batch: int = 64,
+    ) -> "list[ExperimentResult]":
+        """Execute many randomized runs of one cell in lock-step.
+
+        The batched counterpart of :meth:`run`: every run draws exactly
+        the stimuli its serial twin would draw (one
+        :func:`random_pi_sources` stream per seed), but all runs of a
+        shard go through the analog reference as ONE merged lock-step
+        batch, all PI waveforms are fitted through one
+        :func:`fit_waveforms` call, and the sigmoid simulator covers the
+        shard in a single topological pass.  ``max_runs_per_batch``
+        bounds staged-engine table memory exactly like
+        ``SweepConfig.max_runs_per_shard`` does for characterization.
+
+        Scores match :meth:`run` to sub-femtosecond precision: each
+        run's waveforms are integrated on the shared shard grid (whose
+        per-run prefix matches the serial grid) and cross-run coupling
+        enters only through the staged engine's quiescence chunk
+        skipping, which is bounded below the engine's EPS_V tolerance.
+        Per-run wall-clock fields report the batch time divided by the
+        shard size — the amortized cost that makes batching worthwhile.
+        """
+        results: list[ExperimentResult] = []
+        for shard in shard_slices(len(seeds), max_runs_per_batch):
+            results.extend(
+                self._run_shard(config, seeds[shard], same_stimulus)
+            )
+        return results
+
+    def _run_shard(
+        self,
+        config: StimulusConfig,
+        seeds: "list[int]",
+        same_stimulus: bool,
+    ) -> "list[ExperimentResult]":
+        pis = self.core.primary_inputs
+        pos = self.core.primary_outputs
+        n_runs = len(seeds)
+
+        per_run_sources = []
+        t_stops = []
+        for seed in seeds:
+            sources, t_last = random_pi_sources(pis, config, seed)
+            per_run_sources.append(
+                {f"{pi}__src": sources[pi] for pi in pis}
+            )
+            t_stops.append(self._t_stop_for(t_last))
+
+        # --- analog reference: one merged lock-step batch --------------
+        merged = merge_run_sources(per_run_sources)
+        t0 = time.perf_counter()
+        analog = self.analog.simulate(
+            merged, t_stop=max(t_stops), record_nets=pis + pos
+        )
+        t_sim_analog = (time.perf_counter() - t0) / n_runs
+
+        # Each run is scored on its own serial time span: the shared
+        # shard grid is simply the longest run's grid, so truncating to
+        # the per-run sample count recovers the serial waveform.
+        def run_waveform(net: str, run: int) -> Waveform:
+            n_samples = int(np.ceil(t_stops[run] / self.analog.dt)) + 1
+            return Waveform(
+                analog.t[:n_samples],
+                analog.samples(net)[run, :n_samples].astype(float),
+            )
+
+        pi_waveforms = [
+            {pi: run_waveform(pi, run) for pi in pis} for run in range(n_runs)
+        ]
+        po_references = [
+            {
+                po: DigitalTrace.from_waveform(run_waveform(po, run))
+                for po in pos
+            }
+            for run in range(n_runs)
+        ]
+
+        # --- digital stimulus + simulation ------------------------------
+        pi_digital = [
+            {pi: DigitalTrace.from_waveform(wf) for pi, wf in waveforms.items()}
+            for waveforms in pi_waveforms
+        ]
+        t_sim_digital = []
+        po_digital = []
+        for run in range(n_runs):
+            t0 = time.perf_counter()
+            po_digital.append(
+                self.digital.simulate_outputs(pi_digital[run], t_stops[run])
+            )
+            t_sim_digital.append(time.perf_counter() - t0)
+
+        # --- sigmoid stimulus (one stacked fit) + simulation -------------
+        t0 = time.perf_counter()
+        if same_stimulus:
+            pi_sigmoid = [
+                {
+                    pi: SigmoidalTrace.from_digital(trace)
+                    for pi, trace in traces.items()
+                }
+                for traces in pi_digital
+            ]
+        else:
+            fits = fit_waveforms(
+                [pi_waveforms[run][pi] for run in range(n_runs) for pi in pis]
+            )
+            pi_sigmoid = [
+                {
+                    pi: fits[run * len(pis) + k].trace
+                    for k, pi in enumerate(pis)
+                }
+                for run in range(n_runs)
+            ]
+        t_fit_inputs = (time.perf_counter() - t0) / n_runs
+        t0 = time.perf_counter()
+        po_sigmoid = self.sigmoid.simulate_batch(pi_sigmoid, record_nets=pos)
+        t_sim_sigmoid = (time.perf_counter() - t0) / n_runs
+
+        # --- scoring -----------------------------------------------------
+        results = []
+        for run, seed in enumerate(seeds):
+            results.append(
+                ExperimentResult(
+                    circuit=self.core.name,
+                    config=config,
+                    seed=seed,
+                    t_stop=t_stops[run],
+                    t_err_digital=total_mismatch_time(
+                        po_references[run], po_digital[run], 0.0, t_stops[run]
+                    ),
+                    t_err_sigmoid=total_mismatch_time(
+                        po_references[run], po_sigmoid[run], 0.0, t_stops[run]
+                    ),
+                    t_sim_analog=t_sim_analog,
+                    t_sim_digital=t_sim_digital[run],
+                    t_sim_sigmoid=t_sim_sigmoid,
+                    t_fit_inputs=t_fit_inputs,
+                )
+            )
+        return results

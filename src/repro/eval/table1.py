@@ -11,6 +11,15 @@ Paper scale is 50 runs per cell; the default here is CI-scale and
 configurable.  Expected *shape* (not absolute numbers): ratio < 1 at
 (20 ps, 10 ps), growing toward ~1 as inter-transition times increase, and
 sigmoid wall time far below the analog reference.
+
+Timing-column semantics: in the default batched mode the
+``tsim_Sigmoid(s)`` / ``tsim_Analog(s)`` columns report the batch wall
+time divided by the run count — the amortized per-run cost that batching
+buys, NOT the paper's isolated per-run measurement.  Use
+``Table1Config(batched=False)`` (CLI ``--serial``) when timing columns
+must be methodology-comparable to the paper or to serial-mode records;
+the ``t_err`` and ratio columns agree between the two modes to
+sub-femtosecond precision either way.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analog.batching import dispatch_jobs
 from repro.circuits.iscas85 import c17, c499_like, c1355_like
 from repro.circuits.netlist import Netlist
 from repro.circuits.nor_map import nor_map
@@ -34,10 +44,25 @@ CIRCUIT_BUILDERS = {
     "c1355_like": c1355_like,
 }
 
+#: Lock-step run-batch bound shared by `Table1Config` and `run_cell`
+#: (single knob: staged-engine table memory grows with the batch size).
+DEFAULT_MAX_RUNS_PER_BATCH = 64
+
 
 @dataclass
 class Table1Config:
-    """Harness configuration (defaults are CI-scale)."""
+    """Harness configuration (defaults are CI-scale).
+
+    ``batched`` routes every cell through
+    :meth:`~repro.eval.runner.ExperimentRunner.run_batch` (all runs of a
+    cell in one lock-step analog batch, one stacked fit, one sigmoid
+    pass); ``batched=False`` keeps the serial per-run reference path the
+    equivalence tests compare against.  ``max_runs_per_batch`` bounds
+    staged-engine memory per lock-step batch, and ``n_workers > 1``
+    fans the circuits out over a process pool (mirroring
+    ``SweepConfig.n_workers`` — worth it at paper scale, not at CI
+    scale where spawn overhead dominates).
+    """
 
     circuits: tuple[str, ...] = ("c17", "c499_like", "c1355_like")
     stimuli: tuple[StimulusConfig, ...] = PAPER_CONFIGS
@@ -45,6 +70,9 @@ class Table1Config:
     seed: int = 0
     include_same_stimulus_row: bool = True
     same_stimulus_circuit: str = "c1355_like"
+    batched: bool = True
+    max_runs_per_batch: int = DEFAULT_MAX_RUNS_PER_BATCH
+    n_workers: int = 1
 
 
 @dataclass
@@ -85,12 +113,23 @@ def run_cell(
     n_runs: int,
     seed: int,
     same_stimulus: bool = False,
+    batched: bool = True,
+    max_runs_per_batch: int = DEFAULT_MAX_RUNS_PER_BATCH,
 ) -> Table1Row:
     """Average one circuit × stimulus cell over ``n_runs`` random runs."""
-    results = [
-        runner.run(config, seed=seed + k, same_stimulus=same_stimulus)
-        for k in range(n_runs)
-    ]
+    seeds = [seed + k for k in range(n_runs)]
+    if batched:
+        results = runner.run_batch(
+            config,
+            seeds,
+            same_stimulus=same_stimulus,
+            max_runs_per_batch=max_runs_per_batch,
+        )
+    else:
+        results = [
+            runner.run(config, seed=s, same_stimulus=same_stimulus)
+            for s in seeds
+        ]
     err_d = float(np.mean([r.t_err_digital for r in results]))
     err_s = float(np.mean([r.t_err_sigmoid for r in results]))
     return Table1Row(
@@ -107,37 +146,68 @@ def run_cell(
     )
 
 
+def _run_circuit_cells(
+    job: tuple[str, GateModelBundle, DelayLibrary, Table1Config],
+) -> tuple[list[Table1Row], Table1Row | None]:
+    """All grid rows of one circuit (a picklable unit of dispatch)."""
+    circuit, bundle, delay_library, config = job
+    runner = ExperimentRunner(nor_mapped(circuit), bundle, delay_library)
+    rows = [
+        run_cell(
+            runner,
+            stim,
+            config.n_runs,
+            config.seed,
+            batched=config.batched,
+            max_runs_per_batch=config.max_runs_per_batch,
+        )
+        for stim in config.stimuli
+    ]
+    same_row = None
+    if (
+        config.include_same_stimulus_row
+        and circuit == config.same_stimulus_circuit
+    ):
+        same_row = run_cell(
+            runner,
+            config.stimuli[0],
+            config.n_runs,
+            config.seed,
+            same_stimulus=True,
+            batched=config.batched,
+            max_runs_per_batch=config.max_runs_per_batch,
+        )
+    return rows, same_row
+
+
 def run_table1(
     bundle: GateModelBundle,
     delay_library: DelayLibrary,
     config: Table1Config | None = None,
 ) -> Table1Result:
-    """Run the full Table I grid."""
+    """Run the full Table I grid.
+
+    Circuits are independent units of work: with ``config.n_workers > 1``
+    they are dispatched across a process pool, one job per circuit, and
+    the rows come back in the deterministic serial order.
+    """
     if config is None:
         config = Table1Config()
+    jobs = [
+        (circuit, bundle, delay_library, config)
+        for circuit in config.circuits
+    ]
+    outcomes = dispatch_jobs(
+        _run_circuit_cells, jobs, n_workers=config.n_workers
+    )
     result = Table1Result()
-    runners: dict[str, ExperimentRunner] = {}
-    for circuit in config.circuits:
-        runner = ExperimentRunner(nor_mapped(circuit), bundle, delay_library)
-        runners[circuit] = runner
-        for stim in config.stimuli:
-            result.rows.append(
-                run_cell(runner, stim, config.n_runs, config.seed)
-            )
-    if (
-        config.include_same_stimulus_row
-        and config.same_stimulus_circuit in runners
-    ):
-        runner = runners[config.same_stimulus_circuit]
-        result.rows.append(
-            run_cell(
-                runner,
-                config.stimuli[0],
-                config.n_runs,
-                config.seed,
-                same_stimulus=True,
-            )
-        )
+    same_row = None
+    for rows, circuit_same_row in outcomes:
+        result.rows.extend(rows)
+        if circuit_same_row is not None:
+            same_row = circuit_same_row
+    if same_row is not None:
+        result.rows.append(same_row)
     return result
 
 

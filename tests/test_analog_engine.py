@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analog.cells import CellLibrary, DEFAULT_LIBRARY
+from repro.analog.cells import DEFAULT_LIBRARY
 from repro.analog.engine import TransientEngine
 from repro.analog.integrator import integrate_fixed, rk4_step
 from repro.analog.netlist import AnalogCircuit

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.constants import VDD, VTH
+from repro.constants import VDD
 from repro.core.cancellation import (
     cancel_subthreshold_pulses,
     pair_crosses_threshold,

@@ -12,7 +12,6 @@ from repro.characterization.chains import (
 from repro.characterization.dataset import TransferDataset, TransferRecord
 from repro.characterization.extract import pair_transitions
 from repro.characterization.sweep import SweepConfig
-from repro.circuits.gates import GateType
 from repro.core.trace import SigmoidalTrace
 from repro.errors import NetlistError
 

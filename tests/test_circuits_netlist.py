@@ -1,6 +1,5 @@
 """Tests for gate types, the netlist data model and its structural queries."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,8 +1,24 @@
 """Tests for the command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+from repro.characterization.artifacts import artifacts_dir
 from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+needs_artifacts = pytest.mark.skipif(
+    not (
+        (artifacts_dir() / "bundle_fast.json").exists()
+        and (artifacts_dir() / "delay_library.json").exists()
+    ),
+    reason="cached artifacts not built (run any benchmark once)",
+)
 
 
 class TestCLI:
@@ -23,3 +39,38 @@ class TestCLI:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["characterize", "--scale", "galactic"])
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--circuits", "c17", "--workers", "0"])
+
+
+@needs_artifacts
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+class TestTable1EndToEnd:
+    def test_table1_fast_c17_renders_row(self):
+        """``python -m repro.cli table1 --scale fast --circuits c17``.
+
+        The full table path, exactly as a user invokes it: loads cached
+        fast-scale models, runs the batched pipeline over all three
+        stimulus configurations, and renders the table.
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "table1",
+             "--scale", "fast", "--circuits", "c17", "--runs", "1"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=280,
+        )
+        assert proc.returncode == 0, proc.stderr
+        lines = [ln for ln in proc.stdout.splitlines() if ln.startswith("c17")]
+        # One rendered row per stimulus configuration.
+        assert len(lines) == 3
+        assert "error ratio" in proc.stdout

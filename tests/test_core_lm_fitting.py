@@ -10,7 +10,6 @@ from repro.core.fitting import fit_waveform
 from repro.core.lm import levenberg_marquardt
 from repro.core.sigmoid import sum_model_jacobian_tau, sum_model_tau
 from repro.core.trace import SigmoidalTrace
-from repro.errors import ConvergenceError
 
 
 class TestLM:

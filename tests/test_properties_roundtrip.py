@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analog.waveform import Waveform
-from repro.constants import TIME_SCALE, VDD, VTH
+from repro.constants import TIME_SCALE, VDD
 from repro.core.fitting import fit_waveform
 from repro.core.trace import SigmoidalTrace
 from repro.digital.trace import DigitalTrace

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analog.waveform import Crossing, Waveform
+from repro.analog.waveform import Waveform
 from repro.constants import VDD
 
 
