@@ -5,13 +5,9 @@ are missing the fixtures build them at ``fast`` scale, which takes a few
 minutes once.
 """
 
-import json
-
 import pytest
 
-from repro.characterization.artifacts import artifacts_dir, default_bundle
-from repro.digital.characterize import characterize_delay_library
-from repro.digital.delay import DelayLibrary
+from repro.characterization.artifacts import default_bundle, default_delay_library
 
 
 @pytest.fixture(scope="session")
@@ -23,10 +19,4 @@ def bundle():
 @pytest.fixture(scope="session")
 def delay_library():
     """Characterized digital delay library (cached)."""
-    path = artifacts_dir() / "delay_library.json"
-    if path.exists():
-        return DelayLibrary.from_dict(json.loads(path.read_text()))
-    library = characterize_delay_library()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(library.to_dict()))
-    return library
+    return default_delay_library(scale="fast")

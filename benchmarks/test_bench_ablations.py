@@ -3,7 +3,9 @@
 * valid-region containment on/off (Sec. IV-B),
 * inflection-point weighting of the fit on/off (Sec. II-B),
 * ANN transfer functions vs the LUT / polynomial / RBF alternatives the
-  paper generated "for comparison purposes" (Sec. IV-A),
+  paper generated "for comparison purposes" (Sec. IV-A) — both on
+  held-out records and as full per-backend Table-I runs through the
+  backend registry,
 * the digital baseline family: fixed arc delays vs the DDM degradation
   model vs the thresholded hybrid (involution-class) channel.
 """
@@ -19,6 +21,13 @@ from repro.core.table_transfer import (
     PolynomialTransferFunction,
     RBFTransferFunction,
 )
+from repro.eval.ablation import (
+    AblationConfig,
+    format_ablation,
+    run_backend_ablation,
+)
+from repro.eval.stimuli import StimulusConfig
+from repro.eval.table1 import Table1Config
 from repro.nn.training import TrainingConfig
 
 
@@ -157,6 +166,49 @@ def test_ablation_transfer_function_family(tied_dataset, benchmark):
         print(f"  {family:5s} {mae:.3f}")
     # The ANN must be competitive with the best tabular alternative.
     assert results["ann"] < 3.0 * min(results.values()) + 0.05
+
+
+def test_ablation_backend_table1(delay_library, benchmark):
+    """One Table-I per registered backend (the Sec. IV-A comparison).
+
+    The full circuit-level ablation the registry enables: every backend
+    family (ANN, LUT, spline, polynomial) drives the sigmoid simulator
+    over the same c17 stimulus cell against the same analog reference.
+    Tiny-scale bundles come from the artifact cache (built once); the
+    stimulus is one short (20 ps, 10 ps) cell so the analog reference —
+    shared cost, identical per backend — stays CI-sized.
+    """
+    config = AblationConfig(
+        scale="tiny",
+        table=Table1Config(
+            circuits=("c17",),
+            stimuli=(StimulusConfig(20e-12, 10e-12, 8),),
+            n_runs=1,
+            include_same_stimulus_row=False,
+        ),
+    )
+    results = benchmark.pedantic(
+        run_backend_ablation,
+        args=(delay_library, config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_ablation(results))
+    assert set(results) == set(config.backends)
+    for backend, result in results.items():
+        assert len(result.rows) == 1, backend
+        row = result.rows[0]
+        # Every backend must produce a finite, plausible error column.
+        assert np.isfinite(row.t_err_sigmoid_ps), backend
+        assert row.t_err_sigmoid_ps >= 0.0, backend
+    # The ANN backend (the paper's choice) must stay competitive with
+    # the best table alternative on this cell.
+    errors = {
+        backend: result.rows[0].t_err_sigmoid_ps
+        for backend, result in results.items()
+    }
+    assert errors["ann"] <= 3.0 * min(errors.values()) + 1.0, errors
 
 
 def test_ablation_digital_baselines(bundle, delay_library, benchmark):

@@ -1,20 +1,39 @@
-"""Section IV claims: ANN training time and simulator speedup.
+"""Section IV claims: ANN training time, ensemble speedup, simulator speedup.
 
 The paper reports (a) "the training time of one ANN is less than 10
 minutes on a conventional laptop" and (b) the prototype outperforming
 Spectre by up to 60x wall-clock on c1355.  These benches measure our
-equivalents: one 3-10-10-5-1 network trained on a characterization-sized
-dataset, and the sigmoid-vs-analog wall-time ratio on the biggest circuit.
+equivalents — one 3-10-10-5-1 network on a characterization-sized
+dataset, and the sigmoid-vs-analog wall-time ratio — plus the
+vectorized-ensemble trainer that replaced the serial ``train_mlp`` loop:
+the full characterization model zoo (every channel x polarity x
+{slope, delay} network, three init seeds each) trained in one
+:func:`~repro.nn.ensemble.train_ensemble` sweep against the looped
+reference, recorded in ``BENCH_training.json``.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
+from repro.characterization.artifacts import PRESETS, default_datasets
+from repro.characterization.train_gate import collect_training_jobs
 from repro.core.fitting import fit_waveform
 from repro.eval.runner import ExperimentRunner
 from repro.eval.stimuli import StimulusConfig, random_pi_sources
 from repro.eval.table1 import nor_mapped
-from repro.nn.mlp import paper_architecture
+from repro.nn.ensemble import MLPEnsemble, train_ensemble
+from repro.nn.mlp import PAPER_LAYER_SIZES, paper_architecture
 from repro.nn.training import TrainingConfig, train_mlp
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_training.json"
+
+#: Init-seed restarts per zoo network: the robustness sweep production
+#: uses to guard against unlucky initializations, and a realistic
+#: ensemble-training workload size (3 x 24 = 72 members).
+N_RESTARTS = 3
 
 
 def test_single_ann_training_time(benchmark):
@@ -32,6 +51,108 @@ def test_single_ann_training_time(benchmark):
     model = benchmark.pedantic(train_once, rounds=1, iterations=1)
     pred = model.forward(x)
     assert float(np.mean((pred - y) ** 2)) < 0.05
+
+
+def test_ensemble_training_speedup():
+    """Vectorized zoo training vs the looped ``train_mlp`` reference.
+
+    The workload is the real thing: every network of a tiny-scale
+    characterization run (6 channels x 2 polarities x {slope, delay}),
+    trained from ``N_RESTARTS`` init seeds each with the tiny preset's
+    training config.  The looped path trains the same members one
+    ``train_mlp`` call at a time.  Beyond the speedup floor, the two
+    paths must agree **bitwise**: identical per-network train/val loss
+    histories (shared splits and batch order) and identical final
+    weights.  The measured CPU-time ratio is appended to
+    ``BENCH_training.json``; CPU time keeps the regression gate immune
+    to competing load on shared runners.
+    """
+    datasets = default_datasets(scale="tiny")
+    config = PRESETS["tiny"].training_config(seed=0)
+    jobs, _context = collect_training_jobs(datasets, config=config, seed=0)
+    xs, ys, configs, init_seeds = [], [], [], []
+    for job in jobs:
+        for restart in range(N_RESTARTS):
+            xs.append(job.x)
+            ys.append(job.y)
+            configs.append(job.config)
+            init_seeds.append(job.init_seed + 7919 * restart)
+    K = len(xs)
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    looped_models, looped_histories = [], []
+    for x, y, member_config, init_seed in zip(xs, ys, configs, init_seeds):
+        model = paper_architecture(rng=np.random.default_rng(init_seed))
+        looped_histories.append(train_mlp(model, x, y, member_config))
+        looped_models.append(model)
+    looped_seconds = time.perf_counter() - t0
+    looped_cpu = time.process_time() - c0
+
+    ensemble = MLPEnsemble(
+        PAPER_LAYER_SIZES,
+        K,
+        rngs=[np.random.default_rng(seed) for seed in init_seeds],
+    )
+    t0, c0 = time.perf_counter(), time.process_time()
+    histories = train_ensemble(ensemble, xs, ys, configs)
+    ensemble_seconds = time.perf_counter() - t0
+    ensemble_cpu = time.process_time() - c0
+
+    # Same science before comparing speed: per-network histories and
+    # final weights must match the looped path bit for bit.
+    for k in range(K):
+        looped, vectorized = looped_histories[k], histories[k]
+        assert looped.train_loss == vectorized.train_loss, f"member {k}"
+        assert looped.val_loss == vectorized.val_loss, f"member {k}"
+        assert looped.best_epoch == vectorized.best_epoch, f"member {k}"
+        assert looped.stopped_early == vectorized.stopped_early, f"member {k}"
+        member = ensemble.member(k)
+        for looped_layer, member_layer in zip(
+            looped_models[k].dense_layers(), member.dense_layers()
+        ):
+            assert np.array_equal(looped_layer.weight, member_layer.weight)
+            assert np.array_equal(looped_layer.bias, member_layer.bias)
+
+    speedup = looped_cpu / ensemble_cpu
+    record = {
+        "bench": "ensemble_vs_looped_training",
+        "scale": "tiny",
+        "n_networks": K,
+        "n_restarts": N_RESTARTS,
+        "epochs": config.epochs,
+        "batch_size": config.batch_size,
+        "looped_seconds": round(looped_seconds, 3),
+        "ensemble_seconds": round(ensemble_seconds, 3),
+        "looped_cpu_seconds": round(looped_cpu, 3),
+        "ensemble_cpu_seconds": round(ensemble_cpu, 3),
+        "speedup": round(speedup, 2),
+        "bitwise_equal": True,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    # Bound the ledger: the trajectory matters, not every local run.
+    history = history[-50:]
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print()
+    print(
+        f"[ensemble-training] zoo of {K} networks: "
+        f"looped {looped_seconds:.2f}s, ensemble {ensemble_seconds:.2f}s "
+        f"wall; cpu ratio {speedup:.1f}x, bitwise-equal histories+weights "
+        f"(recorded in {BENCH_PATH.name})"
+    )
+    assert speedup >= 4.0, (
+        f"vectorized ensemble training regressed: only {speedup:.1f}x (CPU "
+        "time) over the looped train_mlp path (acceptance bar: 4x)"
+    )
 
 
 def test_sigmoid_vs_analog_speedup(bundle, delay_library, benchmark):

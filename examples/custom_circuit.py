@@ -10,22 +10,20 @@ shape and (for narrow windows) degrade.
 Run:  python examples/custom_circuit.py
 """
 
-import json
 import numpy as np
 
 from repro.analog.staged import StagedSimulator
 from repro.analog.stimuli import SteppedSource
-from repro.characterization.artifacts import artifacts_dir, default_bundle
+from repro.characterization.artifacts import (
+    default_bundle,
+    default_delay_library,
+)
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
 from repro.circuits.nor_map import nor_map, verify_equivalence
 from repro.core.fitting import fit_waveform
 from repro.core.simulator import SigmoidCircuitSimulator
-from repro.digital.characterize import (
-    build_instance_delays,
-    characterize_delay_library,
-)
-from repro.digital.delay import DelayLibrary
+from repro.digital.characterize import build_instance_delays
 from repro.digital.simulator import DigitalSimulator
 from repro.digital.trace import DigitalTrace
 from repro.eval.metrics import mismatch_time
@@ -57,11 +55,7 @@ def main() -> None:
           f"(logic equivalence verified)")
 
     bundle = default_bundle(scale="fast")
-    dlib_path = artifacts_dir() / "delay_library.json"
-    if dlib_path.exists():
-        delay_library = DelayLibrary.from_dict(json.loads(dlib_path.read_text()))
-    else:
-        delay_library = characterize_delay_library()
+    delay_library = default_delay_library(scale="fast")
 
     # Hazard scenario: a = b = 1, select toggles.
     augmented = augment_with_shaping(core)

@@ -20,25 +20,15 @@ Run:  python examples/iscas_comparison.py [circuit] [mu_ps] [sigma_ps]
       e.g. python examples/iscas_comparison.py c17 20 10
 """
 
-import json
 import sys
 
-from repro.characterization.artifacts import artifacts_dir, default_bundle
-from repro.digital.characterize import characterize_delay_library
-from repro.digital.delay import DelayLibrary
+from repro.characterization.artifacts import (
+    default_bundle,
+    default_delay_library,
+)
 from repro.eval.runner import ExperimentRunner
 from repro.eval.stimuli import StimulusConfig
 from repro.eval.table1 import nor_mapped
-
-
-def load_delay_library() -> DelayLibrary:
-    path = artifacts_dir() / "delay_library.json"
-    if path.exists():
-        return DelayLibrary.from_dict(json.loads(path.read_text()))
-    library = characterize_delay_library()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(library.to_dict()))
-    return library
 
 
 def main() -> None:
@@ -49,7 +39,7 @@ def main() -> None:
 
     print("building/loading models ...")
     bundle = default_bundle(scale="fast")
-    delay_library = load_delay_library()
+    delay_library = default_delay_library(scale="fast")
 
     core = nor_mapped(circuit)
     print(f"{circuit}: {core.n_gates} NOR gates after mapping, "

@@ -4,7 +4,10 @@ Runs in under a minute (no cached artifacts needed):
 
 1. simulate a tied-NOR (inverter-class) chain on the analog engine,
 2. fit the stage waveforms to sigmoidal traces (Eq. 1/2 of the paper),
-3. train the four TOM transfer-function ANNs of one channel at tiny scale,
+3. train one channel's transfer models at tiny scale — the paper's ANNs
+   (all four networks in one vectorized ensemble sweep) plus a LUT
+   rival from the backend registry (Sec. IV-A's "for comparison
+   purposes" families),
 4. predict a gate output with Algorithm 1 and compare against the analog
    reference.
 
@@ -19,6 +22,7 @@ from repro.characterization.artifacts import characterize_all, PRESETS
 from repro.characterization.train_gate import train_gate_model
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
+from repro.core.backends import available_backends
 from repro.core.fitting import fit_waveform
 from repro.core.tom import predict_gate_output
 
@@ -58,11 +62,16 @@ def main() -> None:
     datasets, _ = characterize_all(scale="tiny")
     dataset = datasets[("NOR2T", 0, "fo2")]
     print(f"channel NOR2T/fo2: {len(dataset)} training records")
+    print(f"registered transfer backends: {', '.join(available_backends())}")
     model, report = train_gate_model(
         dataset, config=PRESETS["tiny"].training_config()
     )
-    print(f"delay MAE rising/falling: {report.delay_mae_rising_ps:.2f} / "
+    print(f"ann delay MAE rising/falling: {report.delay_mae_rising_ps:.2f} / "
           f"{report.delay_mae_falling_ps:.2f} ps")
+    _lut_model, lut_report = train_gate_model(dataset, backend="lut")
+    print(f"lut delay MAE rising/falling: "
+          f"{lut_report.delay_mae_rising_ps:.2f} / "
+          f"{lut_report.delay_mae_falling_ps:.2f} ps")
 
     print("\n== 4. Algorithm 1 prediction vs analog ==")
     trace = fit.trace

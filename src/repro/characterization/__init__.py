@@ -11,10 +11,12 @@ analog engine playing SPICE's role:
    (Fig. 4), all combinations integrated as one vectorized batch.
 3. :mod:`~repro.characterization.extract` fits every stage waveform to
    sigmoids and pairs input/output transitions into TOM training records.
-4. :mod:`~repro.characterization.train_gate` trains the four ANNs per
-   channel and builds the valid region.
-5. :mod:`~repro.characterization.artifacts` caches datasets and trained
-   bundles under ``artifacts/`` so benches and tests reuse them.
+4. :mod:`~repro.characterization.train_gate` trains the transfer models
+   of every channel — the whole ANN zoo in one vectorized ensemble
+   sweep, or any registered table backend — and builds the valid region.
+5. :mod:`~repro.characterization.artifacts` caches datasets, trained
+   bundles (per scale x backend) and the digital delay library (per
+   scale) under ``artifacts/`` so benches and tests reuse them.
 """
 
 from repro.characterization.chains import (
@@ -29,8 +31,17 @@ from repro.characterization.sweep import (
 )
 from repro.characterization.extract import extract_transfer_records
 from repro.characterization.dataset import TransferDataset, TransferRecord
-from repro.characterization.train_gate import train_gate_model
-from repro.characterization.artifacts import default_bundle, build_bundle
+from repro.characterization.train_gate import (
+    collect_training_jobs,
+    train_gate_model,
+    train_gate_models,
+    train_zoo,
+)
+from repro.characterization.artifacts import (
+    build_bundle,
+    default_bundle,
+    default_delay_library,
+)
 
 __all__ = [
     "ChainSpec",
@@ -43,6 +54,10 @@ __all__ = [
     "TransferDataset",
     "TransferRecord",
     "train_gate_model",
+    "train_gate_models",
+    "collect_training_jobs",
+    "train_zoo",
     "default_bundle",
     "build_bundle",
+    "default_delay_library",
 ]

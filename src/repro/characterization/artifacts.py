@@ -10,6 +10,14 @@ variable).  Scales:
 * ``standard`` — the default for benches.
 * ``paper`` — the paper's 1 ps granularity (~15^3 combos per chain);
   included for completeness, expect a long build.
+
+Bundles are keyed by scale **and** transfer-model backend: the default
+``ann`` bundle keeps its legacy ``bundle_<scale>.json`` name, while the
+``lut`` / ``spline`` / ``poly`` ablation bundles cache side by side as
+``bundle_<scale>_<backend>.json``.  The digital delay library is cached
+by its characterization step (all default-step scales share the
+pre-existing ``delay_library.json``; the paper preset's finer step gets
+its own file), and ``--force`` rebuilds it.
 """
 
 from __future__ import annotations
@@ -24,10 +32,14 @@ from repro.characterization.chains import DEFAULT_CHAIN_SPECS, ChainSpec
 from repro.characterization.dataset import TransferDataset
 from repro.characterization.extract import extract_transfer_records
 from repro.characterization.sweep import SweepConfig, run_chain_sweeps
-from repro.characterization.train_gate import train_gate_model
+from repro.characterization.train_gate import train_gate_models
 from repro.core.models import GateModelBundle
+from repro.digital.delay import DelayLibrary
 from repro.errors import DatasetError
 from repro.nn.training import TrainingConfig
+
+#: The delay-characterization integrator step shared by the CI scales.
+DEFAULT_DELAY_DT = 0.1e-12
 
 
 def artifacts_dir() -> Path:
@@ -46,6 +58,7 @@ class ScalePreset:
     sweep_step: float
     n_periods: int
     nn_epochs: int
+    delay_dt: float = DEFAULT_DELAY_DT
 
     def sweep_config(self) -> SweepConfig:
         if self.name == "tiny":
@@ -67,7 +80,11 @@ class ScalePreset:
         )
 
     def training_config(self, seed: int = 0) -> TrainingConfig:
-        return TrainingConfig(epochs=self.nn_epochs, seed=seed)
+        # batch_size 32: the per-polarity channel datasets hold a few
+        # hundred samples, so 32 gives the optimizer a usable number of
+        # steps per epoch (and the vectorized zoo trainer more lock-step
+        # batches to amortize).
+        return TrainingConfig(epochs=self.nn_epochs, batch_size=32, seed=seed)
 
 
 PRESETS = {
@@ -78,7 +95,7 @@ PRESETS = {
     "standard": ScalePreset(name="standard", sweep_step=3e-12, n_periods=6,
                             nn_epochs=400),
     "paper": ScalePreset(name="paper", sweep_step=1e-12, n_periods=6,
-                         nn_epochs=400),
+                         nn_epochs=400, delay_dt=0.05e-12),
 }
 
 #: Channels the pure-NOR prototype needs: single-pin NOR on either pin and
@@ -190,31 +207,61 @@ def default_datasets(
     return datasets
 
 
+def bundle_path(scale: str, backend: str = "ann") -> Path:
+    """Cache path of one scale x backend bundle (ann keeps legacy names)."""
+    if backend == "ann":
+        return artifacts_dir() / f"bundle_{scale}.json"
+    return artifacts_dir() / f"bundle_{scale}_{backend}.json"
+
+
 def build_bundle(
-    scale: str = "fast", seed: int = 0, verbose: bool = False
+    scale: str = "fast",
+    backend: str = "ann",
+    seed: int = 0,
+    force: bool = False,
+    verbose: bool = False,
 ) -> tuple[GateModelBundle, dict]:
-    """Characterize and train every channel from scratch."""
+    """Characterize (cached) and train every channel from scratch.
+
+    With the default ``ann`` backend the entire model zoo — every
+    channel x polarity x {slope, delay} network — trains in one
+    vectorized ensemble sweep; table backends construct per channel from
+    the same datasets.  ``force`` re-runs the characterization sweep
+    even when cached datasets exist.
+    """
     preset = _preset(scale)
-    datasets, stats = characterize_all(scale=scale, verbose=verbose)
-    save_datasets(datasets, scale)
+    datasets = default_datasets(scale=scale, force=force, verbose=verbose)
+    stats: dict = {}
     missing = [c for c in CHANNELS if c not in datasets]
     if missing:
         raise DatasetError(f"characterization produced no data for {missing}")
 
     bundle = GateModelBundle(
-        metadata={"scale": scale, "seed": seed, "built_at": time.time()}
+        metadata={
+            "scale": scale,
+            "backend": backend,
+            "seed": seed,
+            "built_at": time.time(),
+        }
     )
+    t0 = time.perf_counter()
+    trained = train_gate_models(
+        {channel: datasets[channel] for channel in CHANNELS},
+        backend=backend,
+        config=preset.training_config(seed),
+        seed=seed,
+    )
+    stats["_train"] = {
+        "backend": backend,
+        "networks": 4 * len(CHANNELS) if backend == "ann" else None,
+        "seconds": time.perf_counter() - t0,
+    }
     for channel in CHANNELS:
-        dataset = datasets[channel]
-        t0 = time.perf_counter()
-        model, report = train_gate_model(
-            dataset, config=preset.training_config(seed), seed=seed
-        )
+        model, report = trained[channel]
         bundle.add(model)
         key = "_".join(str(part) for part in channel)
         stats[key] = {
-            "records": len(dataset),
-            "train_seconds": time.perf_counter() - t0,
+            "records": len(datasets[channel]),
             "delay_mae_rising_ps": report.delay_mae_rising_ps,
             "delay_mae_falling_ps": report.delay_mae_falling_ps,
             "slope_mae_rising": report.slope_mae_rising,
@@ -222,23 +269,69 @@ def build_bundle(
         }
         if verbose:
             print(
-                f"[train {key}] n={len(dataset)} delay_mae="
+                f"[train {key}] n={len(datasets[channel])} delay_mae="
                 f"{report.delay_mae_rising_ps:.2f}/"
                 f"{report.delay_mae_falling_ps:.2f} ps"
             )
+    if verbose:
+        print(
+            f"[train] backend={backend} zoo trained in "
+            f"{stats['_train']['seconds']:.1f}s"
+        )
     bundle.metadata["build_stats"] = stats
     return bundle, stats
 
 
 def default_bundle(
-    scale: str = "standard", force: bool = False, verbose: bool = False
+    scale: str = "standard",
+    backend: str = "ann",
+    force: bool = False,
+    verbose: bool = False,
 ) -> GateModelBundle:
-    """Load the cached bundle for ``scale``, building it if missing."""
-    path = artifacts_dir() / f"bundle_{scale}.json"
+    """Load the cached bundle for ``scale``/``backend``, building if missing."""
+    path = bundle_path(scale, backend)
     if path.exists() and not force:
         return GateModelBundle.load(path)
-    bundle, stats = build_bundle(scale=scale, verbose=verbose)
+    bundle, stats = build_bundle(
+        scale=scale, backend=backend, force=force, verbose=verbose
+    )
     bundle.save(path)
-    stats_path = artifacts_dir() / f"bundle_{scale}_stats.json"
+    stats_path = path.with_name(path.stem + "_stats.json")
     stats_path.write_text(json.dumps(stats, indent=2))
     return bundle
+
+
+def delay_library_path(scale: str) -> Path:
+    """Cache path of the delay library a scale resolves to.
+
+    The library's content depends only on the characterization step, so
+    the cache is keyed by ``delay_dt`` rather than by scale name — all
+    default-step scales share one file (the pre-existing
+    ``delay_library.json``), and the paper preset's finer step gets its
+    own.  Switching ``--scale`` therefore never reuses a library built
+    at a different step, and never rebuilds an identical one.
+    """
+    dt = _preset(scale).delay_dt
+    if dt == DEFAULT_DELAY_DT:
+        return artifacts_dir() / "delay_library.json"
+    return artifacts_dir() / f"delay_library_dt{dt * 1e15:g}fs.json"
+
+
+def default_delay_library(
+    scale: str = "fast", force: bool = False
+) -> DelayLibrary:
+    """Cached digital delay library for ``scale`` (built if missing).
+
+    See :func:`delay_library_path` for the cache key; ``force`` rebuilds
+    and rewrites the cache.
+    """
+    from repro.digital.characterize import characterize_delay_library
+
+    preset = _preset(scale)
+    path = delay_library_path(scale)
+    if not force and path.exists():
+        return DelayLibrary.from_dict(json.loads(path.read_text()))
+    library = characterize_delay_library(dt=preset.delay_dt)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(library.to_dict()))
+    return library

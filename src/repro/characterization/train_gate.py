@@ -1,9 +1,20 @@
-"""Training the TOM transfer-function ANNs (Sec. IV).
+"""Training the TOM transfer-function models (Sec. IV).
 
-Each channel (cell, pin, fanout class) gets four networks: rising and
-falling input polarity, each with a slope net and a delay net, all using
-the paper's 3-10-10-5-1 ReLU architecture.  The valid region of Sec. IV-B
-is built from the same polarity-split features.
+Each channel (cell, pin, fanout class) gets a rising and a falling
+transfer function.  With the default ``ann`` backend those are the
+paper's four 3-10-10-5-1 ReLU networks per channel; with the ``lut`` /
+``spline`` / ``poly`` backends they are the table alternatives the paper
+generated "for comparison purposes" (Sec. IV-A).  The valid region of
+Sec. IV-B is built from the same polarity-split features for every
+backend.
+
+The ANN path is fully vectorized: :func:`train_gate_models` stacks every
+network of every requested channel (channel x polarity x {slope, delay})
+into one :class:`~repro.nn.ensemble.MLPEnsemble` and trains the whole
+zoo in a single :func:`~repro.nn.ensemble.train_ensemble` sweep —
+bitwise-identical, per network, to the serial
+:func:`~repro.nn.training.train_mlp` loop it replaces (see
+``benchmarks/test_bench_training_speed.py`` for the recorded speedup).
 """
 
 from __future__ import annotations
@@ -13,13 +24,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.characterization.dataset import TransferDataset
-from repro.core.ann_transfer import ANNTransferFunction, GateModel
-from repro.core.valid_region import ConvexHullRegion, KNNRegion
+from repro.core.ann_transfer import (
+    ANNTransferFunction,
+    GateModel,
+    ann_init_seeds,
+    prepare_channel_arrays,
+)
+from repro.core.backends import build_region, get_backend
 from repro.errors import DatasetError
+from repro.nn.ensemble import MLPEnsemble, train_ensemble
 from repro.nn.losses import mae_loss
-from repro.nn.mlp import paper_architecture
-from repro.nn.scaling import StandardScaler
-from repro.nn.training import TrainingConfig, train_mlp
+from repro.nn.mlp import PAPER_LAYER_SIZES
+from repro.nn.training import TrainingConfig
 
 
 @dataclass
@@ -38,6 +54,230 @@ class ChannelTrainingReport:
     histories: dict = field(default_factory=dict)
 
 
+@dataclass
+class TrainingJob:
+    """One network of the characterization zoo (ANN backend).
+
+    ``x`` / ``y`` are the standardized features and one standardized
+    target column; ``init_seed`` seeds the weight initialization and
+    ``config.seed`` the split/batch shuffles — exactly the values a
+    serial :func:`~repro.nn.training.train_mlp` loop would use.
+    """
+
+    channel: tuple[str, int, str]
+    polarity: str  # "rising" | "falling"
+    target: str  # "slope" | "delay"
+    x: np.ndarray
+    y: np.ndarray
+    init_seed: int
+    config: TrainingConfig
+
+
+def _polarity_data(dataset: TransferDataset):
+    """Clean, polarity-split training arrays of one channel's dataset."""
+    clean = dataset.drop_outliers()
+    rising, falling = clean.split_polarity()
+    if len(rising) < 10 or len(falling) < 10:
+        raise DatasetError(
+            f"channel {dataset.cell}/p{dataset.pin}/{dataset.fanout_class}: "
+            f"not enough samples (rising={len(rising)}, falling={len(falling)})"
+        )
+    return rising, falling
+
+
+def collect_training_jobs(
+    datasets: dict[tuple[str, int, str], TransferDataset],
+    config: TrainingConfig | None = None,
+    seed: int = 0,
+) -> tuple[list[TrainingJob], dict]:
+    """The ANN zoo of a characterization run as one flat job list.
+
+    Per channel, the rising polarity trains with init seeds
+    ``(seed, seed + 1)`` and the falling polarity with
+    ``(seed + 100, seed + 101)`` — the seeds the serial per-channel path
+    has always used — and every job shares ``config`` (hence split and
+    batch order, for equal dataset sizes).  Also returns the per-channel
+    context (scalers, regions, split data) needed to assemble the
+    trained networks into :class:`~repro.core.ann_transfer.GateModel`
+    objects.
+    """
+    jobs: list[TrainingJob] = []
+    context: dict = {}
+    for channel in sorted(datasets):
+        dataset = datasets[channel]
+        rising, falling = _polarity_data(dataset)
+        context[channel] = {"n_rising": len(rising), "n_falling": len(falling)}
+        for polarity, split, base_seed in (
+            ("rising", rising, seed),
+            ("falling", falling, seed + 100),
+        ):
+            # Matching the serial path: a shared config (the preset's)
+            # applies to every network; without one, each polarity seeds
+            # its own split/batch stream from its base seed.
+            job_config = (
+                config if config is not None else TrainingConfig(seed=base_seed)
+            )
+            targets = split.targets()
+            prep = prepare_channel_arrays(
+                split.features(), targets[:, 0], targets[:, 1]
+            )
+            context[channel][polarity] = {
+                "features": prep["features"],
+                "targets": targets,
+                "x_scaler": prep["x_scaler"],
+                "y_slope_scaler": prep["y_slope_scaler"],
+                "y_delay_scaler": prep["y_delay_scaler"],
+            }
+            slope_seed, delay_seed = ann_init_seeds(base_seed)
+            jobs.append(
+                TrainingJob(
+                    channel, polarity, "slope", prep["x"], prep["y_slope"],
+                    slope_seed, job_config,
+                )
+            )
+            jobs.append(
+                TrainingJob(
+                    channel, polarity, "delay", prep["x"], prep["y_delay"],
+                    delay_seed, job_config,
+                )
+            )
+    return jobs, context
+
+
+def train_zoo(jobs: list[TrainingJob]) -> tuple[MLPEnsemble, list]:
+    """Train every job of the zoo in one vectorized ensemble sweep."""
+    ensemble = MLPEnsemble(
+        PAPER_LAYER_SIZES,
+        len(jobs),
+        rngs=[np.random.default_rng(job.init_seed) for job in jobs],
+    )
+    histories = train_ensemble(
+        ensemble,
+        [job.x for job in jobs],
+        [job.y for job in jobs],
+        [job.config for job in jobs],
+    )
+    return ensemble, histories
+
+
+def _channel_report(
+    channel: tuple[str, int, str],
+    context: dict,
+    tf_rise,
+    tf_fall,
+    histories: dict,
+) -> ChannelTrainingReport:
+    """Native-unit training-set MAE per polarity, for logs and stats."""
+    metrics = {}
+    for polarity, tf in (("rising", tf_rise), ("falling", tf_fall)):
+        info = context[polarity]
+        pred_slope, pred_delay = tf.predict_batch(info["features"])
+        metrics[polarity] = {
+            "slope_mae": mae_loss(
+                pred_slope.reshape(-1, 1), info["targets"][:, 0].reshape(-1, 1)
+            ),
+            "delay_mae": mae_loss(
+                pred_delay.reshape(-1, 1), info["targets"][:, 1].reshape(-1, 1)
+            ),
+            **histories.get(polarity, {}),
+        }
+    cell, pin, fanout_class = channel
+    return ChannelTrainingReport(
+        cell=cell,
+        pin=pin,
+        fanout_class=fanout_class,
+        n_rising=context["n_rising"],
+        n_falling=context["n_falling"],
+        slope_mae_rising=metrics["rising"]["slope_mae"],
+        delay_mae_rising_ps=metrics["rising"]["delay_mae"] * 100.0,
+        slope_mae_falling=metrics["falling"]["slope_mae"],
+        delay_mae_falling_ps=metrics["falling"]["delay_mae"] * 100.0,
+        histories=metrics,
+    )
+
+
+def train_gate_models(
+    datasets: dict[tuple[str, int, str], TransferDataset],
+    backend: str = "ann",
+    region_kind: str = "knn",
+    config: TrainingConfig | None = None,
+    seed: int = 0,
+) -> dict[tuple[str, int, str], tuple[GateModel, ChannelTrainingReport]]:
+    """Train every requested channel with one backend.
+
+    With ``backend="ann"`` all networks of all channels train in one
+    vectorized ensemble sweep; table backends construct per polarity
+    from the same split datasets.
+    """
+    results: dict = {}
+    if backend == "ann":
+        jobs, context = collect_training_jobs(datasets, config=config, seed=seed)
+        ensemble, histories = train_zoo(jobs)
+        by_channel: dict = {}
+        for index, job in enumerate(jobs):
+            by_channel.setdefault(job.channel, {}).setdefault(job.polarity, {})[
+                job.target
+            ] = index
+        for channel, slots in by_channel.items():
+            tfs = {}
+            epoch_stats: dict = {}
+            for polarity in ("rising", "falling"):
+                info = context[channel][polarity]
+                slope_idx = slots[polarity]["slope"]
+                delay_idx = slots[polarity]["delay"]
+                tfs[polarity] = ANNTransferFunction(
+                    slope_net=ensemble.member(slope_idx),
+                    delay_net=ensemble.member(delay_idx),
+                    x_scaler=info["x_scaler"],
+                    y_slope_scaler=info["y_slope_scaler"],
+                    y_delay_scaler=info["y_delay_scaler"],
+                    region=build_region(info["features"], region_kind),
+                )
+                epoch_stats[polarity] = {
+                    "slope_epochs": histories[slope_idx].epochs_run,
+                    "delay_epochs": histories[delay_idx].epochs_run,
+                }
+            cell, pin, fanout_class = channel
+            model = GateModel(
+                cell, pin, fanout_class, tfs["rising"], tfs["falling"]
+            )
+            report = _channel_report(
+                channel,
+                context[channel],
+                tfs["rising"],
+                tfs["falling"],
+                epoch_stats,
+            )
+            results[channel] = (model, report)
+        return results
+
+    backend_cls = get_backend(backend)
+    for channel in sorted(datasets):
+        dataset = datasets[channel]
+        rising, falling = _polarity_data(dataset)
+        context = {"n_rising": len(rising), "n_falling": len(falling)}
+        tfs = {}
+        for polarity, split in (("rising", rising), ("falling", falling)):
+            features = split.features()
+            targets = split.targets()
+            context[polarity] = {"features": features, "targets": targets}
+            tfs[polarity] = backend_cls.from_training_data(
+                features,
+                targets[:, 0],
+                targets[:, 1],
+                region_kind=region_kind,
+                config=config,
+                seed=seed,
+            )
+        cell, pin, fanout_class = channel
+        model = GateModel(cell, pin, fanout_class, tfs["rising"], tfs["falling"])
+        report = _channel_report(
+            channel, context, tfs["rising"], tfs["falling"], {}
+        )
+        results[channel] = (model, report)
+    return results
+
+
 def train_transfer_function(
     features: np.ndarray,
     slopes: np.ndarray,
@@ -45,8 +285,9 @@ def train_transfer_function(
     region_kind: str = "knn",
     config: TrainingConfig | None = None,
     seed: int = 0,
-) -> tuple[ANNTransferFunction, dict]:
-    """Train one polarity's slope+delay networks on raw (unscaled) data."""
+    backend: str = "ann",
+):
+    """Train one polarity's transfer function on raw (unscaled) data."""
     features = np.atleast_2d(np.asarray(features, dtype=float))
     slopes = np.asarray(slopes, dtype=float).reshape(-1, 1)
     delays = np.asarray(delays, dtype=float).reshape(-1, 1)
@@ -54,47 +295,35 @@ def train_transfer_function(
         raise DatasetError(
             f"too few samples to train a transfer function ({features.shape[0]})"
         )
-    if config is None:
-        config = TrainingConfig(seed=seed)
-
-    x_scaler = StandardScaler().fit(features)
-    y_slope_scaler = StandardScaler().fit(slopes)
-    y_delay_scaler = StandardScaler().fit(delays)
-    x = x_scaler.transform(features)
-
-    slope_net = paper_architecture(rng=np.random.default_rng(seed))
-    slope_history = train_mlp(
-        slope_net, x, y_slope_scaler.transform(slopes), config
-    )
-    delay_net = paper_architecture(rng=np.random.default_rng(seed + 1))
-    delay_history = train_mlp(
-        delay_net, x, y_delay_scaler.transform(delays), config
-    )
-
-    if region_kind == "knn":
-        region = KNNRegion(features)
-    elif region_kind == "convex":
-        region = ConvexHullRegion(features)
-    elif region_kind == "none":
-        region = None
+    backend_cls = get_backend(backend)
+    if backend == "ann":
+        tf, histories = backend_cls.fit(
+            features,
+            slopes,
+            delays,
+            region_kind=region_kind,
+            config=config,
+            seed=seed,
+        )
+        extra = {
+            "slope_epochs": histories["slope"].epochs_run,
+            "delay_epochs": histories["delay"].epochs_run,
+        }
     else:
-        raise DatasetError(f"unknown region kind {region_kind!r}")
-
-    tf = ANNTransferFunction(
-        slope_net=slope_net,
-        delay_net=delay_net,
-        x_scaler=x_scaler,
-        y_slope_scaler=y_slope_scaler,
-        y_delay_scaler=y_delay_scaler,
-        region=region,
-    )
-    # Native-unit training-set MAE for reporting.
+        tf = backend_cls.from_training_data(
+            features,
+            slopes,
+            delays,
+            region_kind=region_kind,
+            config=config,
+            seed=seed,
+        )
+        extra = {}
     pred_slope, pred_delay = tf.predict_batch(features)
     metrics = {
         "slope_mae": mae_loss(pred_slope.reshape(-1, 1), slopes),
         "delay_mae": mae_loss(pred_delay.reshape(-1, 1), delays),
-        "slope_epochs": slope_history.epochs_run,
-        "delay_epochs": delay_history.epochs_run,
+        **extra,
     }
     return tf, metrics
 
@@ -104,49 +333,14 @@ def train_gate_model(
     region_kind: str = "knn",
     config: TrainingConfig | None = None,
     seed: int = 0,
+    backend: str = "ann",
 ) -> tuple[GateModel, ChannelTrainingReport]:
-    """Train the four ANNs of one channel from its dataset."""
-    clean = dataset.drop_outliers()
-    rising, falling = clean.split_polarity()
-    if len(rising) < 10 or len(falling) < 10:
-        raise DatasetError(
-            f"channel {dataset.cell}/p{dataset.pin}/{dataset.fanout_class}: "
-            f"not enough samples (rising={len(rising)}, falling={len(falling)})"
-        )
-
-    tf_rise, rise_metrics = train_transfer_function(
-        rising.features(),
-        rising.targets()[:, 0],
-        rising.targets()[:, 1],
+    """Train one channel's transfer functions from its dataset."""
+    results = train_gate_models(
+        {(dataset.cell, dataset.pin, dataset.fanout_class): dataset},
+        backend=backend,
         region_kind=region_kind,
         config=config,
         seed=seed,
     )
-    tf_fall, fall_metrics = train_transfer_function(
-        falling.features(),
-        falling.targets()[:, 0],
-        falling.targets()[:, 1],
-        region_kind=region_kind,
-        config=config,
-        seed=seed + 100,
-    )
-    model = GateModel(
-        cell=dataset.cell,
-        pin=dataset.pin,
-        fanout_class=dataset.fanout_class,
-        tf_rise=tf_rise,
-        tf_fall=tf_fall,
-    )
-    report = ChannelTrainingReport(
-        cell=dataset.cell,
-        pin=dataset.pin,
-        fanout_class=dataset.fanout_class,
-        n_rising=len(rising),
-        n_falling=len(falling),
-        slope_mae_rising=rise_metrics["slope_mae"],
-        delay_mae_rising_ps=rise_metrics["delay_mae"] * 100.0,
-        slope_mae_falling=fall_metrics["slope_mae"],
-        delay_mae_falling_ps=fall_metrics["delay_mae"] * 100.0,
-        histories={"rising": rise_metrics, "falling": fall_metrics},
-    )
-    return model, report
+    return results[(dataset.cell, dataset.pin, dataset.fanout_class)]

@@ -1,13 +1,21 @@
 """Command-line entry points.
 
-``python -m repro.cli table1 [--circuits c17] [--runs 3] [--scale fast]``
+``python -m repro.cli table1 [--circuits c17] [--runs 3] [--scale fast]
+[--backend ann]``
     Run the Table I harness and print the rendered table.  Runs go
     through the batched lock-step pipeline by default; ``--serial``
-    selects the per-run reference path and ``--workers N`` dispatches
-    circuits across a process pool.
+    selects the per-run reference path, ``--workers N`` dispatches
+    circuits across a process pool, and ``--backend`` picks the
+    transfer-model backend (``ann`` — the paper's networks — or the
+    ``lut``/``spline``/``poly`` table alternatives of Sec. IV-A).
 
-``python -m repro.cli characterize [--scale fast]``
-    Build (or rebuild) the trained model artifacts.
+``python -m repro.cli ablate [--scale tiny] [--backends ann lut ...]``
+    Run the backend-ablation harness: one Table I per backend.
+
+``python -m repro.cli characterize [--scale fast] [--backend ann]
+[--force]``
+    Build (or, with ``--force``, rebuild) the trained model artifacts
+    and the scale-keyed digital delay library.
 
 ``python -m repro.cli info``
     Show circuit statistics for the shipped benchmarks.
@@ -16,12 +24,19 @@
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
-from repro.characterization.artifacts import artifacts_dir, default_bundle
-from repro.digital.characterize import characterize_delay_library
-from repro.digital.delay import DelayLibrary
+from repro.characterization.artifacts import (
+    artifacts_dir,
+    default_bundle,
+    default_delay_library,
+)
+from repro.core.backends import available_backends
+from repro.eval.ablation import (
+    AblationConfig,
+    format_ablation,
+    run_backend_ablation,
+)
 from repro.eval.stimuli import PAPER_CONFIGS
 from repro.eval.table1 import (
     CIRCUIT_BUILDERS,
@@ -31,20 +46,14 @@ from repro.eval.table1 import (
     run_table1,
 )
 
-
-def _load_delay_library() -> DelayLibrary:
-    path = artifacts_dir() / "delay_library.json"
-    if path.exists():
-        return DelayLibrary.from_dict(json.loads(path.read_text()))
-    library = characterize_delay_library()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(library.to_dict()))
-    return library
+SCALES = ("tiny", "fast", "standard", "paper")
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    bundle = default_bundle(scale=args.scale, verbose=True)
-    delay_library = _load_delay_library()
+    bundle = default_bundle(
+        scale=args.scale, backend=args.backend, verbose=True
+    )
+    delay_library = default_delay_library(scale=args.scale)
     config = Table1Config(
         circuits=tuple(args.circuits),
         n_runs=args.runs,
@@ -52,15 +61,40 @@ def cmd_table1(args: argparse.Namespace) -> int:
         include_same_stimulus_row=not args.no_same_stimulus,
         batched=not args.serial,
         n_workers=args.workers,
+        backend=args.backend,
     )
     result = run_table1(bundle, delay_library, config)
+    if args.backend != "ann":
+        print(f"[backend: {args.backend}]")
     print(format_table1(result))
     return 0
 
 
+def cmd_ablate(args: argparse.Namespace) -> int:
+    delay_library = default_delay_library(scale=args.scale)
+    config = AblationConfig(
+        backends=tuple(args.backends),
+        scale=args.scale,
+        table=Table1Config(
+            circuits=tuple(args.circuits),
+            n_runs=args.runs,
+            seed=args.seed,
+            include_same_stimulus_row=False,
+        ),
+    )
+    results = run_backend_ablation(delay_library, config, verbose=True)
+    print(format_ablation(results))
+    return 0
+
+
 def cmd_characterize(args: argparse.Namespace) -> int:
-    default_bundle(scale=args.scale, force=args.force, verbose=True)
-    _load_delay_library()
+    default_bundle(
+        scale=args.scale,
+        backend=args.backend,
+        force=args.force,
+        verbose=True,
+    )
+    default_delay_library(scale=args.scale, force=args.force)
     print(f"artifacts ready under {artifacts_dir()}")
     return 0
 
@@ -74,6 +108,7 @@ def cmd_info(args: argparse.Namespace) -> int:
             f"{len(core.primary_outputs)} POs, depth {core.depth()}"
         )
     print("stimulus configs:", ", ".join(c.label for c in PAPER_CONFIGS))
+    print("transfer-model backends:", ", ".join(available_backends()))
     return 0
 
 
@@ -89,6 +124,7 @@ def _positive_int(value: str) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+    backends = available_backends()
 
     p_table = sub.add_parser("table1", help="run the Table I harness")
     p_table.add_argument("--circuits", nargs="+",
@@ -96,8 +132,11 @@ def main(argv: list[str] | None = None) -> int:
                          choices=list(CIRCUIT_BUILDERS))
     p_table.add_argument("--runs", type=int, default=3)
     p_table.add_argument("--seed", type=int, default=0)
-    p_table.add_argument("--scale", default="fast",
-                         choices=("tiny", "fast", "standard", "paper"))
+    p_table.add_argument("--scale", default="fast", choices=SCALES)
+    p_table.add_argument(
+        "--backend", default="ann", choices=backends,
+        help="transfer-model backend for the sigmoid simulator",
+    )
     p_table.add_argument("--no-same-stimulus", action="store_true")
     p_table.add_argument(
         "--serial", action="store_true",
@@ -109,9 +148,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_table.set_defaults(func=cmd_table1)
 
+    p_ablate = sub.add_parser(
+        "ablate", help="run Table I once per transfer-model backend"
+    )
+    p_ablate.add_argument("--backends", nargs="+", default=list(backends),
+                          choices=backends)
+    p_ablate.add_argument("--circuits", nargs="+", default=["c17"],
+                          choices=list(CIRCUIT_BUILDERS))
+    p_ablate.add_argument("--runs", type=int, default=1)
+    p_ablate.add_argument("--seed", type=int, default=0)
+    p_ablate.add_argument("--scale", default="tiny", choices=SCALES)
+    p_ablate.set_defaults(func=cmd_ablate)
+
     p_char = sub.add_parser("characterize", help="build model artifacts")
-    p_char.add_argument("--scale", default="fast",
-                        choices=("tiny", "fast", "standard", "paper"))
+    p_char.add_argument("--scale", default="fast", choices=SCALES)
+    p_char.add_argument(
+        "--backend", default="ann", choices=backends,
+        help="transfer-model backend to train",
+    )
     p_char.add_argument("--force", action="store_true")
     p_char.set_defaults(func=cmd_characterize)
 

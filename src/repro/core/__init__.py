@@ -17,10 +17,16 @@ Submodules
     Sub-threshold output pulse removal.
 ``valid_region``
     Valid-region containment for ANN inputs (Sec. IV-B).
+``backends``
+    The pluggable transfer-model registry: one protocol for ANN, LUT,
+    spline and polynomial families, shared scaling/region plumbing and
+    versioned serialization dispatch.
 ``ann_transfer``
-    The four-MLP transfer-function implementation (Sec. IV).
+    The four-MLP transfer-function implementation (Sec. IV); the
+    ``"ann"`` (default) backend.
 ``table_transfer``
-    LUT / polynomial / RBF alternatives used for comparison.
+    LUT / polynomial / RBF alternatives used for comparison — the
+    ``"lut"`` / ``"poly"`` / ``"spline"`` backends.
 ``multi_input``
     NOR decision procedure reducing multi-input gates to channels.
 ``simulator``
@@ -35,11 +41,35 @@ from repro.core.lm import LMResult, levenberg_marquardt
 from repro.core.fitting import FitResult, fit_waveform
 from repro.core.tom import TransferFunction, predict_gate_output
 from repro.core.valid_region import ConvexHullRegion, KNNRegion, ValidRegion
+from repro.core.backends import (
+    ScaledTransferModel,
+    TransferBackend,
+    available_backends,
+    backend_from_dict,
+    backend_to_dict,
+    get_backend,
+    register_backend,
+)
 from repro.core.ann_transfer import ANNTransferFunction, GateModel
+from repro.core.table_transfer import (
+    LUTTransferFunction,
+    PolynomialTransferFunction,
+    RBFTransferFunction,
+)
 from repro.core.simulator import SigmoidCircuitSimulator
 from repro.core.models import GateModelBundle
 
 __all__ = [
+    "TransferBackend",
+    "ScaledTransferModel",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "backend_to_dict",
+    "backend_from_dict",
+    "LUTTransferFunction",
+    "PolynomialTransferFunction",
+    "RBFTransferFunction",
     "sigmoid_tau",
     "sigmoid_value",
     "sum_model_tau",

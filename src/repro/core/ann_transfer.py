@@ -7,22 +7,67 @@ the paper (Fig. 2).  Each network is the paper's architecture: two hidden
 layers of 10 neurons and one of 5, ReLU everywhere (built by
 :func:`repro.nn.mlp.paper_architecture`).
 
-Features are standardized; queries are first clamped to the valid region
-(Sec. IV-B) before scaling.
+The class registers as the ``"ann"`` backend (the default) and inherits
+the shared valid-region / feature-scaling plumbing from
+:class:`~repro.core.backends.ScaledTransferModel`; construction from raw
+characterization data trains both networks through the vectorized
+:func:`~repro.nn.ensemble.train_ensemble` (a two-member ensemble — the
+full-zoo path stacks every channel's networks into one ensemble, see
+:mod:`repro.characterization.train_gate`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.valid_region import region_from_dict
+from repro.core.backends import (
+    ScaledTransferModel,
+    backend_from_dict,
+    backend_to_dict,
+    build_region,
+    register_backend,
+)
 from repro.errors import ModelError
+from repro.nn.ensemble import MLPEnsemble, train_ensemble
 from repro.nn.io import mlp_from_dict, mlp_to_dict
-from repro.nn.mlp import MLP
+from repro.nn.mlp import MLP, PAPER_LAYER_SIZES
 from repro.nn.scaling import StandardScaler
 
 
-class ANNTransferFunction:
+def ann_init_seeds(base_seed: int) -> tuple[int, int]:
+    """The (slope, delay) weight-init seed convention of one polarity."""
+    return base_seed, base_seed + 1
+
+
+def prepare_channel_arrays(
+    features: np.ndarray, slopes: np.ndarray, delays: np.ndarray
+) -> dict:
+    """Fit one polarity's scalers and standardize features/targets.
+
+    The single source of the scaling convention shared by the
+    per-polarity :meth:`ANNTransferFunction.fit` path and the
+    whole-zoo job collector in
+    :mod:`repro.characterization.train_gate`.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    slopes = np.asarray(slopes, dtype=float).reshape(-1, 1)
+    delays = np.asarray(delays, dtype=float).reshape(-1, 1)
+    x_scaler = StandardScaler().fit(features)
+    y_slope_scaler = StandardScaler().fit(slopes)
+    y_delay_scaler = StandardScaler().fit(delays)
+    return {
+        "features": features,
+        "x_scaler": x_scaler,
+        "y_slope_scaler": y_slope_scaler,
+        "y_delay_scaler": y_delay_scaler,
+        "x": x_scaler.transform(features),
+        "y_slope": y_slope_scaler.transform(slopes),
+        "y_delay": y_delay_scaler.transform(delays),
+    }
+
+
+@register_backend("ann")
+class ANNTransferFunction(ScaledTransferModel):
     """One polarity's ``F_G``: slope net + delay net + scalers + region."""
 
     def __init__(
@@ -38,25 +83,16 @@ class ANNTransferFunction:
             raise ModelError("TOM transfer networks take 3 features")
         if slope_net.n_outputs != 1 or delay_net.n_outputs != 1:
             raise ModelError("TOM transfer networks emit 1 target each")
+        super().__init__(x_scaler, region)
         self.slope_net = slope_net
         self.delay_net = delay_net
-        self.x_scaler = x_scaler
         self.y_slope_scaler = y_slope_scaler
         self.y_delay_scaler = y_delay_scaler
-        self.region = region
 
     # ------------------------------------------------------------------
-    def predict_batch(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized prediction for (n, 3) feature rows ``(T, a_prev, a_in)``.
-
-        Returns ``(a_out, delta_b)`` arrays of length n.
-        """
-        features = np.atleast_2d(np.asarray(features, dtype=float))
-        if features.shape[1] != 3:
-            raise ModelError("features must be (n, 3): (T, a_out_prev, a_in)")
-        if self.region is not None:
-            features = self.region.project(features)
-        scaled = self.x_scaler.transform(features)
+    def _predict_scaled(
+        self, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         slope = self.y_slope_scaler.inverse_transform(
             self.slope_net.forward(scaled)
         )[:, 0]
@@ -65,32 +101,95 @@ class ANNTransferFunction:
         )[:, 0]
         return slope, delay
 
-    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
-        """Scalar convenience wrapper (the :class:`TransferFunction` protocol)."""
-        slope, delay = self.predict_batch(np.array([[T, a_out_prev, a_in]]))
-        return float(slope[0]), float(delay[0])
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_training_data(
+        cls,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        *,
+        region_kind: str = "knn",
+        config=None,
+        seed: int = 0,
+    ) -> "ANNTransferFunction":
+        """Train one polarity's slope+delay networks on raw (unscaled) data.
+
+        The two networks train as a two-member vectorized ensemble with
+        the exact splits/batch order of two serial
+        :func:`~repro.nn.training.train_mlp` calls.
+        """
+        model, _histories = cls.fit(
+            features,
+            slopes,
+            delays,
+            region_kind=region_kind,
+            config=config,
+            seed=seed,
+        )
+        return model
+
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        *,
+        region_kind: str = "knn",
+        config=None,
+        seed: int = 0,
+    ):
+        """Like :meth:`from_training_data` but also returns the histories."""
+        from repro.nn.training import TrainingConfig
+
+        if config is None:
+            config = TrainingConfig(seed=seed)
+        prep = prepare_channel_arrays(features, slopes, delays)
+        slope_seed, delay_seed = ann_init_seeds(seed)
+        ensemble = MLPEnsemble(
+            PAPER_LAYER_SIZES,
+            2,
+            rngs=[
+                np.random.default_rng(slope_seed),
+                np.random.default_rng(delay_seed),
+            ],
+        )
+        histories = train_ensemble(
+            ensemble,
+            [prep["x"], prep["x"]],
+            [prep["y_slope"], prep["y_delay"]],
+            [config, config],
+        )
+        model = cls(
+            slope_net=ensemble.member(0),
+            delay_net=ensemble.member(1),
+            x_scaler=prep["x_scaler"],
+            y_slope_scaler=prep["y_slope_scaler"],
+            y_delay_scaler=prep["y_delay_scaler"],
+            region=build_region(prep["features"], region_kind),
+        )
+        return model, {"slope": histories[0], "delay": histories[1]}
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def _payload_dict(self) -> dict:
         return {
             "slope_net": mlp_to_dict(self.slope_net),
             "delay_net": mlp_to_dict(self.delay_net),
-            "x_scaler": self.x_scaler.to_dict(),
             "y_slope_scaler": self.y_slope_scaler.to_dict(),
             "y_delay_scaler": self.y_delay_scaler.to_dict(),
-            "region": self.region.to_dict() if self.region is not None else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ANNTransferFunction":
-        region = data.get("region")
+        x_scaler, region = cls._common_from_dict(data)
         return cls(
             slope_net=mlp_from_dict(data["slope_net"]),
             delay_net=mlp_from_dict(data["delay_net"]),
-            x_scaler=StandardScaler.from_dict(data["x_scaler"]),
+            x_scaler=x_scaler,
             y_slope_scaler=StandardScaler.from_dict(data["y_slope_scaler"]),
             y_delay_scaler=StandardScaler.from_dict(data["y_delay_scaler"]),
-            region=region_from_dict(region) if region is not None else None,
+            region=region,
         )
 
 
@@ -99,6 +198,8 @@ class GateModel:
 
     Identified by cell type, input pin and fanout class (the paper uses
     distinct ANNs for NOR gates with fanout 1 and fanout >= 2, Sec. V-A).
+    The rise/fall transfer functions may come from any registered backend
+    (serialization dispatches through the backend registry).
     """
 
     def __init__(
@@ -121,13 +222,18 @@ class GateModel:
     def key(self) -> tuple[str, int, str]:
         return (self.cell, self.pin, self.fanout_class)
 
+    @property
+    def backend(self) -> str:
+        """Registry name of the rise transfer function's backend."""
+        return getattr(self.tf_rise, "backend_name", "unknown")
+
     def to_dict(self) -> dict:
         return {
             "cell": self.cell,
             "pin": self.pin,
             "fanout_class": self.fanout_class,
-            "tf_rise": self.tf_rise.to_dict(),
-            "tf_fall": self.tf_fall.to_dict(),
+            "tf_rise": backend_to_dict(self.tf_rise),
+            "tf_fall": backend_to_dict(self.tf_fall),
         }
 
     @classmethod
@@ -136,6 +242,6 @@ class GateModel:
             cell=data["cell"],
             pin=int(data["pin"]),
             fanout_class=data["fanout_class"],
-            tf_rise=ANNTransferFunction.from_dict(data["tf_rise"]),
-            tf_fall=ANNTransferFunction.from_dict(data["tf_fall"]),
+            tf_rise=backend_from_dict(data["tf_rise"]),
+            tf_fall=backend_from_dict(data["tf_fall"]),
         )

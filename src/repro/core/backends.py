@@ -1,0 +1,212 @@
+"""Pluggable transfer-model backends: registry, shared base, versioned IO.
+
+The paper's prototype realizes the TOM transfer functions with ANNs and
+mentions generating "interpolation polynomials, splines, and
+look-up-tables for comparison purposes" (Sec. IV-A).  This module turns
+those families into interchangeable **backends** behind one protocol:
+
+* :class:`TransferBackend` — the protocol every family implements:
+  construct from a characterization dataset
+  (``from_training_data``), vectorized ``predict_batch``, scalar
+  ``predict``, and versioned ``to_dict`` / ``from_dict``.
+* :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends` — the name registry (``ann``, ``lut``,
+  ``spline``, ``poly``) used by the characterization pipeline, the
+  artifact cache and the Table-I ablation runner.
+* :class:`ScaledTransferModel` — the shared base collapsing the
+  feature-scaling / valid-region / serialization plumbing previously
+  duplicated across ``ann_transfer.py`` and ``table_transfer.py``:
+  every backend sees standardized features, optionally clamped to the
+  valid region (Sec. IV-B) first.
+* :func:`backend_to_dict` / :func:`backend_from_dict` — tagged,
+  versioned serialization with registry dispatch.  Legacy (untagged)
+  dicts load as ANN models; unknown backends or schema versions raise
+  a clear :class:`~repro.errors.ModelError`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.valid_region import (
+    ConvexHullRegion,
+    KNNRegion,
+    region_from_dict,
+)
+from repro.errors import DatasetError, ModelError
+from repro.nn.scaling import StandardScaler
+
+#: Serialization schema for tagged transfer-model dicts.  Version 1 is
+#: the legacy untagged ANN layout (no ``backend`` key); version 2 added
+#: the ``backend`` tag and registry dispatch.
+SCHEMA_VERSION = 2
+
+_REGISTRY: dict[str, type] = {}
+
+
+@runtime_checkable
+class TransferBackend(Protocol):
+    """What every transfer-model family provides.
+
+    Implementations also expose a ``backend_name`` class attribute
+    (set by :func:`register_backend`) and a ``from_training_data``
+    classmethod constructing the model from raw characterization data.
+    """
+
+    def predict(
+        self, T: float, a_out_prev: float, a_in: float
+    ) -> tuple[float, float]:
+        """Scalar ``(a_out, delta_b)`` (the Algorithm-1 protocol)."""
+        ...
+
+    def predict_batch(
+        self, features: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized prediction for ``(n, 3)`` feature rows."""
+        ...
+
+    def to_dict(self) -> dict:
+        ...
+
+
+def register_backend(name: str):
+    """Class decorator adding a transfer-model family to the registry."""
+
+    def decorate(cls):
+        cls.backend_name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin_backends() -> None:
+    """Import the built-in backend modules so they self-register."""
+    import repro.core.ann_transfer  # noqa: F401
+    import repro.core.table_transfer  # noqa: F401
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    _ensure_builtin_backends()
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> type:
+    """Resolve a backend class by registry name."""
+    _ensure_builtin_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown transfer-model backend {name!r}; "
+            f"options: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def build_region(features: np.ndarray, kind: str):
+    """Construct a valid region over raw training features (Sec. IV-B)."""
+    if kind == "knn":
+        return KNNRegion(features)
+    if kind == "convex":
+        return ConvexHullRegion(features)
+    if kind == "none":
+        return None
+    raise DatasetError(f"unknown region kind {kind!r}")
+
+
+def backend_to_dict(model) -> dict:
+    """Serialize any registered backend with its tag and schema version."""
+    name = getattr(model, "backend_name", None)
+    if name is None:
+        raise ModelError(
+            f"{type(model).__name__} is not a registered transfer backend"
+        )
+    data = model.to_dict()
+    data["backend"] = name
+    data["schema_version"] = SCHEMA_VERSION
+    return data
+
+
+def backend_from_dict(data: dict):
+    """Rebuild a transfer model from a tagged (or legacy) dict.
+
+    Dicts without a ``backend`` key are the schema-version-1 layout
+    written by the pre-registry code, which was always ANN.
+    """
+    if "backend" not in data:
+        return get_backend("ann").from_dict(data)
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ModelError(
+            f"unsupported transfer-model schema version {version!r} "
+            f"(this build reads versions 1 (legacy untagged) and "
+            f"{SCHEMA_VERSION})"
+        )
+    cls = get_backend(data["backend"])
+    return cls.from_dict(data)
+
+
+class ScaledTransferModel:
+    """Shared plumbing: valid-region clamp, feature standardization, IO.
+
+    Every backend predicts from standardized features; queries are first
+    projected onto the valid region (fit on *raw* features, matching the
+    paper's Sec. IV-B containment) and then scaled.  Subclasses implement
+    :meth:`_predict_scaled` over the standardized queries and the
+    ``_payload_dict`` / ``_from_payload`` halves of serialization.
+    """
+
+    def __init__(self, x_scaler: StandardScaler, region=None) -> None:
+        self.x_scaler = x_scaler
+        self.region = region
+
+    # -- prediction ----------------------------------------------------
+    def _predict_scaled(
+        self, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict_batch(
+        self, features: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized prediction for (n, 3) feature rows ``(T, a_prev, a_in)``.
+
+        Returns ``(a_out, delta_b)`` arrays of length n.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != 3:
+            raise ModelError("features must be (n, 3): (T, a_out_prev, a_in)")
+        if self.region is not None:
+            features = self.region.project(features)
+        scaled = self.x_scaler.transform(features)
+        return self._predict_scaled(scaled)
+
+    def predict(
+        self, T: float, a_out_prev: float, a_in: float
+    ) -> tuple[float, float]:
+        """Scalar convenience wrapper (the :class:`TransferFunction` protocol)."""
+        slope, delay = self.predict_batch(np.array([[T, a_out_prev, a_in]]))
+        return float(slope[0]), float(delay[0])
+
+    # -- serialization -------------------------------------------------
+    def _payload_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        data = self._payload_dict()
+        data["x_scaler"] = self.x_scaler.to_dict()
+        data["region"] = (
+            self.region.to_dict() if self.region is not None else None
+        )
+        return data
+
+    @classmethod
+    def _common_from_dict(cls, data: dict) -> tuple[StandardScaler, object]:
+        region = data.get("region")
+        return (
+            StandardScaler.from_dict(data["x_scaler"]),
+            region_from_dict(region) if region is not None else None,
+        )

@@ -4,6 +4,16 @@ A :class:`GateModelBundle` holds every trained channel —
 ``(cell, pin, fanout_class) -> GateModel`` — plus provenance metadata, and
 round-trips through JSON so the expensive characterize+train pipeline runs
 once and is cached under ``artifacts/``.
+
+Format history:
+
+* version 1 — pre-registry bundles; transfer-function dicts are untagged
+  and always ANN.  Still readable (legacy dispatch in
+  :func:`~repro.core.backends.backend_from_dict`).
+* version 2 — transfer-function dicts carry ``backend`` /
+  ``schema_version`` tags and dispatch through the backend registry, and
+  the bundle metadata records its ``backend`` name, so LUT / spline /
+  polynomial ablation bundles cache side by side with the ANN default.
 """
 
 from __future__ import annotations
@@ -14,7 +24,10 @@ from pathlib import Path
 from repro.core.ann_transfer import GateModel
 from repro.errors import ModelError
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Bundle versions this build can read.
+READABLE_VERSIONS = (1, 2)
 
 
 class GateModelBundle:
@@ -32,6 +45,16 @@ class GateModelBundle:
 
     def __len__(self) -> int:
         return len(self._models)
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the bundle's transfer-model backend."""
+        name = self.metadata.get("backend")
+        if name:
+            return name
+        for model in self._models.values():
+            return model.backend
+        return "unknown"
 
     def get(self, cell: str, pin: int, fanout: int) -> GateModel:
         """Resolve the model for an instance with ``fanout`` consumers.
@@ -56,9 +79,11 @@ class GateModelBundle:
 
     @classmethod
     def from_dict(cls, data: dict) -> "GateModelBundle":
-        if data.get("format_version") != FORMAT_VERSION:
+        version = data.get("format_version")
+        if version not in READABLE_VERSIONS:
             raise ModelError(
-                f"unsupported bundle version {data.get('format_version')!r}"
+                f"unsupported bundle version {version!r}; this build reads "
+                f"{list(READABLE_VERSIONS)}"
             )
         bundle = cls(metadata=data.get("metadata", {}))
         for entry in data["models"]:

@@ -3,51 +3,129 @@
 The paper mentions generating "interpolation polynomials, splines, and
 look-up-tables for comparison purposes" from the same characterization
 data (Sec. IV-A).  These implementations plug into Algorithm 1 through the
-same :class:`~repro.core.tom.TransferFunction` protocol, enabling the
-ANN-vs-table ablation benches.
+same :class:`~repro.core.tom.TransferFunction` protocol and, since the
+backend-registry refactor, behave exactly like the ANN backend: they
+standardize features through the shared
+:class:`~repro.core.backends.ScaledTransferModel` base, optionally clamp
+queries to the valid region, predict in vectorized batches, and
+round-trip through the versioned backend serialization — which is what
+enables the per-backend Table-I ablation runs
+(``python -m repro.cli table1 --backend {ann,lut,spline,poly}``).
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.interpolate import LinearNDInterpolator, NearestNDInterpolator, RBFInterpolator
+from scipy.interpolate import (
+    LinearNDInterpolator,
+    NearestNDInterpolator,
+    RBFInterpolator,
+)
 
+from repro.core.backends import (
+    ScaledTransferModel,
+    build_region,
+    register_backend,
+)
 from repro.errors import ModelError
+from repro.nn.scaling import StandardScaler
 
 
-class LUTTransferFunction:
+def _check_training_arrays(
+    features: np.ndarray, slopes: np.ndarray, delays: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    slopes = np.asarray(slopes, dtype=float).ravel()
+    delays = np.asarray(delays, dtype=float).ravel()
+    if features.shape[0] != slopes.size or slopes.size != delays.size:
+        raise ModelError("feature/target row counts differ")
+    return features, slopes, delays
+
+
+@register_backend("lut")
+class LUTTransferFunction(ScaledTransferModel):
     """Scattered-data look-up table with linear interpolation.
 
-    Inside the convex hull of the training features, prediction is
-    barycentric-linear; outside, it falls back to nearest-neighbour
-    (mirroring how tabular delay models clamp at their corners).
+    Inside the convex hull of the (standardized) training features,
+    prediction is barycentric-linear; outside, it falls back to
+    nearest-neighbour (mirroring how tabular delay models clamp at their
+    corners).
     """
 
-    def __init__(self, features: np.ndarray, slopes: np.ndarray, delays: np.ndarray):
-        features = np.atleast_2d(np.asarray(features, dtype=float))
-        slopes = np.asarray(slopes, dtype=float).ravel()
-        delays = np.asarray(delays, dtype=float).ravel()
-        if features.shape[0] != slopes.size or slopes.size != delays.size:
-            raise ModelError("feature/target row counts differ")
+    def __init__(
+        self,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        region=None,
+    ) -> None:
+        features, slopes, delays = _check_training_arrays(
+            features, slopes, delays
+        )
         if features.shape[0] < features.shape[1] + 1:
             raise ModelError("need at least d+1 samples")
-        self._linear_slope = LinearNDInterpolator(features, slopes)
-        self._linear_delay = LinearNDInterpolator(features, delays)
-        self._nearest_slope = NearestNDInterpolator(features, slopes)
-        self._nearest_delay = NearestNDInterpolator(features, delays)
+        super().__init__(StandardScaler().fit(features), region)
+        self._features = features
+        self._slopes = slopes
+        self._delays = delays
+        scaled = self.x_scaler.transform(features)
+        self._linear_slope = LinearNDInterpolator(scaled, slopes)
+        self._linear_delay = LinearNDInterpolator(scaled, delays)
+        self._nearest_slope = NearestNDInterpolator(scaled, slopes)
+        self._nearest_delay = NearestNDInterpolator(scaled, delays)
 
-    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
-        query = np.array([[T, a_out_prev, a_in]])
-        slope = self._linear_slope(query)[0]
-        delay = self._linear_delay(query)[0]
-        if not np.isfinite(slope):
-            slope = self._nearest_slope(query)[0]
-        if not np.isfinite(delay):
-            delay = self._nearest_delay(query)[0]
-        return float(slope), float(delay)
+    @classmethod
+    def from_training_data(
+        cls,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        *,
+        region_kind: str = "knn",
+        config=None,
+        seed: int = 0,
+    ) -> "LUTTransferFunction":
+        del config, seed  # tables have no training loop
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return cls(
+            features, slopes, delays, region=build_region(features, region_kind)
+        )
+
+    def _predict_scaled(
+        self, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        slope = np.asarray(self._linear_slope(scaled), dtype=float)
+        delay = np.asarray(self._linear_delay(scaled), dtype=float)
+        bad = ~np.isfinite(slope)
+        if bad.any():
+            slope[bad] = self._nearest_slope(scaled[bad])
+        bad = ~np.isfinite(delay)
+        if bad.any():
+            delay[bad] = self._nearest_delay(scaled[bad])
+        return slope, delay
+
+    def _payload_dict(self) -> dict:
+        return {
+            "features": self._features.tolist(),
+            "slopes": self._slopes.tolist(),
+            "delays": self._delays.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LUTTransferFunction":
+        _x_scaler, region = cls._common_from_dict(data)
+        # The scaler and triangulation are deterministic functions of the
+        # stored samples; rebuilding reproduces them bit for bit.
+        return cls(
+            np.asarray(data["features"], dtype=float),
+            np.asarray(data["slopes"], dtype=float),
+            np.asarray(data["delays"], dtype=float),
+            region=region,
+        )
 
 
-class PolynomialTransferFunction:
+@register_backend("poly")
+class PolynomialTransferFunction(ScaledTransferModel):
     """Multivariate polynomial least-squares fit of a fixed total degree."""
 
     def __init__(
@@ -56,25 +134,43 @@ class PolynomialTransferFunction:
         slopes: np.ndarray,
         delays: np.ndarray,
         degree: int = 3,
+        region=None,
     ) -> None:
         if degree < 1:
             raise ModelError("degree must be >= 1")
-        features = np.atleast_2d(np.asarray(features, dtype=float))
+        features, slopes, delays = _check_training_arrays(
+            features, slopes, delays
+        )
         if features.shape[1] != 3:
             raise ModelError("expects 3 features")
+        super().__init__(StandardScaler().fit(features), region)
         self.degree = degree
-        self._mean = features.mean(axis=0)
-        std = features.std(axis=0)
-        std[std == 0] = 1.0
-        self._std = std
-        design = self._design((features - self._mean) / self._std)
+        design = self._design(self.x_scaler.transform(features))
         if design.shape[0] < design.shape[1]:
             raise ModelError("not enough samples for the polynomial degree")
-        self._coef_slope, *_ = np.linalg.lstsq(
-            design, np.asarray(slopes, dtype=float).ravel(), rcond=None
-        )
-        self._coef_delay, *_ = np.linalg.lstsq(
-            design, np.asarray(delays, dtype=float).ravel(), rcond=None
+        self._coef_slope, *_ = np.linalg.lstsq(design, slopes, rcond=None)
+        self._coef_delay, *_ = np.linalg.lstsq(design, delays, rcond=None)
+
+    @classmethod
+    def from_training_data(
+        cls,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        *,
+        region_kind: str = "knn",
+        config=None,
+        seed: int = 0,
+        degree: int = 3,
+    ) -> "PolynomialTransferFunction":
+        del config, seed
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return cls(
+            features,
+            slopes,
+            delays,
+            degree=degree,
+            region=build_region(features, region_kind),
         )
 
     def _design(self, x: np.ndarray) -> np.ndarray:
@@ -85,16 +181,32 @@ class PolynomialTransferFunction:
                     columns.append(x[:, 0] ** i * x[:, 1] ** j * x[:, 2] ** k)
         return np.column_stack(columns)
 
-    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
-        x = (np.array([[T, a_out_prev, a_in]]) - self._mean) / self._std
-        design = self._design(x)
-        return (
-            float((design @ self._coef_slope)[0]),
-            float((design @ self._coef_delay)[0]),
-        )
+    def _predict_scaled(
+        self, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        design = self._design(scaled)
+        return design @ self._coef_slope, design @ self._coef_delay
+
+    def _payload_dict(self) -> dict:
+        return {
+            "degree": self.degree,
+            "coef_slope": self._coef_slope.tolist(),
+            "coef_delay": self._coef_delay.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolynomialTransferFunction":
+        x_scaler, region = cls._common_from_dict(data)
+        model = cls.__new__(cls)
+        ScaledTransferModel.__init__(model, x_scaler, region)
+        model.degree = int(data["degree"])
+        model._coef_slope = np.asarray(data["coef_slope"], dtype=float)
+        model._coef_delay = np.asarray(data["coef_delay"], dtype=float)
+        return model
 
 
-class RBFTransferFunction:
+@register_backend("spline")
+class RBFTransferFunction(ScaledTransferModel):
     """Thin-plate-spline radial-basis interpolation (the "splines" entry)."""
 
     def __init__(
@@ -105,21 +217,23 @@ class RBFTransferFunction:
         max_points: int = 600,
         smoothing: float = 1e-8,
         seed: int = 0,
+        region=None,
     ) -> None:
-        features = np.atleast_2d(np.asarray(features, dtype=float))
-        slopes = np.asarray(slopes, dtype=float).ravel()
-        delays = np.asarray(delays, dtype=float).ravel()
-        if features.shape[0] != slopes.size:
-            raise ModelError("feature/target row counts differ")
+        features, slopes, delays = _check_training_arrays(
+            features, slopes, delays
+        )
         if features.shape[0] > max_points:
             rng = np.random.default_rng(seed)
             idx = rng.choice(features.shape[0], size=max_points, replace=False)
             features, slopes, delays = features[idx], slopes[idx], delays[idx]
-        self._mean = features.mean(axis=0)
-        std = features.std(axis=0)
-        std[std == 0] = 1.0
-        self._std = std
-        scaled = (features - self._mean) / self._std
+        super().__init__(StandardScaler().fit(features), region)
+        self.max_points = max_points
+        self.smoothing = smoothing
+        self.seed = seed
+        self._features = features
+        self._slopes = slopes
+        self._delays = delays
+        scaled = self.x_scaler.transform(features)
         self._rbf_slope = RBFInterpolator(
             scaled, slopes, kernel="thin_plate_spline", smoothing=smoothing
         )
@@ -127,6 +241,57 @@ class RBFTransferFunction:
             scaled, delays, kernel="thin_plate_spline", smoothing=smoothing
         )
 
-    def predict(self, T: float, a_out_prev: float, a_in: float) -> tuple[float, float]:
-        x = (np.array([[T, a_out_prev, a_in]]) - self._mean) / self._std
-        return float(self._rbf_slope(x)[0]), float(self._rbf_delay(x)[0])
+    @classmethod
+    def from_training_data(
+        cls,
+        features: np.ndarray,
+        slopes: np.ndarray,
+        delays: np.ndarray,
+        *,
+        region_kind: str = "knn",
+        config=None,
+        seed: int = 0,
+        max_points: int = 600,
+        smoothing: float = 1e-8,
+    ) -> "RBFTransferFunction":
+        del config
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return cls(
+            features,
+            slopes,
+            delays,
+            max_points=max_points,
+            smoothing=smoothing,
+            seed=seed,
+            region=build_region(features, region_kind),
+        )
+
+    def _predict_scaled(
+        self, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self._rbf_slope(scaled), self._rbf_delay(scaled)
+
+    def _payload_dict(self) -> dict:
+        return {
+            "features": self._features.tolist(),
+            "slopes": self._slopes.tolist(),
+            "delays": self._delays.tolist(),
+            "max_points": self.max_points,
+            "smoothing": self.smoothing,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RBFTransferFunction":
+        _x_scaler, region = cls._common_from_dict(data)
+        # The stored samples are already subsampled; the deterministic
+        # solve rebuilds the interpolants bit for bit.
+        return cls(
+            np.asarray(data["features"], dtype=float),
+            np.asarray(data["slopes"], dtype=float),
+            np.asarray(data["delays"], dtype=float),
+            max_points=int(data["max_points"]),
+            smoothing=float(data["smoothing"]),
+            seed=int(data["seed"]),
+            region=region,
+        )

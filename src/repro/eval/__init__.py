@@ -6,6 +6,7 @@
 * :mod:`~repro.eval.runner` — one experiment: circuit × stimuli ×
   {analog reference, digital simulator, sigmoid simulator},
 * :mod:`~repro.eval.table1` — the Table I harness,
+* :mod:`~repro.eval.ablation` — Table I once per transfer-model backend,
 * :mod:`~repro.eval.figures` — data series for Figs. 1, 4 and 5,
 * :mod:`~repro.eval.report` — plain-text table rendering.
 """
@@ -14,8 +15,16 @@ from repro.eval.stimuli import StimulusConfig, random_pi_sources
 from repro.eval.metrics import total_mismatch_time
 from repro.eval.runner import ExperimentResult, ExperimentRunner
 from repro.eval.table1 import Table1Config, Table1Row, format_table1, run_table1
+from repro.eval.ablation import (
+    AblationConfig,
+    format_ablation,
+    run_backend_ablation,
+)
 
 __all__ = [
+    "AblationConfig",
+    "run_backend_ablation",
+    "format_ablation",
     "StimulusConfig",
     "random_pi_sources",
     "total_mismatch_time",

@@ -1,0 +1,71 @@
+"""Backend-ablation runner: one Table I per transfer-model backend.
+
+The paper generated "interpolation polynomials, splines, and
+look-up-tables for comparison purposes" (Sec. IV-A); this module runs
+the full Table-I harness once per registered backend so the comparison
+covers the complete circuit-level metric, not just held-out MAE.  The
+trained bundles come from the per-backend artifact cache
+(:func:`~repro.characterization.artifacts.default_bundle`), so an
+ablation run trains at most the missing backends and reuses everything
+else.
+
+``python -m repro.cli ablate`` is the command-line entry;
+``benchmarks/test_bench_ablations.py`` records a CI-scale run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.characterization.artifacts import default_bundle
+from repro.digital.delay import DelayLibrary
+from repro.eval.table1 import Table1Config, Table1Result, format_table1, run_table1
+
+#: The paper's families: the ANN prototype plus its three table rivals.
+DEFAULT_ABLATION_BACKENDS: tuple[str, ...] = ("ann", "lut", "spline", "poly")
+
+
+@dataclass
+class AblationConfig:
+    """One backend-ablation sweep over the Table-I grid."""
+
+    backends: tuple[str, ...] = DEFAULT_ABLATION_BACKENDS
+    scale: str = "tiny"
+    table: Table1Config = field(
+        default_factory=lambda: Table1Config(
+            circuits=("c17",), n_runs=1, include_same_stimulus_row=False
+        )
+    )
+
+
+def run_backend_ablation(
+    delay_library: DelayLibrary,
+    config: AblationConfig | None = None,
+    verbose: bool = False,
+) -> dict[str, Table1Result]:
+    """Run the Table-I grid once per backend.
+
+    Returns ``{backend: Table1Result}`` in the configured backend order.
+    Bundles are resolved through the per-backend artifact cache and the
+    table harness runs identically for every backend — only the
+    transfer models differ.
+    """
+    if config is None:
+        config = AblationConfig()
+    results: dict[str, Table1Result] = {}
+    for backend in config.backends:
+        bundle = default_bundle(
+            scale=config.scale, backend=backend, verbose=verbose
+        )
+        table_config = replace(config.table, backend=backend)
+        results[backend] = run_table1(bundle, delay_library, table_config)
+    return results
+
+
+def format_ablation(results: dict[str, Table1Result]) -> str:
+    """Render one Table I per backend, labelled."""
+    blocks = []
+    for backend, result in results.items():
+        blocks.append(f"=== backend: {backend} ===")
+        blocks.append(format_table1(result))
+    return "\n".join(blocks)

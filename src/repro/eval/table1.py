@@ -34,6 +34,7 @@ from repro.circuits.netlist import Netlist
 from repro.circuits.nor_map import nor_map
 from repro.core.models import GateModelBundle
 from repro.digital.delay import DelayLibrary
+from repro.errors import ModelError
 from repro.eval.report import format_table
 from repro.eval.runner import ExperimentRunner
 from repro.eval.stimuli import PAPER_CONFIGS, StimulusConfig
@@ -61,7 +62,11 @@ class Table1Config:
     staged-engine memory per lock-step batch, and ``n_workers > 1``
     fans the circuits out over a process pool (mirroring
     ``SweepConfig.n_workers`` — worth it at paper scale, not at CI
-    scale where spawn overhead dominates).
+    scale where spawn overhead dominates).  ``backend`` names the
+    transfer-model backend the sigmoid simulator's bundle must have
+    been trained with (``ann``/``lut``/``spline``/``poly``) — the CLI
+    and the ablation runner resolve the bundle from it, and
+    :func:`run_table1` rejects a bundle trained with a different one.
     """
 
     circuits: tuple[str, ...] = ("c17", "c499_like", "c1355_like")
@@ -73,6 +78,7 @@ class Table1Config:
     batched: bool = True
     max_runs_per_batch: int = DEFAULT_MAX_RUNS_PER_BATCH
     n_workers: int = 1
+    backend: str = "ann"
 
 
 @dataclass
@@ -193,6 +199,12 @@ def run_table1(
     """
     if config is None:
         config = Table1Config()
+    bundle_backend = bundle.backend
+    if bundle_backend != "unknown" and bundle_backend != config.backend:
+        raise ModelError(
+            f"Table1Config.backend is {config.backend!r} but the bundle "
+            f"was trained with the {bundle_backend!r} backend"
+        )
     jobs = [
         (circuit, bundle, delay_library, config)
         for circuit in config.circuits

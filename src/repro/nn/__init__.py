@@ -7,21 +7,35 @@ deterministic.  The package provides:
 
 * :class:`~repro.nn.mlp.MLP` — the network container with forward and
   backward passes,
-* :mod:`~repro.nn.optim` — SGD and Adam optimizers,
-* :mod:`~repro.nn.training` — a minibatch fit loop with early stopping,
+* :class:`~repro.nn.ensemble.MLPEnsemble` — K stacked networks trained
+  in one vectorized loop (:func:`~repro.nn.ensemble.train_ensemble`),
+* :mod:`~repro.nn.optim` — SGD and Adam optimizers (the ensemble uses
+  the stacked :class:`~repro.nn.ensemble.EnsembleAdam`),
+* :mod:`~repro.nn.training` — the single-network fit loop, a ``K = 1``
+  wrapper over the ensemble kernels,
 * :class:`~repro.nn.scaling.StandardScaler` — feature/target scaling,
 * :mod:`~repro.nn.io` — JSON serialization of trained models.
 
-Backpropagation is verified against finite differences in the test suite.
+Backpropagation is verified against finite differences in the test
+suite, and ensemble training is verified bitwise against the looped
+single-network path.
 """
 
 from repro.nn.layers import Dense, Identity, ReLU, Tanh
 from repro.nn.losses import mae_loss, mse_loss, mse_loss_grad
 from repro.nn.mlp import MLP
+from repro.nn.ensemble import EnsembleAdam, MLPEnsemble, train_ensemble
 from repro.nn.optim import SGD, Adam
 from repro.nn.scaling import StandardScaler
 from repro.nn.training import TrainingHistory, TrainingConfig, train_mlp
-from repro.nn.io import mlp_from_dict, mlp_to_dict, load_mlp, save_mlp
+from repro.nn.io import (
+    ensemble_from_dict,
+    ensemble_to_dict,
+    load_mlp,
+    mlp_from_dict,
+    mlp_to_dict,
+    save_mlp,
+)
 
 __all__ = [
     "Dense",
@@ -29,6 +43,9 @@ __all__ = [
     "ReLU",
     "Tanh",
     "MLP",
+    "MLPEnsemble",
+    "EnsembleAdam",
+    "train_ensemble",
     "SGD",
     "Adam",
     "StandardScaler",
@@ -40,6 +57,8 @@ __all__ = [
     "mae_loss",
     "mlp_to_dict",
     "mlp_from_dict",
+    "ensemble_to_dict",
+    "ensemble_from_dict",
     "save_mlp",
     "load_mlp",
 ]

@@ -1,8 +1,11 @@
-"""Dataset utilities: splits and minibatch iteration."""
+"""Dataset utilities: reproducible train/validation splits.
+
+(Minibatch iteration lives in the training loop itself: see the epoch
+permutation handling in :func:`repro.nn.ensemble.train_ensemble`, which
+pads every lock-step batch to the shared batch size.)
+"""
 
 from __future__ import annotations
-
-from collections.abc import Iterator
 
 import numpy as np
 
@@ -17,6 +20,11 @@ def train_val_split(
 
     Returns ``(x_train, y_train, x_val, y_val)``.  With fewer than five
     samples the validation side may be empty; callers should handle that.
+
+    ``rng`` is required: splits must be reproducible, so callers derive
+    the generator from an explicit seed (the training stack threads
+    ``TrainingConfig.seed`` through here) instead of silently falling
+    back to an unseeded one.
     """
     x = np.atleast_2d(np.asarray(x, dtype=float))
     y = np.atleast_2d(np.asarray(y, dtype=float))
@@ -25,29 +33,14 @@ def train_val_split(
     if not 0.0 <= val_fraction < 1.0:
         raise ValueError("val_fraction must be in [0, 1)")
     if rng is None:
-        rng = np.random.default_rng()
+        raise ValueError(
+            "train_val_split requires an explicit rng; derive it from a "
+            "seed (e.g. np.random.default_rng(TrainingConfig.seed)) so "
+            "splits are reproducible"
+        )
     n = x.shape[0]
     order = rng.permutation(n)
     n_val = int(round(n * val_fraction))
     val_idx = order[:n_val]
     train_idx = order[n_val:]
     return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
-
-
-def minibatches(
-    x: np.ndarray,
-    y: np.ndarray,
-    batch_size: int,
-    rng: np.random.Generator,
-) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Yield shuffled minibatches covering the whole epoch.
-
-    The final batch may be smaller than ``batch_size``.
-    """
-    if batch_size <= 0:
-        raise ValueError("batch_size must be positive")
-    n = x.shape[0]
-    order = rng.permutation(n)
-    for start in range(0, n, batch_size):
-        idx = order[start : start + batch_size]
-        yield x[idx], y[idx]

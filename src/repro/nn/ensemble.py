@@ -1,0 +1,661 @@
+"""Vectorized training of many structurally-identical MLPs at once.
+
+The characterization pipeline trains a zoo of identical 3-10-10-5-1
+networks (gate class x pin x fanout class x polarity x {slope, delay}).
+Training them one :func:`~repro.nn.training.train_mlp` call at a time is
+overhead-bound: every minibatch step of every network pays dozens of
+numpy dispatches on tiny matrices.  :class:`MLPEnsemble` stacks the K
+networks' parameters as ``(K, fan_in, fan_out)`` arrays (views into one
+flat parameter vector) so one stacked matmul per layer covers the whole
+zoo, and :func:`train_ensemble` runs the full minibatch/early-stopping
+loop for all members in a single vectorized sweep with per-member
+stopping masks.
+
+Bitwise equivalence with the looped path is a design requirement, not an
+accident, and the kernels are chosen for it:
+
+* every minibatch runs through stacked ``np.matmul`` on identical
+  shapes in both paths: batches are zero-padded to the shared
+  ``batch_size`` (the looped path pads its last partial batch the same
+  way, and exact-zero gradient rows leave the sums untouched), and a
+  member's slice of a stacked matmul equals the same matmul run with
+  ``K = 1`` — asserted by the test suite on this platform;
+* the per-epoch train/validation losses are evaluated on exact-length
+  row slices, grouped by identical row counts — summation length
+  changes accumulation grouping, so ragged reductions are never
+  compared against padded ones;
+* the optimizer state lives in flat per-element buffers whose updates
+  are purely elementwise, which is shape-independent by construction;
+* :func:`~repro.nn.training.train_mlp` itself delegates here with
+  ``K = 1``, so "looped" and "vectorized" training share every kernel.
+
+``tests/test_ensemble_training.py`` asserts the equivalence exactly
+(``==`` on loss histories, ``np.array_equal`` on weights) and
+``benchmarks/test_bench_training_speed.py`` records the speedup ledger.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.data import train_val_split
+from repro.nn.initializers import get_initializer
+from repro.nn.mlp import MLP
+
+
+def _stacked_forward(
+    x: np.ndarray,
+    weights: Sequence[np.ndarray],
+    biases: Sequence[np.ndarray],
+    activation: str,
+    cache: list[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Forward pass over ``(K, batch, features)`` with optional caching.
+
+    ``cache`` (when given) receives, per dense layer, the layer input and
+    — for hidden layers — the activation state needed by backward.
+    """
+    h = x
+    last = len(weights) - 1
+    for i, (weight, bias) in enumerate(zip(weights, biases)):
+        if cache is not None:
+            cache.append(h)
+        h = np.matmul(h, weight)
+        h += bias[:, None, :]
+        if i != last:
+            if activation == "relu":
+                if cache is not None:
+                    cache.append(h > 0.0)
+                h = np.maximum(h, 0.0)
+            elif activation == "tanh":
+                h = np.tanh(h)
+                if cache is not None:
+                    cache.append(h)
+            else:  # pragma: no cover - guarded in MLPEnsemble.__init__
+                raise ValueError(f"unsupported activation {activation!r}")
+    return h
+
+
+class MLPEnsemble:
+    """K identical-architecture MLPs with stacked parameters.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Feature counts including input and output, shared by all members.
+    n_members:
+        Ensemble size K.
+    activation:
+        Hidden activation (``relu``/``tanh``); output is linear.
+    rngs:
+        One seeded generator per member.  Each member's parameters are
+        drawn in exactly the order :class:`~repro.nn.mlp.MLP` draws them,
+        so ``member(k)`` is bitwise-identical to ``MLP(layer_sizes,
+        rng=rngs[k])``.
+
+    Parameters and gradients are stored as views into flat vectors
+    (``flat_params`` / ``flat_grads``) so optimizers can update the whole
+    zoo with a handful of elementwise operations; ``flat_member_map``
+    maps every flat slot to its owning member.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        n_members: int,
+        activation: str = "relu",
+        rngs: Sequence[np.random.Generator] | None = None,
+        init: str = "he_normal",
+    ) -> None:
+        sizes = list(layer_sizes)
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s <= 0 for s in sizes):
+            raise ValueError("layer sizes must be positive")
+        if n_members < 1:
+            raise ValueError("need at least one member")
+        if activation not in ("relu", "tanh"):
+            raise ValueError("ensemble supports relu/tanh hidden activations")
+        if rngs is None:
+            rngs = [np.random.default_rng() for _ in range(n_members)]
+        if len(rngs) != n_members:
+            raise ValueError("need exactly one rng per member")
+        self.layer_sizes = sizes
+        self.activation_name = activation
+        self.n_members = n_members
+        self._init_storage()
+        initializer = get_initializer(init)
+        # Per member, draw layer by layer — the exact MLP.__init__ order —
+        # so slices reproduce individually-built networks.
+        for k, rng in enumerate(rngs):
+            for layer, (fan_in, fan_out) in enumerate(
+                zip(sizes[:-1], sizes[1:])
+            ):
+                self.weights[layer][k] = initializer(rng, fan_in, fan_out)
+
+    def _init_storage(self) -> None:
+        sizes = self.layer_sizes
+        K = self.n_members
+        shapes = [(K, fi, fo) for fi, fo in zip(sizes[:-1], sizes[1:])]
+        shapes += [(K, fo) for fo in sizes[1:]]
+        total = sum(int(np.prod(shape)) for shape in shapes)
+        self.flat_params = np.zeros(total)
+        self.flat_grads = np.zeros(total)
+        member_map = np.empty(total, dtype=np.intp)
+        views_p: list[np.ndarray] = []
+        views_g: list[np.ndarray] = []
+        offset = 0
+        for shape in shapes:
+            size = int(np.prod(shape))
+            views_p.append(self.flat_params[offset : offset + size].reshape(shape))
+            views_g.append(self.flat_grads[offset : offset + size].reshape(shape))
+            member_map[offset : offset + size] = np.repeat(
+                np.arange(K), size // K
+            )
+            offset += size
+        n_layers = len(sizes) - 1
+        self.weights = views_p[:n_layers]
+        self.biases = views_p[n_layers:]
+        self.grad_weights = views_g[:n_layers]
+        self.grad_biases = views_g[n_layers:]
+        self.flat_member_map = member_map
+        self._cache: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.layer_sizes[-1]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    def n_parameters(self) -> int:
+        """Total trainable scalar count across all members."""
+        return self.flat_params.size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mlps(cls, models: Sequence[MLP]) -> "MLPEnsemble":
+        """Stack existing MLPs (identical architectures) into an ensemble."""
+        if not models:
+            raise ValueError("need at least one model")
+        first = models[0]
+        for model in models[1:]:
+            if model.layer_sizes != first.layer_sizes:
+                raise ValueError("ensemble members must share an architecture")
+            if model.activation_name != first.activation_name:
+                raise ValueError("ensemble members must share an activation")
+        ensemble = cls.__new__(cls)
+        ensemble.layer_sizes = list(first.layer_sizes)
+        ensemble.activation_name = first.activation_name
+        ensemble.n_members = len(models)
+        ensemble._init_storage()
+        for k, model in enumerate(models):
+            for layer, dense in enumerate(model.dense_layers()):
+                ensemble.weights[layer][k] = dense.weight
+                ensemble.biases[layer][k] = dense.bias
+        return ensemble
+
+    def member(self, k: int) -> MLP:
+        """Export member ``k`` as a standalone MLP (copied parameters)."""
+        model = MLP(
+            self.layer_sizes,
+            activation=self.activation_name,
+            rng=np.random.default_rng(0),
+        )
+        self.write_member(k, model)
+        return model
+
+    def write_member(self, k: int, model: MLP) -> None:
+        """Copy member ``k``'s parameters into an existing MLP in place."""
+        if model.layer_sizes != self.layer_sizes:
+            raise ValueError("architectures differ")
+        for layer, weight, bias in zip(
+            model.dense_layers(), self.weights, self.biases
+        ):
+            layer.weight[...] = weight[k]
+            layer.bias[...] = bias[k]
+
+    def member_params(self, k: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Member ``k``'s ``(weight, bias)`` pairs (copies), forward order."""
+        return [
+            (w[k].copy(), b[k].copy())
+            for w, b in zip(self.weights, self.biases)
+        ]
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run all members on ``(K, batch, n_inputs)``; caches for backward."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[0] != self.n_members:
+            raise ValueError(
+                f"expected (K={self.n_members}, batch, {self.n_inputs}) input"
+            )
+        if x.shape[2] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input features, got {x.shape[2]}"
+            )
+        return self._forward_train(x)
+
+    def _forward_train(self, x: np.ndarray) -> np.ndarray:
+        """Validation-free forward with caching (training hot path)."""
+        self._cache = []
+        return _stacked_forward(
+            x, self.weights, self.biases, self.activation_name, self._cache
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass without caching intermediates."""
+        x = np.asarray(x, dtype=float)
+        return _stacked_forward(
+            x, self.weights, self.biases, self.activation_name, None
+        )
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Backpropagate ``(K, batch, n_outputs)`` loss gradients.
+
+        Overwrites ``grad_weights`` / ``grad_biases`` (views into
+        ``flat_grads``).  Gradients w.r.t. the network inputs are not
+        materialized — training does not consume them.
+        """
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad_out, dtype=float)
+        cache = self._cache
+        pos = len(cache)
+        for layer in range(self.n_layers - 1, -1, -1):
+            if layer != self.n_layers - 1:
+                # Undo the hidden activation that followed this dense layer.
+                pos -= 1
+                if self.activation_name == "relu":
+                    grad = np.multiply(grad, cache[pos], out=grad)
+                else:  # tanh: cache holds the activation output
+                    grad = grad * (1.0 - cache[pos] ** 2)
+            pos -= 1
+            x_in = cache[pos]
+            np.matmul(
+                np.swapaxes(x_in, 1, 2), grad, out=self.grad_weights[layer]
+            )
+            np.einsum("kbo->ko", grad, out=self.grad_biases[layer])
+            if layer != 0:
+                weight = self.weights[layer]
+                if weight.shape[2] == 1:
+                    # Contraction over a single element is a plain product
+                    # (bitwise-identical to the k=1 GEMM); the broadcast
+                    # multiply skips the per-slice GEMM loop.
+                    grad = grad * weight[:, None, :, 0]
+                else:
+                    grad = np.matmul(grad, np.swapaxes(weight, 1, 2))
+
+    def zero_grad(self) -> None:
+        self.flat_grads[...] = 0.0
+
+
+class EnsembleAdam:
+    """Adam generalized to stacked parameters with per-member step masks.
+
+    The update arithmetic mirrors :class:`~repro.nn.optim.Adam` operation
+    by operation, applied to the ensemble's flat parameter vector;
+    masked members keep their parameters, moments and step counters
+    untouched, exactly as if their loop had already exited.
+    """
+
+    def __init__(
+        self,
+        ensemble: MLPEnsemble,
+        lr: float | np.ndarray = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        lr = np.broadcast_to(
+            np.asarray(lr, dtype=float), (ensemble.n_members,)
+        ).copy()
+        if np.any(lr <= 0):
+            raise ValueError("learning rate must be positive")
+        self.ensemble = ensemble
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._lr_flat = lr[ensemble.flat_member_map]
+        self._t = np.zeros(ensemble.n_members, dtype=np.int64)
+        self._m = np.zeros_like(ensemble.flat_params)
+        self._v = np.zeros_like(ensemble.flat_params)
+
+    def step(self, step_mask: np.ndarray | None = None) -> None:
+        """Apply one Adam step to every member selected by ``step_mask``."""
+        ensemble = self.ensemble
+        if step_mask is None:
+            step_mask = np.ones(ensemble.n_members, dtype=bool)
+        step_mask = np.asarray(step_mask, dtype=bool)
+        if not step_mask.any():
+            return
+        all_step = bool(step_mask.all())
+        self._t = np.where(step_mask, self._t + 1, self._t)
+        t = self._t.astype(float)
+        # Members that have never stepped keep a harmless divisor of 1.
+        correction1 = np.where(self._t > 0, 1.0 - self.beta1**t, 1.0)
+        correction2 = np.where(self._t > 0, 1.0 - self.beta2**t, 1.0)
+        member_map = ensemble.flat_member_map
+        grad = ensemble.flat_grads
+        if all_step:
+            # The moment buffers are updated in place; `a*m + c*g` is
+            # evaluated in the same operation order either way.
+            m_new = self._m
+            m_new *= self.beta1
+            m_new += (1.0 - self.beta1) * grad
+            v_new = self._v
+            v_new *= self.beta2
+            v_new += (1.0 - self.beta2) * grad**2
+        else:
+            m_new = self.beta1 * self._m + (1.0 - self.beta1) * grad
+            v_new = self.beta2 * self._v + (1.0 - self.beta2) * grad**2
+        m_hat = m_new / correction1[member_map]
+        v_hat = v_new / correction2[member_map]
+        update = self._lr_flat * m_hat / (np.sqrt(v_hat) + self.eps)
+        if all_step:
+            ensemble.flat_params -= update
+        else:
+            mask = step_mask[member_map]
+            params = ensemble.flat_params
+            params[...] = np.where(mask, params - update, params)
+            self._m = np.where(mask, m_new, self._m)
+            self._v = np.where(mask, v_new, self._v)
+
+    def zero_grad(self) -> None:
+        self.ensemble.zero_grad()
+
+
+def _round_up(n: int, multiple: int) -> int:
+    return -(-n // multiple) * multiple
+
+
+def _length_groups(
+    lengths: np.ndarray, multiple: int
+) -> list[tuple[int, np.ndarray]]:
+    """Group member indices by padded row count (zero rows dropped).
+
+    Row counts are rounded up to a multiple of the batch size; the pad
+    target depends only on the member's own data, so a ``K = 1`` run
+    computes the same padded shape as the member's slot in a zoo run.
+    """
+    by_length: dict[int, list[int]] = {}
+    for k, n in enumerate(lengths):
+        if n > 0:
+            by_length.setdefault(_round_up(int(n), multiple), []).append(k)
+    return [
+        (n, np.asarray(idx, dtype=np.intp))
+        for n, idx in sorted(by_length.items())
+    ]
+
+
+def member_mse_losses(
+    ensemble: MLPEnsemble,
+    x: np.ndarray,
+    y: np.ndarray,
+    lengths: np.ndarray,
+    counts: np.ndarray,
+    groups: list[tuple[int, np.ndarray]],
+) -> np.ndarray:
+    """Per-member full-set MSE with canonically-padded stacked forwards.
+
+    Members sharing a *padded* row count (their exact count rounded up
+    to the batch size) run through one stacked forward; a slice of a
+    stacked matmul equals its ``K = 1`` twin, and both paths forward the
+    identical padded shape, so the padded garbage rows affect neither.
+    Each member's loss reduction then runs over exactly its own rows —
+    never over padding, since summation length changes accumulation
+    grouping.  The result is bitwise-identical to evaluating every
+    member alone through this same function.
+    """
+    out = np.zeros(ensemble.n_members)
+    for padded_n, idx in groups:
+        pred = _stacked_forward(
+            x[idx, :padded_n],
+            [w[idx] for w in ensemble.weights],
+            [b[idx] for b in ensemble.biases],
+            ensemble.activation_name,
+        )
+        diff = pred - y[idx, :padded_n]
+        np.multiply(diff, diff, out=diff)
+        for j, k in enumerate(idx):
+            out[k] = np.einsum("bo->", diff[j, : lengths[k]]) / counts[k]
+    return out
+
+
+def masked_mse_grad(
+    pred: np.ndarray,
+    target: np.ndarray,
+    mask: np.ndarray | None,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Per-member MSE gradient w.r.t. ``pred`` (padded rows: exact 0).
+
+    ``mask=None`` marks a batch with no padded rows — the common case —
+    and skips the select.
+    """
+    grad = 2.0 * (pred - target) / counts[:, None, None]
+    if mask is None:
+        return grad
+    return np.where(mask, grad, 0.0)
+
+
+def _pad_stack(
+    arrays: list[np.ndarray], width: int, multiple: int = 1
+) -> np.ndarray:
+    """Stack ragged ``(n_k, width)`` arrays into ``(K, max_n, width)``.
+
+    ``max_n`` is rounded up to ``multiple`` so the canonically-padded
+    evaluation slices (see :func:`member_mse_losses`) stay in bounds.
+    """
+    max_n = max((a.shape[0] for a in arrays), default=0)
+    max_n = _round_up(max(max_n, 1), multiple)
+    out = np.zeros((len(arrays), max_n, width))
+    for k, array in enumerate(arrays):
+        out[k, : array.shape[0]] = array
+    return out
+
+
+def _row_mask(lengths: np.ndarray, max_n: int) -> np.ndarray:
+    """(K, max_n, 1) boolean mask selecting each member's real rows."""
+    return (np.arange(max_n)[None, :] < lengths[:, None])[:, :, None]
+
+
+def train_ensemble(
+    ensemble: MLPEnsemble,
+    xs: Sequence[np.ndarray],
+    ys: Sequence[np.ndarray],
+    configs,
+) -> list:
+    """Train every ensemble member on its own dataset in one loop.
+
+    Parameters
+    ----------
+    ensemble:
+        The stacked networks; trained in place and restored, per member,
+        to the parameters of that member's best validation epoch.
+    xs / ys:
+        Per-member feature/target matrices (already scaled).  Members may
+        have different row counts; features and targets must match the
+        ensemble's input/output widths.
+    configs:
+        One :class:`~repro.nn.training.TrainingConfig` per member (or a
+        single config shared by all).  Seeds, epochs, patience, learning
+        rates and validation fractions may differ per member; the batch
+        size must be shared — it defines the lock-step minibatch grid.
+
+    Returns one :class:`~repro.nn.training.TrainingHistory` per member,
+    bitwise-identical to running :func:`~repro.nn.training.train_mlp`
+    member by member.
+    """
+    from repro.nn.training import TrainingConfig, TrainingHistory
+
+    K = ensemble.n_members
+    if isinstance(configs, TrainingConfig):
+        configs = [configs] * K
+    configs = list(configs)
+    if len(xs) != K or len(ys) != K or len(configs) != K:
+        raise ValueError("need exactly one dataset and config per member")
+    batch_size = configs[0].batch_size
+    if any(c.batch_size != batch_size for c in configs):
+        raise ValueError("all members must share one batch size")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+
+    xs = [np.atleast_2d(np.asarray(x, dtype=float)) for x in xs]
+    ys = [np.atleast_2d(np.asarray(y, dtype=float)) for y in ys]
+    for x, y in zip(xs, ys):
+        if x.shape[0] == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y row counts differ")
+        if x.shape[1] != ensemble.n_inputs:
+            raise ValueError(
+                f"expected {ensemble.n_inputs} input features, got {x.shape[1]}"
+            )
+        if y.shape[1] != ensemble.n_outputs:
+            raise ValueError(
+                f"expected {ensemble.n_outputs} targets, got {y.shape[1]}"
+            )
+
+    # Per-member split, exactly as train_mlp performs it: one generator
+    # seeded from the member's config drives both the split and the
+    # minibatch shuffles.
+    rngs = [np.random.default_rng(c.seed) for c in configs]
+    x_train_list, y_train_list, x_val_list, y_val_list = [], [], [], []
+    for x, y, config, rng in zip(xs, ys, configs, rngs):
+        x_tr, y_tr, x_va, y_va = train_val_split(
+            x, y, val_fraction=config.val_fraction, rng=rng
+        )
+        if x_tr.shape[0] == 0:
+            # Degenerate split (tiny dataset): train on everything.
+            x_tr, y_tr = x, y
+            x_va = np.empty((0, x.shape[1]))
+            y_va = np.empty((0, y.shape[1]))
+        x_train_list.append(x_tr)
+        y_train_list.append(y_tr)
+        x_val_list.append(x_va)
+        y_val_list.append(y_va)
+
+    n_train = np.array([x.shape[0] for x in x_train_list], dtype=np.int64)
+    n_val = np.array([x.shape[0] for x in x_val_list], dtype=np.int64)
+    has_val = n_val > 0
+    n_out = ensemble.n_outputs
+
+    x_train = _pad_stack(x_train_list, ensemble.n_inputs, batch_size)
+    y_train = _pad_stack(y_train_list, n_out, batch_size)
+    x_val = _pad_stack(x_val_list, ensemble.n_inputs, batch_size)
+    y_val = _pad_stack(y_val_list, n_out, batch_size)
+    train_counts = (n_train * n_out).astype(float)
+    # Members without a validation split never read their val loss; a
+    # dummy divisor of 1 keeps the evaluation finite.
+    val_counts = np.where(has_val, n_val * n_out, 1).astype(float)
+
+    optimizer = EnsembleAdam(
+        ensemble, lr=np.array([c.learning_rate for c in configs])
+    )
+    epochs = np.array([c.epochs for c in configs], dtype=np.int64)
+    patience = np.array([c.patience for c in configs], dtype=np.int64)
+    min_delta = np.array([c.min_delta for c in configs], dtype=float)
+
+    histories = [TrainingHistory() for _ in range(K)]
+    best_flat = ensemble.flat_params.copy()
+    best_val = np.full(K, np.inf)
+    best_epoch = np.full(K, -1, dtype=np.int64)
+    since_best = np.zeros(K, dtype=np.int64)
+    stopped = np.zeros(K, dtype=bool)
+
+    k_col = np.arange(K)[:, None]
+    steps_per_epoch = -(-n_train // batch_size)  # ceil
+    train_groups = _length_groups(n_train, batch_size)
+    val_groups = _length_groups(n_val, batch_size)
+
+    for epoch in range(int(epochs.max(initial=0))):
+        active = ~stopped & (epoch < epochs)
+        if not active.any():
+            break
+        # Each active member draws its own epoch permutation from its own
+        # generator — the same draw its looped twin would make.  The
+        # permutations land in one zero-padded index matrix so every
+        # lock-step batch is a plain column slice.
+        n_steps = int(steps_per_epoch[active].max())
+        perm_pad = np.zeros((K, n_steps * batch_size), dtype=np.int64)
+        for k in np.nonzero(active)[0]:
+            perm_pad[k, : n_train[k]] = rngs[k].permutation(int(n_train[k]))
+        # One gather covers the whole epoch; each lock-step batch is a
+        # view.  Per-step masks/counts are precomputed in one sweep.
+        xb_all = x_train[k_col, perm_pad]
+        yb_all = y_train[k_col, perm_pad]
+        starts = np.arange(n_steps) * batch_size
+        step_masks = active[None, :] & (starts[:, None] < n_train[None, :])
+        rows_all = np.where(
+            step_masks,
+            np.clip(n_train[None, :] - starts[:, None], 0, batch_size),
+            0,
+        )
+        counts_all = np.where(step_masks, rows_all * n_out, 1).astype(float)
+        for step in range(n_steps):
+            start = starts[step]
+            stepping = step_masks[step]
+            rows = rows_all[step]
+            # Padded batch rows must carry exact-zero gradients; members
+            # not stepping at all are masked out inside the optimizer, so
+            # the row mask is only needed when a stepping member has a
+            # partial batch.
+            if (rows[stepping] == batch_size).all():
+                batch_mask = None
+            else:
+                batch_mask = _row_mask(rows, batch_size)
+            pred = ensemble._forward_train(
+                xb_all[:, start : start + batch_size]
+            )
+            grad = masked_mse_grad(
+                pred,
+                yb_all[:, start : start + batch_size],
+                batch_mask,
+                counts_all[step],
+            )
+            ensemble.backward(grad)
+            optimizer.step(stepping)
+
+        train_loss = member_mse_losses(
+            ensemble, x_train, y_train, n_train, train_counts, train_groups
+        )
+        val_loss = np.where(
+            has_val,
+            member_mse_losses(
+                ensemble, x_val, y_val, n_val, val_counts, val_groups
+            ),
+            train_loss,
+        )
+        for k in np.nonzero(active)[0]:
+            histories[k].train_loss.append(float(train_loss[k]))
+            histories[k].val_loss.append(float(val_loss[k]))
+
+        improved = active & (val_loss < best_val - min_delta)
+        if improved.any():
+            best_val = np.where(improved, val_loss, best_val)
+            best_epoch = np.where(improved, epoch, best_epoch)
+            sel = improved[ensemble.flat_member_map]
+            best_flat = np.where(sel, ensemble.flat_params, best_flat)
+        since_best = np.where(
+            improved, 0, np.where(active, since_best + 1, since_best)
+        )
+        newly_stopped = active & ~improved & (since_best >= patience)
+        for k in np.nonzero(newly_stopped)[0]:
+            histories[k].stopped_early = True
+        stopped |= newly_stopped
+
+    ensemble.flat_params[...] = best_flat
+    for k in range(K):
+        histories[k].best_val_loss = float(best_val[k])
+        histories[k].best_epoch = int(best_epoch[k])
+    return histories

@@ -1,4 +1,10 @@
-"""JSON serialization of trained MLPs (architecture + weights)."""
+"""JSON serialization of trained MLPs and ensembles.
+
+Single networks round-trip through :func:`mlp_to_dict` /
+:func:`mlp_from_dict`; stacked ensembles through
+:func:`ensemble_to_dict` / :func:`ensemble_from_dict`.  Both formats
+store plain nested lists so the artifacts stay diffable JSON.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.nn.ensemble import MLPEnsemble
 from repro.nn.mlp import MLP
 
 
@@ -38,6 +45,47 @@ def mlp_from_dict(data: dict) -> MLP:
         layer.weight[...] = weight
         layer.bias[...] = bias
     return model
+
+
+def ensemble_to_dict(ensemble: MLPEnsemble) -> dict:
+    """Serialize a stacked ensemble (architecture + all members)."""
+    return {
+        "layer_sizes": list(ensemble.layer_sizes),
+        "activation": ensemble.activation_name,
+        "n_members": ensemble.n_members,
+        "weights": [w.tolist() for w in ensemble.weights],
+        "biases": [b.tolist() for b in ensemble.biases],
+    }
+
+
+def ensemble_from_dict(data: dict) -> MLPEnsemble:
+    """Rebuild an ensemble from :func:`ensemble_to_dict` output."""
+    ensemble = MLPEnsemble(
+        data["layer_sizes"],
+        int(data["n_members"]),
+        activation=data.get("activation", "relu"),
+        rngs=[
+            np.random.default_rng(0) for _ in range(int(data["n_members"]))
+        ],
+    )
+    if (
+        len(data["weights"]) != ensemble.n_layers
+        or len(data["biases"]) != ensemble.n_layers
+    ):
+        raise ValueError("parameter count does not match architecture")
+    for layer, weight, bias in zip(
+        range(ensemble.n_layers), data["weights"], data["biases"]
+    ):
+        weight = np.asarray(weight, dtype=float)
+        bias = np.asarray(bias, dtype=float)
+        if (
+            weight.shape != ensemble.weights[layer].shape
+            or bias.shape != ensemble.biases[layer].shape
+        ):
+            raise ValueError("parameter shapes do not match architecture")
+        ensemble.weights[layer][...] = weight
+        ensemble.biases[layer][...] = bias
+    return ensemble
 
 
 def save_mlp(model: MLP, path: str | Path) -> None:

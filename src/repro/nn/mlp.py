@@ -103,6 +103,10 @@ class MLP:
             mine.bias[...] = theirs.bias
 
 
+#: The paper's transfer-network architecture (Fig. 2): 3-10-10-5-1.
+PAPER_LAYER_SIZES: list[int] = [3, 10, 10, 5, 1]
+
+
 def paper_architecture(
     n_inputs: int = 3, rng: np.random.Generator | None = None
 ) -> MLP:
@@ -111,4 +115,6 @@ def paper_architecture(
     Each transfer-function ANN maps the three TOM features
     ``(T, a_out_prev, a_in)`` to a single output (slope or delay).
     """
-    return MLP([n_inputs, 10, 10, 5, 1], activation="relu", rng=rng)
+    return MLP(
+        [n_inputs] + PAPER_LAYER_SIZES[1:], activation="relu", rng=rng
+    )

@@ -1,4 +1,11 @@
-"""Training loop with minibatching, validation tracking and early stopping."""
+"""Training loop with minibatching, validation tracking and early stopping.
+
+:func:`train_mlp` trains a single network; since the ensemble-trainer
+refactor it is a thin wrapper around
+:func:`~repro.nn.ensemble.train_ensemble` with ``K = 1``, so the looped
+and vectorized training paths share every numerical kernel and are
+bitwise-comparable (see :mod:`repro.nn.ensemble`).
+"""
 
 from __future__ import annotations
 
@@ -6,18 +13,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nn.data import minibatches, train_val_split
-from repro.nn.losses import mse_loss, mse_loss_grad
+from repro.nn.ensemble import MLPEnsemble, train_ensemble
 from repro.nn.mlp import MLP
-from repro.nn.optim import Adam
 
 
 @dataclass
 class TrainingConfig:
-    """Hyperparameters for :func:`train_mlp`.
+    """Hyperparameters for :func:`train_mlp` / ensemble members.
 
     The defaults train one of the paper's 3-10-10-5-1 networks to
-    convergence on a characterization dataset in a few seconds.
+    convergence on a characterization dataset in a few seconds.  ``seed``
+    drives the train/validation split and the minibatch shuffles — two
+    members with equal seeds and dataset sizes share their splits and
+    batch order exactly.
     """
 
     epochs: int = 400
@@ -66,61 +74,12 @@ def train_mlp(
         raise ValueError("cannot train on an empty dataset")
     if x.shape[0] != y.shape[0]:
         raise ValueError("x and y row counts differ")
+    if x.shape[1] != model.n_inputs:
+        raise ValueError(
+            f"expected {model.n_inputs} input features, got {x.shape[1]}"
+        )
 
-    rng = np.random.default_rng(config.seed)
-    x_train, y_train, x_val, y_val = train_val_split(
-        x, y, val_fraction=config.val_fraction, rng=rng
-    )
-    if x_train.shape[0] == 0:
-        # Degenerate split (tiny dataset): train on everything.
-        x_train, y_train = x, y
-        x_val = np.empty((0, x.shape[1]))
-        y_val = np.empty((0, y.shape[1]))
-    has_val = x_val.shape[0] > 0
-
-    optimizer = Adam(model, lr=config.learning_rate)
-    history = TrainingHistory()
-    best_snapshot = _snapshot(model)
-    epochs_since_best = 0
-
-    for epoch in range(config.epochs):
-        for xb, yb in minibatches(x_train, y_train, config.batch_size, rng):
-            pred = model.forward(xb)
-            grad = mse_loss_grad(pred, yb)
-            optimizer.zero_grad()
-            model.backward(grad)
-            optimizer.step()
-
-        train_loss = mse_loss(model.forward(x_train), y_train)
-        history.train_loss.append(train_loss)
-        if has_val:
-            val_loss = mse_loss(model.forward(x_val), y_val)
-        else:
-            val_loss = train_loss
-        history.val_loss.append(val_loss)
-
-        if val_loss < history.best_val_loss - config.min_delta:
-            history.best_val_loss = val_loss
-            history.best_epoch = epoch
-            best_snapshot = _snapshot(model)
-            epochs_since_best = 0
-        else:
-            epochs_since_best += 1
-            if epochs_since_best >= config.patience:
-                history.stopped_early = True
-                break
-
-    _restore(model, best_snapshot)
+    ensemble = MLPEnsemble.from_mlps([model])
+    history = train_ensemble(ensemble, [x], [y], [config])[0]
+    ensemble.write_member(0, model)
     return history
-
-
-def _snapshot(model: MLP) -> list[tuple[np.ndarray, np.ndarray]]:
-    return [
-        (layer.weight.copy(), layer.bias.copy()) for layer in model.dense_layers()
-    ]
-
-
-def _restore(model: MLP, snapshot: list[tuple[np.ndarray, np.ndarray]]) -> None:
-    for layer, (weight, bias) in zip(model.dense_layers(), snapshot):
-        layer.weight[...] = weight
-        layer.bias[...] = bias

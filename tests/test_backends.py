@@ -1,0 +1,247 @@
+"""Backend registry: dispatch, round-trips, versioning, legacy loading.
+
+Every registered backend must survive ``to_dict``/``from_dict`` with
+**bitwise-identical** ``predict_batch`` output (the artifact cache
+round-trips through JSON), unknown names and schema versions must fail
+with clear errors, and pre-registry (untagged, ANN-only) dicts and
+version-1 bundles must keep loading.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ann_transfer import ANNTransferFunction, GateModel
+from repro.core.backends import (
+    SCHEMA_VERSION,
+    ScaledTransferModel,
+    available_backends,
+    backend_from_dict,
+    backend_to_dict,
+    build_region,
+    get_backend,
+)
+from repro.core.models import GateModelBundle
+from repro.errors import DatasetError, ModelError
+from repro.nn.training import TrainingConfig
+
+ALL_BACKENDS = ("ann", "lut", "spline", "poly")
+
+#: Small training budget: registry tests exercise construction, not fit
+#: quality.
+FAST_CONFIG = TrainingConfig(epochs=8, batch_size=32, seed=0)
+
+
+def training_cloud(seed=0, n=120):
+    rng = np.random.default_rng(seed)
+    features = np.column_stack(
+        [
+            rng.uniform(0.0, 1.0, n),
+            rng.uniform(30, 70, n),
+            rng.uniform(30, 70, n),
+        ]
+    )
+    slopes = -features[:, 2] * 0.9 + 0.1 * features[:, 0]
+    delays = 0.05 + 0.01 * np.tanh(features[:, 0] * 3)
+    return features, slopes, delays
+
+
+def build_model(backend):
+    features, slopes, delays = training_cloud()
+    cls = get_backend(backend)
+    model = cls.from_training_data(
+        features, slopes, delays, config=FAST_CONFIG, seed=0
+    )
+    return model, features
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(ALL_BACKENDS) <= set(available_backends())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ModelError, match="unknown transfer-model backend"):
+            get_backend("frobnicate")
+
+    def test_backend_names_set_on_classes(self):
+        for name in ALL_BACKENDS:
+            assert get_backend(name).backend_name == name
+
+    def test_unregistered_model_not_serializable(self):
+        class NotABackend:
+            pass
+
+        with pytest.raises(ModelError, match="not a registered"):
+            backend_to_dict(NotABackend())
+
+    def test_build_region_kinds(self):
+        features, _, _ = training_cloud()
+        assert build_region(features, "none") is None
+        assert build_region(features, "knn") is not None
+        assert build_region(features, "convex") is not None
+        with pytest.raises(DatasetError):
+            build_region(features, "pentagon")
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_from_training_data_builds_scaled_model(self, backend):
+        model, features = build_model(backend)
+        assert isinstance(model, ScaledTransferModel)
+        assert model.region is not None  # default region_kind="knn"
+        slopes, delays = model.predict_batch(features[:9])
+        assert slopes.shape == (9,) and delays.shape == (9,)
+        assert np.all(np.isfinite(slopes)) and np.all(np.isfinite(delays))
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_scalar_and_batch_agree(self, backend):
+        model, features = build_model(backend)
+        query = features[5]
+        scalar = model.predict(*query)
+        batch = model.predict_batch(query.reshape(1, 3))
+        assert scalar[0] == pytest.approx(float(batch[0][0]))
+        assert scalar[1] == pytest.approx(float(batch[1][0]))
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_region_clamps_wild_queries(self, backend):
+        model, features = build_model(backend)
+        wild = np.array([[500.0, 1e5, -1e5]])
+        inside = model.region.project(wild)
+        a_wild, d_wild = model.predict_batch(wild)
+        a_in, d_in = model.predict_batch(inside)
+        assert a_wild[0] == pytest.approx(a_in[0])
+        assert d_wild[0] == pytest.approx(d_in[0])
+
+    def test_bad_feature_width_rejected(self):
+        model, _ = build_model("poly")
+        with pytest.raises(ModelError):
+            model.predict_batch(np.zeros((3, 4)))
+
+
+class TestSerializationRoundTrips:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_bitwise_round_trip(self, backend):
+        """to_dict -> JSON -> from_dict must not move a single bit."""
+        import json
+
+        model, features = build_model(backend)
+        payload = json.loads(json.dumps(backend_to_dict(model)))
+        clone = backend_from_dict(payload)
+        queries = np.vstack([features[:25], [[500.0, 1e4, -1e4]]])
+        slopes, delays = model.predict_batch(queries)
+        clone_slopes, clone_delays = clone.predict_batch(queries)
+        np.testing.assert_array_equal(slopes, clone_slopes)
+        np.testing.assert_array_equal(delays, clone_delays)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_tag_and_version_written(self, backend):
+        model, _ = build_model(backend)
+        data = backend_to_dict(model)
+        assert data["backend"] == backend
+        assert data["schema_version"] == SCHEMA_VERSION
+
+    def test_legacy_untagged_dict_loads_as_ann(self):
+        model, features = build_model("ann")
+        legacy = model.to_dict()  # no backend/schema_version keys
+        assert "backend" not in legacy
+        clone = backend_from_dict(legacy)
+        assert isinstance(clone, ANNTransferFunction)
+        np.testing.assert_array_equal(
+            model.predict_batch(features[:5])[0],
+            clone.predict_batch(features[:5])[0],
+        )
+
+    def test_unknown_backend_name_rejected(self):
+        model, _ = build_model("lut")
+        data = backend_to_dict(model)
+        data["backend"] = "abacus"
+        with pytest.raises(ModelError, match="unknown transfer-model backend"):
+            backend_from_dict(data)
+
+    def test_unknown_schema_version_rejected(self):
+        model, _ = build_model("lut")
+        data = backend_to_dict(model)
+        data["schema_version"] = 99
+        with pytest.raises(ModelError, match="schema version"):
+            backend_from_dict(data)
+
+    def test_missing_schema_version_rejected(self):
+        model, _ = build_model("poly")
+        data = backend_to_dict(model)
+        del data["schema_version"]
+        with pytest.raises(ModelError, match="schema version"):
+            backend_from_dict(data)
+
+
+class TestGateModelAndBundle:
+    def make_gate_model(self, backend):
+        tf, _ = build_model(backend)
+        return GateModel("NOR2", 0, "fo1", tf, tf)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_gate_model_round_trip(self, backend):
+        model = self.make_gate_model(backend)
+        clone = GateModel.from_dict(model.to_dict())
+        assert clone.backend == backend
+        query = (0.3, 50.0, 45.0)
+        assert model.tf_rise.predict(*query) == clone.tf_rise.predict(*query)
+
+    @pytest.mark.parametrize("backend", ("ann", "lut"))
+    def test_bundle_round_trip(self, backend, tmp_path):
+        bundle = GateModelBundle(metadata={"backend": backend})
+        bundle.add(self.make_gate_model(backend))
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        clone = GateModelBundle.load(path)
+        assert clone.backend == backend
+        assert clone.keys() == bundle.keys()
+
+    def test_legacy_v1_bundle_loads(self):
+        """Version-1 bundles (untagged ANN models) keep loading."""
+        bundle = GateModelBundle(metadata={"scale": "test"})
+        bundle.add(self.make_gate_model("ann"))
+        data = bundle.to_dict()
+        # Rewrite as the v1 layout: no tags, no bundle backend.
+        data["format_version"] = 1
+        for entry in data["models"]:
+            for side in ("tf_rise", "tf_fall"):
+                entry[side].pop("backend")
+                entry[side].pop("schema_version")
+        clone = GateModelBundle.from_dict(data)
+        assert isinstance(
+            clone.get("NOR2", 0, 1).tf_rise, ANNTransferFunction
+        )
+
+    def test_unreadable_bundle_version_rejected(self):
+        with pytest.raises(ModelError, match="unsupported bundle version"):
+            GateModelBundle.from_dict({"format_version": 7, "models": []})
+
+    def test_bundle_backend_fallback_to_models(self):
+        bundle = GateModelBundle()
+        bundle.add(self.make_gate_model("poly"))
+        assert bundle.backend == "poly"
+        assert GateModelBundle().backend == "unknown"
+
+    def test_run_table1_rejects_mismatched_backend(self):
+        from repro.eval.table1 import Table1Config, run_table1
+
+        bundle = GateModelBundle(metadata={"backend": "lut"})
+        bundle.add(self.make_gate_model("lut"))
+        with pytest.raises(ModelError, match="trained with the 'lut'"):
+            # The mismatch is detected before any simulation starts, so
+            # no delay library is needed.
+            run_table1(bundle, None, Table1Config(backend="ann"))
+
+
+class TestLUTVectorization:
+    def test_batch_mixes_hull_and_fallback_queries(self):
+        """Vectorized LUT prediction: in-hull rows interpolate, out-of-hull
+        rows take the nearest-neighbour fallback, in one call."""
+        features, slopes, delays = training_cloud()
+        from repro.core.table_transfer import LUTTransferFunction
+
+        lut = LUTTransferFunction(features, slopes, delays)  # no region
+        queries = np.vstack([features[:3], [[40.0, 900.0, 900.0]]])
+        batch_slopes, batch_delays = lut.predict_batch(queries)
+        assert np.all(np.isfinite(batch_slopes))
+        assert np.all(np.isfinite(batch_delays))
+        np.testing.assert_allclose(batch_slopes[:3], slopes[:3], rtol=1e-6)

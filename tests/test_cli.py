@@ -44,6 +44,20 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["table1", "--circuits", "c17", "--workers", "0"])
 
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--circuits", "c17", "--backend", "abacus"])
+
+    def test_unknown_ablate_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablate", "--backends", "ann", "vhs"])
+
+    def test_info_lists_backends(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for backend in ("ann", "lut", "poly", "spline"):
+            assert backend in out
+
 
 @needs_artifacts
 @pytest.mark.slow
@@ -74,3 +88,44 @@ class TestTable1EndToEnd:
         # One rendered row per stimulus configuration.
         assert len(lines) == 3
         assert "error ratio" in proc.stdout
+
+
+needs_tiny_backend_artifacts = pytest.mark.skipif(
+    not (
+        (artifacts_dir() / "bundle_tiny_lut.json").exists()
+        and (artifacts_dir() / "delay_library.json").exists()
+    ),
+    reason="cached tiny ablation artifacts not built (run the ablation bench)",
+)
+
+
+@needs_tiny_backend_artifacts
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+class TestTable1BackendEndToEnd:
+    def test_table1_lut_backend_c17_renders_rows(self):
+        """``python -m repro.cli table1 --backend lut`` end to end.
+
+        The same user-facing path as the default run, with the sigmoid
+        simulator driven by the LUT bundle from the per-backend artifact
+        cache (the ablation's other backends share this exact code path
+        and are exercised in-process by the ablation bench).
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "table1",
+             "--scale", "tiny", "--backend", "lut",
+             "--circuits", "c17", "--runs", "1"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=280,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "[backend: lut]" in proc.stdout
+        lines = [ln for ln in proc.stdout.splitlines() if ln.startswith("c17")]
+        assert len(lines) == 3

@@ -1,0 +1,330 @@
+"""Vectorized ensemble training: bitwise equivalence with the looped path.
+
+The contract of :mod:`repro.nn.ensemble` is not "approximately the same
+training" but *the same training*: per-network loss histories compare
+with ``==`` and final weights with ``np.array_equal`` against serial
+:func:`~repro.nn.training.train_mlp` runs sharing splits and batch
+order.  The kernel properties the implementation relies on (a slice of a
+stacked matmul equals its K=1 twin) are asserted directly as well, so a
+platform where they break fails loudly here rather than silently drifting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    EnsembleAdam,
+    MLPEnsemble,
+    TrainingConfig,
+    ensemble_from_dict,
+    ensemble_to_dict,
+    train_ensemble,
+    train_mlp,
+)
+from repro.nn.losses import mse_loss_grad
+from repro.nn.mlp import PAPER_LAYER_SIZES
+
+
+def make_member_data(n, seed, n_in=3, n_out=1):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, n_in))
+    y = np.tanh(x[:, :n_out]) + 0.1 * x[:, 1 : 1 + n_out]
+    return x, y
+
+
+def train_both(specs, layer_sizes=None, batch_size=32):
+    """Train looped and vectorized paths over (n, seed, epochs) specs."""
+    layer_sizes = layer_sizes or PAPER_LAYER_SIZES
+    xs, ys, configs, init_seeds = [], [], [], []
+    for n, seed, epochs in specs:
+        x, y = make_member_data(n, seed)
+        xs.append(x)
+        ys.append(y)
+        configs.append(
+            TrainingConfig(
+                epochs=epochs, batch_size=batch_size, seed=seed, patience=10
+            )
+        )
+        init_seeds.append(seed + 100)
+
+    looped_models, looped_histories = [], []
+    for x, y, config, init_seed in zip(xs, ys, configs, init_seeds):
+        model = MLP(layer_sizes, rng=np.random.default_rng(init_seed))
+        looped_histories.append(train_mlp(model, x, y, config))
+        looped_models.append(model)
+
+    ensemble = MLPEnsemble(
+        layer_sizes,
+        len(specs),
+        rngs=[np.random.default_rng(s) for s in init_seeds],
+    )
+    histories = train_ensemble(ensemble, xs, ys, configs)
+    return looped_models, looped_histories, ensemble, histories
+
+
+def assert_member_equal(looped_model, looped_history, ensemble, history, k):
+    assert looped_history.train_loss == history.train_loss
+    assert looped_history.val_loss == history.val_loss
+    assert looped_history.best_epoch == history.best_epoch
+    assert looped_history.best_val_loss == history.best_val_loss
+    assert looped_history.stopped_early == history.stopped_early
+    member = ensemble.member(k)
+    for looped_layer, member_layer in zip(
+        looped_model.dense_layers(), member.dense_layers()
+    ):
+        np.testing.assert_array_equal(looped_layer.weight, member_layer.weight)
+        np.testing.assert_array_equal(looped_layer.bias, member_layer.bias)
+
+
+class TestKernelProperties:
+    """The stacked-op identities the bitwise contract rests on."""
+
+    @pytest.mark.parametrize(
+        "shape", [(5, 64, 3, 10), (5, 64, 10, 10), (5, 32, 10, 5), (5, 64, 5, 1)]
+    )
+    def test_stacked_matmul_slices_equal_single(self, shape):
+        K, b, i, o = shape
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(K, b, i))
+        w = rng.normal(size=(K, i, o))
+        stacked = np.matmul(x, w)
+        for k in range(K):
+            np.testing.assert_array_equal(stacked[k], x[k] @ w[k])
+
+    def test_stacked_gradw_slices_equal_single(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 32, 10))
+        g = rng.normal(size=(6, 32, 5))
+        stacked = np.matmul(np.swapaxes(x, 1, 2), g)
+        for k in range(6):
+            np.testing.assert_array_equal(stacked[k], x[k].T @ g[k])
+
+
+class TestMLPEnsembleBasics:
+    def test_init_matches_individual_mlps(self):
+        rngs = [np.random.default_rng(s) for s in (3, 4, 5)]
+        ensemble = MLPEnsemble([3, 8, 2], 3, rngs=rngs)
+        for k, seed in enumerate((3, 4, 5)):
+            single = MLP([3, 8, 2], rng=np.random.default_rng(seed))
+            for layer, dense in enumerate(single.dense_layers()):
+                np.testing.assert_array_equal(
+                    ensemble.weights[layer][k], dense.weight
+                )
+
+    def test_from_mlps_round_trip(self):
+        models = [MLP([2, 5, 1], rng=np.random.default_rng(s)) for s in (0, 1)]
+        ensemble = MLPEnsemble.from_mlps(models)
+        for k, model in enumerate(models):
+            exported = ensemble.member(k)
+            for a, b in zip(model.dense_layers(), exported.dense_layers()):
+                np.testing.assert_array_equal(a.weight, b.weight)
+                np.testing.assert_array_equal(a.bias, b.bias)
+
+    def test_from_mlps_mismatched_architectures(self):
+        a = MLP([2, 5, 1], rng=np.random.default_rng(0))
+        b = MLP([2, 6, 1], rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            MLPEnsemble.from_mlps([a, b])
+
+    def test_forward_shape_and_validation(self):
+        ensemble = MLPEnsemble(
+            [3, 4, 2], 2, rngs=[np.random.default_rng(s) for s in (0, 1)]
+        )
+        out = ensemble.forward(np.zeros((2, 7, 3)))
+        assert out.shape == (2, 7, 2)
+        with pytest.raises(ValueError):
+            ensemble.forward(np.zeros((3, 7, 3)))
+        with pytest.raises(ValueError):
+            ensemble.forward(np.zeros((2, 7, 4)))
+
+    def test_backward_before_forward_raises(self):
+        ensemble = MLPEnsemble(
+            [3, 4, 1], 1, rngs=[np.random.default_rng(0)]
+        )
+        with pytest.raises(RuntimeError):
+            ensemble.backward(np.zeros((1, 2, 1)))
+
+    def test_parameter_count(self):
+        ensemble = MLPEnsemble(
+            PAPER_LAYER_SIZES, 4, rngs=[np.random.default_rng(s) for s in range(4)]
+        )
+        # 4 members x 211 parameters of the paper network.
+        assert ensemble.n_parameters() == 4 * 211
+
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(2)
+        ensemble = MLPEnsemble(
+            [3, 5, 2], 2, rngs=[np.random.default_rng(s) for s in (7, 8)]
+        )
+        x = rng.normal(size=(2, 6, 3))
+        y = rng.normal(size=(2, 6, 2))
+
+        def loss():
+            pred = ensemble.predict(x)
+            return float(np.mean((pred - y) ** 2))
+
+        pred = ensemble.forward(x)
+        grad = 2.0 * (pred - y) / pred.size
+        ensemble.backward(grad)
+        analytic = [g.copy() for g in ensemble.grad_weights]
+
+        eps = 1e-6
+        for layer in range(ensemble.n_layers):
+            weight = ensemble.weights[layer]
+            numeric = np.zeros_like(weight)
+            it = np.nditer(weight, flags=["multi_index"])
+            while not it.finished:
+                idx = it.multi_index
+                weight[idx] += eps
+                up = loss()
+                weight[idx] -= 2 * eps
+                down = loss()
+                weight[idx] += eps
+                numeric[idx] = (up - down) / (2 * eps)
+                it.iternext()
+            np.testing.assert_allclose(
+                analytic[layer], numeric, rtol=1e-4, atol=1e-7
+            )
+
+    def test_serialization_round_trip(self):
+        ensemble = MLPEnsemble(
+            [3, 6, 1], 3, rngs=[np.random.default_rng(s) for s in range(3)]
+        )
+        clone = ensemble_from_dict(ensemble_to_dict(ensemble))
+        x = np.random.default_rng(9).normal(size=(3, 5, 3))
+        np.testing.assert_array_equal(ensemble.predict(x), clone.predict(x))
+
+
+class TestEnsembleAdam:
+    def test_invalid_lr(self):
+        ensemble = MLPEnsemble([2, 3, 1], 1, rngs=[np.random.default_rng(0)])
+        with pytest.raises(ValueError):
+            EnsembleAdam(ensemble, lr=0.0)
+
+    def test_masked_members_untouched(self):
+        ensemble = MLPEnsemble(
+            [2, 3, 1], 2, rngs=[np.random.default_rng(s) for s in (0, 1)]
+        )
+        frozen = [w[1].copy() for w in ensemble.weights]
+        optimizer = EnsembleAdam(ensemble, lr=1e-2)
+        x = np.random.default_rng(2).normal(size=(2, 4, 2))
+        y = np.zeros((2, 4, 1))
+        pred = ensemble.forward(x)
+        ensemble.backward(mse_loss_grad(pred, y).reshape(2, 4, 1))
+        optimizer.step(np.array([True, False]))
+        for layer, before in enumerate(frozen):
+            np.testing.assert_array_equal(ensemble.weights[layer][1], before)
+        assert optimizer._t[0] == 1 and optimizer._t[1] == 0
+
+
+class TestTrainEnsembleEquivalence:
+    def test_ragged_members_match_looped_path(self):
+        """Different sizes, seeds and epoch budgets: bitwise equality."""
+        specs = [(200, 0, 30), (137, 7, 30), (513, 2, 20), (64, 5, 40)]
+        looped_models, looped_histories, ensemble, histories = train_both(specs)
+        for k in range(len(specs)):
+            assert_member_equal(
+                looped_models[k], looped_histories[k], ensemble, histories[k], k
+            )
+
+    def test_equal_size_members_share_split_and_batch_order(self):
+        """Two members with equal n and seed: shared splits/batch order."""
+        specs = [(150, 3, 25), (150, 3, 25)]
+        looped_models, looped_histories, ensemble, histories = train_both(specs)
+        for k in range(2):
+            assert_member_equal(
+                looped_models[k], looped_histories[k], ensemble, histories[k], k
+            )
+
+    def test_early_stopping_is_per_member(self):
+        """A trivially-learnable member stops early; the other runs on."""
+        rng = np.random.default_rng(0)
+        x_hard, y_hard = make_member_data(300, 1)
+        x_easy = rng.normal(size=(300, 3))
+        y_easy = np.zeros((300, 1))  # constant target -> stalls immediately
+        configs = [
+            TrainingConfig(epochs=200, seed=0, patience=8),
+            TrainingConfig(epochs=200, seed=0, patience=8),
+        ]
+        ensemble = MLPEnsemble(
+            PAPER_LAYER_SIZES, 2, rngs=[np.random.default_rng(s) for s in (0, 1)]
+        )
+        histories = train_ensemble(
+            ensemble, [x_hard, x_easy], [y_hard, y_easy], configs
+        )
+        assert histories[1].stopped_early
+        assert histories[1].epochs_run < histories[0].epochs_run
+        # And both still match their looped twins exactly.
+        for k, (x, y) in enumerate(((x_hard, y_hard), (x_easy, y_easy))):
+            model = MLP(PAPER_LAYER_SIZES, rng=np.random.default_rng(k))
+            looped = train_mlp(model, x, y, configs[k])
+            assert_member_equal(model, looped, ensemble, histories[k], k)
+
+    def test_degenerate_split_member(self):
+        """A member too small for a validation split trains on everything."""
+        specs = [(4, 3, 15), (90, 1, 15)]
+        looped_models, looped_histories, ensemble, histories = train_both(specs)
+        for k in range(2):
+            assert_member_equal(
+                looped_models[k], looped_histories[k], ensemble, histories[k], k
+            )
+
+    def test_validation(self):
+        ensemble = MLPEnsemble(
+            [3, 4, 1], 2, rngs=[np.random.default_rng(s) for s in (0, 1)]
+        )
+        x, y = make_member_data(50, 0)
+        with pytest.raises(ValueError):
+            train_ensemble(ensemble, [x], [y], [TrainingConfig()])
+        with pytest.raises(ValueError):
+            train_ensemble(
+                ensemble,
+                [x, x],
+                [y, y],
+                [TrainingConfig(batch_size=16), TrainingConfig(batch_size=32)],
+            )
+        with pytest.raises(ValueError):
+            train_ensemble(
+                ensemble,
+                [np.empty((0, 3)), x],
+                [np.empty((0, 1)), y],
+                [TrainingConfig(), TrainingConfig()],
+            )
+        with pytest.raises(ValueError):
+            train_ensemble(
+                ensemble,
+                [x[:, :2], x],
+                [y, y],
+                [TrainingConfig(), TrainingConfig()],
+            )
+
+    def test_shared_config_broadcasts(self):
+        x, y = make_member_data(80, 0)
+        config = TrainingConfig(epochs=5, seed=0)
+        ensemble = MLPEnsemble(
+            [3, 4, 1], 2, rngs=[np.random.default_rng(s) for s in (0, 1)]
+        )
+        histories = train_ensemble(ensemble, [x, x], [y, y], config)
+        assert len(histories) == 2
+        assert histories[0].epochs_run == 5
+
+
+class TestTrainValSplitRequiresRng:
+    def test_none_rng_rejected(self):
+        from repro.nn.data import train_val_split
+
+        x = np.zeros((10, 2))
+        y = np.zeros((10, 1))
+        with pytest.raises(ValueError, match="explicit rng"):
+            train_val_split(x, y, rng=None)
+
+    def test_explicit_rng_reproducible(self):
+        from repro.nn.data import train_val_split
+
+        x = np.arange(20.0).reshape(10, 2)
+        y = np.arange(10.0).reshape(10, 1)
+        a = train_val_split(x, y, rng=np.random.default_rng(5))
+        b = train_val_split(x, y, rng=np.random.default_rng(5))
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
