@@ -9,7 +9,28 @@ Runs in under a minute (no cached artifacts needed):
    rival from the backend registry (Sec. IV-A's "for comparison
    purposes" families),
 4. predict a gate output with Algorithm 1 and compare against the analog
-   reference.
+   reference,
+5. (when the committed tiny artifacts are present) differentially verify
+   a couple of fuzzed random circuits across all three simulators.
+
+Differential verification in day-to-day use::
+
+    # small seeded corpus, all invariants, golden snapshots checked
+    python -m repro.cli fuzz --seed 0 --count 25 --scale tiny
+
+    # corpus-size / cost knobs
+    python -m repro.cli fuzz --count 50            # more circuits
+    python -m repro.cli fuzz --scale fast          # bigger circuits
+    python -m repro.cli fuzz --reference digital   # no analog engine
+    python -m repro.cli fuzz --benchmarks c499_like c1355_like
+
+    # after an *intentional* behavior change, re-pin the snapshots
+    python -m repro.cli fuzz --seed 0 --count 50 --scale tiny \
+        --benchmarks c499_like c1355_like --update-golden
+
+A failing run prints the violated invariants, shrinks each failing
+circuit to a minimal counterexample (reported as ``.bench`` text via
+``--report``), and exits non-zero.
 
 Run:  python examples/quickstart.py
 """
@@ -83,6 +104,29 @@ def main() -> None:
     predicted_times = np.asarray(predicted.crossing_times_tau()) / 1e10
     print(f"analog n2 crossings (ps): {np.round(reference * 1e12, 2)}")
     print(f"TOM    n2 crossings (ps): {np.round(predicted_times * 1e12, 2)}")
+
+    print("\n== 5. differential verification (fuzzing) ==")
+    import json
+
+    from repro.characterization.artifacts import artifacts_dir
+    from repro.core.models import GateModelBundle
+    from repro.digital.delay import DelayLibrary
+    from repro.verify.fuzz import FuzzConfig, run_fuzz
+
+    bundle_path = artifacts_dir() / "bundle_tiny.json"
+    dlib_path = artifacts_dir() / "delay_library.json"
+    if bundle_path.exists() and dlib_path.exists():
+        bundle = GateModelBundle.load(bundle_path)
+        delay_library = DelayLibrary.from_dict(
+            json.loads(dlib_path.read_text())
+        )
+        config = FuzzConfig(count=2, seed=0, scale="tiny", golden="off")
+        fuzz = run_fuzz(config, bundle, delay_library, verbose=True)
+        print(fuzz.summary())
+    else:
+        print("tiny artifacts not built yet — run "
+              "`python -m repro.cli characterize --scale tiny` first, "
+              "then `python -m repro.cli fuzz --count 25`")
 
 
 if __name__ == "__main__":

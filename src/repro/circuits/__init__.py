@@ -9,9 +9,18 @@ rewriter with logic-equivalence checking.
 
 from repro.circuits.gates import GateType, eval_gate
 from repro.circuits.netlist import Gate, Netlist
-from repro.circuits.bench import parse_bench, format_bench
+from repro.circuits.bench import (
+    format_bench,
+    normalize_net_names,
+    parse_bench,
+)
 from repro.circuits.nor_map import nor_map
-from repro.circuits.iscas85 import c17, c499_like, c1355_like
+from repro.circuits.iscas85 import c17, c499_like, c1355_like, xor_to_nand2
+from repro.circuits.random_circuit import (
+    RandomCircuitConfig,
+    random_circuit,
+    random_corpus,
+)
 
 __all__ = [
     "GateType",
@@ -20,8 +29,13 @@ __all__ = [
     "Netlist",
     "parse_bench",
     "format_bench",
+    "normalize_net_names",
     "nor_map",
     "c17",
     "c499_like",
     "c1355_like",
+    "xor_to_nand2",
+    "RandomCircuitConfig",
+    "random_circuit",
+    "random_corpus",
 ]

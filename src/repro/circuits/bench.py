@@ -77,8 +77,82 @@ def load_bench(path: str | Path) -> Netlist:
     return parse_bench(path.read_text(), name=path.stem)
 
 
+#: Characters the ``.bench`` grammar reserves: they delimit names, start
+#: comments, or separate arguments, so a net name containing one is either
+#: rejected or silently split/renamed by :func:`parse_bench`.
+_UNSAFE_RE = re.compile(r"[\s#(),=]+")
+
+
+def _sanitize_name(name: str) -> str:
+    """One net name made grammar-safe (unsafe character runs -> ``_``).
+
+    Grammar-safe characters are never touched — in particular leading or
+    trailing underscores stay, so a clean name can never be rewritten
+    into (and steal the identity of) another clean name.
+    """
+    return _UNSAFE_RE.sub("_", name) or "n"
+
+
+def normalize_net_names(netlist: Netlist) -> Netlist:
+    """Rewrite net names so the netlist survives a ``.bench`` round trip.
+
+    Grammar-reserved characters (whitespace, ``#``, ``(``, ``)``, ``,``,
+    ``=``) are replaced by underscores, and names that collide
+    *case-insensitively* after sanitization get deterministic ``_2``,
+    ``_3``, ... suffixes (``.bench`` consumers and case-insensitive
+    filesystems treat ``N1``/``n1`` as one net, so the writer never emits
+    such a pair).  Drivers and references are renamed coherently; a
+    netlist whose names are already safe is returned unchanged in
+    structure (PIs, gates and POs keep their identity).
+    """
+    names = list(netlist.primary_inputs) + list(netlist.gates)
+    mapping: dict[str, str] = {}
+    taken: set[str] = set()
+    # Already-safe names reserve their identity first, so a sanitized
+    # unsafe name ("a b" -> "a_b") can never steal a clean net's name;
+    # among clean names colliding case-insensitively the earlier wins.
+    for name in names:
+        if _sanitize_name(name) == name and name.casefold() not in taken:
+            mapping[name] = name
+            taken.add(name.casefold())
+    for name in names:
+        if name in mapping:
+            continue
+        candidate = _sanitize_name(name)
+        unique = candidate
+        suffix = 2
+        while unique.casefold() in taken:
+            unique = f"{candidate}_{suffix}"
+            suffix += 1
+        taken.add(unique.casefold())
+        mapping[name] = unique
+    if all(new == old for old, new in mapping.items()):
+        return netlist
+    renamed = Netlist(netlist.name)
+    for pi in netlist.primary_inputs:
+        renamed.add_input(mapping[pi])
+    for gate in netlist.gates.values():
+        renamed.add_gate(
+            mapping[gate.name],
+            gate.gtype,
+            [mapping[net] for net in gate.inputs],
+        )
+    for po in netlist.primary_outputs:
+        renamed.add_output(mapping[po])
+    renamed.validate()
+    return renamed
+
+
 def format_bench(netlist: Netlist) -> str:
-    """Render a netlist back to ``.bench`` text (INV emitted as NOT)."""
+    """Render a netlist back to ``.bench`` text (INV emitted as NOT).
+
+    Net names are passed through :func:`normalize_net_names` first, so
+    the emitted text always parses back to a structurally identical
+    netlist — names containing grammar-reserved characters (or colliding
+    case-insensitively) are renamed deterministically instead of being
+    dropped or split by the reader.
+    """
+    netlist = normalize_net_names(netlist)
     lines = [f"# {netlist.name}"]
     lines += [f"INPUT({net})" for net in netlist.primary_inputs]
     lines += [f"OUTPUT({net})" for net in netlist.primary_outputs]

@@ -124,11 +124,20 @@ def _build_sec(name: str, expand_xor_to_nand: bool) -> Netlist:
     netlist.validate()
     if not expand_xor_to_nand:
         return netlist
-    return _expand_xors(netlist, f"{name}")
+    return xor_to_nand2(netlist, name)
 
 
-def _expand_xors(netlist: Netlist, name: str) -> Netlist:
-    """Replace every XOR2/XNOR2 by its four-NAND2 structure (the c1355 trick)."""
+def xor_to_nand2(netlist: Netlist, name: str | None = None) -> Netlist:
+    """Replace every XOR2/XNOR2 by its four-NAND2 structure (the c1355 trick).
+
+    Two-input XOR gates become the classic four-NAND2 network (XNOR adds
+    a trailing inverter); every other gate — including XOR/XNOR of three
+    or more inputs — is copied verbatim.  The rewrite preserves the truth
+    table (checked exhaustively in the property suite) and keeps PI/PO
+    names, so it composes with :func:`repro.circuits.nor_map.nor_map`.
+    """
+    if name is None:
+        name = netlist.name
     expanded = Netlist(name)
     for pi in netlist.primary_inputs:
         expanded.add_input(pi)

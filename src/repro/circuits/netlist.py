@@ -8,7 +8,7 @@ topological levelization, fanout maps, boolean evaluation, and stats.
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from dataclasses import dataclass, field
 
 from repro.circuits.gates import GateType, UNARY_TYPES, eval_gate
@@ -107,7 +107,14 @@ class Netlist:
         self.topological_order()  # raises on combinational cycles
 
     def topological_order(self) -> list[str]:
-        """Gate output nets in dependency order (Kahn's algorithm)."""
+        """Gate output nets in dependency order (Kahn's algorithm).
+
+        The order is *canonical*: ties between simultaneously-ready gates
+        are broken by gate name, so two netlists holding the same gates
+        (regardless of the order they were added in) produce the same
+        order.  Serializers and the differential-verification digests
+        rely on this stability.
+        """
         indegree = {name: 0 for name in self.gates}
         consumers: dict[str, list[str]] = {}
         for gate in self.gates.values():
@@ -115,15 +122,16 @@ class Netlist:
                 if net in self.gates:
                     indegree[gate.name] += 1
                     consumers.setdefault(net, []).append(gate.name)
-        ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        heapq.heapify(ready)
         order: list[str] = []
         while ready:
-            name = ready.popleft()
+            name = heapq.heappop(ready)
             order.append(name)
             for consumer in consumers.get(name, ()):
                 indegree[consumer] -= 1
                 if indegree[consumer] == 0:
-                    ready.append(consumer)
+                    heapq.heappush(ready, consumer)
         if len(order) != len(self.gates):
             raise NetlistError("combinational cycle detected")
         return order

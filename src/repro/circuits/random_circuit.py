@@ -1,0 +1,192 @@
+"""Seeded random-netlist generator for the differential fuzz harness.
+
+Generates structurally diverse combinational DAGs over the supported cell
+set (everything :mod:`repro.circuits.bench` can read and
+:func:`repro.circuits.nor_map.nor_map` can rewrite).  The construction is
+correct by design:
+
+* **single driver** — every net is created exactly once (``add_input`` /
+  ``add_gate`` enforce it);
+* **acyclic** — a gate only ever consumes nets that already exist;
+* **no dead logic** — every sink net (a net no gate reads) becomes a
+  primary output, so each gate feeds at least one PO cone;
+* **round-trippable** — net names are plain ``i<k>`` / ``g<k>`` tokens,
+  safe for the ``.bench`` grammar.
+
+Structure is shaped by three knobs: ``locality`` biases input selection
+toward recently created nets (high locality -> deep chains, low ->
+shallow, wide fanout), ``reconvergence`` re-draws duplicate input picks at
+most once (high reconvergence keeps the duplicates' replacements close,
+creating reconvergent fanout), and ``gate_mix`` weights the cell types.
+Everything is drawn from one ``numpy`` Generator seeded per circuit, so a
+``(seed, index)`` pair always reproduces the same netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.gates import GateType, UNARY_TYPES
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+#: Default gate mix: the full parseable cell set, biased toward the
+#: two-input cells the paper's benchmarks are made of.
+DEFAULT_GATE_MIX: dict[GateType, float] = {
+    GateType.INV: 1.5,
+    GateType.BUF: 0.5,
+    GateType.AND: 2.0,
+    GateType.OR: 2.0,
+    GateType.NAND: 3.0,
+    GateType.NOR: 3.0,
+    GateType.XOR: 1.5,
+    GateType.XNOR: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class RandomCircuitConfig:
+    """Knobs of one random circuit draw.
+
+    ``n_gates`` counts gates *before* NOR mapping; the mapped circuit is
+    typically 2-3x larger.  ``locality`` in [0, 1] is the probability an
+    input pin is drawn from the ``window`` most recent nets instead of
+    uniformly over all nets; ``reconvergence`` in [0, 1] is the chance a
+    duplicate input pick is kept (tying pins together) rather than
+    re-drawn.
+    """
+
+    n_inputs: int = 4
+    n_gates: int = 8
+    max_fanin: int = 2
+    locality: float = 0.7
+    window: int = 4
+    reconvergence: float = 0.3
+    gate_mix: dict[GateType, float] = field(
+        default_factory=lambda: dict(DEFAULT_GATE_MIX)
+    )
+    name: str = "rand"
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise NetlistError("need at least one primary input")
+        if self.n_gates < 1:
+            raise NetlistError("need at least one gate")
+        if self.max_fanin < 2:
+            raise NetlistError("max_fanin must be at least 2")
+        if not 0.0 <= self.locality <= 1.0:
+            raise NetlistError("locality must be inside [0, 1]")
+        if not 0.0 <= self.reconvergence <= 1.0:
+            raise NetlistError("reconvergence must be inside [0, 1]")
+        if self.window < 1:
+            raise NetlistError("window must be positive")
+        if not self.gate_mix:
+            raise NetlistError("gate_mix must not be empty")
+        for gtype, weight in self.gate_mix.items():
+            if not isinstance(gtype, GateType):
+                raise NetlistError(f"gate_mix key {gtype!r} is not a GateType")
+            if weight < 0:
+                raise NetlistError("gate_mix weights must be non-negative")
+        if sum(self.gate_mix.values()) <= 0:
+            raise NetlistError("gate_mix needs at least one positive weight")
+
+
+def _pick_inputs(
+    nets: list[str],
+    arity: int,
+    config: RandomCircuitConfig,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Draw ``arity`` input nets with the locality/reconvergence biases."""
+
+    def draw() -> str:
+        if rng.random() < config.locality:
+            lo = max(0, len(nets) - config.window)
+            return nets[int(rng.integers(lo, len(nets)))]
+        return nets[int(rng.integers(0, len(nets)))]
+
+    picks: list[str] = []
+    for _ in range(arity):
+        pick = draw()
+        if pick in picks and rng.random() >= config.reconvergence:
+            pick = draw()  # one re-draw; a repeat duplicate is kept
+        picks.append(pick)
+    return picks
+
+
+def random_circuit(
+    config: RandomCircuitConfig | None = None,
+    seed: int | tuple[int, ...] = 0,
+) -> Netlist:
+    """Generate one random combinational netlist.
+
+    ``seed`` may be an integer or a tuple (e.g. ``(corpus_seed, index)``)
+    — any ``numpy.random.default_rng`` seed.  The same (config, seed)
+    pair always yields the same netlist, bit for bit.
+    """
+    if config is None:
+        config = RandomCircuitConfig()
+    rng = np.random.default_rng(
+        list(seed) if isinstance(seed, tuple) else seed
+    )
+    netlist = Netlist(config.name)
+    nets = [netlist.add_input(f"i{k}") for k in range(config.n_inputs)]
+
+    types = sorted(config.gate_mix, key=lambda g: g.value)
+    weights = np.array([config.gate_mix[g] for g in types], dtype=float)
+    weights /= weights.sum()
+
+    for k in range(config.n_gates):
+        gtype = types[int(rng.choice(len(types), p=weights))]
+        if gtype in UNARY_TYPES:
+            arity = 1
+            inputs = [_pick_inputs(nets, 1, config, rng)[0]]
+        else:
+            arity = int(rng.integers(2, config.max_fanin + 1))
+            inputs = _pick_inputs(nets, arity, config, rng)
+        nets.append(netlist.add_gate(f"g{k}", gtype, inputs))
+
+    # Every sink net (no consumers) becomes a PO, so no gate is dead.
+    consumed = {net for gate in netlist.gates.values() for net in gate.inputs}
+    sinks = [name for name in netlist.gates if name not in consumed]
+    for sink in sinks:
+        netlist.add_output(sink)
+    if not netlist.primary_outputs:  # pragma: no cover - sinks always exist
+        netlist.add_output(f"g{config.n_gates - 1}")
+    netlist.validate()
+    return netlist
+
+
+def random_corpus(
+    count: int,
+    seed: int = 0,
+    config: RandomCircuitConfig | None = None,
+) -> list[Netlist]:
+    """A deterministic corpus: circuit ``i`` is drawn from ``(seed, i)``.
+
+    Each circuit gets its own independent RNG stream, so inserting or
+    dropping corpus members never perturbs the others.  Sizing knobs
+    themselves are jittered per index (spawned from the same stream) to
+    diversify the corpus shape.
+    """
+    if config is None:
+        config = RandomCircuitConfig()
+    circuits = []
+    for index in range(count):
+        shape_rng = np.random.default_rng([seed, index, 0xC1DC])
+        jittered = RandomCircuitConfig(
+            n_inputs=max(2, config.n_inputs + int(shape_rng.integers(-1, 2))),
+            n_gates=max(2, config.n_gates + int(shape_rng.integers(-2, 3))),
+            max_fanin=config.max_fanin,
+            locality=float(
+                np.clip(config.locality + shape_rng.uniform(-0.2, 0.2), 0, 1)
+            ),
+            window=config.window,
+            reconvergence=config.reconvergence,
+            gate_mix=dict(config.gate_mix),
+            name=f"{config.name}{index:03d}",
+        )
+        circuits.append(random_circuit(jittered, seed=(seed, index)))
+    return circuits

@@ -17,6 +17,15 @@
     Build (or, with ``--force``, rebuild) the trained model artifacts
     and the scale-keyed digital delay library.
 
+``python -m repro.cli fuzz [--seed 0] [--count 25] [--scale tiny]
+[--update-golden] [--report fuzz_report.json]``
+    Differential verification: drive a seeded corpus of random circuits
+    (plus optional named benchmarks) through the analog reference, the
+    digital simulator and the sigmoid simulator, check cross-simulator
+    invariants, shrink failures to minimal counterexamples, and
+    compare/record golden snapshots under ``artifacts/golden/``.
+    Exits non-zero when any invariant is violated.
+
 ``python -m repro.cli info``
     Show circuit statistics for the shipped benchmarks.
 """
@@ -24,7 +33,9 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.characterization.artifacts import (
     artifacts_dir,
@@ -45,6 +56,7 @@ from repro.eval.table1 import (
     nor_mapped,
     run_table1,
 )
+from repro.verify.fuzz import FUZZ_PRESETS, FuzzConfig, run_fuzz
 
 SCALES = ("tiny", "fast", "standard", "paper")
 
@@ -97,6 +109,39 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     default_delay_library(scale=args.scale, force=args.force)
     print(f"artifacts ready under {artifacts_dir()}")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    bundle = default_bundle(
+        scale=args.scale, backend=args.backend, verbose=not args.quiet
+    )
+    delay_library = default_delay_library(scale=args.scale)
+    config = FuzzConfig(
+        count=args.count,
+        seed=args.seed,
+        scale=args.scale,
+        backend=args.backend,
+        reference=args.reference,
+        benchmarks=tuple(args.benchmarks),
+        shrink=not args.no_shrink,
+        golden=(
+            "update" if args.update_golden
+            else "off" if args.no_golden
+            else "check"
+        ),
+    )
+    result = run_fuzz(
+        config, bundle, delay_library, verbose=not args.quiet
+    )
+    print(result.summary())
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.to_dict(), indent=1))
+        print(f"report written to {path}")
+    if args.update_golden:
+        print(f"golden snapshots updated under {artifacts_dir() / 'golden'}")
+    return 0 if result.ok else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -168,6 +213,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_char.add_argument("--force", action="store_true")
     p_char.set_defaults(func=cmd_characterize)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential verification over a random corpus"
+    )
+    p_fuzz.add_argument("--count", type=int, default=25,
+                        help="number of random circuits in the corpus")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--scale", default="tiny",
+                        choices=sorted(FUZZ_PRESETS),
+                        help="corpus sizing and model-artifact scale")
+    p_fuzz.add_argument("--backend", default="ann", choices=backends)
+    p_fuzz.add_argument(
+        "--reference", default="analog", choices=("analog", "digital"),
+        help="analog = full three-simulator comparison; digital = "
+             "event-driven vs sigmoid only (cheap, big circuits)",
+    )
+    p_fuzz.add_argument(
+        "--benchmarks", nargs="*", default=[],
+        choices=list(CIRCUIT_BUILDERS),
+        help="named circuits appended to the corpus (digital reference)",
+    )
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip counterexample minimization")
+    golden_group = p_fuzz.add_mutually_exclusive_group()
+    golden_group.add_argument(
+        "--update-golden", action="store_true",
+        help="rewrite golden snapshots instead of checking",
+    )
+    golden_group.add_argument(
+        "--no-golden", action="store_true",
+        help="skip the golden-snapshot comparison",
+    )
+    p_fuzz.add_argument("--report", default=None,
+                        help="write the JSON fuzz report to this path")
+    p_fuzz.add_argument("--quiet", action="store_true")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_info = sub.add_parser("info", help="benchmark circuit statistics")
     p_info.set_defaults(func=cmd_info)

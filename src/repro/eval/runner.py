@@ -44,6 +44,17 @@ from repro.eval.stimuli import StimulusConfig, random_pi_sources
 _LEVEL_DELAY_ALLOWANCE = 10e-12
 
 
+def simulation_span(t_last: float, depth: int) -> float:
+    """Simulation span for a run whose last stimulus edge is ``t_last``.
+
+    The single authority on span sizing: the serial and batched
+    evaluation paths *and* the differential harness's digital-reference
+    mode all use it, so settled-value checks and golden snapshots can
+    never drift apart on ``t_stop``.
+    """
+    return t_last + depth * _LEVEL_DELAY_ALLOWANCE + 60e-12
+
+
 def augment_with_shaping(core: Netlist) -> Netlist:
     """Add pulse-shaping inverter pairs at PIs and termination at POs.
 
@@ -66,6 +77,28 @@ def augment_with_shaping(core: Netlist) -> Netlist:
         aug.add_output(po)
     aug.validate()
     return aug
+
+
+def _po_traces_payload(
+    analog_waveforms: dict,
+    digital: dict,
+    sigmoid: dict,
+    references: dict,
+    pi_digital: dict,
+) -> dict:
+    """The ``keep_traces`` payload, with one key set for both run paths.
+
+    The differential-verification harness consumes these by key on the
+    serial and the batched path alike; building the dict here keeps the
+    two from drifting apart.
+    """
+    return {
+        "analog_waveforms": analog_waveforms,
+        "digital": digital,
+        "sigmoid": sigmoid,
+        "references": references,
+        "pi_digital": pi_digital,
+    }
 
 
 @dataclass
@@ -114,12 +147,8 @@ class ExperimentRunner:
         self._depth = core.depth()
 
     def _t_stop_for(self, t_last: float) -> float:
-        """Simulation span for a run whose last stimulus edge is ``t_last``.
-
-        Shared by the serial and batched paths — their score equivalence
-        relies on both sizing the span identically.
-        """
-        return t_last + self._depth * _LEVEL_DELAY_ALLOWANCE + 60e-12
+        """Simulation span for this circuit (see :func:`simulation_span`)."""
+        return simulation_span(t_last, self._depth)
 
     # ------------------------------------------------------------------
     def run(
@@ -189,12 +218,13 @@ class ExperimentRunner:
             t_fit_inputs=t_fit_inputs,
         )
         if keep_traces:
-            result.po_traces = {
-                "analog_waveforms": {po: analog.waveform(po) for po in pos},
-                "digital": po_digital,
-                "sigmoid": po_sigmoid,
-                "references": po_references,
-            }
+            result.po_traces = _po_traces_payload(
+                {po: analog.waveform(po) for po in pos},
+                po_digital,
+                po_sigmoid,
+                po_references,
+                pi_digital,
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -204,6 +234,7 @@ class ExperimentRunner:
         seeds: "list[int]",
         same_stimulus: bool = False,
         max_runs_per_batch: int = 64,
+        keep_traces: bool = False,
     ) -> "list[ExperimentResult]":
         """Execute many randomized runs of one cell in lock-step.
 
@@ -228,7 +259,9 @@ class ExperimentRunner:
         results: list[ExperimentResult] = []
         for shard in shard_slices(len(seeds), max_runs_per_batch):
             results.extend(
-                self._run_shard(config, seeds[shard], same_stimulus)
+                self._run_shard(
+                    config, seeds[shard], same_stimulus, keep_traces
+                )
             )
         return results
 
@@ -237,6 +270,7 @@ class ExperimentRunner:
         config: StimulusConfig,
         seeds: "list[int]",
         same_stimulus: bool,
+        keep_traces: bool = False,
     ) -> "list[ExperimentResult]":
         pis = self.core.primary_inputs
         pos = self.core.primary_outputs
@@ -323,22 +357,29 @@ class ExperimentRunner:
         # --- scoring -----------------------------------------------------
         results = []
         for run, seed in enumerate(seeds):
-            results.append(
-                ExperimentResult(
-                    circuit=self.core.name,
-                    config=config,
-                    seed=seed,
-                    t_stop=t_stops[run],
-                    t_err_digital=total_mismatch_time(
-                        po_references[run], po_digital[run], 0.0, t_stops[run]
-                    ),
-                    t_err_sigmoid=total_mismatch_time(
-                        po_references[run], po_sigmoid[run], 0.0, t_stops[run]
-                    ),
-                    t_sim_analog=t_sim_analog,
-                    t_sim_digital=t_sim_digital[run],
-                    t_sim_sigmoid=t_sim_sigmoid,
-                    t_fit_inputs=t_fit_inputs,
-                )
+            result = ExperimentResult(
+                circuit=self.core.name,
+                config=config,
+                seed=seed,
+                t_stop=t_stops[run],
+                t_err_digital=total_mismatch_time(
+                    po_references[run], po_digital[run], 0.0, t_stops[run]
+                ),
+                t_err_sigmoid=total_mismatch_time(
+                    po_references[run], po_sigmoid[run], 0.0, t_stops[run]
+                ),
+                t_sim_analog=t_sim_analog,
+                t_sim_digital=t_sim_digital[run],
+                t_sim_sigmoid=t_sim_sigmoid,
+                t_fit_inputs=t_fit_inputs,
             )
+            if keep_traces:
+                result.po_traces = _po_traces_payload(
+                    {po: run_waveform(po, run) for po in pos},
+                    po_digital[run],
+                    po_sigmoid[run],
+                    po_references[run],
+                    pi_digital[run],
+                )
+            results.append(result)
         return results

@@ -58,6 +58,23 @@ def random_transition_times(
     return t_first + np.cumsum(gaps)
 
 
+def draw_pi_stimulus(
+    config: StimulusConfig,
+    rng: np.random.Generator,
+    random_initial: bool = True,
+) -> tuple[np.ndarray, int]:
+    """One PI's ``(transition times, initial level)`` from ``rng``.
+
+    The single authority on the per-PI draw order (times first, then the
+    level): :func:`random_pi_sources` and the differential harness's
+    digital-reference stimuli both consume it, which is what guarantees
+    the two reference modes see the same abstract stimulus per seed.
+    """
+    times = random_transition_times(config, rng)
+    level = int(rng.integers(0, 2)) if random_initial else 0
+    return times, level
+
+
 def random_pi_sources(
     primary_inputs: list[str],
     config: StimulusConfig,
@@ -73,8 +90,7 @@ def random_pi_sources(
     sources: dict[str, SteppedSource] = {}
     t_last = 0.0
     for pi in primary_inputs:
-        times = random_transition_times(config, rng)
-        level = int(rng.integers(0, 2)) if random_initial else 0
+        times, level = draw_pi_stimulus(config, rng, random_initial)
         sources[pi] = SteppedSource([times], initial_levels=level)
         t_last = max(t_last, float(times[-1]))
     return sources, t_last

@@ -1,0 +1,55 @@
+"""Differential verification: random-circuit fuzzing across simulators.
+
+The safety net every refactor PR runs against: seeded random netlists
+(:mod:`repro.circuits.random_circuit`) are driven through the analog
+reference, the event-driven digital simulator and the sigmoid simulator,
+cross-simulator invariants are checked
+(:mod:`repro.verify.differential`), failing circuits shrink to minimal
+counterexamples (:mod:`repro.verify.shrink`), and waveform/score digests
+are snapshotted under ``artifacts/golden/``
+(:mod:`repro.verify.golden`).  :mod:`repro.verify.fuzz` ties it together
+behind ``python -m repro.cli fuzz``.
+"""
+
+from repro.verify.differential import (
+    ALL_CHECKS,
+    DifferentialConfig,
+    DifferentialReport,
+    InvariantViolation,
+    ensure_nor_mapped,
+    run_differential,
+)
+from repro.verify.fuzz import (
+    FUZZ_PRESETS,
+    CircuitOutcome,
+    FuzzConfig,
+    FuzzResult,
+    run_fuzz,
+)
+from repro.verify.golden import GoldenStore, default_golden_dir
+from repro.verify.shrink import (
+    ShrinkResult,
+    bypass_gate,
+    cone_of,
+    shrink_circuit,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "DifferentialConfig",
+    "DifferentialReport",
+    "InvariantViolation",
+    "ensure_nor_mapped",
+    "run_differential",
+    "FUZZ_PRESETS",
+    "CircuitOutcome",
+    "FuzzConfig",
+    "FuzzResult",
+    "run_fuzz",
+    "GoldenStore",
+    "default_golden_dir",
+    "ShrinkResult",
+    "bypass_gate",
+    "cone_of",
+    "shrink_circuit",
+]

@@ -1,0 +1,534 @@
+"""Differential cross-simulator verification harness.
+
+Drives one circuit + one randomized stimulus set through the repo's
+simulators and checks that they agree where the physics says they must:
+
+* ``logic`` — at the end of every run (after the settling allowance) each
+  simulator's primary outputs hold the boolean evaluation of the final
+  primary-input values; with the analog reference enabled, the digital
+  and sigmoid simulators must also match the *analog* settled value.
+* ``delay`` — the paper's ``t_err`` score of each simulator against the
+  reference stays under a per-transition budget; a delay-model bug (or a
+  mis-trained transfer model) blows through it immediately.
+* ``parity`` — the batched evaluation pipeline agrees with the serial
+  per-run reference path (scores to sub-femtosecond, digitized traces to
+  the same tolerance), guarding the lock-step batching machinery.
+
+Two reference modes share one report format: ``reference="analog"`` runs
+the full three-simulator comparison through
+:class:`~repro.eval.runner.ExperimentRunner` (the Table-I pipeline);
+``reference="digital"`` skips the analog engine and cross-checks the
+event-driven digital simulator against the sigmoid simulator, which is
+cheap enough for c499/c1355-class circuits in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.circuits.nor_map import nor_map
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.characterize import build_instance_delays
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+from repro.eval.metrics import total_mismatch_time
+from repro.eval.runner import ExperimentRunner, simulation_span
+from repro.eval.stimuli import StimulusConfig, draw_pi_stimulus
+
+#: Checks the harness knows; ``DifferentialConfig.checks`` selects a subset.
+ALL_CHECKS = ("logic", "delay", "parity")
+
+#: Delay-budget allowance for *extra* predicted transitions, in budget
+#: units.  The slope-blind digital baseline legitimately emits a few
+#: pulses the analog reference filters, so those earn budget — but the
+#: allowance is capped: a simulator bug that oscillates cannot keep
+#: financing its own mismatch with its own transition count.
+SPURIOUS_TRANSITION_ALLOWANCE = 4
+
+
+@dataclass(frozen=True)
+class DifferentialConfig:
+    """One differential-verification run.
+
+    ``*_err_per_transition`` size the ``delay`` budgets: an output may
+    accumulate that much mismatch time per reference transition, plus
+    one settling-skew unit, plus a *capped* allowance for extra
+    predicted transitions (the slope-blind digital baseline emits a few
+    pulses the analog reference filters; the cap —
+    :data:`SPURIOUS_TRANSITION_ALLOWANCE` — keeps an oscillating
+    simulator bug from financing its own mismatch).
+    ``*_transition_shift`` bound the per-transition time error whenever
+    transition counts agree; the digital bound is looser because fixed
+    per-arc delays accumulate honest slope-blindness error the paper
+    quantifies.  All defaults carry >= 1.8x margin over the worst value
+    observed on the committed seed-0 tiny corpus — they catch
+    delay-model perturbations, not modeling noise.  ``parity_atol``
+    bounds the batched-vs-serial score difference per output (the
+    batching layer promises sub-femtosecond agreement).
+    """
+
+    stimulus: StimulusConfig = StimulusConfig(20e-12, 10e-12, 2)
+    n_runs: int = 2
+    seed: int = 0
+    checks: tuple[str, ...] = ALL_CHECKS
+    reference: str = "analog"
+    digital_err_per_transition: float = 60e-12
+    sigmoid_err_per_transition: float = 60e-12
+    digital_transition_shift: float = 100e-12
+    sigmoid_transition_shift: float = 80e-12
+    parity_atol: float = 1e-15
+    max_runs_per_batch: int = 64
+
+    def __post_init__(self) -> None:
+        unknown = set(self.checks) - set(ALL_CHECKS)
+        if unknown:
+            raise SimulationError(f"unknown checks: {sorted(unknown)}")
+        if self.reference not in ("analog", "digital"):
+            raise SimulationError("reference must be 'analog' or 'digital'")
+        if self.n_runs < 1:
+            raise SimulationError("need at least one run")
+
+
+@dataclass
+class InvariantViolation:
+    """One broken cross-simulator invariant."""
+
+    check: str
+    circuit: str
+    seed: int
+    output: str | None
+    message: str
+    magnitude: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "circuit": self.circuit,
+            "seed": self.seed,
+            "output": self.output,
+            "message": self.message,
+            "magnitude": self.magnitude,
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """All findings of one circuit's differential run."""
+
+    circuit: str
+    n_gates: int
+    reference: str
+    checks: tuple[str, ...]
+    violations: list[InvariantViolation] = field(default_factory=list)
+    runs: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "n_gates": self.n_gates,
+            "reference": self.reference,
+            "checks": list(self.checks),
+            "violations": [v.to_dict() for v in self.violations],
+            "runs": self.runs,
+        }
+
+
+def _trace_payload(trace: DigitalTrace) -> dict:
+    return {
+        "initial": int(trace.initial),
+        "times": [float(t) for t in trace.times],
+    }
+
+
+def ensure_nor_mapped(netlist: Netlist) -> Netlist:
+    """NOR-map unless the netlist is already INV/NOR2-only."""
+    for gate in netlist.gates.values():
+        if gate.gtype is GateType.INV:
+            continue
+        if gate.gtype is GateType.NOR and len(gate.inputs) == 2:
+            continue
+        return nor_map(netlist)
+    return netlist
+
+
+def _final_pi_values(pi_digital: dict[str, DigitalTrace]) -> dict[str, bool]:
+    return {pi: trace.final_value() for pi, trace in pi_digital.items()}
+
+
+def _digital_stimuli(
+    primary_inputs: list[str], config: StimulusConfig, seed: int
+) -> tuple[dict[str, DigitalTrace], float]:
+    """The digital twin of :func:`repro.eval.stimuli.random_pi_sources`.
+
+    Both run the exact per-PI draw of
+    :func:`~repro.eval.stimuli.draw_pi_stimulus` on the same per-seed
+    stream, so the two reference modes see the same abstract stimulus.
+    """
+    rng = np.random.default_rng(seed)
+    traces: dict[str, DigitalTrace] = {}
+    t_last = 0.0
+    for pi in primary_inputs:
+        times, level = draw_pi_stimulus(config, rng)
+        traces[pi] = DigitalTrace(bool(level), [float(t) for t in times])
+        t_last = max(t_last, float(times[-1]))
+    return traces, t_last
+
+
+class _LogicChecker:
+    """Settled-value agreement bookkeeping shared by both modes."""
+
+    def __init__(self, report: DifferentialReport, core: Netlist) -> None:
+        self.report = report
+        self.core = core
+
+    def check(
+        self,
+        seed: int,
+        pi_digital: dict[str, DigitalTrace],
+        streams: dict[str, dict[str, DigitalTrace]],
+        reference_stream: str,
+    ) -> None:
+        expected = self.core.evaluate_outputs(_final_pi_values(pi_digital))
+        reference = streams[reference_stream]
+        for po, want in expected.items():
+            settled = reference[po].final_value()
+            if settled != want:
+                self.report.violations.append(
+                    InvariantViolation(
+                        "logic",
+                        self.report.circuit,
+                        seed,
+                        po,
+                        f"{reference_stream} reference settled to "
+                        f"{int(settled)}, boolean evaluation expects "
+                        f"{int(want)}",
+                    )
+                )
+            for name, traces in streams.items():
+                if name == reference_stream:
+                    continue
+                got = traces[po].final_value()
+                if got != settled:
+                    self.report.violations.append(
+                        InvariantViolation(
+                            "logic",
+                            self.report.circuit,
+                            seed,
+                            po,
+                            f"{name} settled to {int(got)}, "
+                            f"{reference_stream} reference holds "
+                            f"{int(settled)}",
+                        )
+                    )
+
+
+def _check_delay(
+    report: DifferentialReport,
+    seed: int,
+    label: str,
+    per_transition: float,
+    shift_bound: float,
+    references: dict[str, DigitalTrace],
+    predictions: dict[str, DigitalTrace],
+    t_stop: float,
+) -> None:
+    """Per-output delay agreement against the reference stream.
+
+    Two complementary bounds per output: the accumulated mismatch time
+    stays under ``per_transition`` per reference transition (plus one
+    settling allowance and a capped allowance for spurious predicted
+    pulses), and — whenever reference and prediction carry the same
+    transition count — every individual transition lands within
+    ``shift_bound`` of its reference twin.  The first catches erased/extra pulses, the second catches
+    uniform delay shifts that mismatch time alone under-weighs (a shift
+    can never accumulate more mismatch than the signal's total pulse
+    width).
+    """
+    for po, reference in references.items():
+        prediction = predictions[po]
+        extra = min(
+            max(prediction.n_transitions - reference.n_transitions, 0),
+            SPURIOUS_TRANSITION_ALLOWANCE,
+        )
+        units = reference.n_transitions + extra + 1
+        budget = per_transition * units
+        t_err = reference.mismatch_time(prediction, 0.0, t_stop)
+        if t_err > budget:
+            report.violations.append(
+                InvariantViolation(
+                    "delay",
+                    report.circuit,
+                    seed,
+                    po,
+                    f"{label} mismatch on {po} is {t_err * 1e12:.2f} ps, "
+                    f"budget {budget * 1e12:.2f} ps "
+                    f"({reference.n_transitions} reference / "
+                    f"{prediction.n_transitions} predicted transitions)",
+                    magnitude=t_err - budget,
+                )
+            )
+        if (
+            reference.n_transitions
+            and reference.n_transitions == prediction.n_transitions
+            and reference.initial == prediction.initial
+        ):
+            shift = max(
+                abs(a - b)
+                for a, b in zip(prediction.times, reference.times)
+            )
+            if shift > shift_bound:
+                report.violations.append(
+                    InvariantViolation(
+                        "delay",
+                        report.circuit,
+                        seed,
+                        po,
+                        f"{label} transition on {po} shifted by "
+                        f"{shift * 1e12:.2f} ps (bound "
+                        f"{shift_bound * 1e12:.0f} ps)",
+                        magnitude=shift - shift_bound,
+                    )
+                )
+
+
+def run_differential(
+    netlist: Netlist,
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary,
+    config: DifferentialConfig | None = None,
+    mutate_runner: "Callable[[ExperimentRunner], None] | None" = None,
+) -> DifferentialReport:
+    """Run every configured invariant check on one circuit.
+
+    ``netlist`` may use any supported gate type; it is NOR-mapped on the
+    fly when needed.  ``mutate_runner`` is a test-only hook applied to
+    the freshly built :class:`ExperimentRunner` (analog mode) — the fuzz
+    suite uses it to inject delay-model perturbations that the harness
+    must catch and shrink.
+    """
+    if config is None:
+        config = DifferentialConfig()
+    core = ensure_nor_mapped(netlist)
+    if config.reference == "analog":
+        return _run_analog(core, bundle, delay_library, config, mutate_runner)
+    return _run_digital(core, bundle, delay_library, config, mutate_runner)
+
+
+# ----------------------------------------------------------------------
+# analog-reference mode: the full three-simulator comparison
+# ----------------------------------------------------------------------
+def _run_analog(
+    core: Netlist,
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary,
+    config: DifferentialConfig,
+    mutate_runner,
+) -> DifferentialReport:
+    report = DifferentialReport(
+        core.name, core.n_gates, config.reference, config.checks
+    )
+    runner = ExperimentRunner(core, bundle, delay_library)
+    if mutate_runner is not None:
+        mutate_runner(runner)
+    seeds = [config.seed + k for k in range(config.n_runs)]
+    results = runner.run_batch(
+        config.stimulus,
+        seeds,
+        max_runs_per_batch=config.max_runs_per_batch,
+        keep_traces=True,
+    )
+    logic = _LogicChecker(report, core)
+    pos = core.primary_outputs
+    for result in results:
+        traces = result.po_traces
+        references = traces["references"]
+        streams = {
+            "analog": references,
+            "digital": traces["digital"],
+            "sigmoid": {
+                po: traces["sigmoid"][po].digitize() for po in pos
+            },
+        }
+        if "logic" in config.checks:
+            logic.check(result.seed, traces["pi_digital"], streams, "analog")
+        if "delay" in config.checks:
+            _check_delay(
+                report, result.seed, "digital",
+                config.digital_err_per_transition,
+                config.digital_transition_shift,
+                references, streams["digital"], result.t_stop,
+            )
+            _check_delay(
+                report, result.seed, "sigmoid",
+                config.sigmoid_err_per_transition,
+                config.sigmoid_transition_shift,
+                references, streams["sigmoid"], result.t_stop,
+            )
+        report.runs.append(
+            {
+                "seed": result.seed,
+                "t_err_digital": result.t_err_digital,
+                "t_err_sigmoid": result.t_err_sigmoid,
+                "outputs": {
+                    po: {
+                        name: _trace_payload(stream[po])
+                        for name, stream in streams.items()
+                    }
+                    for po in pos
+                },
+            }
+        )
+    if "parity" in config.checks:
+        _check_parity(report, runner, config, results[0])
+    return report
+
+
+def _check_parity(
+    report: DifferentialReport,
+    runner: ExperimentRunner,
+    config: DifferentialConfig,
+    batched,
+) -> None:
+    """Serial reference path vs the batched pipeline, first seed."""
+    serial = runner.run(config.stimulus, batched.seed, keep_traces=True)
+    n_pos = max(1, len(runner.core.primary_outputs))
+    tol = config.parity_atol * n_pos
+    for label, a, b in (
+        ("t_err_digital", serial.t_err_digital, batched.t_err_digital),
+        ("t_err_sigmoid", serial.t_err_sigmoid, batched.t_err_sigmoid),
+    ):
+        if abs(a - b) > tol:
+            report.violations.append(
+                InvariantViolation(
+                    "parity",
+                    report.circuit,
+                    batched.seed,
+                    None,
+                    f"{label} serial {a:.3e} vs batched {b:.3e} "
+                    f"differs by {abs(a - b):.3e} s (tol {tol:.1e})",
+                    magnitude=abs(a - b),
+                )
+            )
+    for po in runner.core.primary_outputs:
+        serial_trace = serial.po_traces["sigmoid"][po].digitize()
+        batch_trace = batched.po_traces["sigmoid"][po].digitize()
+        same = (
+            serial_trace.initial == batch_trace.initial
+            and serial_trace.n_transitions == batch_trace.n_transitions
+            and np.allclose(
+                serial_trace.times,
+                batch_trace.times,
+                rtol=0.0,
+                atol=config.parity_atol,
+            )
+        )
+        if not same:
+            report.violations.append(
+                InvariantViolation(
+                    "parity",
+                    report.circuit,
+                    batched.seed,
+                    po,
+                    "batched sigmoid trace diverges from the serial path "
+                    f"({serial_trace.n_transitions} vs "
+                    f"{batch_trace.n_transitions} transitions)",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# digital-reference mode: event-driven vs sigmoid, no analog engine
+# ----------------------------------------------------------------------
+def _run_digital(
+    core: Netlist,
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary,
+    config: DifferentialConfig,
+    mutate_runner,
+) -> DifferentialReport:
+    report = DifferentialReport(
+        core.name, core.n_gates, config.reference, config.checks
+    )
+    if mutate_runner is not None:
+        raise SimulationError(
+            "mutate_runner is only supported with the analog reference"
+        )
+    digital = DigitalSimulator(
+        core, build_instance_delays(core, delay_library)
+    )
+    sigmoid = SigmoidCircuitSimulator(core, bundle)
+    logic = _LogicChecker(report, core)
+    pos = core.primary_outputs
+    depth = core.depth()
+
+    seeds = [config.seed + k for k in range(config.n_runs)]
+    stimuli = [
+        _digital_stimuli(core.primary_inputs, config.stimulus, seed)
+        for seed in seeds
+    ]
+    pi_sigmoid_runs = [
+        {
+            pi: SigmoidalTrace.from_digital(trace)
+            for pi, trace in pi_digital.items()
+        }
+        for pi_digital, _ in stimuli
+    ]
+    po_sigmoid_runs = sigmoid.simulate_batch(pi_sigmoid_runs, record_nets=pos)
+
+    for k, (seed, (pi_digital, t_last)) in enumerate(zip(seeds, stimuli)):
+        t_stop = simulation_span(t_last, depth)
+        po_digital = digital.simulate_outputs(pi_digital, t_stop)
+        po_sigmoid = {po: po_sigmoid_runs[k][po].digitize() for po in pos}
+        streams = {"digital": po_digital, "sigmoid": po_sigmoid}
+        if "logic" in config.checks:
+            logic.check(seed, pi_digital, streams, "digital")
+        t_err = total_mismatch_time(po_digital, po_sigmoid, 0.0, t_stop)
+        if "delay" in config.checks:
+            _check_delay(
+                report, seed, "sigmoid-vs-digital",
+                config.sigmoid_err_per_transition,
+                config.digital_transition_shift,
+                po_digital, po_sigmoid, t_stop,
+            )
+        if "parity" in config.checks and k == 0:
+            solo = sigmoid.simulate(pi_sigmoid_runs[0], record_nets=pos)
+            for po in pos:
+                if solo[po].digitize() != po_sigmoid[po]:
+                    report.violations.append(
+                        InvariantViolation(
+                            "parity",
+                            report.circuit,
+                            seed,
+                            po,
+                            "sigmoid simulate() and simulate_batch() "
+                            "disagree",
+                        )
+                    )
+        report.runs.append(
+            {
+                "seed": seed,
+                "t_err_digital": 0.0,
+                "t_err_sigmoid": t_err,
+                "outputs": {
+                    po: {
+                        name: _trace_payload(stream[po])
+                        for name, stream in streams.items()
+                    }
+                    for po in pos
+                },
+            }
+        )
+    return report

@@ -1,0 +1,347 @@
+"""Cross-simulator fuzzing: seeded corpora driven through the harness.
+
+Glues the pieces of :mod:`repro.verify` together:
+
+* draw a deterministic corpus of random circuits
+  (:func:`repro.circuits.random_circuit.random_corpus`),
+* run the differential harness on each
+  (:func:`repro.verify.differential.run_differential`),
+* compare/record golden snapshots (:mod:`repro.verify.golden`),
+* shrink every failing circuit to a minimal counterexample
+  (:func:`repro.verify.shrink.shrink_circuit`),
+* and serialize everything into one report the CI can upload.
+
+``python -m repro.cli fuzz`` is the command-line entry;
+``tests/test_differential_fuzz.py`` pins the behavior.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.circuits.bench import format_bench
+from repro.circuits.netlist import Netlist
+from repro.circuits.random_circuit import RandomCircuitConfig, random_corpus
+from repro.core.models import GateModelBundle
+from repro.digital.delay import DelayLibrary
+from repro.errors import SimulationError
+from repro.eval.stimuli import StimulusConfig
+from repro.verify.differential import (
+    DifferentialConfig,
+    DifferentialReport,
+    InvariantViolation,
+    ensure_nor_mapped,
+    run_differential,
+)
+from repro.verify.golden import GoldenStore, default_golden_dir
+from repro.verify.shrink import ShrinkResult, shrink_circuit
+
+
+@dataclass(frozen=True)
+class FuzzScalePreset:
+    """Corpus sizing of one fuzz scale.
+
+    ``parity_every`` bounds the cost of the serial-vs-batched parity
+    check (it re-runs the analog reference serially): circuit ``i`` runs
+    it only when ``i % parity_every == 0``.
+    """
+
+    circuit: RandomCircuitConfig
+    differential: DifferentialConfig
+    parity_every: int = 5
+
+
+FUZZ_PRESETS: dict[str, FuzzScalePreset] = {
+    "tiny": FuzzScalePreset(
+        circuit=RandomCircuitConfig(
+            n_inputs=3, n_gates=5, window=3, name="rand"
+        ),
+        # Odd transition count: the settled PI vector differs from the
+        # initial one, so the logic check exercises a real state change.
+        differential=DifferentialConfig(
+            stimulus=StimulusConfig(20e-12, 10e-12, 3),
+            n_runs=2,
+            checks=("logic", "delay"),
+        ),
+        parity_every=5,
+    ),
+    "fast": FuzzScalePreset(
+        circuit=RandomCircuitConfig(
+            n_inputs=4, n_gates=8, window=4, name="rand"
+        ),
+        differential=DifferentialConfig(
+            stimulus=StimulusConfig(100e-12, 50e-12, 3),
+            n_runs=3,
+            checks=("logic", "delay"),
+        ),
+        parity_every=4,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzzing campaign."""
+
+    count: int = 25
+    seed: int = 0
+    scale: str = "tiny"
+    backend: str = "ann"
+    reference: str = "analog"
+    benchmarks: tuple[str, ...] = ()
+    shrink: bool = True
+    max_shrink_evals: int = 60
+    golden: str = "check"  # "check" | "update" | "off"
+    golden_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in FUZZ_PRESETS:
+            raise SimulationError(
+                f"unknown fuzz scale {self.scale!r}; "
+                f"options: {sorted(FUZZ_PRESETS)}"
+            )
+        if self.golden not in ("check", "update", "off"):
+            raise SimulationError("golden must be check, update or off")
+        if self.count < 0:
+            raise SimulationError("count must be non-negative")
+        if self.count == 0 and not self.benchmarks:
+            raise SimulationError(
+                "an empty campaign verifies nothing: need count >= 1 "
+                "or at least one benchmark"
+            )
+
+    def preset(self) -> FuzzScalePreset:
+        return FUZZ_PRESETS[self.scale]
+
+    def golden_store(self, reference: str) -> GoldenStore | None:
+        """Store for circuits that ran with the given *effective*
+        reference — benchmarks always run digitally, so their snapshots
+        must not be filed (or looked up) under the campaign's mode."""
+        if self.golden == "off":
+            return None
+        directory = self.golden_dir or default_golden_dir()
+        prefix = (
+            f"{self.scale}_{self.backend}_{reference}_"
+            f"seed{self.seed}_"
+        )
+        return GoldenStore(directory, prefix)
+
+
+@dataclass
+class CircuitOutcome:
+    """Everything the fuzzer learned about one corpus member."""
+
+    circuit: str
+    n_gates: int
+    seconds: float
+    violations: list[InvariantViolation] = field(default_factory=list)
+    shrunk_bench: str | None = None
+    shrunk_gates: int | None = None
+    shrink_evals: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "n_gates": self.n_gates,
+            "seconds": self.seconds,
+            "violations": [v.to_dict() for v in self.violations],
+            "shrunk_bench": self.shrunk_bench,
+            "shrunk_gates": self.shrunk_gates,
+            "shrink_evals": self.shrink_evals,
+        }
+
+
+@dataclass
+class FuzzResult:
+    """One campaign's outcomes plus enough config echo to reproduce it."""
+
+    config: FuzzConfig
+    outcomes: list[CircuitOutcome] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[InvariantViolation]:
+        return [v for o in self.outcomes for v in o.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "config": {
+                "count": self.config.count,
+                "seed": self.config.seed,
+                "scale": self.config.scale,
+                "backend": self.config.backend,
+                "reference": self.config.reference,
+                "benchmarks": list(self.config.benchmarks),
+            },
+            "ok": self.ok,
+            "n_violations": len(self.violations),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {len(self.outcomes)} circuits, "
+            f"{len(self.violations)} invariant violations"
+        ]
+        for outcome in self.outcomes:
+            if outcome.ok:
+                continue
+            lines.append(
+                f"  FAIL {outcome.circuit} ({outcome.n_gates} gates): "
+                f"{len(outcome.violations)} violations"
+            )
+            for violation in outcome.violations[:4]:
+                lines.append(f"    [{violation.check}] {violation.message}")
+            if outcome.shrunk_gates is not None:
+                lines.append(
+                    f"    shrunk to {outcome.shrunk_gates} gates in "
+                    f"{outcome.shrink_evals} evals"
+                )
+        return "\n".join(lines)
+
+
+def _differential_config(
+    config: FuzzConfig, index: int
+) -> DifferentialConfig:
+    """Per-circuit differential config: parity only every Nth circuit."""
+    preset = config.preset()
+    checks = preset.differential.checks
+    if (
+        config.reference == "analog"
+        and preset.parity_every > 0
+        and index % preset.parity_every == 0
+        and "parity" not in checks
+    ):
+        checks = checks + ("parity",)
+    return replace(
+        preset.differential,
+        checks=checks,
+        reference=config.reference,
+        seed=config.seed,
+    )
+
+
+def _shrink_failure(
+    netlist: Netlist,
+    report: DifferentialReport,
+    diff_config: DifferentialConfig,
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary,
+    config: FuzzConfig,
+    mutate_runner,
+) -> ShrinkResult:
+    """Minimize a failing circuit, chasing the checks that fired."""
+    failed_checks = tuple(sorted({v.check for v in report.violations}))
+    failing_seeds = sorted({v.seed for v in report.violations})
+    shrink_config = replace(
+        diff_config,
+        checks=failed_checks,
+        seed=failing_seeds[0],
+        n_runs=1,
+    )
+
+    def still_fails(candidate: Netlist) -> bool:
+        try:
+            candidate_report = run_differential(
+                candidate, bundle, delay_library, shrink_config,
+                mutate_runner=mutate_runner,
+            )
+        except Exception:
+            # A candidate that crashes a simulator is not the failure we
+            # are chasing; treat it as passing so the shrinker backs off.
+            return False
+        return any(
+            v.check in failed_checks for v in candidate_report.violations
+        )
+
+    mapped = ensure_nor_mapped(netlist)
+    return shrink_circuit(
+        mapped, still_fails, max_evals=config.max_shrink_evals
+    )
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary,
+    verbose: bool = False,
+    mutate_runner=None,
+) -> FuzzResult:
+    """Run one fuzzing campaign.
+
+    The corpus is ``config.count`` random circuits (deterministic in
+    ``config.seed``) followed by any named ``config.benchmarks`` (which
+    always run with the cheap digital reference — the analog engine on a
+    c1355-class circuit is a benchmark, not a CI check).  ``mutate_runner``
+    is the test-only perturbation hook, threaded through shrinking so an
+    injected bug stays injected while the counterexample shrinks.
+    """
+    preset = config.preset()
+    result = FuzzResult(config)
+    circuits: list[tuple[Netlist, str]] = [
+        (netlist, config.reference)
+        for netlist in random_corpus(
+            config.count, seed=config.seed, config=preset.circuit
+        )
+    ]
+    if config.benchmarks:
+        from repro.eval.table1 import nor_mapped
+
+        circuits.extend(
+            (nor_mapped(name), "digital") for name in config.benchmarks
+        )
+
+    for index, (netlist, reference) in enumerate(circuits):
+        t0 = time.perf_counter()
+        diff_config = replace(
+            _differential_config(config, index), reference=reference
+        )
+        if reference == "digital":
+            diff_config = replace(
+                diff_config,
+                checks=tuple(
+                    c for c in diff_config.checks if c != "parity"
+                ) + ("parity",),
+            )
+        report = run_differential(
+            netlist, bundle, delay_library, diff_config,
+            mutate_runner=mutate_runner if reference == "analog" else None,
+        )
+        outcome = CircuitOutcome(
+            circuit=report.circuit,
+            n_gates=report.n_gates,
+            seconds=0.0,
+            violations=list(report.violations),
+        )
+        store = config.golden_store(reference)
+        if store is not None:
+            if config.golden == "update":
+                store.record(report)
+            else:
+                outcome.violations.extend(store.compare(report))
+        if report.violations and config.shrink:
+            shrunk = _shrink_failure(
+                netlist, report, diff_config, bundle, delay_library,
+                config, mutate_runner if reference == "analog" else None,
+            )
+            outcome.shrunk_bench = format_bench(shrunk.netlist)
+            outcome.shrunk_gates = shrunk.n_gates
+            outcome.shrink_evals = shrunk.n_evals
+        outcome.seconds = time.perf_counter() - t0
+        result.outcomes.append(outcome)
+        if verbose:
+            status = "ok" if outcome.ok else "FAIL"
+            print(
+                f"[fuzz {index + 1}/{len(circuits)}] {outcome.circuit}: "
+                f"{outcome.n_gates} gates, {outcome.seconds:.1f}s {status}"
+            )
+    return result

@@ -1,0 +1,156 @@
+"""Golden-snapshot store for differential-verification runs.
+
+Records, per circuit, the digitized waveforms and ``t_err`` scores a
+differential run produced, as JSON under ``artifacts/golden/``.  A later
+run of the same corpus compares against the stored snapshot and reports
+drift — the safety net every refactor PR runs against: a change that
+shifts a predicted transition by more than the comparison tolerance
+shows up as a ``golden`` violation naming circuit, run seed, output and
+stream.
+
+Snapshots are intentionally *tolerance*-compared (not hash-compared):
+transition times come out of floating-point integration, so bitwise
+equality across platforms is not a meaningful contract, but agreement to
+``TIME_ATOL`` (well under a gate delay) is.  ``--update-golden`` on the
+fuzz CLI rewrites the snapshots after an intentional behavior change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.verify.differential import DifferentialReport, InvariantViolation
+
+#: Transition-time comparison tolerance (0.05 ps: far below any gate
+#: delay, far above cross-platform float noise).
+TIME_ATOL = 5e-14
+
+#: Score comparison tolerance (t_err values are sums of time windows).
+SCORE_ATOL = 1e-13
+
+#: Snapshot format version; bump on incompatible payload changes.
+GOLDEN_VERSION = 1
+
+
+def default_golden_dir() -> Path:
+    return artifacts_dir() / "golden"
+
+
+@dataclass
+class GoldenStore:
+    """One directory of per-circuit golden snapshots."""
+
+    directory: Path
+    prefix: str = ""
+
+    def path(self, circuit: str) -> Path:
+        name = f"{self.prefix}{circuit}.json"
+        return self.directory / name
+
+    # ------------------------------------------------------------------
+    def record(self, report: DifferentialReport) -> Path:
+        """Write (or overwrite) the snapshot for ``report``'s circuit."""
+        payload = {
+            "version": GOLDEN_VERSION,
+            "circuit": report.circuit,
+            "n_gates": report.n_gates,
+            "reference": report.reference,
+            "runs": report.runs,
+        }
+        path = self.path(report.circuit)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        return path
+
+    def load(self, circuit: str) -> dict | None:
+        path = self.path(circuit)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    def compare(self, report: DifferentialReport) -> list[InvariantViolation]:
+        """Diff ``report`` against the stored snapshot.
+
+        Returns ``golden`` violations (empty when the snapshot matches or
+        none exists yet — absence is not drift).
+        """
+        golden = self.load(report.circuit)
+        if golden is None:
+            return []
+        violations: list[InvariantViolation] = []
+
+        def drift(seed: int, output: str | None, message: str,
+                  magnitude: float = 0.0) -> None:
+            violations.append(
+                InvariantViolation(
+                    "golden", report.circuit, seed, output,
+                    message, magnitude,
+                )
+            )
+
+        if golden.get("version") != GOLDEN_VERSION:
+            drift(-1, None,
+                  f"snapshot version {golden.get('version')} != "
+                  f"{GOLDEN_VERSION} (re-record with --update-golden)")
+            return violations
+        if golden["reference"] != report.reference:
+            drift(-1, None,
+                  f"snapshot was recorded with the {golden['reference']} "
+                  f"reference, run used {report.reference}")
+            return violations
+        if len(golden["runs"]) != len(report.runs):
+            drift(-1, None,
+                  f"snapshot has {len(golden['runs'])} runs, "
+                  f"run produced {len(report.runs)}")
+            return violations
+
+        for want, got in zip(golden["runs"], report.runs):
+            seed = got["seed"]
+            if want["seed"] != seed:
+                drift(seed, None, f"run seed changed from {want['seed']}")
+                continue
+            for label in ("t_err_digital", "t_err_sigmoid"):
+                delta = abs(want[label] - got[label])
+                if delta > SCORE_ATOL:
+                    drift(seed, None,
+                          f"{label} drifted by {delta * 1e12:.4f} ps "
+                          f"({want[label]:.3e} -> {got[label]:.3e})",
+                          magnitude=delta)
+            if set(want["outputs"]) != set(got["outputs"]):
+                drift(seed, None, "primary-output set changed")
+                continue
+            for po, want_streams in want["outputs"].items():
+                got_streams = got["outputs"][po]
+                for stream, want_trace in want_streams.items():
+                    got_trace = got_streams.get(stream)
+                    if got_trace is None:
+                        drift(seed, po, f"stream {stream!r} disappeared")
+                        continue
+                    if want_trace["initial"] != got_trace["initial"]:
+                        drift(seed, po,
+                              f"{stream} initial level changed")
+                        continue
+                    want_times = np.asarray(want_trace["times"])
+                    got_times = np.asarray(got_trace["times"])
+                    if want_times.size != got_times.size:
+                        drift(seed, po,
+                              f"{stream} transition count changed "
+                              f"({want_times.size} -> {got_times.size})")
+                        continue
+                    if want_times.size and not np.allclose(
+                        want_times, got_times, rtol=0.0, atol=TIME_ATOL
+                    ):
+                        delta = float(
+                            np.max(np.abs(want_times - got_times))
+                        )
+                        drift(seed, po,
+                              f"{stream} transition times drifted by up "
+                              f"to {delta * 1e12:.4f} ps",
+                              magnitude=delta)
+        return violations

@@ -1,0 +1,173 @@
+"""Counterexample minimizer for the differential harness.
+
+When a cross-simulator invariant fails on a fuzzed circuit, reporting the
+whole netlist is useless for debugging — the interesting physics usually
+lives in a handful of gates.  :func:`shrink_circuit` reduces a failing
+netlist to a (locally) minimal gate subgraph that still fails the given
+predicate, delta-debugging style:
+
+1. **cone extraction** — restrict to the transitive fanin of one failing
+   output (the smallest failing single-PO cone wins);
+2. **greedy bypass** — repeatedly try to delete a gate by rewiring its
+   consumers to one of its input nets, keeping any deletion that
+   preserves the failure, until a fixed point (or the eval budget) is
+   reached.
+
+Both steps only ever produce valid netlists: nets stay single-driver,
+the graph stays acyclic, and INV/NOR2-only circuits stay INV/NOR2-only
+(a NOR2 whose inputs become tied is the mapping's inverter cell, which
+every simulator in the repo accepts).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+
+#: Default budget of predicate evaluations (each one re-runs simulators).
+DEFAULT_MAX_EVALS = 80
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    netlist: Netlist
+    n_evals: int = 0
+    history: list[str] = field(default_factory=list)
+
+    @property
+    def n_gates(self) -> int:
+        return self.netlist.n_gates
+
+
+def cone_of(
+    netlist: Netlist, outputs: list[str], name: str | None = None
+) -> Netlist:
+    """The subcircuit feeding ``outputs``: transitive fanin only.
+
+    Keeps exactly the gates (and primary inputs) reachable backwards from
+    ``outputs``; the new netlist's POs are ``outputs`` in the given
+    order.  Gate and net names are preserved.
+    """
+    keep: set[str] = set()
+    stack = [net for net in outputs]
+    while stack:
+        net = stack.pop()
+        if net in keep:
+            continue
+        keep.add(net)
+        gate = netlist.gates.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    cone = Netlist(name if name is not None else netlist.name)
+    for pi in netlist.primary_inputs:
+        if pi in keep:
+            cone.add_input(pi)
+    for gate_name in netlist.topological_order():
+        if gate_name in keep:
+            gate = netlist.gates[gate_name]
+            cone.add_gate(gate_name, gate.gtype, list(gate.inputs))
+    for po in outputs:
+        cone.add_output(po)
+    cone.validate()
+    return cone
+
+
+def bypass_gate(
+    netlist: Netlist, gate_name: str, replacement: str
+) -> Netlist | None:
+    """Delete ``gate_name``, rewiring its readers to ``replacement``.
+
+    ``replacement`` must be one of the gate's input nets (guaranteeing
+    acyclicity).  Dead logic left behind is pruned by re-taking the cone
+    of the remaining POs.  Returns ``None`` when the deletion is not
+    applicable (unknown gate, bad replacement, or it would leave no
+    primary outputs).
+    """
+    gate = netlist.gates.get(gate_name)
+    if gate is None or replacement not in gate.inputs:
+        return None
+    rewired = Netlist(netlist.name)
+    for pi in netlist.primary_inputs:
+        rewired.add_input(pi)
+    for name in netlist.topological_order():
+        if name == gate_name:
+            continue
+        other = netlist.gates[name]
+        inputs = [
+            replacement if net == gate_name else net for net in other.inputs
+        ]
+        rewired.add_gate(name, other.gtype, inputs)
+    outputs: list[str] = []
+    for po in netlist.primary_outputs:
+        mapped = replacement if po == gate_name else po
+        if mapped not in outputs:
+            outputs.append(mapped)
+    if not outputs:  # pragma: no cover - POs never vanish entirely
+        return None
+    return cone_of(rewired, outputs)
+
+
+def shrink_circuit(
+    netlist: Netlist,
+    predicate: Callable[[Netlist], bool],
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> ShrinkResult:
+    """Minimize ``netlist`` while ``predicate`` keeps returning True.
+
+    ``predicate(candidate)`` must return True when the candidate still
+    exhibits the failure being chased.  The input netlist itself is
+    assumed failing (the caller just observed it fail); it is returned
+    unchanged when no smaller failing circuit is found within
+    ``max_evals`` predicate evaluations.
+    """
+    result = ShrinkResult(netlist)
+
+    def still_fails(candidate: Netlist) -> bool:
+        result.n_evals += 1
+        return predicate(candidate)
+
+    # Phase 1: smallest failing single-output cone.
+    best = netlist
+    cones = sorted(
+        (cone_of(netlist, [po]) for po in netlist.primary_outputs),
+        key=lambda cone: cone.n_gates,
+    )
+    for cone in cones:
+        if cone.n_gates >= best.n_gates or result.n_evals >= max_evals:
+            break
+        if still_fails(cone):
+            best = cone
+            result.history.append(
+                f"cone {cone.primary_outputs[0]}: {cone.n_gates} gates"
+            )
+            break
+
+    # Phase 2: greedy gate bypass to a fixed point.
+    improved = True
+    while improved and result.n_evals < max_evals:
+        improved = False
+        for gate_name in reversed(best.topological_order()):
+            gate = best.gates[gate_name]
+            for replacement in dict.fromkeys(gate.inputs):
+                candidate = bypass_gate(best, gate_name, replacement)
+                if candidate is None or candidate.n_gates >= best.n_gates:
+                    continue
+                if result.n_evals >= max_evals:
+                    break
+                if still_fails(candidate):
+                    best = candidate
+                    result.history.append(
+                        f"bypass {gate_name} -> {replacement}: "
+                        f"{candidate.n_gates} gates"
+                    )
+                    improved = True
+                    break
+            if improved or result.n_evals >= max_evals:
+                break
+
+    result.netlist = best
+    return result

@@ -1,0 +1,88 @@
+"""Backend-ablation parity through the differential harness.
+
+Every registered transfer-model backend (ann/lut/spline/poly) must keep
+the differential harness's logic-agreement invariant on the committed
+tiny bundles — so ``run_backend_ablation`` is covered by a structural
+cross-simulator check on several circuits, not just one c17 smoke run.
+Runs in the digital-reference mode: the backends only differ inside the
+sigmoid simulator, so no analog engine is needed.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir, bundle_path
+from repro.circuits.random_circuit import RandomCircuitConfig, random_circuit
+from repro.core.backends import available_backends
+from repro.core.models import GateModelBundle
+from repro.digital.delay import DelayLibrary
+from repro.eval.ablation import DEFAULT_ABLATION_BACKENDS
+from repro.verify.differential import DifferentialConfig, run_differential
+from repro.verify.fuzz import FUZZ_PRESETS
+
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+
+BACKENDS = [
+    b for b in DEFAULT_ABLATION_BACKENDS
+    if bundle_path("tiny", b).exists()
+]
+
+pytestmark = pytest.mark.skipif(
+    not DLIB_PATH.exists() or len(BACKENDS) < len(DEFAULT_ABLATION_BACKENDS),
+    reason="committed tiny per-backend bundles not available",
+)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+def _bundle(backend: str) -> GateModelBundle:
+    return GateModelBundle.load(bundle_path("tiny", backend))
+
+
+def _config() -> DifferentialConfig:
+    return replace(
+        FUZZ_PRESETS["tiny"].differential,
+        reference="digital",
+        checks=("logic", "parity"),
+        n_runs=2,
+    )
+
+
+def test_ablation_backends_all_have_tiny_bundles():
+    assert set(DEFAULT_ABLATION_BACKENDS) <= set(available_backends())
+    assert BACKENDS == list(DEFAULT_ABLATION_BACKENDS)
+
+
+@pytest.mark.parametrize("backend", DEFAULT_ABLATION_BACKENDS)
+def test_logic_agreement_on_c17(backend, delay_library):
+    from repro.eval.table1 import nor_mapped
+
+    report = run_differential(
+        nor_mapped("c17"), _bundle(backend), delay_library, _config()
+    )
+    assert report.ok, (backend, [v.message for v in report.violations])
+
+
+@pytest.mark.parametrize("backend", DEFAULT_ABLATION_BACKENDS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_logic_agreement_on_random_circuits(backend, seed, delay_library):
+    """Each backend settles every PO to the boolean value on fuzzed DAGs."""
+    netlist = random_circuit(RandomCircuitConfig(n_gates=6), seed=(77, seed))
+    report = run_differential(
+        netlist, _bundle(backend), delay_library, _config()
+    )
+    logic = [v for v in report.violations if v.check == "logic"]
+    assert not logic, (backend, seed, [v.message for v in logic])
+    # batch parity must hold for every backend's transfer functions too
+    parity = [v for v in report.violations if v.check == "parity"]
+    assert not parity, (backend, seed, [v.message for v in parity])
+
+
+def test_bundle_backend_tags_match():
+    for backend in DEFAULT_ABLATION_BACKENDS:
+        assert _bundle(backend).backend in (backend, "unknown")

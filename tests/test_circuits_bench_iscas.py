@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.circuits.bench import format_bench, load_bench, parse_bench, save_bench
+from repro.circuits.bench import (
+    format_bench,
+    load_bench,
+    normalize_net_names,
+    parse_bench,
+    save_bench,
+)
 from repro.circuits.gates import GateType
 from repro.circuits.iscas85 import c17, c1355_like, c499_like
 from repro.errors import NetlistError
@@ -146,3 +152,138 @@ class TestSECGenerators:
 
         assert 600 <= nor_map(c499_like()).n_gates <= 1200
         assert 1300 <= nor_map(c1355_like()).n_gates <= 2600
+
+
+class TestNetNameNormalization:
+    """Regression: unsafe or colliding net names survive the round trip.
+
+    ``format_bench`` used to emit names containing grammar-reserved
+    characters verbatim — the reader then silently split them at commas,
+    truncated them at ``#`` (comment start), or rejected the line.  The
+    writer now normalizes names first (``normalize_net_names``), so
+    every netlist formats to text that parses back structurally
+    identical.
+    """
+
+    def _truth_tables_match(self, a, b, n_vectors=24, seed=0):
+        """Compare by PI position: normalization may rename nets."""
+        rng = np.random.default_rng(seed)
+        for _ in range(n_vectors):
+            bits = [bool(rng.integers(0, 2)) for _ in a.primary_inputs]
+            out_a = list(
+                a.evaluate_outputs(
+                    dict(zip(a.primary_inputs, bits))
+                ).values()
+            )
+            out_b = list(
+                b.evaluate_outputs(
+                    dict(zip(b.primary_inputs, bits))
+                ).values()
+            )
+            assert out_a == out_b
+
+    def _round_trips(self, nl):
+        parsed = parse_bench(format_bench(nl), name=nl.name)
+        assert parsed == normalize_net_names(nl)
+        self._truth_tables_match(nl, parsed)
+        return parsed
+
+    def test_whitespace_in_gate_name(self):
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("x in")
+        nl.add_gate("g 1", GateType.INV, ["x in"])
+        nl.add_output("g 1")
+        parsed = self._round_trips(nl)
+        assert "g_1" in parsed.gates
+
+    def test_comma_in_net_name_not_silently_split(self):
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("a,b")
+        nl.add_input("c")
+        nl.add_gate("g", GateType.NAND, ["a,b", "c"])
+        nl.add_output("g")
+        parsed = self._round_trips(nl)
+        # two inputs before, two inputs after — nothing was split
+        assert len(parsed.gates["g"].inputs) == 2
+
+    def test_hash_in_net_name_not_truncated(self):
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("n#1")
+        nl.add_gate("g", GateType.INV, ["n#1"])
+        nl.add_output("g")
+        parsed = self._round_trips(nl)
+        assert parsed.primary_inputs == ["n_1"]
+
+    def test_case_insensitive_collision_resolved(self):
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("N1")
+        nl.add_input("n1")
+        nl.add_gate("g", GateType.NAND, ["N1", "n1"])
+        nl.add_output("g")
+        parsed = self._round_trips(nl)
+        lowered = [pi.casefold() for pi in parsed.primary_inputs]
+        assert len(set(lowered)) == 2  # no longer collide case-insensitively
+
+    def test_equals_and_parens_sanitized(self):
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("a=b(c)")
+        nl.add_gate("out", GateType.INV, ["a=b(c)"])
+        nl.add_output("out")
+        self._round_trips(nl)
+
+    def test_safe_netlist_returned_unchanged(self):
+        nl = c17()
+        assert normalize_net_names(nl) is nl
+        # and the rendered text is byte-identical to the historical form
+        assert "10 = NAND(1, 3)" in format_bench(nl)
+
+    def test_sanitized_name_cannot_steal_clean_identity(self):
+        """Regression: 'a b' sanitizes to 'a_b' but must not claim the
+        name of a genuinely clean 'a_b' net — clean names keep their
+        identity, the unsafe one gets the suffix."""
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("a b")
+        nl.add_input("a_b")
+        nl.add_gate("g", GateType.NAND, ["a b", "a_b"])
+        nl.add_output("g")
+        normalized = normalize_net_names(nl)
+        assert normalized.primary_inputs == ["a_b_2", "a_b"]
+        self._round_trips(nl)
+
+    def test_underscore_prefixed_name_keeps_identity(self):
+        """Regression: sanitization must never rewrite one clean name
+        into another clean name (``_x`` used to become ``x``, hijacking
+        the real ``x`` net's identity)."""
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("_x")
+        nl.add_input("x")
+        nl.add_gate("g", GateType.NAND, ["_x", "x"])
+        nl.add_output("g")
+        assert normalize_net_names(nl) is nl
+        parsed = self._round_trips(nl)
+        assert parsed.primary_inputs == ["_x", "x"]
+
+    def test_normalization_is_idempotent(self):
+        from repro.circuits.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("a b")
+        nl.add_input("A_B")
+        nl.add_gate("g", GateType.NAND, ["a b", "A_B"])
+        nl.add_output("g")
+        once = normalize_net_names(nl)
+        assert normalize_net_names(once) is once

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 import subprocess
 import sys
@@ -58,6 +59,19 @@ class TestCLI:
         for backend in ("ann", "lut", "poly", "spline"):
             assert backend in out
 
+    def test_fuzz_rejects_unknown_scale(self):
+        # fuzz presets exist for tiny/fast only
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--scale", "paper"])
+
+    def test_fuzz_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--benchmarks", "c9000"])
+
+    def test_fuzz_rejects_unknown_reference(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--reference", "spice"])
+
 
 @needs_artifacts
 @pytest.mark.slow
@@ -88,6 +102,34 @@ class TestTable1EndToEnd:
         # One rendered row per stimulus configuration.
         assert len(lines) == 3
         assert "error ratio" in proc.stdout
+
+
+needs_tiny_artifacts = pytest.mark.skipif(
+    not (
+        (artifacts_dir() / "bundle_tiny.json").exists()
+        and (artifacts_dir() / "delay_library.json").exists()
+    ),
+    reason="cached tiny artifacts not built",
+)
+
+
+@needs_tiny_artifacts
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+class TestFuzzEndToEnd:
+    def test_fuzz_single_circuit_writes_report(self, tmp_path, capsys):
+        """``python -m repro.cli fuzz`` end to end, in process."""
+        report_path = tmp_path / "fuzz_report.json"
+        code = main([
+            "fuzz", "--count", "1", "--seed", "0", "--scale", "tiny",
+            "--no-golden", "--quiet", "--report", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 invariant violations" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["outcomes"][0]["circuit"] == "rand000_nor"
 
 
 needs_tiny_backend_artifacts = pytest.mark.skipif(

@@ -1,0 +1,439 @@
+"""Tests for the differential verification harness and the fuzz driver.
+
+The fast tier runs a small seeded corpus through the full
+analog/digital/sigmoid comparison plus the injected-perturbation
+scenario (a frozen delay arc must be caught and shrunk to a minimal
+counterexample).  The slow tier widens the corpus and adds the
+c499/c1355-class benchmarks through the digital-reference mode.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.circuits.random_circuit import RandomCircuitConfig, random_circuit
+from repro.core.models import GateModelBundle
+from repro.digital.delay import DelayLibrary, InstanceDelayModel
+from repro.errors import SimulationError
+from repro.verify.differential import (
+    DifferentialConfig,
+    run_differential,
+)
+from repro.verify.fuzz import FUZZ_PRESETS, FuzzConfig, run_fuzz
+from repro.verify.golden import GoldenStore
+from repro.verify.shrink import bypass_gate, cone_of, shrink_circuit
+
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+GOLDEN_DIR = artifacts_dir() / "golden"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached tiny artifacts not built",
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    if not DLIB_PATH.exists():
+        pytest.skip("cached delay library not built")
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+class _FrozenArc(InstanceDelayModel):
+    """Test-only perturbation: all arcs of one gate slowed by ``delta``."""
+
+    def __init__(self, inner, delta):
+        self.inner = inner
+        self.delta = delta
+
+    def delay(self, pin, edge, now, last_output_time):
+        return self.inner.delay(pin, edge, now, last_output_time) + self.delta
+
+
+def _freeze_gate(name, delta=1e-9):
+    def mutate(runner):
+        models = runner.digital.delay_models
+        if name in models:
+            models[name] = _FrozenArc(models[name], delta)
+    return mutate
+
+
+# ----------------------------------------------------------------------
+# shrinker unit tests: no simulators involved
+# ----------------------------------------------------------------------
+class TestShrinkMachinery:
+    def _circuit(self):
+        return random_circuit(RandomCircuitConfig(n_gates=10), seed=3)
+
+    def test_cone_keeps_only_fanin(self):
+        netlist = self._circuit()
+        po = netlist.primary_outputs[0]
+        cone = cone_of(netlist, [po])
+        cone.validate()
+        assert cone.primary_outputs == [po]
+        assert set(cone.gates) <= set(netlist.gates)
+        # every kept gate reaches the PO
+        keep = {po}
+        for name in reversed(cone.topological_order()):
+            if name in keep:
+                keep.update(
+                    n for n in cone.gates[name].inputs if n in cone.gates
+                )
+        assert keep == set(cone.gates) | ({po} - set(cone.gates))
+
+    def test_bypass_preserves_validity(self):
+        netlist = self._circuit()
+        for gate_name in list(netlist.gates):
+            gate = netlist.gates[gate_name]
+            candidate = bypass_gate(netlist, gate_name, gate.inputs[0])
+            if candidate is not None:
+                candidate.validate()
+                assert gate_name not in candidate.gates
+
+    def test_bypass_rejects_foreign_replacement(self):
+        netlist = self._circuit()
+        gate_name = next(iter(netlist.gates))
+        assert bypass_gate(netlist, gate_name, "not_a_net") is None
+
+    def test_shrink_to_single_tracked_gate(self):
+        """Predicate 'gate g1 still present' minimizes around g1."""
+        netlist = random_circuit(RandomCircuitConfig(n_gates=12), seed=5)
+        target = "g1"
+        assert target in netlist.gates
+        result = shrink_circuit(netlist, lambda n: target in n.gates)
+        assert target in result.netlist.gates
+        assert result.netlist.n_gates <= 3
+        assert result.n_evals <= 80
+
+    def test_shrink_keeps_failing_input_when_budget_zero(self):
+        netlist = self._circuit()
+        result = shrink_circuit(netlist, lambda n: True, max_evals=0)
+        assert result.netlist is netlist
+
+
+# ----------------------------------------------------------------------
+# differential harness semantics
+# ----------------------------------------------------------------------
+class TestDifferentialConfig:
+    def test_rejects_unknown_check(self):
+        with pytest.raises(SimulationError, match="unknown checks"):
+            DifferentialConfig(checks=("logic", "teleportation"))
+
+    def test_rejects_unknown_reference(self):
+        with pytest.raises(SimulationError, match="reference"):
+            DifferentialConfig(reference="quantum")
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(SimulationError, match="one run"):
+            DifferentialConfig(n_runs=0)
+
+
+@needs_artifacts
+class TestDigitalReferenceMode:
+    """Cheap mode: event-driven digital vs sigmoid, no analog engine."""
+
+    def _config(self):
+        return replace(
+            FUZZ_PRESETS["tiny"].differential,
+            reference="digital",
+            checks=("logic", "delay", "parity"),
+        )
+
+    def test_c17_passes(self, bundle, delay_library):
+        from repro.eval.table1 import nor_mapped
+
+        report = run_differential(
+            nor_mapped("c17"), bundle, delay_library, self._config()
+        )
+        assert report.ok, [v.message for v in report.violations]
+        assert report.reference == "digital"
+        assert len(report.runs) == 2
+
+    def test_random_circuit_passes_and_reports_runs(
+        self, bundle, delay_library
+    ):
+        netlist = random_circuit(RandomCircuitConfig(), seed=1)
+        report = run_differential(
+            netlist, bundle, delay_library, self._config()
+        )
+        assert report.ok, [v.message for v in report.violations]
+        for run in report.runs:
+            for po_streams in run["outputs"].values():
+                assert set(po_streams) == {"digital", "sigmoid"}
+
+    def test_mutate_runner_rejected(self, bundle, delay_library):
+        with pytest.raises(SimulationError, match="analog"):
+            run_differential(
+                random_circuit(RandomCircuitConfig(), seed=0),
+                bundle,
+                delay_library,
+                self._config(),
+                mutate_runner=lambda r: None,
+            )
+
+
+# ----------------------------------------------------------------------
+# golden snapshot layer (digital mode: no analog cost)
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestGoldenLayer:
+    def _report(self, bundle, delay_library):
+        config = replace(
+            FUZZ_PRESETS["tiny"].differential,
+            reference="digital",
+            checks=("logic",),
+        )
+        from repro.eval.table1 import nor_mapped
+
+        return run_differential(
+            nor_mapped("c17"), bundle, delay_library, config
+        )
+
+    def test_record_then_compare_clean(self, bundle, delay_library, tmp_path):
+        store = GoldenStore(tmp_path, prefix="t_")
+        report = self._report(bundle, delay_library)
+        path = store.record(report)
+        assert path.exists()
+        assert store.compare(report) == []
+
+    def test_absent_snapshot_is_not_drift(
+        self, bundle, delay_library, tmp_path
+    ):
+        store = GoldenStore(tmp_path)
+        report = self._report(bundle, delay_library)
+        assert store.compare(report) == []
+
+    def test_time_drift_detected(self, bundle, delay_library, tmp_path):
+        store = GoldenStore(tmp_path)
+        report = self._report(bundle, delay_library)
+        store.record(report)
+        payload = store.load(report.circuit)
+        for streams in payload["runs"][0]["outputs"].values():
+            streams["digital"]["times"] = [
+                t + 1e-12 for t in streams["digital"]["times"]
+            ]
+        store.path(report.circuit).write_text(json.dumps(payload))
+        drift = store.compare(report)
+        assert drift
+        assert all(v.check == "golden" for v in drift)
+
+    def test_score_drift_detected(self, bundle, delay_library, tmp_path):
+        store = GoldenStore(tmp_path)
+        report = self._report(bundle, delay_library)
+        store.record(report)
+        payload = store.load(report.circuit)
+        payload["runs"][0]["t_err_sigmoid"] += 5e-12
+        store.path(report.circuit).write_text(json.dumps(payload))
+        assert store.compare(report)
+
+    def test_version_mismatch_flagged(self, bundle, delay_library, tmp_path):
+        store = GoldenStore(tmp_path)
+        report = self._report(bundle, delay_library)
+        store.record(report)
+        payload = store.load(report.circuit)
+        payload["version"] = 0
+        store.path(report.circuit).write_text(json.dumps(payload))
+        drift = store.compare(report)
+        assert len(drift) == 1 and "version" in drift[0].message
+
+
+# ----------------------------------------------------------------------
+# the acceptance scenarios: seeded corpus + injected perturbation
+# ----------------------------------------------------------------------
+@needs_artifacts
+@pytest.mark.timeout(240)
+class TestFuzzFastCorpus:
+    def test_small_corpus_clean_against_golden(self, bundle, delay_library):
+        """First 3 corpus members: zero violations, golden drift included.
+
+        The same circuits (same seeds) are part of the CI fast tier's
+        ``repro.cli fuzz --seed 0 --count 25 --scale tiny`` run; the
+        committed snapshots under ``artifacts/golden/`` pin their
+        waveforms and scores.
+        """
+        config = FuzzConfig(
+            count=3,
+            seed=0,
+            scale="tiny",
+            golden="check" if GOLDEN_DIR.exists() else "off",
+        )
+        result = run_fuzz(config, bundle, delay_library)
+        assert result.ok, result.summary()
+        assert len(result.outcomes) == 3
+        assert all(o.shrunk_bench is None for o in result.outcomes)
+
+    def test_report_serializes(self, bundle, delay_library):
+        config = FuzzConfig(count=1, seed=0, scale="tiny", golden="off")
+        result = run_fuzz(config, bundle, delay_library)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["ok"] is True
+        assert payload["config"]["scale"] == "tiny"
+        assert payload["outcomes"][0]["circuit"].startswith("rand000")
+
+
+@needs_artifacts
+@pytest.mark.timeout(300)
+class TestInjectedPerturbation:
+    """Acceptance: a delay-model perturbation is caught and shrunk."""
+
+    # Freezing gate g1 of corpus circuit 0 (a +1 ns arc delay) stalls its
+    # output at the initial level; with the preset's odd transition count
+    # the settled value is then provably wrong at output g5.
+    TARGET = "g1"
+
+    def _config(self):
+        return FuzzConfig(
+            count=1, seed=0, scale="tiny", golden="off",
+            max_shrink_evals=60,
+        )
+
+    def test_clean_twin_passes(self, bundle, delay_library):
+        result = run_fuzz(self._config(), bundle, delay_library)
+        assert result.ok, result.summary()
+
+    def test_caught_and_shrunk_to_minimal_counterexample(
+        self, bundle, delay_library
+    ):
+        result = run_fuzz(
+            self._config(),
+            bundle,
+            delay_library,
+            mutate_runner=_freeze_gate(self.TARGET),
+        )
+        outcome = result.outcomes[0]
+        assert not outcome.ok
+        checks = {v.check for v in outcome.violations}
+        assert "logic" in checks
+        # The minimizer must hand back a tiny counterexample that still
+        # contains the perturbed gate.
+        assert outcome.shrunk_gates is not None
+        assert outcome.shrunk_gates <= 5
+        assert outcome.shrink_evals > 0
+        assert f"{self.TARGET} = " in outcome.shrunk_bench
+
+
+def test_spurious_oscillation_is_not_self_licensed():
+    """A prediction's own transitions must not finance its mismatch.
+
+    The delay budget grants a *capped* allowance for extra predicted
+    pulses; an oscillating simulator bug (many glitches against a silent
+    reference) has to blow through it.
+    """
+    from repro.digital.trace import DigitalTrace
+    from repro.verify.differential import DifferentialReport, _check_delay
+
+    report = DifferentialReport("t", 1, "analog", ("delay",))
+    reference = DigitalTrace(False, [])
+    times = []
+    t = 1e-10
+    for _ in range(20):  # twenty 50 ps glitch pulses
+        times += [t, t + 50e-12]
+        t += 120e-12
+    prediction = DigitalTrace(False, times)
+    _check_delay(
+        report, 0, "digital", 60e-12, 100e-12,
+        {"o": reference}, {"o": prediction}, t + 1e-10,
+    )
+    assert report.violations  # 1000 ps mismatch vs 300 ps capped budget
+
+    # ...while a few legitimate slope-blindness pulses stay in budget
+    report2 = DifferentialReport("t", 1, "analog", ("delay",))
+    small = DigitalTrace(False, [1e-10, 1.64e-10])  # one 64 ps pulse
+    _check_delay(
+        report2, 0, "digital", 60e-12, 100e-12,
+        {"o": reference}, {"o": small}, 5e-10,
+    )
+    assert not report2.violations  # 64 ps vs 180 ps (1 + 2 extra units)
+
+
+@needs_artifacts
+def test_benchmark_goldens_keyed_by_effective_reference(
+    bundle, delay_library, tmp_path
+):
+    """Benchmarks always run digitally; their snapshots must be filed
+    under the digital prefix even in an analog-reference campaign."""
+    config = FuzzConfig(
+        count=0,
+        seed=0,
+        scale="tiny",
+        benchmarks=("c17",),
+        golden="update",
+        golden_dir=tmp_path,
+    )
+    result = run_fuzz(config, bundle, delay_library)
+    assert result.ok
+    assert (tmp_path / "tiny_ann_digital_seed0_c17_nor.json").exists()
+
+
+needs_golden = pytest.mark.skipif(
+    not GOLDEN_DIR.exists(), reason="golden snapshots not recorded"
+)
+
+
+@needs_artifacts
+@needs_golden
+def test_committed_golden_snapshots_cover_the_ci_corpus():
+    """The fast-tier CLI corpus (seed 0, count 25) has snapshots."""
+    recorded = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    missing = [
+        f"tiny_ann_analog_seed0_rand{i:03d}_nor.json"
+        for i in range(25)
+        if f"tiny_ann_analog_seed0_rand{i:03d}_nor.json" not in recorded
+    ]
+    assert not missing, f"missing golden snapshots: {missing[:5]}"
+
+
+# ----------------------------------------------------------------------
+# full tier: wider corpus + the big benchmark zoo
+# ----------------------------------------------------------------------
+@needs_artifacts
+@pytest.mark.slow
+@pytest.mark.timeout(600)
+class TestFuzzFullTier:
+    def test_wider_corpus_with_benchmark_zoo(self, bundle, delay_library):
+        """Ten corpus members plus c499/c1355-class stand-ins.
+
+        The big benchmarks run through the digital-reference mode (the
+        analog engine at that scale is a benchmark, not a CI check) and
+        still exercise logic agreement, the sigmoid-vs-digital delay
+        budget, and batch parity on thousand-gate circuits.
+        """
+        config = FuzzConfig(
+            count=10,
+            seed=0,
+            scale="tiny",
+            benchmarks=("c499_like", "c1355_like"),
+            golden="off",
+        )
+        result = run_fuzz(config, bundle, delay_library)
+        assert result.ok, result.summary()
+        names = [o.circuit for o in result.outcomes]
+        assert "c499_like_nor" in names
+        assert "c1355_like_nor" in names
+        big = next(o for o in result.outcomes if "c1355" in o.circuit)
+        assert big.n_gates > 1000
+
+
+def test_differential_rejects_unmapped_gates_gracefully():
+    """Arbitrary supported gates are NOR-mapped on the fly."""
+    nl = Netlist("mixed")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("x", GateType.XOR, ["a", "b"])
+    nl.add_output("x")
+    from repro.verify.differential import ensure_nor_mapped
+
+    mapped = ensure_nor_mapped(nl)
+    assert all(g.gtype is GateType.NOR for g in mapped.gates.values())

@@ -1,0 +1,153 @@
+"""Property-style suite for the netlist layer's structural invariants.
+
+Satellites of the differential-verification PR: single-driver
+enforcement, permutation-stable topological ordering, and truth-table
+preservation of the ``xor_to_nand2`` expansion (exhaustive on small
+input counts).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GateType
+from repro.circuits.iscas85 import c17, xor_to_nand2
+from repro.circuits.netlist import Netlist
+from repro.circuits.random_circuit import RandomCircuitConfig, random_circuit
+from repro.errors import NetlistError
+
+
+def _rebuild_permuted(netlist: Netlist, seed: int) -> Netlist:
+    """Same gates, same wiring — inserted in a shuffled (legal) order.
+
+    Gates are re-added following a randomized Kahn traversal, so every
+    prefix is closed under dependencies but the insertion order differs
+    from the original.
+    """
+    rng = np.random.default_rng(seed)
+    remaining = dict(netlist.gates)
+    placed = set(netlist.primary_inputs)
+    rebuilt = Netlist(netlist.name)
+    for pi in netlist.primary_inputs:
+        rebuilt.add_input(pi)
+    while remaining:
+        ready = [
+            name for name, gate in remaining.items()
+            if all(n in placed for n in gate.inputs)
+        ]
+        pick = ready[int(rng.integers(0, len(ready)))]
+        gate = remaining.pop(pick)
+        rebuilt.add_gate(pick, gate.gtype, list(gate.inputs))
+        placed.add(pick)
+    for po in netlist.primary_outputs:
+        rebuilt.add_output(po)
+    rebuilt.validate()
+    return rebuilt
+
+
+class TestSingleDriver:
+    def test_gate_cannot_redrive_gate_net(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.INV, ["a"])
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_gate("g", GateType.INV, ["a"])
+
+    def test_gate_cannot_drive_primary_input(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError, match="primary input"):
+            nl.add_gate("a", GateType.INV, ["a"])
+
+    def test_input_cannot_shadow_gate(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.INV, ["a"])
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_input("g")
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_netlists_have_one_driver_per_net(self, seed):
+        netlist = random_circuit(RandomCircuitConfig(n_gates=12), seed=seed)
+        drivers = list(netlist.primary_inputs) + list(netlist.gates)
+        assert len(drivers) == len(set(drivers))
+
+
+class TestTopologicalOrderStability:
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        shuffle_seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_order_stable_under_gate_permutation(self, seed, shuffle_seed):
+        netlist = random_circuit(RandomCircuitConfig(n_gates=15), seed=seed)
+        permuted = _rebuild_permuted(netlist, shuffle_seed)
+        assert permuted.topological_order() == netlist.topological_order()
+        assert permuted.levels() == netlist.levels()
+
+    def test_order_respects_dependencies(self):
+        netlist = random_circuit(RandomCircuitConfig(n_gates=20), seed=4)
+        position = {
+            name: k for k, name in enumerate(netlist.topological_order())
+        }
+        for gate in netlist.gates.values():
+            for net in gate.inputs:
+                if net in netlist.gates:
+                    assert position[net] < position[gate.name]
+
+    def test_c17_order_is_canonical(self):
+        # String-sorted among simultaneously-ready gates.
+        assert c17().topological_order() == [
+            "10", "11", "16", "19", "22", "23",
+        ]
+
+
+class TestXorToNand2:
+    def _xor_heavy(self, seed: int, n_inputs: int) -> Netlist:
+        mix = {
+            GateType.XOR: 4.0,
+            GateType.XNOR: 3.0,
+            GateType.NAND: 1.0,
+            GateType.INV: 1.0,
+        }
+        config = RandomCircuitConfig(
+            n_inputs=n_inputs, n_gates=8, gate_mix=mix
+        )
+        return random_circuit(config, seed=seed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_truth_table_preserved_exhaustively(self, seed):
+        original = self._xor_heavy(seed, n_inputs=4)
+        expanded = xor_to_nand2(original)
+        assert expanded.primary_inputs == original.primary_inputs
+        assert expanded.primary_outputs == original.primary_outputs
+        for bits in itertools.product((False, True), repeat=4):
+            assignment = dict(zip(original.primary_inputs, bits))
+            assert (
+                expanded.evaluate_outputs(assignment)
+                == original.evaluate_outputs(assignment)
+            )
+
+    def test_expansion_removes_two_input_xors(self):
+        original = self._xor_heavy(3, n_inputs=3)
+        expanded = xor_to_nand2(original)
+        for gate in expanded.gates.values():
+            if gate.gtype in (GateType.XOR, GateType.XNOR):
+                assert len(gate.inputs) > 2
+
+    def test_name_defaults_to_source_name(self):
+        original = self._xor_heavy(1, n_inputs=3)
+        assert xor_to_nand2(original).name == original.name
+        assert xor_to_nand2(original, "other").name == "other"
+
+    def test_expansion_grows_only_where_xors_were(self):
+        nl = Netlist("plain")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("g", GateType.NAND, ["a", "b"])
+        nl.add_output("g")
+        assert xor_to_nand2(nl) == nl

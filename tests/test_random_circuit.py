@@ -1,0 +1,137 @@
+"""Tests for the seeded random-circuit generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.bench import format_bench, parse_bench
+from repro.circuits.gates import GateType, UNARY_TYPES
+from repro.circuits.netlist import Netlist
+from repro.circuits.nor_map import nor_map, verify_equivalence
+from repro.circuits.random_circuit import (
+    DEFAULT_GATE_MIX,
+    RandomCircuitConfig,
+    random_circuit,
+    random_corpus,
+)
+from repro.errors import NetlistError
+
+
+class TestGeneratorInvariants:
+    def test_deterministic_per_seed(self):
+        a = random_circuit(RandomCircuitConfig(), seed=(7, 3))
+        b = random_circuit(RandomCircuitConfig(), seed=(7, 3))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        config = RandomCircuitConfig(n_gates=12)
+        circuits = [random_circuit(config, seed=s) for s in range(8)]
+        assert len({format_bench(c) for c in circuits}) > 1
+
+    def test_every_sink_is_a_primary_output(self):
+        for index, netlist in enumerate(random_corpus(10, seed=3)):
+            consumed = {
+                net for g in netlist.gates.values() for net in g.inputs
+            }
+            sinks = {n for n in netlist.gates if n not in consumed}
+            assert sinks == set(netlist.primary_outputs), index
+
+    def test_validates_and_is_acyclic(self):
+        for netlist in random_corpus(10, seed=1):
+            netlist.validate()  # raises on cycles / dangling nets
+            assert len(netlist.topological_order()) == netlist.n_gates
+
+    def test_gate_mix_is_respected(self):
+        config = RandomCircuitConfig(
+            n_gates=30,
+            gate_mix={GateType.NAND: 1.0, GateType.INV: 1.0},
+        )
+        netlist = random_circuit(config, seed=5)
+        assert {g.gtype for g in netlist.gates.values()} <= {
+            GateType.NAND, GateType.INV,
+        }
+
+    def test_max_fanin_is_respected(self):
+        config = RandomCircuitConfig(n_gates=30, max_fanin=3)
+        netlist = random_circuit(config, seed=2)
+        arities = {len(g.inputs) for g in netlist.gates.values()}
+        assert max(arities) <= 3
+        for gate in netlist.gates.values():
+            if gate.gtype in UNARY_TYPES:
+                assert len(gate.inputs) == 1
+
+    def test_corpus_members_are_independent(self):
+        """Corpus item i does not depend on how many circuits were drawn."""
+        short = random_corpus(3, seed=9)
+        long = random_corpus(6, seed=9)
+        for a, b in zip(short, long):
+            assert a == b
+
+    def test_locality_knob_shapes_depth(self):
+        deep = RandomCircuitConfig(
+            n_gates=40, locality=1.0, window=1, gate_mix=dict(DEFAULT_GATE_MIX)
+        )
+        wide = RandomCircuitConfig(n_gates=40, locality=0.0)
+        depth_deep = np.mean(
+            [random_circuit(deep, seed=s).depth() for s in range(5)]
+        )
+        depth_wide = np.mean(
+            [random_circuit(wide, seed=s).depth() for s in range(5)]
+        )
+        assert depth_deep > depth_wide
+
+    def test_config_validation(self):
+        with pytest.raises(NetlistError):
+            RandomCircuitConfig(n_inputs=0)
+        with pytest.raises(NetlistError):
+            RandomCircuitConfig(max_fanin=1)
+        with pytest.raises(NetlistError):
+            RandomCircuitConfig(locality=1.5)
+        with pytest.raises(NetlistError):
+            RandomCircuitConfig(gate_mix={})
+        with pytest.raises(NetlistError):
+            RandomCircuitConfig(gate_mix={GateType.AND: 0.0})
+
+
+class TestGeneratedRoundTrips:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_gates=st.integers(min_value=2, max_value=20),
+        n_inputs=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bench_round_trip_identity(self, seed, n_gates, n_inputs):
+        """format_bench -> parse_bench reproduces the generated netlist."""
+        config = RandomCircuitConfig(n_inputs=n_inputs, n_gates=n_gates)
+        netlist = random_circuit(config, seed=seed)
+        parsed = parse_bench(format_bench(netlist), name=netlist.name)
+        assert parsed == netlist
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_nor_map_equivalence(self, seed):
+        netlist = random_circuit(RandomCircuitConfig(n_gates=10), seed=seed)
+        verify_equivalence(netlist, nor_map(netlist), n_vectors=24, seed=1)
+
+
+def test_generated_names_never_collide_with_mnemonics():
+    """Generated names are plain i<k>/g<k> tokens: grammar-safe."""
+    netlist = random_circuit(RandomCircuitConfig(n_gates=25), seed=11)
+    for net in netlist.nets:
+        assert net[0] in ("i", "g")
+        assert net[1:].isdigit()
+
+
+def test_generator_output_feeds_simulator_stack():
+    """Mapped corpus members pass the sigmoid simulator's gate screen."""
+    netlist = random_corpus(1, seed=0)[0]
+    mapped = nor_map(netlist)
+    for gate in mapped.gates.values():
+        assert gate.gtype is GateType.NOR
+        assert len(gate.inputs) == 2
+
+
+def test_empty_output_list_impossible():
+    nl: Netlist = random_circuit(RandomCircuitConfig(n_gates=1), seed=0)
+    assert nl.primary_outputs

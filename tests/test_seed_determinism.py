@@ -1,0 +1,92 @@
+"""Seed determinism: the rng-threading discipline stays bitwise-stable.
+
+Guards the explicit-rng convention established with the vectorized
+ensemble training: the same generator seed plus the same
+``Table1Config`` must reproduce Table-I accuracy numbers *bitwise*
+across in-process runs, and the stimulus / random-circuit generators
+must be pure functions of their seeds.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.circuits.random_circuit import RandomCircuitConfig, random_circuit
+from repro.core.models import GateModelBundle
+from repro.digital.delay import DelayLibrary
+from repro.eval.stimuli import PAPER_CONFIGS, random_pi_sources
+from repro.eval.table1 import Table1Config, run_table1
+
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached tiny artifacts not built",
+)
+
+
+def test_stimulus_streams_are_pure_functions_of_seed():
+    pis = [f"p{i}" for i in range(4)]
+    for config in PAPER_CONFIGS:
+        a, t_a = random_pi_sources(pis, config, seed=42)
+        b, t_b = random_pi_sources(pis, config, seed=42)
+        assert t_a == t_b
+        for pi in pis:
+            np.testing.assert_array_equal(a[pi].times, b[pi].times)
+            np.testing.assert_array_equal(
+                a[pi].initial_levels, b[pi].initial_levels
+            )
+
+
+def test_digital_and_analog_reference_modes_share_the_stimulus_stream():
+    """The harness's digital-mode stimuli mirror random_pi_sources."""
+    from repro.verify.differential import _digital_stimuli
+
+    pis = [f"p{i}" for i in range(3)]
+    for seed in (0, 7):
+        config = PAPER_CONFIGS[0]
+        sources, t_src = random_pi_sources(pis, config, seed)
+        traces, t_dig = _digital_stimuli(pis, config, seed)
+        assert t_src == t_dig
+        for pi in pis:
+            np.testing.assert_array_equal(
+                sources[pi].run_transitions[0], traces[pi].times
+            )
+            assert bool(sources[pi].initial_levels[0]) == traces[pi].initial
+
+
+def test_random_circuit_is_pure_function_of_seed():
+    config = RandomCircuitConfig(n_gates=14)
+    assert random_circuit(config, seed=123) == random_circuit(config, seed=123)
+    assert random_circuit(config, seed=123) != random_circuit(config, seed=124)
+
+
+@needs_artifacts
+@pytest.mark.timeout(240)
+def test_table1_rows_bitwise_identical_across_runs():
+    """Two in-process runs of the same seeded config: identical rows."""
+    bundle = GateModelBundle.load(BUNDLE_PATH)
+    delay_library = DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+    config = Table1Config(
+        circuits=("c17",),
+        stimuli=(PAPER_CONFIGS[0],),
+        n_runs=2,
+        seed=0,
+        include_same_stimulus_row=False,
+    )
+    first = run_table1(bundle, delay_library, config)
+    second = run_table1(bundle, delay_library, config)
+    assert len(first.rows) == len(second.rows) == 1
+    for a, b in zip(first.rows, second.rows):
+        # accuracy columns must be bitwise identical; wall-clock columns
+        # are measurements and are exempt by design
+        assert a.circuit == b.circuit
+        assert a.n_nor_gates == b.n_nor_gates
+        assert a.config == b.config
+        assert a.n_runs == b.n_runs
+        assert a.error_ratio == b.error_ratio
+        assert a.t_err_digital_ps == b.t_err_digital_ps
+        assert a.t_err_sigmoid_ps == b.t_err_sigmoid_ps
