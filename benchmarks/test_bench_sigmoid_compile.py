@@ -1,0 +1,119 @@
+"""Compiled vs interpreted sigmoid-simulator core on the big zoo member.
+
+The compiled levelized array program (:mod:`repro.core.compile`) exists
+to make c1355-class sigmoid simulation cheap: one grouped stacked
+backend call per lock-step transition instead of one scalar
+transfer-function call (plus one scalar cancellation optimization) per
+gate transition.  This bench times both paths on ``c1355_like`` over a
+small run batch and appends the ratio to ``BENCH_sigmoid.json``
+(acceptance floor 3x, target >= 5x, process CPU time so shared-runner
+load cannot skew the gate).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.trace import DigitalTrace
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+from repro.eval.table1 import nor_mapped
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sigmoid.json"
+
+#: Transition-parameter agreement bound (scaled units; 0.05 ps).
+PARAM_ATOL = 5e-4
+
+
+def _stimulus_runs(core, config, seeds):
+    runs = []
+    for seed in seeds:
+        sources, _ = random_pi_sources(core.primary_inputs, config, seed)
+        runs.append(
+            {
+                pi: SigmoidalTrace.from_digital(
+                    DigitalTrace(
+                        bool(src.initial_levels[0]),
+                        src.run_transitions[0].tolist(),
+                    )
+                )
+                for pi, src in sources.items()
+            }
+        )
+    return runs
+
+
+def test_sigmoid_compiled_speedup(bundle):
+    """Compiled vs interpreted c1355_like sigmoid simulation (CPU time)."""
+    core = nor_mapped("c1355_like")
+    config = StimulusConfig(100e-12, 50e-12, 3)
+    runs = _stimulus_runs(core, config, range(3))
+
+    interpreted = SigmoidCircuitSimulator(core, bundle, compiled=False)
+    compiled = SigmoidCircuitSimulator(core, bundle, compiled=True)
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    expected = interpreted.simulate_batch(runs)
+    interpreted_seconds = time.perf_counter() - t0
+    interpreted_cpu = time.process_time() - c0
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    got = compiled.simulate_batch(runs)
+    compiled_seconds = time.perf_counter() - t0
+    compiled_cpu = time.process_time() - c0
+
+    # Same science before comparing speed: identical trace structure,
+    # transition parameters within the golden tolerance.
+    worst = 0.0
+    for run_expected, run_got in zip(expected, got):
+        for po in run_expected:
+            te, tg = run_expected[po], run_got[po]
+            assert te.initial_level == tg.initial_level
+            assert te.n_transitions == tg.n_transitions
+            if te.params.size:
+                worst = max(
+                    worst, float(np.max(np.abs(te.params - tg.params)))
+                )
+    assert worst < PARAM_ATOL, f"compiled traces diverged: {worst}"
+
+    speedup = interpreted_cpu / compiled_cpu
+    record = {
+        "bench": "sigmoid_compiled_vs_interpreted",
+        "circuit": "c1355_like",
+        "n_gates": core.n_gates,
+        "stimulus": config.label,
+        "n_runs": len(runs),
+        "interpreted_seconds": round(interpreted_seconds, 3),
+        "compiled_seconds": round(compiled_seconds, 3),
+        "interpreted_cpu_seconds": round(interpreted_cpu, 3),
+        "compiled_cpu_seconds": round(compiled_cpu, 3),
+        "speedup": round(speedup, 2),
+        "worst_param_diff_scaled": worst,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    history = history[-50:]
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print()
+    print(
+        f"[sigmoid-compile] interpreted={interpreted_seconds:.2f}s "
+        f"compiled={compiled_seconds:.2f}s wall; cpu ratio {speedup:.1f}x "
+        f"over {len(runs)} runs of {core.n_gates} gates "
+        f"(recorded in {BENCH_PATH.name})"
+    )
+    assert speedup >= 3.0, (
+        f"compiled sigmoid core regressed: only {speedup:.1f}x (CPU time) "
+        "over the interpreted path on c1355_like (acceptance bar: 3x)"
+    )

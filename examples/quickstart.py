@@ -32,6 +32,18 @@ A failing run prints the violated invariants, shrinks each failing
 circuit to a minimal counterexample (reported as ``.bench`` text via
 ``--report``), and exits non-zero.
 
+Simulator cores: every production path (Table I, fuzzing, the CLI)
+runs the digital and sigmoid simulators **compiled** by default — each
+circuit is lowered once into a levelized array program
+(``repro.core.compile`` / ``repro.digital.compiled``, cached per
+netlist digest × bundle × backend) and whole levels × run batches
+evaluate per stacked backend call.  The per-gate interpreted walk is
+the equivalence-testing escape hatch::
+
+    python -m repro.cli table1 --interpreted   # per-gate reference path
+    python -m repro.cli fuzz --interpreted
+    SigmoidCircuitSimulator(netlist, bundle, compiled=False)
+
 Run:  python examples/quickstart.py
 """
 

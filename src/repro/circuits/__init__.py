@@ -15,7 +15,14 @@ from repro.circuits.bench import (
     parse_bench,
 )
 from repro.circuits.nor_map import nor_map
-from repro.circuits.iscas85 import c17, c499_like, c1355_like, xor_to_nand2
+from repro.circuits.iscas85 import (
+    c17,
+    c499_like,
+    c880_like,
+    c1355_like,
+    c3540_like,
+    xor_to_nand2,
+)
 from repro.circuits.random_circuit import (
     RandomCircuitConfig,
     random_circuit,
@@ -33,7 +40,9 @@ __all__ = [
     "nor_map",
     "c17",
     "c499_like",
+    "c880_like",
     "c1355_like",
+    "c3540_like",
     "xor_to_nand2",
     "RandomCircuitConfig",
     "random_circuit",

@@ -5,9 +5,11 @@
     Run the Table I harness and print the rendered table.  Runs go
     through the batched lock-step pipeline by default; ``--serial``
     selects the per-run reference path, ``--workers N`` dispatches
-    circuits across a process pool, and ``--backend`` picks the
+    circuits across a process pool, ``--backend`` picks the
     transfer-model backend (``ann`` — the paper's networks — or the
-    ``lut``/``spline``/``poly`` table alternatives of Sec. IV-A).
+    ``lut``/``spline``/``poly`` table alternatives of Sec. IV-A), and
+    ``--interpreted`` swaps the compiled levelized simulator cores for
+    the per-gate interpreted reference walks.
 
 ``python -m repro.cli ablate [--scale tiny] [--backends ann lut ...]``
     Run the backend-ablation harness: one Table I per backend.
@@ -74,6 +76,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         batched=not args.serial,
         n_workers=args.workers,
         backend=args.backend,
+        compiled=not args.interpreted,
     )
     result = run_table1(bundle, delay_library, config)
     if args.backend != "ann":
@@ -129,6 +132,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             else "off" if args.no_golden
             else "check"
         ),
+        compiled=not args.interpreted,
     )
     result = run_fuzz(
         config, bundle, delay_library, verbose=not args.quiet
@@ -191,6 +195,11 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=_positive_int, default=1,
         help="process pool size for dispatching circuits (1 = in-process)",
     )
+    p_table.add_argument(
+        "--interpreted", action="store_true",
+        help="per-gate interpreted simulators instead of the compiled "
+             "levelized cores",
+    )
     p_table.set_defaults(func=cmd_table1)
 
     p_ablate = sub.add_parser(
@@ -236,6 +245,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
+    p_fuzz.add_argument(
+        "--interpreted", action="store_true",
+        help="per-gate interpreted simulators instead of the compiled "
+             "levelized cores",
+    )
     golden_group = p_fuzz.add_mutually_exclusive_group()
     golden_group.add_argument(
         "--update-golden", action="store_true",

@@ -31,6 +31,9 @@ Submodules
     NOR decision procedure reducing multi-input gates to channels.
 ``simulator``
     Full-circuit sigmoid simulator for INV/NOR netlists.
+``compile``
+    Compiled levelized simulator core: one cached array program per
+    circuit, executed level × run-batch lock-step on stacked backends.
 ``models``
     Serializable bundles of trained gate models.
 """
@@ -43,6 +46,7 @@ from repro.core.tom import TransferFunction, predict_gate_output
 from repro.core.valid_region import ConvexHullRegion, KNNRegion, ValidRegion
 from repro.core.backends import (
     ScaledTransferModel,
+    StackedTransferModel,
     TransferBackend,
     available_backends,
     backend_from_dict,
@@ -57,11 +61,15 @@ from repro.core.table_transfer import (
     RBFTransferFunction,
 )
 from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.compile import CompiledCircuit, compile_circuit
 from repro.core.models import GateModelBundle
 
 __all__ = [
     "TransferBackend",
     "ScaledTransferModel",
+    "StackedTransferModel",
+    "CompiledCircuit",
+    "compile_circuit",
     "available_backends",
     "get_backend",
     "register_backend",

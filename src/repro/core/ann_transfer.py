@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.backends import (
     ScaledTransferModel,
+    StackedTransferModel,
     backend_from_dict,
     backend_to_dict,
     build_region,
@@ -66,6 +67,110 @@ def prepare_channel_arrays(
     }
 
 
+class ANNStackedTransfer(StackedTransferModel):
+    """Stacked ANN transfer functions: MLPEnsemble-style parameter views.
+
+    Both networks of every member are stacked per dense layer as
+    ``(K, fan_in, fan_out)`` weight and ``(K, fan_out)`` bias arrays
+    (the same layout :class:`~repro.nn.ensemble.MLPEnsemble` trains
+    with), plus ``(K, 1)`` target-scaler rows.  A member's slice of a
+    stacked array holds exactly the member's own parameters, so the
+    per-member forward below runs the same ``x @ W + b`` / ReLU
+    arithmetic as :meth:`ANNTransferFunction._predict_scaled` — bitwise,
+    which the stack coverage tests assert.
+
+    Members whose architecture or activation differs from the first
+    member's fall back to the member model's own forward pass.
+    """
+
+    def __init__(self, models: list) -> None:
+        super().__init__(models)
+        first = models[0]
+        self._layer_sizes = first.slope_net.layer_sizes
+        self._activation = first.slope_net.activation_name
+        self._uniform = np.array(
+            [
+                m.slope_net.layer_sizes == self._layer_sizes
+                and m.delay_net.layer_sizes == self._layer_sizes
+                and m.slope_net.activation_name == self._activation
+                and m.delay_net.activation_name == self._activation
+                and self._activation == "relu"
+                for m in models
+            ]
+        )
+        if not self._uniform.any():
+            return
+        template = [m for m, u in zip(models, self._uniform) if u][0]
+        n_layers = len(template.slope_net.dense_layers())
+
+        def stack_net(pick):
+            weights, biases = [], []
+            for i in range(n_layers):
+                weights.append(
+                    np.stack(
+                        [
+                            pick(m).dense_layers()[i].weight
+                            if u
+                            else np.zeros_like(
+                                pick(template).dense_layers()[i].weight
+                            )
+                            for m, u in zip(models, self._uniform)
+                        ]
+                    )
+                )
+                biases.append(
+                    np.stack(
+                        [
+                            pick(m).dense_layers()[i].bias
+                            if u
+                            else np.zeros_like(
+                                pick(template).dense_layers()[i].bias
+                            )
+                            for m, u in zip(models, self._uniform)
+                        ]
+                    )
+                )
+            return weights, biases
+
+        self.slope_weights, self.slope_biases = stack_net(lambda m: m.slope_net)
+        self.delay_weights, self.delay_biases = stack_net(lambda m: m.delay_net)
+        self.y_slope_means = np.stack([m.y_slope_scaler.mean_ for m in models])
+        self.y_slope_stds = np.stack([m.y_slope_scaler.std_ for m in models])
+        self.y_delay_means = np.stack([m.y_delay_scaler.mean_ for m in models])
+        self.y_delay_stds = np.stack([m.y_delay_scaler.std_ for m in models])
+
+    def _forward_member(
+        self,
+        member: int,
+        scaled: np.ndarray,
+        weights: list,
+        biases: list,
+    ) -> np.ndarray:
+        out = scaled
+        last = len(weights) - 1
+        for i, (weight, bias) in enumerate(zip(weights, biases)):
+            out = out @ weight[member] + bias[member]
+            if i != last:
+                # Match ReLU.forward exactly (np.where, not np.maximum).
+                out = np.where(out > 0.0, out, 0.0)
+        return out
+
+    def _predict_scaled_member(
+        self, member: int, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not self._uniform[member]:
+            return self.models[member]._predict_scaled(scaled)
+        slope = self._forward_member(
+            member, scaled, self.slope_weights, self.slope_biases
+        )
+        delay = self._forward_member(
+            member, scaled, self.delay_weights, self.delay_biases
+        )
+        slope = (slope * self.y_slope_stds[member] + self.y_slope_means[member])[:, 0]
+        delay = (delay * self.y_delay_stds[member] + self.y_delay_means[member])[:, 0]
+        return slope, delay
+
+
 @register_backend("ann")
 class ANNTransferFunction(ScaledTransferModel):
     """One polarity's ``F_G``: slope net + delay net + scalers + region."""
@@ -100,6 +205,11 @@ class ANNTransferFunction(ScaledTransferModel):
             self.delay_net.forward(scaled)
         )[:, 0]
         return slope, delay
+
+    @classmethod
+    def stack(cls, models: list) -> ANNStackedTransfer:
+        """Stack ANN members as ``(K, fan_in, fan_out)`` parameter views."""
+        return ANNStackedTransfer(models)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -22,6 +22,12 @@ those families into interchangeable **backends** behind one protocol:
   versioned serialization with registry dispatch.  Legacy (untagged)
   dicts load as ANN models; unknown backends or schema versions raise
   a clear :class:`~repro.errors.ModelError`.
+* :class:`StackedTransferModel` — the ``stack()`` evaluation contract
+  used by the compiled levelized simulator core
+  (:mod:`repro.core.compile`): K same-backend models answer one
+  ``(features, members)`` query with per-member grouped arithmetic that
+  is bitwise-identical to calling each member's ``predict_batch`` on
+  its own rows.
 """
 
 from __future__ import annotations
@@ -69,6 +75,79 @@ class TransferBackend(Protocol):
 
     def to_dict(self) -> dict:
         ...
+
+
+class StackedTransferModel:
+    """K same-backend transfer models behind one vectorized entry point.
+
+    The compiled simulator core resolves every transfer function a
+    circuit uses into one stack and then answers each lock-step's
+    queries with a single :meth:`predict_members` call.  Rows are
+    grouped by member so every member sees exactly the rows it would
+    see from its own ``predict_batch`` — region projection, feature
+    scaling and the model arithmetic are the member's own, making the
+    grouped results bitwise-identical to the looped path per member.
+
+    Subclasses hold the member parameters as stacked arrays (ANN
+    weights as ``(K, fan_in, fan_out)``, polynomial coefficients as
+    ``(K, n_terms)``, table samples as concatenated rows) and override
+    :meth:`_predict_scaled_member` to evaluate one member's
+    standardized queries from those views; the default delegates to the
+    member model.
+    """
+
+    def __init__(self, models: list) -> None:
+        if not models:
+            raise ModelError("cannot stack an empty model list")
+        backends = {getattr(m, "backend_name", None) for m in models}
+        if len(backends) != 1 or None in backends:
+            raise ModelError(
+                "stacked models must share one registered backend; "
+                f"got {sorted(str(b) for b in backends)}"
+            )
+        self.models = list(models)
+        self.scaler_means = np.stack([m.x_scaler.mean_ for m in models])
+        self.scaler_stds = np.stack([m.x_scaler.std_ for m in models])
+
+    @property
+    def n_members(self) -> int:
+        return len(self.models)
+
+    def _predict_scaled_member(
+        self, member: int, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.models[member]._predict_scaled(scaled)
+
+    def predict_members(
+        self, features: np.ndarray, members: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized prediction with a per-row member index.
+
+        ``features`` is ``(n, 3)`` raw rows ``(T, a_out_prev, a_in)``;
+        ``members[i]`` selects which stacked model answers row ``i``.
+        Returns ``(a_out, delta_b)`` arrays of length n.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != 3:
+            raise ModelError("features must be (n, 3): (T, a_out_prev, a_in)")
+        members = np.asarray(members, dtype=int)
+        if members.shape != (features.shape[0],):
+            raise ModelError("need one member index per feature row")
+        if members.size and (members.min() < 0 or members.max() >= self.n_members):
+            raise ModelError("member index out of range")
+        a_out = np.empty(features.shape[0])
+        delta_b = np.empty(features.shape[0])
+        for member in np.unique(members):
+            sel = members == member
+            rows = features[sel]
+            model = self.models[member]
+            if model.region is not None:
+                rows = model.region.project(rows)
+            scaled = (rows - self.scaler_means[member]) / self.scaler_stds[member]
+            slope, delay = self._predict_scaled_member(int(member), scaled)
+            a_out[sel] = slope
+            delta_b[sel] = delay
+        return a_out, delta_b
 
 
 def register_backend(name: str):
@@ -190,6 +269,24 @@ class ScaledTransferModel:
         """Scalar convenience wrapper (the :class:`TransferFunction` protocol)."""
         slope, delay = self.predict_batch(np.array([[T, a_out_prev, a_in]]))
         return float(slope[0]), float(delay[0])
+
+    # -- stacked evaluation --------------------------------------------
+    @classmethod
+    def stack(cls, models: list) -> StackedTransferModel:
+        """Stack same-backend models for the compiled simulator core.
+
+        Every registered backend overrides this with a
+        :class:`StackedTransferModel` subclass holding its parameters as
+        stacked arrays; a backend that has not implemented stacking yet
+        fails loudly here with an error naming it, rather than silently
+        falling back to scalar calls (the compiled core lets the error
+        propagate to its caller).
+        """
+        name = getattr(cls, "backend_name", cls.__name__)
+        raise NotImplementedError(
+            f"transfer backend {name!r} does not implement stack(); "
+            "compiled simulation needs a StackedTransferModel for it"
+        )
 
     # -- serialization -------------------------------------------------
     def _payload_dict(self) -> dict:  # pragma: no cover - abstract

@@ -14,10 +14,19 @@ from __future__ import annotations
 
 import numpy as np
 from scipy.optimize import minimize_scalar
+from scipy.special import expit
 
 from repro.constants import VDD, VTH
 from repro.core.sigmoid import sigmoid_tau, transition_width_tau
 from repro.errors import ModelError
+
+#: Safety margin (volts) of the closed-form pulse-peak bounds used by
+#: :func:`pair_crosses_threshold_batch`.  Pairs whose analytic bounds
+#: land within the margin of the threshold fall back to the exact
+#: scalar optimizer, so the vectorized decision can never disagree with
+#: :func:`pair_crosses_threshold` (whose bounded-Brent peak estimate is
+#: accurate to far better than this margin).
+_BOUND_MARGIN_V = 1e-6
 
 
 def pulse_peak_value(
@@ -69,6 +78,62 @@ def pair_crosses_threshold(
     if first[0] > 0:  # pulse above the low rail
         return peak >= threshold
     return peak <= threshold  # dip below the high rail
+
+
+def pair_crosses_threshold_batch(
+    first: np.ndarray,
+    second: np.ndarray,
+    vdd: np.ndarray,
+    threshold: float = VTH,
+) -> np.ndarray:
+    """Vectorized :func:`pair_crosses_threshold` over ``(n, 2)`` pairs.
+
+    Uses a closed-form two-sided bound on the pulse peak: the two
+    sigmoids of a pair cross at ``tau_c = (a1 b1 - a2 b2) / (a1 - a2)``
+    where both equal ``s_c``; for a rising-first pulse the peak height
+    lies in ``[2 s_c - 1, s_c]`` and for a falling-first dip the minimum
+    lies in ``[s_c, 2 s_c]`` (each bound is the pair sum either *at*
+    the crossing or bounded by the smaller sigmoid there).  Pairs whose
+    bounds clear the threshold either way — the overwhelming majority —
+    are decided without optimization; the ambiguous sliver (and any
+    degenerate slopes) delegates to the exact scalar routine, so the
+    batch decision matches the scalar one pair for pair.
+    """
+    first = np.atleast_2d(np.asarray(first, dtype=float))
+    second = np.atleast_2d(np.asarray(second, dtype=float))
+    vdd = np.broadcast_to(np.asarray(vdd, dtype=float), (first.shape[0],))
+    a1, b1 = first[:, 0], first[:, 1]
+    a2, b2 = second[:, 0], second[:, 1]
+    result = np.zeros(first.shape[0], dtype=bool)
+
+    regular = (a1 != 0.0) & (a2 != 0.0) & (np.sign(a1) != np.sign(a2))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        tau_c = (a1 * b1 - a2 * b2) / (a1 - a2)
+        s_c = expit(a1 * (tau_c - b1))
+    rising = a1 > 0
+    # Peak / dip bounds in volts (see docstring).
+    tight = np.where(rising, vdd * (2.0 * s_c - 1.0), vdd * 2.0 * s_c)
+    loose = vdd * s_c
+    keep_sure = np.where(
+        rising,
+        tight >= threshold + _BOUND_MARGIN_V,
+        tight <= threshold - _BOUND_MARGIN_V,
+    )
+    cancel_sure = np.where(
+        rising,
+        loose < threshold - _BOUND_MARGIN_V,
+        loose > threshold + _BOUND_MARGIN_V,
+    )
+    decided = regular & np.isfinite(s_c) & (keep_sure | cancel_sure)
+    result[decided] = keep_sure[decided]
+    for i in np.nonzero(~decided)[0]:
+        result[i] = pair_crosses_threshold(
+            (float(a1[i]), float(b1[i])),
+            (float(a2[i]), float(b2[i])),
+            vdd=float(vdd[i]),
+            threshold=threshold,
+        )
+    return result
 
 
 def cancel_subthreshold_pulses(

@@ -1,0 +1,511 @@
+"""Compiled levelized sigmoid-simulator core: one array program per circuit.
+
+The interpreted :class:`~repro.core.simulator.SigmoidCircuitSimulator`
+walks the netlist gate by gate and predicts one transition at a time —
+every step pays a scalar transfer-function call (region projection,
+feature scaling, model forward) plus a scalar pulse-cancellation
+optimization.  :func:`compile_circuit` lowers a netlist + trained bundle
+once into a :class:`CompiledCircuit`: per-topological-level index arrays
+(gate kinds, fanin gathers, transfer-function member ids) bound to one
+:class:`~repro.core.backends.StackedTransferModel` holding every
+distinct transfer function the circuit uses.
+
+Execution then runs Algorithm 1 for **all gates of a level × all runs
+of a batch in lock-step** over the transition index: each step answers
+every active lane's query with one grouped
+:meth:`~repro.core.backends.StackedTransferModel.predict_members` call,
+and sub-threshold pulse cancellation is decided by the closed-form
+bounds of :func:`~repro.core.cancellation.pair_crosses_threshold_batch`
+(scalar fallback only in the ambiguous sliver).  The recurrence of
+Algorithm 1 (history clamp, polarity alternation, ordering snap,
+cancellation rollback) is replicated operation for operation, so the
+compiled and interpreted paths agree to float re-association noise —
+far below the 0.05 ps golden-snapshot tolerance; the parity suite
+(``tests/test_compiled_parity.py``) pins this across the fuzz corpus
+and all registered backends.
+
+Compilations are cached per ``(netlist digest, bundle, backend)``
+(:func:`netlist_digest` is canonical under gate-insertion permutation,
+like :meth:`~repro.circuits.netlist.Netlist.topological_order`), so
+repeated simulator constructions over the same circuit — the fuzz
+driver, the Table-I harness, serial/batched parity checks — compile
+once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.circuits.gates import GateType, eval_gate
+from repro.circuits.netlist import Netlist
+from repro.constants import NOMINAL_SLOPE, VDD
+from repro.core.cancellation import pair_crosses_threshold_batch
+from repro.core.models import GateModelBundle
+from repro.core.tom import T_CAP
+from repro.core.trace import SigmoidalTrace
+from repro.errors import ModelError, SimulationError
+
+#: Bound on the compile cache (distinct circuit × bundle pairs held).
+COMPILE_CACHE_SIZE = 64
+
+#: Cross-pin merge tie window (scaled time units, = 1e-17 s).  Exact
+#: ties are common — reconvergent fanout through identical models makes
+#: the interpreter's scalar arithmetic produce bitwise-equal crossing
+#: times, which its stable sort orders pin 0 first.  The compiled
+#: path's batched kernels can split such a tie by a few ulps, and an
+#: order flip is a *discrete* divergence (different masking decision,
+#: different pin's transfer functions).  Ordering cross-pin events
+#: closer than this window pin 0 first restores the interpreter's tie
+#: behavior; genuinely distinct transitions are never this close (the
+#: ordering snap alone spaces same-gate outputs 1e-6 apart).
+MERGE_TIE_EPS = 1e-7
+
+_CACHE: "OrderedDict[tuple, CompiledCircuit]" = OrderedDict()
+
+
+def netlist_digest(netlist: Netlist) -> str:
+    """Canonical digest of a netlist's structure **and** net names.
+
+    Stable under gate-insertion permutation (gates are serialized in
+    sorted-name order), so two netlists holding the same gates hash —
+    and therefore compile — identically.
+    """
+    payload = repr(
+        (
+            netlist.name,
+            tuple(netlist.primary_inputs),
+            tuple(
+                (gate.name, gate.gtype.value, gate.inputs)
+                for gate in sorted(netlist.gates.values(), key=lambda g: g.name)
+            ),
+            tuple(netlist.primary_outputs),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation (test hook)."""
+    _CACHE.clear()
+
+
+def compile_cache_info() -> dict:
+    """Cache occupancy snapshot (exposed for tests and diagnostics)."""
+    return {"size": len(_CACHE), "max_size": COMPILE_CACHE_SIZE}
+
+
+def compile_circuit(netlist: Netlist, bundle: GateModelBundle) -> "CompiledCircuit":
+    """Lower ``netlist`` + ``bundle`` into a cached array program."""
+    key = (netlist_digest(netlist), id(bundle), bundle.backend)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE.move_to_end(key)
+        return cached
+    compiled = CompiledCircuit(netlist, bundle)
+    _CACHE[key] = compiled
+    while len(_CACHE) > COMPILE_CACHE_SIZE:
+        _CACHE.popitem(last=False)
+    return compiled
+
+
+class _LevelProgram:
+    """Static per-level arrays: gate kinds, fanins, TF member ids."""
+
+    __slots__ = (
+        "names",
+        "single",
+        "in0",
+        "in1",
+        "rise_members",
+        "fall_members",
+        "nor_members",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.names: list[str] = [""] * n
+        self.single = np.zeros(n, dtype=bool)
+        self.in0: list[str] = [""] * n
+        self.in1: list[str | None] = [None] * n
+        self.rise_members = np.zeros(n, dtype=int)
+        self.fall_members = np.zeros(n, dtype=int)
+        # (gate, pin, polarity) with polarity 0 = rising input, 1 = falling.
+        self.nor_members = np.zeros((n, 2, 2), dtype=int)
+
+
+class CompiledCircuit:
+    """A netlist lowered to per-level index arrays + one TF stack."""
+
+    def __init__(self, netlist: Netlist, bundle: GateModelBundle) -> None:
+        netlist.validate()
+        for gate in netlist.gates.values():
+            if gate.gtype is GateType.INV:
+                continue
+            if gate.gtype is GateType.NOR and len(gate.inputs) == 2:
+                continue
+            raise SimulationError(
+                "sigmoid simulator supports INV and NOR2 only; "
+                f"gate {gate.name} is {gate.gtype.value}/{len(gate.inputs)}"
+            )
+        self.netlist = netlist
+        self.bundle = bundle
+        self.backend = bundle.backend
+        order = netlist.topological_order()
+        self._eval_order = [
+            (name, netlist.gates[name].gtype, netlist.gates[name].inputs)
+            for name in order
+        ]
+        # One fanout pass for all nets (fanout_count per net is O(gates)).
+        fanout_map = netlist.fanout()
+        fanout_count = {net: len(fanout_map.get(net, ())) for net in netlist.nets}
+
+        # Collect the distinct transfer functions the circuit uses and
+        # assign stack member ids (dedup by object identity: fanout-class
+        # fallback can hand the same model to many gates).
+        members: dict[int, int] = {}
+        tf_objects: list = []
+
+        def member_of(tf) -> int:
+            index = members.get(id(tf))
+            if index is None:
+                index = len(tf_objects)
+                members[id(tf)] = index
+                tf_objects.append(tf)
+            return index
+
+        self.levels: list[_LevelProgram] = []
+        for level_names in netlist.levels():
+            program = _LevelProgram(len(level_names))
+            for i, name in enumerate(level_names):
+                gate = netlist.gates[name]
+                fanout = fanout_count[name]
+                program.names[i] = name
+                program.in0[i] = gate.inputs[0]
+                if gate.gtype is GateType.INV:
+                    model = bundle.get("INV", 0, fanout)
+                    program.single[i] = True
+                    program.rise_members[i] = member_of(model.tf_rise)
+                    program.fall_members[i] = member_of(model.tf_fall)
+                elif gate.inputs[0] == gate.inputs[1]:
+                    model = bundle.get("NOR2T", 0, fanout)
+                    program.single[i] = True
+                    program.rise_members[i] = member_of(model.tf_rise)
+                    program.fall_members[i] = member_of(model.tf_fall)
+                else:
+                    program.in1[i] = gate.inputs[1]
+                    for pin in range(2):
+                        model = bundle.get("NOR2", pin, fanout)
+                        program.nor_members[i, pin, 0] = member_of(model.tf_rise)
+                        program.nor_members[i, pin, 1] = member_of(model.tf_fall)
+            self.levels.append(program)
+
+        if tf_objects:
+            self.stack = type(tf_objects[0]).stack(tf_objects)
+        else:  # gate-free netlist: nothing to predict with
+            self.stack = None
+        self.n_members = len(tf_objects)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, pi_levels: dict[str, bool]) -> dict[str, bool]:
+        """Boolean settle on the precompiled order (no re-levelization)."""
+        values = dict(pi_levels)
+        for name, gtype, inputs in self._eval_order:
+            values[name] = eval_gate(gtype, [values[n] for n in inputs])
+        return values
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        pi_traces_runs: "list[dict[str, SigmoidalTrace]]",
+        record_nets: list[str] | None = None,
+        t_cap: float = T_CAP,
+        dummy_slope: float = NOMINAL_SLOPE,
+    ) -> "list[dict[str, SigmoidalTrace]]":
+        """Predict traces for a batch of stimulus runs, level by level.
+
+        The lock-step twin of
+        :meth:`~repro.core.simulator.SigmoidCircuitSimulator.simulate_batch`:
+        identical per-run predictions, one grouped stacked call per
+        transition step instead of one scalar call per gate transition.
+        """
+        netlist = self.netlist
+        pis = netlist.primary_inputs
+        for pi_traces in pi_traces_runs:
+            missing = [pi for pi in pis if pi not in pi_traces]
+            if missing:
+                raise SimulationError(f"missing PI traces: {missing}")
+        if record_nets is None:
+            record_nets = list(netlist.primary_outputs)
+        n_runs = len(pi_traces_runs)
+
+        level_runs = [
+            self._evaluate({pi: bool(pi_traces[pi].initial_level) for pi in pis})
+            for pi_traces in pi_traces_runs
+        ]
+
+        # Internal store: (run, net) -> (initial_level, params, vdd).
+        store: list[dict[str, tuple[int, np.ndarray, float]]] = [
+            {
+                pi: (trace.initial_level, trace.params, trace.vdd)
+                for pi, trace in pi_traces.items()
+            }
+            for pi_traces in pi_traces_runs
+        ]
+
+        abs_dummy = abs(dummy_slope)
+        for program in self.levels:
+            self._run_level(program, store, level_runs, n_runs, t_cap, abs_dummy)
+
+        results: list[dict[str, SigmoidalTrace]] = []
+        for run, pi_traces in enumerate(pi_traces_runs):
+            out: dict[str, SigmoidalTrace] = {}
+            for net in record_nets:
+                if net in pi_traces:
+                    out[net] = pi_traces[net]
+                    continue
+                try:
+                    initial, params, vdd = store[run][net]
+                except KeyError as exc:
+                    raise SimulationError(f"unknown record net: {exc}") from None
+                out[net] = SigmoidalTrace(initial, params, vdd=vdd)
+            results.append(out)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_level(
+        self,
+        program: _LevelProgram,
+        store: list,
+        level_runs: list,
+        n_runs: int,
+        t_cap: float,
+        abs_dummy: float,
+    ) -> None:
+        n_gates = len(program.names)
+        n_lanes = n_gates * n_runs
+        if n_lanes == 0:
+            return
+
+        # ---- derive each lane's emitting events from its input traces
+        lane_b: list[np.ndarray] = []
+        lane_a: list[np.ndarray] = []
+        lane_m: list[np.ndarray] = []
+        initial = np.zeros(n_lanes, dtype=int)
+        trace_vdd = np.empty(n_lanes)
+        cancel_vdd = np.empty(n_lanes)
+        s_sign = np.empty(n_lanes)
+
+        lane = 0
+        for run in range(n_runs):
+            run_store = store[run]
+            levels = level_runs[run]
+            for i in range(n_gates):
+                name = program.names[i]
+                init0, p0, vdd0 = run_store[program.in0[i]]
+                if program.single[i]:
+                    b = p0[:, 1]
+                    a = p0[:, 0]
+                    member = np.where(
+                        a > 0,
+                        program.rise_members[i],
+                        program.fall_members[i],
+                    )
+                    init_out = int(levels[name])
+                    # Algorithm 1 checks the pulse against the default
+                    # rail, the NOR decision procedure against the
+                    # input's; replicated for parity.
+                    cancel_vdd[lane] = VDD
+                else:
+                    init1, p1, _vdd1 = run_store[program.in1[i]]
+                    b, a, member, init_out = self._nor_events(
+                        program.nor_members[i], init0, p0, init1, p1
+                    )
+                    if init_out != int(levels[name]):
+                        raise SimulationError(
+                            f"initial level mismatch at gate {name}"
+                        )  # pragma: no cover - defensive
+                    cancel_vdd[lane] = vdd0
+                lane_b.append(b)
+                lane_a.append(a)
+                lane_m.append(member)
+                initial[lane] = init_out
+                trace_vdd[lane] = vdd0
+                s_sign[lane] = 1.0 if init_out == 1 else -1.0
+                lane += 1
+
+        counts = np.array([b.size for b in lane_b])
+        max_events = int(counts.max()) if counts.size else 0
+
+        out_a = np.empty((n_lanes, max_events)) if max_events else None
+        out_b = np.empty((n_lanes, max_events)) if max_events else None
+        n_out = np.zeros(n_lanes, dtype=int)
+
+        if max_events:
+            B = np.zeros((n_lanes, max_events))
+            A = np.zeros((n_lanes, max_events))
+            MEM = np.zeros((n_lanes, max_events), dtype=int)
+            for k, (b, a, member) in enumerate(zip(lane_b, lane_a, lane_m)):
+                B[k, : b.size] = b
+                A[k, : a.size] = a
+                MEM[k, : member.size] = member
+            self._lockstep(
+                B, A, MEM, counts, s_sign, cancel_vdd,
+                out_a, out_b, n_out, t_cap, abs_dummy,
+            )
+
+        # ---- write the level's traces back into the store
+        lane = 0
+        for run in range(n_runs):
+            run_store = store[run]
+            for i in range(n_gates):
+                count = int(n_out[lane])
+                if count:
+                    params = np.stack(
+                        [out_a[lane, :count], out_b[lane, :count]], axis=1
+                    )
+                else:
+                    params = np.empty((0, 2))
+                run_store[program.names[i]] = (
+                    int(initial[lane]),
+                    params,
+                    float(trace_vdd[lane]),
+                )
+                lane += 1
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nor_events(
+        members: np.ndarray,
+        init0: int,
+        p0: np.ndarray,
+        init1: int,
+        p1: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Merged, masked NOR2 events (the decision procedure, data only).
+
+        Mirrors :func:`~repro.core.multi_input.predict_nor_output`'s
+        event walk: merge both pins' transitions in (stable) time order,
+        track each pin's level from the transition polarity, and keep
+        only the events that flip the NOR output — all of which depends
+        on the input traces alone, never on a prediction, so it runs
+        before any model call.
+        """
+        b = np.concatenate([p0[:, 1], p1[:, 1]])
+        a = np.concatenate([p0[:, 0], p1[:, 0]])
+        pin = np.concatenate(
+            [
+                np.zeros(p0.shape[0], dtype=int),
+                np.ones(p1.shape[0], dtype=int),
+            ]
+        )
+        init_out = int(not (bool(init0) or bool(init1)))
+        if b.size == 0:
+            return b, a, np.zeros(0, dtype=int), init_out
+        order = np.argsort(b, kind="stable")
+        b, a, pin = b[order], a[order], pin[order]
+        # Pin-stable near-tie ordering (see MERGE_TIE_EPS): adjacent
+        # cross-pin events inside the window bubble to pin 0 first;
+        # same-pin events keep their (alternation-mandated) order.
+        changed = True
+        while changed:
+            changed = False
+            for i in range(b.size - 1):
+                if pin[i] > pin[i + 1] and b[i + 1] - b[i] < MERGE_TIE_EPS:
+                    for arr in (b, a, pin):
+                        arr[i], arr[i + 1] = arr[i + 1], arr[i]
+                    changed = True
+        polarity = a > 0
+        index = np.arange(b.size)
+        last0 = np.maximum.accumulate(np.where(pin == 0, index, -1))
+        last1 = np.maximum.accumulate(np.where(pin == 1, index, -1))
+        lev0 = np.where(last0 >= 0, polarity[np.maximum(last0, 0)], bool(init0))
+        lev1 = np.where(last1 >= 0, polarity[np.maximum(last1, 0)], bool(init1))
+        out = ~(lev0 | lev1)
+        prev = np.concatenate([[bool(init_out)], out[:-1]])
+        emit = out != prev
+        b, a, pin = b[emit], a[emit], pin[emit]
+        member = members[pin, (~polarity[emit]).astype(int)]
+        return b, a, member, init_out
+
+    # ------------------------------------------------------------------
+    def _lockstep(
+        self,
+        B: np.ndarray,
+        A: np.ndarray,
+        MEM: np.ndarray,
+        counts: np.ndarray,
+        s_sign: np.ndarray,
+        cancel_vdd: np.ndarray,
+        out_a: np.ndarray,
+        out_b: np.ndarray,
+        n_out: np.ndarray,
+        t_cap: float,
+        abs_dummy: float,
+    ) -> None:
+        """Algorithm 1 across all lanes, lock-step over transition index."""
+        if self.stack is None:  # pragma: no cover - guarded by compile
+            raise ModelError("compiled circuit has no transfer functions")
+        n_lanes = B.shape[0]
+        prev_a = s_sign * abs_dummy
+        prev_b = np.full(n_lanes, -np.inf)
+        exp_sign = -s_sign
+        lanes = np.arange(n_lanes)
+
+        for j in range(B.shape[1]):
+            idx = lanes[counts > j]
+            if idx.size == 0:
+                break
+            b_in = B[idx, j]
+            a_in = A[idx, j]
+            T = np.minimum(b_in - prev_b[idx], t_cap)
+            features = np.stack([T, prev_a[idx], a_in], axis=1)
+            a_raw, delta_b = self.stack.predict_members(features, MEM[idx, j])
+            if not (np.all(np.isfinite(a_raw)) and np.all(np.isfinite(delta_b))):
+                raise ModelError("transfer function produced non-finite output")
+            a_out = exp_sign[idx] * np.abs(a_raw)
+            b_out = b_in + delta_b
+
+            # Ordering snap: a prediction jumping before its predecessor
+            # lands just after it (same 1e-6 nudge as the interpreter).
+            has_prev = n_out[idx] > 0
+            last_slot = np.maximum(n_out[idx] - 1, 0)
+            last_b = np.where(has_prev, out_b[idx, last_slot], -np.inf)
+            snap = has_prev & (b_out <= last_b)
+            b_out = np.where(snap, last_b + 1e-6, b_out)
+
+            out_a[idx, n_out[idx]] = a_out
+            out_b[idx, n_out[idx]] = b_out
+            n_out[idx] += 1
+            prev_a[idx] = a_out
+            prev_b[idx] = b_out
+            exp_sign[idx] = -exp_sign[idx]
+
+            # Sub-threshold cancellation on the freshly closed pair.
+            pair_idx = idx[n_out[idx] >= 2]
+            if pair_idx.size:
+                slot = n_out[pair_idx]
+                first = np.stack(
+                    [out_a[pair_idx, slot - 2], out_b[pair_idx, slot - 2]],
+                    axis=1,
+                )
+                second = np.stack(
+                    [out_a[pair_idx, slot - 1], out_b[pair_idx, slot - 1]],
+                    axis=1,
+                )
+                crosses = pair_crosses_threshold_batch(
+                    first, second, cancel_vdd[pair_idx]
+                )
+                drop = pair_idx[~crosses]
+                if drop.size:
+                    n_out[drop] -= 2
+                    has = n_out[drop] > 0
+                    slot = np.maximum(n_out[drop] - 1, 0)
+                    restored_a = np.where(
+                        has, out_a[drop, slot], s_sign[drop] * abs_dummy
+                    )
+                    restored_b = np.where(has, out_b[drop, slot], -np.inf)
+                    prev_a[drop] = restored_a
+                    prev_b[drop] = restored_b
+                    exp_sign[drop] = -np.sign(restored_a)

@@ -9,6 +9,11 @@ instance by fanout class (dedicated fanout >= 2 ANNs, Sec. V-A).
 Input signals are supplied "in the form of sigmoid parameter lists":
 either fits of analog waveforms (the Table-I default) or nominal-slope
 conversions of digital stimuli (the "same stimulus" row).
+
+By default the instance lowers the netlist into a compiled levelized
+array program (:mod:`repro.core.compile`) and evaluates whole levels ×
+whole run batches per stacked backend call; ``compiled=False`` keeps
+the per-gate interpreted walk as the equivalence-testing reference.
 """
 
 from __future__ import annotations
@@ -25,7 +30,12 @@ from repro.errors import SimulationError
 class SigmoidCircuitSimulator:
     """Sigmoid-domain simulator bound to a netlist and trained models."""
 
-    def __init__(self, netlist: Netlist, bundle: GateModelBundle) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        bundle: GateModelBundle,
+        compiled: bool = True,
+    ) -> None:
         netlist.validate()
         for gate in netlist.gates.values():
             if gate.gtype is GateType.INV:
@@ -38,18 +48,38 @@ class SigmoidCircuitSimulator:
             )
         self.netlist = netlist
         self.bundle = bundle
+        self.compiled = compiled
+        self._compiled_circuit = None
+        self._order: list[str] | None = None
+        self._plan: list[tuple] | None = None
+        if compiled:
+            from repro.core.compile import compile_circuit
+
+            self._compiled_circuit = compile_circuit(netlist, bundle)
+        else:
+            self._build_plan()
+
+    def _build_plan(self) -> None:
+        """Resolve the interpreted walk's per-gate model plan.
+
+        Model selection depends only on the static netlist (gate type,
+        tied inputs, fanout class), so it is resolved once per instance
+        here instead of once per gate per run.  Each plan entry is
+        ``(name, inputs, single_channel_tfs | None, nor_pin_tfs | None)``.
+        The compiled path does its own (equivalent) lowering in
+        :mod:`repro.core.compile`, so the plan is only built when the
+        instance actually interprets.
+        """
+        netlist, bundle = self.netlist, self.bundle
         self._order = netlist.topological_order()
-        self._fanout_count = {
-            net: netlist.fanout_count(net) for net in netlist.nets
+        fanout_map = netlist.fanout()
+        fanout_count = {
+            net: len(fanout_map.get(net, ())) for net in netlist.nets
         }
-        # Model selection depends only on the static netlist (gate type,
-        # tied inputs, fanout class), so it is resolved once per instance
-        # here instead of once per gate per run.  Each plan entry is
-        # ``(name, inputs, single_channel_tfs | None, nor_pin_tfs | None)``.
-        self._plan: list[tuple] = []
+        self._plan = []
         for name in self._order:
             gate = netlist.gates[name]
-            fanout = self._fanout_count[name]
+            fanout = fanout_count[name]
             if gate.gtype is GateType.INV:
                 model = bundle.get("INV", 0, fanout)
                 entry = (name, gate.inputs, (model.tf_rise, model.tf_fall), None)
@@ -88,7 +118,15 @@ class SigmoidCircuitSimulator:
         done once for the whole batch and each gate's per-run predictions
         run back to back.  Per run, the predictions are exactly the ones
         :meth:`simulate` makes — the two entry points are bit-compatible.
+
+        With ``compiled=True`` (the default) the walk is the lock-step
+        array program of :mod:`repro.core.compile`; the interpreted
+        loop below is the ``compiled=False`` reference.
         """
+        if self._compiled_circuit is not None:
+            return self._compiled_circuit.run_batch(
+                pi_traces_runs, record_nets
+            )
         pis = self.netlist.primary_inputs
         for pi_traces in pi_traces_runs:
             missing = [pi for pi in pis if pi not in pi_traces]

@@ -24,11 +24,84 @@ from scipy.interpolate import (
 
 from repro.core.backends import (
     ScaledTransferModel,
+    StackedTransferModel,
     build_region,
     register_backend,
 )
 from repro.errors import ModelError
 from repro.nn.scaling import StandardScaler
+
+
+class TableStackedTransfer(StackedTransferModel):
+    """Stacked scattered-data tables (``lut`` and ``spline`` members).
+
+    The member sample tables are stacked as one concatenated
+    ``(sum_k n_k, d)`` feature array plus per-member row offsets —
+    scattered-data interpolants have no fixed-shape coefficient block to
+    stack, so evaluation stays with each member's own (deterministic)
+    interpolator objects, one vectorized call per member per query.
+    """
+
+    def __init__(self, models: list) -> None:
+        super().__init__(models)
+        self.sample_offsets = np.concatenate(
+            [[0], np.cumsum([m._features.shape[0] for m in models])]
+        )
+
+    # The concatenated views are introspection-only (evaluation stays
+    # with the member interpolators), so they materialize on demand
+    # instead of doubling the table memory of every cached compilation.
+    @property
+    def sample_features(self) -> np.ndarray:
+        return np.concatenate([m._features for m in self.models], axis=0)
+
+    @property
+    def sample_slopes(self) -> np.ndarray:
+        return np.concatenate([m._slopes for m in self.models])
+
+    @property
+    def sample_delays(self) -> np.ndarray:
+        return np.concatenate([m._delays for m in self.models])
+
+
+class PolyStackedTransfer(StackedTransferModel):
+    """Stacked polynomial members: one ``(K, n_terms)`` block per target.
+
+    Members whose degree differs from the first member's keep their own
+    coefficient vectors and fall back to the member model; uniform
+    members evaluate ``design @ coef[k]`` on the stacked blocks — the
+    same matmul :meth:`PolynomialTransferFunction._predict_scaled` runs.
+    """
+
+    def __init__(self, models: list) -> None:
+        super().__init__(models)
+        self.degree = models[0].degree
+        self._uniform = np.array([m.degree == self.degree for m in models])
+        template = models[int(np.argmax(self._uniform))]
+        self.coef_slope = np.stack(
+            [
+                m._coef_slope
+                if u
+                else np.zeros_like(template._coef_slope)
+                for m, u in zip(models, self._uniform)
+            ]
+        )
+        self.coef_delay = np.stack(
+            [
+                m._coef_delay
+                if u
+                else np.zeros_like(template._coef_delay)
+                for m, u in zip(models, self._uniform)
+            ]
+        )
+
+    def _predict_scaled_member(
+        self, member: int, scaled: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not self._uniform[member]:
+            return self.models[member]._predict_scaled(scaled)
+        design = self.models[member]._design(scaled)
+        return design @ self.coef_slope[member], design @ self.coef_delay[member]
 
 
 def _check_training_arrays(
@@ -103,6 +176,11 @@ class LUTTransferFunction(ScaledTransferModel):
         if bad.any():
             delay[bad] = self._nearest_delay(scaled[bad])
         return slope, delay
+
+    @classmethod
+    def stack(cls, models: list) -> TableStackedTransfer:
+        """Stack LUT members (concatenated sample tables + offsets)."""
+        return TableStackedTransfer(models)
 
     def _payload_dict(self) -> dict:
         return {
@@ -187,6 +265,11 @@ class PolynomialTransferFunction(ScaledTransferModel):
         design = self._design(scaled)
         return design @ self._coef_slope, design @ self._coef_delay
 
+    @classmethod
+    def stack(cls, models: list) -> PolyStackedTransfer:
+        """Stack polynomial members as ``(K, n_terms)`` coefficient blocks."""
+        return PolyStackedTransfer(models)
+
     def _payload_dict(self) -> dict:
         return {
             "degree": self.degree,
@@ -270,6 +353,11 @@ class RBFTransferFunction(ScaledTransferModel):
         self, scaled: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         return self._rbf_slope(scaled), self._rbf_delay(scaled)
+
+    @classmethod
+    def stack(cls, models: list) -> TableStackedTransfer:
+        """Stack RBF members (concatenated sample tables + offsets)."""
+        return TableStackedTransfer(models)
 
     def _payload_dict(self) -> dict:
         return {

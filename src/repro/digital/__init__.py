@@ -10,7 +10,8 @@ Provides the slope-blind baseline the paper compares against:
 * :mod:`~repro.digital.hybrid` — a thresholded hybrid (involution-style)
   channel, the stronger digital baseline family the paper cites,
 * :class:`~repro.digital.simulator.DigitalSimulator` — event queue with
-  inertial cancellation,
+  inertial cancellation (compiled by default onto the levelized array
+  core of :mod:`~repro.digital.compiled` for fixed arc delays),
 * :mod:`~repro.digital.characterize` — extracts the delay tables from the
   analog substrate (playing the role of Genus/Innovus extraction).
 """

@@ -1,0 +1,350 @@
+"""Compiled levelized digital-simulator core.
+
+The event-driven :class:`~repro.digital.simulator.DigitalSimulator` pays
+a heap push/pop, dict churn and a delay-model method dispatch per event.
+For the fixed per-arc delay models of the Table-I baseline
+(:class:`~repro.digital.delay.FixedDelayModel`) a gate's output trace is
+a pure function of its input traces, so the circuit compiles into the
+same shape of array program as the sigmoid core
+(:mod:`repro.core.compile`): per-topological-level index arrays plus a
+dense per-level ``(gate, pin, edge)`` delay gather, executed for all
+gates of a level × all runs of a batch in lock-step over the merged
+input-event index with vectorized inertial-pending state.
+
+Semantics replicate the event loop operation for operation — target
+evaluation, inertial cancellation of invalidated pendings, non-positive
+(DDM-style) delays swallowing the pulse pair, the ``t_stop`` commit
+guard — so compiled and interpreted traces are **bitwise identical**
+(pure float adds and comparisons, no re-association).  The one
+undecidable corner is two *distinct* nets transitioning at exactly the
+same float time into one gate: the heap orders those by global
+scheduling sequence, the compiled core by pin index (and commits a
+pending output before an input event carrying the same timestamp).
+Random stimuli and characterized arc delays never produce such ties;
+the parity suite checks the corpus and the benchmark zoo bitwise.
+
+Time-dependent delay models (e.g. the DDM) and test-only wrappers do
+not compile; :func:`compile_digital` returns ``None`` and the caller
+falls back to the event loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gates import GateType, eval_gate
+from repro.circuits.netlist import Netlist
+from repro.digital.delay import FixedDelayModel
+from repro.digital.trace import DigitalTrace
+from repro.errors import ModelError, SimulationError
+
+
+def compile_digital(
+    netlist: Netlist,
+    delay_models: dict,
+) -> "CompiledDigitalCircuit | None":
+    """Lower the netlist + fixed delay models into an array program.
+
+    Returns ``None`` when any instance model is not a plain
+    :class:`FixedDelayModel` (subclass overrides of ``delay`` would be
+    silently ignored by the dense gather, so only the exact class and
+    its pure-alias subclasses compile).
+    """
+    for model in delay_models.values():
+        if not isinstance(model, FixedDelayModel):
+            return None
+        if type(model).delay is not FixedDelayModel.delay:
+            return None  # pragma: no cover - no such subclass in-repo
+    return CompiledDigitalCircuit(netlist, delay_models)
+
+
+class _DigitalLevel:
+    """Static arrays of one topological level."""
+
+    __slots__ = ("names", "single", "in0", "in1", "delays")
+
+    def __init__(self, n: int) -> None:
+        self.names: list[str] = [""] * n
+        self.single = np.zeros(n, dtype=bool)
+        self.in0: list[str] = [""] * n
+        self.in1: list[str | None] = [None] * n
+        self.delays = np.full((n, 2, 2), np.nan)  # (gate, pin, edge)
+
+
+class CompiledDigitalCircuit:
+    """A netlist + fixed arc delays lowered to levelized arrays."""
+
+    def __init__(self, netlist: Netlist, delay_models: dict) -> None:
+        self.netlist = netlist
+        order = netlist.topological_order()
+        self._eval_order = [
+            (name, netlist.gates[name].gtype, netlist.gates[name].inputs)
+            for name in order
+        ]
+        self.levels: list[_DigitalLevel] = []
+        for level_names in netlist.levels():
+            level = _DigitalLevel(len(level_names))
+            for i, name in enumerate(level_names):
+                gate = netlist.gates[name]
+                level.names[i] = name
+                level.in0[i] = gate.inputs[0]
+                tied = len(gate.inputs) == 2 and gate.inputs[0] == gate.inputs[1]
+                if gate.gtype is GateType.INV or tied:
+                    level.single[i] = True
+                elif gate.gtype is GateType.NOR and len(gate.inputs) == 2:
+                    level.in1[i] = gate.inputs[1]
+                else:
+                    raise SimulationError(
+                        "compiled digital core supports INV and NOR2 "
+                        f"only; gate {name} is {gate.gtype.value}/"
+                        f"{len(gate.inputs)}"
+                    )
+                level.delays[i] = delay_models[name].arc_array(2)
+            self.levels.append(level)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, pi_values: dict[str, bool]) -> dict[str, bool]:
+        values = dict(pi_values)
+        for name, gtype, inputs in self._eval_order:
+            values[name] = eval_gate(gtype, [values[n] for n in inputs])
+        return values
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        pi_traces_runs: "list[dict[str, DigitalTrace]]",
+        t_stops: "list[float]",
+    ) -> "list[dict[str, DigitalTrace]]":
+        """Simulate a batch of runs; returns every net's committed trace.
+
+        The lock-step twin of
+        :meth:`~repro.digital.simulator.DigitalSimulator.simulate` run
+        once per batch: per run the result is the event loop's, per
+        level all gates × all runs advance together.
+        """
+        netlist = self.netlist
+        pis = netlist.primary_inputs
+        if len(pi_traces_runs) != len(t_stops):
+            raise SimulationError("need one t_stop per run")
+        for pi_traces in pi_traces_runs:
+            missing = [pi for pi in pis if pi not in pi_traces]
+            if missing:
+                raise SimulationError(f"missing PI traces: {missing}")
+        n_runs = len(pi_traces_runs)
+
+        initials = [
+            self._evaluate({pi: pi_traces[pi].initial for pi in pis})
+            for pi_traces in pi_traces_runs
+        ]
+        # Store: (run, net) -> (initial: bool, times: list).  PI events
+        # beyond the run's t_stop are never scheduled, exactly like the
+        # event loop's push guard.
+        store: list[dict[str, tuple[bool, list]]] = []
+        for run, pi_traces in enumerate(pi_traces_runs):
+            t_stop = t_stops[run]
+            entry = {}
+            for pi, trace in pi_traces.items():
+                entry[pi] = (
+                    trace.initial,
+                    [t for t in trace.times if t <= t_stop],
+                )
+            store.append(entry)
+
+        t_stop_arr = np.asarray(t_stops, dtype=float)
+        for level in self.levels:
+            self._run_level(level, store, initials, n_runs, t_stop_arr)
+
+        results = []
+        for run in range(n_runs):
+            results.append(
+                {
+                    net: DigitalTrace(initial, times)
+                    for net, (initial, times) in store[run].items()
+                }
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_level(
+        self,
+        level: _DigitalLevel,
+        store: list,
+        initials: list,
+        n_runs: int,
+        t_stops: np.ndarray,
+    ) -> None:
+        n_gates = len(level.names)
+        n_lanes = n_gates * n_runs
+        if n_lanes == 0:
+            return
+
+        # Flat event assembly: plain-python merges per lane (events per
+        # gate are few; small-list work beats numpy dispatch here), one
+        # vectorized scatter into the padded lock-step layout after.
+        flat_t: list[float] = []
+        flat_p: list[int] = []
+        flat_v: list[bool] = []
+        counts = np.empty(n_lanes, dtype=int)
+        v0 = np.zeros(n_lanes, dtype=bool)
+        v1 = np.zeros(n_lanes, dtype=bool)
+        out = np.zeros(n_lanes, dtype=bool)
+        single = np.zeros(n_lanes, dtype=bool)
+        delay_rows = np.empty(n_lanes, dtype=int)
+        lane_stop = np.empty(n_lanes)
+
+        lane = 0
+        for run in range(n_runs):
+            run_store = store[run]
+            run_initials = initials[run]
+            t_stop = float(t_stops[run])
+            for i in range(n_gates):
+                init0, times0 = run_store[level.in0[i]]
+                m = len(times0)
+                if level.single[i]:
+                    flat_t += times0
+                    flat_p += [0] * m
+                    value = not init0
+                    for _ in range(m):
+                        flat_v.append(value)
+                        value = not value
+                    v0[lane] = init0
+                    v1[lane] = init0
+                else:
+                    init1, times1 = run_store[level.in1[i]]
+                    n1 = len(times1)
+                    a = b = 0
+                    val0, val1 = not init0, not init1
+                    # Stable two-pointer merge: pin 0 first on a tie.
+                    while a < m or b < n1:
+                        if b >= n1 or (a < m and times0[a] <= times1[b]):
+                            flat_t.append(times0[a])
+                            flat_p.append(0)
+                            flat_v.append(val0)
+                            val0 = not val0
+                            a += 1
+                        else:
+                            flat_t.append(times1[b])
+                            flat_p.append(1)
+                            flat_v.append(val1)
+                            val1 = not val1
+                            b += 1
+                    m += n1
+                    v0[lane] = init0
+                    v1[lane] = init1
+                counts[lane] = m
+                single[lane] = level.single[i]
+                out[lane] = run_initials[level.names[i]]
+                delay_rows[lane] = i
+                lane_stop[lane] = t_stop
+                lane += 1
+
+        max_events = int(counts.max()) if counts.size else 0
+        n_out = np.zeros(n_lanes, dtype=int)
+        out_times = np.empty((n_lanes, max_events)) if max_events else None
+
+        if max_events:
+            T = np.full((n_lanes, max_events), np.inf)
+            P = np.zeros((n_lanes, max_events), dtype=int)
+            V = np.zeros((n_lanes, max_events), dtype=bool)
+            lane_ids = np.repeat(np.arange(n_lanes), counts)
+            offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            within = np.arange(lane_ids.size) - offsets[lane_ids]
+            T[lane_ids, within] = flat_t
+            P[lane_ids, within] = flat_p
+            V[lane_ids, within] = flat_v
+            self._lockstep(
+                T, P, V, counts, single, level.delays[delay_rows],
+                lane_stop, v0, v1, out, out_times, n_out,
+            )
+
+        lane = 0
+        for run in range(n_runs):
+            run_store = store[run]
+            run_initials = initials[run]
+            for i in range(n_gates):
+                count = int(n_out[lane])
+                times = out_times[lane, :count].tolist() if count else []
+                name = level.names[i]
+                run_store[name] = (bool(run_initials[name]), times)
+                lane += 1
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lockstep(
+        T: np.ndarray,
+        P: np.ndarray,
+        V: np.ndarray,
+        counts: np.ndarray,
+        single: np.ndarray,
+        delays: np.ndarray,
+        lane_stop: np.ndarray,
+        v0: np.ndarray,
+        v1: np.ndarray,
+        out: np.ndarray,
+        out_times: np.ndarray,
+        n_out: np.ndarray,
+    ) -> None:
+        """The inertial event recurrence, lock-step over event index."""
+        n_lanes = T.shape[0]
+        pend_t = np.full(n_lanes, np.inf)
+        pend_v = np.zeros(n_lanes, dtype=bool)
+        lanes = np.arange(n_lanes)
+
+        for j in range(T.shape[1]):
+            act = counts > j
+            if not act.any():
+                break
+            t = T[:, j]
+            # Commit pendings due at or before this event (pending
+            # first on an exact tie; see module docstring).
+            fire = act & (pend_t <= t)
+            if fire.any():
+                fi = lanes[fire]
+                out_times[fi, n_out[fi]] = pend_t[fi]
+                n_out[fi] += 1
+                out[fi] = pend_v[fi]
+                pend_t[fi] = np.inf
+
+            ai = lanes[act]
+            pin = P[ai, j]
+            val = V[ai, j]
+            is0 = pin == 0
+            v0[ai[is0]] = val[is0]
+            v1[ai[~is0]] = val[~is0]
+            target = np.where(single[ai], ~v0[ai], ~(v0[ai] | v1[ai]))
+            pending = np.isfinite(pend_t[ai])
+            effective = np.where(pending, pend_v[ai], out[ai])
+            change = target != effective
+            ci = ai[change]
+            tgt = target[change]
+            if ci.size == 0:
+                continue
+            # The input change reverted before the output fired: the
+            # pending pulse is swallowed (inertial cancellation).
+            revert = tgt == out[ci]
+            pend_t[ci[revert]] = np.inf
+            sched = ci[~revert]
+            if sched.size == 0:
+                continue
+            stgt = tgt[~revert]
+            d = delays[sched, P[sched, j], stgt.astype(int)]
+            if np.isnan(d).any():
+                bad = int(np.nonzero(np.isnan(d))[0][0])
+                raise ModelError(
+                    f"no delay for pin {int(P[sched[bad], j])} edge "
+                    f"{'rise' if bool(stgt[bad]) else 'fall'}"
+                )
+            # Full degradation (DDM-style): the transition disappears
+            # together with the previous one it would pair with.
+            positive = d > 0.0
+            pend_t[sched[~positive]] = np.inf
+            live = sched[positive]
+            pend_t[live] = T[live, j] + d[positive]
+            pend_v[live] = stgt[positive]
+
+        flush = np.isfinite(pend_t) & (pend_t <= lane_stop)
+        if flush.any():
+            fi = lanes[flush]
+            out_times[fi, n_out[fi]] = pend_t[fi]
+            n_out[fi] += 1
+            out[fi] = pend_v[fi]

@@ -153,6 +153,20 @@ class FixedDelayModel(InstanceDelayModel):
         except KeyError:
             raise ModelError(f"no delay for pin {pin} edge {edge}") from None
 
+    def arc_array(self, n_pins: int = 2) -> np.ndarray:
+        """Arc delays as a dense ``(n_pins, 2)`` array (edge 0=fall, 1=rise).
+
+        The compiled levelized digital core gathers per-event delays
+        from these arrays instead of per-event method dispatch; missing
+        arcs are NaN (a gather hitting one raises downstream, matching
+        the interpreted path's :class:`~repro.errors.ModelError`).
+        """
+        table = np.full((n_pins, 2), np.nan)
+        for (pin, edge), value in self._delays.items():
+            if 0 <= pin < n_pins:
+                table[pin, 0 if edge == "fall" else 1] = value
+        return table
+
 
 class LoadTableDelayModel(FixedDelayModel):
     """Alias constructor emphasizing table-based per-instance resolution."""

@@ -20,12 +20,22 @@ from repro.errors import SimulationError
 
 
 class DigitalSimulator:
-    """Event-driven simulator bound to one netlist and its delay models."""
+    """Event-driven simulator bound to one netlist and its delay models.
+
+    With ``compiled=True`` (the default) and plain
+    :class:`~repro.digital.delay.FixedDelayModel` instance delays, runs
+    execute on the levelized array core of
+    :mod:`repro.digital.compiled` — bitwise-identical traces, no heap.
+    The compilation is lazy and keyed on the delay-model identities, so
+    swapping a gate's model (e.g. a test-only perturbation wrapper)
+    transparently recompiles or falls back to the event loop below.
+    """
 
     def __init__(
         self,
         netlist: Netlist,
         delay_models: dict[str, InstanceDelayModel],
+        compiled: bool = True,
     ) -> None:
         netlist.validate()
         missing = [g for g in netlist.gates if g not in delay_models]
@@ -33,18 +43,74 @@ class DigitalSimulator:
             raise SimulationError(f"missing delay models for gates: {missing[:5]}")
         self.netlist = netlist
         self.delay_models = delay_models
+        self.compiled = compiled
         self._consumers = netlist.fanout()
+        self._compiled_core = None
+        self._compiled_key = None
 
     # ------------------------------------------------------------------
+    def _compiled_circuit(self):
+        """The compiled core, rebuilt when the delay models changed.
+
+        The key holds the model *objects* (identity-compared), not bare
+        ids — a freed model's address could be recycled by a
+        replacement, which would silently revive a stale compilation.
+        """
+        if not self.compiled:
+            return None
+        key = tuple(
+            self.delay_models[name] for name in self.netlist.gates
+        )
+        if key != self._compiled_key:
+            from repro.digital.compiled import compile_digital
+
+            self._compiled_core = compile_digital(
+                self.netlist, self.delay_models
+            )
+            self._compiled_key = key
+        return self._compiled_core
+
+    # ------------------------------------------------------------------
+    def simulate_batch(
+        self,
+        pi_traces_runs: "list[dict[str, DigitalTrace]]",
+        t_stops: "list[float]",
+    ) -> "list[dict[str, DigitalTrace]]":
+        """Simulate many runs; one lock-step pass on the compiled core.
+
+        Falls back to per-run event loops when the instance is
+        interpreted or the delay models do not compile.
+        """
+        if len(pi_traces_runs) != len(t_stops):
+            raise SimulationError("need one t_stop per run")
+        core = self._compiled_circuit()
+        if core is not None:
+            return core.run_batch(pi_traces_runs, t_stops)
+        return [
+            self._simulate_events(pi_traces, t_stop)
+            for pi_traces, t_stop in zip(pi_traces_runs, t_stops)
+        ]
+
     def simulate(
         self,
         pi_traces: dict[str, DigitalTrace],
         t_stop: float,
     ) -> dict[str, DigitalTrace]:
-        """Run the event-driven simulation until ``t_stop``.
+        """Run one simulation until ``t_stop``.
 
         Returns the committed trace of every net (PIs included).
         """
+        core = self._compiled_circuit()
+        if core is not None:
+            return core.run_batch([pi_traces], [t_stop])[0]
+        return self._simulate_events(pi_traces, t_stop)
+
+    def _simulate_events(
+        self,
+        pi_traces: dict[str, DigitalTrace],
+        t_stop: float,
+    ) -> dict[str, DigitalTrace]:
+        """The event-driven reference loop (``compiled=False`` path)."""
         netlist = self.netlist
         missing = [pi for pi in netlist.primary_inputs if pi not in pi_traces]
         if missing:

@@ -125,7 +125,12 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Reusable harness bound to one core netlist and trained models."""
+    """Reusable harness bound to one core netlist and trained models.
+
+    ``compiled`` selects the levelized array cores for the digital and
+    sigmoid simulators (the default); ``compiled=False`` keeps the
+    interpreted per-gate walks as the equivalence-testing reference.
+    """
 
     def __init__(
         self,
@@ -133,17 +138,21 @@ class ExperimentRunner:
         bundle: GateModelBundle,
         delay_library: DelayLibrary,
         library: CellLibrary = DEFAULT_LIBRARY,
+        compiled: bool = True,
     ) -> None:
         core.validate()
         self.core = core
         self.bundle = bundle
         self.library = library
+        self.compiled = compiled
         self.augmented = augment_with_shaping(core)
         self.analog = StagedSimulator(self.augmented, library=library)
         self.digital = DigitalSimulator(
-            core, build_instance_delays(core, delay_library, library)
+            core,
+            build_instance_delays(core, delay_library, library),
+            compiled=compiled,
         )
-        self.sigmoid = SigmoidCircuitSimulator(core, bundle)
+        self.sigmoid = SigmoidCircuitSimulator(core, bundle, compiled=compiled)
         self._depth = core.depth()
 
     def _t_stop_for(self, t_last: float) -> float:
@@ -314,19 +323,17 @@ class ExperimentRunner:
             for run in range(n_runs)
         ]
 
-        # --- digital stimulus + simulation ------------------------------
+        # --- digital stimulus + simulation (one lock-step batch) --------
         pi_digital = [
             {pi: DigitalTrace.from_waveform(wf) for pi, wf in waveforms.items()}
             for waveforms in pi_waveforms
         ]
-        t_sim_digital = []
-        po_digital = []
-        for run in range(n_runs):
-            t0 = time.perf_counter()
-            po_digital.append(
-                self.digital.simulate_outputs(pi_digital[run], t_stops[run])
-            )
-            t_sim_digital.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        digital_all = self.digital.simulate_batch(pi_digital, t_stops)
+        t_sim_digital = (time.perf_counter() - t0) / n_runs
+        po_digital = [
+            {po: traces[po] for po in pos} for traces in digital_all
+        ]
 
         # --- sigmoid stimulus (one stacked fit) + simulation -------------
         t0 = time.perf_counter()
@@ -369,7 +376,7 @@ class ExperimentRunner:
                     po_references[run], po_sigmoid[run], 0.0, t_stops[run]
                 ),
                 t_sim_analog=t_sim_analog,
-                t_sim_digital=t_sim_digital[run],
+                t_sim_digital=t_sim_digital,
                 t_sim_sigmoid=t_sim_sigmoid,
                 t_fit_inputs=t_fit_inputs,
             )

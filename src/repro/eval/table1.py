@@ -29,7 +29,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analog.batching import dispatch_jobs
-from repro.circuits.iscas85 import c17, c499_like, c1355_like
+from repro.circuits.iscas85 import (
+    c17,
+    c499_like,
+    c880_like,
+    c1355_like,
+    c3540_like,
+)
 from repro.circuits.netlist import Netlist
 from repro.circuits.nor_map import nor_map
 from repro.core.models import GateModelBundle
@@ -42,7 +48,9 @@ from repro.eval.stimuli import PAPER_CONFIGS, StimulusConfig
 CIRCUIT_BUILDERS = {
     "c17": c17,
     "c499_like": c499_like,
+    "c880_like": c880_like,
     "c1355_like": c1355_like,
+    "c3540_like": c3540_like,
 }
 
 #: Lock-step run-batch bound shared by `Table1Config` and `run_cell`
@@ -67,6 +75,10 @@ class Table1Config:
     been trained with (``ann``/``lut``/``spline``/``poly``) — the CLI
     and the ablation runner resolve the bundle from it, and
     :func:`run_table1` rejects a bundle trained with a different one.
+    ``compiled`` (default on) runs the digital and sigmoid simulators
+    on their levelized array cores (:mod:`repro.core.compile`,
+    :mod:`repro.digital.compiled`); ``compiled=False`` (CLI
+    ``--interpreted``) keeps the per-gate interpreted walks.
     """
 
     circuits: tuple[str, ...] = ("c17", "c499_like", "c1355_like")
@@ -79,6 +91,7 @@ class Table1Config:
     max_runs_per_batch: int = DEFAULT_MAX_RUNS_PER_BATCH
     n_workers: int = 1
     backend: str = "ann"
+    compiled: bool = True
 
 
 @dataclass
@@ -157,7 +170,9 @@ def _run_circuit_cells(
 ) -> tuple[list[Table1Row], Table1Row | None]:
     """All grid rows of one circuit (a picklable unit of dispatch)."""
     circuit, bundle, delay_library, config = job
-    runner = ExperimentRunner(nor_mapped(circuit), bundle, delay_library)
+    runner = ExperimentRunner(
+        nor_mapped(circuit), bundle, delay_library, compiled=config.compiled
+    )
     rows = [
         run_cell(
             runner,

@@ -95,6 +95,10 @@ class FuzzConfig:
     max_shrink_evals: int = 60
     golden: str = "check"  # "check" | "update" | "off"
     golden_dir: Path | None = None
+    #: Compiled levelized simulator cores (the default); ``False`` runs
+    #: the interpreted per-gate walks the compiled paths are
+    #: parity-locked against.
+    compiled: bool = True
 
     def __post_init__(self) -> None:
         if self.scale not in FUZZ_PRESETS:
@@ -227,6 +231,7 @@ def _differential_config(
         checks=checks,
         reference=config.reference,
         seed=config.seed,
+        compiled=config.compiled,
     )
 
 

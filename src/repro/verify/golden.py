@@ -77,12 +77,13 @@ class GoldenStore:
     def compare(self, report: DifferentialReport) -> list[InvariantViolation]:
         """Diff ``report`` against the stored snapshot.
 
-        Returns ``golden`` violations (empty when the snapshot matches or
-        none exists yet — absence is not drift).
+        Returns ``golden`` violations.  A missing or unreadable snapshot
+        file is itself a violation naming the path — a checked campaign
+        whose baseline is absent verifies nothing, so it must fail
+        loudly (record the baseline with ``--update-golden``, or skip
+        the layer with ``--no-golden``) instead of crashing with a
+        traceback or silently passing.
         """
-        golden = self.load(report.circuit)
-        if golden is None:
-            return []
         violations: list[InvariantViolation] = []
 
         def drift(seed: int, output: str | None, message: str,
@@ -93,6 +94,25 @@ class GoldenStore:
                     message, magnitude,
                 )
             )
+
+        try:
+            golden = self.load(report.circuit)
+            if golden is not None and not isinstance(golden, dict):
+                raise json.JSONDecodeError(
+                    f"expected a snapshot object, got {type(golden).__name__}",
+                    "", 0,
+                )
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+            drift(-1, None,
+                  f"golden snapshot {self.path(report.circuit)} is "
+                  f"unreadable ({exc}); re-record it with --update-golden")
+            return violations
+        if golden is None:
+            drift(-1, None,
+                  f"golden snapshot {self.path(report.circuit)} is "
+                  "missing; record it with --update-golden or skip the "
+                  "comparison with --no-golden")
+            return violations
 
         if golden.get("version") != GOLDEN_VERSION:
             drift(-1, None,

@@ -1,0 +1,150 @@
+"""``TransferBackend.stack()`` coverage across the registry.
+
+Every registered backend must stack its models behind
+:class:`~repro.core.backends.StackedTransferModel` such that a grouped
+``predict_members`` call answers each member's rows **bitwise**
+identically to that member's own ``predict_batch`` — the contract the
+compiled simulator core (:mod:`repro.core.compile`) is built on.  A
+backend that has not implemented ``stack()`` must fail with a
+:class:`NotImplementedError` naming itself, never fall back silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir, bundle_path
+from repro.core.backends import (
+    ScaledTransferModel,
+    StackedTransferModel,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.core.models import GateModelBundle
+from repro.errors import ModelError
+
+ALL_BACKENDS = ("ann", "lut", "spline", "poly")
+
+needs_bundles = pytest.mark.skipif(
+    not all(bundle_path("tiny", b).exists() for b in ALL_BACKENDS),
+    reason="committed tiny per-backend bundles not available",
+)
+
+
+def _models(backend: str) -> list:
+    """Every distinct transfer function of the tiny bundle, rise+fall."""
+    bundle = GateModelBundle.load(bundle_path("tiny", backend))
+    models, seen = [], set()
+    for cell, pin, fanout_class in bundle.keys():
+        gate_model = bundle.get(cell, pin, 2 if fanout_class == "fo2" else 1)
+        for tf in (gate_model.tf_rise, gate_model.tf_fall):
+            if id(tf) not in seen:
+                seen.add(id(tf))
+                models.append(tf)
+    return models
+
+
+def _query_rows(rng, n=64):
+    """Feature rows spanning the in-region and out-of-region regimes."""
+    T = rng.uniform(0.02, 1.0, n)
+    a_prev = rng.uniform(-120.0, 120.0, n)
+    a_in = rng.uniform(-120.0, 120.0, n)
+    a_prev[a_prev == 0.0] = 1.0
+    a_in[a_in == 0.0] = 1.0
+    return np.column_stack([T, a_prev, a_in])
+
+
+@needs_bundles
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_stacked_predict_matches_looped_bitwise(backend):
+    models = _models(backend)
+    assert len(models) >= 2
+    stacked = type(models[0]).stack(models)
+    assert isinstance(stacked, StackedTransferModel)
+    assert stacked.n_members == len(models)
+
+    rng = np.random.default_rng(7)
+    features = _query_rows(rng)
+    members = rng.integers(0, len(models), features.shape[0])
+    slope, delay = stacked.predict_members(features, members)
+    for k, model in enumerate(models):
+        sel = members == k
+        if not sel.any():
+            continue
+        want_slope, want_delay = model.predict_batch(features[sel])
+        assert np.array_equal(slope[sel], want_slope), (backend, k)
+        assert np.array_equal(delay[sel], want_delay), (backend, k)
+
+
+@needs_bundles
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_stacked_parameter_views_match_members(backend):
+    """The stacked arrays hold exactly the member parameters."""
+    models = _models(backend)
+    stacked = type(models[0]).stack(models)
+    for k, model in enumerate(models):
+        assert np.array_equal(
+            stacked.scaler_means[k], model.x_scaler.mean_
+        )
+        assert np.array_equal(stacked.scaler_stds[k], model.x_scaler.std_)
+    if backend == "ann":
+        for k, model in enumerate(models):
+            for i, layer in enumerate(model.slope_net.dense_layers()):
+                assert np.array_equal(
+                    stacked.slope_weights[i][k], layer.weight
+                )
+                assert np.array_equal(
+                    stacked.slope_biases[i][k], layer.bias
+                )
+    elif backend == "poly":
+        for k, model in enumerate(models):
+            assert np.array_equal(stacked.coef_slope[k], model._coef_slope)
+            assert np.array_equal(stacked.coef_delay[k], model._coef_delay)
+    else:  # lut / spline: concatenated sample tables with offsets
+        offsets = stacked.sample_offsets
+        for k, model in enumerate(models):
+            rows = slice(int(offsets[k]), int(offsets[k + 1]))
+            assert np.array_equal(
+                stacked.sample_features[rows], model._features
+            )
+
+
+@needs_bundles
+def test_stack_input_validation():
+    models = _models("ann")
+    stacked = type(models[0]).stack(models)
+    with pytest.raises(ModelError, match="member index"):
+        stacked.predict_members(np.zeros((2, 3)), np.array([0]))
+    with pytest.raises(ModelError, match="out of range"):
+        stacked.predict_members(
+            np.array([[0.5, 10.0, 10.0]]), np.array([len(models)])
+        )
+    with pytest.raises(ModelError, match="features"):
+        stacked.predict_members(np.zeros((2, 4)), np.array([0, 0]))
+    with pytest.raises(ModelError, match="empty"):
+        StackedTransferModel([])
+
+
+def test_every_registered_backend_implements_stack():
+    """The compiled core can stack every backend in the registry."""
+    for name in available_backends():
+        cls = get_backend(name)
+        assert cls.stack is not ScaledTransferModel.stack, name
+
+
+def test_backend_without_stack_raises_naming_itself():
+    """A future backend missing stack() fails loudly with its name."""
+
+    @register_backend("_stackless_test_backend")
+    class Stackless(ScaledTransferModel):
+        pass
+
+    try:
+        with pytest.raises(
+            NotImplementedError, match="_stackless_test_backend"
+        ):
+            Stackless.stack([])
+    finally:
+        from repro.core.backends import _REGISTRY
+
+        _REGISTRY.pop("_stackless_test_backend", None)

@@ -154,6 +154,81 @@ class TestSECGenerators:
         assert 1300 <= nor_map(c1355_like()).n_gates <= 2600
 
 
+class TestALUGenerators:
+    def test_c880_like_shape_and_size(self):
+        from repro.circuits.iscas85 import c880_like
+        from repro.circuits.nor_map import nor_map
+
+        nl = c880_like()
+        nl.validate()
+        # The original c880 is ~383 raw gates; the generator must land
+        # in the same NOR-mapped size class.
+        assert 600 <= nor_map(nl).n_gates <= 1200
+
+    def test_c3540_like_shape_and_size(self):
+        from repro.circuits.iscas85 import c3540_like
+        from repro.circuits.nor_map import nor_map
+
+        nl = c3540_like()
+        nl.validate()
+        assert all(
+            g.gtype not in (GateType.XOR, GateType.XNOR)
+            for g in nl.gates.values()
+        )
+        assert 2500 <= nor_map(nl).n_gates <= 4500
+
+    def test_c880_like_is_an_adder_when_selects_are_low(self):
+        """f=00 routes the ripple-carry sum to the outputs."""
+        from repro.circuits.iscas85 import c880_like
+
+        nl = c880_like()
+        width = 18
+        rng = np.random.default_rng(4)
+        for _ in range(8):
+            a = int(rng.integers(0, 2**width))
+            b = int(rng.integers(0, 2**width))
+            cin = bool(rng.integers(0, 2))
+            assign = {f"a{i}": bool(a >> i & 1) for i in range(width)}
+            assign.update(
+                {f"b{i}": bool(b >> i & 1) for i in range(width)}
+            )
+            assign.update(
+                {"cin": cin, "f0_0": False, "f0_1": False, "en": True}
+            )
+            out = nl.evaluate_outputs(assign)
+            total = a + b + int(cin)
+            got = sum(
+                int(out[f"s0_r{i}"]) << i for i in range(width)
+            )
+            assert got == total % 2**width
+
+    def test_c880_like_logic_functions(self):
+        """f=01/10/11 select AND/OR/XOR per bit."""
+        from repro.circuits.iscas85 import c880_like
+
+        nl = c880_like()
+        width = 18
+        rng = np.random.default_rng(5)
+        a = int(rng.integers(0, 2**width))
+        b = int(rng.integers(0, 2**width))
+        base = {f"a{i}": bool(a >> i & 1) for i in range(width)}
+        base.update({f"b{i}": bool(b >> i & 1) for i in range(width)})
+        base.update({"cin": False, "en": True})
+        cases = {
+            (True, False): a & b,
+            (False, True): a | b,
+            (True, True): a ^ b,
+        }
+        for (f0, f1), want in cases.items():
+            out = nl.evaluate_outputs(
+                {**base, "f0_0": f0, "f0_1": f1}
+            )
+            got = sum(
+                int(out[f"s0_r{i}"]) << i for i in range(width)
+            )
+            assert got == want, (f0, f1)
+
+
 class TestNetNameNormalization:
     """Regression: unsafe or colliding net names survive the round trip.
 

@@ -132,6 +132,64 @@ class TestFuzzEndToEnd:
         assert payload["outcomes"][0]["circuit"] == "rand000_nor"
 
 
+@needs_tiny_artifacts
+@pytest.mark.timeout(240)
+class TestFuzzGoldenFailures:
+    """Missing/unreadable snapshots exit non-zero with a named report.
+
+    Regression: a campaign checked against an absent or corrupt golden
+    baseline used to pass silently (missing) or crash with a JSON
+    traceback (corrupt); both must instead surface as ``golden``
+    violations naming the snapshot file and flip the exit code.
+    """
+
+    def _run(self, tmp_path, capsys, prepare=None):
+        import repro.verify.fuzz as fuzz_mod
+
+        golden_dir = tmp_path / "golden"
+        golden_dir.mkdir()
+        if prepare is not None:
+            prepare(golden_dir)
+        original = fuzz_mod.FuzzConfig.golden_store
+
+        def patched(self, reference):
+            store = original(self, reference)
+            if store is not None:
+                store = type(store)(golden_dir, store.prefix)
+            return store
+
+        fuzz_mod.FuzzConfig.golden_store = patched
+        try:
+            code = main([
+                "fuzz", "--count", "1", "--seed", "0", "--scale", "tiny",
+                "--no-shrink", "--quiet",
+            ])
+        finally:
+            fuzz_mod.FuzzConfig.golden_store = original
+        return code, capsys.readouterr().out
+
+    def test_missing_snapshot_exits_nonzero_and_names_file(
+        self, tmp_path, capsys
+    ):
+        code, out = self._run(tmp_path, capsys)
+        assert code == 1
+        assert "golden" in out
+        assert "missing" in out
+        assert "rand000_nor" in out
+
+    def test_unreadable_snapshot_exits_nonzero_and_names_file(
+        self, tmp_path, capsys
+    ):
+        def corrupt(golden_dir):
+            (
+                golden_dir / "tiny_ann_analog_seed0_rand000_nor.json"
+            ).write_text("{broken")
+
+        code, out = self._run(tmp_path, capsys, prepare=corrupt)
+        assert code == 1
+        assert "unreadable" in out
+
+
 needs_tiny_backend_artifacts = pytest.mark.skipif(
     not (
         (artifacts_dir() / "bundle_tiny_lut.json").exists()

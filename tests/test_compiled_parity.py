@@ -1,0 +1,357 @@
+"""Compiled vs interpreted simulator parity.
+
+The compiled levelized cores (:mod:`repro.core.compile`,
+:mod:`repro.digital.compiled`) replace the per-gate interpreted walks on
+every production path, so this suite locks them together:
+
+* **digital** — compiled and event-driven traces are *bitwise* equal
+  (the lock-step recurrence is pure float adds and comparisons; no
+  re-association) across the seed-0 fuzz corpus and the benchmark zoo.
+* **sigmoid** — compiled and interpreted traces carry identical
+  structure (initial levels, transition counts — i.e. every
+  cancellation and masking decision agrees) and transition parameters
+  within 0.05 ps.  Strict bitwise equality is unattainable here and
+  *documented*: grouped stacked calls run BLAS kernels on different
+  batch shapes than the interpreter's one-row calls, which re-associates
+  dot products (ann/poly/spline); observed differences sit ~1e-14
+  scaled units (1e-24 s), ten orders of magnitude under the bound.
+* **batched × serial** — both combinations of both paths agree within
+  the same tolerance (the interpreted pair bitwise).
+* compilation is **invariant under gate-insertion permutation**
+  (hypothesis property, leaning on the canonical
+  :meth:`~repro.circuits.netlist.Netlist.topological_order`).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.artifacts import artifacts_dir, bundle_path
+from repro.circuits.netlist import Netlist
+from repro.circuits.random_circuit import RandomCircuitConfig, random_corpus
+from repro.core.compile import (
+    clear_compile_cache,
+    compile_cache_info,
+    compile_circuit,
+    netlist_digest,
+)
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.characterize import build_instance_delays
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.eval.runner import simulation_span
+from repro.eval.stimuli import StimulusConfig
+from repro.verify.differential import _digital_stimuli, ensure_nor_mapped
+from repro.verify.fuzz import FUZZ_PRESETS
+
+#: Transition-parameter agreement bound in scaled time units: 0.05 ps
+#: (the golden-snapshot tolerance) is 5e-4 scaled units.
+PARAM_ATOL = 5e-4
+
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached tiny artifacts not built",
+)
+
+ALL_BACKENDS = ("ann", "lut", "spline", "poly")
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    if not DLIB_PATH.exists():
+        pytest.skip("cached delay library not built")
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+def _corpus(n=6):
+    """First circuits of the seed-0 fuzz corpus (NOR-mapped)."""
+    preset = FUZZ_PRESETS["tiny"]
+    return [
+        ensure_nor_mapped(netlist)
+        for netlist in random_corpus(n, seed=0, config=preset.circuit)
+    ]
+
+
+def _sigmoid_stimuli(core, seeds, config=None):
+    if config is None:
+        config = StimulusConfig(20e-12, 10e-12, 3)
+    runs = []
+    for seed in seeds:
+        pi_digital, _ = _digital_stimuli(core.primary_inputs, config, seed)
+        runs.append(
+            {
+                pi: SigmoidalTrace.from_digital(trace)
+                for pi, trace in pi_digital.items()
+            }
+        )
+    return runs
+
+
+def _assert_sigmoid_close(a, b, atol=PARAM_ATOL):
+    assert set(a) == set(b)
+    for po in a:
+        ta, tb = a[po], b[po]
+        assert ta.initial_level == tb.initial_level
+        assert ta.n_transitions == tb.n_transitions, po
+        if ta.params.size:
+            assert np.allclose(
+                ta.params, tb.params, rtol=0.0, atol=atol
+            ), po
+
+
+# ----------------------------------------------------------------------
+# sigmoid: compiled vs interpreted across corpus × backends × batching
+# ----------------------------------------------------------------------
+@needs_artifacts
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_sigmoid_parity_over_corpus_all_backends(backend):
+    path = bundle_path("tiny", backend)
+    if not path.exists():
+        pytest.skip(f"tiny {backend} bundle not committed")
+    backend_bundle = GateModelBundle.load(path)
+    for core in _corpus(4):
+        interp = SigmoidCircuitSimulator(
+            core, backend_bundle, compiled=False
+        )
+        comp = SigmoidCircuitSimulator(core, backend_bundle, compiled=True)
+        runs = _sigmoid_stimuli(core, range(3))
+        expected = interp.simulate_batch(runs)
+        got = comp.simulate_batch(runs)
+        for e, g in zip(expected, got):
+            _assert_sigmoid_close(e, g)
+
+
+@needs_artifacts
+def test_sigmoid_batched_and_serial_combinations(bundle):
+    """All four (path × batching) combinations agree on one corpus run."""
+    core = _corpus(1)[0]
+    runs = _sigmoid_stimuli(core, range(3))
+    interp = SigmoidCircuitSimulator(core, bundle, compiled=False)
+    comp = SigmoidCircuitSimulator(core, bundle, compiled=True)
+
+    interp_batch = interp.simulate_batch(runs)
+    comp_batch = comp.simulate_batch(runs)
+    for k, pi_traces in enumerate(runs):
+        interp_serial = interp.simulate(pi_traces)
+        comp_serial = comp.simulate(pi_traces)
+        # The interpreted pair is bitwise (same scalar calls, same order).
+        for po in interp_serial:
+            assert np.array_equal(
+                interp_serial[po].params, interp_batch[k][po].params
+            )
+        _assert_sigmoid_close(interp_serial, comp_serial)
+        _assert_sigmoid_close(interp_batch[k], comp_batch[k])
+        _assert_sigmoid_close(comp_serial, comp_batch[k])
+
+
+@needs_artifacts
+def test_sigmoid_record_nets_and_errors_match(bundle):
+    core = _corpus(1)[0]
+    runs = _sigmoid_stimuli(core, [0])
+    interp = SigmoidCircuitSimulator(core, bundle, compiled=False)
+    comp = SigmoidCircuitSimulator(core, bundle, compiled=True)
+    # Recording an internal net and a PI works identically.
+    record = [core.primary_outputs[0], core.primary_inputs[0]]
+    _assert_sigmoid_close(
+        interp.simulate(runs[0], record_nets=record),
+        comp.simulate(runs[0], record_nets=record),
+    )
+    with pytest.raises(Exception, match="unknown record net"):
+        comp.simulate(runs[0], record_nets=["no_such_net"])
+    with pytest.raises(Exception, match="missing PI traces"):
+        comp.simulate({})
+
+
+# ----------------------------------------------------------------------
+# digital: compiled vs event-driven, bitwise
+# ----------------------------------------------------------------------
+@needs_artifacts
+def test_digital_parity_over_corpus_bitwise(delay_library):
+    config = StimulusConfig(20e-12, 10e-12, 3)
+    for core in _corpus(6):
+        models = build_instance_delays(core, delay_library)
+        interp = DigitalSimulator(core, models, compiled=False)
+        comp = DigitalSimulator(core, models, compiled=True)
+        for seed in range(3):
+            pi_digital, t_last = _digital_stimuli(
+                core.primary_inputs, config, seed
+            )
+            t_stop = simulation_span(t_last, core.depth())
+            expected = interp.simulate(pi_digital, t_stop)
+            got = comp.simulate(pi_digital, t_stop)
+            assert set(expected) == set(got)
+            for net in expected:
+                assert expected[net] == got[net], (core.name, net)
+
+
+@needs_artifacts
+def test_digital_batch_matches_serial_bitwise(delay_library):
+    core = _corpus(1)[0]
+    models = build_instance_delays(core, delay_library)
+    comp = DigitalSimulator(core, models, compiled=True)
+    config = StimulusConfig(20e-12, 10e-12, 3)
+    runs, stops = [], []
+    for seed in range(4):
+        pi_digital, t_last = _digital_stimuli(
+            core.primary_inputs, config, seed
+        )
+        runs.append(pi_digital)
+        stops.append(simulation_span(t_last, core.depth()))
+    batched = comp.simulate_batch(runs, stops)
+    for pi_digital, t_stop, got in zip(runs, stops, batched):
+        expected = comp.simulate(pi_digital, t_stop)
+        for net in expected:
+            assert expected[net] == got[net]
+
+
+@needs_artifacts
+@pytest.mark.parametrize("compiled", [False, True])
+def test_digital_batch_rejects_mismatched_lengths(delay_library, compiled):
+    """Both paths validate run/t_stop pairing instead of truncating."""
+    from repro.errors import SimulationError
+
+    core = _corpus(1)[0]
+    models = build_instance_delays(core, delay_library)
+    sim = DigitalSimulator(core, models, compiled=compiled)
+    config = StimulusConfig(20e-12, 10e-12, 3)
+    pi_digital, t_last = _digital_stimuli(core.primary_inputs, config, 0)
+    t_stop = simulation_span(t_last, core.depth())
+    with pytest.raises(SimulationError, match="one t_stop per run"):
+        sim.simulate_batch([pi_digital, pi_digital], [t_stop])
+
+
+@needs_artifacts
+def test_digital_falls_back_for_wrapped_models(delay_library):
+    """A non-Fixed model (e.g. a perturbation wrapper) recompiles away."""
+    from repro.digital.delay import InstanceDelayModel
+
+    class Wrapper(InstanceDelayModel):
+        def __init__(self, inner):
+            self.inner = inner
+
+        def delay(self, pin, edge, now, last_output_time):
+            return self.inner.delay(pin, edge, now, last_output_time) + 1e-9
+
+    core = _corpus(1)[0]
+    models = build_instance_delays(core, delay_library)
+    sim = DigitalSimulator(core, models, compiled=True)
+    config = StimulusConfig(20e-12, 10e-12, 3)
+    pi_digital, t_last = _digital_stimuli(core.primary_inputs, config, 0)
+    t_stop = simulation_span(t_last, core.depth())
+    before = sim.simulate(pi_digital, t_stop)
+    assert sim._compiled_core is not None
+
+    # Mutate a model in place, exactly like the fuzz perturbation hook.
+    victim = next(iter(core.gates))
+    sim.delay_models[victim] = Wrapper(sim.delay_models[victim])
+    after = sim.simulate(pi_digital, t_stop)
+    assert sim._compiled_core is None  # fell back to the event loop
+    reference = DigitalSimulator(
+        core, sim.delay_models, compiled=False
+    ).simulate(pi_digital, t_stop)
+    for net in reference:
+        assert after[net] == reference[net]
+    assert any(before[net] != after[net] for net in reference)
+
+
+# ----------------------------------------------------------------------
+# the big-zoo parity line (slow tier)
+# ----------------------------------------------------------------------
+@needs_artifacts
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_c1355_like_compiled_parity(bundle, delay_library):
+    """Compiled vs interpreted on the full c1355-class circuit."""
+    from repro.eval.table1 import nor_mapped
+
+    core = nor_mapped("c1355_like")
+    config = StimulusConfig(100e-12, 50e-12, 3)
+    runs = _sigmoid_stimuli(core, range(2), config)
+    interp = SigmoidCircuitSimulator(core, bundle, compiled=False)
+    comp = SigmoidCircuitSimulator(core, bundle, compiled=True)
+    for e, g in zip(interp.simulate_batch(runs), comp.simulate_batch(runs)):
+        _assert_sigmoid_close(e, g)
+
+    models = build_instance_delays(core, delay_library)
+    pi_digital, t_last = _digital_stimuli(core.primary_inputs, config, 0)
+    t_stop = simulation_span(t_last, core.depth())
+    expected = DigitalSimulator(core, models, compiled=False).simulate(
+        pi_digital, t_stop
+    )
+    got = DigitalSimulator(core, models, compiled=True).simulate(
+        pi_digital, t_stop
+    )
+    for net in expected:
+        assert expected[net] == got[net]
+
+
+# ----------------------------------------------------------------------
+# compilation invariance + cache behavior
+# ----------------------------------------------------------------------
+def _permuted(netlist: Netlist, order: list[str]) -> Netlist:
+    clone = Netlist(netlist.name)
+    for pi in netlist.primary_inputs:
+        clone.add_input(pi)
+    for name in order:
+        gate = netlist.gates[name]
+        clone.add_gate(name, gate.gtype, list(gate.inputs))
+    for po in netlist.primary_outputs:
+        clone.add_output(po)
+    return clone
+
+
+@needs_artifacts
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_compilation_invariant_under_gate_permutation(bundle, data):
+    """Permuting gate insertion changes neither digest nor results."""
+    corpus_index = data.draw(st.integers(min_value=0, max_value=3))
+    core = _corpus(4)[corpus_index]
+    names = list(core.gates)
+    order = data.draw(st.permutations(names))
+    permuted = _permuted(core, list(order))
+
+    assert netlist_digest(core) == netlist_digest(permuted)
+
+    runs = _sigmoid_stimuli(core, [0])
+    a = SigmoidCircuitSimulator(core, bundle, compiled=True)
+    b = SigmoidCircuitSimulator(permuted, bundle, compiled=True)
+    out_a = a.simulate(runs[0])
+    out_b = b.simulate(runs[0])
+    for po in out_a:
+        assert np.array_equal(out_a[po].params, out_b[po].params)
+        assert out_a[po].initial_level == out_b[po].initial_level
+
+
+@needs_artifacts
+def test_compile_cache_hits_and_is_bounded(bundle):
+    clear_compile_cache()
+    core = _corpus(1)[0]
+    first = compile_circuit(core, bundle)
+    again = compile_circuit(core, bundle)
+    assert first is again
+    assert compile_cache_info()["size"] == 1
+    # Permuted twin shares the digest, so it shares the compilation.
+    permuted = _permuted(core, sorted(core.gates, reverse=True))
+    assert compile_circuit(permuted, bundle) is first
+    info = compile_cache_info()
+    assert info["size"] <= info["max_size"]

@@ -208,12 +208,32 @@ class TestGoldenLayer:
         assert path.exists()
         assert store.compare(report) == []
 
-    def test_absent_snapshot_is_not_drift(
+    def test_absent_snapshot_is_a_named_violation(
         self, bundle, delay_library, tmp_path
     ):
+        """A checked campaign without its baseline must fail loudly."""
         store = GoldenStore(tmp_path)
         report = self._report(bundle, delay_library)
-        assert store.compare(report) == []
+        violations = store.compare(report)
+        assert len(violations) == 1
+        assert violations[0].check == "golden"
+        assert "missing" in violations[0].message
+        assert str(store.path(report.circuit)) in violations[0].message
+
+    @pytest.mark.parametrize("payload", ["{not json", "[]", '"oops"'])
+    def test_unreadable_snapshot_is_a_named_violation(
+        self, bundle, delay_library, tmp_path, payload
+    ):
+        """Corrupt bytes AND valid-but-wrong JSON both report cleanly."""
+        store = GoldenStore(tmp_path)
+        report = self._report(bundle, delay_library)
+        store.record(report)
+        store.path(report.circuit).write_text(payload)
+        violations = store.compare(report)
+        assert len(violations) == 1
+        assert violations[0].check == "golden"
+        assert "unreadable" in violations[0].message
+        assert str(store.path(report.circuit)) in violations[0].message
 
     def test_time_drift_detected(self, bundle, delay_library, tmp_path):
         store = GoldenStore(tmp_path)
@@ -414,16 +434,18 @@ class TestFuzzFullTier:
             count=10,
             seed=0,
             scale="tiny",
-            benchmarks=("c499_like", "c1355_like"),
+            benchmarks=(
+                "c499_like", "c1355_like", "c880_like", "c3540_like",
+            ),
             golden="off",
         )
         result = run_fuzz(config, bundle, delay_library)
         assert result.ok, result.summary()
         names = [o.circuit for o in result.outcomes]
-        assert "c499_like_nor" in names
-        assert "c1355_like_nor" in names
-        big = next(o for o in result.outcomes if "c1355" in o.circuit)
-        assert big.n_gates > 1000
+        for benchmark in config.benchmarks:
+            assert f"{benchmark}_nor" in names
+        big = next(o for o in result.outcomes if "c3540" in o.circuit)
+        assert big.n_gates > 3000
 
 
 def test_differential_rejects_unmapped_gates_gracefully():
