@@ -1,0 +1,156 @@
+"""Bounded-memory claim of the streaming sessions, measured.
+
+The one-shot entry points materialize the complete trace of every net
+before returning; a streaming session only ever holds the carried lane
+state plus one chunk's events and segments, so a consumer that folds
+segments as they arrive (counts, running scores, a file sink) keeps the
+peak footprint flat no matter how long the stimulus runs.
+
+This bench drives ``c1355_like`` through the compiled digital core with
+a stimulus ~50x the usual CI length and compares the Python-heap peak
+(``tracemalloc``, which numpy's allocator reports into) of
+
+* the one-shot ``simulate_batch`` (full result dict), against
+* a session fed in ~100-transition chunks whose segments are folded
+  into per-net transition counts and discarded.
+
+The ratio is appended to ``BENCH_streaming.json`` and gated at 0.5x —
+streaming must at least halve the peak on long stimuli (observed: well
+below that; the floor is deliberately slack for allocator noise).
+``ru_maxrss`` is recorded informationally only: the OS high-water mark
+never goes down, so whichever phase runs first poisons it for the other.
+"""
+
+import gc
+import json
+import resource
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.digital.characterize import build_instance_delays
+from repro.digital.session import digital_chunks
+from repro.digital.simulator import DigitalSimulator
+from repro.digital.trace import DigitalTrace
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+from repro.eval.table1 import nor_mapped
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_streaming.json"
+
+#: ~50x the 3-transition CI stimulus.
+N_TRANSITIONS = 150
+#: Merged stimulus transitions per feed chunk.
+CHUNK_SIZE = 100
+#: Acceptance bar: streamed peak must be at most half the one-shot peak.
+PEAK_RATIO_BAR = 0.5
+
+
+def _long_stimulus(core, seed=0):
+    config = StimulusConfig(100e-12, 50e-12, N_TRANSITIONS)
+    sources, t_stop = random_pi_sources(
+        core.primary_inputs, config, seed
+    )
+    pi_traces = {
+        pi: DigitalTrace(
+            bool(src.initial_levels[0]),
+            src.run_transitions[0].tolist(),
+        )
+        for pi, src in sources.items()
+    }
+    return pi_traces, t_stop, config
+
+
+def _fold(summary, segments):
+    """Consume one feed's segments, keeping only summary statistics."""
+    for net, seg in segments.items():
+        counts, _level, _last = summary[net]
+        summary[net] = (
+            counts + len(seg.times),
+            bool(seg.final_value()),
+            seg.times[-1] if seg.times else summary[net][2],
+        )
+
+
+def test_streamed_peak_memory_halves_one_shot(delay_library):
+    core = nor_mapped("c1355_like")
+    delays = build_instance_delays(core, delay_library)
+    sim = DigitalSimulator(core, delays)
+    pi_traces, t_stop, config = _long_stimulus(core)
+    n_events = sum(len(t.times) for t in pi_traces.values())
+
+    # warm the lazy compile so neither phase pays for it
+    sim.simulate(
+        {pi: DigitalTrace(bool(t.initial), []) for pi, t in pi_traces.items()},
+        1.0,
+    )
+
+    # -- one-shot: the full all-nets result lives until the end --------
+    gc.collect()
+    tracemalloc.start()
+    full = sim.simulate_batch([pi_traces], [t_stop])[0]
+    _, one_shot_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    reference = {
+        net: (len(tr.times), bool(tr.final_value()),
+              tr.times[-1] if tr.times else None)
+        for net, tr in full.items()
+    }
+    del full
+    rss_after_one_shot = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    # -- streamed: segments are folded into counts and dropped ---------
+    chunks = digital_chunks(pi_traces, chunk_size=CHUNK_SIZE)
+    gc.collect()
+    tracemalloc.start()
+    session = sim.open_session([t_stop])
+    summary = dict.fromkeys(core.nets, (0, None, None))
+    for chunk in chunks:
+        _fold(summary, session.feed([chunk])[0])
+    _fold(summary, session.finish()[0])
+    _, streamed_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    rss_after_streamed = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    # same science: the folded stream saw exactly the one-shot traces
+    assert summary == reference
+
+    ratio = streamed_peak / one_shot_peak
+    record = {
+        "bench": "streaming_peak_memory",
+        "circuit": "c1355_like",
+        "n_gates": core.n_gates,
+        "stimulus": config.label,
+        "n_pi_events": n_events,
+        "chunk_size": CHUNK_SIZE,
+        "n_chunks": len(chunks) + 1,
+        "one_shot_peak_bytes": one_shot_peak,
+        "streamed_peak_bytes": streamed_peak,
+        "peak_ratio": round(ratio, 4),
+        "ru_maxrss_after_one_shot_kb": rss_after_one_shot,
+        "ru_maxrss_after_streamed_kb": rss_after_streamed,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    history = history[-50:]
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print()
+    print(
+        f"[streaming] one-shot peak {one_shot_peak / 1e6:.1f} MB, "
+        f"streamed peak {streamed_peak / 1e6:.1f} MB "
+        f"({ratio:.3f}x) over {n_events} PI events on "
+        f"{core.n_gates} gates (recorded in {BENCH_PATH.name})"
+    )
+    assert ratio <= PEAK_RATIO_BAR, (
+        f"streaming stopped bounding memory: streamed peak is "
+        f"{ratio:.2f}x the one-shot peak on a {n_events}-event "
+        f"c1355_like stimulus (acceptance bar: {PEAK_RATIO_BAR}x)"
+    )

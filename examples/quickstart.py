@@ -11,7 +11,9 @@ Runs in under a minute (no cached artifacts needed):
 4. predict a gate output with Algorithm 1 and compare against the analog
    reference,
 5. (when the committed tiny artifacts are present) differentially verify
-   a couple of fuzzed random circuits across all three simulators.
+   a couple of fuzzed random circuits across all three simulators,
+6. stream a simulation through a stateful session — feed the stimulus
+   in chunks, checkpoint mid-run, resume in a fresh process.
 
 Differential verification in day-to-day use::
 
@@ -43,6 +45,15 @@ the equivalence-testing escape hatch::
     python -m repro.cli table1 --interpreted   # per-gate reference path
     python -m repro.cli fuzz --interpreted
     SigmoidCircuitSimulator(netlist, bundle, compiled=False)
+
+Streaming sessions: every simulator also runs as a stateful session
+(``open_session()`` -> ``feed`` chunks / ``state`` / ``finish``) that
+consumes the stimulus incrementally with bounded memory and JSON
+checkpoints; chunked execution is parity-locked against one-shot
+(digital: bitwise, sigmoid: within 0.05 ps)::
+
+    python -m repro.cli table1 --chunk-size 256   # stream the runs
+    python -m repro.cli fuzz --chunk-size 64      # streaming check at one size
 
 Run:  python examples/quickstart.py
 """
@@ -135,6 +146,38 @@ def main() -> None:
         config = FuzzConfig(count=2, seed=0, scale="tiny", golden="off")
         fuzz = run_fuzz(config, bundle, delay_library, verbose=True)
         print(fuzz.summary())
+
+        print("\n== 6. streaming sessions (chunked feed + checkpoint) ==")
+        from repro.digital.characterize import build_instance_delays
+        from repro.digital.session import (
+            concat_digital_traces,
+            digital_chunks,
+        )
+        from repro.digital.simulator import DigitalSimulator
+        from repro.digital.trace import DigitalTrace
+
+        digital = DigitalSimulator(
+            netlist, build_instance_delays(netlist, delay_library)
+        )
+        t_stop = 2e-9
+        stimulus = {
+            "in": DigitalTrace(False, [0.1e-9, 0.4e-9, 0.9e-9, 1.5e-9])
+        }
+        one_shot = digital.simulate(stimulus, t_stop)["n3"]
+
+        session = digital.open_session([t_stop])
+        chunks = digital_chunks(stimulus, chunk_size=2)
+        segments = [session.feed([chunks[0]])[0]["n3"]]
+        blob = json.dumps(session.state())  # JSON: portable across processes
+        resumed = digital.open_session([t_stop], state=json.loads(blob))
+        segments += [resumed.feed([c])[0]["n3"] for c in chunks[1:]]
+        segments.append(resumed.finish()[0]["n3"])
+        streamed = concat_digital_traces(segments)
+        assert streamed.times == one_shot.times
+        print(
+            f"n3: {len(one_shot.times)} transitions; chunked stream with a "
+            f"mid-run checkpoint ({len(blob)} bytes) matches one-shot bitwise"
+        )
     else:
         print("tiny artifacts not built yet — run "
               "`python -m repro.cli characterize --scale tiny` first, "

@@ -9,7 +9,9 @@
     transfer-model backend (``ann`` — the paper's networks — or the
     ``lut``/``spline``/``poly`` table alternatives of Sec. IV-A), and
     ``--interpreted`` swaps the compiled levelized simulator cores for
-    the per-gate interpreted reference walks.
+    the per-gate interpreted reference walks, and ``--chunk-size N``
+    streams the digital and sigmoid runs through stateful sessions in
+    N-transition chunks (bounded memory, identical results).
 
 ``python -m repro.cli ablate [--scale tiny] [--backends ann lut ...]``
     Run the backend-ablation harness: one Table I per backend.
@@ -77,6 +79,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         backend=args.backend,
         compiled=not args.interpreted,
+        chunk_size=args.chunk_size,
     )
     result = run_table1(bundle, delay_library, config)
     if args.backend != "ann":
@@ -133,6 +136,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             else "check"
         ),
         compiled=not args.interpreted,
+        chunk_size=args.chunk_size,
     )
     result = run_fuzz(
         config, bundle, delay_library, verbose=not args.quiet
@@ -200,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         help="per-gate interpreted simulators instead of the compiled "
              "levelized cores",
     )
+    p_table.add_argument(
+        "--chunk-size", type=_positive_int, default=None,
+        help="stream digital/sigmoid runs through stateful sessions in "
+             "chunks of this many stimulus transitions (bounded memory, "
+             "parity-locked against the one-shot path)",
+    )
     p_table.set_defaults(func=cmd_table1)
 
     p_ablate = sub.add_parser(
@@ -249,6 +259,11 @@ def main(argv: list[str] | None = None) -> int:
         "--interpreted", action="store_true",
         help="per-gate interpreted simulators instead of the compiled "
              "levelized cores",
+    )
+    p_fuzz.add_argument(
+        "--chunk-size", type=_positive_int, default=None,
+        help="replay the streaming check at exactly this chunk size "
+             "instead of the preset's {1, small, full-trace} ladder",
     )
     golden_group = p_fuzz.add_mutually_exclusive_group()
     golden_group.add_argument(

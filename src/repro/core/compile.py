@@ -35,13 +35,14 @@ once.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.circuits.gates import GateType, eval_gate
 from repro.circuits.netlist import Netlist
-from repro.constants import NOMINAL_SLOPE, VDD
+from repro.constants import NOMINAL_SLOPE
 from repro.core.cancellation import pair_crosses_threshold_batch
 from repro.core.models import GateModelBundle
 from repro.core.tom import T_CAP
@@ -64,6 +65,21 @@ COMPILE_CACHE_SIZE = 64
 MERGE_TIE_EPS = 1e-7
 
 _CACHE: "OrderedDict[tuple, CompiledCircuit]" = OrderedDict()
+#: Guards the LRU against concurrent compile/evict/clear (the worker
+#: pool of the serving path shares one process-wide cache).  Reentrant:
+#: a cache clearer may consult cache info while the clearing lock is
+#: held.
+_CACHE_LOCK = threading.RLock()
+#: Sibling caches (e.g. the compiled *digital* cores) register a
+#: clearer so :func:`clear_compile_cache` drops every lazily compiled
+#: artifact in the process, not just the sigmoid programs.
+_CACHE_CLEARERS: list = []
+
+
+def register_cache_clearer(clearer) -> None:
+    """Register a callable to run whenever the compile cache is cleared."""
+    if clearer not in _CACHE_CLEARERS:
+        _CACHE_CLEARERS.append(clearer)
 
 
 def netlist_digest(netlist: Netlist) -> str:
@@ -88,26 +104,46 @@ def netlist_digest(netlist: Netlist) -> str:
 
 
 def clear_compile_cache() -> None:
-    """Drop every cached compilation (test hook)."""
-    _CACHE.clear()
+    """Drop every cached compilation, sigmoid *and* registered siblings.
+
+    The compiled digital cores keep their own lazily recompiled state;
+    they register a clearer here at import, so tests cannot leak a
+    compiled core across cases by only clearing this cache.
+    """
+    with _CACHE_LOCK:
+        _CACHE.clear()
+    for clearer in list(_CACHE_CLEARERS):
+        clearer()
 
 
 def compile_cache_info() -> dict:
     """Cache occupancy snapshot (exposed for tests and diagnostics)."""
-    return {"size": len(_CACHE), "max_size": COMPILE_CACHE_SIZE}
+    with _CACHE_LOCK:
+        return {"size": len(_CACHE), "max_size": COMPILE_CACHE_SIZE}
 
 
 def compile_circuit(netlist: Netlist, bundle: GateModelBundle) -> "CompiledCircuit":
-    """Lower ``netlist`` + ``bundle`` into a cached array program."""
+    """Lower ``netlist`` + ``bundle`` into a cached array program.
+
+    Thread-safe: lookups and inserts hold the cache lock, compilation
+    itself runs outside it, and a compile raced by another thread keeps
+    the first-inserted instance (so repeated calls return one object).
+    """
     key = (netlist_digest(netlist), id(bundle), bundle.backend)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        _CACHE.move_to_end(key)
-        return cached
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            return cached
     compiled = CompiledCircuit(netlist, bundle)
-    _CACHE[key] = compiled
-    while len(_CACHE) > COMPILE_CACHE_SIZE:
-        _CACHE.popitem(last=False)
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            return cached
+        _CACHE[key] = compiled
+        while len(_CACHE) > COMPILE_CACHE_SIZE:
+            _CACHE.popitem(last=False)
     return compiled
 
 
@@ -229,283 +265,202 @@ class CompiledCircuit:
         :meth:`~repro.core.simulator.SigmoidCircuitSimulator.simulate_batch`:
         identical per-run predictions, one grouped stacked call per
         transition step instead of one scalar call per gate transition.
+        A thin one-shot wrapper over :meth:`open_session` — feed the
+        whole stimulus, finish.
         """
-        netlist = self.netlist
-        pis = netlist.primary_inputs
-        for pi_traces in pi_traces_runs:
-            missing = [pi for pi in pis if pi not in pi_traces]
-            if missing:
-                raise SimulationError(f"missing PI traces: {missing}")
-        if record_nets is None:
-            record_nets = list(netlist.primary_outputs)
-        n_runs = len(pi_traces_runs)
+        from repro.core.session import one_shot_sigmoid_batch
 
-        level_runs = [
-            self._evaluate({pi: bool(pi_traces[pi].initial_level) for pi in pis})
-            for pi_traces in pi_traces_runs
-        ]
-
-        # Internal store: (run, net) -> (initial_level, params, vdd).
-        store: list[dict[str, tuple[int, np.ndarray, float]]] = [
-            {
-                pi: (trace.initial_level, trace.params, trace.vdd)
-                for pi, trace in pi_traces.items()
-            }
-            for pi_traces in pi_traces_runs
-        ]
-
-        abs_dummy = abs(dummy_slope)
-        for program in self.levels:
-            self._run_level(program, store, level_runs, n_runs, t_cap, abs_dummy)
-
-        results: list[dict[str, SigmoidalTrace]] = []
-        for run, pi_traces in enumerate(pi_traces_runs):
-            out: dict[str, SigmoidalTrace] = {}
-            for net in record_nets:
-                if net in pi_traces:
-                    out[net] = pi_traces[net]
-                    continue
-                try:
-                    initial, params, vdd = store[run][net]
-                except KeyError as exc:
-                    raise SimulationError(f"unknown record net: {exc}") from None
-                out[net] = SigmoidalTrace(initial, params, vdd=vdd)
-            results.append(out)
-        return results
-
-    # ------------------------------------------------------------------
-    def _run_level(
-        self,
-        program: _LevelProgram,
-        store: list,
-        level_runs: list,
-        n_runs: int,
-        t_cap: float,
-        abs_dummy: float,
-    ) -> None:
-        n_gates = len(program.names)
-        n_lanes = n_gates * n_runs
-        if n_lanes == 0:
-            return
-
-        # ---- derive each lane's emitting events from its input traces
-        lane_b: list[np.ndarray] = []
-        lane_a: list[np.ndarray] = []
-        lane_m: list[np.ndarray] = []
-        initial = np.zeros(n_lanes, dtype=int)
-        trace_vdd = np.empty(n_lanes)
-        cancel_vdd = np.empty(n_lanes)
-        s_sign = np.empty(n_lanes)
-
-        lane = 0
-        for run in range(n_runs):
-            run_store = store[run]
-            levels = level_runs[run]
-            for i in range(n_gates):
-                name = program.names[i]
-                init0, p0, vdd0 = run_store[program.in0[i]]
-                if program.single[i]:
-                    b = p0[:, 1]
-                    a = p0[:, 0]
-                    member = np.where(
-                        a > 0,
-                        program.rise_members[i],
-                        program.fall_members[i],
-                    )
-                    init_out = int(levels[name])
-                    # Algorithm 1 checks the pulse against the default
-                    # rail, the NOR decision procedure against the
-                    # input's; replicated for parity.
-                    cancel_vdd[lane] = VDD
-                else:
-                    init1, p1, _vdd1 = run_store[program.in1[i]]
-                    b, a, member, init_out = self._nor_events(
-                        program.nor_members[i], init0, p0, init1, p1
-                    )
-                    if init_out != int(levels[name]):
-                        raise SimulationError(
-                            f"initial level mismatch at gate {name}"
-                        )  # pragma: no cover - defensive
-                    cancel_vdd[lane] = vdd0
-                lane_b.append(b)
-                lane_a.append(a)
-                lane_m.append(member)
-                initial[lane] = init_out
-                trace_vdd[lane] = vdd0
-                s_sign[lane] = 1.0 if init_out == 1 else -1.0
-                lane += 1
-
-        counts = np.array([b.size for b in lane_b])
-        max_events = int(counts.max()) if counts.size else 0
-
-        out_a = np.empty((n_lanes, max_events)) if max_events else None
-        out_b = np.empty((n_lanes, max_events)) if max_events else None
-        n_out = np.zeros(n_lanes, dtype=int)
-
-        if max_events:
-            B = np.zeros((n_lanes, max_events))
-            A = np.zeros((n_lanes, max_events))
-            MEM = np.zeros((n_lanes, max_events), dtype=int)
-            for k, (b, a, member) in enumerate(zip(lane_b, lane_a, lane_m)):
-                B[k, : b.size] = b
-                A[k, : a.size] = a
-                MEM[k, : member.size] = member
-            self._lockstep(
-                B, A, MEM, counts, s_sign, cancel_vdd,
-                out_a, out_b, n_out, t_cap, abs_dummy,
-            )
-
-        # ---- write the level's traces back into the store
-        lane = 0
-        for run in range(n_runs):
-            run_store = store[run]
-            for i in range(n_gates):
-                count = int(n_out[lane])
-                if count:
-                    params = np.stack(
-                        [out_a[lane, :count], out_b[lane, :count]], axis=1
-                    )
-                else:
-                    params = np.empty((0, 2))
-                run_store[program.names[i]] = (
-                    int(initial[lane]),
-                    params,
-                    float(trace_vdd[lane]),
-                )
-                lane += 1
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _nor_events(
-        members: np.ndarray,
-        init0: int,
-        p0: np.ndarray,
-        init1: int,
-        p1: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-        """Merged, masked NOR2 events (the decision procedure, data only).
-
-        Mirrors :func:`~repro.core.multi_input.predict_nor_output`'s
-        event walk: merge both pins' transitions in (stable) time order,
-        track each pin's level from the transition polarity, and keep
-        only the events that flip the NOR output — all of which depends
-        on the input traces alone, never on a prediction, so it runs
-        before any model call.
-        """
-        b = np.concatenate([p0[:, 1], p1[:, 1]])
-        a = np.concatenate([p0[:, 0], p1[:, 0]])
-        pin = np.concatenate(
-            [
-                np.zeros(p0.shape[0], dtype=int),
-                np.ones(p1.shape[0], dtype=int),
-            ]
+        return one_shot_sigmoid_batch(
+            lambda record: self.open_session(
+                record, t_cap=t_cap, dummy_slope=dummy_slope
+            ),
+            self.netlist,
+            pi_traces_runs,
+            record_nets,
         )
-        init_out = int(not (bool(init0) or bool(init1)))
-        if b.size == 0:
-            return b, a, np.zeros(0, dtype=int), init_out
-        order = np.argsort(b, kind="stable")
-        b, a, pin = b[order], a[order], pin[order]
-        # Pin-stable near-tie ordering (see MERGE_TIE_EPS): adjacent
-        # cross-pin events inside the window bubble to pin 0 first;
-        # same-pin events keep their (alternation-mandated) order.
-        changed = True
-        while changed:
-            changed = False
-            for i in range(b.size - 1):
-                if pin[i] > pin[i + 1] and b[i + 1] - b[i] < MERGE_TIE_EPS:
-                    for arr in (b, a, pin):
-                        arr[i], arr[i + 1] = arr[i + 1], arr[i]
-                    changed = True
-        polarity = a > 0
-        index = np.arange(b.size)
-        last0 = np.maximum.accumulate(np.where(pin == 0, index, -1))
-        last1 = np.maximum.accumulate(np.where(pin == 1, index, -1))
-        lev0 = np.where(last0 >= 0, polarity[np.maximum(last0, 0)], bool(init0))
-        lev1 = np.where(last1 >= 0, polarity[np.maximum(last1, 0)], bool(init1))
-        out = ~(lev0 | lev1)
-        prev = np.concatenate([[bool(init_out)], out[:-1]])
-        emit = out != prev
-        b, a, pin = b[emit], a[emit], pin[emit]
-        member = members[pin, (~polarity[emit]).astype(int)]
-        return b, a, member, init_out
 
     # ------------------------------------------------------------------
-    def _lockstep(
+    def open_session(
         self,
-        B: np.ndarray,
-        A: np.ndarray,
-        MEM: np.ndarray,
-        counts: np.ndarray,
-        s_sign: np.ndarray,
-        cancel_vdd: np.ndarray,
-        out_a: np.ndarray,
-        out_b: np.ndarray,
-        n_out: np.ndarray,
-        t_cap: float,
-        abs_dummy: float,
-    ) -> None:
-        """Algorithm 1 across all lanes, lock-step over transition index."""
-        if self.stack is None:  # pragma: no cover - guarded by compile
-            raise ModelError("compiled circuit has no transfer functions")
-        n_lanes = B.shape[0]
+        record_nets: list[str] | None = None,
+        *,
+        guard: float | None = None,
+        state: dict | None = None,
+        t_cap: float = T_CAP,
+        dummy_slope: float = NOMINAL_SLOPE,
+    ):
+        """Open a streaming session running this compiled program."""
+        from repro.core.session import STREAM_GUARD, SigmoidSession
+
+        return SigmoidSession(
+            self.netlist,
+            compiled_circuit=self,
+            record_nets=record_nets,
+            guard=STREAM_GUARD if guard is None else guard,
+            t_cap=t_cap,
+            dummy_slope=dummy_slope,
+            state=state,
+        )
+
+
+# ----------------------------------------------------------------------
+# Level kernels, shared by the one-shot path and the streaming session.
+
+
+def nor_merge_masked(
+    members: np.ndarray,
+    lev0: bool,
+    lev1: bool,
+    b: np.ndarray,
+    a: np.ndarray,
+    pin: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool, bool]:
+    """Masked NOR2 events from a stable-merged slice of pin transitions.
+
+    Mirrors :func:`~repro.core.multi_input.predict_nor_output`'s event
+    walk: events arrive merged in (stable, pin-0-first) time order, each
+    pin's level is tracked from the transition polarity starting at the
+    carried ``lev0``/``lev1``, and only the events that flip the NOR
+    output are kept — all of which depends on the input traces alone,
+    never on a prediction, so it runs before any model call.  Returns
+    the emitted ``(b, a, member)`` arrays plus both pins' end levels
+    (the carry for the next streamed slice).
+    """
+    if b.size == 0:
+        return b, a, np.zeros(0, dtype=int), bool(lev0), bool(lev1)
+    b, a, pin = b.copy(), a.copy(), pin.copy()
+    # Pin-stable near-tie ordering (see MERGE_TIE_EPS): adjacent
+    # cross-pin events inside the window bubble to pin 0 first;
+    # same-pin events keep their (alternation-mandated) order.
+    changed = True
+    while changed:
+        changed = False
+        for i in range(b.size - 1):
+            if pin[i] > pin[i + 1] and b[i + 1] - b[i] < MERGE_TIE_EPS:
+                for arr in (b, a, pin):
+                    arr[i], arr[i + 1] = arr[i + 1], arr[i]
+                changed = True
+    polarity = a > 0
+    index = np.arange(b.size)
+    last0 = np.maximum.accumulate(np.where(pin == 0, index, -1))
+    last1 = np.maximum.accumulate(np.where(pin == 1, index, -1))
+    lev0_arr = np.where(last0 >= 0, polarity[np.maximum(last0, 0)], bool(lev0))
+    lev1_arr = np.where(last1 >= 0, polarity[np.maximum(last1, 0)], bool(lev1))
+    out = ~(lev0_arr | lev1_arr)
+    init_out = not (bool(lev0) or bool(lev1))
+    prev = np.concatenate([[init_out], out[:-1]])
+    emit = out != prev
+    member = members[pin[emit], (~polarity[emit]).astype(int)]
+    return (
+        b[emit],
+        a[emit],
+        member,
+        bool(lev0_arr[-1]),
+        bool(lev1_arr[-1]),
+    )
+
+
+def lockstep_level(
+    stack,
+    B: np.ndarray,
+    A: np.ndarray,
+    MEM: np.ndarray,
+    counts: np.ndarray,
+    s_sign: np.ndarray,
+    cancel_vdd: np.ndarray,
+    out_a: np.ndarray,
+    out_b: np.ndarray,
+    n_out: np.ndarray,
+    t_cap: float,
+    abs_dummy: float,
+    prev_a: np.ndarray | None = None,
+    prev_b: np.ndarray | None = None,
+    exp_sign: np.ndarray | None = None,
+    floor: np.ndarray | None = None,
+) -> None:
+    """Algorithm 1 across all lanes, lock-step over transition index.
+
+    Appends into ``out_a``/``out_b`` starting at each lane's ``n_out``
+    (mutated in place, like ``prev_a``/``prev_b``/``exp_sign`` when
+    passed).  The optional carry arguments resume a lane mid-stream:
+    ``prev_a``/``prev_b``/``exp_sign`` seed the recurrence (defaults
+    reproduce the dummy seed of a fresh run) and ``floor`` marks how
+    many leading output slots are already *released* — the ordering
+    snap and pair cancellation still see them, but a cancellation that
+    would pop below the floor raises instead of revising history.
+    """
+    if stack is None:  # pragma: no cover - guarded by compile
+        raise ModelError("compiled circuit has no transfer functions")
+    n_lanes = B.shape[0]
+    if prev_a is None:
         prev_a = s_sign * abs_dummy
+    if prev_b is None:
         prev_b = np.full(n_lanes, -np.inf)
+    if exp_sign is None:
         exp_sign = -s_sign
-        lanes = np.arange(n_lanes)
+    if floor is None:
+        floor = np.zeros(n_lanes, dtype=int)
+    lanes = np.arange(n_lanes)
 
-        for j in range(B.shape[1]):
-            idx = lanes[counts > j]
-            if idx.size == 0:
-                break
-            b_in = B[idx, j]
-            a_in = A[idx, j]
-            T = np.minimum(b_in - prev_b[idx], t_cap)
-            features = np.stack([T, prev_a[idx], a_in], axis=1)
-            a_raw, delta_b = self.stack.predict_members(features, MEM[idx, j])
-            if not (np.all(np.isfinite(a_raw)) and np.all(np.isfinite(delta_b))):
-                raise ModelError("transfer function produced non-finite output")
-            a_out = exp_sign[idx] * np.abs(a_raw)
-            b_out = b_in + delta_b
+    for j in range(B.shape[1]):
+        idx = lanes[counts > j]
+        if idx.size == 0:
+            break
+        b_in = B[idx, j]
+        a_in = A[idx, j]
+        T = np.minimum(b_in - prev_b[idx], t_cap)
+        features = np.stack([T, prev_a[idx], a_in], axis=1)
+        a_raw, delta_b = stack.predict_members(features, MEM[idx, j])
+        if not (np.all(np.isfinite(a_raw)) and np.all(np.isfinite(delta_b))):
+            raise ModelError("transfer function produced non-finite output")
+        a_out = exp_sign[idx] * np.abs(a_raw)
+        b_out = b_in + delta_b
 
-            # Ordering snap: a prediction jumping before its predecessor
-            # lands just after it (same 1e-6 nudge as the interpreter).
-            has_prev = n_out[idx] > 0
-            last_slot = np.maximum(n_out[idx] - 1, 0)
-            last_b = np.where(has_prev, out_b[idx, last_slot], -np.inf)
-            snap = has_prev & (b_out <= last_b)
-            b_out = np.where(snap, last_b + 1e-6, b_out)
+        # Ordering snap: a prediction jumping before its predecessor
+        # lands just after it (same 1e-6 nudge as the interpreter).
+        has_prev = n_out[idx] > 0
+        last_slot = np.maximum(n_out[idx] - 1, 0)
+        last_b = np.where(has_prev, out_b[idx, last_slot], -np.inf)
+        snap = has_prev & (b_out <= last_b)
+        b_out = np.where(snap, last_b + 1e-6, b_out)
 
-            out_a[idx, n_out[idx]] = a_out
-            out_b[idx, n_out[idx]] = b_out
-            n_out[idx] += 1
-            prev_a[idx] = a_out
-            prev_b[idx] = b_out
-            exp_sign[idx] = -exp_sign[idx]
+        out_a[idx, n_out[idx]] = a_out
+        out_b[idx, n_out[idx]] = b_out
+        n_out[idx] += 1
+        prev_a[idx] = a_out
+        prev_b[idx] = b_out
+        exp_sign[idx] = -exp_sign[idx]
 
-            # Sub-threshold cancellation on the freshly closed pair.
-            pair_idx = idx[n_out[idx] >= 2]
-            if pair_idx.size:
-                slot = n_out[pair_idx]
-                first = np.stack(
-                    [out_a[pair_idx, slot - 2], out_b[pair_idx, slot - 2]],
-                    axis=1,
-                )
-                second = np.stack(
-                    [out_a[pair_idx, slot - 1], out_b[pair_idx, slot - 1]],
-                    axis=1,
-                )
-                crosses = pair_crosses_threshold_batch(
-                    first, second, cancel_vdd[pair_idx]
-                )
-                drop = pair_idx[~crosses]
-                if drop.size:
-                    n_out[drop] -= 2
-                    has = n_out[drop] > 0
-                    slot = np.maximum(n_out[drop] - 1, 0)
-                    restored_a = np.where(
-                        has, out_a[drop, slot], s_sign[drop] * abs_dummy
+        # Sub-threshold cancellation on the freshly closed pair.
+        pair_idx = idx[n_out[idx] >= 2]
+        if pair_idx.size:
+            slot = n_out[pair_idx]
+            first = np.stack(
+                [out_a[pair_idx, slot - 2], out_b[pair_idx, slot - 2]],
+                axis=1,
+            )
+            second = np.stack(
+                [out_a[pair_idx, slot - 1], out_b[pair_idx, slot - 1]],
+                axis=1,
+            )
+            crosses = pair_crosses_threshold_batch(
+                first, second, cancel_vdd[pair_idx]
+            )
+            drop = pair_idx[~crosses]
+            if drop.size:
+                if np.any(n_out[drop] - 2 < floor[drop]):
+                    raise SimulationError(
+                        "streaming finality horizon violated: a "
+                        "sub-threshold cancellation reached a released "
+                        "transition; increase the session guard"
                     )
-                    restored_b = np.where(has, out_b[drop, slot], -np.inf)
-                    prev_a[drop] = restored_a
-                    prev_b[drop] = restored_b
-                    exp_sign[drop] = -np.sign(restored_a)
+                n_out[drop] -= 2
+                has = n_out[drop] > 0
+                slot = np.maximum(n_out[drop] - 1, 0)
+                restored_a = np.where(
+                    has, out_a[drop, slot], s_sign[drop] * abs_dummy
+                )
+                restored_b = np.where(has, out_b[drop, slot], -np.inf)
+                prev_a[drop] = restored_a
+                prev_b[drop] = restored_b
+                exp_sign[drop] = -np.sign(restored_a)

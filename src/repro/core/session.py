@@ -1,0 +1,1069 @@
+"""Streaming simulation sessions: chunked execution with bounded memory.
+
+Algorithm 1 is a left-to-right walk over the transition index — a
+discrete-time state evolution.  The one-shot ``simulate`` entry points
+hide that inside a single call, which forces memory and latency to grow
+with trace length.  A :class:`SimulationSession` makes the state
+explicit: the caller ``feed``\\ s stimulus *chunks* (per-run dicts of
+trace segments) and receives back the waveform *segments* that have
+become final, then ``finish()`` flushes the rest.  ``state()`` /
+``restore(state)`` serialize the full carried state (a JSON-compatible
+dict), so a long run can be checkpointed and resumed in a fresh
+process.
+
+Streaming correctness rests on per-net **watermarks**: every feed
+advances each run's *horizon* (the largest stimulus time seen so far),
+each net carries the time up to which its transition stream is final,
+and a gate only *consumes* input events at or before the minimum of its
+input watermarks.  For the digital cores the propagated watermark is
+exact — a committed transition can never be revised, so chunked
+execution is bitwise identical to one-shot.  For the sigmoid cores,
+sub-threshold pulse cancellation can reach *backwards* (the freshly
+closed pair is popped), so predicted transitions are held back in a
+per-gate *tail* and only released once they trail the input watermark
+by a guard band (:data:`STREAM_GUARD`).  The cancellation horizon of a
+pair at nominal slopes is well under 0.1 scaled units, so the default
+guard of 5.0 (= 500 ps) is conservative; if a cancellation ever does
+reach a released transition the session raises
+:class:`~repro.errors.SimulationError` loudly instead of silently
+diverging from the one-shot result.
+
+The one-shot entry points of all four cores are thin wrappers over
+sessions (feed everything, finish), which keeps the interpreted /
+compiled parity contracts intact:
+
+* interpreted sigmoid and both digital cores replay the exact scalar
+  operation sequence of the pre-session code — bitwise identical;
+* the compiled sigmoid core regroups ``predict_members`` calls at the
+  chunk boundary, which only moves float re-association noise (orders
+  of magnitude below the 0.05 ps parity tolerance).
+
+:mod:`repro.digital.session` holds the digital twin of this module.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.constants import NOMINAL_SLOPE, VDD
+from repro.core.cancellation import pair_crosses_threshold
+from repro.core.models import GateModelBundle
+from repro.core.tom import T_CAP, clamp_history
+from repro.core.trace import SigmoidalTrace
+from repro.errors import ModelError, SimulationError
+
+#: Release guard band (scaled time units, = 500 ps): a predicted output
+#: transition is only released once it trails the gate's input
+#: watermark by this much.  Sub-threshold cancellation pairs the newest
+#: prediction with its immediate predecessor, and the crossing-decision
+#: window of a pair at trained slopes is a few ps, so 500 ps is a
+#: conservative bound; a violation raises instead of diverging.
+STREAM_GUARD = 5.0
+
+#: Checkpoint format tag.  Checkpoints are JSON-compatible dicts; note
+#: they contain ``inf``/``-inf`` sentinels, which ``json.dumps`` /
+#: ``json.loads`` round-trip via the ``Infinity`` literal extension.
+STATE_FORMAT = "repro.session/v1"
+
+
+class SimulationSession:
+    """Base streaming session: ``feed`` chunks, ``finish``, checkpoint.
+
+    Subclasses implement one simulator core each.  Shared contract:
+
+    * ``feed(chunks)`` takes one ``{net: trace-segment}`` dict per run
+      and returns one ``{net: segment}`` dict per run holding the
+      output transitions that became final; segments concatenate to
+      the one-shot trace.
+    * the first feed must supply every primary input (it establishes
+      initial levels); later feeds may omit quiet inputs and may be
+      empty (``advance_to`` pushes the horizon without new events).
+    * ``finish()`` flushes all remaining state and closes the session.
+    * ``state()`` returns a JSON-compatible checkpoint;
+      ``restore(state)`` loads one into a compatible session.
+    """
+
+    kind = "session"
+
+    def __init__(self) -> None:
+        self._finished = False
+
+    # -- subclass API ---------------------------------------------------
+    def feed(self, chunks, advance_to=None):
+        raise NotImplementedError
+
+    def finish(self):
+        raise NotImplementedError
+
+    def state(self) -> dict:
+        raise NotImplementedError
+
+    def restore(self, state: dict) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _require_active(self) -> None:
+        if self._finished:
+            raise SimulationError("session is finished")
+
+    def _check_header(self, state: dict, mode: str, digest: str) -> None:
+        for field, expect in (
+            ("format", STATE_FORMAT),
+            ("kind", self.kind),
+            ("mode", mode),
+            ("digest", digest),
+        ):
+            if state.get(field) != expect:
+                raise SimulationError(
+                    f"checkpoint mismatch: {field} is "
+                    f"{state.get(field)!r}, session expects {expect!r}"
+                )
+
+
+class _SigmoidLevel:
+    """Static per-level gate metadata shared by both sigmoid kernels."""
+
+    __slots__ = ("names", "single", "in0", "in1", "tfs", "program")
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+        self.single: list[bool] = []
+        self.in0: list[str] = []
+        self.in1: list[str | None] = []
+        self.tfs: list = []  # interpreted mode only
+        self.program = None  # compiled mode only
+
+
+def _interpreted_levels(
+    netlist: Netlist, bundle: GateModelBundle
+) -> list[_SigmoidLevel]:
+    """Levelized model plan for the interpreted kernel.
+
+    Same per-gate model selection as the one-shot interpreted walk
+    (INV / tied-input NOR2T / per-pin NOR2, classed by fanout), grouped
+    by topological level so the session can stream level by level.
+    """
+    fanout_map = netlist.fanout()
+    fanout_count = {net: len(fanout_map.get(net, ())) for net in netlist.nets}
+    metas: list[_SigmoidLevel] = []
+    for level_names in netlist.levels():
+        meta = _SigmoidLevel()
+        for name in level_names:
+            gate = netlist.gates[name]
+            fanout = fanout_count[name]
+            meta.names.append(name)
+            meta.in0.append(gate.inputs[0])
+            if gate.gtype is GateType.INV:
+                model = bundle.get("INV", 0, fanout)
+                meta.single.append(True)
+                meta.in1.append(None)
+                meta.tfs.append((model.tf_rise, model.tf_fall))
+            elif gate.inputs[0] == gate.inputs[1]:
+                model = bundle.get("NOR2T", 0, fanout)
+                meta.single.append(True)
+                meta.in1.append(None)
+                meta.tfs.append((model.tf_rise, model.tf_fall))
+            else:
+                meta.single.append(False)
+                meta.in1.append(gate.inputs[1])
+                meta.tfs.append(
+                    tuple(
+                        (
+                            bundle.get("NOR2", pin, fanout).tf_rise,
+                            bundle.get("NOR2", pin, fanout).tf_fall,
+                        )
+                        for pin in range(2)
+                    )
+                )
+        metas.append(meta)
+    return metas
+
+
+class SigmoidSession(SimulationSession):
+    """Streaming Algorithm 1 over an INV/NOR2 netlist.
+
+    Carried per-gate state: unconsumed input-event buffers, the NOR
+    masking levels, the unreleased output *tail* (still cancellable),
+    and the last released transition (the snap/cancellation anchor).
+    The kernel is the compiled lock-step array program when constructed
+    from a :class:`~repro.core.compile.CompiledCircuit`, the scalar
+    Algorithm 1 walk when constructed from a netlist + bundle.
+    """
+
+    kind = "sigmoid"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        bundle: GateModelBundle | None = None,
+        compiled_circuit=None,
+        record_nets: list[str] | None = None,
+        guard: float = STREAM_GUARD,
+        t_cap: float = T_CAP,
+        dummy_slope: float = NOMINAL_SLOPE,
+        state: dict | None = None,
+    ) -> None:
+        super().__init__()
+        if compiled_circuit is None and bundle is None:
+            raise SimulationError(
+                "SigmoidSession needs a bundle or a compiled circuit"
+            )
+        if guard < 0:
+            raise SimulationError("guard must be non-negative")
+        from repro.core.compile import netlist_digest
+
+        self.netlist = netlist
+        self._cc = compiled_circuit
+        self._compiled = compiled_circuit is not None
+        self._bundle = (
+            compiled_circuit.bundle if self._compiled else bundle
+        )
+        self.guard = float(guard)
+        self._t_cap = float(t_cap)
+        self._abs_dummy = abs(float(dummy_slope))
+        self._pis = list(netlist.primary_inputs)
+        if record_nets is None:
+            record_nets = list(netlist.primary_outputs)
+        known = set(netlist.nets)
+        for net in record_nets:
+            if net not in known:
+                raise SimulationError(f"unknown record net: {net!r}")
+        self._record = list(record_nets)
+        self._digest = netlist_digest(netlist)
+        if self._compiled:
+            self._stack = compiled_circuit.stack
+            self._levels = []
+            for program in compiled_circuit.levels:
+                meta = _SigmoidLevel()
+                meta.names = program.names
+                meta.single = [bool(s) for s in program.single]
+                meta.in0 = program.in0
+                meta.in1 = program.in1
+                meta.program = program
+                self._levels.append(meta)
+        else:
+            netlist.validate()
+            for gate in netlist.gates.values():
+                if gate.gtype is GateType.INV:
+                    continue
+                if gate.gtype is GateType.NOR and len(gate.inputs) == 2:
+                    continue
+                raise SimulationError(
+                    "sigmoid simulator supports INV and NOR2 only; "
+                    f"gate {gate.name} is "
+                    f"{gate.gtype.value}/{len(gate.inputs)}"
+                )
+            self._stack = None
+            self._levels = _interpreted_levels(netlist, bundle)
+        self._n_runs: int | None = None
+        if state is not None:
+            self.restore(state)
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return "compiled" if self._compiled else "interpreted"
+
+    def feed(self, chunks, advance_to: float | None = None):
+        """Ingest one stimulus chunk per run; return the final segments.
+
+        Each chunk maps primary inputs to :class:`SigmoidalTrace`
+        segments whose transitions are strictly after the run's current
+        horizon and whose initial level continues the stream.
+        ``advance_to`` pushes the horizon even without new events
+        (releasing more of the tails).
+        """
+        self._require_active()
+        chunks = list(chunks)
+        if self._n_runs is None:
+            self._initialize(chunks)
+        elif len(chunks) != self._n_runs:
+            raise SimulationError(
+                f"need one chunk dict per run ({self._n_runs}), "
+                f"got {len(chunks)}"
+            )
+        emitted = self._ingest(chunks, advance_to)
+        return self._step(emitted, final=False)
+
+    def finish(self):
+        """Flush every tail (horizon -> +inf) and close the session."""
+        self._require_active()
+        if self._n_runs is None:
+            raise SimulationError("cannot finish before the first feed")
+        emitted: list[dict] = [{} for _ in range(self._n_runs)]
+        segments = self._step(emitted, final=True)
+        self._finished = True
+        return segments
+
+    # ------------------------------------------------------------------
+    def _initialize(self, chunks) -> None:
+        if not chunks:
+            raise SimulationError("need at least one run")
+        n_runs = len(chunks)
+        self._init: list[dict] = []
+        self._vdd: list[dict] = []
+        self._final: list[dict] = []
+        for chunk in chunks:
+            missing = [pi for pi in self._pis if pi not in chunk]
+            if missing:
+                raise SimulationError(f"missing PI traces: {missing}")
+            pi_levels = {pi: bool(chunk[pi].initial_level) for pi in self._pis}
+            if self._compiled:
+                levels = self._cc._evaluate(pi_levels)
+            else:
+                levels = self.netlist.evaluate(pi_levels)
+            init = {net: int(levels[net]) for net in levels}
+            vdd = {pi: float(chunk[pi].vdd) for pi in self._pis}
+            for meta in self._levels:
+                for i, name in enumerate(meta.names):
+                    vdd[name] = vdd[meta.in0[i]]
+            self._init.append(init)
+            self._vdd.append(vdd)
+            self._final.append(dict(init))
+        self._alloc_dynamic(n_runs)
+        # Seed the NOR masking levels from the initial input levels.
+        for meta, st in zip(self._levels, self._lanes):
+            n_g = len(meta.names)
+            for run in range(n_runs):
+                init = self._init[run]
+                for i in range(n_g):
+                    if not meta.single[i]:
+                        lane = run * n_g + i
+                        st["lev0"][lane] = bool(init[meta.in0[i]])
+                        st["lev1"][lane] = bool(init[meta.in1[i]])
+
+    def _alloc_dynamic(self, n_runs: int) -> None:
+        self._n_runs = n_runs
+        self._horizon = [-math.inf] * n_runs
+        self._wm = [
+            dict.fromkeys(self.netlist.nets, -math.inf)
+            for _ in range(n_runs)
+        ]
+        self._lanes = []
+        for meta in self._levels:
+            n = len(meta.names) * n_runs
+            self._lanes.append(
+                {
+                    "buf0": [[] for _ in range(n)],
+                    "buf1": [[] for _ in range(n)],
+                    "lev0": [False] * n,
+                    "lev1": [False] * n,
+                    "tail": [[] for _ in range(n)],
+                    "rel": [None] * n,
+                }
+            )
+        self._derive_lane_static()
+
+    def _derive_lane_static(self) -> None:
+        """Per-lane constants (run-major, matching the one-shot layout)."""
+        self._lane_static = []
+        for meta in self._levels:
+            n_g = len(meta.names)
+            n = n_g * self._n_runs
+            s_sign = np.empty(n)
+            cancel_vdd = np.empty(n)
+            lane = 0
+            for run in range(self._n_runs):
+                init = self._init[run]
+                vdd = self._vdd[run]
+                for i in range(n_g):
+                    init_out = init[meta.names[i]]
+                    s_sign[lane] = 1.0 if init_out == 1 else -1.0
+                    # Algorithm 1 checks the pulse against the default
+                    # rail, the NOR decision procedure against the
+                    # input's; replicated for parity.
+                    cancel_vdd[lane] = (
+                        VDD if meta.single[i] else vdd[meta.in0[i]]
+                    )
+                    lane += 1
+            self._lane_static.append((s_sign, cancel_vdd))
+
+    # ------------------------------------------------------------------
+    def _ingest(self, chunks, advance_to) -> list[dict]:
+        emitted: list[dict] = [{} for _ in range(self._n_runs)]
+        pis = set(self._pis)
+        for run, chunk in enumerate(chunks):
+            extra = [net for net in chunk if net not in pis]
+            if extra:
+                raise SimulationError(
+                    f"chunk nets must be primary inputs; got {sorted(extra)}"
+                )
+            horizon = self._horizon[run]
+            new_horizon = horizon
+            for pi in self._pis:
+                seg = chunk.get(pi)
+                if seg is None:
+                    continue
+                if float(seg.vdd) != self._vdd[run][pi]:
+                    raise SimulationError(
+                        f"chunk for {pi!r} changes vdd mid-stream"
+                    )
+                if int(seg.initial_level) != self._final[run][pi]:
+                    raise SimulationError(
+                        f"chunk for {pi!r} breaks level continuity: "
+                        f"segment starts at {int(seg.initial_level)}, "
+                        f"stream level is {self._final[run][pi]}"
+                    )
+                if seg.n_transitions == 0:
+                    continue
+                params = seg.params
+                if params[0, 1] <= horizon:
+                    raise SimulationError(
+                        f"chunk for {pi!r} starts at {float(params[0, 1])!r}"
+                        f" <= stream horizon {horizon!r}; transitions must "
+                        "arrive in time order"
+                    )
+                events = [(float(a), float(b)) for a, b in params]
+                emitted[run][pi] = events
+                self._final[run][pi] = int(seg.final_level())
+                new_horizon = max(new_horizon, events[-1][1])
+            if advance_to is not None:
+                new_horizon = max(new_horizon, float(advance_to))
+            self._horizon[run] = new_horizon
+            wm = self._wm[run]
+            for pi in self._pis:
+                wm[pi] = new_horizon
+        return emitted
+
+    # ------------------------------------------------------------------
+    def _step(self, emitted: list[dict], final: bool):
+        for li in range(len(self._levels)):
+            self._step_level(li, emitted, final)
+        results = []
+        for run in range(self._n_runs):
+            emit_run = emitted[run]
+            final_run = self._final[run]
+            vdd_run = self._vdd[run]
+            seg = {}
+            for net in self._record:
+                events = emit_run.get(net, [])
+                # The level before this segment's transitions: undo the
+                # toggles the segment applied to the stream level.
+                initial = (final_run[net] + len(events)) % 2
+                seg[net] = SigmoidalTrace(initial, events, vdd=vdd_run[net])
+            results.append(seg)
+        return results
+
+    def _step_level(self, li: int, emitted: list[dict], final: bool) -> None:
+        from repro.core.compile import MERGE_TIE_EPS
+
+        meta = self._levels[li]
+        st = self._lanes[li]
+        n_g = len(meta.names)
+        if n_g == 0:
+            return
+        n_lanes = n_g * self._n_runs
+        consumed: list[list] = [()] * n_lanes
+        release_bound = [0.0] * n_lanes
+
+        for run in range(self._n_runs):
+            emit_run = emitted[run]
+            wm_run = self._wm[run]
+            for i in range(n_g):
+                lane = run * n_g + i
+                in0 = meta.in0[i]
+                buf0 = st["buf0"][lane]
+                new0 = emit_run.get(in0)
+                if new0:
+                    buf0.extend((b, 0, a) for a, b in new0)
+                if meta.single[i]:
+                    horizon = math.inf if final else wm_run[in0]
+                    k = 0
+                    while k < len(buf0) and buf0[k][0] <= horizon:
+                        k += 1
+                    consumed[lane] = buf0[:k]
+                    del buf0[:k]
+                    release_bound[lane] = horizon
+                else:
+                    in1 = meta.in1[i]
+                    buf1 = st["buf1"][lane]
+                    new1 = emit_run.get(in1)
+                    if new1:
+                        buf1.extend((b, 1, a) for a, b in new1)
+                    horizon = (
+                        math.inf
+                        if final
+                        else min(wm_run[in0], wm_run[in1])
+                    )
+                    # Stable merge: the interpreter appends pin 0 first
+                    # then sorts by time, so buf0-before-buf1 on ties.
+                    merged = sorted(buf0 + buf1, key=lambda e: e[0])
+                    n_m = len(merged)
+                    cut = 0
+                    while cut < n_m and merged[cut][0] <= horizon:
+                        cut += 1
+                    if self._compiled:
+                        # The compiled kernel bubbles cross-pin events
+                        # inside MERGE_TIE_EPS windows; defer any event
+                        # closer than the window to the next available
+                        # (or possible) event so no window straddles
+                        # the consumption boundary.
+                        while cut > 0:
+                            nxt = (
+                                merged[cut][0] if cut < n_m else math.inf
+                            )
+                            gap = min(nxt, horizon) - merged[cut - 1][0]
+                            if gap < MERGE_TIE_EPS:
+                                cut -= 1
+                            else:
+                                break
+                    events = merged[:cut]
+                    if cut:
+                        from0 = sum(1 for e in events if e[1] == 0)
+                        del buf0[:from0]
+                        del buf1[: cut - from0]
+                    consumed[lane] = events
+                    if cut == n_m:
+                        release_bound[lane] = horizon
+                    else:
+                        release_bound[lane] = min(horizon, merged[cut][0])
+
+        if self._compiled:
+            self._kernel_compiled(li, consumed)
+        else:
+            self._kernel_interpreted(li, consumed)
+
+        for run in range(self._n_runs):
+            emit_run = emitted[run]
+            wm_run = self._wm[run]
+            final_run = self._final[run]
+            for i in range(n_g):
+                lane = run * n_g + i
+                name = meta.names[i]
+                tail = st["tail"][lane]
+                wm_prev = wm_run[name]
+                if tail and tail[0][1] <= wm_prev:
+                    raise SimulationError(
+                        "streaming finality horizon violated at gate "
+                        f"{name}: a new output transition landed at or "
+                        "before the released watermark; increase the "
+                        "session guard"
+                    )
+                cutoff = (
+                    math.inf if final else release_bound[lane] - self.guard
+                )
+                k = 0
+                while k < len(tail) and tail[k][1] <= cutoff:
+                    k += 1
+                if k:
+                    released = tail[:k]
+                    del tail[:k]
+                    st["rel"][lane] = released[-1]
+                    emit_run[name] = released
+                    final_run[name] = (final_run[name] + k) % 2
+                if cutoff > wm_prev:
+                    wm_run[name] = cutoff
+
+    # ------------------------------------------------------------------
+    def _kernel_interpreted(self, li: int, consumed: list) -> None:
+        """Scalar Algorithm 1 per lane with carried tail/release state.
+
+        Replays the exact operation sequence of the one-shot
+        interpreted walk (``predict_gate_output`` /
+        ``predict_nor_output``) on the consumed events, seeding
+        ``prev``/``expected_sign`` from the carried output history.
+        """
+        meta = self._levels[li]
+        st = self._lanes[li]
+        s_sign_arr, cancel_vdd_arr = self._lane_static[li]
+        n_g = len(meta.names)
+        for run in range(self._n_runs):
+            for i in range(n_g):
+                lane = run * n_g + i
+                events = consumed[lane]
+                if not events:
+                    continue
+                single = meta.single[i]
+                tfs = meta.tfs[i]
+                tail = st["tail"][lane]
+                rel = st["rel"][lane]
+                sgn = float(s_sign_arr[lane])
+                vdd = float(cancel_vdd_arr[lane])
+                if tail:
+                    prev_a, prev_b = tail[-1]
+                elif rel is not None:
+                    prev_a, prev_b = rel
+                else:
+                    prev_a, prev_b = sgn * self._abs_dummy, -math.inf
+                expected_sign = 1.0 if prev_a < 0 else -1.0
+                if single:
+                    tf_rise, tf_fall = tfs
+                else:
+                    lev0 = st["lev0"][lane]
+                    lev1 = st["lev1"][lane]
+                    out_level = not (lev0 or lev1)
+                for b_in, pin, a_in in events:
+                    if not single:
+                        if pin == 0:
+                            lev0 = a_in > 0
+                        else:
+                            lev1 = a_in > 0
+                        new_out = not (lev0 or lev1)
+                        if new_out == out_level:
+                            continue  # masked by the other input
+                        out_level = new_out
+                        tf_rise, tf_fall = tfs[pin]
+                    tf = tf_rise if a_in > 0 else tf_fall
+                    T = clamp_history(b_in - prev_b, self._t_cap)
+                    a_out, delta_b = tf.predict(T, prev_a, a_in)
+                    if not np.isfinite(a_out) or not np.isfinite(delta_b):
+                        raise ModelError(
+                            "transfer function produced non-finite output"
+                        )
+                    a_out = expected_sign * abs(a_out)
+                    b_out = b_in + delta_b
+                    if tail:
+                        last_b = tail[-1][1]
+                    elif rel is not None:
+                        last_b = rel[1]
+                    else:
+                        last_b = None
+                    if last_b is not None and b_out <= last_b:
+                        b_out = last_b + 1e-6
+                    tail.append((a_out, b_out))
+                    prev_a, prev_b = a_out, b_out
+                    expected_sign = -expected_sign
+                    if len(tail) >= 2 or rel is not None:
+                        first = tail[-2] if len(tail) >= 2 else rel
+                        second = tail[-1]
+                        if not pair_crosses_threshold(first, second, vdd=vdd):
+                            tail.pop()
+                            if tail:
+                                tail.pop()
+                            else:
+                                raise SimulationError(
+                                    "streaming finality horizon violated "
+                                    f"at gate {meta.names[i]}: a "
+                                    "sub-threshold cancellation reached a "
+                                    "released transition; increase the "
+                                    "session guard"
+                                )
+                            if tail:
+                                prev_a, prev_b = tail[-1]
+                            elif rel is not None:
+                                prev_a, prev_b = rel
+                            else:
+                                prev_a = sgn * self._abs_dummy
+                                prev_b = -math.inf
+                            expected_sign = 1.0 if prev_a < 0 else -1.0
+                if not single:
+                    st["lev0"][lane] = lev0
+                    st["lev1"][lane] = lev1
+
+    # ------------------------------------------------------------------
+    def _kernel_compiled(self, li: int, consumed: list) -> None:
+        """Lock-step array kernel seeded with the carried output state.
+
+        The released-last transition (if any) occupies slot 0 as a
+        *sentinel*: it anchors the ordering snap and the cancellation
+        pair exactly like the one-shot output buffer did, and the
+        kernel's ``floor`` argument turns a cancellation that would pop
+        it into a loud failure.
+        """
+        from repro.core.compile import lockstep_level, nor_merge_masked
+
+        meta = self._levels[li]
+        program = meta.program
+        st = self._lanes[li]
+        s_sign, cancel_vdd = self._lane_static[li]
+        n_g = len(meta.names)
+        n_lanes = n_g * self._n_runs
+
+        lane_b: list[np.ndarray] = []
+        lane_a: list[np.ndarray] = []
+        lane_m: list[np.ndarray] = []
+        empty = np.empty(0)
+        empty_m = np.empty(0, dtype=int)
+        for lane in range(n_lanes):
+            events = consumed[lane]
+            if not events:
+                lane_b.append(empty)
+                lane_a.append(empty)
+                lane_m.append(empty_m)
+                continue
+            i = lane % n_g
+            b = np.array([e[0] for e in events])
+            pin = np.array([e[1] for e in events], dtype=int)
+            a = np.array([e[2] for e in events])
+            if meta.single[i]:
+                member = np.where(
+                    a > 0,
+                    program.rise_members[i],
+                    program.fall_members[i],
+                )
+            else:
+                b, a, member, end0, end1 = nor_merge_masked(
+                    program.nor_members[i],
+                    st["lev0"][lane],
+                    st["lev1"][lane],
+                    b,
+                    a,
+                    pin,
+                )
+                st["lev0"][lane] = end0
+                st["lev1"][lane] = end1
+            lane_b.append(b)
+            lane_a.append(a)
+            lane_m.append(member)
+
+        counts = np.array([b.size for b in lane_b], dtype=int)
+        if not counts.any():
+            return
+
+        tails = st["tail"]
+        rels = st["rel"]
+        floor = np.zeros(n_lanes, dtype=int)
+        prev_a = np.empty(n_lanes)
+        prev_b = np.empty(n_lanes)
+        n_seed = np.zeros(n_lanes, dtype=int)
+        for lane in range(n_lanes):
+            rel = rels[lane]
+            tail = tails[lane]
+            floor[lane] = 0 if rel is None else 1
+            n_seed[lane] = floor[lane] + len(tail)
+            if tail:
+                prev_a[lane], prev_b[lane] = tail[-1]
+            elif rel is not None:
+                prev_a[lane], prev_b[lane] = rel
+            else:
+                prev_a[lane] = s_sign[lane] * self._abs_dummy
+                prev_b[lane] = -np.inf
+        exp_sign = -np.sign(prev_a)
+
+        width = int((n_seed + counts).max())
+        max_in = int(counts.max())
+        out_a = np.zeros((n_lanes, width))
+        out_b = np.zeros((n_lanes, width))
+        n_out = n_seed.copy()
+        B = np.zeros((n_lanes, max_in))
+        A = np.zeros((n_lanes, max_in))
+        MEM = np.zeros((n_lanes, max_in), dtype=int)
+        for lane in range(n_lanes):
+            rel = rels[lane]
+            if rel is not None:
+                out_a[lane, 0], out_b[lane, 0] = rel
+            base = int(floor[lane])
+            for k, (ta, tb) in enumerate(tails[lane]):
+                out_a[lane, base + k] = ta
+                out_b[lane, base + k] = tb
+            b = lane_b[lane]
+            if b.size:
+                B[lane, : b.size] = b
+                A[lane, : b.size] = lane_a[lane]
+                MEM[lane, : b.size] = lane_m[lane]
+
+        lockstep_level(
+            self._stack, B, A, MEM, counts, s_sign, cancel_vdd,
+            out_a, out_b, n_out, self._t_cap, self._abs_dummy,
+            prev_a=prev_a, prev_b=prev_b, exp_sign=exp_sign, floor=floor,
+        )
+
+        for lane in range(n_lanes):
+            base = int(floor[lane])
+            tails[lane] = [
+                (float(out_a[lane, k]), float(out_b[lane, k]))
+                for k in range(base, int(n_out[lane]))
+            ]
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """JSON-compatible checkpoint of the full carried state."""
+        self._require_active()
+        if self._n_runs is None:
+            raise SimulationError("nothing to checkpoint before the first feed")
+        lanes = []
+        for st in self._lanes:
+            lanes.append(
+                {
+                    "buf0": [
+                        [[b, p, a] for b, p, a in buf] for buf in st["buf0"]
+                    ],
+                    "buf1": [
+                        [[b, p, a] for b, p, a in buf] for buf in st["buf1"]
+                    ],
+                    "lev0": [bool(v) for v in st["lev0"]],
+                    "lev1": [bool(v) for v in st["lev1"]],
+                    "tail": [
+                        [[a, b] for a, b in tail] for tail in st["tail"]
+                    ],
+                    "rel": [
+                        None if rel is None else [rel[0], rel[1]]
+                        for rel in st["rel"]
+                    ],
+                }
+            )
+        return {
+            "format": STATE_FORMAT,
+            "kind": self.kind,
+            "mode": self.mode,
+            "digest": self._digest,
+            "backend": self._bundle.backend,
+            "record_nets": list(self._record),
+            "guard": self.guard,
+            "t_cap": self._t_cap,
+            "dummy_slope": self._abs_dummy,
+            "n_runs": self._n_runs,
+            "horizon": list(self._horizon),
+            "watermark": [dict(wm) for wm in self._wm],
+            "level": [dict(fin) for fin in self._final],
+            "vdd": [dict(vdd) for vdd in self._vdd],
+            "initial": [dict(init) for init in self._init],
+            "lanes": lanes,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a checkpoint produced by :meth:`state`."""
+        self._require_active()
+        self._check_header(state, self.mode, self._digest)
+        self.guard = float(state["guard"])
+        self._t_cap = float(state["t_cap"])
+        self._abs_dummy = float(state["dummy_slope"])
+        self._record = list(state["record_nets"])
+        n_runs = int(state["n_runs"])
+        self._init = [
+            {net: int(v) for net, v in init.items()}
+            for init in state["initial"]
+        ]
+        self._vdd = [
+            {net: float(v) for net, v in vdd.items()} for vdd in state["vdd"]
+        ]
+        self._final = [
+            {net: int(v) for net, v in fin.items()} for fin in state["level"]
+        ]
+        self._alloc_dynamic(n_runs)
+        self._horizon = [float(h) for h in state["horizon"]]
+        self._wm = [
+            {net: float(v) for net, v in wm.items()}
+            for wm in state["watermark"]
+        ]
+        if len(state["lanes"]) != len(self._lanes):
+            raise SimulationError("checkpoint level count mismatch")
+        for st, saved in zip(self._lanes, state["lanes"]):
+            n = len(st["buf0"])
+            if len(saved["buf0"]) != n:
+                raise SimulationError("checkpoint lane count mismatch")
+            st["buf0"] = [
+                [(float(b), int(p), float(a)) for b, p, a in buf]
+                for buf in saved["buf0"]
+            ]
+            st["buf1"] = [
+                [(float(b), int(p), float(a)) for b, p, a in buf]
+                for buf in saved["buf1"]
+            ]
+            st["lev0"] = [bool(v) for v in saved["lev0"]]
+            st["lev1"] = [bool(v) for v in saved["lev1"]]
+            st["tail"] = [
+                [(float(a), float(b)) for a, b in tail]
+                for tail in saved["tail"]
+            ]
+            st["rel"] = [
+                None if rel is None else (float(rel[0]), float(rel[1]))
+                for rel in saved["rel"]
+            ]
+
+
+# ----------------------------------------------------------------------
+# Chunking and concatenation helpers (the --chunk-size plumbing).
+
+
+def merged_boundaries(times: list[float], chunk_size: int) -> list[float]:
+    """Chunk boundaries putting ~``chunk_size`` merged events per chunk.
+
+    ``times`` is the merged (sorted) list of every source's transition
+    times; the boundary *includes* its time (ties never split).
+    """
+    if chunk_size < 1:
+        raise SimulationError("chunk_size must be >= 1")
+    return [
+        times[k - 1] for k in range(chunk_size, len(times), chunk_size)
+    ]
+
+
+def split_sigmoid_trace(
+    trace: SigmoidalTrace, boundaries: list[float]
+) -> list[SigmoidalTrace]:
+    """Split a trace into ``len(boundaries) + 1`` contiguous segments.
+
+    Segment ``k`` holds the transitions with ``b <= boundaries[k]``
+    (and after the previous boundary); the last segment holds the
+    remainder.  Zero-transition segments are valid.
+    """
+    params = trace.params
+    level = int(trace.initial_level)
+    segments = []
+    start = 0
+    n = params.shape[0]
+    for bound in boundaries:
+        k = start
+        while k < n and params[k, 1] <= bound:
+            k += 1
+        segments.append(
+            SigmoidalTrace(level, params[start:k], vdd=trace.vdd)
+        )
+        level = (level + (k - start)) % 2
+        start = k
+    segments.append(SigmoidalTrace(level, params[start:], vdd=trace.vdd))
+    return segments
+
+
+def sigmoid_chunks(
+    pi_traces: dict[str, SigmoidalTrace],
+    chunk_size: int | None = None,
+    boundaries: list[float] | None = None,
+) -> list[dict[str, SigmoidalTrace]]:
+    """Split a full stimulus into session-sized feed chunks.
+
+    Pass either ``chunk_size`` (~that many transitions per chunk,
+    merged across inputs) or explicit ``boundaries`` (sorted times;
+    duplicates produce zero-length chunks).
+    """
+    if (chunk_size is None) == (boundaries is None):
+        raise SimulationError(
+            "pass exactly one of chunk_size / boundaries"
+        )
+    if boundaries is None:
+        times = sorted(
+            float(b)
+            for trace in pi_traces.values()
+            for b in trace.params[:, 1]
+        )
+        boundaries = merged_boundaries(times, chunk_size)
+    per_pi = {
+        pi: split_sigmoid_trace(trace, boundaries)
+        for pi, trace in pi_traces.items()
+    }
+    return [
+        {pi: segments[k] for pi, segments in per_pi.items()}
+        for k in range(len(boundaries) + 1)
+    ]
+
+
+def concat_sigmoid_traces(
+    segments: list[SigmoidalTrace],
+) -> SigmoidalTrace:
+    """Concatenate contiguous trace segments back into one trace."""
+    segments = list(segments)
+    if not segments:
+        raise SimulationError("nothing to concatenate")
+    level = int(segments[0].initial_level)
+    expect = level
+    rows = []
+    for seg in segments:
+        if int(seg.initial_level) != expect:
+            raise SimulationError(
+                "trace segments are not level-contiguous"
+            )
+        rows.append(np.asarray(seg.params, dtype=float).reshape(-1, 2))
+        expect = int(seg.final_level())
+    params = np.concatenate(rows) if rows else np.empty((0, 2))
+    return SigmoidalTrace(level, params, vdd=segments[0].vdd)
+
+
+def merge_segment_batches(batches: list, concat) -> list[dict]:
+    """Fold per-feed segment batches into one result dict per run."""
+    if not batches:
+        raise SimulationError("nothing to merge")
+    n_runs = len(batches[0])
+    results = []
+    for run in range(n_runs):
+        nets = batches[0][run].keys()
+        results.append(
+            {
+                net: concat([batch[run][net] for batch in batches])
+                for net in nets
+            }
+        )
+    return results
+
+
+def one_shot_sigmoid_batch(
+    open_session,
+    netlist,
+    pi_traces_runs: list[dict[str, SigmoidalTrace]],
+    record_nets: list[str] | None,
+) -> list[dict[str, SigmoidalTrace]]:
+    """One-shot ``simulate_batch`` semantics on top of a fresh session.
+
+    Feeds the complete stimulus as a single chunk and finishes —
+    reproducing the pre-session entry points exactly, including the
+    PI passthrough (recorded inputs return the caller's trace objects)
+    and the unknown-record-net error.  ``open_session`` maps a record
+    list to a new session.
+    """
+    pis = netlist.primary_inputs
+    for pi_traces in pi_traces_runs:
+        missing = [pi for pi in pis if pi not in pi_traces]
+        if missing:
+            raise SimulationError(f"missing PI traces: {missing}")
+    if not pi_traces_runs:
+        return []
+    if record_nets is None:
+        record_nets = list(netlist.primary_outputs)
+    known = set(netlist.nets)
+    pi_set = set(pis)
+    session_record = list(
+        dict.fromkeys(
+            net for net in record_nets if net in known and net not in pi_set
+        )
+    )
+    session = open_session(session_record)
+    chunks = [
+        {pi: pi_traces[pi] for pi in pis} for pi_traces in pi_traces_runs
+    ]
+    batches = [session.feed(chunks), session.finish()]
+    merged = merge_segment_batches(batches, concat_sigmoid_traces)
+    results = []
+    for run, pi_traces in enumerate(pi_traces_runs):
+        out = {}
+        for net in record_nets:
+            if net in pi_traces:
+                out[net] = pi_traces[net]
+            elif net in merged[run]:
+                out[net] = merged[run][net]
+            else:
+                raise SimulationError(f"unknown record net: {net!r}")
+        results.append(out)
+    return results
+
+
+def stream_sigmoid_batch(
+    simulator,
+    pi_traces_runs: list[dict[str, SigmoidalTrace]],
+    chunk_size: int,
+    record_nets: list[str] | None = None,
+    guard: float = STREAM_GUARD,
+) -> list[dict[str, SigmoidalTrace]]:
+    """Chunked-execution twin of ``simulate_batch`` (same results).
+
+    Splits each run's stimulus into ~``chunk_size``-transition chunks,
+    feeds them through one streaming session, and concatenates the
+    returned segments — the bounded-memory path behind ``--chunk-size``.
+    """
+    session = simulator.open_session(
+        record_nets=record_nets, guard=guard
+    )
+    per_run = [
+        sigmoid_chunks(pi_traces, chunk_size=chunk_size)
+        for pi_traces in pi_traces_runs
+    ]
+    n_chunks = max(len(chunks) for chunks in per_run)
+    batches = []
+    for k in range(n_chunks):
+        batches.append(
+            session.feed(
+                [
+                    chunks[k] if k < len(chunks) else {}
+                    for chunks in per_run
+                ]
+            )
+        )
+    batches.append(session.finish())
+    return merge_segment_batches(batches, concat_sigmoid_traces)

@@ -21,8 +21,6 @@ from __future__ import annotations
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
 from repro.core.models import GateModelBundle
-from repro.core.multi_input import predict_nor_output
-from repro.core.tom import predict_gate_output
 from repro.core.trace import SigmoidalTrace
 from repro.errors import SimulationError
 
@@ -50,52 +48,38 @@ class SigmoidCircuitSimulator:
         self.bundle = bundle
         self.compiled = compiled
         self._compiled_circuit = None
-        self._order: list[str] | None = None
-        self._plan: list[tuple] | None = None
         if compiled:
             from repro.core.compile import compile_circuit
 
             self._compiled_circuit = compile_circuit(netlist, bundle)
-        else:
-            self._build_plan()
 
-    def _build_plan(self) -> None:
-        """Resolve the interpreted walk's per-gate model plan.
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        record_nets: list[str] | None = None,
+        *,
+        guard: float | None = None,
+        state: dict | None = None,
+    ):
+        """Open a streaming :class:`~repro.core.session.SigmoidSession`.
 
-        Model selection depends only on the static netlist (gate type,
-        tied inputs, fanout class), so it is resolved once per instance
-        here instead of once per gate per run.  Each plan entry is
-        ``(name, inputs, single_channel_tfs | None, nor_pin_tfs | None)``.
-        The compiled path does its own (equivalent) lowering in
-        :mod:`repro.core.compile`, so the plan is only built when the
-        instance actually interprets.
+        Compiled instances stream through the lock-step array kernels;
+        interpreted instances stream the scalar Algorithm 1 walk — the
+        same pairing as the one-shot entry points.
         """
-        netlist, bundle = self.netlist, self.bundle
-        self._order = netlist.topological_order()
-        fanout_map = netlist.fanout()
-        fanout_count = {
-            net: len(fanout_map.get(net, ())) for net in netlist.nets
-        }
-        self._plan = []
-        for name in self._order:
-            gate = netlist.gates[name]
-            fanout = fanout_count[name]
-            if gate.gtype is GateType.INV:
-                model = bundle.get("INV", 0, fanout)
-                entry = (name, gate.inputs, (model.tf_rise, model.tf_fall), None)
-            elif gate.inputs[0] == gate.inputs[1]:
-                # Tied-input NOR: the inverter-class elementary gate of the
-                # pure-NOR mapping — a single-input channel (Algorithm 1)
-                # with its dedicated tied-cell models.
-                model = bundle.get("NOR2T", 0, fanout)
-                entry = (name, gate.inputs, (model.tf_rise, model.tf_fall), None)
-            else:
-                pin_tfs = []
-                for pin in range(2):
-                    model = bundle.get("NOR2", pin, fanout)
-                    pin_tfs.append((model.tf_rise, model.tf_fall))
-                entry = (name, gate.inputs, None, pin_tfs)
-            self._plan.append(entry)
+        from repro.core.session import STREAM_GUARD, SigmoidSession
+
+        if self._compiled_circuit is not None:
+            return self._compiled_circuit.open_session(
+                record_nets, guard=guard, state=state
+            )
+        return SigmoidSession(
+            self.netlist,
+            bundle=self.bundle,
+            record_nets=record_nets,
+            guard=STREAM_GUARD if guard is None else guard,
+            state=state,
+        )
 
     # ------------------------------------------------------------------
     def simulate(
@@ -113,63 +97,18 @@ class SigmoidCircuitSimulator:
     ) -> list[dict[str, SigmoidalTrace]]:
         """Predict traces for a batch of stimulus runs in one pass.
 
-        One walk of the topological order covers every run: the static
-        per-gate work (ordering, fanout classing, model resolution) is
-        done once for the whole batch and each gate's per-run predictions
-        run back to back.  Per run, the predictions are exactly the ones
-        :meth:`simulate` makes — the two entry points are bit-compatible.
+        A thin one-shot wrapper over :meth:`open_session`: the whole
+        stimulus is fed as a single chunk and the session finished, so
+        per run the predictions are exactly the ones :meth:`simulate`
+        makes — the two entry points are bit-compatible.
 
-        With ``compiled=True`` (the default) the walk is the lock-step
-        array program of :mod:`repro.core.compile`; the interpreted
-        loop below is the ``compiled=False`` reference.
+        With ``compiled=True`` (the default) the session runs the
+        lock-step array program of :mod:`repro.core.compile`; with
+        ``compiled=False`` it runs the scalar per-gate walk the
+        compiled path is parity-locked against.
         """
-        if self._compiled_circuit is not None:
-            return self._compiled_circuit.run_batch(
-                pi_traces_runs, record_nets
-            )
-        pis = self.netlist.primary_inputs
-        for pi_traces in pi_traces_runs:
-            missing = [pi for pi in pis if pi not in pi_traces]
-            if missing:
-                raise SimulationError(f"missing PI traces: {missing}")
-        if record_nets is None:
-            record_nets = list(self.netlist.primary_outputs)
+        from repro.core.session import one_shot_sigmoid_batch
 
-        # Steady-state levels anchor each gate's initial output level.
-        level_runs = [
-            self.netlist.evaluate(
-                {pi: bool(pi_traces[pi].initial_level) for pi in pis}
-            )
-            for pi_traces in pi_traces_runs
-        ]
-
-        trace_runs: list[dict[str, SigmoidalTrace]] = [
-            dict(pi_traces) for pi_traces in pi_traces_runs
-        ]
-        for name, inputs, single_tfs, nor_pin_tfs in self._plan:
-            for traces, initial_levels in zip(trace_runs, level_runs):
-                if single_tfs is not None:
-                    traces[name] = predict_gate_output(
-                        traces[inputs[0]],
-                        single_tfs[0],
-                        single_tfs[1],
-                        initial_output_level=int(initial_levels[name]),
-                    )
-                else:
-                    traces[name] = predict_nor_output(
-                        [traces[inputs[0]], traces[inputs[1]]],
-                        nor_pin_tfs,
-                    )
-                predicted_initial = traces[name].initial_level
-                if predicted_initial != int(initial_levels[name]):
-                    raise SimulationError(
-                        f"initial level mismatch at gate {name}"
-                    )  # pragma: no cover - defensive
-
-        try:
-            return [
-                {net: traces[net] for net in record_nets}
-                for traces in trace_runs
-            ]
-        except KeyError as exc:
-            raise SimulationError(f"unknown record net: {exc}") from None
+        return one_shot_sigmoid_batch(
+            self.open_session, self.netlist, pi_traces_runs, record_nets
+        )

@@ -30,13 +30,40 @@ falls back to the event loop.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.circuits.gates import GateType, eval_gate
 from repro.circuits.netlist import Netlist
+from repro.core.compile import register_cache_clearer
 from repro.digital.delay import FixedDelayModel
 from repro.digital.trace import DigitalTrace
 from repro.errors import ModelError, SimulationError
+
+# Generation counter behind the lazy per-simulator recompile memo
+# (:meth:`DigitalSimulator._compiled_circuit`).  ``clear_compile_cache``
+# bumps it through the clearer registry, so clearing the sigmoid compile
+# cache also invalidates every cached compiled digital core — tests
+# can't leak one across cases.
+_GENERATION_LOCK = threading.RLock()
+_GENERATION = 0
+
+
+def digital_cache_generation() -> int:
+    """Current generation of compiled digital cores (memo-key part)."""
+    with _GENERATION_LOCK:
+        return _GENERATION
+
+
+def clear_digital_compile_cache() -> None:
+    """Invalidate every lazily cached :class:`CompiledDigitalCircuit`."""
+    global _GENERATION
+    with _GENERATION_LOCK:
+        _GENERATION += 1
+
+
+register_cache_clearer(clear_digital_compile_cache)
 
 
 def compile_digital(
@@ -110,6 +137,25 @@ class CompiledDigitalCircuit:
         return values
 
     # ------------------------------------------------------------------
+    def open_session(
+        self,
+        t_stops: "list[float]",
+        record_nets: "list[str] | None" = None,
+        state: dict | None = None,
+    ):
+        """Open a streaming session over this compiled core.
+
+        The session carries the per-lane inertial pendings, applied pin
+        values and unconsumed input events between chunks; chunked
+        execution is bitwise-identical to :meth:`run_batch`.
+        """
+        from repro.digital.session import CompiledDigitalSession
+
+        return CompiledDigitalSession(
+            self, t_stops, record_nets=record_nets, state=state
+        )
+
+    # ------------------------------------------------------------------
     def run_batch(
         self,
         pi_traces_runs: "list[dict[str, DigitalTrace]]",
@@ -120,231 +166,103 @@ class CompiledDigitalCircuit:
         The lock-step twin of
         :meth:`~repro.digital.simulator.DigitalSimulator.simulate` run
         once per batch: per run the result is the event loop's, per
-        level all gates × all runs advance together.
+        level all gates × all runs advance together.  A thin one-shot
+        wrapper over :meth:`open_session` (feed everything, finish).
         """
-        netlist = self.netlist
-        pis = netlist.primary_inputs
-        if len(pi_traces_runs) != len(t_stops):
-            raise SimulationError("need one t_stop per run")
-        for pi_traces in pi_traces_runs:
-            missing = [pi for pi in pis if pi not in pi_traces]
-            if missing:
-                raise SimulationError(f"missing PI traces: {missing}")
-        n_runs = len(pi_traces_runs)
+        from repro.digital.session import one_shot_digital_batch
 
-        initials = [
-            self._evaluate({pi: pi_traces[pi].initial for pi in pis})
-            for pi_traces in pi_traces_runs
-        ]
-        # Store: (run, net) -> (initial: bool, times: list).  PI events
-        # beyond the run's t_stop are never scheduled, exactly like the
-        # event loop's push guard.
-        store: list[dict[str, tuple[bool, list]]] = []
-        for run, pi_traces in enumerate(pi_traces_runs):
-            t_stop = t_stops[run]
-            entry = {}
-            for pi, trace in pi_traces.items():
-                entry[pi] = (
-                    trace.initial,
-                    [t for t in trace.times if t <= t_stop],
-                )
-            store.append(entry)
+        return one_shot_digital_batch(
+            lambda: self.open_session(t_stops),
+            self.netlist,
+            pi_traces_runs,
+            t_stops,
+        )
 
-        t_stop_arr = np.asarray(t_stops, dtype=float)
-        for level in self.levels:
-            self._run_level(level, store, initials, n_runs, t_stop_arr)
 
-        results = []
-        for run in range(n_runs):
-            results.append(
-                {
-                    net: DigitalTrace(initial, times)
-                    for net, (initial, times) in store[run].items()
-                }
-            )
-        return results
+def lockstep_digital(
+    T: np.ndarray,
+    P: np.ndarray,
+    V: np.ndarray,
+    counts: np.ndarray,
+    single: np.ndarray,
+    delays: np.ndarray,
+    flush_to: np.ndarray,
+    v0: np.ndarray,
+    v1: np.ndarray,
+    out: np.ndarray,
+    out_times: np.ndarray,
+    n_out: np.ndarray,
+    pend_t: np.ndarray,
+    pend_v: np.ndarray,
+) -> None:
+    """The inertial event recurrence, lock-step over event index.
 
-    # ------------------------------------------------------------------
-    def _run_level(
-        self,
-        level: _DigitalLevel,
-        store: list,
-        initials: list,
-        n_runs: int,
-        t_stops: np.ndarray,
-    ) -> None:
-        n_gates = len(level.names)
-        n_lanes = n_gates * n_runs
-        if n_lanes == 0:
-            return
+    ``pend_t``/``pend_v`` are the per-lane in-flight scheduled events —
+    owned by the caller so a streaming session can carry them between
+    chunks.  Pendings due at or before ``flush_to`` (the lane's finality
+    horizon capped at its ``t_stop``) commit on exit; later ones stay
+    pending for the next call.  With ``flush_to = t_stop`` and fresh
+    pending arrays this is exactly the legacy one-shot recurrence.
+    """
+    n_lanes = T.shape[0]
+    lanes = np.arange(n_lanes)
 
-        # Flat event assembly: plain-python merges per lane (events per
-        # gate are few; small-list work beats numpy dispatch here), one
-        # vectorized scatter into the padded lock-step layout after.
-        flat_t: list[float] = []
-        flat_p: list[int] = []
-        flat_v: list[bool] = []
-        counts = np.empty(n_lanes, dtype=int)
-        v0 = np.zeros(n_lanes, dtype=bool)
-        v1 = np.zeros(n_lanes, dtype=bool)
-        out = np.zeros(n_lanes, dtype=bool)
-        single = np.zeros(n_lanes, dtype=bool)
-        delay_rows = np.empty(n_lanes, dtype=int)
-        lane_stop = np.empty(n_lanes)
-
-        lane = 0
-        for run in range(n_runs):
-            run_store = store[run]
-            run_initials = initials[run]
-            t_stop = float(t_stops[run])
-            for i in range(n_gates):
-                init0, times0 = run_store[level.in0[i]]
-                m = len(times0)
-                if level.single[i]:
-                    flat_t += times0
-                    flat_p += [0] * m
-                    value = not init0
-                    for _ in range(m):
-                        flat_v.append(value)
-                        value = not value
-                    v0[lane] = init0
-                    v1[lane] = init0
-                else:
-                    init1, times1 = run_store[level.in1[i]]
-                    n1 = len(times1)
-                    a = b = 0
-                    val0, val1 = not init0, not init1
-                    # Stable two-pointer merge: pin 0 first on a tie.
-                    while a < m or b < n1:
-                        if b >= n1 or (a < m and times0[a] <= times1[b]):
-                            flat_t.append(times0[a])
-                            flat_p.append(0)
-                            flat_v.append(val0)
-                            val0 = not val0
-                            a += 1
-                        else:
-                            flat_t.append(times1[b])
-                            flat_p.append(1)
-                            flat_v.append(val1)
-                            val1 = not val1
-                            b += 1
-                    m += n1
-                    v0[lane] = init0
-                    v1[lane] = init1
-                counts[lane] = m
-                single[lane] = level.single[i]
-                out[lane] = run_initials[level.names[i]]
-                delay_rows[lane] = i
-                lane_stop[lane] = t_stop
-                lane += 1
-
-        max_events = int(counts.max()) if counts.size else 0
-        n_out = np.zeros(n_lanes, dtype=int)
-        out_times = np.empty((n_lanes, max_events)) if max_events else None
-
-        if max_events:
-            T = np.full((n_lanes, max_events), np.inf)
-            P = np.zeros((n_lanes, max_events), dtype=int)
-            V = np.zeros((n_lanes, max_events), dtype=bool)
-            lane_ids = np.repeat(np.arange(n_lanes), counts)
-            offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
-            within = np.arange(lane_ids.size) - offsets[lane_ids]
-            T[lane_ids, within] = flat_t
-            P[lane_ids, within] = flat_p
-            V[lane_ids, within] = flat_v
-            self._lockstep(
-                T, P, V, counts, single, level.delays[delay_rows],
-                lane_stop, v0, v1, out, out_times, n_out,
-            )
-
-        lane = 0
-        for run in range(n_runs):
-            run_store = store[run]
-            run_initials = initials[run]
-            for i in range(n_gates):
-                count = int(n_out[lane])
-                times = out_times[lane, :count].tolist() if count else []
-                name = level.names[i]
-                run_store[name] = (bool(run_initials[name]), times)
-                lane += 1
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _lockstep(
-        T: np.ndarray,
-        P: np.ndarray,
-        V: np.ndarray,
-        counts: np.ndarray,
-        single: np.ndarray,
-        delays: np.ndarray,
-        lane_stop: np.ndarray,
-        v0: np.ndarray,
-        v1: np.ndarray,
-        out: np.ndarray,
-        out_times: np.ndarray,
-        n_out: np.ndarray,
-    ) -> None:
-        """The inertial event recurrence, lock-step over event index."""
-        n_lanes = T.shape[0]
-        pend_t = np.full(n_lanes, np.inf)
-        pend_v = np.zeros(n_lanes, dtype=bool)
-        lanes = np.arange(n_lanes)
-
-        for j in range(T.shape[1]):
-            act = counts > j
-            if not act.any():
-                break
-            t = T[:, j]
-            # Commit pendings due at or before this event (pending
-            # first on an exact tie; see module docstring).
-            fire = act & (pend_t <= t)
-            if fire.any():
-                fi = lanes[fire]
-                out_times[fi, n_out[fi]] = pend_t[fi]
-                n_out[fi] += 1
-                out[fi] = pend_v[fi]
-                pend_t[fi] = np.inf
-
-            ai = lanes[act]
-            pin = P[ai, j]
-            val = V[ai, j]
-            is0 = pin == 0
-            v0[ai[is0]] = val[is0]
-            v1[ai[~is0]] = val[~is0]
-            target = np.where(single[ai], ~v0[ai], ~(v0[ai] | v1[ai]))
-            pending = np.isfinite(pend_t[ai])
-            effective = np.where(pending, pend_v[ai], out[ai])
-            change = target != effective
-            ci = ai[change]
-            tgt = target[change]
-            if ci.size == 0:
-                continue
-            # The input change reverted before the output fired: the
-            # pending pulse is swallowed (inertial cancellation).
-            revert = tgt == out[ci]
-            pend_t[ci[revert]] = np.inf
-            sched = ci[~revert]
-            if sched.size == 0:
-                continue
-            stgt = tgt[~revert]
-            d = delays[sched, P[sched, j], stgt.astype(int)]
-            if np.isnan(d).any():
-                bad = int(np.nonzero(np.isnan(d))[0][0])
-                raise ModelError(
-                    f"no delay for pin {int(P[sched[bad], j])} edge "
-                    f"{'rise' if bool(stgt[bad]) else 'fall'}"
-                )
-            # Full degradation (DDM-style): the transition disappears
-            # together with the previous one it would pair with.
-            positive = d > 0.0
-            pend_t[sched[~positive]] = np.inf
-            live = sched[positive]
-            pend_t[live] = T[live, j] + d[positive]
-            pend_v[live] = stgt[positive]
-
-        flush = np.isfinite(pend_t) & (pend_t <= lane_stop)
-        if flush.any():
-            fi = lanes[flush]
+    for j in range(T.shape[1]):
+        act = counts > j
+        if not act.any():
+            break
+        t = T[:, j]
+        # Commit pendings due at or before this event (pending
+        # first on an exact tie; see module docstring).
+        fire = act & (pend_t <= t)
+        if fire.any():
+            fi = lanes[fire]
             out_times[fi, n_out[fi]] = pend_t[fi]
             n_out[fi] += 1
             out[fi] = pend_v[fi]
+            pend_t[fi] = np.inf
+
+        ai = lanes[act]
+        pin = P[ai, j]
+        val = V[ai, j]
+        is0 = pin == 0
+        v0[ai[is0]] = val[is0]
+        v1[ai[~is0]] = val[~is0]
+        target = np.where(single[ai], ~v0[ai], ~(v0[ai] | v1[ai]))
+        pending = np.isfinite(pend_t[ai])
+        effective = np.where(pending, pend_v[ai], out[ai])
+        change = target != effective
+        ci = ai[change]
+        tgt = target[change]
+        if ci.size == 0:
+            continue
+        # The input change reverted before the output fired: the
+        # pending pulse is swallowed (inertial cancellation).
+        revert = tgt == out[ci]
+        pend_t[ci[revert]] = np.inf
+        sched = ci[~revert]
+        if sched.size == 0:
+            continue
+        stgt = tgt[~revert]
+        d = delays[sched, P[sched, j], stgt.astype(int)]
+        if np.isnan(d).any():
+            bad = int(np.nonzero(np.isnan(d))[0][0])
+            raise ModelError(
+                f"no delay for pin {int(P[sched[bad], j])} edge "
+                f"{'rise' if bool(stgt[bad]) else 'fall'}"
+            )
+        # Full degradation (DDM-style): the transition disappears
+        # together with the previous one it would pair with.
+        positive = d > 0.0
+        pend_t[sched[~positive]] = np.inf
+        live = sched[positive]
+        pend_t[live] = T[live, j] + d[positive]
+        pend_v[live] = stgt[positive]
+
+    flush = np.isfinite(pend_t) & (pend_t <= flush_to)
+    if flush.any():
+        fi = lanes[flush]
+        out_times[fi, n_out[fi]] = pend_t[fi]
+        n_out[fi] += 1
+        out[fi] = pend_v[fi]
+        pend_t[fi] = np.inf

@@ -1,0 +1,848 @@
+"""Streaming sessions for the digital simulators (bitwise-exact).
+
+The digital twin of :mod:`repro.core.session`.  Unlike the sigmoid
+cores, digital streaming needs no guard band: a committed transition is
+never revised (inertial cancellation only ever swallows *pending*
+events, which stay in carried state until they either fire or are
+cancelled), so each net's watermark — ``min(input watermarks, t_stop)``
+— is exact and chunked execution is **bitwise identical** to one-shot
+for both cores.
+
+:class:`CompiledDigitalSession` carries, per gate lane, the unconsumed
+committed input events, the applied pin/output values and the in-flight
+inertial pending ``(time, value)`` between chunks, running the same
+lock-step kernel as the one-shot path over each consumed slice.
+:class:`EventDigitalSession` carries the event heap itself (plus the
+pending-token and net-value dicts) and drains it up to
+``min(horizon, t_stop)`` per feed — the exact reference loop, paused.
+
+The one cross-chunk ordering corner matches the documented compiled-
+vs-event one: a *scheduled gate output* landing at exactly the same
+float time as a primary-input event of a **later** chunk is processed
+in a different heap-sequence order than the one-shot loop would use.
+Characterized arc delays and random stimuli never produce such ties,
+and the one-shot wrappers (single feed + finish) replicate the legacy
+sequence numbering exactly, so the existing bitwise contracts are
+untouched.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.circuits.gates import eval_gate
+from repro.core.session import STATE_FORMAT, SimulationSession
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+
+
+class _DigitalSessionBase(SimulationSession):
+    """Shared PI ingest / segment assembly of both digital sessions."""
+
+    kind = "digital"
+
+    def __init__(self, netlist, t_stops, record_nets) -> None:
+        super().__init__()
+        from repro.core.compile import netlist_digest
+
+        self.netlist = netlist
+        self._digest = netlist_digest(netlist)
+        self._pis = list(netlist.primary_inputs)
+        if record_nets is None:
+            record_nets = list(netlist.nets)
+        known = set(netlist.nets)
+        for net in record_nets:
+            if net not in known:
+                raise SimulationError(f"unknown record net: {net!r}")
+        self._record = list(record_nets)
+        self._t_stops = [float(t) for t in t_stops]
+        self._n_runs = len(self._t_stops)
+        if self._n_runs == 0:
+            raise SimulationError("need at least one run (one t_stop)")
+        self._started = False
+        self._horizon = [-math.inf] * self._n_runs
+
+    # -- chunk validation ----------------------------------------------
+    def _check_first_feed(self, chunks) -> None:
+        if len(chunks) != self._n_runs:
+            raise SimulationError(
+                f"need one chunk dict per run ({self._n_runs}), "
+                f"got {len(chunks)}"
+            )
+        if not self._started:
+            for chunk in chunks:
+                missing = [pi for pi in self._pis if pi not in chunk]
+                if missing:
+                    raise SimulationError(f"missing PI traces: {missing}")
+
+    def _check_segment(self, run, pi, seg, stream_level) -> None:
+        if bool(seg.initial) != bool(stream_level):
+            raise SimulationError(
+                f"chunk for {pi!r} breaks level continuity: segment "
+                f"starts at {int(bool(seg.initial))}, stream level is "
+                f"{int(bool(stream_level))}"
+            )
+        if seg.times and seg.times[0] <= self._horizon[run]:
+            raise SimulationError(
+                f"chunk for {pi!r} starts at {seg.times[0]!r} <= stream "
+                f"horizon {self._horizon[run]!r}; transitions must "
+                "arrive in time order"
+            )
+
+    def _check_chunk_keys(self, chunk) -> None:
+        pis = set(self._pis)
+        extra = [net for net in chunk if net not in pis]
+        if extra:
+            raise SimulationError(
+                f"chunk nets must be primary inputs; got {sorted(extra)}"
+            )
+
+    # -- segment assembly ----------------------------------------------
+    def _segments(self, emitted: list[dict]) -> list[dict]:
+        """Per-run recorded segments; toggles ``self._seg_level``."""
+        results = []
+        for run in range(self._n_runs):
+            emit_run = emitted[run]
+            seg_level = self._seg_level[run]
+            seg = {}
+            for net in self._record:
+                times = emit_run.get(net, [])
+                initial = seg_level[net]
+                if len(times) % 2:
+                    seg_level[net] = not initial
+                seg[net] = DigitalTrace(initial, times)
+            results.append(seg)
+        return results
+
+
+class CompiledDigitalSession(_DigitalSessionBase):
+    """Streaming twin of :class:`CompiledDigitalCircuit.run_batch`.
+
+    Carried per-lane state between chunks: unconsumed committed input
+    events, applied pin values (``v0``/``v1``), the committed output
+    value, and the single in-flight inertial pending ``(time, value)``
+    the lock-step kernel schedules, cancels or commits.
+    """
+
+    mode = "compiled"
+
+    def __init__(
+        self,
+        circuit,
+        t_stops: list[float],
+        record_nets: list[str] | None = None,
+        state: dict | None = None,
+    ) -> None:
+        super().__init__(circuit.netlist, t_stops, record_nets)
+        self.circuit = circuit
+        if state is not None:
+            self.restore(state)
+
+    # ------------------------------------------------------------------
+    def _initialize(self, chunks) -> None:
+        circuit = self.circuit
+        self._initials = []
+        self._stream = []
+        self._seg_level = []
+        self._wm = []
+        for chunk in chunks:
+            initials = circuit._evaluate(
+                {pi: bool(chunk[pi].initial) for pi in self._pis}
+            )
+            self._initials.append({n: bool(v) for n, v in initials.items()})
+            self._stream.append(
+                {pi: bool(chunk[pi].initial) for pi in self._pis}
+            )
+            self._seg_level.append({n: bool(v) for n, v in initials.items()})
+            self._wm.append(dict.fromkeys(self.netlist.nets, -math.inf))
+        self._lanes = []
+        for level in circuit.levels:
+            n_g = len(level.names)
+            n = n_g * self._n_runs
+            st = {
+                "buf0": [[] for _ in range(n)],
+                "buf1": [[] for _ in range(n)],
+                "v0": np.zeros(n, dtype=bool),
+                "v1": np.zeros(n, dtype=bool),
+                "out": np.zeros(n, dtype=bool),
+                "pend_t": np.full(n, np.inf),
+                "pend_v": np.zeros(n, dtype=bool),
+            }
+            for run in range(self._n_runs):
+                init = self._initials[run]
+                for i in range(n_g):
+                    lane = run * n_g + i
+                    init0 = init[level.in0[i]]
+                    st["v0"][lane] = init0
+                    if level.single[i]:
+                        st["v1"][lane] = init0
+                    else:
+                        st["v1"][lane] = init[level.in1[i]]
+                    st["out"][lane] = init[level.names[i]]
+            self._lanes.append(st)
+        self._started = True
+
+    # ------------------------------------------------------------------
+    def feed(self, chunks, advance_to: float | None = None):
+        """Ingest one :class:`DigitalTrace` chunk per run; return the
+        committed segments (all four watermark rules are exact, so every
+        returned transition is final and bitwise-stable)."""
+        self._require_active()
+        chunks = list(chunks)
+        self._check_first_feed(chunks)
+        if not self._started:
+            self._initialize(chunks)
+        emitted = self._ingest(chunks, advance_to)
+        self._step(emitted, final=False)
+        return self._segments(emitted)
+
+    def finish(self):
+        """Flush all carried pendings up to ``t_stop`` and close."""
+        self._require_active()
+        if not self._started:
+            raise SimulationError("cannot finish before the first feed")
+        emitted: list[dict] = [{} for _ in range(self._n_runs)]
+        self._step(emitted, final=True)
+        self._finished = True
+        return self._segments(emitted)
+
+    # ------------------------------------------------------------------
+    def _ingest(self, chunks, advance_to) -> list[dict]:
+        emitted: list[dict] = [{} for _ in range(self._n_runs)]
+        for run, chunk in enumerate(chunks):
+            self._check_chunk_keys(chunk)
+            t_stop = self._t_stops[run]
+            new_horizon = self._horizon[run]
+            for pi in self._pis:
+                seg = chunk.get(pi)
+                if seg is None:
+                    continue
+                self._check_segment(run, pi, seg, self._stream[run][pi])
+                if seg.times:
+                    # The stream level tracks every fed transition; only
+                    # the ones inside the run's window commit (the event
+                    # loop's push guard).
+                    kept = [t for t in seg.times if t <= t_stop]
+                    if kept:
+                        emitted[run][pi] = kept
+                    self._stream[run][pi] ^= len(seg.times) % 2 == 1
+                    new_horizon = max(new_horizon, seg.times[-1])
+            if advance_to is not None:
+                new_horizon = max(new_horizon, float(advance_to))
+            self._horizon[run] = new_horizon
+            wm = self._wm[run]
+            for pi in self._pis:
+                wm[pi] = new_horizon
+        return emitted
+
+    # ------------------------------------------------------------------
+    def _step(self, emitted: list[dict], final: bool) -> None:
+        from repro.digital.compiled import lockstep_digital
+
+        for level, st in zip(self.circuit.levels, self._lanes):
+            n_g = len(level.names)
+            if n_g == 0:
+                continue
+            n_lanes = n_g * self._n_runs
+            flat_t: list[float] = []
+            flat_p: list[int] = []
+            flat_v: list[bool] = []
+            counts = np.zeros(n_lanes, dtype=int)
+            flush_to = np.empty(n_lanes)
+            delay_rows = np.empty(n_lanes, dtype=int)
+
+            for run in range(self._n_runs):
+                emit_run = emitted[run]
+                wm_run = self._wm[run]
+                t_stop = self._t_stops[run]
+                for i in range(n_g):
+                    lane = run * n_g + i
+                    delay_rows[lane] = i
+                    in0 = level.in0[i]
+                    buf0 = st["buf0"][lane]
+                    new0 = emit_run.get(in0)
+                    if new0:
+                        buf0.extend(new0)
+                    if level.single[i]:
+                        horizon = math.inf if final else wm_run[in0]
+                        k = 0
+                        val0 = not st["v0"][lane]
+                        while k < len(buf0) and buf0[k] <= horizon:
+                            flat_t.append(buf0[k])
+                            flat_p.append(0)
+                            flat_v.append(val0)
+                            val0 = not val0
+                            k += 1
+                        del buf0[:k]
+                        counts[lane] = k
+                    else:
+                        in1 = level.in1[i]
+                        buf1 = st["buf1"][lane]
+                        new1 = emit_run.get(in1)
+                        if new1:
+                            buf1.extend(new1)
+                        horizon = (
+                            math.inf
+                            if final
+                            else min(wm_run[in0], wm_run[in1])
+                        )
+                        # Stable two-pointer merge up to the horizon:
+                        # pin 0 first on a tie, values reconstructed by
+                        # toggling the applied pin values.
+                        a = b = 0
+                        m, n1 = len(buf0), len(buf1)
+                        val0 = not st["v0"][lane]
+                        val1 = not st["v1"][lane]
+                        k = 0
+                        while a < m or b < n1:
+                            if b >= n1 or (
+                                a < m and buf0[a] <= buf1[b]
+                            ):
+                                t = buf0[a]
+                                if t > horizon:
+                                    break
+                                flat_t.append(t)
+                                flat_p.append(0)
+                                flat_v.append(val0)
+                                val0 = not val0
+                                a += 1
+                            else:
+                                t = buf1[b]
+                                if t > horizon:
+                                    break
+                                flat_t.append(t)
+                                flat_p.append(1)
+                                flat_v.append(val1)
+                                val1 = not val1
+                                b += 1
+                            k += 1
+                        del buf0[:a]
+                        del buf1[:b]
+                        counts[lane] = k
+                    flush_to[lane] = min(horizon, t_stop)
+
+            max_events = int(counts.max()) if counts.size else 0
+            width = max_events + 1  # carried pending may commit too
+            T = np.full((n_lanes, max_events), np.inf)
+            P = np.zeros((n_lanes, max_events), dtype=int)
+            V = np.zeros((n_lanes, max_events), dtype=bool)
+            if max_events:
+                lane_ids = np.repeat(np.arange(n_lanes), counts)
+                offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+                within = np.arange(lane_ids.size) - offsets[lane_ids]
+                T[lane_ids, within] = flat_t
+                P[lane_ids, within] = flat_p
+                V[lane_ids, within] = flat_v
+            n_out = np.zeros(n_lanes, dtype=int)
+            out_times = np.empty((n_lanes, width))
+            # Always run: the advancing horizon can flush a carried
+            # pending even when no new input events arrived.
+            lockstep_digital(
+                T, P, V, counts, level.single[delay_rows],
+                level.delays[delay_rows], flush_to,
+                st["v0"], st["v1"], st["out"], out_times, n_out,
+                st["pend_t"], st["pend_v"],
+            )
+
+            for run in range(self._n_runs):
+                emit_run = emitted[run]
+                wm_run = self._wm[run]
+                for i in range(n_g):
+                    lane = run * n_g + i
+                    count = int(n_out[lane])
+                    if count:
+                        emit_run[level.names[i]] = out_times[
+                            lane, :count
+                        ].tolist()
+                    bound = float(flush_to[lane])
+                    if bound > wm_run[level.names[i]]:
+                        wm_run[level.names[i]] = bound
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        self._require_active()
+        if not self._started:
+            raise SimulationError(
+                "nothing to checkpoint before the first feed"
+            )
+        lanes = []
+        for st in self._lanes:
+            lanes.append(
+                {
+                    "buf0": [list(buf) for buf in st["buf0"]],
+                    "buf1": [list(buf) for buf in st["buf1"]],
+                    "v0": [bool(v) for v in st["v0"]],
+                    "v1": [bool(v) for v in st["v1"]],
+                    "out": [bool(v) for v in st["out"]],
+                    "pend_t": [float(t) for t in st["pend_t"]],
+                    "pend_v": [bool(v) for v in st["pend_v"]],
+                }
+            )
+        return {
+            "format": STATE_FORMAT,
+            "kind": self.kind,
+            "mode": self.mode,
+            "digest": self._digest,
+            "record_nets": list(self._record),
+            "t_stops": list(self._t_stops),
+            "n_runs": self._n_runs,
+            "horizon": list(self._horizon),
+            "watermark": [dict(wm) for wm in self._wm],
+            "initials": [
+                {n: bool(v) for n, v in init.items()}
+                for init in self._initials
+            ],
+            "stream": [dict(s) for s in self._stream],
+            "seg_level": [dict(s) for s in self._seg_level],
+            "lanes": lanes,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._require_active()
+        self._check_header(state, self.mode, self._digest)
+        self._record = list(state["record_nets"])
+        self._t_stops = [float(t) for t in state["t_stops"]]
+        self._n_runs = int(state["n_runs"])
+        self._horizon = [float(h) for h in state["horizon"]]
+        self._wm = [
+            {net: float(v) for net, v in wm.items()}
+            for wm in state["watermark"]
+        ]
+        self._initials = [
+            {n: bool(v) for n, v in init.items()}
+            for init in state["initials"]
+        ]
+        self._stream = [
+            {n: bool(v) for n, v in s.items()} for s in state["stream"]
+        ]
+        self._seg_level = [
+            {n: bool(v) for n, v in s.items()} for s in state["seg_level"]
+        ]
+        if len(state["lanes"]) != len(self.circuit.levels):
+            raise SimulationError("checkpoint level count mismatch")
+        self._lanes = []
+        for level, saved in zip(self.circuit.levels, state["lanes"]):
+            n = len(level.names) * self._n_runs
+            if len(saved["v0"]) != n:
+                raise SimulationError("checkpoint lane count mismatch")
+            self._lanes.append(
+                {
+                    "buf0": [
+                        [float(t) for t in buf] for buf in saved["buf0"]
+                    ],
+                    "buf1": [
+                        [float(t) for t in buf] for buf in saved["buf1"]
+                    ],
+                    "v0": np.array(saved["v0"], dtype=bool),
+                    "v1": np.array(saved["v1"], dtype=bool),
+                    "out": np.array(saved["out"], dtype=bool),
+                    "pend_t": np.array(saved["pend_t"], dtype=float),
+                    "pend_v": np.array(saved["pend_v"], dtype=bool),
+                }
+            )
+        self._started = True
+
+
+class EventDigitalSession(_DigitalSessionBase):
+    """The event-driven reference loop, paused between chunks.
+
+    Carries the run's heap, pending tokens, net values and counters;
+    each feed pushes the chunk's PI events and drains the heap up to
+    ``min(horizon, t_stop)``.  A one-shot run (single feed + finish)
+    assigns exactly the legacy sequence numbers, so the wrapper is
+    bitwise-identical to the pre-session event loop.
+    """
+
+    mode = "event"
+
+    def __init__(
+        self,
+        netlist,
+        delay_models: dict,
+        t_stops: list[float],
+        record_nets: list[str] | None = None,
+        state: dict | None = None,
+    ) -> None:
+        super().__init__(netlist, t_stops, record_nets)
+        self.delay_models = delay_models
+        self._consumers = netlist.fanout()
+        if state is not None:
+            self.restore(state)
+
+    # ------------------------------------------------------------------
+    def _initialize(self, chunks) -> None:
+        self._runs = []
+        self._stream = []
+        self._seg_level = []
+        for chunk in chunks:
+            values = self.netlist.evaluate(
+                {pi: bool(chunk[pi].initial) for pi in self._pis}
+            )
+            values = {n: bool(v) for n, v in values.items()}
+            self._runs.append(
+                {
+                    "values": dict(values),
+                    "initials": dict(values),
+                    "last_out": dict.fromkeys(
+                        self.netlist.gates, -math.inf
+                    ),
+                    "pending": {},
+                    "heap": [],
+                    "seq": 0,
+                    "token": 0,
+                    "emitted": {},
+                }
+            )
+            self._stream.append(
+                {pi: bool(chunk[pi].initial) for pi in self._pis}
+            )
+            self._seg_level.append(dict(values))
+        self._started = True
+
+    # ------------------------------------------------------------------
+    def feed(self, chunks, advance_to: float | None = None):
+        """Push the chunk's PI events, drain the heap up to the new
+        horizon, and return the committed segments."""
+        self._require_active()
+        chunks = list(chunks)
+        self._check_first_feed(chunks)
+        if not self._started:
+            self._initialize(chunks)
+        emitted: list[dict] = []
+        for run, chunk in enumerate(chunks):
+            self._check_chunk_keys(chunk)
+            state = self._runs[run]
+            t_stop = self._t_stops[run]
+            new_horizon = self._horizon[run]
+            for pi in self._pis:
+                seg = chunk.get(pi)
+                if seg is None:
+                    continue
+                self._check_segment(run, pi, seg, self._stream[run][pi])
+                value = self._stream[run][pi]
+                for time in seg.times:
+                    value = not value
+                    if time <= t_stop:
+                        heapq.heappush(
+                            state["heap"],
+                            (time, state["seq"], pi, value, -1),
+                        )
+                        state["seq"] += 1
+                self._stream[run][pi] = value
+                if seg.times:
+                    new_horizon = max(new_horizon, seg.times[-1])
+            if advance_to is not None:
+                new_horizon = max(new_horizon, float(advance_to))
+            self._horizon[run] = new_horizon
+            emitted.append(self._drain(run, min(new_horizon, t_stop)))
+        return self._segments(emitted)
+
+    def finish(self):
+        """Drain everything up to ``t_stop`` and close the session."""
+        self._require_active()
+        if not self._started:
+            raise SimulationError("cannot finish before the first feed")
+        emitted = [
+            self._drain(run, self._t_stops[run])
+            for run in range(self._n_runs)
+        ]
+        self._finished = True
+        return self._segments(emitted)
+
+    # ------------------------------------------------------------------
+    def _drain(self, run: int, bound: float) -> dict:
+        """The reference event loop, stopped once the heap trails
+        ``bound`` (every event at or before it is final: future PI
+        pushes are past the horizon and future gate schedules carry
+        positive delays from later events)."""
+        state = self._runs[run]
+        netlist = self.netlist
+        values = state["values"]
+        last_output_time = state["last_out"]
+        pending = state["pending"]
+        heap = state["heap"]
+        transitions: dict[str, list[float]] = {}
+
+        def schedule(gate_name: str, time: float, value: bool) -> None:
+            token = state["token"]
+            state["token"] += 1
+            pending[gate_name] = (time, value, token)
+            heapq.heappush(
+                heap, (time, state["seq"], gate_name, value, token)
+            )
+            state["seq"] += 1
+
+        def update_gate(gate_name: str, pin: int, now: float) -> None:
+            gate = netlist.gates[gate_name]
+            target = eval_gate(
+                gate.gtype, [values[n] for n in gate.inputs]
+            )
+            entry = pending.get(gate_name)
+            effective = entry[1] if entry is not None else values[gate_name]
+            if target == effective:
+                return
+            if target == values[gate_name]:
+                # The input change reverted before the output fired: the
+                # pending pulse is swallowed (inertial cancellation).
+                pending.pop(gate_name, None)
+                return
+            edge = "rise" if target else "fall"
+            delay = self.delay_models[gate_name].delay(
+                pin, edge, now, last_output_time[gate_name]
+            )
+            if delay <= 0.0:
+                # Full degradation (DDM-style): the transition disappears
+                # together with the previous one it would pair with.
+                pending.pop(gate_name, None)
+                return
+            schedule(gate_name, now + delay, target)
+
+        while heap and heap[0][0] <= bound:
+            time, _seq, net, value, token = heapq.heappop(heap)
+            if token >= 0:
+                entry = pending.get(net)
+                if entry is None or entry[2] != token:
+                    continue  # stale event
+                pending.pop(net)
+                last_output_time[net] = time
+            if values[net] == value:
+                continue
+            values[net] = value
+            transitions.setdefault(net, []).append(time)
+            for consumer, pin in self._consumers.get(net, ()):
+                update_gate(consumer, pin, time)
+        return transitions
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        self._require_active()
+        if not self._started:
+            raise SimulationError(
+                "nothing to checkpoint before the first feed"
+            )
+        runs = []
+        for st in self._runs:
+            runs.append(
+                {
+                    "values": {n: bool(v) for n, v in st["values"].items()},
+                    "initials": {
+                        n: bool(v) for n, v in st["initials"].items()
+                    },
+                    "last_out": dict(st["last_out"]),
+                    "pending": {
+                        g: [t, bool(v), tok]
+                        for g, (t, v, tok) in st["pending"].items()
+                    },
+                    "heap": [
+                        [t, s, n, bool(v), tok]
+                        for t, s, n, v, tok in st["heap"]
+                    ],
+                    "seq": st["seq"],
+                    "token": st["token"],
+                }
+            )
+        return {
+            "format": STATE_FORMAT,
+            "kind": self.kind,
+            "mode": self.mode,
+            "digest": self._digest,
+            "record_nets": list(self._record),
+            "t_stops": list(self._t_stops),
+            "n_runs": self._n_runs,
+            "horizon": list(self._horizon),
+            "stream": [dict(s) for s in self._stream],
+            "seg_level": [dict(s) for s in self._seg_level],
+            "runs": runs,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._require_active()
+        self._check_header(state, self.mode, self._digest)
+        self._record = list(state["record_nets"])
+        self._t_stops = [float(t) for t in state["t_stops"]]
+        self._n_runs = int(state["n_runs"])
+        self._horizon = [float(h) for h in state["horizon"]]
+        self._stream = [
+            {n: bool(v) for n, v in s.items()} for s in state["stream"]
+        ]
+        self._seg_level = [
+            {n: bool(v) for n, v in s.items()} for s in state["seg_level"]
+        ]
+        self._runs = []
+        for saved in state["runs"]:
+            # The serialized heap list is the live heap's internal
+            # order, which round-trips as a valid heap verbatim.
+            self._runs.append(
+                {
+                    "values": {
+                        n: bool(v) for n, v in saved["values"].items()
+                    },
+                    "initials": {
+                        n: bool(v) for n, v in saved["initials"].items()
+                    },
+                    "last_out": {
+                        g: float(t) for g, t in saved["last_out"].items()
+                    },
+                    "pending": {
+                        g: (float(t), bool(v), int(tok))
+                        for g, (t, v, tok) in saved["pending"].items()
+                    },
+                    "heap": [
+                        (float(t), int(s), str(n), bool(v), int(tok))
+                        for t, s, n, v, tok in saved["heap"]
+                    ],
+                    "seq": int(saved["seq"]),
+                    "token": int(saved["token"]),
+                }
+            )
+        self._started = True
+
+
+# ----------------------------------------------------------------------
+# Chunking, concatenation and the one-shot / streaming entry points.
+
+
+def split_digital_trace(
+    trace: DigitalTrace, boundaries: list[float]
+) -> list[DigitalTrace]:
+    """Split into ``len(boundaries) + 1`` contiguous segments (segment
+    ``k`` keeps transitions at or before ``boundaries[k]``)."""
+    times = trace.times
+    n = len(times)
+    level = bool(trace.initial)
+    segments = []
+    start = 0
+    for bound in boundaries:
+        k = start
+        while k < n and times[k] <= bound:
+            k += 1
+        segments.append(DigitalTrace(level, times[start:k]))
+        level ^= (k - start) % 2 == 1
+        start = k
+    segments.append(DigitalTrace(level, times[start:]))
+    return segments
+
+
+def digital_chunks(
+    pi_traces: dict[str, DigitalTrace],
+    chunk_size: int | None = None,
+    boundaries: list[float] | None = None,
+) -> list[dict[str, DigitalTrace]]:
+    """Split a full stimulus into session-sized feed chunks (exactly
+    one of ``chunk_size`` — merged transitions per chunk — or explicit
+    sorted ``boundaries``; duplicates produce zero-length chunks)."""
+    from repro.core.session import merged_boundaries
+
+    if (chunk_size is None) == (boundaries is None):
+        raise SimulationError("pass exactly one of chunk_size / boundaries")
+    if boundaries is None:
+        times = sorted(
+            t for trace in pi_traces.values() for t in trace.times
+        )
+        boundaries = merged_boundaries(times, chunk_size)
+    per_pi = {
+        pi: split_digital_trace(trace, boundaries)
+        for pi, trace in pi_traces.items()
+    }
+    return [
+        {pi: segments[k] for pi, segments in per_pi.items()}
+        for k in range(len(boundaries) + 1)
+    ]
+
+
+def concat_digital_traces(segments: list[DigitalTrace]) -> DigitalTrace:
+    """Concatenate contiguous digital trace segments into one trace."""
+    segments = list(segments)
+    if not segments:
+        raise SimulationError("nothing to concatenate")
+    level = bool(segments[0].initial)
+    expect = level
+    times: list[float] = []
+    for seg in segments:
+        if bool(seg.initial) != expect:
+            raise SimulationError("trace segments are not level-contiguous")
+        times.extend(seg.times)
+        expect = bool(seg.final_value())
+    return DigitalTrace(level, times)
+
+
+def merge_digital_batches(batches: list) -> list[dict]:
+    """Fold per-feed segment batches into one trace dict per run."""
+    if not batches:
+        raise SimulationError("nothing to merge")
+    results = []
+    for run in range(len(batches[0])):
+        nets = batches[0][run].keys()
+        results.append(
+            {
+                net: concat_digital_traces(
+                    [batch[run][net] for batch in batches]
+                )
+                for net in nets
+            }
+        )
+    return results
+
+
+def one_shot_digital_batch(
+    open_session,
+    netlist,
+    pi_traces_runs: list[dict[str, DigitalTrace]],
+    t_stops: list[float],
+) -> list[dict[str, DigitalTrace]]:
+    """One-shot ``simulate_batch`` semantics on top of a fresh session
+    (single feed of the full stimulus, then finish)."""
+    if len(pi_traces_runs) != len(t_stops):
+        raise SimulationError("need one t_stop per run")
+    pis = netlist.primary_inputs
+    for pi_traces in pi_traces_runs:
+        missing = [pi for pi in pis if pi not in pi_traces]
+        if missing:
+            raise SimulationError(f"missing PI traces: {missing}")
+    if not pi_traces_runs:
+        return []
+    session = open_session()
+    chunks = [
+        {pi: pi_traces[pi] for pi in pis} for pi_traces in pi_traces_runs
+    ]
+    batches = [session.feed(chunks), session.finish()]
+    return merge_digital_batches(batches)
+
+
+def stream_digital_batch(
+    simulator,
+    pi_traces_runs: list[dict[str, DigitalTrace]],
+    t_stops: list[float],
+    chunk_size: int,
+    record_nets: list[str] | None = None,
+) -> list[dict[str, DigitalTrace]]:
+    """Chunked-execution twin of ``simulate_batch`` (bitwise-equal).
+
+    Splits each run's stimulus into ~``chunk_size``-transition chunks,
+    feeds them through one streaming session and concatenates the
+    committed segments — the bounded-memory path behind
+    ``--chunk-size``.
+    """
+    if len(pi_traces_runs) != len(t_stops):
+        raise SimulationError("need one t_stop per run")
+    session = simulator.open_session(t_stops, record_nets=record_nets)
+    per_run = [
+        digital_chunks(pi_traces, chunk_size=chunk_size)
+        for pi_traces in pi_traces_runs
+    ]
+    n_chunks = max(len(chunks) for chunks in per_run)
+    batches = []
+    for k in range(n_chunks):
+        batches.append(
+            session.feed(
+                [
+                    chunks[k] if k < len(chunks) else {}
+                    for chunks in per_run
+                ]
+            )
+        )
+    batches.append(session.finish())
+    return merge_digital_batches(batches)

@@ -5,14 +5,17 @@ per-instance arc delays, and pending output events that a newer input
 change invalidates are cancelled (inertial semantics), which swallows
 pulses shorter than the gate delay — precisely the slope-blind behaviour
 the paper improves on.
+
+Both execution paths run on streaming sessions
+(:mod:`repro.digital.session`): the one-shot entry points feed the whole
+stimulus as a single chunk and finish, which replicates the legacy
+results bitwise, while :meth:`DigitalSimulator.open_session` exposes the
+chunked bounded-memory path directly.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-
-from repro.circuits.gates import GateType, eval_gate
+from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
 from repro.digital.delay import InstanceDelayModel
 from repro.digital.trace import DigitalTrace
@@ -28,7 +31,7 @@ class DigitalSimulator:
     :mod:`repro.digital.compiled` — bitwise-identical traces, no heap.
     The compilation is lazy and keyed on the delay-model identities, so
     swapping a gate's model (e.g. a test-only perturbation wrapper)
-    transparently recompiles or falls back to the event loop below.
+    transparently recompiles or falls back to the event loop.
     """
 
     def __init__(
@@ -55,20 +58,57 @@ class DigitalSimulator:
         The key holds the model *objects* (identity-compared), not bare
         ids — a freed model's address could be recycled by a
         replacement, which would silently revive a stale compilation.
+        It also holds the digital cache generation, so
+        :func:`repro.core.compile.clear_compile_cache` drops this lazy
+        recompile state too.
         """
         if not self.compiled:
             return None
-        key = tuple(
-            self.delay_models[name] for name in self.netlist.gates
+        from repro.digital.compiled import (
+            compile_digital,
+            digital_cache_generation,
+        )
+
+        key = (
+            digital_cache_generation(),
+            tuple(self.delay_models[name] for name in self.netlist.gates),
         )
         if key != self._compiled_key:
-            from repro.digital.compiled import compile_digital
-
             self._compiled_core = compile_digital(
                 self.netlist, self.delay_models
             )
             self._compiled_key = key
         return self._compiled_core
+
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        t_stops: "list[float]",
+        record_nets: "list[str] | None" = None,
+        state: dict | None = None,
+    ):
+        """Open a streaming session (``feed``/``state``/``finish``).
+
+        Compiled instances stream on the lock-step array core
+        (:class:`~repro.digital.session.CompiledDigitalSession`); the
+        interpreted/fallback path streams the paused event heap
+        (:class:`~repro.digital.session.EventDigitalSession`).  Chunked
+        execution is bitwise-identical to one-shot for both.
+        """
+        core = self._compiled_circuit()
+        if core is not None:
+            return core.open_session(
+                t_stops, record_nets=record_nets, state=state
+            )
+        from repro.digital.session import EventDigitalSession
+
+        return EventDigitalSession(
+            self.netlist,
+            self.delay_models,
+            t_stops,
+            record_nets=record_nets,
+            state=state,
+        )
 
     # ------------------------------------------------------------------
     def simulate_batch(
@@ -78,18 +118,19 @@ class DigitalSimulator:
     ) -> "list[dict[str, DigitalTrace]]":
         """Simulate many runs; one lock-step pass on the compiled core.
 
-        Falls back to per-run event loops when the instance is
-        interpreted or the delay models do not compile.
+        Falls back to the event-loop session when the instance is
+        interpreted or the delay models do not compile.  A thin
+        one-shot wrapper over :meth:`open_session` (feed everything,
+        finish) — bitwise-identical to the legacy in-place loops.
         """
-        if len(pi_traces_runs) != len(t_stops):
-            raise SimulationError("need one t_stop per run")
-        core = self._compiled_circuit()
-        if core is not None:
-            return core.run_batch(pi_traces_runs, t_stops)
-        return [
-            self._simulate_events(pi_traces, t_stop)
-            for pi_traces, t_stop in zip(pi_traces_runs, t_stops)
-        ]
+        from repro.digital.session import one_shot_digital_batch
+
+        return one_shot_digital_batch(
+            lambda: self.open_session(t_stops),
+            self.netlist,
+            pi_traces_runs,
+            t_stops,
+        )
 
     def simulate(
         self,
@@ -100,98 +141,7 @@ class DigitalSimulator:
 
         Returns the committed trace of every net (PIs included).
         """
-        core = self._compiled_circuit()
-        if core is not None:
-            return core.run_batch([pi_traces], [t_stop])[0]
-        return self._simulate_events(pi_traces, t_stop)
-
-    def _simulate_events(
-        self,
-        pi_traces: dict[str, DigitalTrace],
-        t_stop: float,
-    ) -> dict[str, DigitalTrace]:
-        """The event-driven reference loop (``compiled=False`` path)."""
-        netlist = self.netlist
-        missing = [pi for pi in netlist.primary_inputs if pi not in pi_traces]
-        if missing:
-            raise SimulationError(f"missing PI traces: {missing}")
-
-        # Initial values from a topological evaluation at t = -inf.
-        values = netlist.evaluate(
-            {pi: pi_traces[pi].initial for pi in netlist.primary_inputs}
-        )
-        transitions: dict[str, list[float]] = {net: [] for net in netlist.nets}
-        initials = dict(values)
-        last_output_time: dict[str, float] = {
-            g: float("-inf") for g in netlist.gates
-        }
-        pending: dict[str, tuple[float, bool, int]] = {}
-        token_counter = itertools.count()
-        seq_counter = itertools.count()
-        heap: list[tuple[float, int, str, bool, int]] = []
-
-        for pi in netlist.primary_inputs:
-            value = pi_traces[pi].initial
-            for time in pi_traces[pi].times:
-                value = not value
-                if time <= t_stop:
-                    heapq.heappush(
-                        heap, (time, next(seq_counter), pi, value, -1)
-                    )
-
-        def schedule(gate_name: str, time: float, value: bool) -> None:
-            token = next(token_counter)
-            pending[gate_name] = (time, value, token)
-            heapq.heappush(
-                heap, (time, next(seq_counter), gate_name, value, token)
-            )
-
-        def update_gate(gate_name: str, pin: int, now: float) -> None:
-            gate = netlist.gates[gate_name]
-            target = eval_gate(
-                gate.gtype, [values[n] for n in gate.inputs]
-            )
-            entry = pending.get(gate_name)
-            effective = entry[1] if entry is not None else values[gate_name]
-            if target == effective:
-                return
-            if target == values[gate_name]:
-                # The input change reverted before the output fired: the
-                # pending pulse is swallowed (inertial cancellation).
-                pending.pop(gate_name, None)
-                return
-            edge = "rise" if target else "fall"
-            delay = self.delay_models[gate_name].delay(
-                pin, edge, now, last_output_time[gate_name]
-            )
-            if delay <= 0.0:
-                # Full degradation (DDM-style): the transition disappears
-                # together with the previous one it would pair with.
-                pending.pop(gate_name, None)
-                return
-            schedule(gate_name, now + delay, target)
-
-        while heap:
-            time, _seq, net, value, token = heapq.heappop(heap)
-            if time > t_stop:
-                break
-            if token >= 0:
-                entry = pending.get(net)
-                if entry is None or entry[2] != token:
-                    continue  # stale event
-                pending.pop(net)
-                last_output_time[net] = time
-            if values[net] == value:
-                continue
-            values[net] = value
-            transitions[net].append(time)
-            for consumer, pin in self._consumers.get(net, ()):  # fanout gates
-                update_gate(consumer, pin, time)
-
-        return {
-            net: DigitalTrace(initials[net], times)
-            for net, times in transitions.items()
-        }
+        return self.simulate_batch([pi_traces], [t_stop])[0]
 
     # ------------------------------------------------------------------
     def simulate_outputs(

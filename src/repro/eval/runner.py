@@ -139,12 +139,20 @@ class ExperimentRunner:
         delay_library: DelayLibrary,
         library: CellLibrary = DEFAULT_LIBRARY,
         compiled: bool = True,
+        chunk_size: int | None = None,
     ) -> None:
         core.validate()
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.core = core
         self.bundle = bundle
         self.library = library
         self.compiled = compiled
+        #: Streamed digital/sigmoid execution: stimuli are fed through
+        #: stateful sessions in ~``chunk_size``-transition chunks
+        #: (bounded memory, parity-locked against one-shot); ``None``
+        #: keeps the single-feed wrappers.
+        self.chunk_size = chunk_size
         self.augmented = augment_with_shaping(core)
         self.analog = StagedSimulator(self.augmented, library=library)
         self.digital = DigitalSimulator(
@@ -158,6 +166,38 @@ class ExperimentRunner:
     def _t_stop_for(self, t_last: float) -> float:
         """Simulation span for this circuit (see :func:`simulation_span`)."""
         return simulation_span(t_last, self._depth)
+
+    # ------------------------------------------------------------------
+    def _digital_batch(
+        self,
+        pi_digital_runs: "list[dict[str, DigitalTrace]]",
+        t_stops: "list[float]",
+    ) -> "list[dict[str, DigitalTrace]]":
+        if self.chunk_size is None:
+            return self.digital.simulate_batch(pi_digital_runs, t_stops)
+        from repro.digital.session import stream_digital_batch
+
+        return stream_digital_batch(
+            self.digital, pi_digital_runs, t_stops, self.chunk_size
+        )
+
+    def _sigmoid_batch(
+        self,
+        pi_sigmoid_runs: "list[dict[str, SigmoidalTrace]]",
+        record_nets: "list[str]",
+    ) -> "list[dict[str, SigmoidalTrace]]":
+        if self.chunk_size is None:
+            return self.sigmoid.simulate_batch(
+                pi_sigmoid_runs, record_nets=record_nets
+            )
+        from repro.core.session import stream_sigmoid_batch
+
+        return stream_sigmoid_batch(
+            self.sigmoid,
+            pi_sigmoid_runs,
+            self.chunk_size,
+            record_nets=record_nets,
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -191,7 +231,8 @@ class ExperimentRunner:
             pi: DigitalTrace.from_waveform(wf) for pi, wf in pi_waveforms.items()
         }
         t0 = time.perf_counter()
-        po_digital = self.digital.simulate_outputs(pi_digital, t_stop)
+        digital_all = self._digital_batch([pi_digital], [t_stop])[0]
+        po_digital = {po: digital_all[po] for po in pos}
         t_sim_digital = time.perf_counter() - t0
 
         # --- sigmoid stimulus + simulation -------------------------------
@@ -207,7 +248,7 @@ class ExperimentRunner:
             }
         t_fit_inputs = time.perf_counter() - t0
         t0 = time.perf_counter()
-        po_sigmoid = self.sigmoid.simulate(pi_sigmoid, record_nets=pos)
+        po_sigmoid = self._sigmoid_batch([pi_sigmoid], pos)[0]
         t_sim_sigmoid = time.perf_counter() - t0
 
         # --- scoring -----------------------------------------------------
@@ -329,7 +370,7 @@ class ExperimentRunner:
             for waveforms in pi_waveforms
         ]
         t0 = time.perf_counter()
-        digital_all = self.digital.simulate_batch(pi_digital, t_stops)
+        digital_all = self._digital_batch(pi_digital, t_stops)
         t_sim_digital = (time.perf_counter() - t0) / n_runs
         po_digital = [
             {po: traces[po] for po in pos} for traces in digital_all
@@ -358,7 +399,7 @@ class ExperimentRunner:
             ]
         t_fit_inputs = (time.perf_counter() - t0) / n_runs
         t0 = time.perf_counter()
-        po_sigmoid = self.sigmoid.simulate_batch(pi_sigmoid, record_nets=pos)
+        po_sigmoid = self._sigmoid_batch(pi_sigmoid, pos)
         t_sim_sigmoid = (time.perf_counter() - t0) / n_runs
 
         # --- scoring -----------------------------------------------------

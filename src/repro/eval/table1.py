@@ -79,6 +79,10 @@ class Table1Config:
     on their levelized array cores (:mod:`repro.core.compile`,
     :mod:`repro.digital.compiled`); ``compiled=False`` (CLI
     ``--interpreted``) keeps the per-gate interpreted walks.
+    ``chunk_size`` (CLI ``--chunk-size``) streams the digital and
+    sigmoid runs through stateful sessions in chunks of that many
+    merged stimulus transitions — bounded memory, parity-locked against
+    the one-shot path.
     """
 
     circuits: tuple[str, ...] = ("c17", "c499_like", "c1355_like")
@@ -92,6 +96,7 @@ class Table1Config:
     n_workers: int = 1
     backend: str = "ann"
     compiled: bool = True
+    chunk_size: int | None = None
 
 
 @dataclass
@@ -171,7 +176,11 @@ def _run_circuit_cells(
     """All grid rows of one circuit (a picklable unit of dispatch)."""
     circuit, bundle, delay_library, config = job
     runner = ExperimentRunner(
-        nor_mapped(circuit), bundle, delay_library, compiled=config.compiled
+        nor_mapped(circuit),
+        bundle,
+        delay_library,
+        compiled=config.compiled,
+        chunk_size=config.chunk_size,
     )
     rows = [
         run_cell(

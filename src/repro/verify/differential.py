@@ -13,6 +13,11 @@ simulators and checks that they agree where the physics says they must:
 * ``parity`` — the batched evaluation pipeline agrees with the serial
   per-run reference path (scores to sub-femtosecond, digitized traces to
   the same tolerance), guarding the lock-step batching machinery.
+* ``streaming`` — chunked execution through the stateful sessions
+  (:mod:`repro.core.session`, :mod:`repro.digital.session`) reproduces
+  the one-shot runs at several chunk sizes (1 transition, small,
+  full-trace): bitwise for both digital cores, within 0.05 ps per
+  transition parameter for both sigmoid cores.
 
 Two reference modes share one report format: ``reference="analog"`` runs
 the full three-simulator comparison through
@@ -45,7 +50,12 @@ from repro.eval.runner import ExperimentRunner, simulation_span
 from repro.eval.stimuli import StimulusConfig, draw_pi_stimulus
 
 #: Checks the harness knows; ``DifferentialConfig.checks`` selects a subset.
-ALL_CHECKS = ("logic", "delay", "parity")
+ALL_CHECKS = ("logic", "delay", "parity", "streaming")
+
+#: Chunked-vs-one-shot sigmoid agreement bound in scaled time units:
+#: 0.05 ps (the golden-snapshot tolerance) is 5e-4 scaled units.  The
+#: digital simulators stream bitwise, so they get no tolerance at all.
+STREAM_PARAM_ATOL = 5e-4
 
 #: Delay-budget allowance for *extra* predicted transitions, in budget
 #: units.  The slope-blind digital baseline legitimately emits a few
@@ -98,6 +108,12 @@ class DifferentialConfig:
     transition_shift_per_level: float = 1.8e-12
     parity_atol: float = 1e-15
     max_runs_per_batch: int = 64
+    #: Chunk sizes (merged PI transitions per feed) the ``streaming``
+    #: check replays every stimulus at; a full-trace single chunk is
+    #: always appended, so the default covers {1, small, full}.
+    #: Size-1 chunks put a session boundary between every pair of
+    #: transitions — including mid-transition of every multi-PI overlap.
+    stream_chunk_sizes: tuple[int, ...] = (1, 7)
 
     def __post_init__(self) -> None:
         unknown = set(self.checks) - set(ALL_CHECKS)
@@ -107,6 +123,8 @@ class DifferentialConfig:
             raise SimulationError("reference must be 'analog' or 'digital'")
         if self.n_runs < 1:
             raise SimulationError("need at least one run")
+        if any(cs < 1 for cs in self.stream_chunk_sizes):
+            raise SimulationError("stream chunk sizes must be >= 1")
 
 
 @dataclass
@@ -320,6 +338,118 @@ def _check_delay(
                 )
 
 
+def _check_streaming(
+    report: DifferentialReport,
+    config: DifferentialConfig,
+    digital: DigitalSimulator,
+    sigmoid: SigmoidCircuitSimulator,
+    pi_digital_runs: "list[dict[str, DigitalTrace]]",
+    t_stops: "list[float]",
+    pos: "list[str]",
+) -> None:
+    """Chunked sessions reproduce one-shot runs at every chunk size.
+
+    Replays the stimulus through streaming sessions at each configured
+    chunk size plus a full-trace chunk.  Size-1 chunks place a session
+    boundary between every pair of merged PI transitions, so boundaries
+    land mid-transition of every overlapping input pair.  Digital
+    streams must match **bitwise**; sigmoid streams must agree within
+    :data:`STREAM_PARAM_ATOL` scaled units (0.05 ps) per transition
+    parameter.
+    """
+    from repro.core.session import stream_sigmoid_batch
+    from repro.digital.session import stream_digital_batch
+
+    pi_set = set(digital.netlist.primary_inputs)
+    sig_pos = [po for po in pos if po not in pi_set]
+    pi_sigmoid_runs = [
+        {
+            pi: SigmoidalTrace.from_digital(trace)
+            for pi, trace in pi_digital.items()
+        }
+        for pi_digital in pi_digital_runs
+    ]
+    ref_digital = digital.simulate_batch(pi_digital_runs, t_stops)
+    ref_sigmoid = sigmoid.simulate_batch(pi_sigmoid_runs, record_nets=sig_pos)
+
+    n_max = max(
+        (
+            trace.n_transitions
+            for pi_digital in pi_digital_runs
+            for trace in pi_digital.values()
+        ),
+        default=0,
+    )
+    sizes: list[int] = []
+    for cs in tuple(config.stream_chunk_sizes) + (max(n_max, 1),):
+        if cs not in sizes:
+            sizes.append(cs)
+
+    for cs in sizes:
+        got_digital = stream_digital_batch(
+            digital, pi_digital_runs, t_stops, cs, record_nets=pos
+        )
+        for run in range(len(pi_digital_runs)):
+            for po in pos:
+                ref = ref_digital[run][po]
+                got = got_digital[run][po]
+                if ref.initial != got.initial or ref.times != got.times:
+                    report.violations.append(
+                        InvariantViolation(
+                            "streaming",
+                            report.circuit,
+                            config.seed + run,
+                            po,
+                            f"chunked digital trace (chunk_size={cs}) "
+                            f"diverges from one-shot on {po}: "
+                            f"{ref.n_transitions} vs {got.n_transitions} "
+                            "transitions (bitwise contract)",
+                        )
+                    )
+        got_sigmoid = stream_sigmoid_batch(
+            sigmoid, pi_sigmoid_runs, cs, record_nets=sig_pos
+        )
+        for run in range(len(pi_sigmoid_runs)):
+            for po in sig_pos:
+                ref = ref_sigmoid[run][po]
+                got = got_sigmoid[run][po]
+                if (
+                    ref.initial_level != got.initial_level
+                    or ref.n_transitions != got.n_transitions
+                ):
+                    report.violations.append(
+                        InvariantViolation(
+                            "streaming",
+                            report.circuit,
+                            config.seed + run,
+                            po,
+                            f"chunked sigmoid trace (chunk_size={cs}) "
+                            f"changes shape on {po}: "
+                            f"{ref.n_transitions} vs {got.n_transitions} "
+                            "transitions",
+                        )
+                    )
+                    continue
+                if ref.n_transitions:
+                    drift = float(
+                        np.max(np.abs(ref.params - got.params))
+                    )
+                    if drift > STREAM_PARAM_ATOL:
+                        report.violations.append(
+                            InvariantViolation(
+                                "streaming",
+                                report.circuit,
+                                config.seed + run,
+                                po,
+                                f"chunked sigmoid trace (chunk_size={cs}) "
+                                f"drifts by {drift:.2e} scaled units on "
+                                f"{po} (bound {STREAM_PARAM_ATOL:.0e} = "
+                                "0.05 ps)",
+                                magnitude=drift - STREAM_PARAM_ATOL,
+                            )
+                        )
+
+
 def run_differential(
     netlist: Netlist,
     bundle: GateModelBundle,
@@ -416,6 +546,16 @@ def _run_analog(
         )
     if "parity" in config.checks:
         _check_parity(report, runner, config, results[0])
+    if "streaming" in config.checks:
+        _check_streaming(
+            report,
+            config,
+            runner.digital,
+            runner.sigmoid,
+            [r.po_traces["pi_digital"] for r in results],
+            [r.t_stop for r in results],
+            pos,
+        )
     return report
 
 
@@ -580,5 +720,15 @@ def _run_digital(
                     for po in pos
                 },
             }
+        )
+    if "streaming" in config.checks:
+        _check_streaming(
+            report,
+            config,
+            digital,
+            sigmoid,
+            [pi_digital for pi_digital, _ in stimuli],
+            t_stops,
+            pos,
         )
     return report

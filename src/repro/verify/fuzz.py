@@ -63,7 +63,7 @@ FUZZ_PRESETS: dict[str, FuzzScalePreset] = {
         differential=DifferentialConfig(
             stimulus=StimulusConfig(20e-12, 10e-12, 3),
             n_runs=2,
-            checks=("logic", "delay"),
+            checks=("logic", "delay", "streaming"),
         ),
         parity_every=5,
     ),
@@ -74,7 +74,7 @@ FUZZ_PRESETS: dict[str, FuzzScalePreset] = {
         differential=DifferentialConfig(
             stimulus=StimulusConfig(100e-12, 50e-12, 3),
             n_runs=3,
-            checks=("logic", "delay"),
+            checks=("logic", "delay", "streaming"),
         ),
         parity_every=4,
     ),
@@ -99,8 +99,14 @@ class FuzzConfig:
     #: the interpreted per-gate walks the compiled paths are
     #: parity-locked against.
     compiled: bool = True
+    #: Override the chunk sizes the ``streaming`` check replays at
+    #: (``--chunk-size``); ``None`` keeps the preset's default ladder
+    #: of {1, small, full-trace}.
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
         if self.scale not in FUZZ_PRESETS:
             raise SimulationError(
                 f"unknown fuzz scale {self.scale!r}; "
@@ -226,12 +232,16 @@ def _differential_config(
         and "parity" not in checks
     ):
         checks = checks + ("parity",)
+    overrides: dict = {}
+    if config.chunk_size is not None:
+        overrides["stream_chunk_sizes"] = (config.chunk_size,)
     return replace(
         preset.differential,
         checks=checks,
         reference=config.reference,
         seed=config.seed,
         compiled=config.compiled,
+        **overrides,
     )
 
 
@@ -311,12 +321,16 @@ def run_fuzz(
             _differential_config(config, index), reference=reference
         )
         if reference == "digital":
-            diff_config = replace(
-                diff_config,
-                checks=tuple(
-                    c for c in diff_config.checks if c != "parity"
-                ) + ("parity",),
-            )
+            checks = tuple(
+                c for c in diff_config.checks if c != "parity"
+            ) + ("parity",)
+            if index >= config.count:
+                # Benchmark zoo members additionally drop the chunk-size
+                # streaming sweep: replaying a thousand-gate circuit at
+                # chunk size 1 is a benchmark, not a CI check — the
+                # random corpus sweeps every session boundary already.
+                checks = tuple(c for c in checks if c != "streaming")
+            diff_config = replace(diff_config, checks=checks)
         report = run_differential(
             netlist, bundle, delay_library, diff_config,
             mutate_runner=mutate_runner if reference == "analog" else None,

@@ -1,0 +1,212 @@
+"""Compile-cache thread safety and cross-cache invalidation.
+
+The process-wide compile cache (:mod:`repro.core.compile`) is shared by
+the serving path's worker pool, so lookups, inserts, LRU eviction and
+:func:`clear_compile_cache` all run under ``_CACHE_LOCK``.  This suite
+hammers the cache from many threads while a clearer thread races it —
+every returned program must be a *valid, complete* compilation (the
+pre-lock implementation could observe a half-evicted OrderedDict or
+return a torn entry), and the cache must never overshoot its bound.
+
+It also pins the sibling-cache contract (satellite of the streaming
+refactor): ``clear_compile_cache()`` bumps the digital cache generation,
+so a :class:`~repro.digital.simulator.DigitalSimulator` drops its lazily
+compiled core instead of silently reviving a stale one.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.core.compile import (
+    COMPILE_CACHE_SIZE,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_circuit,
+    register_cache_clearer,
+)
+from repro.core.models import GateModelBundle
+from repro.digital.characterize import build_instance_delays
+from repro.digital.compiled import (
+    clear_digital_compile_cache,
+    digital_cache_generation,
+)
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.eval.stimuli import StimulusConfig
+from repro.verify.differential import _digital_stimuli, ensure_nor_mapped
+from repro.verify.fuzz import FUZZ_PRESETS
+
+from repro.circuits.random_circuit import random_corpus
+
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached tiny artifacts not built",
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    if not DLIB_PATH.exists():
+        pytest.skip("cached delay library not built")
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+def _corpus(n):
+    preset = FUZZ_PRESETS["tiny"]
+    return [
+        ensure_nor_mapped(netlist)
+        for netlist in random_corpus(n, seed=0, config=preset.circuit)
+    ]
+
+
+# ----------------------------------------------------------------------
+# thread hammering
+# ----------------------------------------------------------------------
+@needs_artifacts
+def test_cache_survives_concurrent_compile_and_clear(bundle):
+    """N compile threads race a clearing thread; no torn state."""
+    clear_compile_cache()
+    cores = _corpus(6)
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def hammer(offset: int) -> None:
+        try:
+            for i in range(40):
+                core = cores[(i + offset) % len(cores)]
+                program = compile_circuit(core, bundle)
+                # a torn entry would fail these structural invariants
+                assert program.netlist.name == core.name
+                assert len(program.levels) >= 1
+                info = compile_cache_info()
+                assert 0 <= info["size"] <= info["max_size"]
+        except BaseException as exc:  # noqa: BLE001 - collected for report
+            errors.append(exc)
+
+    def clearer() -> None:
+        try:
+            while not stop.is_set():
+                clear_compile_cache()
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(k,)) for k in range(8)
+    ]
+    chaos = threading.Thread(target=clearer)
+    chaos.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stop.set()
+    chaos.join()
+    assert not errors, errors[0]
+    info = compile_cache_info()
+    assert info["size"] <= COMPILE_CACHE_SIZE
+
+
+@needs_artifacts
+def test_concurrent_compiles_of_one_circuit_share_an_instance(bundle):
+    """A compile raced by another thread keeps the first-inserted
+    program, so every caller sees one object (identity matters: the
+    sessions key their lane state off the compiled instance)."""
+    clear_compile_cache()
+    core = _corpus(1)[0]
+    barrier = threading.Barrier(6)
+    seen: list = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        barrier.wait()
+        program = compile_circuit(core, bundle)
+        with lock:
+            seen.append(program)
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(seen) == 6
+    assert all(p is seen[0] for p in seen)
+    # and sequential callers keep hitting the same instance
+    assert compile_circuit(core, bundle) is seen[0]
+
+
+# ----------------------------------------------------------------------
+# sibling-cache invalidation (compiled digital cores)
+# ----------------------------------------------------------------------
+@needs_artifacts
+def test_clear_compile_cache_drops_digital_recompile_state(
+    delay_library,
+):
+    core = _corpus(1)[0]
+    delays = build_instance_delays(core, delay_library)
+    sim = DigitalSimulator(core, delays)
+    first = sim._compiled_circuit()
+    assert first is not None
+    assert sim._compiled_circuit() is first  # memoized
+    clear_compile_cache()
+    second = sim._compiled_circuit()
+    assert second is not first  # generation bump forced a recompile
+    assert sim._compiled_circuit() is second
+
+    # results are unaffected — only the lazy state is dropped
+    config = StimulusConfig(20e-12, 10e-12, 3)
+    pi_digital, t_stop = _digital_stimuli(core.primary_inputs, config, 0)
+    before = sim.simulate(pi_digital, t_stop)
+    clear_compile_cache()
+    after = sim.simulate(pi_digital, t_stop)
+    assert {n: t.times for n, t in before.items()} == {
+        n: t.times for n, t in after.items()
+    }
+
+
+def test_digital_generation_is_monotonic_and_thread_safe():
+    start = digital_cache_generation()
+    clear_digital_compile_cache()
+    assert digital_cache_generation() == start + 1
+
+    def bump() -> None:
+        for _ in range(50):
+            clear_digital_compile_cache()
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # no lost updates: every one of the 400 bumps landed
+    assert digital_cache_generation() == start + 1 + 400
+
+
+def test_register_cache_clearer_is_idempotent():
+    calls: list[int] = []
+
+    def clearer() -> None:
+        calls.append(1)
+
+    from repro.core import compile as compile_mod
+
+    before = list(compile_mod._CACHE_CLEARERS)
+    try:
+        register_cache_clearer(clearer)
+        register_cache_clearer(clearer)  # second registration is a no-op
+        clear_compile_cache()
+        assert len(calls) == 1
+    finally:
+        compile_mod._CACHE_CLEARERS[:] = before

@@ -1,0 +1,551 @@
+"""Streaming simulation sessions: chunked == one-shot for every core.
+
+All four execution cores run on stateful sessions
+(:mod:`repro.core.session`, :mod:`repro.digital.session`); this suite
+locks the chunked path to the one-shot path:
+
+* **digital** (compiled lock-step and event heap) — *bitwise* equal at
+  every chunk size.  Committed transitions are final by construction:
+  inertial cancellation only ever touches *pending* events, which the
+  session carries across feeds, so no guard band is needed.
+* **sigmoid** (compiled array program and interpreted walk) — identical
+  structure (initial levels, transition counts) and parameters within
+  0.05 ps, the same bound the compiled/interpreted parity suite uses.
+  The interpreted session is itself bitwise against one-shot; the
+  compiled session inherits the BLAS re-association jitter.
+* a **hypothesis** property splits the stimulus at *arbitrary*
+  boundaries — including duplicated boundaries (zero-length chunks) and
+  boundaries between every transition pair — and asserts the same.
+* **checkpoint/resume**: ``state()`` after any prefix of feeds, JSON
+  round-trip, ``restore`` into a session opened by a *fresh* simulator
+  (compile caches cleared in between), and the suffix of feeds must
+  reproduce the uninterrupted stream exactly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.core.compile import clear_compile_cache
+from repro.core.models import GateModelBundle
+from repro.core.session import (
+    concat_sigmoid_traces,
+    sigmoid_chunks,
+    split_sigmoid_trace,
+    stream_sigmoid_batch,
+)
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.characterize import build_instance_delays
+from repro.digital.delay import DelayLibrary
+from repro.digital.session import (
+    concat_digital_traces,
+    digital_chunks,
+    split_digital_trace,
+    stream_digital_batch,
+)
+from repro.digital.simulator import DigitalSimulator
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+from repro.eval.stimuli import StimulusConfig
+from repro.verify.differential import _digital_stimuli, ensure_nor_mapped
+from repro.verify.fuzz import FUZZ_PRESETS
+
+from repro.circuits.random_circuit import random_corpus
+
+#: Sigmoid chunked-vs-one-shot parameter bound: 0.05 ps in scaled units
+#: (same contract as compiled/interpreted parity and the golden layer).
+PARAM_ATOL = 5e-4
+
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached tiny artifacts not built",
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    if not DLIB_PATH.exists():
+        pytest.skip("cached delay library not built")
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+def _corpus(n=4):
+    preset = FUZZ_PRESETS["tiny"]
+    return [
+        ensure_nor_mapped(netlist)
+        for netlist in random_corpus(n, seed=0, config=preset.circuit)
+    ]
+
+
+def _digital_runs(core, seeds, config=None):
+    if config is None:
+        config = StimulusConfig(20e-12, 10e-12, 3)
+    runs, stops = [], []
+    for seed in seeds:
+        pi_digital, t_stop = _digital_stimuli(
+            core.primary_inputs, config, seed
+        )
+        runs.append(pi_digital)
+        stops.append(t_stop)
+    return runs, stops
+
+
+def _sigmoid_runs(core, seeds, config=None):
+    runs, _ = _digital_runs(core, seeds, config)
+    return [
+        {
+            pi: SigmoidalTrace.from_digital(trace)
+            for pi, trace in pi_digital.items()
+        }
+        for pi_digital in runs
+    ]
+
+
+def _merged_times_digital(pi_traces):
+    return sorted(t for trace in pi_traces.values() for t in trace.times)
+
+
+def _merged_times_sigmoid(pi_traces):
+    return sorted(
+        float(b)
+        for trace in pi_traces.values()
+        for b in trace.params[:, 1]
+    )
+
+
+def _assert_digital_equal(ref, got, context=""):
+    assert set(ref) == set(got), context
+    for net in ref:
+        assert bool(ref[net].initial) == bool(got[net].initial), (
+            f"{context}: initial level diverged on {net}"
+        )
+        assert ref[net].times == got[net].times, (
+            f"{context}: transition times diverged on {net}"
+        )
+
+
+def _assert_sigmoid_close(ref, got, context="", atol=PARAM_ATOL):
+    assert set(ref) == set(got), context
+    for net in ref:
+        ta, tb = ref[net], got[net]
+        assert ta.initial_level == tb.initial_level, f"{context}: {net}"
+        assert ta.n_transitions == tb.n_transitions, f"{context}: {net}"
+        if ta.params.size:
+            assert np.allclose(
+                ta.params, tb.params, rtol=0.0, atol=atol
+            ), f"{context}: {net}"
+
+
+def _chunk_sizes(n_events):
+    return sorted({1, 3, max(n_events, 1)})
+
+
+# ----------------------------------------------------------------------
+# digital: chunked == one-shot, bitwise, both modes
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestDigitalStreaming:
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_chunked_matches_one_shot_bitwise(
+        self, delay_library, compiled
+    ):
+        for core in _corpus(4):
+            delays = build_instance_delays(core, delay_library)
+            sim = DigitalSimulator(core, delays, compiled=compiled)
+            runs, stops = _digital_runs(core, seeds=[0, 1])
+            ref = sim.simulate_batch(runs, stops)
+            n_max = max(
+                len(_merged_times_digital(r)) for r in runs
+            )
+            for cs in _chunk_sizes(n_max):
+                got = stream_digital_batch(sim, runs, stops, cs)
+                for k, (r, g) in enumerate(zip(ref, got)):
+                    _assert_digital_equal(
+                        {n: r[n] for n in g},
+                        g,
+                        f"{core.name} mode={'compiled' if compiled else 'event'} cs={cs} run={k}",
+                    )
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_empty_feed_advances_nothing_wrong(
+        self, delay_library, compiled
+    ):
+        """Feeds with no new events (quiet chunks) are valid and the
+        stream still concatenates to the one-shot trace."""
+        core = _corpus(1)[0]
+        delays = build_instance_delays(core, delay_library)
+        sim = DigitalSimulator(core, delays, compiled=compiled)
+        runs, stops = _digital_runs(core, seeds=[3])
+        ref = sim.simulate_batch(runs, stops)[0]
+        session = sim.open_session(stops)
+        chunks = digital_chunks(runs[0], chunk_size=2)
+        batches = []
+        for chunk in chunks:
+            batches.append(session.feed([chunk])[0])
+            # an immediate empty follow-up feed must be a no-op
+            batches.append(session.feed([{}])[0])
+        batches.append(session.finish()[0])
+        for net in batches[0]:
+            got = concat_digital_traces([b[net] for b in batches])
+            assert got.times == ref[net].times, net
+            assert bool(got.initial) == bool(ref[net].initial), net
+
+
+# ----------------------------------------------------------------------
+# sigmoid: chunked == one-shot, both modes
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestSigmoidStreaming:
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_chunked_matches_one_shot(self, bundle, compiled):
+        for core in _corpus(3):
+            sim = SigmoidCircuitSimulator(
+                core, bundle, compiled=compiled
+            )
+            runs = _sigmoid_runs(core, seeds=[0, 1])
+            ref = sim.simulate_batch(runs)
+            n_max = max(len(_merged_times_sigmoid(r)) for r in runs)
+            for cs in _chunk_sizes(n_max):
+                got = stream_sigmoid_batch(sim, runs, cs)
+                for k, (r, g) in enumerate(zip(ref, got)):
+                    _assert_sigmoid_close(
+                        {n: r[n] for n in g},
+                        g,
+                        f"{core.name} compiled={compiled} cs={cs} run={k}",
+                    )
+
+    def test_interpreted_chunked_is_bitwise(self, bundle):
+        """The interpreted sigmoid session replays the exact scalar
+        walk, so chunking cannot move a single bit."""
+        core = _corpus(1)[0]
+        sim = SigmoidCircuitSimulator(core, bundle, compiled=False)
+        runs = _sigmoid_runs(core, seeds=[2])
+        ref = sim.simulate_batch(runs)
+        got = stream_sigmoid_batch(sim, runs, 1)
+        for r, g in zip(ref, got):
+            for net in g:
+                assert np.array_equal(r[net].params, g[net].params), net
+
+
+# ----------------------------------------------------------------------
+# hypothesis: arbitrary split boundaries, all four cores
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestArbitraryBoundaries:
+    """Satellite 3: split the stimulus anywhere — between transitions,
+    exactly *on* a transition, twice at the same spot (zero-length
+    chunks), before the first or after the last event — and the
+    chunked stream must equal the one-shot run."""
+
+    @staticmethod
+    def _boundaries(data, times, t_stop):
+        candidates = sorted(
+            set(times)
+            | {(a + b) / 2.0 for a, b in zip(times, times[1:])}
+            | {0.0, t_stop, t_stop * 2.0}
+        )
+        picks = data.draw(
+            st.lists(
+                st.sampled_from(candidates), min_size=0, max_size=6
+            ),
+            label="boundaries",
+        )
+        return sorted(picks)  # duplicates kept -> zero-length chunks
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_digital_any_split_is_bitwise(self, delay_library, data):
+        cores = _corpus(3)
+        core = cores[data.draw(st.integers(0, len(cores) - 1))]
+        compiled = data.draw(st.booleans(), label="compiled")
+        delays = build_instance_delays(core, delay_library)
+        sim = DigitalSimulator(core, delays, compiled=compiled)
+        runs, stops = _digital_runs(
+            core, seeds=[data.draw(st.integers(0, 7), label="seed")]
+        )
+        ref = sim.simulate_batch(runs, stops)[0]
+        times = _merged_times_digital(runs[0])
+        bounds = self._boundaries(data, times, stops[0])
+        session = sim.open_session(stops)
+        batches = [
+            session.feed([chunk])[0]
+            for chunk in digital_chunks(runs[0], boundaries=bounds)
+        ]
+        batches.append(session.finish()[0])
+        for net in batches[0]:
+            got = concat_digital_traces([b[net] for b in batches])
+            assert got.times == ref[net].times, net
+            assert bool(got.initial) == bool(ref[net].initial), net
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_sigmoid_any_split_is_close(self, bundle, data):
+        cores = _corpus(3)
+        core = cores[data.draw(st.integers(0, len(cores) - 1))]
+        compiled = data.draw(st.booleans(), label="compiled")
+        sim = SigmoidCircuitSimulator(core, bundle, compiled=compiled)
+        runs = _sigmoid_runs(
+            core, seeds=[data.draw(st.integers(0, 7), label="seed")]
+        )
+        ref = sim.simulate_batch(runs)[0]
+        times = _merged_times_sigmoid(runs[0])
+        t_stop = (times[-1] if times else 0.0) + 1.0
+        bounds = self._boundaries(data, times, t_stop)
+        session = sim.open_session()
+        batches = [
+            session.feed([chunk])[0]
+            for chunk in sigmoid_chunks(runs[0], boundaries=bounds)
+        ]
+        batches.append(session.finish()[0])
+        got = {
+            net: concat_sigmoid_traces([b[net] for b in batches])
+            for net in batches[0]
+        }
+        _assert_sigmoid_close(
+            {n: ref[n] for n in got}, got, f"{core.name}"
+        )
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestCheckpointResume:
+    """``state()`` after a feed prefix, JSON round-trip, restore into a
+    session opened by a *fresh* simulator, replay the suffix: the
+    combined stream must equal the uninterrupted one."""
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_digital_resume(self, delay_library, compiled):
+        core = _corpus(2)[1]
+        delays = build_instance_delays(core, delay_library)
+        sim = DigitalSimulator(core, delays, compiled=compiled)
+        runs, stops = _digital_runs(core, seeds=[0, 5])
+        ref = sim.simulate_batch(runs, stops)
+        per_run = [digital_chunks(r, chunk_size=2) for r in runs]
+        n_chunks = max(len(c) for c in per_run)
+        cut = n_chunks // 2
+        feed = lambda s, k: s.feed(
+            [c[k] if k < len(c) else {} for c in per_run]
+        )
+        session = sim.open_session(stops)
+        batches = [feed(session, k) for k in range(cut)]
+        blob = json.dumps(session.state())
+
+        clear_compile_cache()
+        sim2 = DigitalSimulator(core, delays, compiled=compiled)
+        resumed = sim2.open_session(stops, state=json.loads(blob))
+        batches += [feed(resumed, k) for k in range(cut, n_chunks)]
+        batches.append(resumed.finish())
+        for run in range(len(runs)):
+            for net in batches[0][run]:
+                got = concat_digital_traces(
+                    [b[run][net] for b in batches]
+                )
+                assert got.times == ref[run][net].times, net
+                assert bool(got.initial) == bool(
+                    ref[run][net].initial
+                ), net
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_sigmoid_resume(self, bundle, compiled):
+        core = _corpus(2)[1]
+        sim = SigmoidCircuitSimulator(core, bundle, compiled=compiled)
+        runs = _sigmoid_runs(core, seeds=[0, 5])
+        ref = sim.simulate_batch(runs)
+        per_run = [sigmoid_chunks(r, chunk_size=2) for r in runs]
+        n_chunks = max(len(c) for c in per_run)
+        cut = max(1, n_chunks // 2)
+        feed = lambda s, k: s.feed(
+            [c[k] if k < len(c) else {} for c in per_run]
+        )
+        session = sim.open_session()
+        batches = [feed(session, k) for k in range(cut)]
+        blob = json.dumps(session.state())
+
+        clear_compile_cache()
+        sim2 = SigmoidCircuitSimulator(core, bundle, compiled=compiled)
+        resumed = sim2.open_session(state=json.loads(blob))
+        batches += [feed(resumed, k) for k in range(cut, n_chunks)]
+        batches.append(resumed.finish())
+        for run in range(len(runs)):
+            got = {
+                net: concat_sigmoid_traces(
+                    [b[run][net] for b in batches]
+                )
+                for net in batches[0][run]
+            }
+            _assert_sigmoid_close(
+                {n: ref[run][n] for n in got},
+                got,
+                f"compiled={compiled} run={run}",
+            )
+
+    def test_checkpoint_rejects_wrong_circuit(
+        self, bundle, delay_library
+    ):
+        a, b = _corpus(2)
+        delays_a = build_instance_delays(a, delay_library)
+        delays_b = build_instance_delays(b, delay_library)
+        sim_a = DigitalSimulator(a, delays_a)
+        sim_b = DigitalSimulator(b, delays_b)
+        runs, stops = _digital_runs(a, seeds=[0])
+        session = sim_a.open_session(stops)
+        session.feed([digital_chunks(runs[0], chunk_size=2)[0]])
+        state = session.state()
+        with pytest.raises(SimulationError, match="checkpoint mismatch"):
+            sim_b.open_session(stops, state=state)
+
+    def test_state_before_first_feed_is_an_error(
+        self, delay_library
+    ):
+        core = _corpus(1)[0]
+        delays = build_instance_delays(core, delay_library)
+        session = DigitalSimulator(core, delays).open_session([1.0])
+        with pytest.raises(
+            SimulationError, match="before the first feed"
+        ):
+            session.state()
+
+
+# ----------------------------------------------------------------------
+# session protocol errors
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestSessionErrors:
+    @pytest.fixture()
+    def dig(self, delay_library):
+        core = _corpus(1)[0]
+        delays = build_instance_delays(core, delay_library)
+        sim = DigitalSimulator(core, delays)
+        runs, stops = _digital_runs(core, seeds=[0])
+        return sim, runs[0], stops[0]
+
+    def test_feed_after_finish(self, dig):
+        sim, pi_traces, t_stop = dig
+        session = sim.open_session([t_stop])
+        session.feed([pi_traces])
+        session.finish()
+        with pytest.raises(SimulationError, match="session is finished"):
+            session.feed([{}])
+
+    def test_finish_before_feed(self, dig):
+        sim, _, t_stop = dig
+        session = sim.open_session([t_stop])
+        with pytest.raises(
+            SimulationError, match="cannot finish before the first feed"
+        ):
+            session.finish()
+
+    def test_first_feed_requires_every_pi(self, dig):
+        sim, pi_traces, t_stop = dig
+        session = sim.open_session([t_stop])
+        partial = dict(pi_traces)
+        partial.pop(next(iter(partial)))
+        with pytest.raises(SimulationError, match="missing PI traces"):
+            session.feed([partial])
+
+    def test_chunk_keys_must_be_pis(self, dig):
+        sim, pi_traces, t_stop = dig
+        session = sim.open_session([t_stop])
+        bad = dict(pi_traces)
+        bad["not_a_pi"] = DigitalTrace(False, [])
+        with pytest.raises(
+            SimulationError, match="chunk nets must be primary inputs"
+        ):
+            session.feed([bad])
+
+    def test_level_continuity_enforced(self, dig):
+        sim, pi_traces, t_stop = dig
+        session = sim.open_session([t_stop])
+        session.feed([pi_traces])
+        pi = next(iter(pi_traces))
+        # a follow-up segment restating the *initial* level (instead of
+        # continuing from the stream level) is a torn stream
+        stream_level = bool(pi_traces[pi].final_value())
+        bad = DigitalTrace(not stream_level, [t_stop + 1.0])
+        with pytest.raises(
+            SimulationError, match="breaks level continuity"
+        ):
+            session.feed([{pi: bad}])
+
+    def test_time_order_enforced(self, dig):
+        sim, pi_traces, t_stop = dig
+        pi = next(iter(pi_traces))
+        if not pi_traces[pi].times:
+            pytest.skip("seed produced a quiet trace on this input")
+        session = sim.open_session([t_stop])
+        session.feed([pi_traces])
+        level = bool(pi_traces[pi].final_value())
+        stale = DigitalTrace(level, [pi_traces[pi].times[0]])
+        with pytest.raises(
+            SimulationError, match="must arrive in time order"
+        ):
+            session.feed([{pi: stale}])
+
+    def test_unknown_record_net(self, dig):
+        sim, _, t_stop = dig
+        with pytest.raises(SimulationError, match="unknown record net"):
+            sim.open_session([t_stop], record_nets=["no_such_net"])
+
+    def test_chunk_helpers_reject_ambiguous_args(self, dig):
+        _, pi_traces, _ = dig
+        with pytest.raises(SimulationError, match="exactly one of"):
+            digital_chunks(pi_traces, chunk_size=2, boundaries=[1.0])
+        with pytest.raises(SimulationError, match="exactly one of"):
+            digital_chunks(pi_traces)
+
+    def test_concat_rejects_torn_segments(self):
+        with pytest.raises(
+            SimulationError, match="not level-contiguous"
+        ):
+            concat_digital_traces(
+                [DigitalTrace(False, [1.0]), DigitalTrace(False, [2.0])]
+            )
+
+
+# ----------------------------------------------------------------------
+# split/concat helpers round-trip
+# ----------------------------------------------------------------------
+class TestSplitConcatRoundTrip:
+    def test_digital_round_trip(self):
+        trace = DigitalTrace(True, [1.0, 2.0, 2.0 + 1e-9, 5.0])
+        for bounds in ([], [0.5], [2.0], [2.0, 2.0], [9.0], [1.0, 3.0, 4.0]):
+            segments = split_digital_trace(trace, bounds)
+            assert len(segments) == len(bounds) + 1
+            back = concat_digital_traces(segments)
+            assert back.times == trace.times
+            assert bool(back.initial) == bool(trace.initial)
+
+    def test_sigmoid_round_trip(self):
+        params = np.array([[10.0, 1.0], [-12.0, 2.0], [9.0, 4.0]])
+        trace = SigmoidalTrace(0, params)
+        for bounds in ([], [1.0], [2.0, 2.0], [0.5, 3.0], [99.0]):
+            segments = split_sigmoid_trace(trace, bounds)
+            assert len(segments) == len(bounds) + 1
+            back = concat_sigmoid_traces(segments)
+            assert np.array_equal(back.params, trace.params)
+            assert back.initial_level == trace.initial_level
