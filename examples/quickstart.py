@@ -13,7 +13,10 @@ Runs in under a minute (no cached artifacts needed):
 5. (when the committed tiny artifacts are present) differentially verify
    a couple of fuzzed random circuits across all three simulators,
 6. stream a simulation through a stateful session — feed the stimulus
-   in chunks, checkpoint mid-run, resume in a fresh process.
+   in chunks, checkpoint mid-run, resume in a fresh process,
+7. stand up a :class:`repro.serve.PredictionService` — submit
+   concurrent requests from many client threads, watch them coalesce
+   into lock-step batches, and read the coalescing stats.
 
 Differential verification in day-to-day use::
 
@@ -177,6 +180,45 @@ def main() -> None:
         print(
             f"n3: {len(one_shot.times)} transitions; chunked stream with a "
             f"mid-run checkpoint ({len(blob)} bytes) matches one-shot bitwise"
+        )
+
+        print("\n== 7. prediction as a service (coalesced requests) ==")
+        import threading
+
+        from repro.core.trace import SigmoidalTrace
+        from repro.serve import PredictionService
+
+        pi_sigmoid = {
+            "in": SigmoidalTrace.from_digital(stimulus["in"])
+        }
+        # A warm worker fleet: the circuit compiles once at register
+        # time (pinned in the compile cache); concurrent submissions
+        # for the same circuit coalesce into one lock-step batch.
+        with PredictionService(
+            bundle, delay_library, n_workers=2, batch_window=0.02
+        ) as service:
+            digest = service.register(netlist)
+            futures = []
+            start = threading.Barrier(4)
+
+            def client():
+                start.wait()  # arrive together -> one coalesced batch
+                futures.append(service.submit(digest, pi_sigmoid))
+
+            clients = [threading.Thread(target=client) for _ in range(3)]
+            for thread in clients:
+                thread.start()
+            start.wait()
+            for thread in clients:
+                thread.join()
+            served = [future.result(timeout=60) for future in futures]
+            stats = service.stats()
+        n3 = served[0]["n3"]
+        print(
+            f"3 concurrent clients -> {stats['batches']} batch(es), "
+            f"{stats['coalesced']} request(s) coalesced, mean batch "
+            f"{stats['mean_batch']:.1f}; n3 predicted with "
+            f"{len(n3.params)} sigmoidal transitions"
         )
     else:
         print("tiny artifacts not built yet — run "

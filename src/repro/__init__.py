@@ -8,17 +8,68 @@ event-driven digital simulator (ModelSim role), ISCAS-85-class benchmark
 circuits, the characterization/training pipeline, and the evaluation
 harness.
 
-Entry points
-------------
-* :func:`repro.characterization.artifacts.default_bundle` — trained
-  transfer-function models (cached under ``artifacts/``).
-* :class:`repro.core.simulator.SigmoidCircuitSimulator` — the paper's
-  prototype simulator.
-* :class:`repro.eval.runner.ExperimentRunner` — one circuit × stimulus ×
-  {analog, digital, sigmoid} experiment.
-* :func:`repro.eval.table1.run_table1` — the Table I harness.
+Public API (the facade)
+-----------------------
+The names in ``__all__`` are the supported surface, importable directly
+from ``repro`` and resolved lazily on first use:
+
+* :func:`~repro.api.load_bundle` — trained transfer-model bundle (from a
+  file, or the cached artifact for a scale/backend).
+* :func:`~repro.core.compile.compile_circuit` /
+  :func:`~repro.core.compile.clear_compile_cache` — the levelized
+  compiled-circuit cache.
+* :func:`~repro.api.simulate` / :func:`~repro.api.simulate_batch` /
+  :func:`~repro.api.open_session` — one-shot, lock-step batched, and
+  streaming sigmoid prediction.
+* :class:`~repro.serve.PredictionService` — the serving layer: a warm
+  worker fleet with request coalescing, backpressure, and streams.
+* :class:`~repro.options.ExecutionOptions` — the shared
+  compiled/backend/chunk_size execution knobs.
+* :class:`~repro.eval.table1.Table1Config` /
+  :func:`~repro.eval.table1.run_table1` — the paper's Table I harness.
+* :class:`~repro.verify.fuzz.FuzzConfig` /
+  :func:`~repro.verify.fuzz.run_fuzz` — the differential fuzz harness.
+
+The deep module paths (``repro.core.simulator``,
+``repro.eval.table1``, ...) remain importable unchanged.
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for results.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
+
+#: name -> defining module; the facade resolves these lazily (PEP 562)
+#: so ``import repro`` stays cheap and free of import cycles.
+_EXPORTS = {
+    "load_bundle": "repro.api",
+    "simulate": "repro.api",
+    "simulate_batch": "repro.api",
+    "open_session": "repro.api",
+    "compile_circuit": "repro.core.compile",
+    "clear_compile_cache": "repro.core.compile",
+    "GateModelBundle": "repro.core.models",
+    "ExecutionOptions": "repro.options",
+    "PredictionService": "repro.serve",
+    "ServiceStream": "repro.serve",
+    "Table1Config": "repro.eval.table1",
+    "run_table1": "repro.eval.table1",
+    "FuzzConfig": "repro.verify.fuzz",
+    "run_fuzz": "repro.verify.fuzz",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,118 @@
+"""The package facade: one flat namespace over the layered internals.
+
+Everything a consumer of the reproduction needs — load a trained
+bundle, compile a circuit, predict traces (one-shot, batched, or
+streaming), stand up a :class:`~repro.serve.PredictionService`, run the
+paper's Table I or the fuzz harness — is importable from ``repro``
+directly::
+
+    import repro
+
+    bundle = repro.load_bundle(scale="tiny")
+    traces = repro.simulate(netlist, pi_traces, bundle)
+
+The deep module paths (``repro.core.simulator``, ``repro.eval.table1``,
+...) remain the implementation and keep working unchanged; this module
+only re-exports and wraps them.  The prediction helpers (``simulate`` /
+``simulate_batch`` / ``open_session``) drive the paper's *sigmoid*
+predictor — the event-driven digital baseline and the analog reference
+stay on their own classes (:class:`repro.digital.simulator.DigitalSimulator`,
+:mod:`repro.analog`), which the comparison harnesses wrap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.characterization.artifacts import default_bundle
+from repro.core.compile import (
+    clear_compile_cache,
+    compile_circuit,
+)
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.options import ExecutionOptions, normalize_execution
+
+
+def load_bundle(
+    path: str | Path | None = None,
+    *,
+    scale: str = "fast",
+    backend: str = "ann",
+) -> GateModelBundle:
+    """Load a trained transfer-model bundle.
+
+    With ``path``, load that serialized bundle file verbatim.  Without
+    one, resolve the cached artifact for ``scale``/``backend`` (same
+    cache the test suites use), characterizing and training it first if
+    it has never been built on this machine.
+    """
+    if path is not None:
+        return GateModelBundle.load(Path(path))
+    return default_bundle(scale=scale, backend=backend)
+
+
+def _simulator(netlist, bundle, execution) -> SigmoidCircuitSimulator:
+    execution = normalize_execution(execution)
+    return SigmoidCircuitSimulator(
+        netlist, bundle, compiled=execution.compiled
+    )
+
+
+def simulate(
+    netlist,
+    pi_traces,
+    bundle: GateModelBundle,
+    *,
+    record_nets: list[str] | None = None,
+    execution: ExecutionOptions | None = None,
+) -> dict:
+    """Predict sigmoid traces for one stimulus run (default: the POs)."""
+    return _simulator(netlist, bundle, execution).simulate(
+        pi_traces, record_nets
+    )
+
+
+def simulate_batch(
+    netlist,
+    pi_traces_runs,
+    bundle: GateModelBundle,
+    *,
+    record_nets: list[str] | None = None,
+    execution: ExecutionOptions | None = None,
+) -> list[dict]:
+    """Predict sigmoid traces for a batch of runs in one lock-step pass."""
+    return _simulator(netlist, bundle, execution).simulate_batch(
+        pi_traces_runs, record_nets
+    )
+
+
+def open_session(
+    netlist,
+    bundle: GateModelBundle,
+    *,
+    record_nets: list[str] | None = None,
+    guard: float | None = None,
+    state: dict | None = None,
+    execution: ExecutionOptions | None = None,
+):
+    """Open a streaming sigmoid session (chunked feeds, checkpointable).
+
+    Returns a :class:`~repro.core.session.SigmoidSession`; pass
+    ``state`` (from a previous session's ``state()``) to resume it.
+    """
+    return _simulator(netlist, bundle, execution).open_session(
+        record_nets, guard=guard, state=state
+    )
+
+
+__all__ = [
+    "ExecutionOptions",
+    "GateModelBundle",
+    "clear_compile_cache",
+    "compile_circuit",
+    "load_bundle",
+    "open_session",
+    "simulate",
+    "simulate_batch",
+]

@@ -30,6 +30,15 @@
     compare/record golden snapshots under ``artifacts/golden/``.
     Exits non-zero when any invariant is violated.
 
+``python -m repro.cli serve-bench [--clients 16] [--requests 6]
+[--scale fast] [--window 0.005] [--max-batch 32]``
+    Load-test the :class:`repro.serve.PredictionService`: a fleet of
+    closed-loop clients drives the same request schedule against a
+    naive (``max_batch=1``) and a coalescing service, every coalesced
+    response is parity-checked against a serial reference, and the
+    p50/p99 latencies, circuits-per-second and their ratio are appended
+    to ``BENCH_serve.json``.
+
 ``python -m repro.cli info``
     Show circuit statistics for the shipped benchmarks.
 """
@@ -150,6 +159,49 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.update_golden:
         print(f"golden snapshots updated under {artifacts_dir() / 'golden'}")
     return 0 if result.ok else 1
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import append_bench_record, run_serve_bench
+
+    bundle = default_bundle(
+        scale=args.scale, backend=args.backend, verbose=True
+    )
+    delay_library = (
+        default_delay_library(scale=args.scale)
+        if args.kind == "digital"
+        else None
+    )
+    record = run_serve_bench(
+        bundle,
+        delay_library,
+        circuits=tuple(args.circuits),
+        kind=args.kind,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        n_workers=args.workers,
+        batch_window=args.window,
+        max_batch=args.max_batch,
+    )
+    path = Path(args.output)
+    append_bench_record(path, record)
+    naive, coalesced = record["naive"], record["coalesced"]
+    print(
+        f"[serve] {record['n_clients']} clients x "
+        f"{record['requests_per_client']} requests ({record['kind']}): "
+        f"naive {naive['circuits_per_s']:.1f} circuits/s "
+        f"(p50 {naive['p50_ms']:.0f} ms, p99 {naive['p99_ms']:.0f} ms) "
+        f"-> coalesced {coalesced['circuits_per_s']:.1f} circuits/s "
+        f"(p50 {coalesced['p50_ms']:.0f} ms, p99 {coalesced['p99_ms']:.0f} "
+        f"ms, mean batch {coalesced['mean_batch']:.2f})"
+    )
+    print(
+        f"[serve] throughput ratio {record['throughput_ratio']:.2f}x, "
+        f"{record['parity_checked']} responses parity-checked "
+        f"(recorded in {path.name})"
+    )
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -278,6 +330,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the JSON fuzz report to this path")
     p_fuzz.add_argument("--quiet", action="store_true")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="load-test the prediction service (coalesced vs naive)",
+    )
+    p_serve.add_argument("--clients", type=_positive_int, default=16,
+                         help="closed-loop client threads")
+    p_serve.add_argument("--requests", type=_positive_int, default=6,
+                         help="requests per client")
+    p_serve.add_argument("--circuits", nargs="+",
+                         default=["c17", "c499_like"],
+                         choices=list(CIRCUIT_BUILDERS))
+    p_serve.add_argument("--kind", default="sigmoid",
+                         choices=("sigmoid", "digital"))
+    p_serve.add_argument("--scale", default="fast", choices=SCALES)
+    p_serve.add_argument("--backend", default="ann", choices=backends)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--workers", type=_positive_int, default=4,
+                         help="service worker threads")
+    p_serve.add_argument("--window", type=float, default=0.005,
+                         help="coalescing batch window in seconds")
+    p_serve.add_argument("--max-batch", type=_positive_int, default=32,
+                         help="largest coalesced group")
+    p_serve.add_argument("--output", default="BENCH_serve.json",
+                         help="JSON ledger the record is appended to")
+    p_serve.set_defaults(func=cmd_serve_bench)
 
     p_info = sub.add_parser("info", help="benchmark circuit statistics")
     p_info.set_defaults(func=cmd_info)

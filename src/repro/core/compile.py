@@ -65,6 +65,16 @@ COMPILE_CACHE_SIZE = 64
 MERGE_TIE_EPS = 1e-7
 
 _CACHE: "OrderedDict[tuple, CompiledCircuit]" = OrderedDict()
+#: Pin refcounts per cache key.  Pinned entries (the serving layer's
+#: warm fleet) are skipped by LRU eviction, so a burst of one-off
+#: compiles cannot evict a circuit a service promises to keep warm.
+#: ``clear_compile_cache`` drops pins too — it is the reset-the-world
+#: test hook, and pin holders keep their own strong references anyway.
+_PINNED: dict[tuple, int] = {}
+#: Lookup statistics (under ``_CACHE_LOCK``), exposed by
+#: :func:`compile_cache_info` for the serving layer's stats endpoint.
+_HITS = 0
+_MISSES = 0
 #: Guards the LRU against concurrent compile/evict/clear (the worker
 #: pool of the serving path shares one process-wide cache).  Reentrant:
 #: a cache clearer may consult cache info while the clearing lock is
@@ -110,8 +120,12 @@ def clear_compile_cache() -> None:
     they register a clearer here at import, so tests cannot leak a
     compiled core across cases by only clearing this cache.
     """
+    global _HITS, _MISSES
     with _CACHE_LOCK:
         _CACHE.clear()
+        _PINNED.clear()
+        _HITS = 0
+        _MISSES = 0
     for clearer in list(_CACHE_CLEARERS):
         clearer()
 
@@ -119,32 +133,92 @@ def clear_compile_cache() -> None:
 def compile_cache_info() -> dict:
     """Cache occupancy snapshot (exposed for tests and diagnostics)."""
     with _CACHE_LOCK:
-        return {"size": len(_CACHE), "max_size": COMPILE_CACHE_SIZE}
+        return {
+            "size": len(_CACHE),
+            "max_size": COMPILE_CACHE_SIZE,
+            "pinned": len(_PINNED),
+            "hits": _HITS,
+            "misses": _MISSES,
+        }
 
 
-def compile_circuit(netlist: Netlist, bundle: GateModelBundle) -> "CompiledCircuit":
+def _cache_key(netlist: Netlist, bundle: GateModelBundle) -> tuple:
+    return (netlist_digest(netlist), id(bundle), bundle.backend)
+
+
+def _evict_over_bound() -> None:
+    """LRU-evict unpinned entries until the bound holds (lock held).
+
+    Pinned keys are skipped, so the cache may transiently exceed the
+    bound by the number of pins — the serving layer's warm fleet is an
+    explicit capacity decision, not an accident of traffic order.
+    """
+    if len(_CACHE) <= COMPILE_CACHE_SIZE:
+        return
+    for key in list(_CACHE):
+        if len(_CACHE) <= COMPILE_CACHE_SIZE:
+            break
+        if key in _PINNED:
+            continue
+        del _CACHE[key]
+
+
+def compile_circuit(
+    netlist: Netlist, bundle: GateModelBundle, pin: bool = False
+) -> "CompiledCircuit":
     """Lower ``netlist`` + ``bundle`` into a cached array program.
 
     Thread-safe: lookups and inserts hold the cache lock, compilation
     itself runs outside it, and a compile raced by another thread keeps
     the first-inserted instance (so repeated calls return one object).
+    ``pin=True`` additionally marks the entry as warm-fleet resident:
+    LRU eviction skips it until a matching :func:`unpin_circuit` (pins
+    are refcounted; ``clear_compile_cache`` drops them all).
     """
-    key = (netlist_digest(netlist), id(bundle), bundle.backend)
+    global _HITS, _MISSES
+    key = _cache_key(netlist, bundle)
     with _CACHE_LOCK:
         cached = _CACHE.get(key)
         if cached is not None:
             _CACHE.move_to_end(key)
+            _HITS += 1
+            if pin:
+                _PINNED[key] = _PINNED.get(key, 0) + 1
             return cached
     compiled = CompiledCircuit(netlist, bundle)
     with _CACHE_LOCK:
         cached = _CACHE.get(key)
         if cached is not None:
             _CACHE.move_to_end(key)
+            _HITS += 1
+            if pin:
+                _PINNED[key] = _PINNED.get(key, 0) + 1
             return cached
+        _MISSES += 1
         _CACHE[key] = compiled
-        while len(_CACHE) > COMPILE_CACHE_SIZE:
-            _CACHE.popitem(last=False)
+        if pin:
+            _PINNED[key] = _PINNED.get(key, 0) + 1
+        _evict_over_bound()
     return compiled
+
+
+def unpin_circuit(netlist: Netlist, bundle: GateModelBundle) -> None:
+    """Release one pin on a compilation (idempotent past zero).
+
+    The entry stays cached (now eviction-eligible); an entry already
+    cleared — e.g. by a racing :func:`clear_compile_cache` — is a
+    no-op, so service shutdown never has to order against cache resets.
+    """
+    key = _cache_key(netlist, bundle)
+    with _CACHE_LOCK:
+        count = _PINNED.get(key)
+        if count is None:
+            return
+        if count <= 1:
+            del _PINNED[key]
+        else:
+            _PINNED[key] = count - 1
+        _evict_over_bound()
 
 
 class _LevelProgram:

@@ -115,17 +115,27 @@ class SimulationSession:
             raise SimulationError("session is finished")
 
     def _check_header(self, state: dict, mode: str, digest: str) -> None:
-        for field, expect in (
-            ("format", STATE_FORMAT),
-            ("kind", self.kind),
-            ("mode", mode),
-            ("digest", digest),
-        ):
-            if state.get(field) != expect:
-                raise SimulationError(
-                    f"checkpoint mismatch: {field} is "
-                    f"{state.get(field)!r}, session expects {expect!r}"
-                )
+        """Validate a checkpoint header against this session.
+
+        Every mismatched field is reported in ONE error: a checkpoint
+        from a different circuit fed to the wrong session *kind* used
+        to name only the first differing field, hiding that both the
+        netlist digest and the session kind were wrong.
+        """
+        mismatches = [
+            f"{field} is {state.get(field)!r}, session expects {expect!r}"
+            for field, expect in (
+                ("format", STATE_FORMAT),
+                ("kind", self.kind),
+                ("mode", mode),
+                ("digest", digest),
+            )
+            if state.get(field) != expect
+        ]
+        if mismatches:
+            raise SimulationError(
+                "checkpoint mismatch: " + "; ".join(mismatches)
+            )
 
 
 class _SigmoidLevel:

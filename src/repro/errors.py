@@ -41,3 +41,19 @@ class ModelError(ReproError):
 
 class RegionError(ReproError):
     """A valid-region construction received degenerate input."""
+
+
+class ServiceError(ReproError):
+    """A prediction-service request could not be served."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service's bounded request queue is full (backpressure)."""
+
+
+class ServiceTimeout(ServiceError):
+    """A request's deadline expired before a worker executed it."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining or closed and accepts no new work."""

@@ -130,6 +130,15 @@ class ExperimentRunner:
     ``compiled`` selects the levelized array cores for the digital and
     sigmoid simulators (the default); ``compiled=False`` keeps the
     interpreted per-gate walks as the equivalence-testing reference.
+
+    ``service`` targets a running
+    :class:`~repro.serve.PredictionService`: the sigmoid predictions of
+    every run are submitted as service requests (one per run, gathered
+    as futures — the service coalesces them back into one lock-step
+    batch) instead of executing on the runner's local simulator.  The
+    digital baseline and the analog reference always run locally: they
+    are the comparison references the served predictions are scored
+    against.  The service's bundle is authoritative in that mode.
     """
 
     def __init__(
@@ -140,6 +149,7 @@ class ExperimentRunner:
         library: CellLibrary = DEFAULT_LIBRARY,
         compiled: bool = True,
         chunk_size: int | None = None,
+        service=None,
     ) -> None:
         core.validate()
         if chunk_size is not None and chunk_size < 1:
@@ -148,6 +158,7 @@ class ExperimentRunner:
         self.bundle = bundle
         self.library = library
         self.compiled = compiled
+        self.service = service
         #: Streamed digital/sigmoid execution: stimuli are fed through
         #: stateful sessions in ~``chunk_size``-transition chunks
         #: (bounded memory, parity-locked against one-shot); ``None``
@@ -186,6 +197,25 @@ class ExperimentRunner:
         pi_sigmoid_runs: "list[dict[str, SigmoidalTrace]]",
         record_nets: "list[str]",
     ) -> "list[dict[str, SigmoidalTrace]]":
+        if self.service is not None:
+            from repro.options import ExecutionOptions
+
+            execution = ExecutionOptions(
+                compiled=self.compiled,
+                backend=self.service.bundle.backend,
+                chunk_size=self.chunk_size,
+            )
+            futures = [
+                self.service.submit(
+                    self.core,
+                    runs,
+                    kind="sigmoid",
+                    record_nets=record_nets,
+                    execution=execution,
+                )
+                for runs in pi_sigmoid_runs
+            ]
+            return [future.result() for future in futures]
         if self.chunk_size is None:
             return self.sigmoid.simulate_batch(
                 pi_sigmoid_runs, record_nets=record_nets

@@ -24,7 +24,7 @@ sub-femtosecond precision either way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 
 import numpy as np
 
@@ -44,6 +44,12 @@ from repro.errors import ModelError
 from repro.eval.report import format_table
 from repro.eval.runner import ExperimentRunner
 from repro.eval.stimuli import PAPER_CONFIGS, StimulusConfig
+from repro.options import (
+    _UNSET,
+    ExecutionOptions,
+    execution_aliases,
+    normalize_execution,
+)
 
 CIRCUIT_BUILDERS = {
     "c17": c17,
@@ -58,6 +64,7 @@ CIRCUIT_BUILDERS = {
 DEFAULT_MAX_RUNS_PER_BATCH = 64
 
 
+@execution_aliases("compiled", "backend", "chunk_size")
 @dataclass
 class Table1Config:
     """Harness configuration (defaults are CI-scale).
@@ -83,6 +90,12 @@ class Table1Config:
     sigmoid runs through stateful sessions in chunks of that many
     merged stimulus transitions — bounded memory, parity-locked against
     the one-shot path.
+
+    The three execution knobs live on one shared
+    :class:`~repro.options.ExecutionOptions` (``config.execution``);
+    ``backend`` / ``compiled`` / ``chunk_size`` remain accepted as
+    constructor kwargs and readable/writable attributes — they alias
+    onto ``execution``.
     """
 
     circuits: tuple[str, ...] = ("c17", "c499_like", "c1355_like")
@@ -94,9 +107,18 @@ class Table1Config:
     batched: bool = True
     max_runs_per_batch: int = DEFAULT_MAX_RUNS_PER_BATCH
     n_workers: int = 1
-    backend: str = "ann"
-    compiled: bool = True
-    chunk_size: int | None = None
+    execution: ExecutionOptions | None = None
+    backend: InitVar = _UNSET
+    compiled: InitVar = _UNSET
+    chunk_size: InitVar = _UNSET
+
+    def __post_init__(self, backend, compiled, chunk_size) -> None:
+        self.execution = normalize_execution(
+            self.execution,
+            compiled=compiled,
+            backend=backend,
+            chunk_size=chunk_size,
+        )
 
 
 @dataclass

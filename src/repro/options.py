@@ -1,0 +1,114 @@
+"""Shared execution knobs: one :class:`ExecutionOptions` for every layer.
+
+``compiled`` / ``backend`` / ``chunk_size`` grew independently on
+:class:`~repro.eval.table1.Table1Config`,
+:class:`~repro.verify.differential.DifferentialConfig` and
+:class:`~repro.verify.fuzz.FuzzConfig` — three copies of the same three
+knobs, which the serving layer would have had to duplicate a fourth
+time for its request schema.  This module extracts them into one
+dataclass; the configs now *hold* an :class:`ExecutionOptions` and
+alias the historical attribute names onto it via properties
+(:func:`execution_aliases`), so every existing construction
+(``Table1Config(compiled=False)``) and attribute read
+(``config.backend``) keeps working with no deprecation shims — and
+:class:`repro.serve.PredictionService` requests reuse the dataclass
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
+#: (``chunk_size=None`` is a meaningful value: one-shot execution).
+_UNSET = object()
+
+
+@dataclass
+class ExecutionOptions:
+    """How the digital/sigmoid simulators execute a workload.
+
+    ``compiled`` selects the levelized array cores
+    (:mod:`repro.core.compile` / :mod:`repro.digital.compiled`) over
+    the per-gate interpreted walks; ``backend`` names the
+    transfer-model backend the sigmoid bundle must have been trained
+    with; ``chunk_size`` streams runs through stateful sessions in
+    chunks of that many merged stimulus transitions (``None`` =
+    one-shot).  The evaluation configs and the serving request schema
+    share this one definition.
+    """
+
+    compiled: bool = True
+    backend: str = "ann"
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
+
+    def merged(self, compiled=_UNSET, backend=_UNSET, chunk_size=_UNSET):
+        """A copy with the explicitly passed knobs overriding this one."""
+        overrides = {}
+        if compiled is not _UNSET:
+            overrides["compiled"] = bool(compiled)
+        if backend is not _UNSET:
+            overrides["backend"] = str(backend)
+        if chunk_size is not _UNSET:
+            overrides["chunk_size"] = chunk_size
+        return replace(self, **overrides) if overrides else replace(self)
+
+
+def normalize_execution(execution, compiled=_UNSET, backend=_UNSET,
+                        chunk_size=_UNSET) -> ExecutionOptions:
+    """Merge an optional ``execution`` base with legacy scalar kwargs.
+
+    The scalar kwargs win when both are given (``dataclasses.replace``
+    on a config re-passes the *current* property values alongside
+    ``execution``, and those must round-trip).  Always returns a fresh
+    instance, so configs never alias a caller-owned options object.
+    """
+    base = execution if execution is not None else ExecutionOptions()
+    if not isinstance(base, ExecutionOptions):
+        raise SimulationError(
+            f"execution must be an ExecutionOptions, got {type(base).__name__}"
+        )
+    return base.merged(compiled=compiled, backend=backend,
+                       chunk_size=chunk_size)
+
+
+def _alias(name: str, readonly: bool) -> property:
+    def _get(self):
+        return getattr(self.execution, name)
+
+    def _set(self, value):
+        setattr(self.execution, name, value)
+
+    _get.__name__ = name
+    return property(
+        _get,
+        None if readonly else _set,
+        doc=f"Alias of ``execution.{name}`` (see ExecutionOptions).",
+    )
+
+
+def execution_aliases(*names: str, readonly: bool = False):
+    """Class decorator attaching read/write aliases onto ``execution``.
+
+    Applied *above* ``@dataclass`` (so it runs after field processing):
+    the class declares ``compiled``/``backend``/``chunk_size`` as
+    ``InitVar``s with :data:`_UNSET` defaults and folds them into its
+    ``execution`` field in ``__post_init__`` (via
+    :func:`normalize_execution`); this decorator then replaces the
+    leftover ``_UNSET`` class attributes with live properties, so
+    instance reads and writes go through the shared options object.
+    ``readonly=True`` omits the setters — for frozen configs, whose
+    aliases must not mutate the options object they froze around.
+    """
+    def wrap(cls):
+        for name in names:
+            setattr(cls, name, _alias(name, readonly))
+        return cls
+
+    return wrap

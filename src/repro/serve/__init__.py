@@ -1,0 +1,34 @@
+"""Prediction-as-a-service: a worker fleet over the compiled cores.
+
+:class:`PredictionService` turns the "fast library" into a serving
+layer: a thread worker pool holds *warm* compiled circuits keyed by the
+netlist digest, concurrent ``simulate`` requests for the same circuit
+coalesce into one lock-step ``simulate_batch`` (batched == serial is
+the compiled cores' parity contract), a bounded queue applies
+backpressure (:class:`~repro.errors.ServiceOverloaded`), and long-lived
+connections stream through the checkpointable sessions of
+:mod:`repro.core.session` via :meth:`PredictionService.open_stream`.
+
+``python -m repro.cli serve-bench`` measures the layer under a
+synthetic many-client load and records p50/p99 latency and
+circuits-per-second into ``BENCH_serve.json``.
+"""
+
+from repro.errors import (
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.options import ExecutionOptions
+from repro.serve.service import PredictionService, ServiceStream
+
+__all__ = [
+    "ExecutionOptions",
+    "PredictionService",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceStream",
+    "ServiceTimeout",
+]

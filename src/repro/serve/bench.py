@@ -1,0 +1,323 @@
+"""Synthetic many-client load bench for :class:`PredictionService`.
+
+Drives the service with a fleet of closed-loop clients (each submits a
+request, waits for the result, submits the next) over a small circuit
+mix, twice: once with coalescing disabled (``max_batch=1`` — every
+request dispatches as its own single-run batch, the naive baseline) and
+once with the coalescer on.  Per-request latency (p50/p99) and
+circuits-per-second throughput for both modes, plus their ratio, go
+into one ledger record for ``BENCH_serve.json``.
+
+Every coalesced response is parity-checked against a *serial*
+per-request ``simulate`` reference — digital results must be bitwise
+equal, sigmoid parameters within the package-wide 0.05 ps bound — so
+the speedup column can never be bought with wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.characterize import build_instance_delays
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.digital.trace import DigitalTrace
+from repro.errors import ServiceError
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+from repro.eval.table1 import nor_mapped
+from repro.options import ExecutionOptions
+from repro.serve.service import PredictionService
+
+#: Sigmoid parity bound vs the serial reference: 0.05 ps in scaled
+#: units — the same contract the compiled/interpreted and streaming
+#: parity suites use.
+PARAM_ATOL = 5e-4
+
+#: Default synthetic load shape (CI-scale; the CLI can raise it).
+DEFAULT_CIRCUITS = ("c17", "c499_like")
+DEFAULT_STIMULUS = StimulusConfig(20e-12, 10e-12, 6)
+
+
+def _client_stimuli(cores, stimulus, n_stimuli, seed):
+    """Distinct per-(circuit, slot) stimuli: digital + sigmoid forms."""
+    jobs = []
+    for ci, core in enumerate(cores):
+        per_core = []
+        for si in range(n_stimuli):
+            sources, t_stop = random_pi_sources(
+                core.primary_inputs, stimulus, seed + 1000 * ci + si
+            )
+            pi_digital = {
+                pi: DigitalTrace(
+                    bool(src.initial_levels[0]),
+                    src.run_transitions[0].tolist(),
+                )
+                for pi, src in sources.items()
+            }
+            pi_sigmoid = {
+                pi: SigmoidalTrace.from_digital(trace)
+                for pi, trace in pi_digital.items()
+            }
+            per_core.append((pi_digital, pi_sigmoid, t_stop))
+        jobs.append(per_core)
+    return jobs
+
+
+def _serial_reference(cores, jobs, bundle, delay_library, kind, execution):
+    """Per-request serial ``simulate`` results, the parity oracle."""
+    refs = {}
+    for ci, core in enumerate(cores):
+        if kind == "sigmoid":
+            sim = SigmoidCircuitSimulator(
+                core, bundle, compiled=execution.compiled
+            )
+            for si, (_, pi_sigmoid, _) in enumerate(jobs[ci]):
+                refs[(ci, si)] = sim.simulate(pi_sigmoid)
+        else:
+            sim = DigitalSimulator(
+                core,
+                build_instance_delays(core, delay_library),
+                compiled=execution.compiled,
+            )
+            for si, (pi_digital, _, t_stop) in enumerate(jobs[ci]):
+                refs[(ci, si)] = sim.simulate(pi_digital, t_stop)
+    return refs
+
+
+def assert_result_parity(kind, got, ref, context=""):
+    """Digital bitwise / sigmoid <= 0.05 ps against the reference."""
+    if set(got) != set(ref):
+        raise AssertionError(
+            f"{context}: net sets diverged: {sorted(got)} vs {sorted(ref)}"
+        )
+    for net in ref:
+        if kind == "digital":
+            if bool(got[net].initial) != bool(ref[net].initial) or (
+                got[net].times != ref[net].times
+            ):
+                raise AssertionError(
+                    f"{context}: digital trace diverged on {net}"
+                )
+        else:
+            g, r = got[net], ref[net]
+            if int(g.initial_level) != int(r.initial_level):
+                raise AssertionError(
+                    f"{context}: initial level diverged on {net}"
+                )
+            gp = np.asarray(g.params, dtype=float).reshape(-1, 2)
+            rp = np.asarray(r.params, dtype=float).reshape(-1, 2)
+            if gp.shape != rp.shape:
+                raise AssertionError(
+                    f"{context}: transition count diverged on {net}"
+                )
+            if not np.allclose(gp, rp, atol=PARAM_ATOL):
+                raise AssertionError(
+                    f"{context}: sigmoid params diverged on {net} "
+                    f"(max |d| = {np.max(np.abs(gp - rp)):.2e})"
+                )
+
+
+def _drive_load(
+    service,
+    cores,
+    jobs,
+    kind,
+    *,
+    n_clients,
+    requests_per_client,
+    timeout,
+):
+    """Closed-loop clients; returns (latencies_s, wall_s, results)."""
+    n_stimuli = len(jobs[0])
+    digests = [service.register(core) for core in cores]
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    results: list[list] = [[] for _ in range(n_clients)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(k):
+        try:
+            barrier.wait()
+            for j in range(requests_per_client):
+                ci = (k + j) % len(cores)
+                si = (k * requests_per_client + j) % n_stimuli
+                pi_digital, pi_sigmoid, t_stop = jobs[ci][si]
+                t0 = time.perf_counter()
+                if kind == "sigmoid":
+                    fut = service.submit(
+                        digests[ci], pi_sigmoid, kind="sigmoid"
+                    )
+                else:
+                    fut = service.submit(
+                        digests[ci], pi_digital, kind="digital", t_stop=t_stop
+                    )
+                out = fut.result(timeout=timeout)
+                latencies[k].append(time.perf_counter() - t0)
+                results[k].append(((ci, si), out))
+        except BaseException as exc:  # surfaced after the join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(k,), daemon=True)
+        for k in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t_start = time.perf_counter()
+    for t in threads:
+        t.join(timeout=timeout * requests_per_client + 60.0)
+    wall = time.perf_counter() - t_start
+    if errors:
+        raise errors[0]
+    if any(t.is_alive() for t in threads):
+        raise ServiceError("load clients did not finish in time")
+    flat = [lat for per in latencies for lat in per]
+    return flat, wall, results
+
+
+def _quantile_ms(latencies, q):
+    if not latencies:
+        return 0.0
+    ranked = sorted(latencies)
+    idx = min(len(ranked) - 1, int(round(q * (len(ranked) - 1))))
+    return ranked[idx] * 1e3
+
+
+def run_serve_bench(
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary | None = None,
+    *,
+    circuits: tuple[str, ...] = DEFAULT_CIRCUITS,
+    kind: str = "sigmoid",
+    stimulus: StimulusConfig = DEFAULT_STIMULUS,
+    n_clients: int = 16,
+    requests_per_client: int = 6,
+    n_stimuli: int = 4,
+    seed: int = 0,
+    n_workers: int = 4,
+    batch_window: float = 0.005,
+    max_batch: int = 32,
+    timeout: float = 120.0,
+    execution: ExecutionOptions | None = None,
+    check_parity: bool = True,
+) -> dict:
+    """Measure coalesced vs naive dispatch under a many-client load.
+
+    Returns the ledger record (see module docstring); the caller
+    appends it to ``BENCH_serve.json`` via :func:`append_bench_record`.
+    """
+    if n_clients < 1 or requests_per_client < 1:
+        raise ServiceError("need at least one client and one request")
+    execution = execution or ExecutionOptions()
+    cores = [nor_mapped(name) for name in circuits]
+    jobs = _client_stimuli(cores, stimulus, n_stimuli, seed)
+
+    modes = {}
+    parity_checked = 0
+    refs = (
+        _serial_reference(
+            cores, jobs, bundle, delay_library, kind, execution
+        )
+        if check_parity
+        else {}
+    )
+    for mode, window, batch_bound in (
+        ("naive", 0.0, 1),
+        ("coalesced", batch_window, max_batch),
+    ):
+        service = PredictionService(
+            bundle,
+            delay_library,
+            n_workers=n_workers,
+            max_pending=max(256, n_clients * requests_per_client),
+            batch_window=window,
+            max_batch=batch_bound,
+            execution=execution,
+        )
+        try:
+            latencies, wall, results = _drive_load(
+                service,
+                cores,
+                jobs,
+                kind,
+                n_clients=n_clients,
+                requests_per_client=requests_per_client,
+                timeout=timeout,
+            )
+            stats = service.stats()
+        finally:
+            service.close()
+        if check_parity and mode == "coalesced":
+            for per_client in results:
+                for (ci, si), out in per_client:
+                    assert_result_parity(
+                        kind,
+                        out,
+                        refs[(ci, si)],
+                        context=f"{circuits[ci]} stimulus {si}",
+                    )
+                    parity_checked += 1
+        n_requests = len(latencies)
+        modes[mode] = {
+            "wall_s": round(wall, 4),
+            "p50_ms": round(_quantile_ms(latencies, 0.50), 3),
+            "p99_ms": round(_quantile_ms(latencies, 0.99), 3),
+            "mean_ms": round(statistics.fmean(latencies) * 1e3, 3),
+            "circuits_per_s": round(n_requests / wall, 2),
+            "batches": stats["batches"],
+            "coalesced_requests": stats["coalesced"],
+            "mean_batch": stats["mean_batch"],
+            "max_batch_seen": stats["max_batch"],
+        }
+
+    speedup = (
+        modes["coalesced"]["circuits_per_s"] / modes["naive"]["circuits_per_s"]
+        if modes["naive"]["circuits_per_s"]
+        else float("inf")
+    )
+    return {
+        "bench": "serve_load",
+        "kind": kind,
+        "circuits": list(circuits),
+        "stimulus": stimulus.label,
+        "n_clients": n_clients,
+        "requests_per_client": requests_per_client,
+        "n_requests": n_clients * requests_per_client,
+        "n_stimuli_per_circuit": n_stimuli,
+        "n_workers": n_workers,
+        "batch_window_s": batch_window,
+        "max_batch": max_batch,
+        "backend": execution.backend,
+        "compiled": execution.compiled,
+        "naive": modes["naive"],
+        "coalesced": modes["coalesced"],
+        "throughput_ratio": round(speedup, 3),
+        "parity_checked": parity_checked,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def append_bench_record(path: Path, record: dict) -> list:
+    """Append ``record`` to the JSON ledger at ``path`` (last 50 kept)."""
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    history = history[-50:]
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return history

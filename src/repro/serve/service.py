@@ -1,0 +1,701 @@
+"""The prediction service: warm model fleet, coalescer, worker pool.
+
+Request lifecycle
+-----------------
+
+``submit()`` validates the request, resolves (or registers) the target
+circuit in the warm fleet, and appends the request to one bounded
+pending queue shared by every worker thread — full queue means an
+immediate :class:`~repro.errors.ServiceOverloaded` (backpressure is the
+caller's signal to shed or retry, never silent queuing without bound).
+A worker takes the oldest request, holds a short *batching window*
+(``batch_window`` seconds) for more requests with the same coalescing
+key — ``(kind, netlist digest, backend, compiled, chunk_size, record
+nets)`` — then executes the whole group as ONE lock-step
+``simulate_batch`` on the warm simulator and resolves each request's
+future with its own run.  Batched execution equals serial execution
+(digital bitwise, sigmoid within the standing 0.05 ps parity bound), so
+coalescing is invisible to callers except as latency amortization.
+
+Warmness and pinning
+--------------------
+
+``register()`` compiles the circuit once and *pins* the compilation
+(:func:`repro.core.compile.compile_circuit` with ``pin=True``): LRU
+eviction skips fleet members, and the fleet entry additionally holds
+strong references, so even a racing
+:func:`~repro.core.compile.clear_compile_cache` cannot cold-start an
+in-flight request — it only resets the shared cache, which the fleet
+re-primes.
+
+Threading model
+---------------
+
+Workers are threads: the execution cores are numpy-heavy (BLAS releases
+the GIL) and the compile cache is already lock-guarded, so threads
+share the warm fleet for free; a process pool would have to re-compile
+per worker.  ``asubmit`` bridges the same futures into asyncio.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.analog.cells import DEFAULT_LIBRARY, CellLibrary
+from repro.circuits.netlist import Netlist
+from repro.core.compile import (
+    compile_cache_info,
+    compile_circuit,
+    netlist_digest,
+    unpin_circuit,
+)
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.errors import (
+    ModelError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.options import ExecutionOptions, normalize_execution
+
+REQUEST_KINDS = ("sigmoid", "digital")
+
+
+@dataclass
+class _Request:
+    """One queued prediction request (internal)."""
+
+    key: tuple
+    digest: str
+    kind: str
+    pi_traces: dict
+    t_stop: float | None
+    record: tuple[str, ...] | None
+    options: ExecutionOptions
+    deadline: float | None
+    future: Future = field(default_factory=Future)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class _FleetEntry:
+    """One warm circuit: pinned compilation + lazily built simulators."""
+
+    def __init__(self, netlist: Netlist, digest: str) -> None:
+        self.netlist = netlist
+        self.digest = digest
+        self.lock = threading.Lock()
+        self.compiled_circuit = None  # pinned sigmoid array program
+        self._sigmoid: dict[bool, SigmoidCircuitSimulator] = {}
+        self._digital: dict[bool, DigitalSimulator] = {}
+
+    def sigmoid(
+        self, bundle: GateModelBundle, compiled: bool
+    ) -> SigmoidCircuitSimulator:
+        with self.lock:
+            sim = self._sigmoid.get(compiled)
+            if sim is None:
+                sim = SigmoidCircuitSimulator(
+                    self.netlist, bundle, compiled=compiled
+                )
+                self._sigmoid[compiled] = sim
+            return sim
+
+    def digital(
+        self,
+        delay_library: DelayLibrary,
+        library: CellLibrary,
+        compiled: bool,
+    ) -> DigitalSimulator:
+        from repro.digital.characterize import build_instance_delays
+
+        with self.lock:
+            sim = self._digital.get(compiled)
+            if sim is None:
+                sim = DigitalSimulator(
+                    self.netlist,
+                    build_instance_delays(
+                        self.netlist, delay_library, library
+                    ),
+                    compiled=compiled,
+                )
+                self._digital[compiled] = sim
+            return sim
+
+
+class ServiceStream:
+    """A long-lived connection: one streaming session owned by a service.
+
+    Thin delegation over the session (``feed``/``state``/``finish``)
+    plus service bookkeeping: the handle keeps the fleet entry warm for
+    its whole life, and ``finish``/``close`` deregister it.  Feeds run
+    in the caller's thread — a stream is a single client's ordered
+    conversation, which must not interleave with the request queue.
+    """
+
+    def __init__(self, service: "PredictionService", session, digest: str):
+        self._service = service
+        self._session = session
+        self.digest = digest
+        self._open = True
+
+    @property
+    def session(self):
+        return self._session
+
+    def feed(self, chunks, advance_to=None):
+        if not self._open:
+            raise ServiceClosed("stream is closed")
+        return self._session.feed(chunks, advance_to=advance_to)
+
+    def state(self) -> dict:
+        return self._session.state()
+
+    def finish(self):
+        if not self._open:
+            raise ServiceClosed("stream is closed")
+        try:
+            return self._session.finish()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._open:
+            self._open = False
+            self._service._stream_closed(self)
+
+    def __enter__(self) -> "ServiceStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PredictionService:
+    """Serve sigmoid/digital circuit prediction from a warm worker fleet.
+
+    Parameters
+    ----------
+    bundle:
+        Trained transfer-model bundle every sigmoid request runs on.
+    delay_library:
+        Characterized digital delay library; required only when digital
+        requests are submitted.
+    n_workers:
+        Worker threads (>= 1).  One worker still coalesces — it drains
+        whole same-key groups per wakeup.
+    max_pending:
+        Bounded-queue depth; a full queue rejects with
+        :class:`~repro.errors.ServiceOverloaded`.
+    batch_window:
+        Seconds a worker waits for same-key requests before executing
+        (latency it trades for batching).  ``0`` disables waiting;
+        already-queued same-key requests still coalesce.
+    max_batch:
+        Largest coalesced group (``1`` = naive per-request dispatch,
+        the bench's baseline mode).
+    execution:
+        Service-default :class:`~repro.options.ExecutionOptions`;
+        per-request options override it.  ``backend`` must match the
+        bundle's.
+    """
+
+    def __init__(
+        self,
+        bundle: GateModelBundle,
+        delay_library: DelayLibrary | None = None,
+        *,
+        n_workers: int = 4,
+        max_pending: int = 256,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        execution: ExecutionOptions | None = None,
+        library: CellLibrary = DEFAULT_LIBRARY,
+    ) -> None:
+        if n_workers < 1:
+            raise ServiceError("n_workers must be >= 1")
+        if max_pending < 1:
+            raise ServiceError("max_pending must be >= 1")
+        if max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        if batch_window < 0:
+            raise ServiceError("batch_window must be non-negative")
+        self.bundle = bundle
+        self.delay_library = delay_library
+        self.library = library
+        self.execution = normalize_execution(execution)
+        if (
+            self.bundle.backend != "unknown"
+            and self.execution.backend != self.bundle.backend
+        ):
+            raise ModelError(
+                f"service backend is {self.execution.backend!r} but the "
+                f"bundle was trained with the {self.bundle.backend!r} backend"
+            )
+        self.max_pending = max_pending
+        self.batch_window = float(batch_window)
+        self.max_batch = max_batch
+
+        self._lock = threading.Condition()
+        self._pending: deque[_Request] = deque()
+        #: Keys some worker is currently collecting a group for: other
+        #: workers skip them, so one batching window absorbs the whole
+        #: concurrent same-key burst instead of splitting it N ways.
+        self._collecting: set = set()
+        self._fleet: dict[str, _FleetEntry] = {}
+        self._streams: list[ServiceStream] = []
+        self._inflight = 0
+        self._draining = False
+        self._stopping = False
+        self._stats = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "timed_out": 0,
+            "cancelled": 0,
+            "batches": 0,
+            "coalesced": 0,
+            "max_batch": 0,
+            "streams_opened": 0,
+        }
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-{k}",
+                daemon=True,
+            )
+            for k in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- fleet ----------------------------------------------------------
+    def register(self, netlist: Netlist) -> str:
+        """Warm a circuit into the fleet; returns its digest.
+
+        Compiles (and pins) the sigmoid array program up front when the
+        service default is compiled execution, so the first request
+        pays queueing latency only.  Registering twice is a no-op.
+        """
+        self._require_open()
+        netlist.validate()
+        digest = netlist_digest(netlist)
+        with self._lock:
+            entry = self._fleet.get(digest)
+        if entry is not None:
+            return digest
+        entry = _FleetEntry(netlist, digest)
+        if self.execution.compiled:
+            entry.compiled_circuit = compile_circuit(
+                netlist, self.bundle, pin=True
+            )
+            entry.sigmoid(self.bundle, True)
+        with self._lock:
+            raced = self._fleet.get(digest)
+            if raced is None:
+                self._fleet[digest] = entry
+        if raced is not None and entry.compiled_circuit is not None:
+            # Lost a registration race: drop our duplicate pin so the
+            # winner's close() leaves the cache entry unpinned.
+            unpin_circuit(netlist, self.bundle)
+        return digest
+
+    def circuits(self) -> list[str]:
+        """Digests of the currently warm fleet members."""
+        with self._lock:
+            return sorted(self._fleet)
+
+    def _resolve(self, circuit) -> _FleetEntry:
+        if isinstance(circuit, Netlist):
+            digest = self.register(circuit)
+        else:
+            digest = str(circuit)
+        with self._lock:
+            entry = self._fleet.get(digest)
+        if entry is None:
+            raise ServiceError(
+                f"unknown circuit digest {digest!r}; register() the "
+                "netlist first or submit the Netlist itself"
+            )
+        return entry
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        circuit,
+        pi_traces: dict,
+        *,
+        kind: str = "sigmoid",
+        t_stop: float | None = None,
+        record_nets: list[str] | None = None,
+        execution: ExecutionOptions | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue one prediction request; returns its future.
+
+        ``circuit`` is a :class:`Netlist` (auto-registered on first
+        sight) or the digest of an already registered one;
+        ``pi_traces`` maps primary inputs to one run's traces
+        (:class:`SigmoidalTrace` for ``kind="sigmoid"``,
+        :class:`DigitalTrace` + ``t_stop`` for ``kind="digital"``).
+        The future resolves to the same per-run dict the simulator's
+        ``simulate`` would return.  ``timeout`` bounds *queue* time: a
+        request no worker has started within its deadline fails with
+        :class:`~repro.errors.ServiceTimeout` (execution, once started,
+        runs to completion).
+        """
+        if kind not in REQUEST_KINDS:
+            raise ServiceError(
+                f"unknown request kind {kind!r}; options: {REQUEST_KINDS}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ServiceError("timeout must be positive")
+        options = (
+            self.execution.merged()
+            if execution is None
+            else normalize_execution(execution)
+        )
+        if (
+            kind == "sigmoid"
+            and self.bundle.backend != "unknown"
+            and options.backend != self.bundle.backend
+        ):
+            raise ModelError(
+                f"request backend is {options.backend!r} but the bundle "
+                f"was trained with the {self.bundle.backend!r} backend"
+            )
+        if kind == "digital":
+            if self.delay_library is None:
+                raise ServiceError(
+                    "service has no delay library; digital requests "
+                    "need PredictionService(..., delay_library=...)"
+                )
+            if t_stop is None:
+                raise ServiceError("digital requests need t_stop")
+        self._require_open()
+        entry = self._resolve(circuit)
+        record = None if record_nets is None else tuple(record_nets)
+        request = _Request(
+            key=(
+                kind,
+                entry.digest,
+                options.backend,
+                options.compiled,
+                options.chunk_size,
+                record,
+            ),
+            digest=entry.digest,
+            kind=kind,
+            pi_traces=dict(pi_traces),
+            t_stop=t_stop,
+            record=record,
+            options=options,
+            deadline=None if timeout is None else time.monotonic() + timeout,
+        )
+        with self._lock:
+            if self._draining or self._stopping:
+                raise ServiceClosed("service is draining; no new requests")
+            if len(self._pending) >= self.max_pending:
+                self._stats["rejected"] += 1
+                raise ServiceOverloaded(
+                    f"pending queue is full ({self.max_pending} requests); "
+                    "retry with backoff or raise max_pending"
+                )
+            self._pending.append(request)
+            self._stats["submitted"] += 1
+            self._lock.notify()
+        return request.future
+
+    async def asubmit(self, circuit, pi_traces: dict, **kwargs):
+        """Asyncio twin of :meth:`submit`: awaits the request's result.
+
+        Backpressure surfaces at call time exactly like ``submit``
+        (:class:`~repro.errors.ServiceOverloaded` raises before any
+        awaiting happens).
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(
+            self.submit(circuit, pi_traces, **kwargs)
+        )
+
+    # -- streaming ------------------------------------------------------
+    def open_stream(
+        self,
+        circuit,
+        *,
+        kind: str = "sigmoid",
+        t_stops: list[float] | None = None,
+        record_nets: list[str] | None = None,
+        guard: float | None = None,
+        execution: ExecutionOptions | None = None,
+    ) -> ServiceStream:
+        """Open a long-lived streaming connection onto a warm circuit.
+
+        Returns a :class:`ServiceStream` wrapping a
+        :class:`~repro.core.session.SimulationSession` from the fleet's
+        warm simulator — ``feed`` chunks as they arrive, checkpoint
+        with ``state()``, ``finish()`` to flush and release the handle.
+        """
+        if kind not in REQUEST_KINDS:
+            raise ServiceError(
+                f"unknown request kind {kind!r}; options: {REQUEST_KINDS}"
+            )
+        self._require_open()
+        entry = self._resolve(circuit)
+        options = (
+            self.execution.merged()
+            if execution is None
+            else normalize_execution(execution)
+        )
+        if kind == "sigmoid":
+            session = entry.sigmoid(self.bundle, options.compiled).open_session(
+                record_nets, guard=guard
+            )
+        else:
+            if self.delay_library is None:
+                raise ServiceError(
+                    "service has no delay library; digital streams "
+                    "need PredictionService(..., delay_library=...)"
+                )
+            if t_stops is None:
+                raise ServiceError("digital streams need t_stops")
+            session = entry.digital(
+                self.delay_library, self.library, options.compiled
+            ).open_session(t_stops, record_nets=record_nets)
+        stream = ServiceStream(self, session, entry.digest)
+        with self._lock:
+            self._streams.append(stream)
+            self._stats["streams_opened"] += 1
+        return stream
+
+    def _stream_closed(self, stream: ServiceStream) -> None:
+        with self._lock:
+            if stream in self._streams:
+                self._streams.remove(stream)
+
+    # -- lifecycle ------------------------------------------------------
+    def _require_open(self) -> None:
+        with self._lock:
+            if self._draining or self._stopping:
+                raise ServiceClosed("service is draining or closed")
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop accepting requests and wait for queued work to finish.
+
+        Returns ``True`` once the queue and every in-flight batch are
+        done, ``False`` if ``timeout`` elapsed first (the drain keeps
+        progressing either way).  Open streams are untouched: they are
+        client-paced conversations, not queued work.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._draining = True
+            self._lock.notify_all()
+            while self._pending or self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._lock.wait(remaining)
+        return True
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain, stop the workers, and release the fleet's cache pins.
+
+        Idempotent.  Futures already resolved stay valid; open streams
+        keep working (they hold their own references) but no new ones
+        can be opened.
+        """
+        self.drain(timeout)
+        with self._lock:
+            self._stopping = True
+            self._lock.notify_all()
+        for worker in self._workers:
+            worker.join(timeout)
+        with self._lock:
+            fleet = list(self._fleet.values())
+        for entry in fleet:
+            if entry.compiled_circuit is not None:
+                unpin_circuit(entry.netlist, self.bundle)
+                entry.compiled_circuit = None
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- observability --------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-friendly snapshot of service + compile-cache counters.
+
+        ``mean_batch`` is the coalescing win: completed requests per
+        executed batch (1.0 = no coalescing happened).
+        """
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot["pending"] = len(self._pending)
+            snapshot["inflight"] = self._inflight
+            snapshot["fleet"] = len(self._fleet)
+            snapshot["streams_open"] = len(self._streams)
+        batches = snapshot["batches"]
+        snapshot["mean_batch"] = (
+            round(snapshot["completed"] / batches, 3) if batches else 0.0
+        )
+        snapshot["compile_cache"] = compile_cache_info()
+        return snapshot
+
+    # -- worker ---------------------------------------------------------
+    def _take_group(self) -> "list[_Request] | None":
+        """Block for the next request, then coalesce its key group.
+
+        Returns ``None`` when the service is stopping and the queue is
+        empty.  Holding the batching window is a condition wait, so a
+        same-key arrival or ``drain()`` wakes the worker immediately.
+        A key being collected is claimed: other workers pass over it
+        (waiting if nothing else is pending), so a concurrent same-key
+        burst lands in ONE batching window instead of splitting across
+        workers.
+        """
+        with self._lock:
+            first = None
+            while first is None:
+                for idx, request in enumerate(self._pending):
+                    if request.key not in self._collecting:
+                        first = request
+                        del self._pending[idx]
+                        break
+                else:
+                    if self._stopping and not self._pending:
+                        return None
+                    self._lock.wait()
+            self._collecting.add(first.key)
+            group = [first]
+            self._inflight += 1
+
+            def extract_same_key() -> None:
+                if len(group) >= self.max_batch:
+                    return
+                kept: deque[_Request] = deque()
+                while self._pending and len(group) < self.max_batch:
+                    request = self._pending.popleft()
+                    if request.key == first.key:
+                        group.append(request)
+                        self._inflight += 1
+                    else:
+                        kept.append(request)
+                kept.extend(self._pending)
+                self._pending = kept
+
+            extract_same_key()
+            if self.max_batch > 1 and self.batch_window > 0:
+                window_end = time.monotonic() + self.batch_window
+                while (
+                    len(group) < self.max_batch
+                    and not self._draining
+                    and not self._stopping
+                ):
+                    remaining = window_end - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._lock.wait(remaining)
+                    extract_same_key()
+            self._collecting.discard(first.key)
+            # Late same-key arrivals (or a max_batch overflow) are now
+            # claimable by any worker, including one currently waiting.
+            self._lock.notify_all()
+        return group
+
+    def _finish_group(self, n: int) -> None:
+        with self._lock:
+            self._inflight -= n
+            self._lock.notify_all()
+
+    def _worker_loop(self) -> None:
+        while True:
+            group = self._take_group()
+            if group is None:
+                return
+            try:
+                self._execute(group)
+            finally:
+                self._finish_group(len(group))
+
+    def _execute(self, group: "list[_Request]") -> None:
+        now = time.monotonic()
+        live: list[_Request] = []
+        for request in group:
+            if request.expired(now):
+                with self._lock:
+                    self._stats["timed_out"] += 1
+                request.future.set_exception(
+                    ServiceTimeout(
+                        "request spent longer than its timeout queued "
+                        f"(circuit {request.digest[:12]})"
+                    )
+                )
+            elif not request.future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._stats["cancelled"] += 1
+            else:
+                live.append(request)
+        if not live:
+            return
+        try:
+            results = self._run_batch(live)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            with self._lock:
+                self._stats["failed"] += len(live)
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        with self._lock:
+            self._stats["batches"] += 1
+            self._stats["completed"] += len(live)
+            self._stats["coalesced"] += len(live) - 1
+            self._stats["max_batch"] = max(
+                self._stats["max_batch"], len(live)
+            )
+        for request, result in zip(live, results):
+            request.future.set_result(result)
+
+    def _run_batch(self, group: "list[_Request]") -> list:
+        """One lock-step ``simulate_batch`` over a coalesced group."""
+        first = group[0]
+        with self._lock:
+            entry = self._fleet[first.digest]
+        options = first.options
+        runs = [request.pi_traces for request in group]
+        if first.kind == "sigmoid":
+            simulator = entry.sigmoid(self.bundle, options.compiled)
+            record = None if first.record is None else list(first.record)
+            if options.chunk_size is None:
+                return simulator.simulate_batch(runs, record_nets=record)
+            from repro.core.session import stream_sigmoid_batch
+
+            return stream_sigmoid_batch(
+                simulator, runs, options.chunk_size, record_nets=record
+            )
+        simulator = entry.digital(
+            self.delay_library, self.library, options.compiled
+        )
+        t_stops = [request.t_stop for request in group]
+        if options.chunk_size is None:
+            return simulator.simulate_batch(runs, t_stops)
+        from repro.digital.session import stream_digital_batch
+
+        return stream_digital_batch(
+            simulator, runs, t_stops, options.chunk_size
+        )

@@ -29,7 +29,7 @@ cheap enough for c499/c1355-class circuits in CI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -48,6 +48,12 @@ from repro.errors import SimulationError
 from repro.eval.metrics import total_mismatch_time
 from repro.eval.runner import ExperimentRunner, simulation_span
 from repro.eval.stimuli import StimulusConfig, draw_pi_stimulus
+from repro.options import (
+    _UNSET,
+    ExecutionOptions,
+    execution_aliases,
+    normalize_execution,
+)
 
 #: Checks the harness knows; ``DifferentialConfig.checks`` selects a subset.
 ALL_CHECKS = ("logic", "delay", "parity", "streaming")
@@ -65,6 +71,7 @@ STREAM_PARAM_ATOL = 5e-4
 SPURIOUS_TRANSITION_ALLOWANCE = 4
 
 
+@execution_aliases("compiled", readonly=True)
 @dataclass(frozen=True)
 class DifferentialConfig:
     """One differential-verification run.
@@ -91,10 +98,15 @@ class DifferentialConfig:
     seed: int = 0
     checks: tuple[str, ...] = ALL_CHECKS
     reference: str = "analog"
-    #: Run the digital/sigmoid simulators on their compiled levelized
-    #: cores (the production default); ``False`` keeps the interpreted
-    #: walks, which is how the harness cross-checks the two paths.
-    compiled: bool = True
+    #: Shared execution knobs (:class:`~repro.options.ExecutionOptions`).
+    #: ``compiled`` — run the digital/sigmoid simulators on their
+    #: compiled levelized cores (the production default); ``False``
+    #: keeps the interpreted walks, which is how the harness
+    #: cross-checks the two paths.  It stays accepted as a constructor
+    #: kwarg and readable as ``config.compiled`` (a read-only alias —
+    #: the config is frozen).
+    execution: ExecutionOptions | None = None
+    compiled: InitVar = _UNSET
     digital_err_per_transition: float = 60e-12
     sigmoid_err_per_transition: float = 60e-12
     digital_transition_shift: float = 100e-12
@@ -115,7 +127,12 @@ class DifferentialConfig:
     #: transitions — including mid-transition of every multi-PI overlap.
     stream_chunk_sizes: tuple[int, ...] = (1, 7)
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, compiled) -> None:
+        object.__setattr__(
+            self,
+            "execution",
+            normalize_execution(self.execution, compiled=compiled),
+        )
         unknown = set(self.checks) - set(ALL_CHECKS)
         if unknown:
             raise SimulationError(f"unknown checks: {sorted(unknown)}")

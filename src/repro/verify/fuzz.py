@@ -18,7 +18,7 @@ Glues the pieces of :mod:`repro.verify` together:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import InitVar, dataclass, field, replace
 from pathlib import Path
 
 from repro.circuits.bench import format_bench
@@ -28,6 +28,12 @@ from repro.core.models import GateModelBundle
 from repro.digital.delay import DelayLibrary
 from repro.errors import SimulationError
 from repro.eval.stimuli import StimulusConfig
+from repro.options import (
+    _UNSET,
+    ExecutionOptions,
+    execution_aliases,
+    normalize_execution,
+)
 from repro.verify.differential import (
     DifferentialConfig,
     DifferentialReport,
@@ -81,32 +87,46 @@ FUZZ_PRESETS: dict[str, FuzzScalePreset] = {
 }
 
 
+@execution_aliases("compiled", "backend", "chunk_size", readonly=True)
 @dataclass(frozen=True)
 class FuzzConfig:
-    """One fuzzing campaign."""
+    """One fuzzing campaign.
+
+    The execution knobs share one
+    :class:`~repro.options.ExecutionOptions` (``config.execution``):
+    ``compiled`` selects the levelized simulator cores (``False`` runs
+    the interpreted per-gate walks the compiled paths are parity-locked
+    against) and ``chunk_size`` overrides the chunk sizes the
+    ``streaming`` check replays at (``None`` keeps the preset's default
+    ladder of {1, small, full-trace}).  All three remain accepted as
+    constructor kwargs and alias onto ``execution`` as attributes.
+    """
 
     count: int = 25
     seed: int = 0
     scale: str = "tiny"
-    backend: str = "ann"
     reference: str = "analog"
     benchmarks: tuple[str, ...] = ()
     shrink: bool = True
     max_shrink_evals: int = 60
     golden: str = "check"  # "check" | "update" | "off"
     golden_dir: Path | None = None
-    #: Compiled levelized simulator cores (the default); ``False`` runs
-    #: the interpreted per-gate walks the compiled paths are
-    #: parity-locked against.
-    compiled: bool = True
-    #: Override the chunk sizes the ``streaming`` check replays at
-    #: (``--chunk-size``); ``None`` keeps the preset's default ladder
-    #: of {1, small, full-trace}.
-    chunk_size: int | None = None
+    execution: ExecutionOptions | None = None
+    backend: InitVar = _UNSET
+    compiled: InitVar = _UNSET
+    chunk_size: InitVar = _UNSET
 
-    def __post_init__(self) -> None:
-        if self.chunk_size is not None and self.chunk_size < 1:
-            raise SimulationError("chunk_size must be >= 1")
+    def __post_init__(self, backend, compiled, chunk_size) -> None:
+        object.__setattr__(
+            self,
+            "execution",
+            normalize_execution(
+                self.execution,
+                compiled=compiled,
+                backend=backend,
+                chunk_size=chunk_size,
+            ),
+        )
         if self.scale not in FUZZ_PRESETS:
             raise SimulationError(
                 f"unknown fuzz scale {self.scale!r}; "

@@ -68,6 +68,12 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fuzz", "--benchmarks", "c9000"])
 
+    def test_serve_bench_rejects_bad_params(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--clients", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--kind", "quantum"])
+
     def test_fuzz_rejects_unknown_reference(self):
         with pytest.raises(SystemExit):
             main(["fuzz", "--reference", "spice"])
@@ -111,6 +117,30 @@ needs_tiny_artifacts = pytest.mark.skipif(
     ),
     reason="cached tiny artifacts not built",
 )
+
+
+@needs_tiny_artifacts
+@pytest.mark.timeout(300)
+class TestServeBenchCLI:
+    def test_serve_bench_writes_ledger(self, tmp_path, capsys):
+        """``python -m repro.cli serve-bench`` end to end, in process."""
+        ledger = tmp_path / "BENCH_serve.json"
+        code = main([
+            "serve-bench", "--scale", "tiny", "--circuits", "c17",
+            "--clients", "2", "--requests", "1", "--workers", "2",
+            "--window", "0.01", "--output", str(ledger),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput ratio" in out
+        history = json.loads(ledger.read_text())
+        record = history[-1]
+        assert record["bench"] == "serve_load"
+        assert record["n_requests"] == 2
+        assert record["parity_checked"] == 2
+        for mode in ("naive", "coalesced"):
+            assert record[mode]["circuits_per_s"] > 0
+            assert record[mode]["p99_ms"] >= record[mode]["p50_ms"]
 
 
 @needs_tiny_artifacts

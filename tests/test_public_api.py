@@ -1,0 +1,226 @@
+"""The ``repro`` facade and the shared ``ExecutionOptions`` contract.
+
+One flat namespace (``repro.simulate``, ``repro.PredictionService``,
+...) over the layered internals: every ``__all__`` name must resolve,
+the convenience wrappers must agree with the classes they wrap, the
+deep import paths must keep working, and the three evaluation configs
+must accept both the historical scalar kwargs and a shared
+:class:`~repro.options.ExecutionOptions` — with ``dataclasses.replace``
+round-tripping through the aliases.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro.characterization.artifacts import artifacts_dir
+from repro.errors import SimulationError
+from repro.eval.stimuli import StimulusConfig
+from repro.options import ExecutionOptions, normalize_execution
+from repro.verify.differential import DifferentialConfig, _digital_stimuli
+from repro.verify.fuzz import FUZZ_PRESETS
+
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not BUNDLE_PATH.exists(), reason="cached tiny artifacts not built"
+)
+
+
+# ---------------------------------------------------------------------------
+# facade surface
+
+
+def test_all_facade_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError, match="no attribute 'bogus'"):
+        repro.bogus
+
+
+def test_facade_names_are_the_deep_objects():
+    from repro.core.compile import compile_circuit
+    from repro.eval.table1 import Table1Config
+    from repro.serve import PredictionService
+    from repro.verify.fuzz import FuzzConfig
+
+    assert repro.compile_circuit is compile_circuit
+    assert repro.Table1Config is Table1Config
+    assert repro.FuzzConfig is FuzzConfig
+    assert repro.PredictionService is PredictionService
+
+
+def test_dir_lists_facade():
+    names = dir(repro)
+    for name in ("simulate", "load_bundle", "PredictionService"):
+        assert name in names
+
+
+@needs_artifacts
+@pytest.mark.timeout(120)
+def test_facade_prediction_helpers_agree():
+    from repro.core.session import concat_sigmoid_traces, sigmoid_chunks
+    from repro.core.simulator import SigmoidCircuitSimulator
+    from repro.core.trace import SigmoidalTrace
+    from repro.eval.table1 import nor_mapped
+    from repro.serve.bench import assert_result_parity
+
+    bundle = repro.load_bundle(BUNDLE_PATH)
+    core = nor_mapped("c17")
+    pi_digital, _ = _digital_stimuli(
+        core.primary_inputs, StimulusConfig(20e-12, 10e-12, 2), 0
+    )
+    pi_sigmoid = {
+        pi: SigmoidalTrace.from_digital(trace)
+        for pi, trace in pi_digital.items()
+    }
+    ref = SigmoidCircuitSimulator(core, bundle).simulate(pi_sigmoid)
+
+    one = repro.simulate(core, pi_sigmoid, bundle)
+    assert_result_parity("sigmoid", one, ref, context="facade simulate")
+
+    batch = repro.simulate_batch(core, [pi_sigmoid, pi_sigmoid], bundle)
+    for k, got in enumerate(batch):
+        assert_result_parity("sigmoid", got, ref, context=f"batch run {k}")
+
+    session = repro.open_session(core, bundle)
+    feeds = [
+        session.feed([chunk])
+        for chunk in sigmoid_chunks(pi_sigmoid, chunk_size=2)
+    ]
+    feeds.append(session.finish())
+    merged = {
+        net: concat_sigmoid_traces([feed[0][net] for feed in feeds])
+        for net in feeds[-1][0]
+    }
+    assert_result_parity("sigmoid", merged, ref, context="facade session")
+
+    interpreted = repro.simulate(
+        core, pi_sigmoid, bundle,
+        execution=ExecutionOptions(compiled=False),
+    )
+    assert_result_parity("sigmoid", interpreted, ref, context="interpreted")
+
+
+# ---------------------------------------------------------------------------
+# ExecutionOptions and the config aliases
+
+
+def test_execution_options_validation_and_merge():
+    with pytest.raises(SimulationError):
+        ExecutionOptions(chunk_size=0)
+    base = ExecutionOptions(backend="lut")
+    merged = base.merged(chunk_size=4)
+    assert merged == ExecutionOptions(True, "lut", 4)
+    assert base.chunk_size is None  # merged() never mutates
+    with pytest.raises(SimulationError):
+        normalize_execution("not options")
+
+
+def test_table1_config_aliases():
+    config = repro.Table1Config(backend="lut", compiled=False, chunk_size=7)
+    assert (config.backend, config.compiled, config.chunk_size) == (
+        "lut", False, 7,
+    )
+    assert config.execution == ExecutionOptions(False, "lut", 7)
+
+    via_options = repro.Table1Config(
+        execution=ExecutionOptions(backend="poly")
+    )
+    assert via_options.backend == "poly"
+    assert via_options.compiled is True
+
+    # writable on the non-frozen config, through to the options object
+    config.compiled = True
+    assert config.execution.compiled is True
+
+    # a caller's options object is copied, never aliased
+    shared = ExecutionOptions()
+    config2 = repro.Table1Config(execution=shared)
+    config2.chunk_size = 9
+    assert shared.chunk_size is None
+
+
+def test_table1_config_replace_roundtrip():
+    config = repro.Table1Config(backend="lut", chunk_size=7)
+    bumped = replace(config, n_runs=9)
+    assert (bumped.backend, bumped.chunk_size, bumped.n_runs) == (
+        "lut", 7, 9,
+    )
+    flipped = replace(config, compiled=False)
+    assert flipped.compiled is False
+    assert flipped.backend == "lut"  # other knobs carried over
+
+
+def test_frozen_config_aliases_are_readonly():
+    diff = DifferentialConfig(compiled=False)
+    assert diff.compiled is False
+    assert diff.execution.compiled is False
+    with pytest.raises(AttributeError):
+        diff.compiled = True
+    carried = replace(diff, n_runs=3)
+    assert carried.compiled is False and carried.n_runs == 3
+
+    fuzz = repro.FuzzConfig(count=1, backend="lut", chunk_size=3)
+    assert (fuzz.backend, fuzz.compiled, fuzz.chunk_size) == ("lut", True, 3)
+    with pytest.raises(AttributeError):
+        fuzz.chunk_size = 5
+    again = replace(fuzz, count=2)
+    assert (again.backend, again.chunk_size, again.count) == ("lut", 3, 2)
+    with pytest.raises(SimulationError):
+        repro.FuzzConfig(count=1, chunk_size=0)
+
+
+def test_fuzz_presets_still_construct():
+    for name, preset in FUZZ_PRESETS.items():
+        assert preset.differential.execution is not None, name
+
+
+def test_configs_pickle_through_alias_fields():
+    import pickle
+
+    config = repro.Table1Config(backend="lut", chunk_size=7, n_runs=5)
+    clone = pickle.loads(pickle.dumps(config))
+    assert clone.backend == "lut" and clone.chunk_size == 7
+    diff = DifferentialConfig(compiled=False)
+    assert pickle.loads(pickle.dumps(diff)).compiled is False
+
+
+# ---------------------------------------------------------------------------
+# checkpoint mismatch reporting (digest AND kind in one error)
+
+
+@needs_artifacts
+@pytest.mark.timeout(120)
+def test_checkpoint_mismatch_reports_digest_and_kind_together():
+    from repro.core.simulator import SigmoidCircuitSimulator
+    from repro.core.trace import SigmoidalTrace
+    from repro.eval.table1 import nor_mapped
+
+    bundle = repro.load_bundle(BUNDLE_PATH)
+    core = nor_mapped("c17")
+    other = nor_mapped("c499_like")
+    pi_digital, _ = _digital_stimuli(
+        core.primary_inputs, StimulusConfig(20e-12, 10e-12, 2), 0
+    )
+    pi_sigmoid = {
+        pi: SigmoidalTrace.from_digital(trace)
+        for pi, trace in pi_digital.items()
+    }
+    session = SigmoidCircuitSimulator(core, bundle).open_session()
+    session.feed([pi_sigmoid])
+    state = session.state()
+    state["kind"] = "digital"  # wrong session kind AND wrong circuit
+    with pytest.raises(SimulationError) as excinfo:
+        SigmoidCircuitSimulator(other, bundle).open_session(state=state)
+    message = str(excinfo.value)
+    assert "checkpoint mismatch" in message
+    assert "kind" in message and "digest" in message, (
+        "both mismatched fields must be named in the one error: "
+        + message
+    )

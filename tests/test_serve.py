@@ -1,0 +1,407 @@
+"""Prediction service: coalescing correctness, backpressure, lifecycle.
+
+The serving layer's one non-negotiable: coalescing must be invisible in
+the results.  A response assembled from a coalesced ``simulate_batch``
+must match the same request executed serially on a bare simulator —
+bitwise for digital, within the package-wide 0.05 ps parameter bound
+for sigmoid (lock-step BLAS re-association) — including under
+mixed-circuit traffic and with ``clear_compile_cache()`` racing the
+in-flight batches.  The rest of the suite pins the service lifecycle:
+bounded-queue rejection, per-request deadlines, drain/close semantics,
+asyncio submission, streams, and compile-cache pinning.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.core.compile import clear_compile_cache, compile_cache_info
+from repro.core.models import GateModelBundle
+from repro.core.session import sigmoid_chunks
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.characterize import build_instance_delays
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.errors import (
+    ModelError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.eval.stimuli import StimulusConfig
+from repro.options import ExecutionOptions
+from repro.serve import PredictionService
+from repro.serve.bench import assert_result_parity
+from repro.verify.differential import _digital_stimuli, ensure_nor_mapped
+from repro.verify.fuzz import FUZZ_PRESETS
+
+from repro.circuits.random_circuit import random_corpus
+
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached tiny artifacts not built",
+)
+
+STIMULUS = StimulusConfig(20e-12, 10e-12, 3)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    if not DLIB_PATH.exists():
+        pytest.skip("cached delay library not built")
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    preset = FUZZ_PRESETS["tiny"]
+    return [
+        ensure_nor_mapped(netlist)
+        for netlist in random_corpus(3, seed=0, config=preset.circuit)
+    ]
+
+
+def _stimuli(core, seed):
+    pi_digital, t_stop = _digital_stimuli(core.primary_inputs, STIMULUS, seed)
+    pi_sigmoid = {
+        pi: SigmoidalTrace.from_digital(trace)
+        for pi, trace in pi_digital.items()
+    }
+    return pi_digital, pi_sigmoid, t_stop
+
+
+@pytest.fixture
+def service(bundle, delay_library):
+    svc = PredictionService(
+        bundle, delay_library, n_workers=2, batch_window=0.02
+    )
+    yield svc
+    svc.close()
+
+
+# ---------------------------------------------------------------------------
+# coalescing correctness
+
+
+@needs_artifacts
+@pytest.mark.timeout(120)
+def test_coalesced_sigmoid_matches_serial(service, bundle, corpus):
+    core = corpus[0]
+    serial = SigmoidCircuitSimulator(core, bundle)
+    jobs = [_stimuli(core, seed) for seed in range(6)]
+    futures = [
+        service.submit(core, pi_sigmoid, kind="sigmoid")
+        for _, pi_sigmoid, _ in jobs
+    ]
+    for seed, ((_, pi_sigmoid, _), future) in enumerate(zip(jobs, futures)):
+        assert_result_parity(
+            "sigmoid",
+            future.result(timeout=60),
+            serial.simulate(pi_sigmoid),
+            context=f"seed {seed}",
+        )
+    stats = service.stats()
+    assert stats["completed"] == 6
+    assert stats["coalesced"] > 0, "same-key burst should coalesce"
+    assert stats["batches"] < 6
+
+
+@needs_artifacts
+@pytest.mark.timeout(120)
+def test_coalesced_digital_is_bitwise(service, corpus, delay_library):
+    core = corpus[0]
+    serial = DigitalSimulator(
+        core, build_instance_delays(core, delay_library)
+    )
+    jobs = [_stimuli(core, seed) for seed in range(5)]
+    futures = [
+        service.submit(core, pi_digital, kind="digital", t_stop=t_stop)
+        for pi_digital, _, t_stop in jobs
+    ]
+    for seed, ((pi_digital, _, t_stop), future) in enumerate(
+        zip(jobs, futures)
+    ):
+        assert_result_parity(
+            "digital",
+            future.result(timeout=60),
+            serial.simulate(pi_digital, t_stop),
+            context=f"seed {seed}",
+        )
+
+
+@needs_artifacts
+@pytest.mark.timeout(180)
+def test_mixed_circuit_traffic(service, bundle, corpus):
+    """Interleaved requests across circuits coalesce per-digest only."""
+    serials = {
+        id(core): SigmoidCircuitSimulator(core, bundle) for core in corpus
+    }
+    submitted = []
+    for seed in range(4):
+        for core in corpus:
+            _, pi_sigmoid, _ = _stimuli(core, seed)
+            submitted.append(
+                (core, pi_sigmoid, service.submit(core, pi_sigmoid))
+            )
+    for core, pi_sigmoid, future in submitted:
+        assert_result_parity(
+            "sigmoid",
+            future.result(timeout=60),
+            serials[id(core)].simulate(pi_sigmoid),
+            context=core.name,
+        )
+    assert service.stats()["fleet"] == len(corpus)
+
+
+@needs_artifacts
+@pytest.mark.timeout(180)
+def test_clear_compile_cache_mid_flight(bundle, delay_library, corpus):
+    """Results stay correct while the compile cache is cleared under load.
+
+    Fleet entries hold strong references to their compiled circuits, so
+    a cache clear (which also drops pins) must never corrupt an
+    in-flight batch — at worst a later registration recompiles.
+    """
+    core = corpus[1]
+    serial = SigmoidCircuitSimulator(core, bundle)
+    jobs = [_stimuli(core, seed) for seed in range(10)]
+    refs = [serial.simulate(pi_sigmoid) for _, pi_sigmoid, _ in jobs]
+
+    svc = PredictionService(
+        bundle, delay_library, n_workers=2, batch_window=0.005
+    )
+    stop = threading.Event()
+
+    def clearer():
+        while not stop.is_set():
+            clear_compile_cache()
+            time.sleep(0.001)
+
+    thread = threading.Thread(target=clearer, daemon=True)
+    thread.start()
+    try:
+        futures = [
+            svc.submit(core, pi_sigmoid) for _, pi_sigmoid, _ in jobs
+        ]
+        for k, (future, ref) in enumerate(zip(futures, refs)):
+            assert_result_parity(
+                "sigmoid", future.result(timeout=60), ref,
+                context=f"racing clear, request {k}",
+            )
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+        svc.close()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle: backpressure, deadlines, drain/close
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
+def test_bounded_queue_rejects_when_full(bundle, corpus):
+    svc = PredictionService(
+        bundle, n_workers=1, max_pending=2, batch_window=1.0
+    )
+    try:
+        core = corpus[0]
+        digest = svc.register(core)
+        _, pi_sigmoid, _ = _stimuli(core, 0)
+        # Distinct record_nets give every request its own coalescing
+        # key, so the window-waiting worker cannot absorb the backlog.
+        pos = sorted(core.primary_outputs)
+        first = svc.submit(digest, pi_sigmoid, record_nets=[pos[0]])
+        time.sleep(0.1)  # let the worker take it and sit in its window
+        held = [
+            svc.submit(digest, pi_sigmoid, record_nets=pos[: 1 + (k % 2)])
+            for k in range(2)
+        ]
+        with pytest.raises(ServiceOverloaded):
+            for _ in range(8):
+                svc.submit(digest, pi_sigmoid, record_nets=pos)
+        assert svc.stats()["rejected"] >= 1
+        assert first.result(timeout=30) is not None
+        for future in held:
+            assert future.result(timeout=30) is not None
+    finally:
+        svc.close()
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
+def test_request_deadline_expires_in_queue(bundle, corpus):
+    svc = PredictionService(bundle, n_workers=1, batch_window=0.5)
+    try:
+        core = corpus[0]
+        digest = svc.register(core)
+        _, pi_sigmoid, _ = _stimuli(core, 0)
+        pos = sorted(core.primary_outputs)
+        blocker = svc.submit(digest, pi_sigmoid, record_nets=[pos[0]])
+        doomed = svc.submit(
+            digest, pi_sigmoid, record_nets=pos, timeout=0.01
+        )
+        with pytest.raises(ServiceTimeout):
+            doomed.result(timeout=30)
+        assert blocker.result(timeout=30) is not None
+        assert svc.stats()["timed_out"] == 1
+    finally:
+        svc.close()
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
+def test_drain_completes_then_rejects(bundle, corpus):
+    svc = PredictionService(bundle, n_workers=2, batch_window=0.01)
+    core = corpus[0]
+    _, pi_sigmoid, _ = _stimuli(core, 0)
+    futures = [svc.submit(core, pi_sigmoid) for _ in range(4)]
+    assert svc.drain(timeout=60)
+    assert all(f.done() for f in futures)
+    with pytest.raises(ServiceClosed):
+        svc.submit(core, pi_sigmoid)
+    svc.close()
+    svc.close()  # idempotent
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
+def test_asubmit(service, bundle, corpus):
+    import asyncio
+
+    core = corpus[0]
+    _, pi_sigmoid, _ = _stimuli(core, 0)
+
+    async def gather():
+        return await asyncio.gather(
+            *[service.asubmit(core, pi_sigmoid) for _ in range(3)]
+        )
+
+    results = asyncio.run(gather())
+    ref = SigmoidCircuitSimulator(core, bundle).simulate(pi_sigmoid)
+    for got in results:
+        assert_result_parity("sigmoid", got, ref, context="asubmit")
+
+
+# ---------------------------------------------------------------------------
+# streams, pinning, validation
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
+def test_stream_matches_one_shot(service, bundle, corpus):
+    core = corpus[0]
+    _, pi_sigmoid, _ = _stimuli(core, 0)
+    ref = SigmoidCircuitSimulator(core, bundle).simulate(pi_sigmoid)
+
+    from repro.core.session import concat_sigmoid_traces
+
+    feeds = []
+    with service.open_stream(core, kind="sigmoid") as stream:
+        for chunk in sigmoid_chunks(pi_sigmoid, chunk_size=2):
+            feeds.append(stream.feed([chunk]))
+        feeds.append(stream.finish())
+    merged = {
+        net: concat_sigmoid_traces([feed[0][net] for feed in feeds])
+        for net in feeds[-1][0]
+    }
+    assert_result_parity("sigmoid", merged, ref, context="stream")
+    stats = service.stats()
+    assert stats["streams_opened"] == 1
+    assert stats["streams_open"] == 0
+    with pytest.raises(ServiceClosed):
+        stream.feed([{}])
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
+def test_register_pins_compiled_circuit(bundle, corpus):
+    clear_compile_cache()
+    svc = PredictionService(bundle, n_workers=1)
+    try:
+        svc.register(corpus[0])
+        svc.register(corpus[1])
+        assert compile_cache_info()["pinned"] == 2
+    finally:
+        svc.close()
+    assert compile_cache_info()["pinned"] == 0
+    assert compile_cache_info()["size"] >= 2  # still cached, just unpinned
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
+def test_request_validation(bundle, corpus):
+    svc = PredictionService(bundle, n_workers=1)  # no delay library
+    try:
+        core = corpus[0]
+        _, pi_sigmoid, _ = _stimuli(core, 0)
+        with pytest.raises(ServiceError):
+            svc.submit(core, pi_sigmoid, kind="quantum")
+        with pytest.raises(ServiceError):
+            svc.submit("not-a-registered-digest", pi_sigmoid)
+        with pytest.raises(ServiceError):  # digital needs a delay library
+            svc.submit(core, pi_sigmoid, kind="digital", t_stop=1.0)
+        with pytest.raises(ModelError):  # wrong backend for the bundle
+            svc.submit(
+                core,
+                pi_sigmoid,
+                execution=ExecutionOptions(backend="lut"),
+            )
+    finally:
+        svc.close()
+
+
+# ---------------------------------------------------------------------------
+# load (fast smoke here; the slow tier and benchmarks/ run the real one)
+
+
+@needs_artifacts
+@pytest.mark.timeout(300)
+def test_serve_load_smoke(bundle, delay_library):
+    """CI-scale load: the bench harness end-to-end, parity included."""
+    from repro.serve.bench import run_serve_bench
+
+    record = run_serve_bench(
+        bundle,
+        delay_library,
+        circuits=("c17",),
+        n_clients=4,
+        requests_per_client=2,
+        n_stimuli=2,
+        stimulus=StimulusConfig(20e-12, 10e-12, 2),
+        n_workers=2,
+    )
+    assert record["parity_checked"] == 8
+    assert record["naive"]["circuits_per_s"] > 0
+    assert record["coalesced"]["circuits_per_s"] > 0
+
+
+@needs_artifacts
+@pytest.mark.slow
+@pytest.mark.timeout(600)
+def test_serve_load_coalescing_wins(bundle, delay_library):
+    """16-client load: coalescing must beat naive dispatch outright."""
+    from repro.serve.bench import run_serve_bench
+
+    record = run_serve_bench(bundle, delay_library, n_clients=16)
+    assert record["parity_checked"] == record["n_requests"]
+    assert record["coalesced"]["mean_batch"] > 1.0
+    assert record["throughput_ratio"] >= 1.2, (
+        "coalescing lost its advantage at tiny scale: "
+        f"{record['throughput_ratio']:.2f}x"
+    )
