@@ -1,0 +1,158 @@
+"""Fused vs unfused compiled sigmoid core on c3540-class depth.
+
+PR-5's compiled core still pays one python-level dispatch round trip per
+topological level per transition step; at c3540 depth (~300 levels) that
+fixed cost dominates.  The fused executor (:mod:`repro.core.fused`)
+hoists dispatch, feature assembly and the finiteness check out of the
+per-step loop and batches them per super-level, on top of the shared
+hot-path work (voxel-certified region projection, split-parameter
+cancellation bounds, busiest-first lane ordering).
+
+This bench times both compiled paths on a batch-throughput workload —
+48 stimulus runs of ``c3540_like`` — plus the interpreted simulator on a
+single run (one interpreted c3540 run costs seconds; the ledger entry
+says so explicitly via ``interpreted_n_runs``).  Both compiled paths are
+warmed on the full batch first, so the timed section measures the
+steady state the serve fleet runs in (compile cache hot, certificate
+grid populated).  Appends the measurement to ``BENCH_sigmoid.json``.
+
+Floors: fused ≥ 2x the unfused compiled path (process CPU time, so
+shared-runner load cannot skew the gate) and amortized fused wall time
+< 100 ms per run — the interactive-latency target of ROADMAP item 3.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.compile import compile_circuit
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.trace import SigmoidalTrace
+from repro.digital.trace import DigitalTrace
+from repro.eval.stimuli import StimulusConfig, random_pi_sources
+from repro.eval.table1 import nor_mapped
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sigmoid.json"
+
+#: Transition-parameter agreement bound (scaled units; 0.05 ps).
+PARAM_ATOL = 5e-4
+
+N_RUNS = 48
+
+
+def _stimulus_runs(core, config, seeds):
+    runs = []
+    for seed in seeds:
+        sources, _ = random_pi_sources(core.primary_inputs, config, seed)
+        runs.append(
+            {
+                pi: SigmoidalTrace.from_digital(
+                    DigitalTrace(
+                        bool(src.initial_levels[0]),
+                        src.run_transitions[0].tolist(),
+                    )
+                )
+                for pi, src in sources.items()
+            }
+        )
+    return runs
+
+
+def _assert_parity(expected, got, label):
+    worst = 0.0
+    for run_expected, run_got in zip(expected, got):
+        for po in run_expected:
+            te, tg = run_expected[po], run_got[po]
+            assert te.initial_level == tg.initial_level, (label, po)
+            assert te.n_transitions == tg.n_transitions, (label, po)
+            if te.params.size:
+                worst = max(
+                    worst, float(np.max(np.abs(te.params - tg.params)))
+                )
+    assert worst < PARAM_ATOL, f"{label} diverged: {worst}"
+    return worst
+
+
+def test_fused_speedup_c3540(bundle):
+    """Fused vs unfused compiled c3540_like batch (CPU time floor 2x)."""
+    core = nor_mapped("c3540_like")
+    config = StimulusConfig(100e-12, 50e-12, 3)
+    runs = _stimulus_runs(core, config, range(N_RUNS))
+
+    compiled = compile_circuit(core, bundle)
+    # Steady-state warmup: populate the compile caches and the lazy
+    # voxel-certificate grid with the exact trajectory footprint.
+    compiled.run_batch(runs, fused=True)
+    compiled.run_batch(runs, fused=False)
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    fused = compiled.run_batch(runs, fused=True)
+    fused_seconds = time.perf_counter() - t0
+    fused_cpu = time.process_time() - c0
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    unfused = compiled.run_batch(runs, fused=False)
+    unfused_seconds = time.perf_counter() - t0
+    unfused_cpu = time.process_time() - c0
+
+    # The interpreted path on one run only — a single interpreted c3540
+    # run costs whole seconds, which is the point of the compiled core.
+    interpreter = SigmoidCircuitSimulator(core, bundle, compiled=False)
+    t0 = time.perf_counter()
+    interpreted = interpreter.simulate_batch(runs[:1])
+    interpreted_seconds = time.perf_counter() - t0
+
+    # Same science before comparing speed.
+    worst = _assert_parity(unfused, fused, "fused vs unfused")
+    worst_interp = _assert_parity(interpreted, fused[:1], "fused vs interpreted")
+
+    speedup = unfused_cpu / fused_cpu
+    per_run_ms = fused_seconds / N_RUNS * 1e3
+    record = {
+        "bench": "sigmoid_fused_vs_unfused",
+        "circuit": "c3540_like",
+        "n_gates": core.n_gates,
+        "stimulus": config.label,
+        "n_runs": N_RUNS,
+        "interpreted_n_runs": 1,
+        "fused_seconds": round(fused_seconds, 3),
+        "unfused_seconds": round(unfused_seconds, 3),
+        "fused_cpu_seconds": round(fused_cpu, 3),
+        "unfused_cpu_seconds": round(unfused_cpu, 3),
+        "interpreted_seconds": round(interpreted_seconds, 3),
+        "fused_per_run_ms": round(per_run_ms, 1),
+        "speedup_vs_unfused": round(speedup, 2),
+        "worst_param_diff_scaled": worst,
+        "worst_param_diff_vs_interpreted": worst_interp,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    history = history[-50:]
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print()
+    print(
+        f"[sigmoid-fused] fused={fused_seconds:.2f}s "
+        f"({per_run_ms:.1f} ms/run) unfused={unfused_seconds:.2f}s "
+        f"interpreted(1 run)={interpreted_seconds:.2f}s; "
+        f"cpu ratio {speedup:.2f}x over {N_RUNS} runs of "
+        f"{core.n_gates} gates (recorded in {BENCH_PATH.name})"
+    )
+    assert speedup >= 2.0, (
+        f"fused executor regressed: only {speedup:.2f}x (CPU time) over "
+        "the unfused compiled path on c3540_like (acceptance bar: 2x)"
+    )
+    assert per_run_ms < 100.0, (
+        f"c3540 fused simulation missed the interactive target: "
+        f"{per_run_ms:.1f} ms per run amortized (bar: < 100 ms)"
+    )

@@ -16,7 +16,10 @@ Runs in under a minute (no cached artifacts needed):
    in chunks, checkpoint mid-run, resume in a fresh process,
 7. stand up a :class:`repro.serve.PredictionService` — submit
    concurrent requests from many client threads, watch them coalesce
-   into lock-step batches, and read the coalescing stats.
+   into lock-step batches, and read the coalescing stats,
+8. pick an execution target for the fused kernels — ``numpy`` always,
+   ``numba`` when installed (the demo skips the JIT leg gracefully when
+   it is not; CLI spelling ``--target numba``).
 
 Differential verification in day-to-day use::
 
@@ -220,6 +223,43 @@ def main() -> None:
             f"{stats['mean_batch']:.1f}; n3 predicted with "
             f"{len(n3.params)} sigmoidal transitions"
         )
+
+        print("\n== 8. execution targets (--target) ==")
+        from repro.core.simulator import SigmoidCircuitSimulator
+        from repro.core.targets import available_targets, registered_targets
+
+        # The fused kernels run on a pluggable execution target:
+        # "numpy" always; "numba" JIT when the optional package is
+        # installed.  CLI spelling: `--target numba`; in code:
+        # ExecutionOptions(target="numba").
+        print(
+            f"registered: {registered_targets()}, "
+            f"available here: {available_targets()}"
+        )
+        reference = SigmoidCircuitSimulator(netlist, bundle).simulate(
+            pi_sigmoid
+        )
+        if "numba" in available_targets():
+            jitted = SigmoidCircuitSimulator(
+                netlist, bundle, target="numba"
+            ).simulate(pi_sigmoid)
+            worst = max(
+                (
+                    float(np.max(np.abs(t.params - jitted[po].params)))
+                    for po, t in reference.items()
+                    if t.params.size
+                ),
+                default=0.0,
+            )
+            print(
+                f"numba target agrees with numpy within {worst:.2e} "
+                "scaled units (contract: ulps, never structure)"
+            )
+        else:
+            print(
+                "numba not installed — skipped the JIT leg; the numpy "
+                "target served every prediction above"
+            )
     else:
         print("tiny artifacts not built yet — run "
               "`python -m repro.cli characterize --scale tiny` first, "

@@ -18,13 +18,16 @@ from ``repro`` and resolved lazily on first use:
 * :func:`~repro.core.compile.compile_circuit` /
   :func:`~repro.core.compile.clear_compile_cache` — the levelized
   compiled-circuit cache.
+* :func:`~repro.core.fused.compile_program` — whole-zoo stacked
+  programs: many netlists lowered into one fused multi-circuit
+  executor (:class:`~repro.core.fused.CompiledProgram`).
 * :func:`~repro.api.simulate` / :func:`~repro.api.simulate_batch` /
   :func:`~repro.api.open_session` — one-shot, lock-step batched, and
   streaming sigmoid prediction.
 * :class:`~repro.serve.PredictionService` — the serving layer: a warm
   worker fleet with request coalescing, backpressure, and streams.
 * :class:`~repro.options.ExecutionOptions` — the shared
-  compiled/backend/chunk_size execution knobs.
+  compiled/backend/chunk_size/target execution knobs.
 * :class:`~repro.eval.table1.Table1Config` /
   :func:`~repro.eval.table1.run_table1` — the paper's Table I harness.
 * :class:`~repro.verify.fuzz.FuzzConfig` /
@@ -46,6 +49,7 @@ _EXPORTS = {
     "simulate_batch": "repro.api",
     "open_session": "repro.api",
     "compile_circuit": "repro.core.compile",
+    "compile_program": "repro.core.fused",
     "clear_compile_cache": "repro.core.compile",
     "GateModelBundle": "repro.core.models",
     "ExecutionOptions": "repro.options",

@@ -53,9 +53,19 @@ def load_bundle(
 
 
 def _simulator(netlist, bundle, execution) -> SigmoidCircuitSimulator:
+    """Simulator for the normalized options.
+
+    ``ExecutionOptions.target`` selects the execution target the fused
+    kernels run on (``"numpy"`` always; ``"numba"`` when that optional
+    dependency is installed — see :mod:`repro.core.targets`); unknown
+    or unavailable targets raise eagerly, before any prediction runs.
+    """
     execution = normalize_execution(execution)
     return SigmoidCircuitSimulator(
-        netlist, bundle, compiled=execution.compiled
+        netlist,
+        bundle,
+        compiled=execution.compiled,
+        target=execution.target,
     )
 
 

@@ -12,6 +12,9 @@
     the per-gate interpreted reference walks, and ``--chunk-size N``
     streams the digital and sigmoid runs through stateful sessions in
     N-transition chunks (bounded memory, identical results).
+    ``--target`` (also on ``fuzz`` and ``serve-bench``) selects the
+    execution target of the fused sigmoid kernels — ``numpy`` always,
+    ``numba`` when that optional dependency is installed.
 
 ``python -m repro.cli ablate [--scale tiny] [--backends ann lut ...]``
     Run the backend-ablation harness: one Table I per backend.
@@ -89,6 +92,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         backend=args.backend,
         compiled=not args.interpreted,
         chunk_size=args.chunk_size,
+        target=args.target,
     )
     result = run_table1(bundle, delay_library, config)
     if args.backend != "ann":
@@ -146,6 +150,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         ),
         compiled=not args.interpreted,
         chunk_size=args.chunk_size,
+        target=args.target,
     )
     result = run_fuzz(
         config, bundle, delay_library, verbose=not args.quiet
@@ -183,6 +188,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         batch_window=args.window,
         max_batch=args.max_batch,
+        target=args.target,
     )
     path = Path(args.output)
     append_bench_record(path, record)
@@ -227,9 +233,20 @@ def _positive_int(value: str) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.core.targets import registered_targets, resolve_target
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     backends = available_backends()
+    targets = registered_targets()
+
+    def add_target_flag(subparser):
+        subparser.add_argument(
+            "--target", default="numpy", choices=targets,
+            help="execution target of the fused sigmoid kernels "
+                 "(optional targets error out cleanly when their "
+                 "dependency is not installed)",
+        )
 
     p_table = sub.add_parser("table1", help="run the Table I harness")
     p_table.add_argument("--circuits", nargs="+",
@@ -262,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
              "chunks of this many stimulus transitions (bounded memory, "
              "parity-locked against the one-shot path)",
     )
+    add_target_flag(p_table)
     p_table.set_defaults(func=cmd_table1)
 
     p_ablate = sub.add_parser(
@@ -317,6 +335,7 @@ def main(argv: list[str] | None = None) -> int:
         help="replay the streaming check at exactly this chunk size "
              "instead of the preset's {1, small, full-trace} ladder",
     )
+    add_target_flag(p_fuzz)
     golden_group = p_fuzz.add_mutually_exclusive_group()
     golden_group.add_argument(
         "--update-golden", action="store_true",
@@ -355,12 +374,23 @@ def main(argv: list[str] | None = None) -> int:
                          help="largest coalesced group")
     p_serve.add_argument("--output", default="BENCH_serve.json",
                          help="JSON ledger the record is appended to")
+    add_target_flag(p_serve)
     p_serve.set_defaults(func=cmd_serve_bench)
 
     p_info = sub.add_parser("info", help="benchmark circuit statistics")
     p_info.set_defaults(func=cmd_info)
 
     args = parser.parse_args(argv)
+    if getattr(args, "target", None) is not None:
+        # Eager validation: an optional target whose dependency is not
+        # installed is a clean one-line error, not a traceback.
+        from repro.errors import SimulationError
+
+        try:
+            resolve_target(args.target)
+        except SimulationError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     return args.func(args)
 
 

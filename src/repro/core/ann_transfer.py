@@ -28,6 +28,7 @@ from repro.core.backends import (
     build_region,
     register_backend,
 )
+from repro.core.valid_region import MergedKNNRegions
 from repro.errors import ModelError
 from repro.nn.ensemble import MLPEnsemble, train_ensemble
 from repro.nn.io import mlp_from_dict, mlp_to_dict
@@ -85,6 +86,7 @@ class ANNStackedTransfer(StackedTransferModel):
 
     def __init__(self, models: list) -> None:
         super().__init__(models)
+        self._fused_cache: dict = {}
         first = models[0]
         self._layer_sizes = first.slope_net.layer_sizes
         self._activation = first.slope_net.activation_name
@@ -169,6 +171,84 @@ class ANNStackedTransfer(StackedTransferModel):
         slope = (slope * self.y_slope_stds[member] + self.y_slope_means[member])[:, 0]
         delay = (delay * self.y_delay_stds[member] + self.y_delay_means[member])[:, 0]
         return slope, delay
+
+    def fused_evaluator(self, target=None):
+        """One-call all-members evaluator (see the base-class contract).
+
+        Both nets of every member are concatenated along the member
+        axis — slope members ``0..K-1``, delay members ``K..2K-1`` — so
+        each query row becomes two gathered rows and the whole stack
+        answers with ``n_layers`` target ``matmul_gather`` calls.
+        Region containment runs on a single merged KD-tree
+        (:class:`~repro.core.valid_region.MergedKNNRegions`) whose
+        decisions are bitwise-identical to the per-member trees.
+        Returns ``None`` when any member is architecture-non-uniform or
+        its region is not mergeable — callers fall back to
+        :meth:`predict_members`.
+        """
+        from repro.core.targets import resolve_target
+
+        target = resolve_target(target)
+        if target.name in self._fused_cache:
+            return self._fused_cache[target.name]
+        evaluate = None
+        merged = (
+            MergedKNNRegions.try_build([m.region for m in self.models])
+            if self._uniform.all()
+            else None
+        )
+        if merged is not None:
+            evaluate = self._build_fused(target, merged)
+        self._fused_cache[target.name] = evaluate
+        return evaluate
+
+    def _build_fused(self, target, merged):
+        n_members = self.n_members
+        n_layers = len(self.slope_weights)
+        last = n_layers - 1
+        weights = [
+            np.ascontiguousarray(
+                np.concatenate([self.slope_weights[i], self.delay_weights[i]])
+            )
+            for i in range(n_layers)
+        ]
+        biases = [
+            np.ascontiguousarray(
+                np.concatenate([self.slope_biases[i], self.delay_biases[i]])
+            )
+            for i in range(n_layers)
+        ]
+        y_means = np.concatenate(
+            [self.y_slope_means[:, 0], self.y_delay_means[:, 0]]
+        )
+        y_stds = np.concatenate(
+            [self.y_slope_stds[:, 0], self.y_delay_stds[:, 0]]
+        )
+        scaler_means = self.scaler_means
+        inv_scaler_stds = 1.0 / self.scaler_stds
+
+        def evaluate(features, members):
+            n = features.shape[0]
+            finite = np.isfinite(features).all(axis=1)
+            all_finite = bool(finite.all())
+            rows = features if all_finite else np.where(finite[:, None], features, 0.0)
+            rows = merged.project(rows, members)
+            scaled = (rows - scaler_means[members]) * inv_scaler_stds[members]
+            out = np.concatenate([scaled, scaled], axis=0)
+            two = np.concatenate([members, members + n_members])
+            for i in range(n_layers):
+                out = target.matmul_gather(out, weights[i], biases[i], two)
+                if i != last:
+                    out = np.where(out > 0.0, out, 0.0)
+            values = out[:, 0] * y_stds[two] + y_means[two]
+            a_out = values[:n]
+            delta_b = values[n:]
+            if not all_finite:
+                a_out = np.where(finite, a_out, np.nan)
+                delta_b = np.where(finite, delta_b, np.nan)
+            return a_out, delta_b
+
+        return evaluate
 
 
 @register_backend("ann")

@@ -149,6 +149,25 @@ class StackedTransferModel:
             delta_b[sel] = delay
         return a_out, delta_b
 
+    def fused_evaluator(self, target=None):
+        """A whole-stack single-call evaluator for the fused kernels.
+
+        Backends that can answer a ``(features, members)`` query for
+        *all* members in one vectorized pass (no per-member python
+        loop) return a callable ``evaluate(features, members) ->
+        (a_out, delta_b)`` with :meth:`predict_members` semantics up
+        to floating-point re-association; ``target`` selects the
+        :mod:`repro.core.targets` execution target the dense kernels
+        run on.  Two deliberate differences serve the fused
+        super-level executor: no input validation, and non-finite
+        feature rows yield NaN outputs instead of raising — the
+        executor batches the finiteness check once per super-level.
+
+        The default returns ``None`` (no fused path); callers fall
+        back to :meth:`predict_members`.
+        """
+        return None
+
 
 def register_backend(name: str):
     """Class decorator adding a transfer-model family to the registry."""

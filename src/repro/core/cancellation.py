@@ -12,6 +12,8 @@ high rail) is symmetric.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from scipy.optimize import minimize_scalar
 from scipy.special import expit
@@ -27,6 +29,59 @@ from repro.errors import ModelError
 #: :func:`pair_crosses_threshold` (whose bounded-Brent peak estimate is
 #: accurate to far better than this margin).
 _BOUND_MARGIN_V = 1e-6
+
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _sig(x: float) -> float:
+    """Scalar logistic with overflow clamping (``math.exp`` based)."""
+    if x >= 0.0:
+        return 1.0 / (1.0 + math.exp(-x)) if x < 700.0 else 1.0
+    return math.exp(x) / (1.0 + math.exp(x)) if x > -700.0 else 0.0
+
+
+def _pulse_peak_fast(a1: float, b1: float, a2: float, b2: float) -> float:
+    """Cheap twin of :func:`pulse_peak_value`'s extremum search.
+
+    Grid-seeded golden-section over the same padded bracket, in pure
+    python (``math.exp``), so the hot cancellation path does not pay
+    scipy's per-call optimizer overhead.  48 reuse iterations shrink
+    the bracket to ~1e-10 of its width; the extremum *value* error is
+    quadratically smaller still, far below ``_BOUND_MARGIN_V`` — the
+    batch caller only trusts the result outside that margin and
+    delegates the sliver to the exact scalar routine.
+    """
+    rising = a1 > 0.0
+    sign = -1.0 if rising else 1.0
+    off = -1.0 if rising else 0.0
+
+    def g(tau: float) -> float:
+        return sign * (_sig(a1 * (tau - b1)) + _sig(a2 * (tau - b2)) + off)
+
+    w = 2.0 * (transition_width_tau(a1) + transition_width_tau(a2))
+    lo = min(b1, b2) - w
+    hi = max(b1, b2) + w
+    # The best cell of a 9-point seed grid brackets the extremum.
+    step = (hi - lo) / 8.0
+    vals = [g(lo + i * step) for i in range(9)]
+    best = vals.index(min(vals))
+    a = lo + max(best - 1, 0) * step
+    b = lo + min(best + 1, 8) * step
+    span = b - a
+    c = b - _INVPHI * span
+    d = a + _INVPHI * span
+    fc = g(c)
+    fd = g(d)
+    for _ in range(48):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _INVPHI * (b - a)
+            fc = g(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INVPHI * (b - a)
+            fd = g(d)
+    return sign * min(fc, fd)
 
 
 def pulse_peak_value(
@@ -102,36 +157,84 @@ def pair_crosses_threshold_batch(
     first = np.atleast_2d(np.asarray(first, dtype=float))
     second = np.atleast_2d(np.asarray(second, dtype=float))
     vdd = np.broadcast_to(np.asarray(vdd, dtype=float), (first.shape[0],))
-    a1, b1 = first[:, 0], first[:, 1]
-    a2, b2 = second[:, 0], second[:, 1]
-    result = np.zeros(first.shape[0], dtype=bool)
+    return _pair_crosses_split(
+        first[:, 0], first[:, 1], second[:, 0], second[:, 1], vdd, threshold
+    )
+
+
+def _pair_crosses_split(
+    a1: np.ndarray,
+    b1: np.ndarray,
+    a2: np.ndarray,
+    b2: np.ndarray,
+    vdd: np.ndarray,
+    threshold: float = VTH,
+) -> np.ndarray:
+    """:func:`pair_crosses_threshold_batch` on already-split 1-d params.
+
+    The hot-loop entry (:func:`~repro.core.compile.lockstep_level` calls
+    it with raw column slices), sparing the ``(n, 2)`` stacking and
+    re-splitting of the public wrapper.  When the supply rail is uniform
+    across the batch — every compiled-core call — the four peak-bound
+    comparisons reduce to scalar thresholds on ``s_c`` alone.
+    """
+    result = np.zeros(a1.shape[0], dtype=bool)
 
     regular = (a1 != 0.0) & (a2 != 0.0) & (np.sign(a1) != np.sign(a2))
     with np.errstate(invalid="ignore", divide="ignore"):
         tau_c = (a1 * b1 - a2 * b2) / (a1 - a2)
         s_c = expit(a1 * (tau_c - b1))
     rising = a1 > 0
-    # Peak / dip bounds in volts (see docstring).
-    tight = np.where(rising, vdd * (2.0 * s_c - 1.0), vdd * 2.0 * s_c)
-    loose = vdd * s_c
-    keep_sure = np.where(
-        rising,
-        tight >= threshold + _BOUND_MARGIN_V,
-        tight <= threshold - _BOUND_MARGIN_V,
-    )
-    cancel_sure = np.where(
-        rising,
-        loose < threshold - _BOUND_MARGIN_V,
-        loose > threshold + _BOUND_MARGIN_V,
-    )
+    v0 = float(vdd[0]) if vdd.size else 1.0
+    if vdd.size == 0 or bool((vdd == v0).all()):
+        # Uniform rail: the volt-domain bounds of the docstring, solved
+        # for s_c, become four scalar cutoffs.
+        tk = (threshold + _BOUND_MARGIN_V) / v0
+        tc = (threshold - _BOUND_MARGIN_V) / v0
+        keep_sure = np.where(
+            rising, s_c >= 0.5 * (1.0 + tk), s_c <= 0.5 * tc
+        )
+        cancel_sure = np.where(rising, s_c < tc, s_c > tk)
+    else:
+        # Peak / dip bounds in volts (see docstring).
+        tight = np.where(rising, vdd * (2.0 * s_c - 1.0), vdd * 2.0 * s_c)
+        loose = vdd * s_c
+        keep_sure = np.where(
+            rising,
+            tight >= threshold + _BOUND_MARGIN_V,
+            tight <= threshold - _BOUND_MARGIN_V,
+        )
+        cancel_sure = np.where(
+            rising,
+            loose < threshold - _BOUND_MARGIN_V,
+            loose > threshold + _BOUND_MARGIN_V,
+        )
     decided = regular & np.isfinite(s_c) & (keep_sure | cancel_sure)
     result[decided] = keep_sure[decided]
-    for i in np.nonzero(~decided)[0]:
+    # Non-finite pairs (NaN placeholders from a fused super-level whose
+    # finiteness check is deferred) are kept as-is rather than handed to
+    # the scalar routine — the super-level check raises for them anyway,
+    # and keeping them preserves the lane for that diagnostic.  A sum is
+    # non-finite exactly when any addend is (inf pairs of opposite sign
+    # collapse to NaN), so one ``isfinite`` covers all four parameters.
+    finite = np.isfinite(a1 + b1 + a2 + b2)
+    result[~finite] = True
+    for i in np.nonzero(~decided & finite)[0]:
+        fa1, fb1 = float(a1[i]), float(b1[i])
+        fa2, fb2 = float(a2[i]), float(b2[i])
+        if regular[i]:
+            # Cheap exact-search refinement: trusted only when the
+            # extremum clears the threshold by the same margin the
+            # analytic bounds use; the sliver (and degenerate pairs)
+            # still goes to the scipy-exact scalar routine.
+            peak = float(vdd[i]) * _pulse_peak_fast(fa1, fb1, fa2, fb2)
+            if abs(peak - threshold) > _BOUND_MARGIN_V:
+                result[i] = (
+                    peak >= threshold if rising[i] else peak <= threshold
+                )
+                continue
         result[i] = pair_crosses_threshold(
-            (float(a1[i]), float(b1[i])),
-            (float(a2[i]), float(b2[i])),
-            vdd=float(vdd[i]),
-            threshold=threshold,
+            (fa1, fb1), (fa2, fb2), vdd=float(vdd[i]), threshold=threshold
         )
     return result
 

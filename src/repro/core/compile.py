@@ -43,7 +43,7 @@ import numpy as np
 from repro.circuits.gates import GateType, eval_gate
 from repro.circuits.netlist import Netlist
 from repro.constants import NOMINAL_SLOPE
-from repro.core.cancellation import pair_crosses_threshold_batch
+from repro.core.cancellation import _pair_crosses_split
 from repro.core.models import GateModelBundle
 from repro.core.tom import T_CAP
 from repro.core.trace import SigmoidalTrace
@@ -164,7 +164,10 @@ def _evict_over_bound() -> None:
 
 
 def compile_circuit(
-    netlist: Netlist, bundle: GateModelBundle, pin: bool = False
+    netlist: Netlist,
+    bundle: GateModelBundle,
+    pin: bool = False,
+    target=None,
 ) -> "CompiledCircuit":
     """Lower ``netlist`` + ``bundle`` into a cached array program.
 
@@ -174,8 +177,19 @@ def compile_circuit(
     ``pin=True`` additionally marks the entry as warm-fleet resident:
     LRU eviction skips it until a matching :func:`unpin_circuit` (pins
     are refcounted; ``clear_compile_cache`` drops them all).
+
+    ``target`` names an execution target
+    (:func:`repro.core.targets.resolve_target`) and is validated here so
+    an unknown or unavailable target fails at compile time; the compiled
+    artifact itself is target-agnostic (one compilation serves every
+    target — the target is re-resolved where kernels actually run), so
+    ``target`` does not enter the cache key.
     """
     global _HITS, _MISSES
+    if target is not None:
+        from repro.core.targets import resolve_target
+
+        resolve_target(target)
     key = _cache_key(netlist, bundle)
     with _CACHE_LOCK:
         cached = _CACHE.get(key)
@@ -316,6 +330,27 @@ class CompiledCircuit:
         else:  # gate-free netlist: nothing to predict with
             self.stack = None
         self.n_members = len(tf_objects)
+        self.tf_objects = tf_objects
+
+        # Dense net -> slot map (PIs first, then gates in level order)
+        # for the fused whole-program executor's slot stores.
+        self.slot_of: dict[str, int] = {}
+        for name in netlist.primary_inputs:
+            self.slot_of[name] = len(self.slot_of)
+        for program in self.levels:
+            for name in program.names:
+                self.slot_of[name] = len(self.slot_of)
+        self.n_slots = len(self.slot_of)
+        self._fused_program = None
+
+    # ------------------------------------------------------------------
+    def fused_program(self) -> "object":
+        """This circuit as a lazily built single-member fused program."""
+        if self._fused_program is None:
+            from repro.core.fused import CompiledProgram
+
+            self._fused_program = CompiledProgram([self])
+        return self._fused_program
 
     # ------------------------------------------------------------------
     def _evaluate(self, pi_levels: dict[str, bool]) -> dict[str, bool]:
@@ -332,6 +367,8 @@ class CompiledCircuit:
         record_nets: list[str] | None = None,
         t_cap: float = T_CAP,
         dummy_slope: float = NOMINAL_SLOPE,
+        fused: bool = True,
+        target=None,
     ) -> "list[dict[str, SigmoidalTrace]]":
         """Predict traces for a batch of stimulus runs, level by level.
 
@@ -339,14 +376,25 @@ class CompiledCircuit:
         :meth:`~repro.core.simulator.SigmoidCircuitSimulator.simulate_batch`:
         identical per-run predictions, one grouped stacked call per
         transition step instead of one scalar call per gate transition.
-        A thin one-shot wrapper over :meth:`open_session` — feed the
-        whole stimulus, finish.
+        ``fused`` (the default) executes through the whole-program fused
+        super-level kernels of :mod:`repro.core.fused` on the selected
+        execution ``target``; ``fused=False`` keeps the per-level
+        streaming-session path (the PR-5 compiled reference the fused
+        parity contract is stated against) — a thin one-shot wrapper
+        over :meth:`open_session`: feed the whole stimulus, finish.
         """
+        if fused:
+            return self.fused_program().run_jobs(
+                [(0, runs, record_nets) for runs in pi_traces_runs],
+                t_cap=t_cap,
+                dummy_slope=dummy_slope,
+                target=target,
+            )
         from repro.core.session import one_shot_sigmoid_batch
 
         return one_shot_sigmoid_batch(
             lambda record: self.open_session(
-                record, t_cap=t_cap, dummy_slope=dummy_slope
+                record, t_cap=t_cap, dummy_slope=dummy_slope, target=target
             ),
             self.netlist,
             pi_traces_runs,
@@ -362,6 +410,7 @@ class CompiledCircuit:
         state: dict | None = None,
         t_cap: float = T_CAP,
         dummy_slope: float = NOMINAL_SLOPE,
+        target=None,
     ):
         """Open a streaming session running this compiled program."""
         from repro.core.session import STREAM_GUARD, SigmoidSession
@@ -374,6 +423,7 @@ class CompiledCircuit:
             t_cap=t_cap,
             dummy_slope=dummy_slope,
             state=state,
+            target=target,
         )
 
 
@@ -434,6 +484,23 @@ def nor_merge_masked(
     )
 
 
+def checked_predict(predict):
+    """Wrap a ``(features, members)`` evaluator with the finite check.
+
+    The per-step error contract of the streaming sessions: any
+    non-finite model output raises immediately, before the value can
+    enter the recurrence.
+    """
+
+    def checked(features, members):
+        a_raw, delta_b = predict(features, members)
+        if not (np.all(np.isfinite(a_raw)) and np.all(np.isfinite(delta_b))):
+            raise ModelError("transfer function produced non-finite output")
+        return a_raw, delta_b
+
+    return checked
+
+
 def lockstep_level(
     stack,
     B: np.ndarray,
@@ -451,6 +518,8 @@ def lockstep_level(
     prev_b: np.ndarray | None = None,
     exp_sign: np.ndarray | None = None,
     floor: np.ndarray | None = None,
+    predict=None,
+    feature_buf: np.ndarray | None = None,
 ) -> None:
     """Algorithm 1 across all lanes, lock-step over transition index.
 
@@ -462,9 +531,20 @@ def lockstep_level(
     many leading output slots are already *released* — the ordering
     snap and pair cancellation still see them, but a cancellation that
     would pop below the floor raises instead of revising history.
+
+    ``predict`` overrides the transfer-function call: a callable
+    ``(features, members) -> (a_out, delta_b)``.  The default wraps
+    ``stack.predict_members`` with the per-step finiteness check; the
+    fused executor passes a raw fused evaluator instead and batches
+    that check once per super-level (non-finite rows then propagate as
+    NaN through this recurrence, harmlessly, until that check raises).
+    ``feature_buf`` is an optional ``(>= n_lanes, 3)`` scratch array
+    reused across steps in place of a fresh ``np.stack`` per step.
     """
-    if stack is None:  # pragma: no cover - guarded by compile
-        raise ModelError("compiled circuit has no transfer functions")
+    if predict is None:
+        if stack is None:  # pragma: no cover - guarded by compile
+            raise ModelError("compiled circuit has no transfer functions")
+        predict = checked_predict(stack.predict_members)
     n_lanes = B.shape[0]
     if prev_a is None:
         prev_a = s_sign * abs_dummy
@@ -476,49 +556,100 @@ def lockstep_level(
         floor = np.zeros(n_lanes, dtype=int)
     lanes = np.arange(n_lanes)
 
+    # Busiest-first lane order: sorted descending by transition count,
+    # the lanes active at step ``j`` are exactly a *prefix*, so the
+    # per-step state gathers and scatters below become contiguous
+    # slices instead of fancy-index round trips.  Mutated carry arrays
+    # are restored to caller order on every exit path (the permutation
+    # is pure bookkeeping — per lane the recurrence is unchanged).
+    order = np.argsort(-counts, kind="stable")
+    if np.array_equal(order, lanes):
+        order = None
+    else:
+        B, A, MEM = B[order], A[order], MEM[order]
+        counts = counts[order]
+        s_sign = s_sign[order]
+        cancel_vdd = cancel_vdd[order]
+        caller_arrays = (out_a, out_b, n_out, prev_a, prev_b, exp_sign)
+        out_a, out_b = out_a[order], out_b[order]
+        n_out, prev_a, prev_b = n_out[order], prev_a[order], prev_b[order]
+        exp_sign = exp_sign[order]
+        floor = floor[order]
+
+    try:
+        _lockstep_sorted(
+            B, A, MEM, counts, s_sign, cancel_vdd, out_a, out_b, n_out,
+            t_cap, abs_dummy, prev_a, prev_b, exp_sign, floor, predict,
+            feature_buf, lanes,
+        )
+    finally:
+        if order is not None:
+            rank = np.empty(n_lanes, dtype=np.intp)
+            rank[order] = lanes
+            for dst, src in zip(caller_arrays, (
+                out_a, out_b, n_out, prev_a, prev_b, exp_sign
+            )):
+                dst[:] = src[rank]
+
+
+def _lockstep_sorted(
+    B, A, MEM, counts, s_sign, cancel_vdd, out_a, out_b, n_out,
+    t_cap, abs_dummy, prev_a, prev_b, exp_sign, floor, predict,
+    feature_buf, lanes,
+) -> None:
+    """:func:`lockstep_level` body over busiest-first-ordered lanes."""
+    neg_counts = -counts
+
     for j in range(B.shape[1]):
-        idx = lanes[counts > j]
-        if idx.size == 0:
+        # Lanes with counts > j form the leading prefix.
+        na = int(np.searchsorted(neg_counts, -j, side="left"))
+        if na == 0:
             break
-        b_in = B[idx, j]
-        a_in = A[idx, j]
-        T = np.minimum(b_in - prev_b[idx], t_cap)
-        features = np.stack([T, prev_a[idx], a_in], axis=1)
-        a_raw, delta_b = stack.predict_members(features, MEM[idx, j])
-        if not (np.all(np.isfinite(a_raw)) and np.all(np.isfinite(delta_b))):
-            raise ModelError("transfer function produced non-finite output")
-        a_out = exp_sign[idx] * np.abs(a_raw)
+        idx = lanes[:na]
+        b_in = B[:na, j]
+        a_in = A[:na, j]
+        T = np.minimum(b_in - prev_b[:na], t_cap)
+        if feature_buf is not None:
+            features = feature_buf[:na]
+            features[:, 0] = T
+            features[:, 1] = prev_a[:na]
+            features[:, 2] = a_in
+        else:
+            features = np.stack([T, prev_a[:na], a_in], axis=1)
+        e_sign = exp_sign[:na]
+        a_raw, delta_b = predict(features, MEM[:na, j])
+        a_out = e_sign * np.abs(a_raw)
         b_out = b_in + delta_b
 
         # Ordering snap: a prediction jumping before its predecessor
         # lands just after it (same 1e-6 nudge as the interpreter).
-        has_prev = n_out[idx] > 0
-        last_slot = np.maximum(n_out[idx] - 1, 0)
+        cnt = n_out[:na]  # prefix view; incremented in place below
+        has_prev = cnt > 0
+        last_slot = np.maximum(cnt - 1, 0)
         last_b = np.where(has_prev, out_b[idx, last_slot], -np.inf)
         snap = has_prev & (b_out <= last_b)
         b_out = np.where(snap, last_b + 1e-6, b_out)
 
-        out_a[idx, n_out[idx]] = a_out
-        out_b[idx, n_out[idx]] = b_out
-        n_out[idx] += 1
-        prev_a[idx] = a_out
-        prev_b[idx] = b_out
-        exp_sign[idx] = -exp_sign[idx]
+        out_a[idx, cnt] = a_out
+        out_b[idx, cnt] = b_out
+        cnt += 1
+        prev_a[:na] = a_out
+        prev_b[:na] = b_out
+        exp_sign[:na] = -e_sign
 
-        # Sub-threshold cancellation on the freshly closed pair.
-        pair_idx = idx[n_out[idx] >= 2]
-        if pair_idx.size:
-            slot = n_out[pair_idx]
-            first = np.stack(
-                [out_a[pair_idx, slot - 2], out_b[pair_idx, slot - 2]],
-                axis=1,
-            )
-            second = np.stack(
-                [out_a[pair_idx, slot - 1], out_b[pair_idx, slot - 1]],
-                axis=1,
-            )
-            crosses = pair_crosses_threshold_batch(
-                first, second, cancel_vdd[pair_idx]
+        # Sub-threshold cancellation on the freshly closed pair.  The
+        # pair's second element is the transition written above, so only
+        # its first element needs a gather from the output arrays.
+        pair = cnt >= 2
+        if pair.any():
+            pair_idx = idx[pair]
+            slot = cnt[pair] - 2
+            crosses = _pair_crosses_split(
+                out_a[pair_idx, slot],
+                out_b[pair_idx, slot],
+                a_out[pair],
+                b_out[pair],
+                cancel_vdd[pair_idx],
             )
             drop = pair_idx[~crosses]
             if drop.size:

@@ -220,6 +220,7 @@ class SigmoidSession(SimulationSession):
         t_cap: float = T_CAP,
         dummy_slope: float = NOMINAL_SLOPE,
         state: dict | None = None,
+        target=None,
     ) -> None:
         super().__init__()
         if compiled_circuit is None and bundle is None:
@@ -248,6 +249,24 @@ class SigmoidSession(SimulationSession):
                 raise SimulationError(f"unknown record net: {net!r}")
         self._record = list(record_nets)
         self._digest = netlist_digest(netlist)
+        # Sessions run the fused kernels too: when the stack offers a
+        # fused whole-stack evaluator for the selected execution target
+        # it replaces the per-member predict_members dispatch inside
+        # lockstep_level, re-wrapped with the per-step finiteness check
+        # (streaming keeps the strict error contract — only the one-shot
+        # program executor batches that check per super-level).
+        self._predict = None
+        self._feature_buf = None
+        if self._compiled and compiled_circuit.stack is not None:
+            evaluate = compiled_circuit.stack.fused_evaluator(target)
+            if evaluate is not None:
+                from repro.core.compile import checked_predict
+
+                self._predict = checked_predict(evaluate)
+        elif target is not None:
+            from repro.core.targets import resolve_target
+
+            resolve_target(target)
         if self._compiled:
             self._stack = compiled_circuit.stack
             self._levels = []
@@ -770,10 +789,13 @@ class SigmoidSession(SimulationSession):
                 A[lane, : b.size] = lane_a[lane]
                 MEM[lane, : b.size] = lane_m[lane]
 
+        if self._feature_buf is None or self._feature_buf.shape[0] < n_lanes:
+            self._feature_buf = np.empty((n_lanes, 3))
         lockstep_level(
             self._stack, B, A, MEM, counts, s_sign, cancel_vdd,
             out_a, out_b, n_out, self._t_cap, self._abs_dummy,
             prev_a=prev_a, prev_b=prev_b, exp_sign=exp_sign, floor=floor,
+            predict=self._predict, feature_buf=self._feature_buf,
         )
 
         for lane in range(n_lanes):

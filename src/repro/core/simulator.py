@@ -33,6 +33,8 @@ class SigmoidCircuitSimulator:
         netlist: Netlist,
         bundle: GateModelBundle,
         compiled: bool = True,
+        target: str | None = None,
+        fused: bool = True,
     ) -> None:
         netlist.validate()
         for gate in netlist.gates.values():
@@ -47,11 +49,19 @@ class SigmoidCircuitSimulator:
         self.netlist = netlist
         self.bundle = bundle
         self.compiled = compiled
+        self.target = target
+        self.fused = fused
         self._compiled_circuit = None
         if compiled:
             from repro.core.compile import compile_circuit
 
-            self._compiled_circuit = compile_circuit(netlist, bundle)
+            self._compiled_circuit = compile_circuit(
+                netlist, bundle, target=target
+            )
+        elif target is not None:
+            from repro.core.targets import resolve_target
+
+            resolve_target(target)  # eager validation, interpreted mode
 
     # ------------------------------------------------------------------
     def open_session(
@@ -71,7 +81,7 @@ class SigmoidCircuitSimulator:
 
         if self._compiled_circuit is not None:
             return self._compiled_circuit.open_session(
-                record_nets, guard=guard, state=state
+                record_nets, guard=guard, state=state, target=self.target
             )
         return SigmoidSession(
             self.netlist,
@@ -97,16 +107,21 @@ class SigmoidCircuitSimulator:
     ) -> list[dict[str, SigmoidalTrace]]:
         """Predict traces for a batch of stimulus runs in one pass.
 
-        A thin one-shot wrapper over :meth:`open_session`: the whole
-        stimulus is fed as a single chunk and the session finished, so
+        One-shot semantics: the whole stimulus is consumed at once, and
         per run the predictions are exactly the ones :meth:`simulate`
         makes — the two entry points are bit-compatible.
 
-        With ``compiled=True`` (the default) the session runs the
-        lock-step array program of :mod:`repro.core.compile`; with
-        ``compiled=False`` it runs the scalar per-gate walk the
-        compiled path is parity-locked against.
+        With ``compiled=True`` (the default) the batch executes through
+        the fused whole-program kernels of :mod:`repro.core.fused` on
+        the instance's execution ``target``; ``fused=False`` pins the
+        per-level streaming-session path, and ``compiled=False`` runs
+        the scalar per-gate walk both array paths are parity-locked
+        against.
         """
+        if self._compiled_circuit is not None and self.fused:
+            return self._compiled_circuit.run_batch(
+                pi_traces_runs, record_nets, target=self.target
+            )
         from repro.core.session import one_shot_sigmoid_batch
 
         return one_shot_sigmoid_batch(

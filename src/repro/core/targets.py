@@ -1,0 +1,194 @@
+"""Execution-target registry for the compiled kernels.
+
+The lowering pipeline in :mod:`repro.core.compile` emits its fused
+kernels against a tiny target-agnostic contract — an
+:class:`ExecutionTarget` supplies the few dense primitives the kernels
+need (today: a gathered batched matmul).  Everything else in the
+compiled path (index precomputation, masking, event assembly) is plain
+numpy and stays identical across targets, which is what makes the
+cross-target parity contract cheap to state: targets may differ by
+floating-point ulps, never by structure.
+
+Two targets ship:
+
+* ``numpy`` — the default, always available, pure numpy.
+* ``numba`` — optional; detected via :func:`importlib.util.find_spec`
+  and JIT-compiled lazily on first use.  When numba is not installed
+  the target reports itself unavailable and :func:`resolve_target`
+  raises a clear :class:`~repro.errors.SimulationError`.
+
+A GPU target (cupy et al.) can slot in later by registering another
+subclass — nothing in the kernel code assumes host memory beyond this
+module.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "ExecutionTarget",
+    "NumbaTarget",
+    "NumpyTarget",
+    "available_targets",
+    "get_target",
+    "register_target",
+    "registered_targets",
+    "resolve_target",
+]
+
+
+class ExecutionTarget:
+    """One way of executing the fused numeric kernels.
+
+    Subclasses implement :meth:`matmul_gather` (the single dense
+    primitive the fused ANN forward needs) and :meth:`available`.
+    Instances are stateless and shared; registration happens at import
+    time via :func:`register_target`.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def available(self) -> bool:
+        """Whether this target can execute on the current host."""
+        raise NotImplementedError
+
+    def matmul_gather(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        biases: np.ndarray,
+        members: np.ndarray,
+    ) -> np.ndarray:
+        """Per-row gathered affine map: ``x[i] @ weights[members[i]] +
+        biases[members[i]]``.
+
+        ``x`` is ``(n, f_in)`` float64, ``weights`` ``(k, f_in, f_out)``,
+        ``biases`` ``(k, f_out)``, ``members`` ``(n,)`` int.  Returns
+        ``(n, f_out)`` float64.
+        """
+        raise NotImplementedError
+
+
+class NumpyTarget(ExecutionTarget):
+    """Pure-numpy execution — always available, the parity reference."""
+
+    name = "numpy"
+
+    def available(self) -> bool:
+        return True
+
+    def matmul_gather(self, x, weights, biases, members):
+        # (n, 1, f_in) @ (n, f_in, f_out) -> (n, 1, f_out)
+        return np.matmul(x[:, None, :], weights[members])[:, 0, :] + biases[members]
+
+
+class NumbaTarget(ExecutionTarget):
+    """Numba-JIT execution; optional, gated on the package being present.
+
+    The kernel is compiled lazily on first call so importing this
+    module (and listing targets) never pays JIT or numba-import cost.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._kernel = None
+
+    def available(self) -> bool:
+        return importlib.util.find_spec("numba") is not None
+
+    def _compiled_kernel(self):
+        if self._kernel is None:
+            import numba
+
+            @numba.njit(cache=True)
+            def _matmul_gather(x, weights, biases, members, out):
+                n, f_in = x.shape
+                f_out = weights.shape[2]
+                for i in range(n):
+                    m = members[i]
+                    for j in range(f_out):
+                        acc = biases[m, j]
+                        for k in range(f_in):
+                            acc += x[i, k] * weights[m, k, j]
+                        out[i, j] = acc
+
+            self._kernel = _matmul_gather
+        return self._kernel
+
+    def matmul_gather(self, x, weights, biases, members):
+        out = np.empty((x.shape[0], weights.shape[2]), dtype=np.float64)
+        self._compiled_kernel()(
+            np.ascontiguousarray(x, dtype=np.float64),
+            weights,
+            biases,
+            members.astype(np.int64),
+            out,
+        )
+        return out
+
+
+_TARGETS: "dict[str, ExecutionTarget]" = {}
+
+
+def register_target(target: ExecutionTarget) -> None:
+    """Register an execution target under ``target.name``."""
+    if not target.name:
+        raise SimulationError("execution target needs a non-empty name")
+    _TARGETS[target.name] = target
+
+
+def registered_targets() -> "list[str]":
+    """All registered target names, available on this host or not."""
+    return sorted(_TARGETS)
+
+
+def available_targets() -> "list[str]":
+    """Registered target names that can execute on this host."""
+    return sorted(n for n, t in _TARGETS.items() if t.available())
+
+
+def get_target(name: str) -> ExecutionTarget:
+    """Look up a registered target by name (availability unchecked)."""
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown execution target {name!r}; "
+            f"registered: {', '.join(registered_targets())}"
+        ) from None
+
+
+def resolve_target(target) -> ExecutionTarget:
+    """Resolve ``None`` / a name / an instance to a usable target.
+
+    ``None`` means the default ``numpy`` target.  Raises
+    :class:`~repro.errors.SimulationError` for unknown names and for
+    targets whose optional dependency is not installed.
+    """
+    if target is None:
+        target = "numpy"
+    if isinstance(target, str):
+        target = get_target(target)
+    if not isinstance(target, ExecutionTarget):
+        raise SimulationError(
+            f"execution target must be a name or ExecutionTarget, "
+            f"got {type(target).__name__}"
+        )
+    if not target.available():
+        raise SimulationError(
+            f"execution target {target.name!r} is not available on this "
+            f"host (optional dependency not installed); available: "
+            f"{', '.join(available_targets())}"
+        )
+    return target
+
+
+register_target(NumpyTarget())
+register_target(NumbaTarget())

@@ -129,6 +129,261 @@ class KNNRegion:
         return region
 
 
+#: Member-axis offset appended as an extra KD-tree coordinate when many
+#: members' regions are merged into one tree.  Scaled feature
+#: coordinates are O(1), validity radii are O(1), so 1e6 guarantees the
+#: k nearest neighbours of any query are always points of the query's
+#: own member while the appended coordinate contributes an exact 0.0 to
+#: same-member squared distances (bitwise-identical kth distances).
+_MEMBER_SEP = 1e6
+
+#: Voxel-certificate grid over the scaled feature space (per-axis
+#: resolution).  Cells are certified lazily — one k-NN query at the
+#: center of each *visited* cell — so the cost is proportional to the
+#: trajectory's footprint, never to the full grid volume.
+_GRID_RES = 48
+
+#: Cell certificate codes.
+_CELL_NEW = 0  # never visited
+_CELL_INSIDE = 1  # whole cell certified inside its member's region
+_CELL_OUTSIDE = 2  # whole cell certified outside
+_CELL_BAND = 3  # boundary band: rows here take the exact tree query
+
+
+class MergedKNNRegions:
+    """Many members' :class:`KNNRegion`\\ s fused into one KD-tree.
+
+    The compiled fused kernels evaluate all stacked members in one call,
+    so per-member ``region.project`` dispatch would reintroduce the
+    python loop they exist to remove.  This class concatenates every
+    member's *scaled* training points into a single tree, appending a
+    fourth coordinate ``member * _MEMBER_SEP`` to both points and
+    queries: same-member distances are bitwise-unchanged, cross-member
+    distances are ~1e6, so containment decisions and nearest-projection
+    targets match the per-member path exactly.
+
+    Built via :meth:`try_build`, which returns ``None`` whenever the
+    member regions are not uniformly mergeable (a non-KNN region, or
+    mismatched ``k``/dimension) — callers then fall back to the
+    per-member path.
+    """
+
+    def __init__(self, regions) -> None:
+        self._has_region = np.array([r is not None for r in regions], dtype=bool)
+        self._all_present = bool(self._has_region.all())
+        self._cert = None
+        present = [r for r in regions if r is not None]
+        if not present:
+            self._tree = None
+            return
+        self.k = present[0].k
+        self.dim = present[0].dim
+        n_members = len(regions)
+        self._means = np.zeros((n_members, self.dim))
+        self._stds = np.ones((n_members, self.dim))
+        self._radii = np.zeros(n_members)
+        self._bbox_lo = np.zeros((n_members, self.dim))
+        self._bbox_hi = np.zeros((n_members, self.dim))
+        scaled_blocks = []
+        point_blocks = []
+        member_blocks = []
+        for member, region in enumerate(regions):
+            if region is None:
+                continue
+            self._means[member] = region._mean
+            self._stds[member] = region._std
+            self._radii[member] = region.radius
+            self._bbox_lo[member] = region._scaled.min(axis=0)
+            self._bbox_hi[member] = region._scaled.max(axis=0)
+            scaled_blocks.append(region._scaled)
+            point_blocks.append(region._points)
+            member_blocks.append(
+                np.full(len(region._points), member * _MEMBER_SEP)
+            )
+        self._inv_stds = 1.0 / self._stds
+        merged = np.concatenate(
+            [
+                np.concatenate(scaled_blocks, axis=0),
+                np.concatenate(member_blocks)[:, None],
+            ],
+            axis=1,
+        )
+        self._points = np.concatenate(point_blocks, axis=0)
+        self._tree = cKDTree(merged)
+
+    @classmethod
+    def try_build(cls, regions) -> "MergedKNNRegions | None":
+        """Merge if every present region is a same-``k`` KNNRegion."""
+        present = [r for r in regions if r is not None]
+        if any(not isinstance(r, KNNRegion) for r in present):
+            return None
+        if len({(r.k, r.dim) for r in present}) > 1:
+            return None
+        return cls(regions)
+
+    def _init_grid(self) -> None:
+        """Allocate the (empty) per-member voxel certificate grid.
+
+        Each member's grid spans its scaled training bounding box padded
+        by its radius, so any query landing *off* the grid is farther
+        than the radius from every training point — certified outside
+        with no state at all.  Cells certify lazily in
+        :meth:`_project_certified`: one k-NN query at the center of each
+        visited cell.  A cell is certified inside when the center's k-th
+        neighbour distance plus the cell half-diagonal clears the
+        radius, outside when the center distance minus the half-diagonal
+        exceeds it (the k-th-NN distance is 1-Lipschitz, so both
+        certificates hold for *every* query in the cell); the boundary
+        band keeps the exact per-row tree query.  Certified decisions
+        therefore match the tree decisions exactly — this grid is a
+        cache, not an approximation.
+        """
+        G = _GRID_RES
+        pad = self._radii[:, None] + 1e-9
+        lo = self._bbox_lo - pad
+        span = np.maximum(self._bbox_hi + pad - lo, 1e-300)
+        h = span / G
+        self._grid_lo = lo
+        self._grid_h = h
+        inv_h = 1.0 / h
+        self._half_diag = 0.5 * np.sqrt(np.sum(h * h, axis=1))
+        # Folded cell-coordinate affine: the fractional cell index of an
+        # *unscaled* row is ``row * _cell_mul[m] - _cell_off[m]`` (the
+        # feature scaling and the grid origin collapse into one
+        # multiply-subtract on the hot path).
+        self._cell_mul = self._inv_stds * inv_h
+        self._cell_off = (self._means * self._inv_stds + lo) * inv_h
+        # The grid carries a one-cell border pre-certified *outside*:
+        # off-grid rows are farther than the radius pad from every
+        # training point, and clamping their (floored) cell index into
+        # the border makes them hit that verdict with no range mask.
+        # Published last: concurrent projectors only take the grid path
+        # once the geometry above is in place (certification of a cell
+        # is idempotent, so racing writers stay correct).
+        cert = np.full(
+            (self._has_region.size,) + (G + 2,) * self.dim,
+            _CELL_OUTSIDE,
+            dtype=np.int8,
+        )
+        cert[(slice(None),) + (slice(1, G + 1),) * self.dim] = _CELL_NEW
+        self._cert = cert
+
+    def _certify_cells(self, members: np.ndarray, cells: np.ndarray) -> None:
+        """Certify the (deduplicated) cells via one batched center query.
+
+        ``cells`` are border-padded indices (interior cell ``c`` lives at
+        index ``c + 1``), exactly as gathered on the hot path.
+        """
+        G = _GRID_RES + 2
+        flat = members
+        for axis in range(self.dim):
+            flat = flat * G + cells[:, axis]
+        uniq, first = np.unique(flat, return_index=True)
+        u_members = members[first]
+        u_cells = cells[first]
+        centers = self._grid_lo[u_members] + (u_cells - 0.5) * self._grid_h[
+            u_members
+        ]
+        queries = np.empty((uniq.size, self.dim + 1))
+        queries[:, : self.dim] = centers
+        queries[:, self.dim] = u_members * _MEMBER_SEP
+        dists, _ = self._tree.query(queries, k=self.k)
+        kth = dists[:, -1] if self.k > 1 else np.atleast_1d(dists)
+        radius = self._radii[u_members]
+        half_diag = self._half_diag[u_members]
+        code = np.where(
+            kth + half_diag <= radius,
+            np.int8(_CELL_INSIDE),
+            np.where(
+                kth - half_diag > radius,
+                np.int8(_CELL_OUTSIDE),
+                np.int8(_CELL_BAND),
+            ),
+        )
+        self._cert[(u_members,) + tuple(u_cells.T)] = code
+
+    def _project_certified(self, rows: np.ndarray, members: np.ndarray):
+        """Grid-accelerated :meth:`project` (all members present)."""
+        # Fractional cell index straight from the unscaled rows (one
+        # multiply-subtract); floor-then-clamp lands off-grid rows in
+        # the pre-certified outside border, so no range mask is needed.
+        cell = np.clip(
+            np.floor(rows * self._cell_mul[members] - self._cell_off[members]),
+            -1.0,
+            _GRID_RES,
+        ).astype(np.intp)
+        cell += 1
+        cix = (members,) + tuple(cell.T)
+        cert = self._cert[cix]
+        new = cert == _CELL_NEW
+        if new.any():
+            self._certify_cells(members[new], cell[new])
+            cert[new] = self._cert[(members[new],) + tuple(cell[new].T)]
+        hot = cert != _CELL_INSIDE
+        if not hot.any():  # every row certified inside
+            return rows
+        # One exact k-NN batch serves both remaining kinds of row: band
+        # rows need the k-th distance for the containment verdict,
+        # certified-outside rows only the first neighbour (their
+        # projection target); both fall out of the same query.
+        hidx = np.nonzero(hot)[0]
+        h_members = members[hidx]
+        h_rows = rows[hidx]
+        queries = np.empty((hidx.size, self.dim + 1))
+        queries[:, : self.dim] = (
+            h_rows - self._means[h_members]
+        ) * self._inv_stds[h_members]
+        queries[:, self.dim] = h_members * _MEMBER_SEP
+        dists, nbrs = self._tree.query(queries, k=self.k)
+        if self.k > 1:
+            kth = dists[:, -1]
+            first = nbrs[:, 0]
+        else:
+            kth = np.atleast_1d(dists)
+            first = np.atleast_1d(nbrs)
+        out = (cert[hidx] == _CELL_OUTSIDE) | (kth > self._radii[h_members])
+        if not out.any():
+            return rows
+        result = rows.copy()
+        result[hidx[out]] = self._points[first[out]]
+        return result
+
+    def project(self, rows: np.ndarray, members: np.ndarray) -> np.ndarray:
+        """Project each row onto its member's region (finite rows only)."""
+        if self._tree is None:
+            return rows
+        if self._all_present:
+            if self._cert is None:
+                self._init_grid()
+            return self._project_certified(rows, members)
+        idx = np.nonzero(self._has_region[members])[0]
+        if idx.size == 0:
+            return rows
+        sub_members = members[idx]
+        queries = np.empty((sub_members.size, self.dim + 1))
+        sub_rows = rows[idx]
+        queries[:, : self.dim] = (sub_rows - self._means[sub_members]) / self._stds[
+            sub_members
+        ]
+        queries[:, self.dim] = sub_members * _MEMBER_SEP
+        # One k-NN query decides containment (k-th distance vs radius)
+        # AND carries the projection target (the first neighbour is the
+        # nearest training point) — no second query needed.
+        dists, nbrs = self._tree.query(queries, k=self.k)
+        if self.k > 1:
+            kth = dists[:, -1]
+            nearest = nbrs[:, 0]
+        else:
+            kth = dists
+            nearest = nbrs
+        outside = np.asarray(kth) > self._radii[sub_members]
+        if not np.any(outside):
+            return rows
+        result = rows.copy()
+        result[idx[outside]] = self._points[np.atleast_1d(nearest[outside])]
+        return result
+
+
 class ConvexHullRegion:
     """Convex-hull membership with exact projection onto the hull surface."""
 

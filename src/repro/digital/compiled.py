@@ -206,6 +206,11 @@ def lockstep_digital(
     """
     n_lanes = T.shape[0]
     lanes = np.arange(n_lanes)
+    # Fused arc gather: flatten the (lane, pin, edge) delay cube so the
+    # per-step lookup is one 2-d fancy index, and decide once — not per
+    # event step — whether any arc is missing (NaN) at all.
+    arc = np.ascontiguousarray(delays).reshape(n_lanes, 4)
+    any_missing = bool(np.isnan(arc).any())
 
     for j in range(T.shape[1]):
         act = counts > j
@@ -244,8 +249,8 @@ def lockstep_digital(
         if sched.size == 0:
             continue
         stgt = tgt[~revert]
-        d = delays[sched, P[sched, j], stgt.astype(int)]
-        if np.isnan(d).any():
+        d = arc[sched, 2 * P[sched, j] + stgt.astype(int)]
+        if any_missing and np.isnan(d).any():
             bad = int(np.nonzero(np.isnan(d))[0][0])
             raise ModelError(
                 f"no delay for pin {int(P[sched[bad], j])} edge "

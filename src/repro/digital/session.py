@@ -183,7 +183,27 @@ class CompiledDigitalSession(_DigitalSessionBase):
                         st["v1"][lane] = init[level.in1[i]]
                     st["out"][lane] = init[level.names[i]]
             self._lanes.append(st)
+        self._lane_const = self._build_lane_const()
         self._started = True
+
+    # ------------------------------------------------------------------
+    def _build_lane_const(self) -> list:
+        """Per-level lane-expanded ``(single, delays)`` arrays.
+
+        These gathers depend only on ``(level, n_runs)``, so they are
+        hoisted out of the per-chunk step loop and shared by every
+        :func:`~repro.digital.compiled.lockstep_digital` call.
+        """
+        const = []
+        for level in self.circuit.levels:
+            rows = np.tile(np.arange(len(level.names)), self._n_runs)
+            const.append(
+                (
+                    level.single[rows],
+                    np.ascontiguousarray(level.delays[rows]),
+                )
+            )
+        return const
 
     # ------------------------------------------------------------------
     def feed(self, chunks, advance_to: float | None = None):
@@ -242,17 +262,19 @@ class CompiledDigitalSession(_DigitalSessionBase):
     def _step(self, emitted: list[dict], final: bool) -> None:
         from repro.digital.compiled import lockstep_digital
 
-        for level, st in zip(self.circuit.levels, self._lanes):
+        for li, (level, st) in enumerate(
+            zip(self.circuit.levels, self._lanes)
+        ):
             n_g = len(level.names)
             if n_g == 0:
                 continue
+            lane_single, lane_delays = self._lane_const[li]
             n_lanes = n_g * self._n_runs
             flat_t: list[float] = []
             flat_p: list[int] = []
             flat_v: list[bool] = []
             counts = np.zeros(n_lanes, dtype=int)
             flush_to = np.empty(n_lanes)
-            delay_rows = np.empty(n_lanes, dtype=int)
 
             for run in range(self._n_runs):
                 emit_run = emitted[run]
@@ -260,7 +282,6 @@ class CompiledDigitalSession(_DigitalSessionBase):
                 t_stop = self._t_stops[run]
                 for i in range(n_g):
                     lane = run * n_g + i
-                    delay_rows[lane] = i
                     in0 = level.in0[i]
                     buf0 = st["buf0"][lane]
                     new0 = emit_run.get(in0)
@@ -341,8 +362,7 @@ class CompiledDigitalSession(_DigitalSessionBase):
             # Always run: the advancing horizon can flush a carried
             # pending even when no new input events arrived.
             lockstep_digital(
-                T, P, V, counts, level.single[delay_rows],
-                level.delays[delay_rows], flush_to,
+                T, P, V, counts, lane_single, lane_delays, flush_to,
                 st["v0"], st["v1"], st["out"], out_times, n_out,
                 st["pend_t"], st["pend_v"],
             )
@@ -443,6 +463,7 @@ class CompiledDigitalSession(_DigitalSessionBase):
                     "pend_v": np.array(saved["pend_v"], dtype=bool),
                 }
             )
+        self._lane_const = self._build_lane_const()
         self._started = True
 
 

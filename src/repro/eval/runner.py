@@ -150,6 +150,7 @@ class ExperimentRunner:
         compiled: bool = True,
         chunk_size: int | None = None,
         service=None,
+        target: str | None = None,
     ) -> None:
         core.validate()
         if chunk_size is not None and chunk_size < 1:
@@ -159,6 +160,9 @@ class ExperimentRunner:
         self.library = library
         self.compiled = compiled
         self.service = service
+        #: Execution target for the fused sigmoid kernels
+        #: (:mod:`repro.core.targets`); ``None`` = numpy.
+        self.target = target
         #: Streamed digital/sigmoid execution: stimuli are fed through
         #: stateful sessions in ~``chunk_size``-transition chunks
         #: (bounded memory, parity-locked against one-shot); ``None``
@@ -171,7 +175,9 @@ class ExperimentRunner:
             build_instance_delays(core, delay_library, library),
             compiled=compiled,
         )
-        self.sigmoid = SigmoidCircuitSimulator(core, bundle, compiled=compiled)
+        self.sigmoid = SigmoidCircuitSimulator(
+            core, bundle, compiled=compiled, target=target
+        )
         self._depth = core.depth()
 
     def _t_stop_for(self, t_last: float) -> float:
@@ -204,6 +210,7 @@ class ExperimentRunner:
                 compiled=self.compiled,
                 backend=self.service.bundle.backend,
                 chunk_size=self.chunk_size,
+                target=self.target if self.target is not None else "numpy",
             )
             futures = [
                 self.service.submit(

@@ -64,7 +64,7 @@ CIRCUIT_BUILDERS = {
 DEFAULT_MAX_RUNS_PER_BATCH = 64
 
 
-@execution_aliases("compiled", "backend", "chunk_size")
+@execution_aliases("compiled", "backend", "chunk_size", "target")
 @dataclass
 class Table1Config:
     """Harness configuration (defaults are CI-scale).
@@ -89,7 +89,9 @@ class Table1Config:
     ``chunk_size`` (CLI ``--chunk-size``) streams the digital and
     sigmoid runs through stateful sessions in chunks of that many
     merged stimulus transitions — bounded memory, parity-locked against
-    the one-shot path.
+    the one-shot path.  ``target`` (CLI ``--target``) selects the
+    execution target of the fused sigmoid kernels
+    (:mod:`repro.core.targets`).
 
     The three execution knobs live on one shared
     :class:`~repro.options.ExecutionOptions` (``config.execution``);
@@ -111,13 +113,15 @@ class Table1Config:
     backend: InitVar = _UNSET
     compiled: InitVar = _UNSET
     chunk_size: InitVar = _UNSET
+    target: InitVar = _UNSET
 
-    def __post_init__(self, backend, compiled, chunk_size) -> None:
+    def __post_init__(self, backend, compiled, chunk_size, target) -> None:
         self.execution = normalize_execution(
             self.execution,
             compiled=compiled,
             backend=backend,
             chunk_size=chunk_size,
+            target=target,
         )
 
 
@@ -203,6 +207,7 @@ def _run_circuit_cells(
         delay_library,
         compiled=config.compiled,
         chunk_size=config.chunk_size,
+        target=config.target,
     )
     rows = [
         run_cell(

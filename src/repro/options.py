@@ -36,19 +36,24 @@ class ExecutionOptions:
     transfer-model backend the sigmoid bundle must have been trained
     with; ``chunk_size`` streams runs through stateful sessions in
     chunks of that many merged stimulus transitions (``None`` =
-    one-shot).  The evaluation configs and the serving request schema
-    share this one definition.
+    one-shot); ``target`` names the execution target the fused kernels
+    run on (see :mod:`repro.core.targets` — ``"numpy"`` always,
+    ``"numba"`` when the optional dependency is installed).  The
+    evaluation configs and the serving request schema share this one
+    definition.
     """
 
     compiled: bool = True
     backend: str = "ann"
     chunk_size: int | None = None
+    target: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise SimulationError("chunk_size must be >= 1")
 
-    def merged(self, compiled=_UNSET, backend=_UNSET, chunk_size=_UNSET):
+    def merged(self, compiled=_UNSET, backend=_UNSET, chunk_size=_UNSET,
+               target=_UNSET):
         """A copy with the explicitly passed knobs overriding this one."""
         overrides = {}
         if compiled is not _UNSET:
@@ -57,11 +62,13 @@ class ExecutionOptions:
             overrides["backend"] = str(backend)
         if chunk_size is not _UNSET:
             overrides["chunk_size"] = chunk_size
+        if target is not _UNSET:
+            overrides["target"] = str(target)
         return replace(self, **overrides) if overrides else replace(self)
 
 
 def normalize_execution(execution, compiled=_UNSET, backend=_UNSET,
-                        chunk_size=_UNSET) -> ExecutionOptions:
+                        chunk_size=_UNSET, target=_UNSET) -> ExecutionOptions:
     """Merge an optional ``execution`` base with legacy scalar kwargs.
 
     The scalar kwargs win when both are given (``dataclasses.replace``
@@ -75,7 +82,7 @@ def normalize_execution(execution, compiled=_UNSET, backend=_UNSET,
             f"execution must be an ExecutionOptions, got {type(base).__name__}"
         )
     return base.merged(compiled=compiled, backend=backend,
-                       chunk_size=chunk_size)
+                       chunk_size=chunk_size, target=target)
 
 
 def _alias(name: str, readonly: bool) -> property:

@@ -210,15 +210,25 @@ def run_serve_bench(
     timeout: float = 120.0,
     execution: ExecutionOptions | None = None,
     check_parity: bool = True,
+    target: str | None = None,
 ) -> dict:
     """Measure coalesced vs naive dispatch under a many-client load.
 
     Returns the ledger record (see module docstring); the caller
     appends it to ``BENCH_serve.json`` via :func:`append_bench_record`.
+    Each mode additionally records ``compile_cache_delta`` — the
+    compile-cache hits/misses *this run* caused (snapshot-and-diff
+    around the mode, so the cumulative process-wide counters don't
+    blur repeated bench invocations together).  ``target`` overrides
+    the execution target of the fused sigmoid kernels.
     """
+    from repro.core.compile import compile_cache_info
+
     if n_clients < 1 or requests_per_client < 1:
         raise ServiceError("need at least one client and one request")
     execution = execution or ExecutionOptions()
+    if target is not None:
+        execution = execution.merged(target=target)
     cores = [nor_mapped(name) for name in circuits]
     jobs = _client_stimuli(cores, stimulus, n_stimuli, seed)
 
@@ -235,6 +245,7 @@ def run_serve_bench(
         ("naive", 0.0, 1),
         ("coalesced", batch_window, max_batch),
     ):
+        cache_before = compile_cache_info()
         service = PredictionService(
             bundle,
             delay_library,
@@ -257,6 +268,7 @@ def run_serve_bench(
             stats = service.stats()
         finally:
             service.close()
+        cache_after = compile_cache_info()
         if check_parity and mode == "coalesced":
             for per_client in results:
                 for (ci, si), out in per_client:
@@ -278,6 +290,10 @@ def run_serve_bench(
             "coalesced_requests": stats["coalesced"],
             "mean_batch": stats["mean_batch"],
             "max_batch_seen": stats["max_batch"],
+            "compile_cache_delta": {
+                "hits": cache_after["hits"] - cache_before["hits"],
+                "misses": cache_after["misses"] - cache_before["misses"],
+            },
         }
 
     speedup = (
@@ -299,6 +315,7 @@ def run_serve_bench(
         "max_batch": max_batch,
         "backend": execution.backend,
         "compiled": execution.compiled,
+        "target": execution.target,
         "naive": modes["naive"],
         "coalesced": modes["coalesced"],
         "throughput_ratio": round(speedup, 3),

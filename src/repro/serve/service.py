@@ -10,12 +10,19 @@ immediate :class:`~repro.errors.ServiceOverloaded` (backpressure is the
 caller's signal to shed or retry, never silent queuing without bound).
 A worker takes the oldest request, holds a short *batching window*
 (``batch_window`` seconds) for more requests with the same coalescing
-key — ``(kind, netlist digest, backend, compiled, chunk_size, record
-nets)`` — then executes the whole group as ONE lock-step
+key — ``(kind, netlist digest, backend, compiled, chunk_size, target,
+record nets)`` — then executes the whole group as ONE lock-step
 ``simulate_batch`` on the warm simulator and resolves each request's
 future with its own run.  Batched execution equals serial execution
 (digital bitwise, sigmoid within the standing 0.05 ps parity bound), so
 coalescing is invisible to callers except as latency amortization.
+
+``PredictionService(..., program=True)`` widens the sigmoid coalescing
+key further: one-shot compiled requests coalesce *across circuits* into
+a single whole-zoo :class:`~repro.core.fused.CompiledProgram`
+(:meth:`CompiledProgram.run_jobs` advances every member circuit in the
+same lock-step pass), so a mixed-circuit burst costs one fused dispatch
+instead of one batch per digest.
 
 Warmness and pinning
 --------------------
@@ -95,19 +102,19 @@ class _FleetEntry:
         self.digest = digest
         self.lock = threading.Lock()
         self.compiled_circuit = None  # pinned sigmoid array program
-        self._sigmoid: dict[bool, SigmoidCircuitSimulator] = {}
+        self._sigmoid: dict[tuple, SigmoidCircuitSimulator] = {}
         self._digital: dict[bool, DigitalSimulator] = {}
 
     def sigmoid(
-        self, bundle: GateModelBundle, compiled: bool
+        self, bundle: GateModelBundle, compiled: bool, target: str = "numpy"
     ) -> SigmoidCircuitSimulator:
         with self.lock:
-            sim = self._sigmoid.get(compiled)
+            sim = self._sigmoid.get((compiled, target))
             if sim is None:
                 sim = SigmoidCircuitSimulator(
-                    self.netlist, bundle, compiled=compiled
+                    self.netlist, bundle, compiled=compiled, target=target
                 )
-                self._sigmoid[compiled] = sim
+                self._sigmoid[(compiled, target)] = sim
             return sim
 
     def digital(
@@ -207,7 +214,17 @@ class PredictionService:
         Service-default :class:`~repro.options.ExecutionOptions`;
         per-request options override it.  ``backend`` must match the
         bundle's.
+    program:
+        Opt-in whole-zoo dispatch: one-shot compiled sigmoid requests
+        coalesce **across digests** into one multi-circuit
+        :class:`~repro.core.fused.CompiledProgram` per batch (built
+        once per distinct warm circuit combination, cached).  Chunked
+        or interpreted requests keep the per-digest path.
     """
+
+    #: Bound on cached cross-circuit programs (distinct digest
+    #: combinations); oldest combination is dropped first.
+    MAX_PROGRAMS = 8
 
     def __init__(
         self,
@@ -220,6 +237,7 @@ class PredictionService:
         max_batch: int = 64,
         execution: ExecutionOptions | None = None,
         library: CellLibrary = DEFAULT_LIBRARY,
+        program: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ServiceError("n_workers must be >= 1")
@@ -244,6 +262,8 @@ class PredictionService:
         self.max_pending = max_pending
         self.batch_window = float(batch_window)
         self.max_batch = max_batch
+        self.program = bool(program)
+        self._programs: dict[tuple, object] = {}
 
         self._lock = threading.Condition()
         self._pending: deque[_Request] = deque()
@@ -267,6 +287,7 @@ class PredictionService:
             "coalesced": 0,
             "max_batch": 0,
             "streams_opened": 0,
+            "program_batches": 0,
         }
         self._workers = [
             threading.Thread(
@@ -309,6 +330,37 @@ class PredictionService:
             # winner's close() leaves the cache entry unpinned.
             unpin_circuit(netlist, self.bundle)
         return digest
+
+    def unregister(self, circuit) -> bool:
+        """Evict a circuit from the warm fleet; returns whether it was warm.
+
+        ``circuit`` is a :class:`Netlist` or a digest.  Drops the fleet
+        entry (simulators and all), releases the compile-cache pin so
+        the compilation becomes ordinarily LRU-evictable again, and
+        forgets any cached cross-circuit programs that included the
+        member.  In-flight requests already holding the entry finish
+        normally (they own their references); *queued* requests for the
+        digest fail when their batch starts.  Unknown digests return
+        ``False`` — eviction is idempotent.
+        """
+        digest = (
+            netlist_digest(circuit)
+            if isinstance(circuit, Netlist)
+            else str(circuit)
+        )
+        with self._lock:
+            entry = self._fleet.pop(digest, None)
+            self._programs = {
+                digests: program
+                for digests, program in self._programs.items()
+                if digest not in digests
+            }
+        if entry is None:
+            return False
+        if entry.compiled_circuit is not None:
+            unpin_circuit(entry.netlist, self.bundle)
+            entry.compiled_circuit = None
+        return True
 
     def circuits(self) -> list[str]:
         """Digests of the currently warm fleet members."""
@@ -385,15 +437,29 @@ class PredictionService:
         self._require_open()
         entry = self._resolve(circuit)
         record = None if record_nets is None else tuple(record_nets)
-        request = _Request(
-            key=(
+        if (
+            self.program
+            and kind == "sigmoid"
+            and options.compiled
+            and options.chunk_size is None
+        ):
+            # Whole-zoo mode: one-shot compiled sigmoid requests share
+            # one key regardless of circuit — the fused program runs
+            # every member circuit in the same lock-step pass, and each
+            # job carries its own digest/record.
+            key = ("sigmoid-program", options.backend, options.target)
+        else:
+            key = (
                 kind,
                 entry.digest,
                 options.backend,
                 options.compiled,
                 options.chunk_size,
+                options.target,
                 record,
-            ),
+            )
+        request = _Request(
+            key=key,
             digest=entry.digest,
             kind=kind,
             pi_traces=dict(pi_traces),
@@ -459,9 +525,9 @@ class PredictionService:
             else normalize_execution(execution)
         )
         if kind == "sigmoid":
-            session = entry.sigmoid(self.bundle, options.compiled).open_session(
-                record_nets, guard=guard
-            )
+            session = entry.sigmoid(
+                self.bundle, options.compiled, options.target
+            ).open_session(record_nets, guard=guard)
         else:
             if self.delay_library is None:
                 raise ServiceError(
@@ -674,12 +740,21 @@ class PredictionService:
     def _run_batch(self, group: "list[_Request]") -> list:
         """One lock-step ``simulate_batch`` over a coalesced group."""
         first = group[0]
-        with self._lock:
-            entry = self._fleet[first.digest]
         options = first.options
+        if first.key[0] == "sigmoid-program":
+            return self._run_program(group, options)
+        with self._lock:
+            entry = self._fleet.get(first.digest)
+        if entry is None:
+            raise ServiceError(
+                f"circuit {first.digest[:12]} was unregistered while "
+                "its request was queued"
+            )
         runs = [request.pi_traces for request in group]
         if first.kind == "sigmoid":
-            simulator = entry.sigmoid(self.bundle, options.compiled)
+            simulator = entry.sigmoid(
+                self.bundle, options.compiled, options.target
+            )
             record = None if first.record is None else list(first.record)
             if options.chunk_size is None:
                 return simulator.simulate_batch(runs, record_nets=record)
@@ -699,3 +774,39 @@ class PredictionService:
         return stream_digital_batch(
             simulator, runs, t_stops, options.chunk_size
         )
+
+    def _run_program(self, group: "list[_Request]", options) -> list:
+        """Cross-circuit dispatch: one fused program runs the whole group."""
+        digests = tuple(sorted({request.digest for request in group}))
+        index_of = {digest: k for k, digest in enumerate(digests)}
+        with self._lock:
+            program = self._programs.get(digests)
+            entries = {d: self._fleet.get(d) for d in digests}
+        missing = [d for d, entry in entries.items() if entry is None]
+        if missing:
+            raise ServiceError(
+                f"circuit {missing[0][:12]} was unregistered while its "
+                "request was queued"
+            )
+        if program is None:
+            from repro.core.fused import compile_program
+
+            program = compile_program(
+                [entries[d].netlist for d in digests], self.bundle
+            )
+            with self._lock:
+                while len(self._programs) >= self.MAX_PROGRAMS:
+                    self._programs.pop(next(iter(self._programs)))
+                self._programs[digests] = program
+        jobs = [
+            (
+                index_of[request.digest],
+                request.pi_traces,
+                None if request.record is None else list(request.record),
+            )
+            for request in group
+        ]
+        results = program.run_jobs(jobs, target=options.target)
+        with self._lock:
+            self._stats["program_batches"] += 1
+        return results

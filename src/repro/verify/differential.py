@@ -71,7 +71,7 @@ STREAM_PARAM_ATOL = 5e-4
 SPURIOUS_TRANSITION_ALLOWANCE = 4
 
 
-@execution_aliases("compiled", readonly=True)
+@execution_aliases("compiled", "target", readonly=True)
 @dataclass(frozen=True)
 class DifferentialConfig:
     """One differential-verification run.
@@ -107,6 +107,7 @@ class DifferentialConfig:
     #: the config is frozen).
     execution: ExecutionOptions | None = None
     compiled: InitVar = _UNSET
+    target: InitVar = _UNSET
     digital_err_per_transition: float = 60e-12
     sigmoid_err_per_transition: float = 60e-12
     digital_transition_shift: float = 100e-12
@@ -127,11 +128,13 @@ class DifferentialConfig:
     #: transitions — including mid-transition of every multi-PI overlap.
     stream_chunk_sizes: tuple[int, ...] = (1, 7)
 
-    def __post_init__(self, compiled) -> None:
+    def __post_init__(self, compiled, target) -> None:
         object.__setattr__(
             self,
             "execution",
-            normalize_execution(self.execution, compiled=compiled),
+            normalize_execution(
+                self.execution, compiled=compiled, target=target
+            ),
         )
         unknown = set(self.checks) - set(ALL_CHECKS)
         if unknown:
@@ -504,7 +507,11 @@ def _run_analog(
         core.name, core.n_gates, config.reference, config.checks
     )
     runner = ExperimentRunner(
-        core, bundle, delay_library, compiled=config.compiled
+        core,
+        bundle,
+        delay_library,
+        compiled=config.compiled,
+        target=config.target,
     )
     if mutate_runner is not None:
         mutate_runner(runner)
@@ -651,7 +658,9 @@ def _run_digital(
         build_instance_delays(core, delay_library),
         compiled=config.compiled,
     )
-    sigmoid = SigmoidCircuitSimulator(core, bundle, compiled=config.compiled)
+    sigmoid = SigmoidCircuitSimulator(
+        core, bundle, compiled=config.compiled, target=config.target
+    )
     logic = _LogicChecker(report, core)
     pos = core.primary_outputs
     depth = core.depth()

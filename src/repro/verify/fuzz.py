@@ -87,7 +87,8 @@ FUZZ_PRESETS: dict[str, FuzzScalePreset] = {
 }
 
 
-@execution_aliases("compiled", "backend", "chunk_size", readonly=True)
+@execution_aliases("compiled", "backend", "chunk_size", "target",
+                   readonly=True)
 @dataclass(frozen=True)
 class FuzzConfig:
     """One fuzzing campaign.
@@ -115,8 +116,9 @@ class FuzzConfig:
     backend: InitVar = _UNSET
     compiled: InitVar = _UNSET
     chunk_size: InitVar = _UNSET
+    target: InitVar = _UNSET
 
-    def __post_init__(self, backend, compiled, chunk_size) -> None:
+    def __post_init__(self, backend, compiled, chunk_size, target) -> None:
         object.__setattr__(
             self,
             "execution",
@@ -125,6 +127,7 @@ class FuzzConfig:
                 compiled=compiled,
                 backend=backend,
                 chunk_size=chunk_size,
+                target=target,
             ),
         )
         if self.scale not in FUZZ_PRESETS:
@@ -261,6 +264,7 @@ def _differential_config(
         reference=config.reference,
         seed=config.seed,
         compiled=config.compiled,
+        target=config.target,
         **overrides,
     )
 

@@ -49,6 +49,23 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["table1", "--circuits", "c17", "--backend", "abacus"])
 
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--circuits", "c17", "--target", "tpu"])
+
+    def test_unavailable_target_is_clean_error(self, capsys):
+        """A registered-but-unavailable target exits 2 with a one-line
+        error naming the available targets, not a traceback."""
+        from repro.core.targets import get_target
+
+        if get_target("numba").available():
+            pytest.skip("numba installed on this host")
+        code = main(["table1", "--circuits", "c17", "--target", "numba"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "not available" in err
+        assert "numpy" in err
+
     def test_unknown_ablate_backend_rejected(self):
         with pytest.raises(SystemExit):
             main(["ablate", "--backends", "ann", "vhs"])

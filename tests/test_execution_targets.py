@@ -1,0 +1,236 @@
+"""Execution-target registry and cross-target kernel parity.
+
+The fused kernels are emitted against the tiny target contract of
+:mod:`repro.core.targets`: one gathered batched matmul plus an
+availability probe.  This suite pins the registry semantics (lookup,
+resolution, clear errors for unknown/unavailable targets) and the
+parity contract — targets may differ by floating-point ulps, never by
+structure — both at the primitive level and end-to-end through the
+compiled sigmoid simulator.  The numba leg is gated on the optional
+dependency and skips cleanly when it is not installed.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.targets import (
+    ExecutionTarget,
+    NumbaTarget,
+    NumpyTarget,
+    _TARGETS,
+    available_targets,
+    get_target,
+    register_target,
+    registered_targets,
+    resolve_target,
+)
+from repro.core.trace import SigmoidalTrace
+from repro.errors import SimulationError
+from repro.eval.stimuli import StimulusConfig
+from repro.verify.differential import _digital_stimuli, ensure_nor_mapped
+from repro.verify.fuzz import FUZZ_PRESETS
+
+from repro.circuits.random_circuit import random_corpus
+
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not BUNDLE_PATH.exists(), reason="cached tiny artifacts not built"
+)
+needs_numba = pytest.mark.skipif(
+    importlib.util.find_spec("numba") is None, reason="numba not installed"
+)
+
+#: Transition-parameter agreement bound (scaled units; 0.05 ps).
+PARAM_ATOL = 5e-4
+
+
+def _kernel_case(seed=0, n=37, k=6, f_in=3, f_out=5):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((n, f_in)),
+        rng.standard_normal((k, f_in, f_out)),
+        rng.standard_normal((k, f_out)),
+        rng.integers(0, k, size=n),
+    )
+
+
+def _reference_matmul_gather(x, weights, biases, members):
+    out = np.empty((x.shape[0], weights.shape[2]))
+    for i in range(x.shape[0]):
+        m = int(members[i])
+        out[i] = x[i] @ weights[m] + biases[m]
+    return out
+
+
+class _Unavailable(ExecutionTarget):
+    name = "test-unavailable"
+
+    def available(self):
+        return False
+
+
+class TestRegistry:
+    def test_numpy_registered_and_available(self):
+        assert "numpy" in registered_targets()
+        assert "numpy" in available_targets()
+        assert isinstance(get_target("numpy"), NumpyTarget)
+
+    def test_numba_registered_regardless_of_availability(self):
+        # Registration is unconditional; availability is a host property.
+        assert "numba" in registered_targets()
+        assert isinstance(get_target("numba"), NumbaTarget)
+
+    def test_unknown_target_raises_with_roster(self):
+        with pytest.raises(SimulationError, match="unknown execution target"):
+            get_target("tpu")
+        with pytest.raises(SimulationError, match="numpy"):
+            get_target("tpu")
+
+    def test_resolve_none_is_numpy_default(self):
+        assert resolve_target(None) is get_target("numpy")
+
+    def test_resolve_name_and_instance(self):
+        numpy_target = get_target("numpy")
+        assert resolve_target("numpy") is numpy_target
+        assert resolve_target(numpy_target) is numpy_target
+
+    def test_resolve_rejects_wrong_type(self):
+        with pytest.raises(SimulationError, match="must be a name"):
+            resolve_target(42)
+
+    def test_resolve_unavailable_instance_raises(self):
+        with pytest.raises(SimulationError, match="not available"):
+            resolve_target(_Unavailable())
+
+    def test_register_requires_name(self):
+        class Nameless(ExecutionTarget):
+            name = ""
+
+        with pytest.raises(SimulationError, match="non-empty name"):
+            register_target(Nameless())
+
+    def test_register_lookup_roundtrip(self):
+        target = _Unavailable()
+        register_target(target)
+        try:
+            assert get_target("test-unavailable") is target
+            assert "test-unavailable" in registered_targets()
+            assert "test-unavailable" not in available_targets()
+            with pytest.raises(SimulationError, match="not available"):
+                resolve_target("test-unavailable")
+        finally:
+            _TARGETS.pop("test-unavailable", None)
+
+    def test_base_class_is_abstract(self):
+        target = ExecutionTarget()
+        with pytest.raises(NotImplementedError):
+            target.available()
+        with pytest.raises(NotImplementedError):
+            target.matmul_gather(*_kernel_case())
+
+
+class TestNumpyKernel:
+    def test_matches_per_row_reference(self):
+        x, weights, biases, members = _kernel_case()
+        got = NumpyTarget().matmul_gather(x, weights, biases, members)
+        np.testing.assert_allclose(
+            got,
+            _reference_matmul_gather(x, weights, biases, members),
+            rtol=1e-13,
+            atol=1e-13,
+        )
+
+    def test_empty_batch(self):
+        x, weights, biases, members = _kernel_case(n=0)
+        got = NumpyTarget().matmul_gather(x, weights, biases, members)
+        assert got.shape == (0, weights.shape[2])
+
+
+def test_numba_unavailable_resolution_is_a_clear_error():
+    """When numba is absent, ``--target numba`` fails loudly, not quietly."""
+    if get_target("numba").available():
+        pytest.skip("numba installed on this host")
+    assert "numba" not in available_targets()
+    with pytest.raises(SimulationError, match="not available"):
+        resolve_target("numba")
+
+
+@needs_numba
+class TestNumbaKernel:
+    def test_matches_numpy_target(self):
+        x, weights, biases, members = _kernel_case(seed=7, n=211)
+        numpy_out = get_target("numpy").matmul_gather(
+            x, weights, biases, members
+        )
+        numba_out = get_target("numba").matmul_gather(
+            x, weights, biases, members
+        )
+        np.testing.assert_allclose(numba_out, numpy_out, rtol=1e-12, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: fuzz-corpus parity across execution targets
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    preset = FUZZ_PRESETS["tiny"]
+    return [
+        ensure_nor_mapped(netlist)
+        for netlist in random_corpus(3, seed=0, config=preset.circuit)
+    ]
+
+
+def _sigmoid_stimuli(core, seed):
+    pi_digital, _t = _digital_stimuli(
+        core.primary_inputs, StimulusConfig(20e-12, 10e-12, 3), seed
+    )
+    return {
+        pi: SigmoidalTrace.from_digital(trace)
+        for pi, trace in pi_digital.items()
+    }
+
+
+def _assert_trace_parity(expected, got, context):
+    for po in expected:
+        te, tg = expected[po], got[po]
+        assert te.initial_level == tg.initial_level, (context, po)
+        assert te.n_transitions == tg.n_transitions, (context, po)
+        if te.params.size:
+            worst = float(np.max(np.abs(te.params - tg.params)))
+            assert worst < PARAM_ATOL, (context, po, worst)
+
+
+@needs_artifacts
+@pytest.mark.parametrize(
+    "target",
+    [
+        "numpy",
+        pytest.param("numba", marks=needs_numba),
+    ],
+)
+def test_corpus_parity_across_targets(bundle, corpus, target):
+    """Every corpus circuit simulates identically on every target."""
+    for core in corpus:
+        reference = SigmoidCircuitSimulator(core, bundle)
+        other = SigmoidCircuitSimulator(core, bundle, target=target)
+        for seed in range(2):
+            pi_sigmoid = _sigmoid_stimuli(core, seed)
+            _assert_trace_parity(
+                reference.simulate(pi_sigmoid),
+                other.simulate(pi_sigmoid),
+                context=f"{core.name} seed {seed} target {target}",
+            )

@@ -1,0 +1,409 @@
+"""Fused sigmoid hot path: exactness of every fast-path shortcut.
+
+The PR-8 performance work replaced several per-row/per-pair exact
+computations with cheaper decision procedures that are *supposed* to be
+behavior-preserving caches, not approximations.  This suite pins each
+one to its exact reference:
+
+* the lazy voxel-certificate grid of :class:`MergedKNNRegions` against
+  the per-query KD-tree path (array-equal, including off-grid queries),
+* :func:`_pulse_peak_fast` against the scipy-exact
+  :func:`pulse_peak_value` extremum (within the bound margin the batch
+  caller trusts),
+* the split-parameter cancellation batch against the scalar
+  pair-by-pair decision, uniform and per-pair supply rails alike,
+* the fused executor's deferred finiteness check (non-finite transfer
+  output must surface as :class:`ModelError`, not as NaN traces),
+* the ``MERGE_TIE_EPS`` near-tie walkback inside fused super-levels
+  (the rare ``nor_merge_masked`` bubble fallback must fire *and* agree
+  with the interpreted walk),
+* :func:`compile_program` multi-circuit jobs against per-circuit
+  simulation.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize_scalar
+
+import repro.core.fused as fused_module
+from repro.characterization.artifacts import artifacts_dir
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.constants import TIME_SCALE, VDD
+from repro.core.cancellation import (
+    _pulse_peak_fast,
+    pair_crosses_threshold,
+    pair_crosses_threshold_batch,
+    pulse_peak_value,
+)
+from repro.core.fused import compile_program
+from repro.core.models import GateModelBundle
+from repro.core.sigmoid import sigmoid_tau, transition_width_tau
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.core.targets import NumpyTarget
+from repro.core.trace import SigmoidalTrace
+from repro.core.valid_region import KNNRegion, MergedKNNRegions
+from repro.digital.trace import DigitalTrace
+from repro.errors import ModelError, SimulationError
+from repro.eval.stimuli import StimulusConfig
+from repro.verify.differential import _digital_stimuli, ensure_nor_mapped
+from repro.verify.fuzz import FUZZ_PRESETS
+
+from repro.circuits.random_circuit import random_corpus
+
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not BUNDLE_PATH.exists(), reason="cached tiny artifacts not built"
+)
+
+#: Transition-parameter agreement bound (scaled units; 0.05 ps).
+PARAM_ATOL = 5e-4
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    preset = FUZZ_PRESETS["tiny"]
+    return [
+        ensure_nor_mapped(netlist)
+        for netlist in random_corpus(3, seed=0, config=preset.circuit)
+    ]
+
+
+def _sigmoid_stimuli(core, seed):
+    pi_digital, _t = _digital_stimuli(
+        core.primary_inputs, StimulusConfig(20e-12, 10e-12, 3), seed
+    )
+    return {
+        pi: SigmoidalTrace.from_digital(trace)
+        for pi, trace in pi_digital.items()
+    }
+
+
+def _assert_trace_parity(expected, got, context):
+    assert set(expected) == set(got), context
+    for po in expected:
+        te, tg = expected[po], got[po]
+        assert te.initial_level == tg.initial_level, (context, po)
+        assert te.n_transitions == tg.n_transitions, (context, po)
+        if te.params.size:
+            worst = float(np.max(np.abs(te.params - tg.params)))
+            assert worst < PARAM_ATOL, (context, po, worst)
+
+
+# ---------------------------------------------------------------------------
+# voxel-certificate grid == per-query KD-tree path
+
+
+def _synthetic_regions(rng, n_members=4, n_points=80):
+    regions = []
+    for member in range(n_members):
+        scale = np.array([1.0, 0.2 + member, 5.0])
+        offset = np.array([member * 3.0, -member * 2.0, member * 0.5])
+        points = rng.standard_normal((n_points, 3)) * scale + offset
+        regions.append(KNNRegion(points, k=5))
+    return regions
+
+
+def _query_mix(rng, regions, n_each=60):
+    blocks = []
+    for region in regions:
+        points = region._points
+        pick = rng.integers(0, len(points), size=n_each)
+        blocks.append(points[pick])  # exactly on training points
+        blocks.append(points[pick] + rng.standard_normal((n_each, 3)) * 0.1)
+        blocks.append(points[pick] + rng.standard_normal((n_each, 3)) * 2.0)
+    blocks.append(rng.uniform(-50.0, 50.0, size=(n_each, 3)))  # far outside
+    blocks.append(np.full((3, 3), 1e8))  # off every member's grid
+    rows = np.concatenate(blocks, axis=0)
+    members = rng.integers(0, len(regions), size=len(rows))
+    return rows, members
+
+
+class TestVoxelCertificateGrid:
+    def test_matches_per_query_path_exactly(self):
+        """Certified projection is a cache of the tree decision, not an
+        approximation: results are array-equal, repeat calls included."""
+        rng = np.random.default_rng(42)
+        regions = _synthetic_regions(rng)
+        certified = MergedKNNRegions(regions)
+        legacy = MergedKNNRegions(regions)
+        legacy._all_present = False  # force the per-query reference path
+        for trial in range(4):
+            rows, members = _query_mix(rng, regions)
+            want = legacy.project(rows, members)
+            got = certified.project(rows, members)
+            np.testing.assert_array_equal(got, want, err_msg=f"trial {trial}")
+            # Second pass over the same rows hits warm certificates.
+            np.testing.assert_array_equal(
+                certified.project(rows, members), want
+            )
+
+    def test_training_points_pass_through(self):
+        rng = np.random.default_rng(7)
+        regions = _synthetic_regions(rng, n_members=2)
+        merged = MergedKNNRegions(regions)
+        rows = regions[1]._points[:25]
+        members = np.ones(len(rows), dtype=int)
+        np.testing.assert_array_equal(merged.project(rows, members), rows)
+
+    def test_missing_member_rows_pass_through(self):
+        rng = np.random.default_rng(3)
+        r0, r1 = _synthetic_regions(rng, n_members=2)
+        merged = MergedKNNRegions([r0, None])
+        rows, _ = _query_mix(rng, [r0, r1], n_each=20)
+        members = rng.integers(0, 2, size=len(rows))
+        got = merged.project(rows, members)
+        # Regionless members are untouched; present members match the
+        # per-member region exactly (merged-tree bitwise contract).
+        np.testing.assert_array_equal(got[members == 1], rows[members == 1])
+        np.testing.assert_array_equal(
+            got[members == 0], r0.project(rows[members == 0])
+        )
+
+    def test_no_regions_is_identity(self):
+        merged = MergedKNNRegions([None, None])
+        rows = np.arange(12.0).reshape(4, 3)
+        members = np.array([0, 1, 0, 1])
+        np.testing.assert_array_equal(merged.project(rows, members), rows)
+
+
+# ---------------------------------------------------------------------------
+# cancellation fast paths == exact scalar decisions
+
+
+def _random_pairs(rng, n, slope_lo=0.5, slope_hi=60.0):
+    sign = np.where(rng.random(n) < 0.5, 1.0, -1.0)
+    a1 = sign * rng.uniform(slope_lo, slope_hi, size=n)
+    a2 = -sign * rng.uniform(slope_lo, slope_hi, size=n)
+    b1 = rng.uniform(0.0, 5.0, size=n)
+    b2 = b1 + rng.uniform(-0.5, 0.5, size=n)
+    return a1, b1, a2, b2
+
+
+def _tight_peak_reference(a1, b1, a2, b2):
+    """Dense-grid extremum over the same bracket plus a local tight
+    bounded refinement.
+
+    ``pulse_peak_value``'s default ``xatol=1e-5`` can misplace the
+    extremum of a flat plateau by a few 1e-6 in *value*, and bounded
+    Brent cannot converge onto a bracket *endpoint* (where the extremum
+    of an edge-case pair can sit) — grid-plus-refine is an independent
+    reference accurate enough to judge the golden-section twin.
+    """
+    rising = a1 > 0
+
+    def height(tau):
+        value = sigmoid_tau(tau, a1, b1) + sigmoid_tau(tau, a2, b2)
+        return value - 1.0 if rising else value
+
+    w = 2 * (transition_width_tau(a1) + transition_width_tau(a2))
+    lo, hi = min(b1, b2) - w, max(b1, b2) + w
+    sign = -1.0 if rising else 1.0
+    grid = np.linspace(lo, hi, 8001)
+    vals = sign * np.array([height(t) for t in grid])
+    best = int(np.argmin(vals))
+    result = minimize_scalar(
+        lambda tau: sign * height(tau),
+        bounds=(grid[max(best - 1, 0)], grid[min(best + 1, 8000)]),
+        method="bounded",
+        options={"xatol": 1e-13},
+    )
+    return sign * min(vals[best], sign * height(float(result.x)))
+
+
+class TestPulsePeakFast:
+    def test_matches_tight_reference(self):
+        rng = np.random.default_rng(11)
+        a1, b1, a2, b2 = _random_pairs(rng, 60, slope_lo=0.8)
+        for i in range(len(a1)):
+            fast = _pulse_peak_fast(a1[i], b1[i], a2[i], b2[i])
+            tight = _tight_peak_reference(a1[i], b1[i], a2[i], b2[i])
+            # The golden-section twin must sit far inside the
+            # _BOUND_MARGIN_V=1e-6 band its caller trusts.
+            assert abs(fast - tight) < 1e-9, (i, fast, tight)
+
+    def test_matches_production_routine_within_margin_scale(self):
+        """Against ``pulse_peak_value`` as shipped, the gap is bounded by
+        that routine's own bounded-search tolerance, and the sliver near
+        the threshold always falls back to it (decision equivalence is
+        pinned by TestCancellationBatch)."""
+        rng = np.random.default_rng(12)
+        a1, b1, a2, b2 = _random_pairs(rng, 100, slope_lo=0.8)
+        for i in range(len(a1)):
+            fast = _pulse_peak_fast(a1[i], b1[i], a2[i], b2[i])
+            exact = pulse_peak_value((a1[i], b1[i]), (a2[i], b2[i]), vdd=1.0)
+            assert abs(fast - exact) < 1e-4, (i, fast, exact)
+
+
+class TestCancellationBatch:
+    def test_uniform_rail_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        # Shallow slopes widen the transitions, steering many pairs into
+        # the undecided sliver that exercises the refinement fallbacks.
+        a1, b1, a2, b2 = _random_pairs(rng, 400, slope_lo=0.5, slope_hi=20.0)
+        first = np.column_stack([a1, b1])
+        second = np.column_stack([a2, b2])
+        got = pair_crosses_threshold_batch(first, second, np.full(400, VDD))
+        want = np.array(
+            [
+                pair_crosses_threshold(
+                    (a1[i], b1[i]), (a2[i], b2[i]), vdd=VDD
+                )
+                for i in range(400)
+            ]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_per_pair_rail_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        a1, b1, a2, b2 = _random_pairs(rng, 200, slope_lo=0.5, slope_hi=20.0)
+        vdd = VDD * rng.uniform(0.8, 1.2, size=200)
+        got = pair_crosses_threshold_batch(
+            np.column_stack([a1, b1]), np.column_stack([a2, b2]), vdd
+        )
+        want = np.array(
+            [
+                pair_crosses_threshold(
+                    (a1[i], b1[i]), (a2[i], b2[i]), vdd=float(vdd[i])
+                )
+                for i in range(200)
+            ]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_non_finite_pairs_are_kept(self):
+        """NaN placeholders from deferred fused checks stay in the lane
+        (the super-level finiteness check owns the diagnostic)."""
+        first = np.array([[np.nan, 0.0], [60.0, np.inf], [60.0, 1.0]])
+        second = np.array([[-60.0, 1.0], [-60.0, 1.5], [np.nan, np.nan]])
+        got = pair_crosses_threshold_batch(first, second, np.full(3, VDD))
+        np.testing.assert_array_equal(got, [True, True, True])
+
+    def test_degenerate_slope_raises_like_scalar(self):
+        with pytest.raises(ModelError, match="nonzero"):
+            pair_crosses_threshold_batch(
+                np.array([[0.0, 1.0]]),
+                np.array([[-60.0, 1.2]]),
+                np.array([VDD]),
+            )
+
+
+# ---------------------------------------------------------------------------
+# fused executor: deferred finiteness check and near-tie walkback
+
+
+@needs_artifacts
+def test_non_finite_transfer_output_raises(bundle, corpus, monkeypatch):
+    """The deferred super-level check turns NaN predictions into a
+    ModelError instead of silently emitting NaN traces."""
+    core = corpus[0]
+    program = compile_program([core], bundle)
+    jobs = [(0, _sigmoid_stimuli(core, 0), None)]
+    assert program.run_jobs(jobs)  # sanity: healthy run first
+
+    def poisoned(self, x, weights, biases, members):
+        return np.full((x.shape[0], weights.shape[2]), np.nan)
+
+    monkeypatch.setattr(NumpyTarget, "matmul_gather", poisoned)
+    with pytest.raises(ModelError, match="non-finite"):
+        program.run_jobs(jobs)
+
+
+@needs_artifacts
+def test_merge_tie_walkback_in_fused_super_level(bundle, monkeypatch):
+    """Cross-pin events inside the MERGE_TIE_EPS window take the exact
+    ``nor_merge_masked`` bubble fallback and agree with the interpreter."""
+    netlist = Netlist("tie")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate("n1", GateType.NOR, ["a", "b"])
+    netlist.add_output("n1")
+
+    # Pin 1 ("b") transitions 5e-8 scaled units (half the tie window)
+    # *before* pin 0 ("a"): the stable time sort then orders pin 1
+    # first, which is exactly the near-tie shape the bubble pass fixes.
+    delta = 0.5 * fused_module.MERGE_TIE_EPS / TIME_SCALE
+    pi_traces = {
+        "a": SigmoidalTrace.from_digital(
+            DigitalTrace(False, [20e-12 + delta, 60e-12])
+        ),
+        "b": SigmoidalTrace.from_digital(
+            DigitalTrace(False, [20e-12, 60e-12 + delta])
+        ),
+    }
+
+    calls = []
+    real_merge = fused_module.nor_merge_masked
+
+    def spying_merge(*args, **kwargs):
+        calls.append(1)
+        return real_merge(*args, **kwargs)
+
+    monkeypatch.setattr(fused_module, "nor_merge_masked", spying_merge)
+    fused = SigmoidCircuitSimulator(netlist, bundle).simulate(pi_traces)
+    assert calls, "near-tie stimulus must reach the bubble fallback"
+
+    # The walkback contract is stated against the per-level session
+    # path, which runs the same scalar merge (the interpreter orders
+    # tied events differently, shifting the — equally valid —
+    # predictions, so it only shares the trace *structure*).
+    unfused = SigmoidCircuitSimulator(
+        netlist, bundle, fused=False
+    ).simulate(pi_traces)
+    _assert_trace_parity(unfused, fused, "tie walkback")
+    interpreted = SigmoidCircuitSimulator(
+        netlist, bundle, compiled=False
+    ).simulate(pi_traces)
+    for po, trace in interpreted.items():
+        assert trace.initial_level == fused[po].initial_level
+        assert trace.n_transitions == fused[po].n_transitions
+
+
+# ---------------------------------------------------------------------------
+# compile_program: multi-circuit lock-step == per-circuit simulation
+
+
+@needs_artifacts
+def test_compile_program_multi_circuit_parity(bundle, corpus):
+    program = compile_program(corpus, bundle)
+    assert program.n_levels == max(
+        len(plan.levels) for plan in program.plans
+    )
+    jobs = []
+    references = []
+    for seed in range(2):
+        for index, core in enumerate(corpus):
+            pi_sigmoid = _sigmoid_stimuli(core, seed)
+            jobs.append((index, pi_sigmoid, None))
+            references.append((core, pi_sigmoid, seed))
+    results = program.run_jobs(jobs)
+    assert len(results) == len(jobs)
+    simulators = {
+        id(core): SigmoidCircuitSimulator(core, bundle, compiled=False)
+        for core in corpus
+    }
+    for result, (core, pi_sigmoid, seed) in zip(results, references):
+        _assert_trace_parity(
+            simulators[id(core)].simulate(pi_sigmoid),
+            result,
+            context=f"{core.name} seed {seed}",
+        )
+
+
+@needs_artifacts
+def test_compile_program_empty_jobs(bundle, corpus):
+    program = compile_program([corpus[0]], bundle)
+    assert program.run_jobs([]) == []
+
+
+def test_compile_program_requires_circuits(bundle):
+    with pytest.raises(SimulationError, match="at least one circuit"):
+        compile_program([], bundle)

@@ -345,6 +345,69 @@ def test_register_pins_compiled_circuit(bundle, corpus):
 
 @needs_artifacts
 @pytest.mark.timeout(60)
+def test_unregister_releases_compile_pin(bundle, corpus):
+    """Evicting a fleet member unpins its compilation (ordinary LRU
+    eviction applies again) and is idempotent for unknown digests."""
+    clear_compile_cache()
+    svc = PredictionService(bundle, n_workers=1)
+    try:
+        digest = svc.register(corpus[0])
+        assert compile_cache_info()["pinned"] == 1
+        assert svc.unregister(digest) is True
+        assert compile_cache_info()["pinned"] == 0
+        assert digest not in svc.circuits()
+        assert compile_cache_info()["size"] >= 1  # cached, now evictable
+        assert svc.unregister(digest) is False
+        assert svc.unregister(corpus[0]) is False  # Netlist spelling too
+        # Re-registration after eviction works and re-pins.
+        assert svc.register(corpus[0]) == digest
+        assert compile_cache_info()["pinned"] == 1
+    finally:
+        svc.close()
+
+
+@needs_artifacts
+@pytest.mark.timeout(120)
+def test_program_mode_parity_and_stats(bundle, corpus):
+    """Cross-digest program batches return the same traces as serial
+    simulation and are visible in the ``program_batches`` stat."""
+    svc = PredictionService(
+        bundle, n_workers=1, batch_window=0.05, program=True
+    )
+    try:
+        serials = {
+            id(core): SigmoidCircuitSimulator(core, bundle)
+            for core in corpus[:2]
+        }
+        submitted = []
+        for seed in range(3):
+            for core in corpus[:2]:
+                _, pi_sigmoid, _ = _stimuli(core, seed)
+                submitted.append(
+                    (core, pi_sigmoid, svc.submit(core, pi_sigmoid))
+                )
+        for core, pi_sigmoid, future in submitted:
+            assert_result_parity(
+                "sigmoid",
+                future.result(timeout=60),
+                serials[id(core)].simulate(pi_sigmoid),
+                context=f"program mode {core.name}",
+            )
+        stats = svc.stats()
+        assert stats["completed"] == len(submitted)
+        assert stats["program_batches"] > 0
+        # Unregistering a member forgets the cached cross-circuit
+        # programs that included it.
+        digest = svc.register(corpus[0])
+        assert any(digest in key for key in svc._programs)
+        assert svc.unregister(digest) is True
+        assert not any(digest in key for key in svc._programs)
+    finally:
+        svc.close()
+
+
+@needs_artifacts
+@pytest.mark.timeout(60)
 def test_request_validation(bundle, corpus):
     svc = PredictionService(bundle, n_workers=1)  # no delay library
     try:
