@@ -19,7 +19,6 @@ so the perf trajectory is tracked across PRs, and the test fails if the
 hot path ever drops below the 5× acceptance bar.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -36,6 +35,7 @@ from repro.characterization.chains import (
     build_merged_chain_netlist,
 )
 from repro.constants import PHI_T, VDD
+from repro.ledger import append_bench_record
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
@@ -169,18 +169,7 @@ def test_staged_hotpath_speedup():
         "max_waveform_diff_v": max_diff,
         "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    # Bound the ledger: the trajectory matters, not every local run.
-    history = history[-50:]
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench_record(BENCH_PATH, record)
 
     print()
     print(f"[hotpath] seed={seed_seconds:.2f}s hot={hot_seconds:.2f}s wall; "

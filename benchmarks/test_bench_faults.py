@@ -1,0 +1,131 @@
+"""Lock-step fault campaign vs the serial per-fault reference loop.
+
+A fault campaign grades every (vector, fault) pair; the compiled cores'
+``(level, gate, run)`` layout makes each faulty circuit variant just one
+more run lane, so the good machine plus all 100 faulty variants simulate
+in a single lock-step pass per engine.  The serial reference loops one
+fault column per batch through the *same* compiled machinery — what a
+campaign costs when the fault axis is not batched.
+
+Because run lanes never interact, the lock-step digital traces must be
+bitwise-identical to the serial loop's, and the sigmoid parameters must
+agree within the package-wide 0.05 ps bound — the speedup column cannot
+be bought with wrong answers.  The measurement is appended to
+``BENCH_faults.json``; the floor is 5x process-CPU time on a 100-fault
+``c880_like`` campaign.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.digital.characterize import build_instance_delays
+from repro.eval.table1 import nor_mapped
+from repro.faults import CampaignConfig, FaultList, compile_campaign, random_vectors
+from repro.ledger import append_bench_record
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+
+#: Sigmoid transition-parameter agreement bound (scaled units; 0.05 ps).
+PARAM_ATOL = 5e-4
+
+N_FAULTS = 100
+N_VECTORS = 2
+
+
+def _assert_digital_bitwise(lockstep, serial):
+    assert len(lockstep) == len(serial)
+    for run, (a, b) in enumerate(zip(lockstep, serial)):
+        for po in a:
+            assert bool(a[po].initial) == bool(b[po].initial), (run, po)
+            assert a[po].times == b[po].times, (run, po)
+
+
+def _assert_sigmoid_parity(lockstep, serial):
+    worst = 0.0
+    for a, b in zip(lockstep, serial):
+        for po in a:
+            ta, tb = a[po], b[po]
+            assert ta.initial_level == tb.initial_level, po
+            assert ta.n_transitions == tb.n_transitions, po
+            if ta.params.size:
+                worst = max(
+                    worst, float(np.max(np.abs(ta.params - tb.params)))
+                )
+    assert worst < PARAM_ATOL, f"sigmoid campaign diverged: {worst}"
+    return worst
+
+
+def test_campaign_lockstep_speedup_c880(bundle, delay_library):
+    """100-fault c880_like campaign: one pass vs per-fault loop (5x CPU)."""
+    core = nor_mapped("c880_like")
+    models = build_instance_delays(core, delay_library)
+    faults = FaultList.sample_stuck_at(core, N_FAULTS, seed=7)
+    assert len(faults) == N_FAULTS
+    config = CampaignConfig(n_vectors=N_VECTORS, seed=7)
+    campaign = compile_campaign(core, bundle, faults, models, config)
+    vectors = random_vectors(core, N_VECTORS, seed=7)
+
+    # Steady-state warmup: compile caches and the lazy certificate grid.
+    campaign.digital_traces(vectors)
+    campaign.sigmoid_traces(vectors)
+
+    c0 = time.process_time()
+    t0 = time.perf_counter()
+    lock_digital = campaign.digital_traces(vectors)
+    lock_sigmoid = campaign.sigmoid_traces(vectors)
+    lock_wall = time.perf_counter() - t0
+    lock_cpu = time.process_time() - c0
+
+    c0 = time.process_time()
+    t0 = time.perf_counter()
+    serial_digital = campaign.digital_traces(vectors, serial=True)
+    serial_sigmoid = campaign.sigmoid_traces(vectors, serial=True)
+    serial_wall = time.perf_counter() - t0
+    serial_cpu = time.process_time() - c0
+
+    # Same science before comparing speed.
+    _assert_digital_bitwise(lock_digital, serial_digital)
+    worst = _assert_sigmoid_parity(lock_sigmoid, serial_sigmoid)
+
+    detection = campaign.detection_matrix(
+        campaign.digital_strobes(lock_digital), N_VECTORS
+    )
+    detection_serial = campaign.detection_matrix(
+        campaign.digital_strobes(serial_digital), N_VECTORS
+    )
+    assert np.array_equal(detection, detection_serial)
+    coverage = float(detection.any(axis=0).mean())
+
+    speedup = serial_cpu / lock_cpu
+    n_runs = len(vectors) * campaign.n_machines
+    record = {
+        "bench": "fault_campaign_lockstep_vs_serial",
+        "circuit": "c880_like",
+        "n_gates": core.n_gates,
+        "n_faults": N_FAULTS,
+        "n_vectors": N_VECTORS,
+        "n_runs": n_runs,
+        "coverage": round(coverage, 3),
+        "lockstep_seconds": round(lock_wall, 3),
+        "serial_seconds": round(serial_wall, 3),
+        "lockstep_cpu_seconds": round(lock_cpu, 3),
+        "serial_cpu_seconds": round(serial_cpu, 3),
+        "speedup_cpu": round(speedup, 2),
+        "worst_sigmoid_param_diff_scaled": worst,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    append_bench_record(BENCH_PATH, record)
+
+    print()
+    print(
+        f"[faults] {N_FAULTS}-fault c880_like campaign over {N_VECTORS} "
+        f"vectors ({n_runs} runs): lockstep={lock_wall:.2f}s "
+        f"serial={serial_wall:.2f}s cpu ratio {speedup:.2f}x, "
+        f"coverage {100 * coverage:.1f}% (recorded in {BENCH_PATH.name})"
+    )
+    assert speedup >= 5.0, (
+        f"lock-step campaign regressed: only {speedup:.2f}x (CPU time) "
+        f"over the serial per-fault loop on c880_like (bar: 5x)"
+    )

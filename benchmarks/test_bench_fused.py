@@ -21,7 +21,6 @@ shared-runner load cannot skew the gate) and amortized fused wall time
 < 100 ms per run — the interactive-latency target of ROADMAP item 3.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -33,6 +32,7 @@ from repro.core.trace import SigmoidalTrace
 from repro.digital.trace import DigitalTrace
 from repro.eval.stimuli import StimulusConfig, random_pi_sources
 from repro.eval.table1 import nor_mapped
+from repro.ledger import append_bench_record
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sigmoid.json"
 
@@ -128,17 +128,7 @@ def test_fused_speedup_c3540(bundle):
         "worst_param_diff_vs_interpreted": worst_interp,
         "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    history = history[-50:]
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench_record(BENCH_PATH, record)
 
     print()
     print(

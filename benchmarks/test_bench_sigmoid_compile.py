@@ -10,7 +10,6 @@ small run batch and appends the ratio to ``BENCH_sigmoid.json``
 load cannot skew the gate).
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -21,6 +20,7 @@ from repro.core.trace import SigmoidalTrace
 from repro.digital.trace import DigitalTrace
 from repro.eval.stimuli import StimulusConfig, random_pi_sources
 from repro.eval.table1 import nor_mapped
+from repro.ledger import append_bench_record
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sigmoid.json"
 
@@ -94,17 +94,7 @@ def test_sigmoid_compiled_speedup(bundle):
         "worst_param_diff_scaled": worst,
         "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    history = history[-50:]
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench_record(BENCH_PATH, record)
 
     print()
     print(

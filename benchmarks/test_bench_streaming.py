@@ -22,7 +22,6 @@ never goes down, so whichever phase runs first poisons it for the other.
 """
 
 import gc
-import json
 import resource
 import time
 import tracemalloc
@@ -34,6 +33,7 @@ from repro.digital.simulator import DigitalSimulator
 from repro.digital.trace import DigitalTrace
 from repro.eval.stimuli import StimulusConfig, random_pi_sources
 from repro.eval.table1 import nor_mapped
+from repro.ledger import append_bench_record
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_streaming.json"
 
@@ -130,17 +130,7 @@ def test_streamed_peak_memory_halves_one_shot(delay_library):
         "ru_maxrss_after_streamed_kb": rss_after_streamed,
         "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    history = history[-50:]
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench_record(BENCH_PATH, record)
 
     print()
     print(

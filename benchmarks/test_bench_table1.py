@@ -13,7 +13,6 @@ itself (the paper's ``tsim_Sigmoid``); analog/digital wall times and the
 ``t_err`` columns are printed with each row.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -30,6 +29,7 @@ from repro.eval.table1 import (
     run_cell,
     run_table1,
 )
+from repro.ledger import append_bench_record
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_table1.json"
 
@@ -165,18 +165,7 @@ def test_table1_batched_speedup(bundle, delay_library):
         "max_t_err_diff_ps": max_diff_ps,
         "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    # Bound the ledger: the trajectory matters, not every local run.
-    history = history[-50:]
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench_record(BENCH_PATH, record)
 
     print()
     print(

@@ -12,7 +12,6 @@ the full characterization model zoo (every channel x polarity x
 reference, recorded in ``BENCH_training.json``.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -27,6 +26,7 @@ from repro.eval.table1 import nor_mapped
 from repro.nn.ensemble import MLPEnsemble, train_ensemble
 from repro.nn.mlp import PAPER_LAYER_SIZES, paper_architecture
 from repro.nn.training import TrainingConfig, train_mlp
+from repro.ledger import append_bench_record
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_training.json"
 
@@ -129,18 +129,7 @@ def test_ensemble_training_speedup():
         "bitwise_equal": True,
         "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    # Bound the ledger: the trajectory matters, not every local run.
-    history = history[-50:]
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench_record(BENCH_PATH, record)
 
     print()
     print(

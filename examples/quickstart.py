@@ -19,7 +19,11 @@ Runs in under a minute (no cached artifacts needed):
    into lock-step batches, and read the coalescing stats,
 8. pick an execution target for the fused kernels — ``numpy`` always,
    ``numba`` when installed (the demo skips the JIT leg gracefully when
-   it is not; CLI spelling ``--target numba``).
+   it is not; CLI spelling ``--target numba``),
+9. grade test vectors with a fault-simulation campaign — 10 sampled
+   stuck-at faults on c17, the good machine plus every faulty variant
+   in one lock-step pass, printed as per-fault coverage (CLI spelling
+   ``python -m repro.cli faults --circuit c17 --faults 10``).
 
 Differential verification in day-to-day use::
 
@@ -260,6 +264,29 @@ def main() -> None:
                 "numba not installed — skipped the JIT leg; the numpy "
                 "target served every prediction above"
             )
+
+        print("\n== 9. fault-simulation campaign (test-vector grading) ==")
+        from repro.eval.table1 import nor_mapped
+        from repro.faults import CampaignConfig, FaultList, run_campaign
+
+        # Each fault is one more run lane of the compiled core: the
+        # good machine plus all 10 faulty variants simulate in a single
+        # lock-step pass per engine, and a vector detects a fault when
+        # some primary output's capture strobe differs from the good
+        # machine's.
+        c17 = nor_mapped("c17")
+        c17_delays = build_instance_delays(c17, delay_library)
+        campaign = run_campaign(
+            c17,
+            bundle,
+            c17_delays,
+            faults=FaultList.sample_stuck_at(c17, 10, seed=0),
+            config=CampaignConfig(n_vectors=6, seed=0),
+            delay_library=delay_library,
+        )
+        print(campaign.summary())
+        for name, hit in zip(campaign.fault_names, campaign.detected):
+            print(f"  {name:<12} {'DETECTED' if hit else 'missed'}")
     else:
         print("tiny artifacts not built yet — run "
               "`python -m repro.cli characterize --scale tiny` first, "

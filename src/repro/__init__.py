@@ -32,6 +32,11 @@ from ``repro`` and resolved lazily on first use:
   :func:`~repro.eval.table1.run_table1` — the paper's Table I harness.
 * :class:`~repro.verify.fuzz.FuzzConfig` /
   :func:`~repro.verify.fuzz.run_fuzz` — the differential fuzz harness.
+* :class:`~repro.faults.FaultList` /
+  :class:`~repro.faults.CampaignConfig` /
+  :func:`~repro.faults.run_campaign` — fault-simulation campaigns:
+  stuck-at and delay faults lowered onto the compiled cores' run axis
+  and graded in one lock-step pass.
 
 The deep module paths (``repro.core.simulator``,
 ``repro.eval.table1``, ...) remain importable unchanged.
@@ -59,6 +64,11 @@ _EXPORTS = {
     "run_table1": "repro.eval.table1",
     "FuzzConfig": "repro.verify.fuzz",
     "run_fuzz": "repro.verify.fuzz",
+    "FaultList": "repro.faults",
+    "StuckAtFault": "repro.faults",
+    "DelayFault": "repro.faults",
+    "CampaignConfig": "repro.faults",
+    "run_campaign": "repro.faults",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -181,15 +181,32 @@ class Netlist:
     # ------------------------------------------------------------------
     # boolean evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, assignment: dict[str, bool]) -> dict[str, bool]:
-        """Evaluate all nets given PI values; returns every net's value."""
+    def evaluate(
+        self,
+        assignment: dict[str, bool],
+        overrides: dict[str, bool] | None = None,
+    ) -> dict[str, bool]:
+        """Evaluate all nets given PI values; returns every net's value.
+
+        ``overrides`` force nets to fixed levels regardless of their
+        drivers (the boolean settle of a stuck-at fault): a forced net's
+        own value is replaced after its gate evaluates, and every
+        consumer sees the forced level.
+        """
         missing = [pi for pi in self.primary_inputs if pi not in assignment]
         if missing:
             raise NetlistError(f"missing PI values: {missing}")
         values = {pi: bool(assignment[pi]) for pi in self.primary_inputs}
+        if overrides:
+            for net, forced in overrides.items():
+                if net in values:
+                    values[net] = bool(forced)
         for name in self.topological_order():
             gate = self.gates[name]
-            values[name] = eval_gate(gate.gtype, [values[n] for n in gate.inputs])
+            value = eval_gate(gate.gtype, [values[n] for n in gate.inputs])
+            if overrides and name in overrides:
+                value = bool(overrides[name])
+            values[name] = value
         return values
 
     def evaluate_outputs(self, assignment: dict[str, bool]) -> dict[str, bool]:

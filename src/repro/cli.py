@@ -33,6 +33,15 @@
     compare/record golden snapshots under ``artifacts/golden/``.
     Exits non-zero when any invariant is violated.
 
+``python -m repro.cli faults [--circuit c880_like] [--faults 32]
+[--vectors 8] [--report campaign.json]``
+    Fault-simulation campaign: sample a stuck-at fault universe on the
+    NOR-mapped benchmark, grade a random launch/capture vector set in
+    one lock-step pass (good machine + every faulty variant as extra
+    run lanes), print the coverage summary, and exit non-zero when the
+    digital and sigmoid engines disagree on any detection verdict
+    (disagreements are shrunk to minimal circuits first).
+
 ``python -m repro.cli serve-bench [--clients 16] [--requests 6]
 [--scale fast] [--window 0.005] [--max-batch 32]``
     Load-test the :class:`repro.serve.PredictionService`: a fleet of
@@ -163,6 +172,41 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"report written to {path}")
     if args.update_golden:
         print(f"golden snapshots updated under {artifacts_dir() / 'golden'}")
+    return 0 if result.ok else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.digital.characterize import build_instance_delays
+    from repro.faults import CampaignConfig, run_campaign
+
+    bundle = default_bundle(
+        scale=args.scale, backend=args.backend, verbose=not args.quiet
+    )
+    delay_library = default_delay_library(scale=args.scale)
+    netlist = nor_mapped(args.circuit)
+    delay_models = build_instance_delays(netlist, delay_library)
+    config = CampaignConfig(
+        n_faults=args.faults,
+        n_vectors=args.vectors,
+        seed=args.seed,
+        check_sigmoid=not args.no_sigmoid,
+        shrink=not args.no_shrink,
+        compiled=not args.interpreted,
+        target=args.target,
+    )
+    result = run_campaign(
+        netlist,
+        bundle,
+        delay_models,
+        config=config,
+        delay_library=delay_library,
+    )
+    print(result.summary())
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        result.write_report(path)
+        print(f"report written to {path}")
     return 0 if result.ok else 1
 
 
@@ -349,6 +393,35 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the JSON fuzz report to this path")
     p_fuzz.add_argument("--quiet", action="store_true")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="fault-simulation campaign over the compiled cores",
+    )
+    p_faults.add_argument("--circuit", default="c880_like",
+                          choices=list(CIRCUIT_BUILDERS))
+    p_faults.add_argument("--faults", type=_positive_int, default=32,
+                          help="stuck-at faults sampled from the universe")
+    p_faults.add_argument("--vectors", type=_positive_int, default=8,
+                          help="random launch/capture vectors to grade")
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--scale", default="fast", choices=SCALES)
+    p_faults.add_argument("--backend", default="ann", choices=backends)
+    p_faults.add_argument(
+        "--no-sigmoid", action="store_true",
+        help="digital verdicts only (skip the sigmoid cross-check)",
+    )
+    p_faults.add_argument("--no-shrink", action="store_true",
+                          help="skip disagreement minimization")
+    p_faults.add_argument(
+        "--interpreted", action="store_true",
+        help="event-driven digital reference instead of the compiled core",
+    )
+    p_faults.add_argument("--report", default=None,
+                          help="write the JSON coverage report to this path")
+    p_faults.add_argument("--quiet", action="store_true")
+    add_target_flag(p_faults)
+    p_faults.set_defaults(func=cmd_faults)
 
     p_serve = sub.add_parser(
         "serve-bench",

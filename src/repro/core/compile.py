@@ -369,6 +369,7 @@ class CompiledCircuit:
         dummy_slope: float = NOMINAL_SLOPE,
         fused: bool = True,
         target=None,
+        faults: list | None = None,
     ) -> "list[dict[str, SigmoidalTrace]]":
         """Predict traces for a batch of stimulus runs, level by level.
 
@@ -382,6 +383,8 @@ class CompiledCircuit:
         streaming-session path (the PR-5 compiled reference the fused
         parity contract is stated against) — a thin one-shot wrapper
         over :meth:`open_session`: feed the whole stimulus, finish.
+        ``faults`` (fused only) injects one fault per run via the
+        forced-lane masks of :meth:`~repro.core.fused.CompiledProgram.run_jobs`.
         """
         if fused:
             return self.fused_program().run_jobs(
@@ -389,6 +392,12 @@ class CompiledCircuit:
                 t_cap=t_cap,
                 dummy_slope=dummy_slope,
                 target=target,
+                faults=faults,
+            )
+        if faults is not None and any(f is not None for f in faults):
+            raise SimulationError(
+                "fault injection requires the fused execution path "
+                "(run_batch(fused=True))"
             )
         from repro.core.session import one_shot_sigmoid_batch
 

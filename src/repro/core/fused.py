@@ -118,7 +118,18 @@ class _CircuitPlan:
 class _BatchState:
     """Per-slot event stores for one circuit's batch of runs."""
 
-    __slots__ = ("n_runs", "ev_a", "ev_b", "ev_n", "init", "vdd", "jobs")
+    __slots__ = (
+        "n_runs",
+        "ev_a",
+        "ev_b",
+        "ev_n",
+        "init",
+        "vdd",
+        "jobs",
+        "forced_mask",
+        "forced_val",
+        "b_shift",
+    )
 
     def __init__(self, n_slots: int, n_runs: int) -> None:
         self.n_runs = n_runs
@@ -129,6 +140,14 @@ class _BatchState:
         self.init = np.zeros((n_slots, n_runs), dtype=bool)
         self.vdd = np.full((n_slots, n_runs), VDD)
         self.jobs: list = []
+        # Fault-campaign lowering (None when the batch is fault-free):
+        # ``forced_mask``/``forced_val`` pin (slot, run) cells to a
+        # constant level — stuck-at faults as forced-lane masks — and
+        # ``b_shift`` offsets a gate slot's output crossing times, the
+        # sigmoid twin of a perturbed arc-delay gather.
+        self.forced_mask: np.ndarray | None = None
+        self.forced_val: np.ndarray | None = None
+        self.b_shift: np.ndarray | None = None
 
 
 def compile_program(
@@ -239,6 +258,7 @@ class CompiledProgram:
         t_cap: float = T_CAP,
         dummy_slope: float = NOMINAL_SLOPE,
         target=None,
+        faults=None,
     ) -> list:
         """Execute one-shot prediction jobs in a single lock-step pass.
 
@@ -249,11 +269,23 @@ class CompiledProgram:
         :func:`~repro.core.session.one_shot_sigmoid_batch` semantics
         (recorded primary inputs pass the caller's trace objects
         through; ``record_nets=None`` records the primary outputs;
-        unknown record nets raise).
+        unknown record nets raise).  ``faults`` aligns one fault (or
+        ``None``) with each job — stuck-at faults force the job's slot
+        lanes, delay faults shift the faulted gate's output ``b``
+        parameters (see :mod:`repro.faults.model`).
         """
         jobs = list(jobs)
         if not jobs:
             return []
+        if faults is None:
+            faults = [None] * len(jobs)
+        else:
+            faults = list(faults)
+            if len(faults) != len(jobs):
+                raise SimulationError(
+                    f"need one fault (or None) per job ({len(jobs)}), "
+                    f"got {len(faults)}"
+                )
         states: dict[int, _BatchState] = {}
         order = []
         for job_index, (ci, pi_traces, record) in enumerate(jobs):
@@ -266,11 +298,11 @@ class CompiledProgram:
             missing = [pi for pi in pis if pi not in pi_traces]
             if missing:
                 raise SimulationError(f"missing PI traces: {missing}")
-            order.append((ci, pi_traces, record))
-        for ci in sorted({ci for ci, _, _ in order}):
+            order.append((ci, pi_traces, record, faults[job_index]))
+        for ci in sorted({ci for ci, _, _, _ in order}):
             runs = [
-                (pi_traces, record)
-                for c, pi_traces, record in order
+                (pi_traces, record, fault)
+                for c, pi_traces, record, fault in order
                 if c == ci
             ]
             states[ci] = self._ingest(ci, runs)
@@ -293,7 +325,7 @@ class CompiledProgram:
 
         results: list = []
         cursor = dict.fromkeys(states, 0)
-        for ci, pi_traces, record in order:
+        for ci, pi_traces, record, _fault in order:
             run = cursor[ci]
             cursor[ci] = run + 1
             results.append(self._extract(ci, states[ci], run, pi_traces, record))
@@ -308,7 +340,7 @@ class CompiledProgram:
         state.jobs = runs
         pis = circuit.netlist.primary_inputs
         for pi, slot in zip(pis, plan.pi_slots):
-            traces = [pi_traces[pi] for pi_traces, _ in runs]
+            traces = [pi_traces[pi] for pi_traces, _, _ in runs]
             width = max(t.params.shape[0] for t in traces)
             ev_a = np.zeros((state.n_runs, width))
             ev_b = np.zeros((state.n_runs, width))
@@ -323,11 +355,58 @@ class CompiledProgram:
             state.ev_a[slot] = ev_a
             state.ev_b[slot] = ev_b
         state.vdd = state.vdd[plan.vdd_root]
+        self._lower_faults(ci, state, runs)
+        if state.forced_mask is not None:
+            # Forced slots start — and stay — at the forced level; a
+            # forced PI additionally swallows its stimulus events.
+            np.copyto(state.init, state.forced_val, where=state.forced_mask)
+            state.ev_n[state.forced_mask] = 0
         for la in plan.levels:  # boolean settle, level-vectorized
             state.init[la.sl_out] = ~(
                 state.init[la.sl_in0] | state.init[la.sl_in1]
             )
+            if state.forced_mask is not None:
+                # Re-pin forced cells so the next level's settle reads
+                # the stuck level, not the computed one.
+                np.copyto(
+                    state.init, state.forced_val, where=state.forced_mask
+                )
         return state
+
+    # ------------------------------------------------------------------
+    def _lower_faults(self, ci: int, state: _BatchState, runs: list) -> None:
+        """Populate the batch's forced-lane masks and ``b`` shifts."""
+        if all(fault is None for _, _, fault in runs):
+            return
+        circuit = self.plans[ci].circuit
+        slot_of = circuit.slot_of
+        n_slots = circuit.n_slots
+        forced_mask = np.zeros((n_slots, state.n_runs), dtype=bool)
+        forced_val = np.zeros((n_slots, state.n_runs), dtype=bool)
+        b_shift = np.zeros((n_slots, state.n_runs))
+        any_shift = False
+        for run, (_pi_traces, _record, fault) in enumerate(runs):
+            if fault is None:
+                continue
+            for net, value in fault.stuck_nets().items():
+                slot = slot_of.get(net)
+                if slot is None:
+                    raise SimulationError(
+                        f"stuck-at fault on unknown net {net!r}"
+                    )
+                forced_mask[slot, run] = True
+                forced_val[slot, run] = bool(value)
+            for gate, shift in fault.b_shifts().items():
+                slot = slot_of.get(gate)
+                if slot is None or gate not in circuit.netlist.gates:
+                    raise SimulationError(
+                        f"delay fault on unknown gate {gate!r}"
+                    )
+                b_shift[slot, run] = float(shift)
+                any_shift = True
+        state.forced_mask = forced_mask
+        state.forced_val = forced_val
+        state.b_shift = b_shift if any_shift else None
 
     # ------------------------------------------------------------------
     def _advance_level(
@@ -391,6 +470,18 @@ class CompiledProgram:
                 state.ev_a[slot] = part_a[g, :, :w]
                 state.ev_b[slot] = part_b[g, :, :w]
                 state.ev_n[slot] = part_n[g]
+                if state.forced_mask is not None:
+                    # Forced-lane mask: a stuck gate's predictions are
+                    # discarded — the slot reads as a constant trace.
+                    mask = state.forced_mask[slot]
+                    if mask.any():
+                        state.ev_n[slot][mask] = 0
+                if state.b_shift is not None:
+                    shift = state.b_shift[slot]
+                    if shift.any():
+                        # Delay fault: shift the faulted run's output
+                        # crossings before any consumer gathers them.
+                        state.ev_b[slot] = state.ev_b[slot] + shift[:, None]
             offset += n
         return feature_buf, level_ok
 
@@ -592,10 +683,15 @@ class CompiledProgram:
         slot_of = circuit.slot_of
         result = {}
         for net in record:
-            if net in pi_traces:
+            slot = slot_of.get(net)
+            forced = (
+                state.forced_mask is not None
+                and slot is not None
+                and bool(state.forced_mask[slot, run])
+            )
+            if net in pi_traces and not forced:
                 result[net] = pi_traces[net]
                 continue
-            slot = slot_of.get(net)
             if slot is None:
                 raise SimulationError(f"unknown record net: {net!r}")
             n = int(state.ev_n[slot, run])

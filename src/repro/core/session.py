@@ -64,10 +64,41 @@ from repro.errors import ModelError, SimulationError
 #: conservative bound; a violation raises instead of diverging.
 STREAM_GUARD = 5.0
 
-#: Checkpoint format tag.  Checkpoints are JSON-compatible dicts; note
-#: they contain ``inf``/``-inf`` sentinels, which ``json.dumps`` /
-#: ``json.loads`` round-trip via the ``Infinity`` literal extension.
-STATE_FORMAT = "repro.session/v1"
+#: Accepted checkpoint format tags.  Checkpoints are JSON-compatible
+#: dicts.  v1 carried raw ``inf``/``-inf`` floats, which only survive a
+#: JSON round trip via Python's non-standard ``Infinity`` literal
+#: extension — strict parsers (and most other languages) reject such
+#: documents.  v2 encodes every non-finite float as a portable string
+#: sentinel (``"inf"`` / ``"-inf"`` / ``"nan"``); the ``float()`` /
+#: ``np.array(..., dtype=float)`` conversions on the restore paths
+#: parse the sentinels, so both formats load.
+STATE_FORMATS = ("repro.session/v1", "repro.session/v2")
+
+#: Format tag written by ``state()``.
+STATE_FORMAT = STATE_FORMATS[-1]
+
+
+def encode_nonfinite(obj):
+    """Recursively replace non-finite floats with portable sentinels.
+
+    Applied to every ``state()`` payload before it is returned, so a
+    checkpoint contains only strictly-JSON-representable values: ``inf``
+    becomes ``"inf"``, ``-inf`` becomes ``"-inf"`` and ``nan`` becomes
+    ``"nan"``.  Dict keys are left untouched (they are net/gate names).
+    The inverse needs no dedicated decoder — ``float("inf")`` et al.
+    parse the sentinels wherever ``restore()`` coerces numbers.
+    """
+    if isinstance(obj, float):
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        if math.isnan(obj):
+            return "nan"
+        return obj
+    if isinstance(obj, dict):
+        return {k: encode_nonfinite(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [encode_nonfinite(v) for v in obj]
+    return obj
 
 
 class SimulationSession:
@@ -125,13 +156,18 @@ class SimulationSession:
         mismatches = [
             f"{field} is {state.get(field)!r}, session expects {expect!r}"
             for field, expect in (
-                ("format", STATE_FORMAT),
                 ("kind", self.kind),
                 ("mode", mode),
                 ("digest", digest),
             )
             if state.get(field) != expect
         ]
+        if state.get("format") not in STATE_FORMATS:
+            mismatches.insert(
+                0,
+                f"format is {state.get('format')!r}, session expects "
+                f"one of {STATE_FORMATS!r}",
+            )
         if mismatches:
             raise SimulationError(
                 "checkpoint mismatch: " + "; ".join(mismatches)
@@ -832,7 +868,7 @@ class SigmoidSession(SimulationSession):
                     ],
                 }
             )
-        return {
+        return encode_nonfinite({
             "format": STATE_FORMAT,
             "kind": self.kind,
             "mode": self.mode,
@@ -849,7 +885,7 @@ class SigmoidSession(SimulationSession):
             "vdd": [dict(vdd) for vdd in self._vdd],
             "initial": [dict(init) for init in self._init],
             "lanes": lanes,
-        }
+        })
 
     def restore(self, state: dict) -> None:
         """Load a checkpoint produced by :meth:`state`."""

@@ -103,6 +103,7 @@ class CompiledDigitalCircuit:
 
     def __init__(self, netlist: Netlist, delay_models: dict) -> None:
         self.netlist = netlist
+        self._settle_plan = None
         order = netlist.topological_order()
         self._eval_order = [
             (name, netlist.gates[name].gtype, netlist.gates[name].inputs)
@@ -130,11 +131,95 @@ class CompiledDigitalCircuit:
             self.levels.append(level)
 
     # ------------------------------------------------------------------
-    def _evaluate(self, pi_values: dict[str, bool]) -> dict[str, bool]:
+    def _evaluate(
+        self,
+        pi_values: dict[str, bool],
+        overrides: dict[str, bool] | None = None,
+    ) -> dict[str, bool]:
+        """Boolean settle; ``overrides`` force nets (stuck-at lowering)."""
         values = dict(pi_values)
+        if overrides:
+            for net, forced in overrides.items():
+                if net in values:
+                    values[net] = bool(forced)
         for name, gtype, inputs in self._eval_order:
-            values[name] = eval_gate(gtype, [values[n] for n in inputs])
+            value = eval_gate(gtype, [values[n] for n in inputs])
+            if overrides and name in overrides:
+                value = bool(overrides[name])
+            values[name] = value
         return values
+
+    # ------------------------------------------------------------------
+    def settle_plan(self):
+        """Integer-indexed levels for the vectorized boolean settle.
+
+        ``(nets, index, pi_idx, level_plans)`` where each level plan is
+        ``(out_idx, in0_idx, in1_idx, forced_set)``-shaped arrays into
+        the flat net order (``in1_idx`` aliases ``in0_idx`` for
+        single-input gates, so every gate evaluates as ``~(a | b)``).
+        Built lazily once per compiled circuit; wide sessions settle all
+        runs level-vectorized instead of one python walk per run.
+        """
+        if self._settle_plan is None:
+            nets = list(self.netlist.nets)
+            index = {net: k for k, net in enumerate(nets)}
+            pi_idx = np.array(
+                [index[pi] for pi in self.netlist.primary_inputs],
+                dtype=np.intp,
+            )
+            level_plans = []
+            for level in self.levels:
+                out_idx = np.array(
+                    [index[n] for n in level.names], dtype=np.intp
+                )
+                in0_idx = np.array(
+                    [index[n] for n in level.in0], dtype=np.intp
+                )
+                in1_idx = np.array(
+                    [
+                        index[in1] if in1 is not None else index[in0]
+                        for in0, in1 in zip(level.in0, level.in1)
+                    ],
+                    dtype=np.intp,
+                )
+                level_plans.append(
+                    (out_idx, in0_idx, in1_idx, set(level.names))
+                )
+            self._settle_plan = (nets, index, pi_idx, level_plans)
+        return self._settle_plan
+
+    def evaluate_batch(
+        self,
+        pi_bits: np.ndarray,
+        forced: "list[dict[str, bool]] | None" = None,
+    ) -> np.ndarray:
+        """Boolean settle of many runs at once: ``(n_nets, n_runs)``.
+
+        ``pi_bits`` is ``(n_pis, n_runs)`` in primary-input order.
+        ``forced`` optionally gives one override map per run (stuck-at
+        lowering); a forced net is pinned after its own level evaluates,
+        so consumers see the forced value — run-for-run identical to
+        :meth:`_evaluate` with ``overrides``.
+        """
+        nets, index, pi_idx, level_plans = self.settle_plan()
+        n_runs = pi_bits.shape[1]
+        vals = np.zeros((len(nets), n_runs), dtype=bool)
+        vals[pi_idx] = pi_bits
+        has_forced = forced is not None and any(forced)
+        if has_forced:
+            pi_set = set(self.netlist.primary_inputs)
+            for run, fmap in enumerate(forced):
+                for net, value in fmap.items():
+                    if net in pi_set:
+                        vals[index[net], run] = bool(value)
+        for out_idx, in0_idx, in1_idx, names in level_plans:
+            vals[out_idx] = ~(vals[in0_idx] | vals[in1_idx])
+            if has_forced:
+                for run, fmap in enumerate(forced):
+                    for net, value in fmap.items():
+                        if net in names:
+                            vals[index[net], run] = bool(value)
+        return vals
 
     # ------------------------------------------------------------------
     def open_session(
@@ -142,17 +227,21 @@ class CompiledDigitalCircuit:
         t_stops: "list[float]",
         record_nets: "list[str] | None" = None,
         state: dict | None = None,
+        faults: list | None = None,
     ):
         """Open a streaming session over this compiled core.
 
         The session carries the per-lane inertial pendings, applied pin
         values and unconsumed input events between chunks; chunked
-        execution is bitwise-identical to :meth:`run_batch`.
+        execution is bitwise-identical to :meth:`run_batch`.  ``faults``
+        injects one fault (or ``None``) per run — see
+        :mod:`repro.faults.model` for the lowering hooks.
         """
         from repro.digital.session import CompiledDigitalSession
 
         return CompiledDigitalSession(
-            self, t_stops, record_nets=record_nets, state=state
+            self, t_stops, record_nets=record_nets, state=state,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -160,6 +249,7 @@ class CompiledDigitalCircuit:
         self,
         pi_traces_runs: "list[dict[str, DigitalTrace]]",
         t_stops: "list[float]",
+        faults: list | None = None,
     ) -> "list[dict[str, DigitalTrace]]":
         """Simulate a batch of runs; returns every net's committed trace.
 
@@ -168,11 +258,14 @@ class CompiledDigitalCircuit:
         once per batch: per run the result is the event loop's, per
         level all gates × all runs advance together.  A thin one-shot
         wrapper over :meth:`open_session` (feed everything, finish).
+        ``faults`` applies one fault (or ``None``) per run; because
+        lanes never interact, a wide faulty batch is bitwise-identical
+        to running each fault in its own batch.
         """
         from repro.digital.session import one_shot_digital_batch
 
         return one_shot_digital_batch(
-            lambda: self.open_session(t_stops),
+            lambda: self.open_session(t_stops, faults=faults),
             self.netlist,
             pi_traces_runs,
             t_stops,

@@ -34,7 +34,11 @@ import math
 import numpy as np
 
 from repro.circuits.gates import eval_gate
-from repro.core.session import STATE_FORMAT, SimulationSession
+from repro.core.session import (
+    STATE_FORMAT,
+    SimulationSession,
+    encode_nonfinite,
+)
 from repro.digital.trace import DigitalTrace
 from repro.errors import SimulationError
 
@@ -44,7 +48,7 @@ class _DigitalSessionBase(SimulationSession):
 
     kind = "digital"
 
-    def __init__(self, netlist, t_stops, record_nets) -> None:
+    def __init__(self, netlist, t_stops, record_nets, faults=None) -> None:
         super().__init__()
         from repro.core.compile import netlist_digest
 
@@ -62,8 +66,39 @@ class _DigitalSessionBase(SimulationSession):
         self._n_runs = len(self._t_stops)
         if self._n_runs == 0:
             raise SimulationError("need at least one run (one t_stop)")
+        if faults is None:
+            faults = [None] * self._n_runs
+        else:
+            faults = list(faults)
+            if len(faults) != self._n_runs:
+                raise SimulationError(
+                    f"need one fault (or None) per run ({self._n_runs}), "
+                    f"got {len(faults)}"
+                )
+        self._faults = faults
+        self._has_faults = any(fault is not None for fault in faults)
+        # Per-run forced-net maps (the stuck-at lowering shared by both
+        # session kinds): a forced net keeps its forced level for the
+        # whole run — its fed/produced transitions never propagate.
+        self._forced: list[dict[str, bool]] = []
+        for fault in faults:
+            stuck = {} if fault is None else dict(fault.stuck_nets())
+            for net in stuck:
+                if net not in known:
+                    raise SimulationError(
+                        f"stuck-at fault on unknown net {net!r}"
+                    )
+            self._forced.append({n: bool(v) for n, v in stuck.items()})
         self._started = False
         self._horizon = [-math.inf] * self._n_runs
+
+    def _refuse_fault_checkpoint(self) -> None:
+        if self._has_faults:
+            raise SimulationError(
+                "fault-injected sessions do not checkpoint: the state "
+                "format carries no fault list, so a restore would "
+                "silently resume the good machine"
+            )
 
     # -- chunk validation ----------------------------------------------
     def _check_first_feed(self, chunks) -> None:
@@ -135,53 +170,56 @@ class CompiledDigitalSession(_DigitalSessionBase):
         t_stops: list[float],
         record_nets: list[str] | None = None,
         state: dict | None = None,
+        faults: list | None = None,
     ) -> None:
-        super().__init__(circuit.netlist, t_stops, record_nets)
+        super().__init__(circuit.netlist, t_stops, record_nets, faults=faults)
         self.circuit = circuit
         if state is not None:
+            self._refuse_fault_checkpoint()
             self.restore(state)
 
     # ------------------------------------------------------------------
     def _initialize(self, chunks) -> None:
         circuit = self.circuit
-        self._initials = []
-        self._stream = []
-        self._seg_level = []
-        self._wm = []
-        for chunk in chunks:
-            initials = circuit._evaluate(
-                {pi: bool(chunk[pi].initial) for pi in self._pis}
-            )
-            self._initials.append({n: bool(v) for n, v in initials.items()})
-            self._stream.append(
-                {pi: bool(chunk[pi].initial) for pi in self._pis}
-            )
-            self._seg_level.append({n: bool(v) for n, v in initials.items()})
-            self._wm.append(dict.fromkeys(self.netlist.nets, -math.inf))
+        nets, _index, _pi_idx, level_plans = circuit.settle_plan()
+        # All runs settle in one level-vectorized pass (the per-run
+        # python walk dominated wide-batch session startup).
+        pi_bits = np.array(
+            [[bool(chunk[pi].initial) for chunk in chunks]
+             for pi in self._pis],
+            dtype=bool,
+        ).reshape(len(self._pis), self._n_runs)
+        vals = circuit.evaluate_batch(
+            pi_bits, self._forced if self._has_faults else None
+        )
+        columns = vals.T.tolist()
+        self._initials = [dict(zip(nets, col)) for col in columns]
+        self._seg_level = [dict(zip(nets, col)) for col in columns]
+        self._stream = [
+            {pi: bool(chunk[pi].initial) for pi in self._pis}
+            for chunk in chunks
+        ]
+        self._wm = [
+            dict.fromkeys(self.netlist.nets, -math.inf)
+            for _ in range(self._n_runs)
+        ]
         self._lanes = []
-        for level in circuit.levels:
+        for level, (out_idx, in0_idx, in1_idx, _names) in zip(
+            circuit.levels, level_plans
+        ):
             n_g = len(level.names)
             n = n_g * self._n_runs
+            # Lane order is run-major (lane = run * n_g + i): transpose
+            # the (gate, run) gathers before flattening.
             st = {
                 "buf0": [[] for _ in range(n)],
                 "buf1": [[] for _ in range(n)],
-                "v0": np.zeros(n, dtype=bool),
-                "v1": np.zeros(n, dtype=bool),
-                "out": np.zeros(n, dtype=bool),
+                "v0": np.ascontiguousarray(vals[in0_idx].T).reshape(n),
+                "v1": np.ascontiguousarray(vals[in1_idx].T).reshape(n),
+                "out": np.ascontiguousarray(vals[out_idx].T).reshape(n),
                 "pend_t": np.full(n, np.inf),
                 "pend_v": np.zeros(n, dtype=bool),
             }
-            for run in range(self._n_runs):
-                init = self._initials[run]
-                for i in range(n_g):
-                    lane = run * n_g + i
-                    init0 = init[level.in0[i]]
-                    st["v0"][lane] = init0
-                    if level.single[i]:
-                        st["v1"][lane] = init0
-                    else:
-                        st["v1"][lane] = init[level.in1[i]]
-                    st["out"][lane] = init[level.names[i]]
             self._lanes.append(st)
         self._lane_const = self._build_lane_const()
         self._started = True
@@ -190,19 +228,31 @@ class CompiledDigitalSession(_DigitalSessionBase):
     def _build_lane_const(self) -> list:
         """Per-level lane-expanded ``(single, delays)`` arrays.
 
-        These gathers depend only on ``(level, n_runs)``, so they are
-        hoisted out of the per-chunk step loop and shared by every
-        :func:`~repro.digital.compiled.lockstep_digital` call.
+        These gathers depend only on ``(level, n_runs)`` and the fault
+        list, so they are hoisted out of the per-chunk step loop and
+        shared by every
+        :func:`~repro.digital.compiled.lockstep_digital` call.  Delay
+        faults land here: the faulted run's lanes get the per-arc delta
+        added to their slice of the dense delay cube, so the lock-step
+        gather applies the perturbation with no per-event branching.
         """
+        deltas = [
+            fault.arc_deltas() if fault is not None else {}
+            for fault in self._faults
+        ]
+        has_delta = any(deltas)
         const = []
         for level in self.circuit.levels:
-            rows = np.tile(np.arange(len(level.names)), self._n_runs)
-            const.append(
-                (
-                    level.single[rows],
-                    np.ascontiguousarray(level.delays[rows]),
-                )
-            )
+            n_g = len(level.names)
+            rows = np.tile(np.arange(n_g), self._n_runs)
+            lane_delays = np.ascontiguousarray(level.delays[rows])
+            if has_delta:
+                for run, delta_map in enumerate(deltas):
+                    for i, name in enumerate(level.names):
+                        delta = delta_map.get(name)
+                        if delta is not None:
+                            lane_delays[run * n_g + i] += delta
+            const.append((level.single[rows], lane_delays))
         return const
 
     # ------------------------------------------------------------------
@@ -244,9 +294,11 @@ class CompiledDigitalSession(_DigitalSessionBase):
                 if seg.times:
                     # The stream level tracks every fed transition; only
                     # the ones inside the run's window commit (the event
-                    # loop's push guard).
+                    # loop's push guard).  A stuck PI swallows its
+                    # stimulus: the level continuity bookkeeping still
+                    # advances, but nothing propagates.
                     kept = [t for t in seg.times if t <= t_stop]
-                    if kept:
+                    if kept and pi not in self._forced[run]:
                         emitted[run][pi] = kept
                     self._stream[run][pi] ^= len(seg.times) % 2 == 1
                     new_horizon = max(new_horizon, seg.times[-1])
@@ -370,10 +422,14 @@ class CompiledDigitalSession(_DigitalSessionBase):
             for run in range(self._n_runs):
                 emit_run = emitted[run]
                 wm_run = self._wm[run]
+                forced = self._forced[run]
                 for i in range(n_g):
                     lane = run * n_g + i
                     count = int(n_out[lane])
-                    if count:
+                    # A forced gate's lane still runs (cheaper than
+                    # masking inside the kernel), but its output events
+                    # are dropped: the stuck net never transitions.
+                    if count and level.names[i] not in forced:
                         emit_run[level.names[i]] = out_times[
                             lane, :count
                         ].tolist()
@@ -384,6 +440,7 @@ class CompiledDigitalSession(_DigitalSessionBase):
     # ------------------------------------------------------------------
     def state(self) -> dict:
         self._require_active()
+        self._refuse_fault_checkpoint()
         if not self._started:
             raise SimulationError(
                 "nothing to checkpoint before the first feed"
@@ -401,7 +458,7 @@ class CompiledDigitalSession(_DigitalSessionBase):
                     "pend_v": [bool(v) for v in st["pend_v"]],
                 }
             )
-        return {
+        return encode_nonfinite({
             "format": STATE_FORMAT,
             "kind": self.kind,
             "mode": self.mode,
@@ -418,7 +475,7 @@ class CompiledDigitalSession(_DigitalSessionBase):
             "stream": [dict(s) for s in self._stream],
             "seg_level": [dict(s) for s in self._seg_level],
             "lanes": lanes,
-        }
+        })
 
     def restore(self, state: dict) -> None:
         self._require_active()
@@ -486,11 +543,20 @@ class EventDigitalSession(_DigitalSessionBase):
         t_stops: list[float],
         record_nets: list[str] | None = None,
         state: dict | None = None,
+        faults: list | None = None,
     ) -> None:
-        super().__init__(netlist, t_stops, record_nets)
+        super().__init__(netlist, t_stops, record_nets, faults=faults)
         self.delay_models = delay_models
         self._consumers = netlist.fanout()
+        # Per-run delay-model overrides (delay-fault lowering): the
+        # faulted gate's model is swapped for a perturbed wrapper, the
+        # rest of the run keeps the shared instance models.
+        self._run_models = [
+            fault.model_overrides(delay_models) if fault is not None else {}
+            for fault in self._faults
+        ]
         if state is not None:
+            self._refuse_fault_checkpoint()
             self.restore(state)
 
     # ------------------------------------------------------------------
@@ -498,9 +564,10 @@ class EventDigitalSession(_DigitalSessionBase):
         self._runs = []
         self._stream = []
         self._seg_level = []
-        for chunk in chunks:
+        for run, chunk in enumerate(chunks):
             values = self.netlist.evaluate(
-                {pi: bool(chunk[pi].initial) for pi in self._pis}
+                {pi: bool(chunk[pi].initial) for pi in self._pis},
+                overrides=self._forced[run] or None,
             )
             values = {n: bool(v) for n, v in values.items()}
             self._runs.append(
@@ -537,6 +604,7 @@ class EventDigitalSession(_DigitalSessionBase):
             self._check_chunk_keys(chunk)
             state = self._runs[run]
             t_stop = self._t_stops[run]
+            forced = self._forced[run]
             new_horizon = self._horizon[run]
             for pi in self._pis:
                 seg = chunk.get(pi)
@@ -546,7 +614,9 @@ class EventDigitalSession(_DigitalSessionBase):
                 value = self._stream[run][pi]
                 for time in seg.times:
                     value = not value
-                    if time <= t_stop:
+                    # A stuck PI's stimulus is swallowed at the push
+                    # guard, mirroring the compiled session's ingest.
+                    if time <= t_stop and pi not in forced:
                         heapq.heappush(
                             state["heap"],
                             (time, state["seq"], pi, value, -1),
@@ -585,6 +655,8 @@ class EventDigitalSession(_DigitalSessionBase):
         last_output_time = state["last_out"]
         pending = state["pending"]
         heap = state["heap"]
+        forced = self._forced[run]
+        models = self._run_models[run]
         transitions: dict[str, list[float]] = {}
 
         def schedule(gate_name: str, time: float, value: bool) -> None:
@@ -597,6 +669,10 @@ class EventDigitalSession(_DigitalSessionBase):
             state["seq"] += 1
 
         def update_gate(gate_name: str, pin: int, now: float) -> None:
+            if gate_name in forced:
+                # Stuck-at output: the gate never schedules events, its
+                # net keeps the forced level for the whole run.
+                return
             gate = netlist.gates[gate_name]
             target = eval_gate(
                 gate.gtype, [values[n] for n in gate.inputs]
@@ -611,7 +687,8 @@ class EventDigitalSession(_DigitalSessionBase):
                 pending.pop(gate_name, None)
                 return
             edge = "rise" if target else "fall"
-            delay = self.delay_models[gate_name].delay(
+            model = models.get(gate_name) or self.delay_models[gate_name]
+            delay = model.delay(
                 pin, edge, now, last_output_time[gate_name]
             )
             if delay <= 0.0:
@@ -640,6 +717,7 @@ class EventDigitalSession(_DigitalSessionBase):
     # ------------------------------------------------------------------
     def state(self) -> dict:
         self._require_active()
+        self._refuse_fault_checkpoint()
         if not self._started:
             raise SimulationError(
                 "nothing to checkpoint before the first feed"
@@ -665,7 +743,7 @@ class EventDigitalSession(_DigitalSessionBase):
                     "token": st["token"],
                 }
             )
-        return {
+        return encode_nonfinite({
             "format": STATE_FORMAT,
             "kind": self.kind,
             "mode": self.mode,
@@ -677,7 +755,7 @@ class EventDigitalSession(_DigitalSessionBase):
             "stream": [dict(s) for s in self._stream],
             "seg_level": [dict(s) for s in self._seg_level],
             "runs": runs,
-        }
+        })
 
     def restore(self, state: dict) -> None:
         self._require_active()

@@ -86,6 +86,7 @@ class DigitalSimulator:
         t_stops: "list[float]",
         record_nets: "list[str] | None" = None,
         state: dict | None = None,
+        faults: list | None = None,
     ):
         """Open a streaming session (``feed``/``state``/``finish``).
 
@@ -93,12 +94,15 @@ class DigitalSimulator:
         (:class:`~repro.digital.session.CompiledDigitalSession`); the
         interpreted/fallback path streams the paused event heap
         (:class:`~repro.digital.session.EventDigitalSession`).  Chunked
-        execution is bitwise-identical to one-shot for both.
+        execution is bitwise-identical to one-shot for both.  ``faults``
+        injects one fault (or ``None``) per run on either path — see
+        :mod:`repro.faults`.
         """
         core = self._compiled_circuit()
         if core is not None:
             return core.open_session(
-                t_stops, record_nets=record_nets, state=state
+                t_stops, record_nets=record_nets, state=state,
+                faults=faults,
             )
         from repro.digital.session import EventDigitalSession
 
@@ -108,6 +112,7 @@ class DigitalSimulator:
             t_stops,
             record_nets=record_nets,
             state=state,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -115,6 +120,7 @@ class DigitalSimulator:
         self,
         pi_traces_runs: "list[dict[str, DigitalTrace]]",
         t_stops: "list[float]",
+        faults: list | None = None,
     ) -> "list[dict[str, DigitalTrace]]":
         """Simulate many runs; one lock-step pass on the compiled core.
 
@@ -126,7 +132,7 @@ class DigitalSimulator:
         from repro.digital.session import one_shot_digital_batch
 
         return one_shot_digital_batch(
-            lambda: self.open_session(t_stops),
+            lambda: self.open_session(t_stops, faults=faults),
             self.netlist,
             pi_traces_runs,
             t_stops,

@@ -1,0 +1,40 @@
+"""Fault injection and fault-simulation campaigns.
+
+Fault models (:mod:`repro.faults.model`) lower onto the compiled cores'
+run axis — stuck-at faults become forced-lane masks, delay faults
+perturb the dense arc-delay gathers — so a campaign's good machine plus
+N faulty variants simulate in one lock-step pass
+(:mod:`repro.faults.campaign`).
+"""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CompiledCampaign,
+    Vector,
+    compile_campaign,
+    random_vectors,
+    run_campaign,
+)
+from repro.faults.model import (
+    DelayFault,
+    Fault,
+    FaultList,
+    PerturbedDelayModel,
+    StuckAtFault,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CompiledCampaign",
+    "DelayFault",
+    "Fault",
+    "FaultList",
+    "PerturbedDelayModel",
+    "StuckAtFault",
+    "Vector",
+    "compile_campaign",
+    "random_vectors",
+    "run_campaign",
+]

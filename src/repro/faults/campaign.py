@@ -1,0 +1,592 @@
+"""Fault-simulation campaigns batched through the compiled cores.
+
+Test-vector grading is the production workload the compiled ``(level,
+gate, run)`` array layout was built to absorb: a faulty circuit variant
+is just one more run lane, so the good machine plus N faulty variants
+simulate in **one lock-step pass** per engine instead of N+1 serial
+simulations.  :func:`compile_campaign` lowers a netlist + trained bundle
++ :class:`~repro.faults.model.FaultList` into a :class:`CompiledCampaign`
+(one compiled sigmoid circuit, one compiled digital twin, the lowered
+fault axis); :func:`run_campaign` grades a launch/capture vector set on
+it and reports per-vector × per-fault detection for both engines.
+
+Verdict semantics: vector ``v`` detects fault ``f`` iff some primary
+output's logic level at the capture strobe differs between the faulty
+run and the good machine's run of the same vector.  The digital verdict
+comes from the event-exact compiled digital core (bitwise-identical to
+a serial per-fault loop — lanes never interact); the sigmoid verdict
+digitizes the predicted output waveforms at VDD/2.  Any grading where
+the two engines disagree is handed to
+:func:`repro.verify.shrink.shrink_circuit` for minimization, mirroring
+the fuzz driver's failure workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import InitVar, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.constants import NOMINAL_SLOPE, NS
+from repro.core.compile import compile_circuit
+from repro.core.trace import SigmoidalTrace
+from repro.digital.compiled import compile_digital
+from repro.digital.session import EventDigitalSession, one_shot_digital_batch
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+from repro.faults.model import Fault, FaultList
+from repro.options import (
+    _UNSET,
+    ExecutionOptions,
+    execution_aliases,
+    normalize_execution,
+)
+
+
+@execution_aliases("compiled", "backend", "chunk_size", "target")
+@dataclass
+class CampaignConfig:
+    """Campaign knobs (defaults are CI-scale).
+
+    ``n_faults``/``n_vectors``/``seed`` size the sampled stuck-at
+    universe and the random launch/capture vector set when the caller
+    does not pass explicit faults.  ``t_launch`` places the launch
+    transition; ``t_capture`` is the strobe (and digital ``t_stop``) —
+    ``None`` derives a settle window from the circuit depth and its
+    largest arc delay.  ``check_sigmoid`` grades the sigmoid engine
+    alongside the digital verdicts; engine disagreements (up to
+    ``max_disagreements``) are minimized through ``repro.verify.shrink``
+    when ``shrink`` is on and a delay library is available.
+
+    The shared execution knobs
+    (:class:`~repro.options.ExecutionOptions`) follow the other
+    harness configs: ``compiled=False`` grades against the event-driven
+    reference loop instead of the compiled digital core (the sigmoid
+    engine always runs fused — forced-lane masks exist only there);
+    ``chunk_size`` is accepted for config uniformity but campaigns
+    execute one-shot.
+    """
+
+    n_faults: int = 32
+    n_vectors: int = 8
+    seed: int = 0
+    t_launch: float = 1.0 * NS
+    t_capture: float | None = None
+    slope: float = NOMINAL_SLOPE
+    check_sigmoid: bool = True
+    max_disagreements: int = 8
+    shrink: bool = True
+    shrink_max_evals: int = 48
+    execution: ExecutionOptions | None = None
+    backend: InitVar = _UNSET
+    compiled: InitVar = _UNSET
+    chunk_size: InitVar = _UNSET
+    target: InitVar = _UNSET
+
+    def __post_init__(self, backend, compiled, chunk_size, target) -> None:
+        self.execution = normalize_execution(
+            self.execution,
+            compiled=compiled,
+            backend=backend,
+            chunk_size=chunk_size,
+            target=target,
+        )
+        if self.n_faults < 1:
+            raise SimulationError("n_faults must be >= 1")
+        if self.n_vectors < 1:
+            raise SimulationError("n_vectors must be >= 1")
+        if self.t_capture is not None and self.t_capture <= self.t_launch:
+            raise SimulationError("t_capture must be after t_launch")
+
+
+@dataclass(frozen=True)
+class Vector:
+    """One launch/capture pair over the netlist's primary inputs."""
+
+    launch: tuple[bool, ...]
+    capture: tuple[bool, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "launch": [int(v) for v in self.launch],
+            "capture": [int(v) for v in self.capture],
+        }
+
+
+def random_vectors(netlist: Netlist, n: int, seed: int = 0) -> list[Vector]:
+    """``n`` random launch/capture vectors over the netlist's PIs."""
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, size=(n, 2, len(netlist.primary_inputs)))
+    return [
+        Vector(
+            tuple(bool(b) for b in row[0]),
+            tuple(bool(b) for b in row[1]),
+        )
+        for row in bits
+    ]
+
+
+def compile_campaign(
+    netlist: Netlist,
+    bundle,
+    faults,
+    delay_models: dict,
+    config: CampaignConfig | None = None,
+) -> "CompiledCampaign":
+    """Lower good machine + N faulty variants into one campaign program."""
+    return CompiledCampaign(netlist, bundle, faults, delay_models, config)
+
+
+class CompiledCampaign:
+    """One compiled sigmoid circuit + digital twin + lowered fault axis.
+
+    Run layout is vector-major: run ``v * (1 + n_faults) + k`` carries
+    vector ``v`` on the good machine (``k = 0``) or fault ``k - 1``.
+    ``serial=True`` on the trace runners executes the same compiled
+    machinery one fault column at a time — the per-fault reference loop
+    the lock-step pass is benchmarked (and bitwise-checked) against.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        bundle,
+        faults,
+        delay_models: dict,
+        config: CampaignConfig | None = None,
+    ) -> None:
+        self.config = config or CampaignConfig()
+        self.netlist = netlist
+        self.bundle = bundle
+        self.delay_models = delay_models
+        if not isinstance(faults, FaultList):
+            faults = FaultList(netlist, faults)
+        self.faults = faults
+        if len(faults) == 0:
+            raise SimulationError("campaign needs at least one fault")
+        execution = self.config.execution
+        self.sigmoid = compile_circuit(netlist, bundle, target=execution.target)
+        self.digital = (
+            compile_digital(netlist, delay_models)
+            if execution.compiled
+            else None
+        )
+        self.pos = list(netlist.primary_outputs)
+        self.t_capture = (
+            self.config.t_capture
+            if self.config.t_capture is not None
+            else self._auto_capture()
+        )
+
+    # ------------------------------------------------------------------
+    def _auto_capture(self) -> float:
+        """Launch time + a settle window from depth × slowest arc."""
+        worst = 0.0
+        for model in self.delay_models.values():
+            arc_array = getattr(model, "arc_array", None)
+            if arc_array is None:
+                raise SimulationError(
+                    "t_capture=None needs arc-table delay models to "
+                    "derive a settle window; pass an explicit t_capture"
+                )
+            arcs = arc_array(2)
+            worst = max(worst, float(np.nanmax(arcs)))
+        depth = max(len(self.netlist.levels()), 1)
+        return self.config.t_launch + 4.0 * depth * worst + 1.0 * NS
+
+    # ------------------------------------------------------------------
+    @property
+    def n_machines(self) -> int:
+        """Good machine + one per fault (the width of one vector's slab)."""
+        return 1 + len(self.faults)
+
+    def _run_axes(self, vectors: list[Vector]):
+        """Vector-major ``(fault, t_stop)`` per run of the full batch."""
+        machines: list[Fault | None] = [None, *self.faults]
+        fault_per_run = [f for _v in vectors for f in machines]
+        t_stops = [self.t_capture] * (len(vectors) * len(machines))
+        return fault_per_run, t_stops
+
+    def _digital_stimulus(self, vector: Vector) -> dict[str, DigitalTrace]:
+        pis = self.netlist.primary_inputs
+        t_launch = self.config.t_launch
+        return {
+            pi: DigitalTrace(
+                bool(lv), [t_launch] if bool(lv) != bool(cv) else []
+            )
+            for pi, lv, cv in zip(pis, vector.launch, vector.capture)
+        }
+
+    def _sigmoid_stimulus(self, vector: Vector) -> dict[str, SigmoidalTrace]:
+        return {
+            pi: SigmoidalTrace.from_digital(trace, slope=self.config.slope)
+            for pi, trace in self._digital_stimulus(vector).items()
+        }
+
+    # ------------------------------------------------------------------
+    def digital_traces(
+        self, vectors: list[Vector], serial: bool = False
+    ) -> "list[dict[str, DigitalTrace]]":
+        """PO traces for every (vector, machine) run, vector-major.
+
+        One lock-step batch by default; ``serial=True`` loops one
+        machine column per batch (the per-fault reference).  Lanes
+        never interact, so the two orders are bitwise-identical.
+        """
+        fault_per_run, t_stops = self._run_axes(vectors)
+        stimuli = [self._digital_stimulus(v) for v in vectors]
+        pi_runs = [stimuli[v] for v in range(len(vectors)) for _ in range(self.n_machines)]
+        if not serial:
+            return self._digital_batch(pi_runs, t_stops, fault_per_run)
+        n_m = self.n_machines
+        results: list = [None] * len(pi_runs)
+        for k in range(n_m):
+            fault = None if k == 0 else self.faults[k - 1]
+            column = self._digital_batch(
+                stimuli,
+                [self.t_capture] * len(vectors),
+                [fault] * len(vectors),
+            )
+            for v, traces in enumerate(column):
+                results[v * n_m + k] = traces
+        return results
+
+    def _digital_batch(self, pi_runs, t_stops, fault_per_run):
+        if self.digital is not None:
+            def open_session():
+                return self.digital.open_session(
+                    t_stops, record_nets=self.pos, faults=fault_per_run
+                )
+        else:
+            def open_session():
+                return EventDigitalSession(
+                    self.netlist,
+                    self.delay_models,
+                    t_stops,
+                    record_nets=self.pos,
+                    faults=fault_per_run,
+                )
+        return one_shot_digital_batch(
+            open_session, self.netlist, pi_runs, t_stops
+        )
+
+    # ------------------------------------------------------------------
+    def sigmoid_traces(
+        self, vectors: list[Vector], serial: bool = False
+    ) -> "list[dict[str, SigmoidalTrace]]":
+        """Sigmoid PO traces for every (vector, machine) run, vector-major."""
+        fault_per_run, _ = self._run_axes(vectors)
+        stimuli = [self._sigmoid_stimulus(v) for v in vectors]
+        target = self.config.execution.target
+        program = self.sigmoid.fused_program()
+        if not serial:
+            jobs = [
+                (0, stimuli[v], self.pos)
+                for v in range(len(vectors))
+                for _ in range(self.n_machines)
+            ]
+            return program.run_jobs(jobs, target=target, faults=fault_per_run)
+        n_m = self.n_machines
+        results: list = [None] * (len(vectors) * n_m)
+        for k in range(n_m):
+            fault = None if k == 0 else self.faults[k - 1]
+            column = program.run_jobs(
+                [(0, stim, self.pos) for stim in stimuli],
+                target=target,
+                faults=[fault] * len(vectors),
+            )
+            for v, traces in enumerate(column):
+                results[v * n_m + k] = traces
+        return results
+
+    # ------------------------------------------------------------------
+    def digital_strobes(self, traces_runs) -> np.ndarray:
+        """(run, po) logic levels at the capture strobe."""
+        return np.array(
+            [
+                [bool(traces[po].value_at(self.t_capture)) for po in self.pos]
+                for traces in traces_runs
+            ],
+            dtype=bool,
+        )
+
+    def sigmoid_strobes(self, traces_runs) -> np.ndarray:
+        return np.array(
+            [
+                [
+                    bool(
+                        traces[po].digitize().value_at(self.t_capture)
+                    )
+                    for po in self.pos
+                ]
+                for traces in traces_runs
+            ],
+            dtype=bool,
+        )
+
+    def detection_matrix(self, strobes: np.ndarray, n_vectors: int) -> np.ndarray:
+        """(vector, fault) detection verdicts from strobe levels."""
+        n_m = self.n_machines
+        per_vector = strobes.reshape(n_vectors, n_m, len(self.pos))
+        good = per_vector[:, :1, :]
+        return (per_vector[:, 1:, :] != good).any(axis=2)
+
+
+@dataclass
+class CampaignResult:
+    """Detection matrices, coverage and engine-disagreement report."""
+
+    circuit: str
+    fault_names: list[str]
+    vectors: list[Vector]
+    detection: np.ndarray  # (n_vectors, n_faults) digital verdicts
+    sigmoid_detection: np.ndarray | None
+    t_launch: float
+    t_capture: float
+    disagreements: list[dict] = field(default_factory=list)
+    cpu_s: float = 0.0
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.fault_names)
+
+    @property
+    def n_vectors(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def detected(self) -> np.ndarray:
+        """Per-fault: detected by at least one vector (digital verdict)."""
+        return self.detection.any(axis=0)
+
+    @property
+    def coverage(self) -> float:
+        return float(self.detected.mean())
+
+    @property
+    def ok(self) -> bool:
+        """True when the engines agreed on every grading."""
+        return not self.disagreements
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": "stuck_at_delay",
+            "circuit": self.circuit,
+            "n_faults": self.n_faults,
+            "n_vectors": self.n_vectors,
+            "t_launch_s": self.t_launch,
+            "t_capture_s": self.t_capture,
+            "coverage": self.coverage,
+            "n_detected": int(self.detected.sum()),
+            "fault_names": list(self.fault_names),
+            "vectors": [v.to_dict() for v in self.vectors],
+            "detection": self.detection.astype(int).tolist(),
+            "sigmoid_detection": (
+                self.sigmoid_detection.astype(int).tolist()
+                if self.sigmoid_detection is not None
+                else None
+            ),
+            "n_disagreements": len(self.disagreements),
+            "disagreements": self.disagreements,
+            "cpu_s": self.cpu_s,
+            "ok": self.ok,
+        }
+
+    def write_report(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"fault campaign on {self.circuit}: {self.n_faults} faults "
+            f"x {self.n_vectors} vectors "
+            f"({self.n_vectors * (self.n_faults + 1)} lock-step runs)",
+            f"digital coverage {100.0 * self.coverage:.1f}% "
+            f"({int(self.detected.sum())}/{self.n_faults} faults detected)",
+        ]
+        if self.sigmoid_detection is None:
+            lines.append("sigmoid engine: not graded")
+        elif self.ok:
+            lines.append(
+                "sigmoid verdicts agree on all "
+                f"{self.detection.size} gradings"
+            )
+        else:
+            lines.append(
+                f"sigmoid verdicts DISAGREE on {len(self.disagreements)} "
+                f"of {self.detection.size} gradings"
+            )
+            for item in self.disagreements:
+                shrunk = item.get("shrunk_gates")
+                note = (
+                    f" (shrunk to {shrunk} gates)" if shrunk is not None else ""
+                )
+                lines.append(
+                    f"  vector {item['vector']} x {item['fault']}: "
+                    f"digital={'detected' if item['digital'] else 'missed'} "
+                    f"sigmoid={'detected' if item['sigmoid'] else 'missed'}"
+                    f"{note}"
+                )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    netlist: Netlist,
+    bundle,
+    delay_models: dict,
+    faults=None,
+    config: CampaignConfig | None = None,
+    delay_library=None,
+    vectors: list[Vector] | None = None,
+    serial: bool = False,
+) -> CampaignResult:
+    """Grade a vector set against a fault list on both engines.
+
+    ``faults=None`` samples ``config.n_faults`` stuck-at faults from the
+    netlist's universe; ``vectors=None`` draws ``config.n_vectors``
+    random launch/capture pairs.  ``serial=True`` runs the per-fault
+    reference loop instead of the lock-step pass (same verdicts, the
+    benchmark's baseline).  ``delay_library`` enables shrink-based
+    minimization of engine disagreements (candidate circuits need their
+    instance delays re-resolved at their own fanouts).
+    """
+    import time
+
+    config = config or CampaignConfig()
+    if faults is None:
+        faults = FaultList.sample_stuck_at(
+            netlist, config.n_faults, seed=config.seed
+        )
+    campaign = compile_campaign(netlist, bundle, faults, delay_models, config)
+    if vectors is None:
+        vectors = random_vectors(netlist, config.n_vectors, seed=config.seed)
+
+    start = time.process_time()
+    digital_runs = campaign.digital_traces(vectors, serial=serial)
+    detection = campaign.detection_matrix(
+        campaign.digital_strobes(digital_runs), len(vectors)
+    )
+    sigmoid_detection = None
+    if config.check_sigmoid:
+        sigmoid_runs = campaign.sigmoid_traces(vectors, serial=serial)
+        sigmoid_detection = campaign.detection_matrix(
+            campaign.sigmoid_strobes(sigmoid_runs), len(vectors)
+        )
+    cpu_s = time.process_time() - start
+
+    result = CampaignResult(
+        circuit=netlist.name,
+        fault_names=campaign.faults.names,
+        vectors=list(vectors),
+        detection=detection,
+        sigmoid_detection=sigmoid_detection,
+        t_launch=config.t_launch,
+        t_capture=campaign.t_capture,
+        cpu_s=cpu_s,
+    )
+    if sigmoid_detection is not None:
+        _collect_disagreements(
+            result, campaign, vectors, config, delay_library
+        )
+    return result
+
+
+def _collect_disagreements(
+    result: CampaignResult,
+    campaign: CompiledCampaign,
+    vectors: list[Vector],
+    config: CampaignConfig,
+    delay_library,
+) -> None:
+    """Record (and optionally shrink) engine verdict disagreements."""
+    mismatch = np.nonzero(result.detection != result.sigmoid_detection)
+    for v, f in zip(*mismatch):
+        if len(result.disagreements) >= config.max_disagreements:
+            result.disagreements.append(
+                {"truncated": True, "note": "further disagreements omitted"}
+            )
+            break
+        item = {
+            "vector": int(v),
+            "fault": campaign.faults.names[int(f)],
+            "digital": bool(result.detection[v, f]),
+            "sigmoid": bool(result.sigmoid_detection[v, f]),
+            "shrunk_gates": None,
+        }
+        if config.shrink and delay_library is not None:
+            shrunk = _shrink_disagreement(
+                campaign, vectors[int(v)], campaign.faults[int(f)],
+                config, delay_library,
+            )
+            if shrunk is not None:
+                item["shrunk_gates"] = shrunk.n_gates
+                item["shrunk_pos"] = list(shrunk.primary_outputs)
+        result.disagreements.append(item)
+
+
+def _shrink_disagreement(
+    campaign: CompiledCampaign,
+    vector: Vector,
+    fault: Fault,
+    config: CampaignConfig,
+    delay_library,
+):
+    """Minimize a circuit on which the engines grade ``fault`` differently.
+
+    The vector is projected onto each candidate's primary inputs via the
+    full circuit's boolean states at launch and capture (cone extraction
+    promotes internal nets to PIs), so shrunken reproductions stay
+    faithful to the observed stimulus.  Any candidate that errors — or
+    that lost the fault site — counts as not reproducing.
+    """
+    from repro.digital.characterize import build_instance_delays
+    from repro.verify.shrink import shrink_circuit
+
+    netlist = campaign.netlist
+    pis = netlist.primary_inputs
+    launch_vals = netlist.evaluate(dict(zip(pis, vector.launch)))
+    capture_vals = netlist.evaluate(dict(zip(pis, vector.capture)))
+
+    def disagrees(candidate: Netlist) -> bool:
+        try:
+            sub_faults = FaultList(candidate, [fault])
+            if any(
+                net not in candidate.nets
+                for net in list(fault.stuck_nets()) + list(fault.arc_deltas())
+            ):
+                return False
+            models = build_instance_delays(candidate, delay_library)
+            sub_vector = Vector(
+                tuple(bool(launch_vals[pi]) for pi in candidate.primary_inputs),
+                tuple(bool(capture_vals[pi]) for pi in candidate.primary_inputs),
+            )
+            sub_config = CampaignConfig(
+                n_faults=1,
+                n_vectors=1,
+                seed=config.seed,
+                t_launch=config.t_launch,
+                t_capture=campaign.t_capture,
+                slope=config.slope,
+                check_sigmoid=True,
+                shrink=False,
+                execution=config.execution,
+            )
+            sub = compile_campaign(
+                candidate, campaign.bundle, sub_faults, models, sub_config
+            )
+            digital = sub.detection_matrix(
+                sub.digital_strobes(sub.digital_traces([sub_vector])), 1
+            )
+            sigmoid = sub.detection_matrix(
+                sub.sigmoid_strobes(sub.sigmoid_traces([sub_vector])), 1
+            )
+            return bool(digital[0, 0] != sigmoid[0, 0])
+        except Exception:
+            return False
+
+    shrink = shrink_circuit(
+        netlist, disagrees, max_evals=config.shrink_max_evals
+    )
+    return shrink.netlist if shrink.netlist.n_gates < netlist.n_gates else None

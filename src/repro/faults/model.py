@@ -1,0 +1,254 @@
+"""Fault models for test-vector grading campaigns.
+
+A fault is a small, local perturbation of the good machine that every
+execution engine can apply *per run*: stuck-at faults force one net to a
+constant logic level, delay faults add a signed delta to a gate
+instance's timing arcs.  The engines stay decoupled from this module —
+they accept any object exposing the four lowering hooks of
+:class:`Fault` (:meth:`~Fault.stuck_nets`, :meth:`~Fault.arc_deltas`,
+:meth:`~Fault.b_shifts`, :meth:`~Fault.model_overrides`), and each
+concrete fault implements only the hooks that concern it:
+
+* the compiled digital core forces lanes and perturbs its dense
+  ``(lane, pin, edge)`` arc-delay gathers,
+* the event-driven reference loop skips forced nets and swaps the
+  gate's :class:`~repro.digital.delay.InstanceDelayModel` for a
+  :class:`PerturbedDelayModel` wrapper,
+* the fused sigmoid executor masks forced slots to constant traces and
+  shifts the faulted gate's output crossing times.
+
+:class:`FaultList` binds faults to one netlist (validating every site
+exists) and provides the stuck-at universe samplers campaigns start
+from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.constants import TIME_SCALE
+from repro.digital.delay import InstanceDelayModel
+from repro.errors import SimulationError
+
+
+class Fault:
+    """Lowering interface every execution engine programs against.
+
+    The default hooks are all empty, so a concrete fault overrides only
+    the aspects it perturbs.  One fault object is applied to one *run*
+    (lane group) of a batch; campaigns pass ``None`` for the good
+    machine's runs.
+    """
+
+    @property
+    def name(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def stuck_nets(self) -> dict[str, bool]:
+        """Nets forced to a constant level for the whole run."""
+        return {}
+
+    def arc_deltas(self) -> "dict[str, np.ndarray]":
+        """Per-gate ``(pin, edge)`` delay deltas in seconds (edge 0 =
+        fall, 1 = rise — the layout of
+        :meth:`~repro.digital.delay.FixedDelayModel.arc_array`)."""
+        return {}
+
+    def b_shifts(self) -> dict[str, float]:
+        """Per-gate output crossing-time shifts in *scaled* time.
+
+        The sigmoid engine has no per-arc delays — a gate's timing is
+        its transfer functions' ``delta_b`` — so a delay fault lowers to
+        a uniform shift of the faulted gate's output ``b`` parameters.
+        Pin/edge selectivity is a digital-only refinement; the sigmoid
+        twin applies the mean delta of the selected arcs to every
+        output transition.
+        """
+        return {}
+
+    def model_overrides(self, delay_models: dict) -> dict:
+        """Replacement :class:`InstanceDelayModel`\\ s for the event loop."""
+        return {}
+
+
+@dataclass(frozen=True)
+class StuckAtFault(Fault):
+    """Net ``net`` held at constant ``value`` (stuck-at-0 / stuck-at-1)."""
+
+    net: str
+    value: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.net}/SA{int(bool(self.value))}"
+
+    def stuck_nets(self) -> dict[str, bool]:
+        return {self.net: bool(self.value)}
+
+
+@dataclass(frozen=True)
+class DelayFault(Fault):
+    """Signed delta (seconds) added to a gate instance's timing arcs.
+
+    ``pin``/``edge`` restrict the perturbation to one input pin and/or
+    one output edge; ``None`` means all.  A perturbed delay that drops
+    to zero or below swallows the transition pair in both digital
+    engines (the DDM-style full-degradation rule), so gross negative
+    deltas model transition faults collapsing into pulse deletion.
+    """
+
+    gate: str
+    delta: float
+    pin: int | None = None
+    edge: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.edge not in (None, "rise", "fall"):
+            raise SimulationError("edge must be None, 'rise' or 'fall'")
+        if self.pin not in (None, 0, 1):
+            raise SimulationError("pin must be None, 0 or 1")
+        if not np.isfinite(self.delta):
+            raise SimulationError("delay delta must be finite")
+
+    @property
+    def name(self) -> str:
+        scope = "" if self.pin is None else f"/p{self.pin}"
+        scope += "" if self.edge is None else f"/{self.edge}"
+        return f"{self.gate}{scope}/DELTA{self.delta / 1e-12:+.2f}ps"
+
+    def arc_delta(self) -> np.ndarray:
+        """The delta as a dense ``(2, 2)`` ``(pin, edge)`` array."""
+        table = np.zeros((2, 2))
+        pins = (self.pin,) if self.pin is not None else (0, 1)
+        edges = (self.edge,) if self.edge is not None else ("fall", "rise")
+        for pin in pins:
+            for edge in edges:
+                table[pin, 0 if edge == "fall" else 1] = self.delta
+        return table
+
+    def arc_deltas(self) -> "dict[str, np.ndarray]":
+        return {self.gate: self.arc_delta()}
+
+    def b_shifts(self) -> dict[str, float]:
+        return {self.gate: self.delta * TIME_SCALE}
+
+    def model_overrides(self, delay_models: dict) -> dict:
+        base = delay_models.get(self.gate)
+        if base is None:
+            raise SimulationError(f"no delay model for gate {self.gate!r}")
+        return {self.gate: PerturbedDelayModel(base, self.arc_delta())}
+
+
+class PerturbedDelayModel(InstanceDelayModel):
+    """A per-arc delta on top of an existing instance delay model.
+
+    The event-driven engine's twin of the compiled core's perturbed
+    arc-delay gather: every ``delay()`` answer of the wrapped model is
+    offset by the matching ``(pin, edge)`` entry.  Non-positive results
+    pass through unclamped — the simulators already interpret them as
+    full pulse degradation.
+    """
+
+    def __init__(self, base: InstanceDelayModel, arc_delta) -> None:
+        self.base = base
+        self.arc_delta = np.asarray(arc_delta, dtype=float)
+        if self.arc_delta.shape != (2, 2):
+            raise SimulationError("arc_delta must have shape (2, 2)")
+
+    def delay(self, pin: int, edge: str, now: float, last_output_time: float) -> float:
+        d = self.base.delay(pin, edge, now, last_output_time)
+        return d + float(self.arc_delta[pin, 0 if edge == "fall" else 1])
+
+
+def _single_channel(netlist: Netlist, gate_name: str) -> bool:
+    """INV and tied-input NOR2 gates expose one timing channel."""
+    gate = netlist.gates[gate_name]
+    if gate.gtype is GateType.INV:
+        return True
+    return len(gate.inputs) == 2 and gate.inputs[0] == gate.inputs[1]
+
+
+class FaultList:
+    """An ordered fault universe bound to (and validated against) a netlist."""
+
+    def __init__(self, netlist: Netlist, faults) -> None:
+        self.netlist = netlist
+        nets = set(netlist.nets)
+        normalized = []
+        for fault in faults:
+            for net in fault.stuck_nets():
+                if net not in nets:
+                    raise SimulationError(
+                        f"stuck-at fault on unknown net {net!r}"
+                    )
+            for gate_name in fault.arc_deltas():
+                if gate_name not in netlist.gates:
+                    raise SimulationError(
+                        f"delay fault on unknown gate {gate_name!r}"
+                    )
+            if isinstance(fault, DelayFault) and _single_channel(
+                netlist, fault.gate
+            ):
+                # Single-channel gates resolve both pins to one arc at
+                # characterization time and the compiled core only ever
+                # gathers pin 0, so a pin-specific delta is normalized
+                # to the whole channel (pin 1 alone cannot compile).
+                if fault.pin == 1:
+                    raise SimulationError(
+                        f"gate {fault.gate!r} has a single timing channel; "
+                        "use pin=None (or 0) for its delay faults"
+                    )
+                if fault.pin == 0:
+                    fault = dataclasses.replace(fault, pin=None)
+            normalized.append(fault)
+        self.faults: list[Fault] = normalized
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __getitem__(self, index):
+        return self.faults[index]
+
+    @property
+    def names(self) -> list[str]:
+        return [fault.name for fault in self.faults]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def all_stuck_at(cls, netlist: Netlist, include_pis: bool = True) -> "FaultList":
+        """The full single-stuck-at universe (every net × SA0/SA1)."""
+        nets = list(netlist.primary_inputs) if include_pis else []
+        nets += [name for level in netlist.levels() for name in level]
+        return cls(
+            netlist,
+            [
+                StuckAtFault(net, bool(value))
+                for net in nets
+                for value in (0, 1)
+            ],
+        )
+
+    @classmethod
+    def sample_stuck_at(
+        cls,
+        netlist: Netlist,
+        n: int,
+        seed: int = 0,
+        include_pis: bool = True,
+    ) -> "FaultList":
+        """``n`` distinct stuck-at faults drawn uniformly from the universe."""
+        universe = cls.all_stuck_at(netlist, include_pis=include_pis)
+        if n >= len(universe):
+            return universe
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(universe), size=n, replace=False)
+        return cls(netlist, [universe[int(i)] for i in sorted(picks)])

@@ -1,0 +1,40 @@
+"""Append-only JSON benchmark ledgers (``BENCH_*.json``).
+
+Every perf benchmark appends one record per run to a JSON ledger at the
+repo root so the performance trajectory is reviewable in-tree.  The
+append semantics live here once: missing files start a fresh ledger,
+corrupt or non-list contents are recovered rather than crashing a
+benchmark run (a truncated ledger from an interrupted run must never
+fail the suite), and only the most recent ``keep`` records are kept —
+the trajectory matters, not every local run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+DEFAULT_KEEP = 50
+
+
+def append_bench_record(path, record: dict, keep: int = DEFAULT_KEEP) -> list:
+    """Append ``record`` to the JSON ledger at ``path``; return the history.
+
+    Missing file → a new one-record ledger.  Unparseable JSON → start
+    fresh (the corrupt content is discarded, never propagated).  A bare
+    object (pre-ledger format) is wrapped into a list.  The written
+    history is truncated to the last ``keep`` records.
+    """
+    path = Path(path)
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    history = history[-keep:]
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return history

@@ -34,6 +34,7 @@ from repro.digital.trace import DigitalTrace
 from repro.errors import ServiceError
 from repro.eval.stimuli import StimulusConfig, random_pi_sources
 from repro.eval.table1 import nor_mapped
+from repro.ledger import append_bench_record  # re-exported: cli + benches import it from here
 from repro.options import ExecutionOptions
 from repro.serve.service import PredictionService
 
@@ -324,17 +325,3 @@ def run_serve_bench(
     }
 
 
-def append_bench_record(path: Path, record: dict) -> list:
-    """Append ``record`` to the JSON ledger at ``path`` (last 50 kept)."""
-    history = []
-    if path.exists():
-        try:
-            history = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    history = history[-50:]
-    path.write_text(json.dumps(history, indent=2) + "\n")
-    return history

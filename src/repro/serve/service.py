@@ -355,11 +355,15 @@ class PredictionService:
                 for digests, program in self._programs.items()
                 if digest not in digests
             }
+            # Claim the pin under the lock so a concurrent close() (or a
+            # second unregister) can never double-unpin the compilation.
+            compiled = entry.compiled_circuit if entry is not None else None
+            if entry is not None:
+                entry.compiled_circuit = None
         if entry is None:
             return False
-        if entry.compiled_circuit is not None:
+        if compiled is not None:
             unpin_circuit(entry.netlist, self.bundle)
-            entry.compiled_circuit = None
         return True
 
     def circuits(self) -> list[str]:
@@ -591,11 +595,13 @@ class PredictionService:
         for worker in self._workers:
             worker.join(timeout)
         with self._lock:
-            fleet = list(self._fleet.values())
-        for entry in fleet:
-            if entry.compiled_circuit is not None:
-                unpin_circuit(entry.netlist, self.bundle)
-                entry.compiled_circuit = None
+            pinned = []
+            for entry in self._fleet.values():
+                if entry.compiled_circuit is not None:
+                    pinned.append(entry.netlist)
+                    entry.compiled_circuit = None
+        for netlist in pinned:
+            unpin_circuit(netlist, self.bundle)
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -699,6 +705,23 @@ class PredictionService:
             finally:
                 self._finish_group(len(group))
 
+    @staticmethod
+    def _resolve_future(future, result=None, exception=None) -> None:
+        """Resolve a request future without ever raising.
+
+        A client can cancel (or a timeout can resolve) a future between
+        our check and the set — ``InvalidStateError`` here would kill
+        the worker thread and strand every other request in the group.
+        An already-resolved future needs nothing from us.
+        """
+        try:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(result)
+        except Exception:
+            pass
+
     def _execute(self, group: "list[_Request]") -> None:
         now = time.monotonic()
         live: list[_Request] = []
@@ -706,11 +729,12 @@ class PredictionService:
             if request.expired(now):
                 with self._lock:
                     self._stats["timed_out"] += 1
-                request.future.set_exception(
-                    ServiceTimeout(
+                self._resolve_future(
+                    request.future,
+                    exception=ServiceTimeout(
                         "request spent longer than its timeout queued "
                         f"(circuit {request.digest[:12]})"
-                    )
+                    ),
                 )
             elif not request.future.set_running_or_notify_cancel():
                 with self._lock:
@@ -725,7 +749,7 @@ class PredictionService:
             with self._lock:
                 self._stats["failed"] += len(live)
             for request in live:
-                request.future.set_exception(exc)
+                self._resolve_future(request.future, exception=exc)
             return
         with self._lock:
             self._stats["batches"] += 1
@@ -735,7 +759,7 @@ class PredictionService:
                 self._stats["max_batch"], len(live)
             )
         for request, result in zip(live, results):
-            request.future.set_result(result)
+            self._resolve_future(request.future, result)
 
     def _run_batch(self, group: "list[_Request]") -> list:
         """One lock-step ``simulate_batch`` over a coalesced group."""
@@ -794,10 +818,27 @@ class PredictionService:
             program = compile_program(
                 [entries[d].netlist for d in digests], self.bundle
             )
+            # Re-check membership under the lock: compilation ran
+            # outside it, so an unregister may have purged this digest
+            # combination in between.  Caching the stale program would
+            # undo that purge — every later batch for these digests
+            # would dereference the popped fleet member — so the group
+            # fails cleanly instead (identity compare: a re-registered
+            # twin is a different entry and must not adopt our pins).
             with self._lock:
-                while len(self._programs) >= self.MAX_PROGRAMS:
-                    self._programs.pop(next(iter(self._programs)))
-                self._programs[digests] = program
+                evicted = [
+                    d for d in digests
+                    if self._fleet.get(d) is not entries[d]
+                ]
+                if not evicted:
+                    while len(self._programs) >= self.MAX_PROGRAMS:
+                        self._programs.pop(next(iter(self._programs)))
+                    self._programs[digests] = program
+            if evicted:
+                raise ServiceError(
+                    f"circuit {evicted[0][:12]} was unregistered while "
+                    "its request was queued"
+                )
         jobs = [
             (
                 index_of[request.digest],

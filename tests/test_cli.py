@@ -237,6 +237,95 @@ class TestFuzzGoldenFailures:
         assert "unreadable" in out
 
 
+class TestExitCodeContract:
+    """Exit codes are the CLI's machine-readable contract: 0 on success,
+    1 when the run itself finds violations (fuzz invariants, golden
+    drift, fault-campaign engine disagreements), 2 for argument or
+    validation errors (argparse rejections and the eager ``--target``
+    resolution).  ``table1``/``ablate``/``characterize``/``serve-bench``
+    /``info`` have no violation verdict, so only 0 and 2 apply there.
+    """
+
+    BAD_ARGS = {
+        "table1": ["--circuits", "c9000"],
+        "ablate": ["--backends", "vhs"],
+        "characterize": ["--scale", "galactic"],
+        "fuzz": ["--benchmarks", "c9000"],
+        "faults": ["--circuit", "c9000"],
+        "serve-bench": ["--clients", "0"],
+        "info": ["--bogus"],
+    }
+
+    @pytest.mark.parametrize("command", sorted(BAD_ARGS))
+    def test_bad_arguments_exit_2(self, command):
+        with pytest.raises(SystemExit) as exc:
+            main([command, *self.BAD_ARGS[command]])
+        assert exc.value.code == 2
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [("--faults", "0"), ("--vectors", "-3"), ("--seed", "one")],
+    )
+    def test_faults_numeric_validation_exits_2(self, flag, value):
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", flag, value])
+        assert exc.value.code == 2
+
+    @pytest.mark.parametrize("command", ["table1", "fuzz", "faults"])
+    def test_unavailable_target_exits_2(self, command, capsys):
+        from repro.core.targets import get_target
+
+        if get_target("numba").available():
+            pytest.skip("numba installed on this host")
+        assert main([command, "--target", "numba"]) == 2
+        assert "not available" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+
+@needs_artifacts
+@pytest.mark.timeout(240)
+class TestFaultsCLI:
+    def test_campaign_success_exits_0(self, tmp_path, capsys):
+        """``python -m repro.cli faults`` end to end, in process."""
+        report = tmp_path / "campaign.json"
+        code = main([
+            "faults", "--circuit", "c17", "--faults", "6",
+            "--vectors", "4", "--quiet", "--report", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault campaign on c17" in out
+        assert "coverage" in out
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["n_faults"] == 6
+        assert payload["n_vectors"] == 4
+
+    def test_engine_disagreement_exits_1(self, monkeypatch, capsys):
+        """A campaign whose engines disagree must flip the exit code."""
+        import repro.faults
+
+        class Disagreeing:
+            ok = False
+
+            def summary(self):
+                return "sigmoid verdicts DISAGREE on 1 of 24 gradings"
+
+        monkeypatch.setattr(
+            repro.faults, "run_campaign", lambda *a, **k: Disagreeing()
+        )
+        code = main([
+            "faults", "--circuit", "c17", "--faults", "2",
+            "--vectors", "1", "--quiet",
+        ])
+        assert code == 1
+        assert "DISAGREE" in capsys.readouterr().out
+
+
 needs_tiny_backend_artifacts = pytest.mark.skipif(
     not (
         (artifacts_dir() / "bundle_tiny_lut.json").exists()

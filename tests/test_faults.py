@@ -1,0 +1,310 @@
+"""The fault-simulation subsystem (:mod:`repro.faults`).
+
+Covers the three layers the campaign compiler stacks:
+
+* **fault models** — site validation against the bound netlist,
+  single-channel pin normalization, delay-fault arc tables and the
+  :class:`PerturbedDelayModel` event-loop wrapper;
+* **lowering parity** — the compiled lock-step core and the event-driven
+  reference loop must grade every (vector, fault) pair identically, for
+  stuck-at and delay faults alike, and the lock-step pass must match
+  the serial per-fault loop (lanes never interact);
+* **campaign semantics** — a stuck PI swallows its stimulus, forced POs
+  grade exactly against the good strobe, reports round-trip as strict
+  JSON, and fault-injected sessions refuse to checkpoint.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.characterization.artifacts import artifacts_dir
+from repro.core.models import GateModelBundle
+from repro.digital.characterize import build_instance_delays
+from repro.digital.compiled import compile_digital
+from repro.digital.delay import DelayLibrary
+from repro.errors import SimulationError
+from repro.eval.table1 import nor_mapped
+from repro.faults import (
+    CampaignConfig,
+    DelayFault,
+    FaultList,
+    PerturbedDelayModel,
+    StuckAtFault,
+    Vector,
+    compile_campaign,
+    random_vectors,
+    run_campaign,
+)
+from repro.faults.model import _single_channel
+
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+BUNDLE_PATH = artifacts_dir() / "bundle_fast.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached fast artifacts not built",
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached fast bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    if not DLIB_PATH.exists():
+        pytest.skip("cached delay library not built")
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+@pytest.fixture(scope="module")
+def c17():
+    return nor_mapped("c17")
+
+
+@pytest.fixture(scope="module")
+def c17_models(c17, delay_library):
+    return build_instance_delays(c17, delay_library)
+
+
+# ----------------------------------------------------------------------
+# fault models
+# ----------------------------------------------------------------------
+class TestFaultModels:
+    def test_stuck_at_name_and_lowering(self, c17):
+        fault = StuckAtFault(c17.primary_inputs[0], True)
+        assert fault.name.endswith("/SA1")
+        assert fault.stuck_nets() == {c17.primary_inputs[0]: True}
+        assert fault.arc_deltas() == {}
+        assert fault.b_shifts() == {}
+
+    def test_unknown_net_rejected(self, c17):
+        with pytest.raises(SimulationError, match="unknown net"):
+            FaultList(c17, [StuckAtFault("no_such_net", False)])
+
+    def test_unknown_gate_rejected(self, c17):
+        with pytest.raises(SimulationError, match="unknown gate"):
+            FaultList(c17, [DelayFault("no_such_gate", 10e-12)])
+
+    def test_delay_fault_validation(self):
+        with pytest.raises(SimulationError, match="edge"):
+            DelayFault("g", 1e-12, edge="sideways")
+        with pytest.raises(SimulationError, match="pin"):
+            DelayFault("g", 1e-12, pin=2)
+        with pytest.raises(SimulationError, match="finite"):
+            DelayFault("g", math.inf)
+
+    def test_arc_delta_scoping(self):
+        full = DelayFault("g", 2e-12).arc_delta()
+        assert np.allclose(full, 2e-12)
+        rise_only = DelayFault("g", 2e-12, edge="rise").arc_delta()
+        assert rise_only[0, 1] == rise_only[1, 1] == 2e-12
+        assert rise_only[0, 0] == rise_only[1, 0] == 0.0
+        pin1 = DelayFault("g", 2e-12, pin=1).arc_delta()
+        assert pin1[1, 0] == pin1[1, 1] == 2e-12
+        assert pin1[0, 0] == pin1[0, 1] == 0.0
+
+    def test_single_channel_pin_normalized(self, c17):
+        single = next(
+            g for g in c17.gates if _single_channel(c17, g)
+        )
+        faults = FaultList(c17, [DelayFault(single, 1e-12, pin=0)])
+        assert faults[0].pin is None
+        with pytest.raises(SimulationError, match="single timing channel"):
+            FaultList(c17, [DelayFault(single, 1e-12, pin=1)])
+
+    def test_model_overrides_needs_a_model(self):
+        with pytest.raises(SimulationError, match="no delay model"):
+            DelayFault("g", 1e-12).model_overrides({})
+
+    def test_perturbed_model_offsets_selected_arcs(self, c17, c17_models):
+        gate = next(g for g in c17.gates if not _single_channel(c17, g))
+        base = c17_models[gate]
+        fault = DelayFault(gate, 5e-12, pin=0, edge="rise")
+        wrapped = fault.model_overrides(c17_models)[gate]
+        assert isinstance(wrapped, PerturbedDelayModel)
+        for pin in (0, 1):
+            for edge in ("fall", "rise"):
+                d0 = base.delay(pin, edge, 0.0, -math.inf)
+                d1 = wrapped.delay(pin, edge, 0.0, -math.inf)
+                expect = 5e-12 if (pin, edge) == (0, "rise") else 0.0
+                assert d1 - d0 == pytest.approx(expect, abs=1e-18)
+
+    def test_perturbed_model_shape_check(self, c17, c17_models):
+        base = next(iter(c17_models.values()))
+        with pytest.raises(SimulationError, match="shape"):
+            PerturbedDelayModel(base, np.zeros(3))
+
+    def test_universe_and_sampling(self, c17):
+        universe = FaultList.all_stuck_at(c17)
+        n_sites = len(c17.primary_inputs) + c17.n_gates
+        assert len(universe) == 2 * n_sites
+        a = FaultList.sample_stuck_at(c17, 6, seed=3)
+        b = FaultList.sample_stuck_at(c17, 6, seed=3)
+        assert a.names == b.names and len(a) == 6
+        assert len(set(a.names)) == 6
+        # Oversampling returns the whole universe.
+        assert (
+            FaultList.sample_stuck_at(c17, 10 * len(universe)).names
+            == universe.names
+        )
+
+
+# ----------------------------------------------------------------------
+# engine parity
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestEngineParity:
+    def _faults(self, c17):
+        gate = next(
+            g for g in c17.gates if not _single_channel(c17, g)
+        )
+        return [
+            StuckAtFault(c17.primary_inputs[0], False),
+            StuckAtFault(c17.primary_outputs[0], True),
+            StuckAtFault(gate, False),
+            DelayFault(gate, 40e-12),
+            DelayFault(gate, 40e-12, edge="rise"),
+            DelayFault(gate, -1e-9),  # gross negative: pulse deletion
+        ]
+
+    def test_compiled_vs_event_detection(self, bundle, c17, c17_models):
+        faults = FaultList(c17, self._faults(c17))
+        vectors = random_vectors(c17, 6, seed=11)
+        compiled = run_campaign(
+            c17, bundle, c17_models, faults=faults, vectors=vectors,
+            config=CampaignConfig(check_sigmoid=False, compiled=True),
+        )
+        event = run_campaign(
+            c17, bundle, c17_models, faults=faults, vectors=vectors,
+            config=CampaignConfig(check_sigmoid=False, compiled=False),
+        )
+        assert np.array_equal(compiled.detection, event.detection)
+
+    def test_lockstep_matches_serial(self, bundle, c17, c17_models):
+        faults = FaultList(c17, self._faults(c17))
+        vectors = random_vectors(c17, 4, seed=2)
+        lock = run_campaign(
+            c17, bundle, c17_models, faults=faults, vectors=vectors,
+            config=CampaignConfig(check_sigmoid=False),
+        )
+        serial = run_campaign(
+            c17, bundle, c17_models, faults=faults, vectors=vectors,
+            config=CampaignConfig(check_sigmoid=False), serial=True,
+        )
+        assert np.array_equal(lock.detection, serial.detection)
+
+    def test_sigmoid_agrees_on_c17(self, bundle, c17, c17_models):
+        result = run_campaign(
+            c17, bundle, c17_models,
+            config=CampaignConfig(n_faults=10, n_vectors=6, seed=0),
+        )
+        assert result.sigmoid_detection is not None
+        assert result.ok, result.summary()
+        assert np.array_equal(result.detection, result.sigmoid_detection)
+
+
+# ----------------------------------------------------------------------
+# campaign semantics
+# ----------------------------------------------------------------------
+@needs_artifacts
+class TestCampaignSemantics:
+    def test_stuck_pi_swallows_stimulus(self, bundle, c17, c17_models):
+        pi = c17.primary_inputs[0]
+        faults = FaultList(c17, [StuckAtFault(pi, False)])
+        campaign = compile_campaign(
+            c17, bundle, faults, c17_models,
+            CampaignConfig(check_sigmoid=False),
+        )
+        n_pi = len(c17.primary_inputs)
+        zeros = (False,) * n_pi
+        flipped = tuple(i == 0 for i in range(n_pi))
+        vectors = [Vector(zeros, zeros), Vector(flipped, flipped)]
+        strobes = campaign.digital_strobes(
+            campaign.digital_traces(vectors)
+        )
+        per_vector = strobes.reshape(2, campaign.n_machines, -1)
+        # The faulted machine cannot see the flip on its stuck PI.
+        assert np.array_equal(per_vector[0, 1], per_vector[1, 1])
+
+    def test_stuck_po_grades_against_good_strobe(
+        self, bundle, c17, c17_models
+    ):
+        po = c17.primary_outputs[0]
+        faults = FaultList(c17, [StuckAtFault(po, True)])
+        campaign = compile_campaign(
+            c17, bundle, faults, c17_models,
+            CampaignConfig(check_sigmoid=False),
+        )
+        vectors = random_vectors(c17, 8, seed=5)
+        strobes = campaign.digital_strobes(
+            campaign.digital_traces(vectors)
+        )
+        detection = campaign.detection_matrix(strobes, len(vectors))
+        po_col = campaign.pos.index(po)
+        good = strobes.reshape(8, campaign.n_machines, -1)[:, 0, po_col]
+        # Detected exactly when the good machine's strobe is 0 there.
+        assert np.array_equal(detection[:, 0], ~good)
+
+    def test_report_roundtrip_and_coverage(
+        self, bundle, c17, c17_models, tmp_path
+    ):
+        result = run_campaign(
+            c17, bundle, c17_models,
+            config=CampaignConfig(n_faults=8, n_vectors=4, seed=1),
+        )
+        path = tmp_path / "campaign.json"
+        result.write_report(path)
+        report = json.loads(
+            path.read_text(),
+            parse_constant=lambda t: (_ for _ in ()).throw(ValueError(t)),
+        )
+        assert report["n_faults"] == 8 and report["n_vectors"] == 4
+        assert 0.0 <= report["coverage"] <= 1.0
+        assert len(report["detection"]) == 4
+        assert len(report["fault_names"]) == 8
+        assert "coverage" in result.summary()
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError, match="n_faults"):
+            CampaignConfig(n_faults=0)
+        with pytest.raises(SimulationError, match="n_vectors"):
+            CampaignConfig(n_vectors=0)
+        with pytest.raises(SimulationError, match="t_capture"):
+            CampaignConfig(t_launch=2.0, t_capture=1.0)
+
+    def test_empty_fault_list_rejected(self, bundle, c17, c17_models):
+        with pytest.raises(SimulationError, match="at least one fault"):
+            compile_campaign(c17, bundle, [], c17_models)
+
+    def test_auto_capture_needs_arc_models(self, bundle, c17):
+        class NoArcs:
+            pass
+
+        with pytest.raises(SimulationError, match="explicit t_capture"):
+            compile_campaign(
+                c17, bundle,
+                [StuckAtFault(c17.primary_inputs[0], False)],
+                {"g": NoArcs()},
+                CampaignConfig(compiled=False),
+            )
+
+    def test_fault_sessions_refuse_checkpoint(self, c17, c17_models):
+        circuit = compile_digital(c17, c17_models)
+        fault = StuckAtFault(c17.primary_inputs[0], True)
+        session = circuit.open_session(
+            [2.0], faults=[fault], record_nets=list(c17.primary_outputs)
+        )
+        from repro.digital.trace import DigitalTrace
+
+        session.feed(
+            [{pi: DigitalTrace(False, []) for pi in c17.primary_inputs}]
+        )
+        with pytest.raises(SimulationError, match="do not checkpoint"):
+            session.state()

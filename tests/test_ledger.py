@@ -1,0 +1,70 @@
+"""The shared benchmark-ledger helper (:mod:`repro.ledger`).
+
+Every ``BENCH_*.json`` append used to be an inline copy of the same
+read-modify-write block; the shared helper is the single place that
+decides how a missing, corrupt or legacy-shaped ledger is handled, so
+this suite pins that contract:
+
+* missing file -> fresh single-record ledger (parent must exist);
+* corrupt JSON -> the history is abandoned, not crashed on;
+* a legacy non-list payload is wrapped, preserving the old record;
+* the ledger is truncated to the newest ``keep`` records.
+"""
+
+import json
+
+import pytest
+
+from repro.ledger import DEFAULT_KEEP, append_bench_record
+
+
+def test_append_creates_missing_file(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    history = append_bench_record(path, {"bench": "a", "n": 1})
+    assert history == [{"bench": "a", "n": 1}]
+    assert json.loads(path.read_text()) == history
+
+
+def test_append_accumulates_in_order(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    for n in range(3):
+        append_bench_record(path, {"n": n})
+    assert [r["n"] for r in json.loads(path.read_text())] == [0, 1, 2]
+
+
+def test_corrupt_ledger_starts_fresh(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text("{not json at all")
+    history = append_bench_record(path, {"n": 7})
+    assert history == [{"n": 7}]
+    assert json.loads(path.read_text()) == [{"n": 7}]
+
+
+def test_legacy_single_record_is_wrapped(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({"n": 0}))
+    history = append_bench_record(path, {"n": 1})
+    assert history == [{"n": 0}, {"n": 1}]
+
+
+def test_keep_truncates_oldest(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    for n in range(6):
+        append_bench_record(path, {"n": n}, keep=4)
+    kept = json.loads(path.read_text())
+    assert [r["n"] for r in kept] == [2, 3, 4, 5]
+
+
+def test_default_keep_bound(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps([{"n": k} for k in range(DEFAULT_KEEP + 5)]))
+    history = append_bench_record(path, {"n": "new"})
+    assert len(history) == DEFAULT_KEEP
+    assert history[-1] == {"n": "new"}
+
+
+def test_accepts_str_and_path(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    append_bench_record(str(path), {"n": 0})
+    append_bench_record(path, {"n": 1})
+    assert [r["n"] for r in json.loads(path.read_text())] == [0, 1]

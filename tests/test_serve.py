@@ -468,3 +468,116 @@ def test_serve_load_coalescing_wins(bundle, delay_library):
         "coalescing lost its advantage at tiny scale: "
         f"{record['throughput_ratio']:.2f}x"
     )
+
+
+# ---------------------------------------------------------------------------
+# unregister racing in-flight batches
+
+
+@needs_artifacts
+@pytest.mark.timeout(120)
+def test_program_cache_not_resurrected_by_inflight_compile(
+    bundle, corpus, monkeypatch
+):
+    """Unregister during a program compile must not re-cache the member.
+
+    ``_run_program`` compiles outside the service lock; before the fix,
+    the compiled program was inserted into ``_programs`` afterwards with
+    no membership re-check, silently undoing a concurrent unregister's
+    purge — later batches would dereference the popped fleet entry.
+    The window is widened deterministically by stalling the compile
+    until the unregister has landed: the batch must then fail with a
+    clean ``ServiceError`` on the future and cache nothing.
+    """
+    import repro.core.fused as fused_mod
+
+    real_compile = fused_mod.compile_program
+    compiling = threading.Event()
+    evicted = threading.Event()
+
+    def stalled_compile(netlists, *args, **kwargs):
+        compiling.set()
+        assert evicted.wait(timeout=30), "unregister never arrived"
+        return real_compile(netlists, *args, **kwargs)
+
+    monkeypatch.setattr(fused_mod, "compile_program", stalled_compile)
+    svc = PredictionService(
+        bundle, n_workers=1, batch_window=0.0, program=True
+    )
+    try:
+        core = corpus[0]
+        digest = svc.register(core)
+        _, pi_sigmoid, _ = _stimuli(core, 0)
+        future = svc.submit(digest, pi_sigmoid)
+        assert compiling.wait(timeout=30), "worker never started compiling"
+        assert svc.unregister(digest) is True
+        evicted.set()
+        with pytest.raises(ServiceError, match="unregistered"):
+            future.result(timeout=60)
+        assert not any(digest in key for key in svc._programs), (
+            "stale program cached for an evicted fleet member"
+        )
+    finally:
+        evicted.set()
+        svc.close()
+
+
+@needs_artifacts
+@pytest.mark.timeout(300)
+def test_unregister_under_load_fails_cleanly(bundle, corpus):
+    """Mid-flight evictions under load: every future resolves with a
+    result or a clean ``ServiceError``/``ServiceTimeout`` — no worker
+    thread ever dies with a traceback, and the service stays usable."""
+    svc = PredictionService(
+        bundle, n_workers=2, batch_window=0.001, program=True
+    )
+    try:
+        stable, churned = corpus[0], corpus[1]
+        svc.register(stable)
+        churn_digest = svc.register(churned)
+        jobs = [_stimuli(stable, seed)[1] for seed in range(3)]
+        churn_jobs = [_stimuli(churned, seed)[1] for seed in range(3)]
+
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                svc.unregister(churn_digest)
+                svc.register(churned)
+
+        churner = threading.Thread(target=churn, daemon=True)
+        churner.start()
+        futures = []
+        try:
+            for round_ in range(20):
+                futures.append(
+                    svc.submit(stable, jobs[round_ % len(jobs)])
+                )
+                try:
+                    futures.append(
+                        svc.submit(
+                            churn_digest,
+                            churn_jobs[round_ % len(churn_jobs)],
+                        )
+                    )
+                except ServiceError:
+                    pass  # eviction won the race at submit time: clean
+        finally:
+            stop.set()
+            churner.join(timeout=30)
+        assert not churner.is_alive()
+        outcomes = {"ok": 0, "clean_error": 0}
+        for future in futures:
+            try:
+                result = future.result(timeout=60)
+            except (ServiceError, ServiceTimeout):
+                outcomes["clean_error"] += 1
+            else:
+                assert result, "empty prediction result"
+                outcomes["ok"] += 1
+        assert outcomes["ok"] > 0, "load test never completed a request"
+        # The fleet still serves: a fresh submit round-trips.
+        final = svc.submit(stable, jobs[0])
+        assert final.result(timeout=60)
+    finally:
+        svc.close()

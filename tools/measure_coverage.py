@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Measure line coverage of ``src/repro`` without pytest-cov installed.
+
+CI enforces the coverage floor with pytest-cov (``--cov-fail-under``),
+but the offline development container has no pytest-cov, so the floor
+used to be an estimate.  This tool produces the real number locally:
+
+* a ``sys.settrace`` tracer records every executed ``(file, line)`` in
+  ``src/repro`` (installed before pytest collects, so import-time lines
+  count, and mirrored onto worker threads via ``threading.settrace``);
+* the executable-line universe per file is the union of the line tables
+  of all code objects compiled from it — the same universe coverage.py
+  derives, minus its pragma handling;
+* the suite runs exactly like the CI fast tier:
+  ``pytest --ignore=benchmarks -m "not slow"``.
+
+Tracing slows the interpreter several-fold, so the SIGALRM wall-clock
+guards from ``tests/conftest.py`` are disabled for the measurement run
+(they exist to catch perf regressions, which a traced run cannot judge).
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py [pytest args...]
+
+Prints a per-file table plus the total; the total is what CI's
+``--cov-fail-under`` should sit a couple of points below.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import types
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+_PREFIX = str(SRC) + "/"
+
+_covered: dict[str, set[int]] = {}
+
+
+def _local_trace(frame, event, arg):
+    if event == "line":
+        _covered[frame.f_code.co_filename].add(frame.f_lineno)
+    return _local_trace
+
+
+def _global_trace(frame, event, arg):
+    if event != "call":
+        return None
+    filename = frame.f_code.co_filename
+    if not filename.startswith(_PREFIX):
+        return None
+    if filename not in _covered:
+        _covered[filename] = set()
+    return _local_trace
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Lines in any code object compiled from ``path`` (coverage.py's
+    universe, without pragma exclusions)."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for _start, _end, line in co.co_lines():
+            if line is not None:
+                lines.add(line)
+        stack.extend(
+            const
+            for const in co.co_consts
+            if isinstance(const, types.CodeType)
+        )
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    # The traced run is several-fold slower; the per-test SIGALRM
+    # guards would report that as perf regressions, so silence them.
+    signal.setitimer = lambda *args, **kwargs: None  # type: ignore
+
+    pytest_args = argv or [
+        "-q",
+        "--ignore=benchmarks",
+        "-m",
+        "not slow",
+        "-p",
+        "no:cacheprovider",
+    ]
+
+    threading.settrace(_global_trace)
+    sys.settrace(_global_trace)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    total_exec = 0
+    total_hit = 0
+    rows = []
+    for path in sorted(SRC.rglob("*.py")):
+        universe = executable_lines(path)
+        hit = _covered.get(str(path), set()) & universe
+        total_exec += len(universe)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(universe) if universe else 100.0
+        rows.append((str(path.relative_to(REPO)), len(universe), len(hit), pct))
+
+    width = max(len(name) for name, *_ in rows)
+    print()
+    print(f"{'file':<{width}}  {'lines':>6} {'hit':>6} {'cover':>7}")
+    for name, n_exec, n_hit, pct in rows:
+        print(f"{name:<{width}}  {n_exec:>6} {n_hit:>6} {pct:>6.1f}%")
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print("-" * (width + 24))
+    print(
+        f"{'TOTAL':<{width}}  {total_exec:>6} {total_hit:>6} "
+        f"{total_pct:>6.1f}%"
+    )
+    print(
+        f"\nsuite exit code {exit_code}; measured line coverage "
+        f"{total_pct:.1f}% over src/repro"
+    )
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
