@@ -37,6 +37,15 @@ from ``repro`` and resolved lazily on first use:
   :func:`~repro.faults.run_campaign` — fault-simulation campaigns:
   stuck-at and delay faults lowered onto the compiled cores' run axis
   and graded in one lock-step pass.
+* :class:`~repro.options.ClockSpec` /
+  :class:`~repro.clocked.ClockedDigitalSession` /
+  :class:`~repro.clocked.ClockedSigmoidSession` /
+  :func:`~repro.clocked.run_clocked` — sequential circuits: D
+  flip-flops clocked cycle-by-cycle through the streaming sessions of
+  every engine (:func:`~repro.clocked.default_clock_for` sizes a safe
+  clock for a netlist);
+  :func:`~repro.faults.run_sequential_campaign` grades stuck-at faults
+  over clock cycles.
 
 The deep module paths (``repro.core.simulator``,
 ``repro.eval.table1``, ...) remain importable unchanged.
@@ -53,6 +62,7 @@ _EXPORTS = {
     "simulate": "repro.api",
     "simulate_batch": "repro.api",
     "open_session": "repro.api",
+    "open_clocked_session": "repro.api",
     "compile_circuit": "repro.core.compile",
     "compile_program": "repro.core.fused",
     "clear_compile_cache": "repro.core.compile",
@@ -69,6 +79,12 @@ _EXPORTS = {
     "DelayFault": "repro.faults",
     "CampaignConfig": "repro.faults",
     "run_campaign": "repro.faults",
+    "run_sequential_campaign": "repro.faults",
+    "ClockSpec": "repro.options",
+    "ClockedDigitalSession": "repro.clocked",
+    "ClockedSigmoidSession": "repro.clocked",
+    "run_clocked": "repro.clocked",
+    "default_clock_for": "repro.clocked",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

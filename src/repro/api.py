@@ -116,12 +116,52 @@ def open_session(
     )
 
 
+def open_clocked_session(
+    netlist,
+    bundle: GateModelBundle,
+    *,
+    clock=None,
+    n_cycles: int = 1,
+    guard: float | None = None,
+    state: dict | None = None,
+    execution: ExecutionOptions | None = None,
+):
+    """Open a cycle-driven sigmoid session for a *sequential* netlist.
+
+    Returns a :class:`~repro.clocked.ClockedSigmoidSession`: feed one
+    PI assignment per clock cycle with ``cycle()``, read ``registers``
+    between cycles, ``finish()`` for the full strobe history.  ``clock``
+    defaults to ``execution.clock`` if set, else a
+    :func:`~repro.clocked.default_clock_for` spec sized to the
+    circuit's depth.  The digital twin lives on
+    :class:`repro.clocked.ClockedDigitalSession`.
+    """
+    from repro.clocked import ClockedSigmoidSession, default_clock_for
+
+    execution = normalize_execution(execution)
+    if clock is None:
+        clock = execution.clock
+    if clock is None:
+        clock = default_clock_for(netlist, guard=guard)
+    return ClockedSigmoidSession(
+        netlist,
+        bundle,
+        clock=clock,
+        n_cycles=n_cycles,
+        compiled=execution.compiled,
+        target=execution.target,
+        guard=guard,
+        state=state,
+    )
+
+
 __all__ = [
     "ExecutionOptions",
     "GateModelBundle",
     "clear_compile_cache",
     "compile_circuit",
     "load_bundle",
+    "open_clocked_session",
     "open_session",
     "simulate",
     "simulate_batch",

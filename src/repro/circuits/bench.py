@@ -26,7 +26,8 @@ from repro.errors import NetlistError
 _IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*)\s*\)$")
 
-#: .bench mnemonic -> GateType (NOT is the historical alias of INV).
+#: .bench mnemonic -> GateType (NOT is the historical alias of INV;
+#: DFF/LATCH are the ISCAS-89 state elements).
 _TYPE_ALIASES = {
     "NOT": GateType.INV,
     "INV": GateType.INV,
@@ -38,36 +39,56 @@ _TYPE_ALIASES = {
     "NOR": GateType.NOR,
     "XOR": GateType.XOR,
     "XNOR": GateType.XNOR,
+    "DFF": GateType.DFF,
+    "LATCH": GateType.LATCH,
 }
 
 
 def parse_bench(text: str, name: str = "bench") -> Netlist:
-    """Parse ``.bench`` source text into a validated :class:`Netlist`."""
+    """Parse ``.bench`` source text into a validated :class:`Netlist`.
+
+    Every parse error names its source: ``<name>:<lineno>: <reason>``
+    for line-attributable failures (unknown mnemonic, malformed line,
+    duplicate/redefined nets), ``<name>: <reason>`` for whole-netlist
+    validation failures — a 3000-line netlist with one bad line points
+    at the line.
+    """
     netlist = Netlist(name)
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
-        io_match = _IO_RE.match(line)
-        if io_match:
-            kind, net = io_match.group(1).upper(), io_match.group(2).strip()
-            if kind == "INPUT":
-                netlist.add_input(net)
-            else:
-                netlist.add_output(net)
-            continue
-        gate_match = _GATE_RE.match(line)
-        if gate_match:
-            out = gate_match.group(1).strip()
-            mnemonic = gate_match.group(2).upper()
-            args = [a.strip() for a in gate_match.group(3).split(",") if a.strip()]
-            gtype = _TYPE_ALIASES.get(mnemonic)
-            if gtype is None:
-                raise NetlistError(f"line {lineno}: unknown gate type {mnemonic!r}")
-            netlist.add_gate(out, gtype, args)
-            continue
-        raise NetlistError(f"line {lineno}: cannot parse {raw!r}")
-    netlist.validate()
+        try:
+            io_match = _IO_RE.match(line)
+            if io_match:
+                kind = io_match.group(1).upper()
+                net = io_match.group(2).strip()
+                if kind == "INPUT":
+                    netlist.add_input(net)
+                else:
+                    netlist.add_output(net)
+                continue
+            gate_match = _GATE_RE.match(line)
+            if gate_match:
+                out = gate_match.group(1).strip()
+                mnemonic = gate_match.group(2).upper()
+                args = [
+                    a.strip()
+                    for a in gate_match.group(3).split(",")
+                    if a.strip()
+                ]
+                gtype = _TYPE_ALIASES.get(mnemonic)
+                if gtype is None:
+                    raise NetlistError(f"unknown gate type {mnemonic!r}")
+                netlist.add_gate(out, gtype, args)
+                continue
+            raise NetlistError(f"cannot parse {raw!r}")
+        except NetlistError as exc:
+            raise NetlistError(f"{name}:{lineno}: {exc}") from None
+    try:
+        netlist.validate()
+    except NetlistError as exc:
+        raise NetlistError(f"{name}: {exc}") from None
     return netlist
 
 

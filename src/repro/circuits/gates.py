@@ -8,12 +8,17 @@ from repro.errors import NetlistError
 
 
 class GateType(str, Enum):
-    """Combinational gate kinds supported by the netlist layer.
+    """Gate kinds supported by the netlist layer.
 
     The sigmoid simulator itself only accepts ``INV`` and ``NOR`` (the
-    paper's prototype, Sec. V-A); everything else exists so arbitrary
-    benchmarks can be read and then rewritten by
-    :func:`repro.circuits.nor_map.nor_map`.
+    paper's prototype, Sec. V-A); the other combinational kinds exist so
+    arbitrary benchmarks can be read and then rewritten by
+    :func:`repro.circuits.nor_map.nor_map` (``BUF`` lowers to the
+    INV·INV pair there — see :data:`UNARY_TYPES`).  ``DFF`` and
+    ``LATCH`` are *state elements* (ISCAS-89 style): their output is a
+    register, not a boolean function of their input, so they cut the
+    combinational frame and are advanced per clock cycle by the clocked
+    sessions (:mod:`repro.clocked`).
     """
 
     INV = "INV"
@@ -24,19 +29,36 @@ class GateType(str, Enum):
     NOR = "NOR"
     XOR = "XOR"
     XNOR = "XNOR"
+    DFF = "DFF"
+    LATCH = "LATCH"
 
 
 #: Gate types whose input count is exactly one.
 UNARY_TYPES = {GateType.INV, GateType.BUF}
+
+#: Clocked state elements: output = registered value of the single data
+#: input.  A ``DFF`` captures at the clock's active edge; a ``LATCH``
+#: (transparent when the clock is in its passing phase) is modeled
+#: cycle-accurately as capturing half a period *before* the flip-flop
+#: edge — the time-borrowing abstraction every engine shares.
+STATE_TYPES = {GateType.DFF, GateType.LATCH}
 
 
 def eval_gate(gtype: GateType, inputs: list[bool]) -> bool:
     """Evaluate one gate on boolean inputs.
 
     Multi-input AND/OR/NAND/NOR accept two or more inputs; XOR/XNOR are
-    parity gates of two or more inputs.
+    parity gates of two or more inputs.  State elements (DFF/LATCH) are
+    not boolean functions of their inputs and are rejected here — their
+    value is the register, advanced only at clock edges.
     """
     n = len(inputs)
+    if gtype in STATE_TYPES:
+        raise NetlistError(
+            f"{gtype.value} is a state element, not a combinational "
+            "gate; evaluate the combinational frame with register "
+            "values supplied (Netlist.evaluate) instead"
+        )
     if gtype in UNARY_TYPES:
         if n != 1:
             raise NetlistError(f"{gtype.value} needs exactly 1 input, got {n}")

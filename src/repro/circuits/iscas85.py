@@ -175,6 +175,48 @@ def c1355_like(name: str = "c1355_like") -> Netlist:
     return _build_sec(name, expand_xor_to_nand=True)
 
 
+def s27_like(name: str = "s27_like") -> Netlist:
+    """Sequential zoo member of the ISCAS-89 s27 structure class.
+
+    A 3-stage scan shift register feeding a 2-bit synchronous counter
+    (enable + synchronous clear), with a reconvergent output cone over
+    both — the smallest circuit exercising every sequential mechanism:
+    register-to-register paths, feedback through flip-flops
+    (``cnt0 -> t0 -> d0 -> cnt0``), a register driven straight to a
+    primary output, and multi-cycle state evolution.  Like real s27 it
+    stays in the ten-gate class so differential campaigns over many
+    cycles remain fast-tier material.
+    """
+    netlist = Netlist(name)
+    si = netlist.add_input("si")
+    en = netlist.add_input("en")
+    rst = netlist.add_input("rst")
+
+    # Scan shift register.
+    netlist.add_gate("sr0", GateType.DFF, [si])
+    netlist.add_gate("sr1", GateType.DFF, ["sr0"])
+    netlist.add_gate("sr2", GateType.DFF, ["sr1"])
+
+    # 2-bit counter: steps when the scan tap allows it, sync-cleared.
+    rstn = netlist.add_gate("rstn", GateType.INV, [rst])
+    step = netlist.add_gate("step", GateType.AND, [en, "sr2"])
+    t0 = netlist.add_gate("t0", GateType.XOR, ["cnt0", step])
+    netlist.add_gate("d0", GateType.AND, [t0, rstn])
+    netlist.add_gate("cnt0", GateType.DFF, ["d0"])
+    carry = netlist.add_gate("carry", GateType.AND, ["cnt0", step])
+    t1 = netlist.add_gate("t1", GateType.XOR, ["cnt1", carry])
+    netlist.add_gate("d1", GateType.AND, [t1, rstn])
+    netlist.add_gate("cnt1", GateType.DFF, ["d1"])
+
+    # Reconvergent output cone over counter and shift register.
+    eq = netlist.add_gate("eq", GateType.XNOR, ["cnt1", "sr1"])
+    netlist.add_gate("out", GateType.NOR, [eq, "sr0"])
+    netlist.add_output("out")
+    netlist.add_output("cnt1")
+    netlist.validate()
+    return netlist
+
+
 def _build_alu(
     name: str,
     width: int,

@@ -1,9 +1,19 @@
 """Gate-level netlist data model.
 
-A :class:`Netlist` is a named DAG of gates: every gate drives exactly the
-net of its own name (ISCAS ``.bench`` convention).  The class provides the
-structural queries every simulator in this repo needs: validation,
-topological levelization, fanout maps, boolean evaluation, and stats.
+A :class:`Netlist` is a named graph of gates: every gate drives exactly
+the net of its own name (ISCAS ``.bench`` convention).  The class
+provides the structural queries every simulator in this repo needs:
+validation, topological levelization, fanout maps, boolean evaluation,
+and stats.
+
+State elements (``DFF``/``LATCH``, ISCAS-89 style) make a netlist
+*sequential*: their outputs are registers, treated as cut points by
+every structural query — topological order and levels cover the
+*combinational frame* (state outputs are sources, like primary inputs),
+so feedback through a flip-flop is legal while a purely combinational
+cycle still raises.  :meth:`Netlist.combinational_frame` extracts the
+frame as a plain combinational netlist the simulators execute per clock
+cycle; :meth:`Netlist.next_state` advances the registers.
 """
 
 from __future__ import annotations
@@ -11,7 +21,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from repro.circuits.gates import GateType, UNARY_TYPES, eval_gate
+from repro.circuits.gates import GateType, STATE_TYPES, UNARY_TYPES, eval_gate
 from repro.errors import NetlistError
 
 
@@ -26,9 +36,15 @@ class Gate:
     def __post_init__(self) -> None:
         if not self.name:
             raise NetlistError("gate needs a name")
-        if self.gtype in UNARY_TYPES and len(self.inputs) != 1:
+        if self.gtype in STATE_TYPES:
+            if len(self.inputs) != 1:
+                raise NetlistError(
+                    f"{self.gtype.value} gate {self.name} needs exactly "
+                    "1 data input"
+                )
+        elif self.gtype in UNARY_TYPES and len(self.inputs) != 1:
             raise NetlistError(f"{self.gtype.value} gate {self.name} needs 1 input")
-        if self.gtype not in UNARY_TYPES and len(self.inputs) < 2:
+        elif self.gtype not in UNARY_TYPES and len(self.inputs) < 2:
             raise NetlistError(
                 f"{self.gtype.value} gate {self.name} needs >= 2 inputs"
             )
@@ -36,7 +52,7 @@ class Gate:
 
 @dataclass
 class Netlist:
-    """A combinational circuit.
+    """A gate-level circuit (combinational, or sequential via DFF/LATCH).
 
     Attributes
     ----------
@@ -90,8 +106,28 @@ class Netlist:
         """All driven nets: primary inputs then gate outputs."""
         return list(self.primary_inputs) + list(self.gates)
 
+    @property
+    def state_elements(self) -> list[str]:
+        """Output nets of the state elements (DFF/LATCH), insertion order."""
+        return [
+            name
+            for name, gate in self.gates.items()
+            if gate.gtype in STATE_TYPES
+        ]
+
+    @property
+    def is_sequential(self) -> bool:
+        return any(
+            gate.gtype in STATE_TYPES for gate in self.gates.values()
+        )
+
     def validate(self) -> None:
-        """Raise :class:`NetlistError` on dangling nets, cycles or bad POs."""
+        """Raise :class:`NetlistError` on dangling nets, cycles or bad POs.
+
+        Cycles *through state elements* are legal (that is what makes a
+        sequential circuit useful); purely combinational cycles still
+        raise.
+        """
         driven = set(self.primary_inputs) | set(self.gates)
         for gate in self.gates.values():
             for net in gate.inputs:
@@ -114,12 +150,25 @@ class Netlist:
         (regardless of the order they were added in) produce the same
         order.  Serializers and the differential-verification digests
         rely on this stability.
+
+        State-element outputs are cut points: a DFF/LATCH holds last
+        cycle's value, so it depends on nothing within the frame (it is
+        ready immediately, like a primary input) and feeding it does not
+        order its driver before its consumers.  Kahn completing is then
+        exactly the absence of a *purely combinational* cycle.
         """
+        cuts = {
+            name
+            for name, gate in self.gates.items()
+            if gate.gtype in STATE_TYPES
+        }
         indegree = {name: 0 for name in self.gates}
         consumers: dict[str, list[str]] = {}
         for gate in self.gates.values():
+            if gate.name in cuts:
+                continue
             for net in gate.inputs:
-                if net in self.gates:
+                if net in self.gates and net not in cuts:
                     indegree[gate.name] += 1
                     consumers.setdefault(net, []).append(gate.name)
         ready = [name for name, deg in indegree.items() if deg == 0]
@@ -137,11 +186,19 @@ class Netlist:
         return order
 
     def levels(self) -> list[list[str]]:
-        """Gates grouped into topological levels (all inputs in earlier levels)."""
+        """Combinational gates grouped into topological levels.
+
+        State-element outputs sit at level 0 (sources, like primary
+        inputs); the state elements themselves are not listed — the
+        levels describe the combinational frame the simulators execute.
+        """
         level_of: dict[str, int] = {net: 0 for net in self.primary_inputs}
         result: list[list[str]] = []
         for name in self.topological_order():
             gate = self.gates[name]
+            if gate.gtype in STATE_TYPES:
+                level_of[name] = 0
+                continue
             lvl = max((level_of.get(net, 0) for net in gate.inputs), default=0)
             level_of[name] = lvl + 1
             while len(result) < lvl + 1:
@@ -179,6 +236,53 @@ class Netlist:
         return len(self.gates)
 
     # ------------------------------------------------------------------
+    # sequential structure
+    # ------------------------------------------------------------------
+    def combinational_frame(self) -> "Netlist":
+        """The combinational frame as a plain netlist.
+
+        Each state element is removed and cut in two: its output becomes
+        a pseudo primary input (the register value driven into the
+        frame) and its data input becomes a pseudo primary output (the
+        next-state value sampled at the capture edge).  All net names
+        are preserved, so register names, fault sites and recorded nets
+        mean the same thing on the frame and on the sequential netlist.
+        A combinational netlist is returned as a same-structure copy.
+        """
+        frame = Netlist(f"{self.name}_frame")
+        for pi in self.primary_inputs:
+            frame.add_input(pi)
+        state = self.state_elements
+        for name in state:
+            frame.add_input(name)
+        for name, gate in self.gates.items():
+            if gate.gtype in STATE_TYPES:
+                continue
+            frame.add_gate(name, gate.gtype, list(gate.inputs))
+        seen: set[str] = set()
+        for po in self.primary_outputs:
+            frame.add_output(po)
+            seen.add(po)
+        for name in state:
+            d_net = self.gates[name].inputs[0]
+            if d_net not in seen:
+                frame.add_output(d_net)
+                seen.add(d_net)
+        frame.validate()
+        return frame
+
+    def next_state(self, values: dict[str, bool]) -> dict[str, bool]:
+        """Register values after one capture, given settled net values.
+
+        ``values`` is a full net evaluation (:meth:`evaluate`); each
+        state element samples its data input.
+        """
+        return {
+            name: bool(values[self.gates[name].inputs[0]])
+            for name in self.state_elements
+        }
+
+    # ------------------------------------------------------------------
     # boolean evaluation
     # ------------------------------------------------------------------
     def evaluate(
@@ -192,17 +296,25 @@ class Netlist:
         drivers (the boolean settle of a stuck-at fault): a forced net's
         own value is replaced after its gate evaluates, and every
         consumer sees the forced level.
+
+        On a sequential netlist ``assignment`` must also carry the
+        current register value of every state element; the frame settles
+        around those (use :meth:`next_state` on the result to advance
+        the registers).
         """
-        missing = [pi for pi in self.primary_inputs if pi not in assignment]
+        sources = list(self.primary_inputs) + self.state_elements
+        missing = [net for net in sources if net not in assignment]
         if missing:
             raise NetlistError(f"missing PI values: {missing}")
-        values = {pi: bool(assignment[pi]) for pi in self.primary_inputs}
+        values = {net: bool(assignment[net]) for net in sources}
         if overrides:
             for net, forced in overrides.items():
                 if net in values:
                     values[net] = bool(forced)
         for name in self.topological_order():
             gate = self.gates[name]
+            if gate.gtype in STATE_TYPES:
+                continue  # registers hold the supplied value
             value = eval_gate(gate.gtype, [values[n] for n in gate.inputs])
             if overrides and name in overrides:
                 value = bool(overrides[name])

@@ -68,12 +68,19 @@ class RandomCircuitConfig:
         default_factory=lambda: dict(DEFAULT_GATE_MIX)
     )
     name: str = "rand"
+    #: Number of D flip-flops retrofitted onto the combinational draw
+    #: (seeded pin cuts, see :func:`_insert_flops`); 0 keeps the draw
+    #: purely combinational AND bit-identical to pre-sequential
+    #: corpora — the flop stream is drawn only when ``n_flops > 0``.
+    n_flops: int = 0
 
     def __post_init__(self) -> None:
         if self.n_inputs < 1:
             raise NetlistError("need at least one primary input")
         if self.n_gates < 1:
             raise NetlistError("need at least one gate")
+        if self.n_flops < 0:
+            raise NetlistError("n_flops must be >= 0")
         if self.max_fanin < 2:
             raise NetlistError("max_fanin must be at least 2")
         if not 0.0 <= self.locality <= 1.0:
@@ -156,7 +163,58 @@ def random_circuit(
     if not netlist.primary_outputs:  # pragma: no cover - sinks always exist
         netlist.add_output(f"g{config.n_gates - 1}")
     netlist.validate()
+    if config.n_flops > 0:
+        # A fresh stream keyed off the same seed: the combinational
+        # draw above never observes it, so ``n_flops=0`` corpora stay
+        # bit-identical to historical ones.
+        flop_rng = np.random.default_rng(
+            (list(seed) if isinstance(seed, tuple) else [seed]) + [0xD1F0]
+        )
+        netlist = _insert_flops(netlist, config.n_flops, flop_rng)
     return netlist
+
+
+def _insert_flops(
+    netlist: Netlist, n_flops: int, rng: np.random.Generator
+) -> Netlist:
+    """Retrofit D flip-flops by cutting random gate input pins.
+
+    Each drawn ``(gate, pin)`` site is rewired through a register:
+    the pin's source net becomes the D input of a new ``ff<k>`` DFF
+    and the pin reads the register instead.  Sites sharing a source
+    net share one register (realistic fanout, fewer degenerate
+    single-consumer flops).  Cutting an existing forward edge can
+    never create a combinational cycle, so the result always
+    validates; PI/PO names are untouched.
+    """
+    sites = [
+        (name, pin)
+        for name, gate in netlist.gates.items()
+        for pin in range(len(gate.inputs))
+    ]
+    n_cuts = min(n_flops, len(sites))
+    chosen_idx = rng.choice(len(sites), size=n_cuts, replace=False)
+    chosen = {sites[int(i)] for i in chosen_idx}
+    ff_of_net: dict[str, str] = {}
+    sequential = Netlist(netlist.name)
+    for pi in netlist.primary_inputs:
+        sequential.add_input(pi)
+    for name, gate in netlist.gates.items():
+        inputs = list(gate.inputs)
+        for pin, net in enumerate(inputs):
+            if (name, pin) in chosen:
+                ff = ff_of_net.get(net)
+                if ff is None:
+                    ff = f"ff{len(ff_of_net)}"
+                    ff_of_net[net] = ff
+                inputs[pin] = ff
+        sequential.add_gate(name, gate.gtype, inputs)
+    for net, ff in ff_of_net.items():
+        sequential.add_gate(ff, GateType.DFF, [net])
+    for po in netlist.primary_outputs:
+        sequential.add_output(po)
+    sequential.validate()
+    return sequential
 
 
 def random_corpus(
@@ -187,6 +245,7 @@ def random_corpus(
             reconvergence=config.reconvergence,
             gate_mix=dict(config.gate_mix),
             name=f"{config.name}{index:03d}",
+            n_flops=config.n_flops,
         )
         circuits.append(random_circuit(jittered, seed=(seed, index)))
     return circuits

@@ -40,7 +40,13 @@
     one lock-step pass (good machine + every faulty variant as extra
     run lanes), print the coverage summary, and exit non-zero when the
     digital and sigmoid engines disagree on any detection verdict
-    (disagreements are shrunk to minimal circuits first).
+    (disagreements are shrunk to minimal circuits first).  A circuit
+    with flip-flops (``--circuit s27_like``) runs the sequential
+    campaign instead: ``--cycles`` clock cycles per machine through the
+    clocked sessions, detection graded at every capture strobe, the
+    compiled and event-driven digital cores cross-checked on every
+    grading.  Invalid knob combinations (negative ``--t-launch``,
+    non-finite strobes, ``--vectors 0``) are usage errors: exit 2.
 
 ``python -m repro.cli serve-bench [--clients 16] [--requests 6]
 [--scale fast] [--window 0.005] [--max-batch 32]``
@@ -140,10 +146,11 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    artifact_scale = FUZZ_PRESETS[args.scale].artifact_scale
     bundle = default_bundle(
-        scale=args.scale, backend=args.backend, verbose=not args.quiet
+        scale=artifact_scale, backend=args.backend, verbose=not args.quiet
     )
-    delay_library = default_delay_library(scale=args.scale)
+    delay_library = default_delay_library(scale=artifact_scale)
     config = FuzzConfig(
         count=args.count,
         seed=args.seed,
@@ -176,31 +183,57 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
-    from repro.digital.characterize import build_instance_delays
-    from repro.faults import CampaignConfig, run_campaign
+    from repro.errors import SimulationError
+    from repro.faults import CampaignConfig
 
-    bundle = default_bundle(
-        scale=args.scale, backend=args.backend, verbose=not args.quiet
-    )
+    try:
+        # Eager config validation (CampaignConfig.__post_init__): a bad
+        # knob combination is a *usage* error — report it like argparse
+        # would (message + exit 2), not as a mid-campaign traceback.
+        kwargs = {}
+        if args.t_launch is not None:
+            kwargs["t_launch"] = args.t_launch
+        if args.t_capture is not None:
+            kwargs["t_capture"] = args.t_capture
+        config = CampaignConfig(
+            n_faults=args.faults,
+            n_vectors=args.vectors,
+            n_cycles=args.cycles,
+            seed=args.seed,
+            check_sigmoid=not args.no_sigmoid,
+            shrink=not args.no_shrink,
+            compiled=not args.interpreted,
+            target=args.target,
+            **kwargs,
+        )
+    except SimulationError as exc:
+        print(f"repro faults: error: {exc}", file=sys.stderr)
+        return 2
+
     delay_library = default_delay_library(scale=args.scale)
     netlist = nor_mapped(args.circuit)
-    delay_models = build_instance_delays(netlist, delay_library)
-    config = CampaignConfig(
-        n_faults=args.faults,
-        n_vectors=args.vectors,
-        seed=args.seed,
-        check_sigmoid=not args.no_sigmoid,
-        shrink=not args.no_shrink,
-        compiled=not args.interpreted,
-        target=args.target,
-    )
-    result = run_campaign(
-        netlist,
-        bundle,
-        delay_models,
-        config=config,
-        delay_library=delay_library,
-    )
+    if netlist.is_sequential:
+        from repro.faults import run_sequential_campaign
+
+        result = run_sequential_campaign(
+            netlist, delay_library, config=config
+        )
+    else:
+        from repro.digital.characterize import build_instance_delays
+        from repro.faults import run_campaign
+
+        bundle = default_bundle(
+            scale=args.scale, backend=args.backend,
+            verbose=not args.quiet,
+        )
+        delay_models = build_instance_delays(netlist, delay_library)
+        result = run_campaign(
+            netlist,
+            bundle,
+            delay_models,
+            config=config,
+            delay_library=delay_library,
+        )
     print(result.summary())
     if args.report:
         path = Path(args.report)
@@ -400,10 +433,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_faults.add_argument("--circuit", default="c880_like",
                           choices=list(CIRCUIT_BUILDERS))
-    p_faults.add_argument("--faults", type=_positive_int, default=32,
+    # Plain ints on purpose: range/finiteness checking lives in
+    # CampaignConfig's eager validation, which cmd_faults surfaces as
+    # an exit-2 usage error with the config's own message.
+    p_faults.add_argument("--faults", type=int, default=32,
                           help="stuck-at faults sampled from the universe")
-    p_faults.add_argument("--vectors", type=_positive_int, default=8,
+    p_faults.add_argument("--vectors", type=int, default=8,
                           help="random launch/capture vectors to grade")
+    p_faults.add_argument("--cycles", type=int, default=4,
+                          help="clock cycles of a sequential campaign "
+                               "(circuits with flip-flops, e.g. s27_like)")
+    p_faults.add_argument("--t-launch", type=float, default=None,
+                          help="launch-transition time in seconds")
+    p_faults.add_argument("--t-capture", type=float, default=None,
+                          help="capture-strobe time in seconds "
+                               "(default: depth-derived settle window)")
     p_faults.add_argument("--seed", type=int, default=0)
     p_faults.add_argument("--scale", default="fast", choices=SCALES)
     p_faults.add_argument("--backend", default="ann", choices=backends)

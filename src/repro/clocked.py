@@ -1,0 +1,593 @@
+"""Clocked sessions: sequential netlists on every combinational engine.
+
+A sequential netlist (DFF/LATCH state elements, see
+:mod:`repro.circuits.netlist`) executes cycle by cycle: the registers
+drive the *combinational frame* (:meth:`Netlist.combinational_frame`),
+the frame settles, and each state element samples its data input at its
+capture strobe.  The classes here run that loop on top of the existing
+streaming sessions — one clock cycle per feed — so all four cores
+(event-heap digital, compiled lock-step digital, interpreted sigmoid,
+fused compiled sigmoid) share one clocking semantic, the
+:class:`~repro.options.ClockSpec`:
+
+* DFFs capture at the active edge — ``(k + 1) * period`` into the run
+  for ``active_edge="rise"`` — and transparent LATCHes half a period
+  earlier (the time-borrowing abstraction); ``"fall"`` swaps the two.
+* A captured register drives its new value into the frame ``clk_to_q``
+  after its strobe; primary-input stimulus for cycle ``k`` launches at
+  ``k * period + clk_to_q`` (cycle 0 is the settled initial levels).
+* Same-instant launches of distinct frame inputs are separated by the
+  deterministic ``stagger`` offset, keeping the compiled and event
+  digital cores bitwise-identical (they order same-time events on
+  distinct nets differently — see :mod:`repro.digital.compiled`).
+
+The sigmoid cores additionally trail their committed horizon behind the
+fed horizon by ``depth * guard`` (scaled units, the streaming finality
+guard of :mod:`repro.core.session`): each strobe feed advances to
+``strobe + depth * guard`` so the deepest nets are committed at the
+strobe, which requires ``clk_to_q`` to exceed that margin — enforced at
+construction with the actual numbers in the error.
+
+Checkpoints are ``repro.session/v2`` payloads wrapping the inner
+session's state plus the clocked bookkeeping (cycle index, register
+values, pending launch events, stream levels) and the full clock spec;
+restore refuses a checkpoint whose clock or cycle budget differs.
+Accumulated output traces and the replay stimulus are *not* part of a
+checkpoint — a restored session reports only post-restore segments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.gates import GateType, STATE_TYPES
+from repro.circuits.netlist import Netlist
+from repro.constants import NOMINAL_SLOPE, TIME_SCALE, VDD
+from repro.core.session import (
+    STATE_FORMAT,
+    SimulationSession,
+    concat_sigmoid_traces,
+    encode_nonfinite,
+)
+from repro.core.trace import SigmoidalTrace
+from repro.digital.session import concat_digital_traces
+from repro.digital.trace import DigitalTrace
+from repro.errors import SimulationError
+from repro.options import ClockSpec
+
+
+def _is_core_mapped(netlist: Netlist) -> bool:
+    """Whether every combinational gate is already INV or NOR2."""
+    for gate in netlist.gates.values():
+        if gate.gtype in STATE_TYPES:
+            continue
+        if gate.gtype is GateType.INV:
+            continue
+        if gate.gtype is GateType.NOR and len(gate.inputs) == 2:
+            continue
+        return False
+    return True
+
+
+def prepare_sequential(netlist: Netlist) -> Netlist:
+    """NOR-map a sequential netlist, preserving register/net names.
+
+    State elements pass through :func:`~repro.circuits.nor_map.nor_map`
+    untouched, so register names, fault sites and recorded nets mean
+    the same thing before and after.  Already-mapped netlists are
+    returned as-is.
+    """
+    if not netlist.is_sequential:
+        raise SimulationError(
+            f"netlist {netlist.name!r} has no state elements; use the "
+            "combinational sessions directly"
+        )
+    if _is_core_mapped(netlist):
+        return netlist
+    from repro.circuits.nor_map import nor_map
+
+    return nor_map(netlist)
+
+
+class _ClockedSessionBase(SimulationSession):
+    """Cycle bookkeeping shared by the digital and sigmoid variants.
+
+    Subclasses supply ``_open_inner`` (the streaming session over the
+    combinational frame), ``_make_trace`` (one fed chunk segment) and
+    ``_consume`` (fold a feed's committed segments into the sampled net
+    values).
+    """
+
+    def __init__(self, netlist: Netlist, clock: ClockSpec | None,
+                 n_cycles: int) -> None:
+        super().__init__()
+        from repro.core.compile import netlist_digest
+
+        if clock is None:
+            clock = ClockSpec()
+        if not isinstance(clock, ClockSpec):
+            raise SimulationError(
+                f"clock must be a ClockSpec, got {type(clock).__name__}"
+            )
+        if n_cycles < 1:
+            raise SimulationError("n_cycles must be >= 1")
+        self.sequential = prepare_sequential(netlist)
+        self.clock = clock
+        self.n_cycles = int(n_cycles)
+        self._digest = netlist_digest(self.sequential)
+        self.frame = self.sequential.combinational_frame()
+        self._orig_pis = list(netlist.primary_inputs)
+        self._orig_pos = list(netlist.primary_outputs)
+        self._frame_pis = list(self.frame.primary_inputs)
+        self._pi_index = {pi: j for j, pi in enumerate(self._frame_pis)}
+        self._d_net = {
+            name: self.sequential.gates[name].inputs[0]
+            for name in self.sequential.state_elements
+        }
+        # Capture plan: state elements grouped by strobe offset within
+        # the cycle; the cycle-closing ``period`` strobe always exists
+        # so PO values are sampled (and the horizon advanced) each
+        # cycle even in an all-LATCH design.
+        by_offset: dict[float, list[str]] = {}
+        for name in self.sequential.state_elements:
+            offset = clock.capture_offset(self.sequential.gates[name].gtype)
+            by_offset.setdefault(offset, []).append(name)
+        by_offset.setdefault(clock.period, [])
+        self._strobes = sorted(by_offset.items())
+        span = clock.clk_to_q + len(self._frame_pis) * clock.stagger
+        if span >= clock.period / 2:
+            raise SimulationError(
+                "launch window overflows the strobe spacing: clk_to_q "
+                f"+ {len(self._frame_pis)} staggered launches spans "
+                f"{span:.3e} s >= period/2 = {clock.period / 2:.3e} s; "
+                "increase the period or reduce clk_to_q/stagger"
+            )
+        self.t_stop = (self.n_cycles + 1) * clock.period
+        self._registers = {
+            name: clock.init_for(name)
+            for name in self.sequential.state_elements
+        }
+        self._level = dict(self._registers)  # frame-PI stream levels
+        self._value: dict[str, bool] = {}  # sampled recorded-net values
+        self._pending: list[tuple[float, int, str]] = []
+        self._seq = 0
+        self._cycle = 0
+        self._started = False
+        self.history: list[dict] = []
+        self._segments: dict[str, list] = {
+            net: [] for net in self.frame.primary_outputs
+        }
+        self._fed: dict[str, list[float]] = {
+            pi: [] for pi in self._frame_pis
+        }
+        self._initial_levels: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def registers(self) -> dict[str, bool]:
+        """Current register values (after the latest strobe)."""
+        return dict(self._registers)
+
+    @property
+    def cycle_index(self) -> int:
+        return self._cycle
+
+    def _schedule(self, time: float, net: str) -> None:
+        self._pending.append((time, self._seq, net))
+        self._seq += 1
+
+    def _due(self, t: float) -> dict[str, list[float]]:
+        """Pop pending launch events at or before ``t``, grouped by net."""
+        self._pending.sort()
+        k = 0
+        while k < len(self._pending) and self._pending[k][0] <= t:
+            k += 1
+        due = self._pending[:k]
+        del self._pending[:k]
+        events: dict[str, list[float]] = {}
+        for time, _seq, net in due:
+            events.setdefault(net, []).append(time)
+        return events
+
+    def _value_of(self, net: str) -> bool:
+        if net in self._pi_index:
+            return self._level[net]
+        return self._value[net]
+
+    # ------------------------------------------------------------------
+    def cycle(self, pi_values: dict[str, bool] | None = None) -> list[dict]:
+        """Run one clock cycle; returns this cycle's strobe records.
+
+        ``pi_values`` assigns primary inputs for the cycle — all of
+        them on cycle 0 (the settled initial levels), any subset later
+        (missing inputs hold their value).  Each returned record holds
+        the strobe time, the register values after that strobe's
+        captures, and the sampled primary-output values.
+        """
+        self._require_active()
+        if self._cycle >= self.n_cycles:
+            raise SimulationError(
+                f"all {self.n_cycles} cycles have run; call finish()"
+            )
+        pi_values = dict(pi_values or {})
+        unknown = sorted(set(pi_values) - set(self._orig_pis))
+        if unknown:
+            raise SimulationError(
+                f"cycle stimulus names unknown primary inputs: {unknown}"
+            )
+        k = self._cycle
+        clock = self.clock
+        if k == 0:
+            missing = [pi for pi in self._orig_pis if pi not in pi_values]
+            if missing:
+                raise SimulationError(
+                    f"cycle 0 must assign every primary input; "
+                    f"missing {missing}"
+                )
+            for pi in self._orig_pis:
+                self._level[pi] = bool(pi_values[pi])
+        else:
+            base = k * clock.period + clock.clk_to_q
+            for pi in self._orig_pis:
+                if pi in pi_values:
+                    value = bool(pi_values[pi])
+                    if value != self._level_after_pending(pi):
+                        self._schedule(
+                            base + self._pi_index[pi] * clock.stagger, pi
+                        )
+        records = []
+        for offset, regs in self._strobes:
+            t_strobe = k * clock.period + offset
+            self._feed_window(self._due(t_strobe), t_strobe)
+            for reg in regs:
+                new = self._value_of(self._d_net[reg])
+                if new != self._registers[reg]:
+                    self._schedule(
+                        t_strobe
+                        + clock.clk_to_q
+                        + self._pi_index[reg] * clock.stagger,
+                        reg,
+                    )
+                self._registers[reg] = new
+            record = {
+                "cycle": k,
+                "time": t_strobe,
+                "registers": dict(self._registers),
+                "outputs": {
+                    po: self._value_of(po) for po in self._orig_pos
+                },
+            }
+            records.append(record)
+            self.history.append(record)
+        self._cycle += 1
+        return records
+
+    def _level_after_pending(self, pi: str) -> bool:
+        """Stream level of a PI once its pending launches have fed."""
+        toggles = sum(1 for _t, _s, net in self._pending if net == pi)
+        return self._level[pi] ^ (toggles % 2 == 1)
+
+    # ------------------------------------------------------------------
+    def _feed_window(self, events: dict[str, list[float]], t: float) -> None:
+        first = not self._started
+        chunk = {}
+        if first:
+            for pi in self._frame_pis:
+                self._initial_levels[pi] = self._level[pi]
+                chunk[pi] = self._make_trace(pi, events.get(pi, ()))
+            self._started = True
+        else:
+            for net, times in events.items():
+                chunk[net] = self._make_trace(net, times)
+        for net, times in events.items():
+            self._fed[net].extend(times)
+        segments = self._inner.feed([chunk], advance_to=self._advance(t))
+        self._consume(segments[0], t)
+
+    def finish(self) -> list[dict]:
+        """Flush the inner session and close; returns the full history.
+
+        Launch events scheduled after the final strobe (the last
+        captures' ``clk_to_q`` propagation) are dropped — output traces
+        end in the settled post-strobe state.
+        """
+        self._require_active()
+        if not self._started:
+            raise SimulationError("cannot finish before the first cycle")
+        self._pending.clear()
+        segments = self._inner.finish()
+        self._consume(segments[0], math.inf)
+        self._finished = True
+        return self.history
+
+    def po_traces(self) -> dict:
+        """Accumulated committed traces of the frame outputs so far."""
+        return {
+            net: self._concat(segs)
+            for net, segs in self._segments.items()
+            if segs
+        }
+
+    def frame_stimulus(self) -> dict:
+        """Everything fed to the frame so far, one trace per frame PI.
+
+        After ``finish()`` this is the one-shot replay stimulus: feeding
+        it to a fresh combinational session over :attr:`frame` in a
+        single chunk must reproduce :meth:`po_traces` bitwise (digital)
+        — the chunked-per-cycle == one-shot invariant.
+        """
+        if not self._started:
+            raise SimulationError("no stimulus before the first cycle")
+        return {
+            pi: DigitalTrace(self._initial_levels[pi], self._fed[pi])
+            for pi in self._frame_pis
+        }
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        self._require_active()
+        if not self._started:
+            raise SimulationError(
+                "nothing to checkpoint before the first cycle"
+            )
+        return encode_nonfinite({
+            "format": STATE_FORMAT,
+            "kind": self.kind,
+            "mode": self._inner.mode,
+            "digest": self._digest,
+            "clock": self.clock.to_dict(),
+            "n_cycles": self.n_cycles,
+            "cycle": self._cycle,
+            "seq": self._seq,
+            "registers": {n: bool(v) for n, v in self._registers.items()},
+            "levels": {n: bool(v) for n, v in self._level.items()},
+            "values": {n: bool(v) for n, v in self._value.items()},
+            "pending": [
+                [float(t), int(s), str(n)] for t, s, n in self._pending
+            ],
+            "extra": self._extra_state(),
+            "inner": self._inner.state(),
+        })
+
+    def restore(self, state: dict) -> None:
+        self._require_active()
+        self._check_header(state, self._inner.mode, self._digest)
+        mismatches = []
+        clock = ClockSpec.from_dict(state["clock"])
+        if clock != self.clock:
+            mismatches.append(
+                f"clock is {state['clock']!r}, session expects "
+                f"{self.clock.to_dict()!r}"
+            )
+        if int(state["n_cycles"]) != self.n_cycles:
+            mismatches.append(
+                f"n_cycles is {state['n_cycles']!r}, session expects "
+                f"{self.n_cycles!r}"
+            )
+        if mismatches:
+            raise SimulationError(
+                "checkpoint mismatch: " + "; ".join(mismatches)
+            )
+        self._cycle = int(state["cycle"])
+        self._seq = int(state["seq"])
+        self._registers = {
+            n: bool(v) for n, v in state["registers"].items()
+        }
+        self._level = {n: bool(v) for n, v in state["levels"].items()}
+        self._value = {n: bool(v) for n, v in state["values"].items()}
+        self._pending = [
+            (float(t), int(s), str(n)) for t, s, n in state["pending"]
+        ]
+        self._restore_extra(state["extra"])
+        self._inner.restore(state["inner"])
+        self._started = True
+        self.history = []
+        self._segments = {
+            net: [] for net in self.frame.primary_outputs
+        }
+        self._fed = {pi: [] for pi in self._frame_pis}
+        self._initial_levels = {}
+
+    # -- subclass hooks -------------------------------------------------
+    def _make_trace(self, net: str, times):
+        raise NotImplementedError
+
+    def _advance(self, t: float) -> float:
+        raise NotImplementedError
+
+    def _consume(self, segments: dict, t: float) -> None:
+        raise NotImplementedError
+
+    def _concat(self, segments: list):
+        raise NotImplementedError
+
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        pass
+
+
+class ClockedDigitalSession(_ClockedSessionBase):
+    """Multi-cycle digital execution (event heap or compiled lock-step).
+
+    Bitwise contract: for the same sequential netlist, clock and
+    stimulus, the compiled and event engines produce identical register
+    values at every strobe and identical committed output traces — the
+    staggered launches keep every event time unique, which is exactly
+    the regime where the two cores agree event for event.
+    """
+
+    kind = "clocked-digital"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        delay_library,
+        clock: ClockSpec | None = None,
+        n_cycles: int = 1,
+        compiled: bool = True,
+        fault=None,
+        state: dict | None = None,
+    ) -> None:
+        super().__init__(netlist, clock, n_cycles)
+        from repro.digital.characterize import build_instance_delays
+        from repro.digital.simulator import DigitalSimulator
+
+        delays = build_instance_delays(self.frame, delay_library)
+        self.simulator = DigitalSimulator(
+            self.frame, delays, compiled=compiled
+        )
+        self._inner = self.simulator.open_session(
+            [self.t_stop],
+            record_nets=list(self.frame.primary_outputs),
+            faults=[fault] if fault is not None else None,
+        )
+        if state is not None:
+            self.restore(state)
+
+    def _make_trace(self, net: str, times) -> DigitalTrace:
+        trace = DigitalTrace(self._level[net], times)
+        self._level[net] = trace.final_value()
+        return trace
+
+    def _advance(self, t: float) -> float:
+        return t
+
+    def _consume(self, segments: dict, t: float) -> None:
+        # The digital watermark is exact (no guard): every committed
+        # transition is <= the advanced horizon, so the segment's final
+        # value IS the sampled value at the strobe.
+        for net, seg in segments.items():
+            self._value[net] = bool(seg.final_value())
+            self._segments[net].append(seg)
+
+    def _concat(self, segments: list) -> DigitalTrace:
+        return concat_digital_traces(segments)
+
+
+class ClockedSigmoidSession(_ClockedSessionBase):
+    """Multi-cycle sigmoid execution (interpreted or fused compiled).
+
+    The streaming guard makes each gate's committed horizon trail the
+    fed horizon by ``guard`` per level, so every strobe feed advances
+    to ``strobe + depth * guard`` (scaled) and ``clk_to_q`` must exceed
+    that margin — otherwise the next cycle's launches would land at or
+    before the inflated horizon and be rejected as out of order.
+    Register sampling digitizes the committed trace at the strobe: the
+    boolean value is the initial level toggled once per committed
+    sigmoid transition crossing at or before the strobe.
+    """
+
+    kind = "clocked-sigmoid"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        bundle,
+        clock: ClockSpec | None = None,
+        n_cycles: int = 1,
+        compiled: bool = True,
+        target: str | None = None,
+        guard: float | None = None,
+        state: dict | None = None,
+    ) -> None:
+        super().__init__(netlist, clock, n_cycles)
+        from repro.core.simulator import SigmoidCircuitSimulator
+
+        self.simulator = SigmoidCircuitSimulator(
+            self.frame, bundle, compiled=compiled, target=target
+        )
+        self._inner = self.simulator.open_session(
+            list(self.frame.primary_outputs), guard=guard
+        )
+        self._margin_scaled = self.frame.depth() * self._inner.guard
+        margin_seconds = self._margin_scaled / TIME_SCALE
+        if self.clock.clk_to_q <= margin_seconds:
+            raise SimulationError(
+                "clk_to_q is inside the sigmoid streaming guard margin: "
+                f"the committed horizon trails the fed horizon by depth "
+                f"* guard = {self.frame.depth()} * {self._inner.guard} "
+                f"scaled units = {margin_seconds:.3e} s, but clk_to_q "
+                f"is {self.clock.clk_to_q:.3e} s; increase clk_to_q "
+                "(and period) or lower the session guard"
+            )
+        self._pending_b: dict[str, list[float]] = {}
+        if state is not None:
+            self.restore(state)
+
+    def _make_trace(self, net: str, times) -> SigmoidalTrace:
+        level = self._level[net]
+        value = level
+        params = []
+        for t in times:
+            slope = NOMINAL_SLOPE if not value else -NOMINAL_SLOPE
+            params.append((slope, t * TIME_SCALE))
+            value = not value
+        self._level[net] = value
+        return SigmoidalTrace(int(level), params, vdd=VDD)
+
+    def _advance(self, t: float) -> float:
+        return t * TIME_SCALE + self._margin_scaled
+
+    def _consume(self, segments: dict, t: float) -> None:
+        t_scaled = t * TIME_SCALE if math.isfinite(t) else math.inf
+        for net, seg in segments.items():
+            if net not in self._value:
+                self._value[net] = bool(seg.initial_level)
+            buf = self._pending_b.setdefault(net, [])
+            buf.extend(float(b) for _a, b in seg.params)
+            self._segments[net].append(seg)
+        # Committed-but-future transitions (the shallow nets run ahead
+        # of the strobe) stay buffered for later strobes.
+        for net, buf in self._pending_b.items():
+            k = 0
+            while k < len(buf) and buf[k] <= t_scaled:
+                k += 1
+            if k % 2:
+                self._value[net] = not self._value[net]
+            del buf[:k]
+
+    def _concat(self, segments: list) -> SigmoidalTrace:
+        return concat_sigmoid_traces(segments)
+
+    def _extra_state(self) -> dict:
+        return {
+            "pending_b": {
+                net: [float(b) for b in buf]
+                for net, buf in self._pending_b.items()
+            }
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._pending_b = {
+            net: [float(b) for b in buf]
+            for net, buf in extra["pending_b"].items()
+        }
+
+
+def run_clocked(session: _ClockedSessionBase, vectors) -> list[dict]:
+    """Drive a clocked session through ``vectors`` (one dict per cycle)
+    and finish it; returns the full strobe history."""
+    for vec in vectors:
+        session.cycle(vec)
+    return session.finish()
+
+
+def default_clock_for(netlist: Netlist, guard: float | None = None) -> ClockSpec:
+    """A :class:`ClockSpec` sized to the netlist's frame depth.
+
+    The sigmoid sessions need ``clk_to_q`` to clear the streaming guard
+    margin (``depth * guard`` scaled units); this picks ``clk_to_q``
+    with 2x headroom over that margin (never below the 4 ns default)
+    and a period of four ``clk_to_q``, so every engine accepts the same
+    clock for any circuit the harness draws.
+    """
+    from repro.core.session import STREAM_GUARD
+
+    if guard is None:
+        guard = STREAM_GUARD
+    depth = prepare_sequential(netlist).combinational_frame().depth()
+    margin_seconds = depth * guard / TIME_SCALE
+    clk_to_q = max(4e-9, 2.0 * margin_seconds)
+    return ClockSpec(period=4.0 * clk_to_q, clk_to_q=clk_to_q)

@@ -37,6 +37,12 @@ class SigmoidCircuitSimulator:
         fused: bool = True,
     ) -> None:
         netlist.validate()
+        if netlist.is_sequential:
+            raise SimulationError(
+                f"netlist {netlist.name!r} has state elements; run it "
+                "through a clocked session "
+                "(repro.clocked.ClockedSigmoidSession) instead"
+            )
         for gate in netlist.gates.values():
             if gate.gtype is GateType.INV:
                 continue

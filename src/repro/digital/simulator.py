@@ -41,6 +41,12 @@ class DigitalSimulator:
         compiled: bool = True,
     ) -> None:
         netlist.validate()
+        if netlist.is_sequential:
+            raise SimulationError(
+                f"netlist {netlist.name!r} has state elements; run it "
+                "through a clocked session "
+                "(repro.clocked.ClockedDigitalSession) instead"
+            )
         missing = [g for g in netlist.gates if g not in delay_models]
         if missing:
             raise SimulationError(f"missing delay models for gates: {missing[:5]}")

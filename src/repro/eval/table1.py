@@ -35,6 +35,7 @@ from repro.circuits.iscas85 import (
     c880_like,
     c1355_like,
     c3540_like,
+    s27_like,
 )
 from repro.circuits.netlist import Netlist
 from repro.circuits.nor_map import nor_map
@@ -57,6 +58,11 @@ CIRCUIT_BUILDERS = {
     "c880_like": c880_like,
     "c1355_like": c1355_like,
     "c3540_like": c3540_like,
+    # Sequential zoo member (ISCAS-89 class): Table I itself never
+    # runs it (the analog reference is combinational), but the fuzz /
+    # differential harness resolves benchmark names through this
+    # registry and grades it with the clocked sessions.
+    "s27_like": s27_like,
 }
 
 #: Lock-step run-batch bound shared by `Table1Config` and `run_cell`

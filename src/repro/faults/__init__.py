@@ -11,10 +11,12 @@ from repro.faults.campaign import (
     CampaignConfig,
     CampaignResult,
     CompiledCampaign,
+    SequentialCampaignResult,
     Vector,
     compile_campaign,
     random_vectors,
     run_campaign,
+    run_sequential_campaign,
 )
 from repro.faults.model import (
     DelayFault,
@@ -32,9 +34,11 @@ __all__ = [
     "Fault",
     "FaultList",
     "PerturbedDelayModel",
+    "SequentialCampaignResult",
     "StuckAtFault",
     "Vector",
     "compile_campaign",
     "random_vectors",
     "run_campaign",
+    "run_sequential_campaign",
 ]

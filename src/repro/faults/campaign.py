@@ -73,6 +73,10 @@ class CampaignConfig:
     n_faults: int = 32
     n_vectors: int = 8
     seed: int = 0
+    #: Clock cycles of a sequential campaign
+    #: (:func:`run_sequential_campaign`); combinational campaigns
+    #: ignore it.
+    n_cycles: int = 4
     t_launch: float = 1.0 * NS
     t_capture: float | None = None
     slope: float = NOMINAL_SLOPE
@@ -94,12 +98,34 @@ class CampaignConfig:
             chunk_size=chunk_size,
             target=target,
         )
+        # Eager validation: every bad knob fails at construction with a
+        # message naming the knob, instead of surfacing mid-campaign as
+        # a simulator crash (negative launch) or a silent NaN strobe.
         if self.n_faults < 1:
             raise SimulationError("n_faults must be >= 1")
         if self.n_vectors < 1:
             raise SimulationError("n_vectors must be >= 1")
-        if self.t_capture is not None and self.t_capture <= self.t_launch:
-            raise SimulationError("t_capture must be after t_launch")
+        if self.n_cycles < 1:
+            raise SimulationError("n_cycles must be >= 1")
+        if not np.isfinite(self.t_launch):
+            raise SimulationError(
+                f"t_launch must be finite, got {self.t_launch!r}"
+            )
+        if self.t_launch < 0.0:
+            raise SimulationError(
+                f"t_launch must be >= 0, got {self.t_launch!r}"
+            )
+        if self.t_capture is not None:
+            if not np.isfinite(self.t_capture):
+                raise SimulationError(
+                    f"t_capture must be finite, got {self.t_capture!r}"
+                )
+            if self.t_capture <= self.t_launch:
+                raise SimulationError("t_capture must be after t_launch")
+        if not np.isfinite(self.slope) or self.slope <= 0.0:
+            raise SimulationError(
+                f"slope must be finite and positive, got {self.slope!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -590,3 +616,218 @@ def _shrink_disagreement(
         netlist, disagrees, max_evals=config.shrink_max_evals
     )
     return shrink.netlist if shrink.netlist.n_gates < netlist.n_gates else None
+
+
+# ----------------------------------------------------------------------
+# sequential campaigns: launch/capture over clock cycles
+# ----------------------------------------------------------------------
+@dataclass
+class SequentialCampaignResult:
+    """Per-cycle detection matrices of one sequential fault campaign.
+
+    ``detection[f, c]`` is True when fault ``f``'s machine diverges from
+    the good machine at capture strobe ``c`` — in a register *or* a
+    primary output (registers are observable in a scan-style flow, so a
+    state divergence counts as a detection even before it propagates to
+    a PO).  ``disagreements`` lists every (fault, cycle) grading where
+    the compiled lock-step core and the event-driven reference loop
+    disagreed; a clean campaign has none.
+    """
+
+    circuit: str
+    fault_names: list[str]
+    n_cycles: int
+    clock: dict
+    detection: np.ndarray  # (n_faults, n_cycles) compiled-core verdicts
+    stimulus: list[dict]
+    disagreements: list[dict] = field(default_factory=list)
+    cpu_s: float = 0.0
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.fault_names)
+
+    @property
+    def detected(self) -> np.ndarray:
+        """Per-fault: detected at some capture strobe (compiled verdict)."""
+        return self.detection.any(axis=1)
+
+    @property
+    def coverage(self) -> float:
+        return float(self.detected.mean())
+
+    @property
+    def ok(self) -> bool:
+        """True when the two digital engines agreed on every grading."""
+        return not self.disagreements
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": "sequential_stuck_at",
+            "circuit": self.circuit,
+            "n_faults": self.n_faults,
+            "n_cycles": self.n_cycles,
+            "clock": self.clock,
+            "coverage": self.coverage,
+            "n_detected": int(self.detected.sum()),
+            "fault_names": list(self.fault_names),
+            "stimulus": [
+                {pi: int(v) for pi, v in vec.items()} for vec in self.stimulus
+            ],
+            "detection": self.detection.astype(int).tolist(),
+            "n_disagreements": len(self.disagreements),
+            "disagreements": self.disagreements,
+            "cpu_s": self.cpu_s,
+            "ok": self.ok,
+        }
+
+    def write_report(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"sequential fault campaign on {self.circuit}: "
+            f"{self.n_faults} faults x {self.n_cycles} cycles",
+            f"coverage {100.0 * self.coverage:.1f}% "
+            f"({int(self.detected.sum())}/{self.n_faults} faults detected "
+            "at some capture strobe)",
+        ]
+        if self.ok:
+            lines.append(
+                "compiled and event cores agree on all "
+                f"{self.detection.size} gradings"
+            )
+        else:
+            lines.append(
+                f"compiled and event cores DISAGREE on "
+                f"{len(self.disagreements)} gradings"
+            )
+            for item in self.disagreements:
+                lines.append(
+                    f"  fault {item['fault']} cycle {item['cycle']}: "
+                    f"{item['field']} compiled={item['compiled']} "
+                    f"event={item['event']}"
+                )
+        return "\n".join(lines)
+
+
+def _sequential_stimulus(
+    primary_inputs, n_cycles: int, seed: int
+) -> "list[dict[str, bool]]":
+    """One random PI assignment per clock cycle (the launch of that
+    cycle, captured at its strobe)."""
+    rng = np.random.default_rng(seed)
+    return [
+        {pi: bool(rng.integers(0, 2)) for pi in primary_inputs}
+        for _ in range(n_cycles)
+    ]
+
+
+def run_sequential_campaign(
+    netlist: Netlist,
+    delay_library,
+    faults=None,
+    config: CampaignConfig | None = None,
+    clock=None,
+    vectors: "list[dict[str, bool]] | None" = None,
+) -> SequentialCampaignResult:
+    """Grade stuck-at faults on a sequential circuit over clock cycles.
+
+    Every machine (good + one per fault) runs ``config.n_cycles`` clock
+    cycles through a :class:`~repro.clocked.ClockedDigitalSession` on
+    *both* digital engines: the compiled lock-step core produces the
+    detection verdicts, the event-driven loop re-grades every machine,
+    and any divergence between the two engines' strobe samples is
+    reported as a ``disagreements`` entry (``ok`` turns False — the CI
+    treats that as a campaign failure).  A fault is detected at cycle
+    ``c`` when its registers or primary outputs differ from the good
+    machine at that capture strobe.
+
+    The sigmoid engine is not graded here: fault lanes exist only in
+    the one-shot fused program, not in the streaming sessions the
+    clocked wrapper drives (the combinational :func:`run_campaign`
+    covers sigmoid grading).
+    """
+    import time
+
+    from repro.clocked import (
+        ClockedDigitalSession,
+        default_clock_for,
+        prepare_sequential,
+        run_clocked,
+    )
+
+    config = config or CampaignConfig()
+    core = prepare_sequential(netlist)
+    if clock is None:
+        clock = config.execution.clock or default_clock_for(core)
+    if faults is None:
+        faults = FaultList.sample_stuck_at(
+            core, config.n_faults, seed=config.seed
+        )
+    elif not isinstance(faults, FaultList):
+        faults = FaultList(core, faults)
+    if len(faults) == 0:
+        raise SimulationError("campaign needs at least one fault")
+    if vectors is None:
+        vectors = _sequential_stimulus(
+            core.primary_inputs, config.n_cycles, config.seed
+        )
+    n_cycles = len(vectors)
+
+    def grade(compiled: bool) -> "list[list[dict]]":
+        machines = [None, *faults]
+        histories = []
+        for fault in machines:
+            session = ClockedDigitalSession(
+                core, delay_library, clock=clock, n_cycles=n_cycles,
+                compiled=compiled, fault=fault,
+            )
+            histories.append(run_clocked(session, vectors))
+        return histories
+
+    start = time.process_time()
+    compiled_runs = grade(compiled=True)
+    event_runs = grade(compiled=False)
+    cpu_s = time.process_time() - start
+
+    good = compiled_runs[0]
+    detection = np.zeros((len(faults), n_cycles), dtype=bool)
+    for f in range(len(faults)):
+        history = compiled_runs[f + 1]
+        for c in range(n_cycles):
+            detection[f, c] = (
+                history[c]["registers"] != good[c]["registers"]
+                or history[c]["outputs"] != good[c]["outputs"]
+            )
+
+    disagreements: list[dict] = []
+    machine_names = ["good", *faults.names]
+    for name, comp, ev in zip(machine_names, compiled_runs, event_runs):
+        for c, (crec, erec) in enumerate(zip(comp, ev)):
+            for fld in ("registers", "outputs"):
+                if crec[fld] != erec[fld]:
+                    disagreements.append(
+                        {
+                            "fault": name,
+                            "cycle": c,
+                            "field": fld,
+                            "compiled": {
+                                k: int(v) for k, v in crec[fld].items()
+                            },
+                            "event": {
+                                k: int(v) for k, v in erec[fld].items()
+                            },
+                        }
+                    )
+
+    return SequentialCampaignResult(
+        circuit=core.name,
+        fault_names=list(faults.names),
+        n_cycles=n_cycles,
+        clock=clock.to_dict(),
+        detection=detection,
+        stimulus=list(vectors),
+        disagreements=disagreements,
+        cpu_s=cpu_s,
+    )

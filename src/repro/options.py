@@ -17,13 +17,114 @@ verbatim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
 
 from repro.errors import SimulationError
 
 #: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
 #: (``chunk_size=None`` is a meaningful value: one-shot execution).
 _UNSET = object()
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """The clock every state element of a sequential run shares.
+
+    ``period`` spaces the capture strobes; with the ``"rise"`` active
+    edge a DFF captures at the end of each cycle (``(k+1) * period``)
+    and a transparent LATCH half a period earlier (the time-borrowing
+    abstraction); ``"fall"`` swaps the two offsets.  ``clk_to_q`` is the
+    clock-to-output delay: a captured register drives its new value into
+    the frame that long after its strobe (it must leave room for the
+    other phase's strobe, hence ``clk_to_q < period / 2``).  ``init``
+    maps state-element names to their power-on values (missing names
+    default to 0); pass a plain ``bool`` to initialize every register
+    alike.  ``stagger`` separates same-instant launches of distinct
+    frame inputs by a deterministic femtosecond-scale offset — the
+    compiled and event-driven digital cores order same-time events on
+    *distinct* nets differently, so the clocked sessions keep launch
+    times unique to preserve the bitwise parity contract.
+    """
+
+    period: float = 10e-9
+    active_edge: str = "rise"
+    clk_to_q: float = 4e-9
+    init: "Mapping[str, bool] | bool | tuple" = ()
+    stagger: float = 1e-15
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.period) and self.period > 0.0):
+            raise SimulationError("clock period must be finite and > 0")
+        if self.active_edge not in ("rise", "fall"):
+            raise SimulationError("active_edge must be 'rise' or 'fall'")
+        if not (math.isfinite(self.clk_to_q) and self.clk_to_q > 0.0):
+            raise SimulationError("clk_to_q must be finite and > 0")
+        if self.clk_to_q >= self.period / 2:
+            raise SimulationError(
+                "clk_to_q must be < period / 2 (a captured register "
+                "must drive the frame before the opposite phase's "
+                "strobe)"
+            )
+        if not (math.isfinite(self.stagger) and self.stagger >= 0.0):
+            raise SimulationError("stagger must be finite and >= 0")
+        init = self.init
+        if isinstance(init, bool):
+            canonical: tuple = (bool(init),)
+        elif isinstance(init, Mapping):
+            canonical = tuple(
+                (str(k), bool(v)) for k, v in sorted(init.items())
+            )
+        else:
+            canonical = tuple(
+                (str(k), bool(v)) for k, v in init
+            ) if init else ()
+        object.__setattr__(self, "init", canonical)
+
+    # ------------------------------------------------------------------
+    def init_for(self, name: str) -> bool:
+        """Power-on value of the named register (default 0)."""
+        if self.init and not isinstance(self.init[0], tuple):
+            return bool(self.init[0])
+        for key, value in self.init:
+            if key == name:
+                return bool(value)
+        return False
+
+    def capture_offset(self, gtype) -> float:
+        """Strobe offset within a cycle for one state-element kind."""
+        from repro.circuits.gates import GateType
+
+        dff_late = self.active_edge == "rise"
+        late = gtype is GateType.DFF if dff_late else gtype is GateType.LATCH
+        return self.period if late else self.period / 2
+
+    def to_dict(self) -> dict:
+        return {
+            "period": float(self.period),
+            "active_edge": self.active_edge,
+            "clk_to_q": float(self.clk_to_q),
+            "init": [list(pair) for pair in self.init]
+            if self.init and isinstance(self.init[0], tuple)
+            else list(self.init),
+            "stagger": float(self.stagger),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ClockSpec":
+        init = payload.get("init", ())
+        if init and not isinstance(init[0], (list, tuple)):
+            init = bool(init[0])
+        else:
+            init = tuple((str(k), bool(v)) for k, v in init)
+        return cls(
+            period=float(payload["period"]),
+            active_edge=str(payload["active_edge"]),
+            clk_to_q=float(payload["clk_to_q"]),
+            init=init,
+            stagger=float(payload.get("stagger", 1e-15)),
+        )
 
 
 @dataclass
@@ -47,13 +148,21 @@ class ExecutionOptions:
     backend: str = "ann"
     chunk_size: int | None = None
     target: str = "numpy"
+    #: Clock for sequential (DFF/LATCH) netlists; ``None`` keeps the
+    #: clocked sessions' default :class:`ClockSpec` and is ignored by
+    #: purely combinational runs.
+    clock: ClockSpec | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise SimulationError("chunk_size must be >= 1")
+        if self.clock is not None and not isinstance(self.clock, ClockSpec):
+            raise SimulationError(
+                f"clock must be a ClockSpec, got {type(self.clock).__name__}"
+            )
 
     def merged(self, compiled=_UNSET, backend=_UNSET, chunk_size=_UNSET,
-               target=_UNSET):
+               target=_UNSET, clock=_UNSET):
         """A copy with the explicitly passed knobs overriding this one."""
         overrides = {}
         if compiled is not _UNSET:
@@ -64,11 +173,14 @@ class ExecutionOptions:
             overrides["chunk_size"] = chunk_size
         if target is not _UNSET:
             overrides["target"] = str(target)
+        if clock is not _UNSET:
+            overrides["clock"] = clock
         return replace(self, **overrides) if overrides else replace(self)
 
 
 def normalize_execution(execution, compiled=_UNSET, backend=_UNSET,
-                        chunk_size=_UNSET, target=_UNSET) -> ExecutionOptions:
+                        chunk_size=_UNSET, target=_UNSET,
+                        clock=_UNSET) -> ExecutionOptions:
     """Merge an optional ``execution`` base with legacy scalar kwargs.
 
     The scalar kwargs win when both are given (``dataclasses.replace``
@@ -82,7 +194,7 @@ def normalize_execution(execution, compiled=_UNSET, backend=_UNSET,
             f"execution must be an ExecutionOptions, got {type(base).__name__}"
         )
     return base.merged(compiled=compiled, backend=backend,
-                       chunk_size=chunk_size, target=target)
+                       chunk_size=chunk_size, target=target, clock=clock)
 
 
 def _alias(name: str, readonly: bool) -> property:

@@ -18,6 +18,15 @@ simulators and checks that they agree where the physics says they must:
   the one-shot runs at several chunk sizes (1 transition, small,
   full-trace): bitwise for both digital cores, within 0.05 ps per
   transition parameter for both sigmoid cores.
+* ``sequential`` — sequential netlists (DFF/LATCH) take this dedicated
+  multi-cycle path through the clocked sessions (:mod:`repro.clocked`)
+  instead of the combinational checks: all four engines must agree on
+  every register value and primary-output sample at every capture
+  strobe, the two digital cores bitwise on the committed output traces,
+  the two sigmoid kernels within the 0.05 ps parameter bound,
+  chunked-per-cycle execution must equal a one-shot replay of the
+  collected frame stimulus, and a mid-run checkpoint/restore must
+  resume exactly.
 
 Two reference modes share one report format: ``reference="analog"`` runs
 the full three-simulator comparison through
@@ -55,8 +64,10 @@ from repro.options import (
     normalize_execution,
 )
 
-#: Checks the harness knows; ``DifferentialConfig.checks`` selects a subset.
-ALL_CHECKS = ("logic", "delay", "parity", "streaming")
+#: Checks the harness knows; ``DifferentialConfig.checks`` selects a
+#: subset.  ``sequential`` is implied for sequential netlists (they
+#: always run the multi-cycle path) and ignored for combinational ones.
+ALL_CHECKS = ("logic", "delay", "parity", "streaming", "sequential")
 
 #: Chunked-vs-one-shot sigmoid agreement bound in scaled time units:
 #: 0.05 ps (the golden-snapshot tolerance) is 5e-4 scaled units.  The
@@ -121,6 +132,10 @@ class DifferentialConfig:
     transition_shift_per_level: float = 1.8e-12
     parity_atol: float = 1e-15
     max_runs_per_batch: int = 64
+    #: Clock cycles per run of the ``sequential`` multi-cycle path; the
+    #: clock itself comes from ``execution.clock`` (default: sized to
+    #: the frame depth by :func:`repro.clocked.default_clock_for`).
+    n_cycles: int = 4
     #: Chunk sizes (merged PI transitions per feed) the ``streaming``
     #: check replays every stimulus at; a full-trace single chunk is
     #: always appended, so the default covers {1, small, full}.
@@ -145,6 +160,8 @@ class DifferentialConfig:
             raise SimulationError("need at least one run")
         if any(cs < 1 for cs in self.stream_chunk_sizes):
             raise SimulationError("stream chunk sizes must be >= 1")
+        if self.n_cycles < 1:
+            raise SimulationError("n_cycles must be >= 1")
 
 
 @dataclass
@@ -203,8 +220,17 @@ def _trace_payload(trace: DigitalTrace) -> dict:
 
 
 def ensure_nor_mapped(netlist: Netlist) -> Netlist:
-    """NOR-map unless the netlist is already INV/NOR2-only."""
+    """NOR-map unless every combinational gate is already INV/NOR2.
+
+    State elements (DFF/LATCH) pass through :func:`nor_map` verbatim,
+    so a sequential netlist counts as mapped once its combinational
+    frame is.
+    """
+    from repro.circuits.gates import STATE_TYPES
+
     for gate in netlist.gates.values():
+        if gate.gtype in STATE_TYPES:
+            continue
         if gate.gtype is GateType.INV:
             continue
         if gate.gtype is GateType.NOR and len(gate.inputs) == 2:
@@ -488,6 +514,12 @@ def run_differential(
     if config is None:
         config = DifferentialConfig()
     core = ensure_nor_mapped(netlist)
+    if core.is_sequential:
+        if mutate_runner is not None:
+            raise SimulationError(
+                "mutate_runner is only supported with the analog reference"
+            )
+        return _run_sequential(core, bundle, delay_library, config)
     if config.reference == "analog":
         return _run_analog(core, bundle, delay_library, config, mutate_runner)
     return _run_digital(core, bundle, delay_library, config, mutate_runner)
@@ -634,6 +666,223 @@ def _check_parity(
                     f"{batch_trace.n_transitions} transitions)",
                 )
             )
+
+
+# ----------------------------------------------------------------------
+# sequential mode: all four engines through the clocked sessions
+# ----------------------------------------------------------------------
+def _sequential_vectors(
+    primary_inputs: "list[str]", n_cycles: int, seed: int
+) -> "list[dict[str, bool]]":
+    """One random PI assignment per cycle, seeded like the stimuli."""
+    rng = np.random.default_rng(seed)
+    return [
+        {pi: bool(rng.integers(0, 2)) for pi in primary_inputs}
+        for _ in range(n_cycles)
+    ]
+
+
+def _strobe_payload(history: "list[dict]") -> "list[dict]":
+    """JSON-friendly per-strobe register/PO samples (golden layer)."""
+    return [
+        {
+            "cycle": int(rec["cycle"]),
+            "time": float(rec["time"]),
+            "registers": {n: int(v) for n, v in rec["registers"].items()},
+            "outputs": {n: int(v) for n, v in rec["outputs"].items()},
+        }
+        for rec in history
+    ]
+
+
+def _run_sequential(
+    core: Netlist,
+    bundle: GateModelBundle,
+    delay_library: DelayLibrary,
+    config: DifferentialConfig,
+) -> DifferentialReport:
+    """Multi-cycle agreement of all four engines on one sequential core.
+
+    The compiled digital engine is the reference: the event engine must
+    match it bitwise (strobe samples and committed output traces), the
+    sigmoid kernels must match its strobe samples exactly and each
+    other within :data:`STREAM_PARAM_ATOL`, the chunked-per-cycle run
+    must equal a one-shot replay of its own frame stimulus, and a
+    mid-run checkpoint/restore must resume it exactly.
+    """
+    import json as _json
+
+    from repro.clocked import (
+        ClockedDigitalSession,
+        ClockedSigmoidSession,
+        default_clock_for,
+        run_clocked,
+    )
+    from repro.digital.session import merge_digital_batches
+
+    report = DifferentialReport(
+        core.name, core.n_gates, "sequential", ("sequential",)
+    )
+    clock = config.execution.clock
+    if clock is None:
+        clock = default_clock_for(core)
+    n_cycles = config.n_cycles
+    seeds = [config.seed + k for k in range(config.n_runs)]
+
+    def violation(seed, output, message):
+        report.violations.append(
+            InvariantViolation(
+                "sequential", report.circuit, seed, output, message
+            )
+        )
+
+    for seed in seeds:
+        vectors = _sequential_vectors(
+            core.primary_inputs, n_cycles, seed
+        )
+        sessions = {
+            "digital-event": ClockedDigitalSession(
+                core, delay_library, clock=clock, n_cycles=n_cycles,
+                compiled=False,
+            ),
+            "digital-compiled": ClockedDigitalSession(
+                core, delay_library, clock=clock, n_cycles=n_cycles,
+                compiled=True,
+            ),
+            "sigmoid-interpreted": ClockedSigmoidSession(
+                core, bundle, clock=clock, n_cycles=n_cycles,
+                compiled=False,
+            ),
+            "sigmoid-compiled": ClockedSigmoidSession(
+                core, bundle, clock=clock, n_cycles=n_cycles,
+                compiled=True, target=config.target,
+            ),
+        }
+        histories = {
+            label: run_clocked(session, vectors)
+            for label, session in sessions.items()
+        }
+        reference = histories["digital-compiled"]
+        for label, history in histories.items():
+            if label == "digital-compiled":
+                continue
+            for ref_rec, got_rec in zip(reference, history):
+                if ref_rec["registers"] != got_rec["registers"]:
+                    violation(
+                        seed, None,
+                        f"{label} register state diverges at strobe "
+                        f"t={got_rec['time']:.3e} (cycle "
+                        f"{got_rec['cycle']}): {got_rec['registers']} vs "
+                        f"reference {ref_rec['registers']}",
+                    )
+                if ref_rec["outputs"] != got_rec["outputs"]:
+                    violation(
+                        seed, None,
+                        f"{label} output sample diverges at strobe "
+                        f"t={got_rec['time']:.3e} (cycle "
+                        f"{got_rec['cycle']}): {got_rec['outputs']} vs "
+                        f"reference {ref_rec['outputs']}",
+                    )
+
+        # Committed output traces: digital engines bitwise.
+        traces_ref = sessions["digital-compiled"].po_traces()
+        traces_event = sessions["digital-event"].po_traces()
+        for net, ref in traces_ref.items():
+            got = traces_event.get(net)
+            if (
+                got is None
+                or ref.initial != got.initial
+                or ref.times != got.times
+            ):
+                violation(
+                    seed, net,
+                    "event-core trace diverges from the compiled core "
+                    f"on {net} (bitwise contract)",
+                )
+        # Sigmoid kernels: same shape, bounded parameter drift.
+        traces_sc = sessions["sigmoid-compiled"].po_traces()
+        traces_si = sessions["sigmoid-interpreted"].po_traces()
+        for net, ref in traces_sc.items():
+            got = traces_si.get(net)
+            if (
+                got is None
+                or ref.initial_level != got.initial_level
+                or ref.n_transitions != got.n_transitions
+            ):
+                violation(
+                    seed, net,
+                    "sigmoid kernels disagree on trace shape on "
+                    f"{net}",
+                )
+                continue
+            if ref.n_transitions:
+                drift = float(np.max(np.abs(ref.params - got.params)))
+                if drift > STREAM_PARAM_ATOL:
+                    violation(
+                        seed, net,
+                        f"sigmoid kernels drift by {drift:.2e} scaled "
+                        f"units on {net} (bound "
+                        f"{STREAM_PARAM_ATOL:.0e} = 0.05 ps)",
+                    )
+
+        # Chunked-per-cycle == one-shot replay of the frame stimulus.
+        chunked = sessions["digital-compiled"]
+        replay = chunked.simulator.open_session(
+            [chunked.t_stop],
+            record_nets=list(chunked.frame.primary_outputs),
+        )
+        batches = [
+            replay.feed([chunked.frame_stimulus()]),
+            replay.finish(),
+        ]
+        one_shot = merge_digital_batches(batches)[0]
+        for net, ref in traces_ref.items():
+            got = one_shot[net]
+            if ref.initial != got.initial or ref.times != got.times:
+                violation(
+                    seed, net,
+                    "chunked-per-cycle run diverges from the one-shot "
+                    f"frame replay on {net} (bitwise contract)",
+                )
+
+        # Mid-run checkpoint/restore resumes exactly (strict JSON).
+        half = ClockedDigitalSession(
+            core, delay_library, clock=clock, n_cycles=n_cycles,
+        )
+        split = max(1, n_cycles // 2)
+        for vec in vectors[:split]:
+            half.cycle(vec)
+        payload = _json.loads(
+            _json.dumps(half.state(), allow_nan=False)
+        )
+        resumed = ClockedDigitalSession(
+            core, delay_library, clock=clock, n_cycles=n_cycles,
+            state=payload,
+        )
+        for vec in vectors[split:]:
+            resumed.cycle(vec)
+        tail = resumed.finish()
+        expected_tail = [r for r in reference if r["cycle"] >= split]
+        if tail != expected_tail:
+            violation(
+                seed, None,
+                f"checkpoint/restore at cycle {split} does not resume "
+                "the reference run exactly",
+            )
+
+        report.runs.append(
+            {
+                "seed": seed,
+                "t_err_digital": 0.0,
+                "t_err_sigmoid": 0.0,
+                "registers": _strobe_payload(reference),
+                "outputs": {
+                    po: {"digital": _trace_payload(traces_ref[po])}
+                    for po in core.primary_outputs
+                },
+            }
+        )
+    return report
 
 
 # ----------------------------------------------------------------------

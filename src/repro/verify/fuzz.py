@@ -51,12 +51,16 @@ class FuzzScalePreset:
 
     ``parity_every`` bounds the cost of the serial-vs-batched parity
     check (it re-runs the analog reference serially): circuit ``i`` runs
-    it only when ``i % parity_every == 0``.
+    it only when ``i % parity_every == 0``.  ``artifact_scale`` names
+    the trained-model/delay-library scale the campaign loads — fuzz
+    scales and artifact scales are different axes (``tiny_seq`` sizes a
+    sequential corpus but runs on the ``tiny`` artifacts).
     """
 
     circuit: RandomCircuitConfig
     differential: DifferentialConfig
     parity_every: int = 5
+    artifact_scale: str = "tiny"
 
 
 FUZZ_PRESETS: dict[str, FuzzScalePreset] = {
@@ -83,6 +87,23 @@ FUZZ_PRESETS: dict[str, FuzzScalePreset] = {
             checks=("logic", "delay", "streaming"),
         ),
         parity_every=4,
+        artifact_scale="fast",
+    ),
+    # Sequential corpus: every member carries D flip-flops, so each one
+    # takes the multi-cycle ``sequential`` path of the differential
+    # harness (all four clocked engines, chunked-vs-one-shot replay,
+    # mid-run checkpoint/restore) instead of the combinational checks.
+    "tiny_seq": FuzzScalePreset(
+        circuit=RandomCircuitConfig(
+            n_inputs=3, n_gates=6, window=3, n_flops=2, name="seq"
+        ),
+        differential=DifferentialConfig(
+            stimulus=StimulusConfig(20e-12, 10e-12, 3),
+            n_runs=2,
+            n_cycles=4,
+            checks=("sequential",),
+        ),
+        parity_every=0,
     ),
 }
 
@@ -355,9 +376,17 @@ def run_fuzz(
                 # random corpus sweeps every session boundary already.
                 checks = tuple(c for c in checks if c != "streaming")
             diff_config = replace(diff_config, checks=checks)
+        # Sequential corpus members bypass the analog reference (the
+        # multi-cycle path cross-checks the four clocked engines), so
+        # the perturbation hook never applies to them.
+        sequential = netlist.is_sequential
         report = run_differential(
             netlist, bundle, delay_library, diff_config,
-            mutate_runner=mutate_runner if reference == "analog" else None,
+            mutate_runner=(
+                mutate_runner
+                if reference == "analog" and not sequential
+                else None
+            ),
         )
         outcome = CircuitOutcome(
             circuit=report.circuit,
@@ -365,13 +394,16 @@ def run_fuzz(
             seconds=0.0,
             violations=list(report.violations),
         )
-        store = config.golden_store(reference)
+        # File snapshots under the *effective* reference the run used
+        # ("sequential" for flop-carrying circuits, "digital" for
+        # benchmarks) so they never collide across modes.
+        store = config.golden_store(report.reference)
         if store is not None:
             if config.golden == "update":
                 store.record(report)
             else:
                 outcome.violations.extend(store.compare(report))
-        if report.violations and config.shrink:
+        if report.violations and config.shrink and not sequential:
             shrunk = _shrink_failure(
                 netlist, report, diff_config, bundle, delay_library,
                 config, mutate_runner if reference == "analog" else None,

@@ -142,6 +142,29 @@ class GoldenStore:
                           f"{label} drifted by {delta * 1e12:.4f} ps "
                           f"({want[label]:.3e} -> {got[label]:.3e})",
                           magnitude=delta)
+            # Sequential runs additionally snapshot the per-strobe
+            # register/PO samples; those are integers, so the diff is
+            # exact (no tolerance).  Combinational snapshots have no
+            # "registers" key and skip this block entirely.
+            want_regs = want.get("registers")
+            got_regs = got.get("registers")
+            if (want_regs is None) != (got_regs is None):
+                drift(seed, None,
+                      "run gained/lost its sequential register history "
+                      "(re-record with --update-golden)")
+            elif want_regs is not None:
+                if len(want_regs) != len(got_regs):
+                    drift(seed, None,
+                          f"capture-strobe count changed "
+                          f"({len(want_regs)} -> {len(got_regs)})")
+                else:
+                    for want_rec, got_rec in zip(want_regs, got_regs):
+                        for key in ("registers", "outputs"):
+                            if want_rec[key] != got_rec[key]:
+                                drift(seed, None,
+                                      f"cycle {got_rec['cycle']} {key} "
+                                      f"changed: {want_rec[key]} -> "
+                                      f"{got_rec[key]}")
             if set(want["outputs"]) != set(got["outputs"]):
                 drift(seed, None, "primary-output set changed")
                 continue

@@ -11,7 +11,7 @@ from repro.circuits.bench import (
     save_bench,
 )
 from repro.circuits.gates import GateType
-from repro.circuits.iscas85 import c17, c1355_like, c499_like
+from repro.circuits.iscas85 import c17, c1355_like, c499_like, s27_like
 from repro.errors import NetlistError
 
 C17_BENCH = """
@@ -78,6 +78,115 @@ class TestBenchParser:
         loaded = load_bench(path)
         assert loaded.n_gates == nl.n_gates
         assert loaded.primary_outputs == nl.primary_outputs
+
+
+class TestBenchSequential:
+    """ISCAS-89-style state elements through the .bench grammar."""
+
+    S_BENCH = (
+        "INPUT(si)\nOUTPUT(out)\n"
+        "ff0 = DFF(si)\nlat = LATCH(ff0)\nout = NAND(ff0, lat)\n"
+    )
+
+    def test_dff_and_latch_parse(self):
+        nl = parse_bench(self.S_BENCH, name="seq")
+        assert nl.is_sequential
+        assert nl.gates["ff0"].gtype is GateType.DFF
+        assert nl.gates["lat"].gtype is GateType.LATCH
+        assert nl.state_elements == ["ff0", "lat"]
+
+    def test_sequential_round_trip(self):
+        nl = parse_bench(self.S_BENCH, name="seq")
+        again = parse_bench(format_bench(nl), name="seq")
+        assert again.state_elements == nl.state_elements
+        assert {n: g.gtype for n, g in again.gates.items()} == {
+            n: g.gtype for n, g in nl.gates.items()
+        }
+
+    def test_s27_like_round_trips(self):
+        nl = s27_like()
+        again = parse_bench(format_bench(nl), name=nl.name)
+        # format_bench emits gates in dependency order, so insertion
+        # order may differ — the register *set* and PO list must not.
+        assert set(again.state_elements) == set(nl.state_elements)
+        assert again.primary_outputs == nl.primary_outputs
+
+    def test_dff_arity_enforced(self):
+        with pytest.raises(NetlistError, match="1 data input"):
+            parse_bench(
+                "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = DFF(a, b)",
+                name="bad",
+            )
+
+
+class TestParseErrorLocations:
+    """Regression (parse/validation bugfix sweep): every parse error
+    names its source as ``<name>:<lineno>:`` so a broken line inside a
+    big ``.bench`` file is findable without bisecting the file."""
+
+    BROKEN = (
+        "INPUT(a)\n"
+        "OUTPUT(f)\n"
+        "# a comment line, still counted\n"
+        "g = NAND(a, a)\n"
+        "f = FROB(g)\n"
+    )
+
+    def test_error_names_file_and_line(self):
+        with pytest.raises(NetlistError, match=r"mychip:5: unknown gate"):
+            parse_bench(self.BROKEN, name="mychip")
+
+    def test_garbage_line_is_located(self):
+        with pytest.raises(NetlistError, match=r"bench:3: cannot parse"):
+            parse_bench("INPUT(a)\nOUTPUT(a)\nwhat is this")
+
+    def test_duplicate_driver_is_located(self):
+        text = "INPUT(a)\nOUTPUT(f)\nf = NOT(a)\nf = BUF(a)\n"
+        with pytest.raises(NetlistError, match=r"dup:4:"):
+            parse_bench(text, name="dup")
+
+    def test_load_bench_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.bench"
+        path.write_text(self.BROKEN)
+        with pytest.raises(NetlistError, match=r"broken:5:"):
+            load_bench(path)
+
+
+class TestS27Like:
+    def test_shape(self):
+        nl = s27_like()
+        assert nl.is_sequential
+        assert len(nl.primary_inputs) == 3
+        assert len(nl.state_elements) == 5
+        assert nl.primary_outputs == ["out", "cnt1"]
+        nl.validate()
+
+    def test_counter_counts_when_enabled(self):
+        nl = s27_like()
+        regs = {name: False for name in nl.state_elements}
+        # Hold the scan input high with the counter enabled: sr2 goes
+        # high after three shifts and the counter starts stepping.
+        counts = []
+        for _ in range(8):
+            values = nl.evaluate(
+                {"si": True, "en": True, "rst": False, **regs}
+            )
+            regs = nl.next_state(values)
+            counts.append((regs["cnt0"], regs["cnt1"]))
+        # Once sr2 is high the 2-bit counter cycles 00 01 10 11 00 ...
+        stepped = counts[3:]
+        assert stepped[0] == (True, False)
+        assert stepped[1] == (False, True)
+        assert stepped[2] == (True, True)
+        assert stepped[3] == (False, False)
+
+    def test_reset_clears_the_counter(self):
+        nl = s27_like()
+        regs = {name: True for name in nl.state_elements}
+        values = nl.evaluate({"si": False, "en": True, "rst": True, **regs})
+        regs = nl.next_state(values)
+        assert regs["cnt0"] is False
+        assert regs["cnt1"] is False
 
 
 class TestC17:

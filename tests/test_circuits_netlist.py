@@ -173,3 +173,93 @@ class TestEvaluation:
         nl = small_netlist()
         out = nl.evaluate_outputs({"a": a, "b": b})
         assert out["n2"] == (a or b)
+
+
+def toggle_ff() -> Netlist:
+    """q feeds back through an inverter into its own D pin."""
+    nl = Netlist("toggle")
+    nl.add_input("en")
+    nl.add_gate("d", GateType.NOR, ["q", "en"])
+    nl.add_gate("q", GateType.DFF, ["d"])
+    nl.add_output("q")
+    return nl
+
+
+class TestSequentialNetlist:
+    """State elements: FF outputs are cut points, not cycle members."""
+
+    def test_feedback_through_a_register_is_legal(self):
+        toggle_ff().validate()
+
+    def test_combinational_cycle_still_raises(self):
+        nl = Netlist("bad")
+        nl.add_input("a")
+        nl.add_gate("g1", GateType.NOR, ["a", "g2"])
+        nl.add_gate("g2", GateType.DFF, ["g1"])
+        nl.add_gate("g3", GateType.NOR, ["g2", "g4"])
+        nl.add_gate("g4", GateType.INV, ["g3"])
+        nl.add_output("g4")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.validate()
+
+    def test_is_sequential_and_state_elements(self):
+        nl = toggle_ff()
+        assert nl.is_sequential
+        assert nl.state_elements == ["q"]
+        comb = Netlist("c")
+        comb.add_input("a")
+        comb.add_gate("g", GateType.INV, ["a"])
+        comb.add_output("g")
+        assert not comb.is_sequential
+
+    def test_state_gate_arity(self):
+        with pytest.raises(NetlistError, match="1 data input"):
+            Gate("q", GateType.DFF, ("a", "b"))
+        with pytest.raises(NetlistError, match="1 data input"):
+            Gate("q", GateType.LATCH, ())
+
+    def test_state_elements_level_zero(self):
+        nl = toggle_ff()
+        levels = nl.levels()
+        assert "q" not in [n for lvl in levels for n in lvl] or (
+            "q" in levels[0] if levels else False
+        )
+
+    def test_combinational_frame_cuts_registers(self):
+        frame = toggle_ff().combinational_frame()
+        frame.validate()
+        assert not frame.is_sequential
+        # FF output becomes a pseudo-PI, its D net a pseudo-PO.
+        assert "q" in frame.primary_inputs
+        assert "d" in frame.primary_outputs
+        assert "q" in frame.primary_outputs  # original PO list kept
+
+    def test_frame_of_combinational_netlist_is_a_copy(self):
+        nl = Netlist("c")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.INV, ["a"])
+        nl.add_output("g")
+        frame = nl.combinational_frame()
+        assert frame.primary_inputs == nl.primary_inputs
+        assert frame.primary_outputs == nl.primary_outputs
+        assert frame.n_gates == nl.n_gates
+
+    def test_evaluate_requires_register_values(self):
+        nl = toggle_ff()
+        with pytest.raises(NetlistError, match="missing"):
+            nl.evaluate({"en": False})
+
+    def test_next_state_toggles(self):
+        nl = toggle_ff()
+        regs = {"q": False}
+        seen = []
+        for _ in range(4):
+            values = nl.evaluate({"en": False, **regs})
+            regs = nl.next_state(values)
+            seen.append(regs["q"])
+        assert seen == [True, False, True, False]
+
+    def test_next_state_holds_when_gated(self):
+        nl = toggle_ff()
+        values = nl.evaluate({"en": True, "q": False})
+        assert nl.next_state(values) == {"q": False}

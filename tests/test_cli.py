@@ -262,14 +262,31 @@ class TestExitCodeContract:
             main([command, *self.BAD_ARGS[command]])
         assert exc.value.code == 2
 
+    def test_faults_argparse_type_error_exits_2(self):
+        """Unparseable values are still argparse's job (raises)."""
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", "--seed", "one"])
+        assert exc.value.code == 2
+
     @pytest.mark.parametrize(
         "flag,value",
-        [("--faults", "0"), ("--vectors", "-3"), ("--seed", "one")],
+        [
+            ("--faults", "0"),
+            ("--vectors", "-3"),
+            ("--cycles", "0"),
+            ("--t-launch", "-1e-9"),
+            ("--t-launch", "nan"),
+            ("--t-capture", "inf"),
+        ],
     )
-    def test_faults_numeric_validation_exits_2(self, flag, value):
-        with pytest.raises(SystemExit) as exc:
-            main(["faults", flag, value])
-        assert exc.value.code == 2
+    def test_faults_config_validation_exits_2(self, flag, value, capsys):
+        """Parseable-but-invalid knobs are caught eagerly by
+        ``CampaignConfig.__post_init__`` and surfaced as usage errors:
+        message on stderr, exit 2, before any artifact loads.  The
+        ``=`` form keeps argparse from reading ``-1e-9`` as a flag."""
+        assert main(["faults", f"{flag}={value}"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro faults: error:")
 
     @pytest.mark.parametrize("command", ["table1", "fuzz", "faults"])
     def test_unavailable_target_exits_2(self, command, capsys):
@@ -321,6 +338,43 @@ class TestFaultsCLI:
         code = main([
             "faults", "--circuit", "c17", "--faults", "2",
             "--vectors", "1", "--quiet",
+        ])
+        assert code == 1
+        assert "DISAGREE" in capsys.readouterr().out
+
+    def test_sequential_campaign_exits_0(self, tmp_path, capsys):
+        """A sequential circuit routes to the multi-cycle campaign."""
+        report = tmp_path / "seq.json"
+        code = main([
+            "faults", "--circuit", "s27_like", "--faults", "10",
+            "--cycles", "4", "--quiet", "--report", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequential fault campaign" in out
+        payload = json.loads(report.read_text())
+        assert payload["campaign"] == "sequential_stuck_at"
+        assert payload["ok"] is True
+        assert payload["n_cycles"] == 4
+        assert len(payload["fault_names"]) == 10
+
+    def test_sequential_disagreement_exits_1(self, monkeypatch, capsys):
+        """Compiled-vs-event divergence over cycles flips the exit code."""
+        import repro.faults
+
+        class Disagreeing:
+            ok = False
+
+            def summary(self):
+                return "engines DISAGREE on 2 of 40 cycle gradings"
+
+        monkeypatch.setattr(
+            repro.faults,
+            "run_sequential_campaign",
+            lambda *a, **k: Disagreeing(),
+        )
+        code = main([
+            "faults", "--circuit", "s27_like", "--faults", "2", "--quiet",
         ])
         assert code == 1
         assert "DISAGREE" in capsys.readouterr().out

@@ -1,0 +1,472 @@
+"""Sequential circuits: clocked sessions over every engine.
+
+The tentpole contract of the sequential layer:
+
+* **four-engine agreement** — for the same netlist, clock and per-cycle
+  stimulus, the event-heap digital core, the compiled lock-step digital
+  core, the interpreted sigmoid walk and the compiled sigmoid kernels
+  sample identical register values and primary outputs at every capture
+  strobe; the two digital cores additionally match *bitwise* on the
+  committed output traces, and the two sigmoid kernels stay within the
+  0.05 ps streaming parameter bound.
+* **chunked == one-shot** — the per-cycle chunked feeds reproduce a
+  single-chunk replay of the accumulated frame stimulus bitwise.
+* **checkpoints** (v2) — mid-run FF state round-trips through strict
+  JSON, restores into a fresh session (compile caches cleared in
+  between), and refuses a checkpoint taken under a different clock.
+* **clock semantics** — DFFs capture at the cycle-closing strobe,
+  transparent LATCHes half a period earlier; combinational simulators
+  refuse sequential netlists and route the caller here.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.iscas85 import s27_like
+from repro.circuits.netlist import Netlist
+from repro.circuits.random_circuit import RandomCircuitConfig, random_circuit
+from repro.characterization.artifacts import artifacts_dir
+from repro.clocked import (
+    ClockedDigitalSession,
+    ClockedSigmoidSession,
+    default_clock_for,
+    prepare_sequential,
+    run_clocked,
+)
+from repro.core.compile import clear_compile_cache
+from repro.core.models import GateModelBundle
+from repro.core.simulator import SigmoidCircuitSimulator
+from repro.digital.characterize import build_instance_delays
+from repro.digital.delay import DelayLibrary
+from repro.digital.simulator import DigitalSimulator
+from repro.errors import SimulationError
+from repro.options import ClockSpec
+
+#: Sigmoid kernel-vs-kernel parameter bound (0.05 ps, scaled units) —
+#: the same contract the streaming and parity suites pin.
+PARAM_ATOL = 5e-4
+
+DLIB_PATH = artifacts_dir() / "delay_library.json"
+BUNDLE_PATH = artifacts_dir() / "bundle_tiny.json"
+
+needs_artifacts = pytest.mark.skipif(
+    not (BUNDLE_PATH.exists() and DLIB_PATH.exists()),
+    reason="cached tiny artifacts not built",
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    if not BUNDLE_PATH.exists():
+        pytest.skip("cached tiny bundle not built")
+    return GateModelBundle.load(BUNDLE_PATH)
+
+
+@pytest.fixture(scope="module")
+def delay_library():
+    if not DLIB_PATH.exists():
+        pytest.skip("cached tiny delay library not built")
+    return DelayLibrary.from_dict(json.loads(DLIB_PATH.read_text()))
+
+
+def _vectors(netlist: Netlist, n_cycles: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        {pi: bool(rng.integers(0, 2)) for pi in netlist.primary_inputs}
+        for _ in range(n_cycles)
+    ]
+
+
+def _shift_register(n: int = 3) -> Netlist:
+    # BUF on purpose: it is not core-mapped, so prepare_sequential
+    # NOR-maps the frame and both engines (the tiny bundle holds NOR2
+    # models only) accept the result.
+    nl = Netlist(f"shift{n}")
+    nl.add_input("si")
+    prev = "si"
+    for k in range(n):
+        nl.add_gate(f"ff{k}", GateType.DFF, [prev])
+        prev = f"ff{k}"
+    nl.add_gate("out", GateType.BUF, [prev])
+    nl.add_output("out")
+    return nl
+
+
+def _latch_pipe() -> Netlist:
+    nl = Netlist("latchpipe")
+    nl.add_input("a")
+    nl.add_gate("lat", GateType.LATCH, ["a"])
+    nl.add_gate("out", GateType.INV, ["lat"])
+    nl.add_output("out")
+    return nl
+
+
+class TestClockSpec:
+    def test_defaults_validate(self):
+        clock = ClockSpec()
+        assert clock.period == pytest.approx(10e-9)
+        assert clock.clk_to_q < clock.period / 2
+
+    def test_clk_to_q_must_leave_phase_room(self):
+        with pytest.raises(SimulationError, match="period / 2"):
+            ClockSpec(period=10e-9, clk_to_q=5e-9)
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(SimulationError, match="active_edge"):
+            ClockSpec(active_edge="both")
+
+    def test_init_canonicalization(self):
+        by_name = ClockSpec(init={"b": True, "a": False})
+        assert by_name.init_for("b") is True
+        assert by_name.init_for("a") is False
+        assert by_name.init_for("missing") is False
+        everywhere = ClockSpec(init=True)
+        assert everywhere.init_for("anything") is True
+
+    def test_dict_round_trip(self):
+        clock = ClockSpec(
+            period=8e-9, clk_to_q=2e-9, init={"ff0": True}
+        )
+        again = ClockSpec.from_dict(
+            json.loads(json.dumps(clock.to_dict()))
+        )
+        assert again == clock
+
+    def test_capture_offsets_rise_vs_fall(self):
+        rise = ClockSpec(active_edge="rise")
+        fall = ClockSpec(active_edge="fall")
+        assert rise.capture_offset(GateType.DFF) == rise.period
+        assert rise.capture_offset(GateType.LATCH) == rise.period / 2
+        assert fall.capture_offset(GateType.DFF) == fall.period / 2
+        assert fall.capture_offset(GateType.LATCH) == fall.period
+
+
+class TestSequentialGuards:
+    def test_digital_simulator_refuses_state(self, delay_library):
+        nl = prepare_sequential(_shift_register())
+        with pytest.raises(SimulationError, match="ClockedDigitalSession"):
+            DigitalSimulator(
+                nl, build_instance_delays(nl.combinational_frame(),
+                                          delay_library),
+            )
+
+    def test_sigmoid_simulator_refuses_state(self, bundle):
+        nl = prepare_sequential(_shift_register())
+        with pytest.raises(SimulationError, match="ClockedSigmoidSession"):
+            SigmoidCircuitSimulator(nl, bundle)
+
+    def test_clocked_session_refuses_combinational(self, delay_library):
+        nl = Netlist("comb")
+        nl.add_input("a")
+        nl.add_gate("out", GateType.INV, ["a"])
+        nl.add_output("out")
+        with pytest.raises(SimulationError, match="no state elements"):
+            ClockedDigitalSession(nl, delay_library)
+
+    def test_default_clock_clears_sigmoid_margin(self, bundle):
+        nl = prepare_sequential(s27_like())
+        clock = default_clock_for(nl)
+        # The sigmoid ctor enforces clk_to_q > depth * guard; a clock
+        # sized by default_clock_for must pass it for the same netlist.
+        ClockedSigmoidSession(nl, bundle, clock=clock, n_cycles=1)
+
+
+@needs_artifacts
+class TestShiftRegister:
+    """The quickstart demo circuit, pinned: a 3-stage shift register
+    moves the serial input one stage per clock cycle."""
+
+    def test_bits_march_through_the_chain(self, delay_library):
+        session = ClockedDigitalSession(
+            _shift_register(3), delay_library, n_cycles=5
+        )
+        stream = [True, False, True, True, False]
+        seen = []
+        for bit in stream:
+            session.cycle({"si": bit})
+            seen.append(session.registers)
+        session.finish()
+        for k, regs in enumerate(seen):
+            assert regs["ff0"] == stream[k]
+            if k >= 1:
+                assert regs["ff1"] == stream[k - 1]
+            if k >= 2:
+                assert regs["ff2"] == stream[k - 2]
+
+    def test_latch_strobes_half_a_period_early(self, delay_library):
+        session = ClockedDigitalSession(
+            _latch_pipe(), delay_library, n_cycles=2
+        )
+        records = session.cycle({"a": True})
+        session.finish()
+        times = [rec["time"] for rec in records]
+        clock = session.clock
+        # One latch strobe at period/2, plus the cycle-closing strobe.
+        assert times == [clock.period / 2, clock.period]
+        assert records[0]["registers"]["lat"] is True
+
+
+@needs_artifacts
+class TestFourEngineAgreement:
+    @pytest.fixture(scope="class")
+    def circuits(self):
+        return [
+            prepare_sequential(s27_like()),
+            prepare_sequential(
+                random_circuit(
+                    RandomCircuitConfig(n_gates=6, n_flops=2),
+                    seed=(11, 0),
+                )
+            ),
+        ]
+
+    def test_strobe_histories_agree(self, circuits, bundle, delay_library):
+        for core in circuits:
+            clock = default_clock_for(core)
+            vectors = _vectors(core, 4, seed=3)
+            sessions = {
+                "dig-event": ClockedDigitalSession(
+                    core, delay_library, clock=clock, n_cycles=4,
+                    compiled=False,
+                ),
+                "dig-compiled": ClockedDigitalSession(
+                    core, delay_library, clock=clock, n_cycles=4,
+                ),
+                "sig-interp": ClockedSigmoidSession(
+                    core, bundle, clock=clock, n_cycles=4, compiled=False,
+                ),
+                "sig-compiled": ClockedSigmoidSession(
+                    core, bundle, clock=clock, n_cycles=4,
+                ),
+            }
+            histories = {
+                label: run_clocked(s, vectors)
+                for label, s in sessions.items()
+            }
+            reference = histories["dig-compiled"]
+            for label, history in histories.items():
+                assert history == reference, (core.name, label)
+
+    def test_digital_traces_bitwise(self, circuits, delay_library):
+        for core in circuits:
+            clock = default_clock_for(core)
+            vectors = _vectors(core, 4, seed=5)
+            compiled = ClockedDigitalSession(
+                core, delay_library, clock=clock, n_cycles=4
+            )
+            event = ClockedDigitalSession(
+                core, delay_library, clock=clock, n_cycles=4,
+                compiled=False,
+            )
+            run_clocked(compiled, vectors)
+            run_clocked(event, vectors)
+            ref, got = compiled.po_traces(), event.po_traces()
+            assert set(ref) == set(got)
+            for net in ref:
+                assert ref[net].initial == got[net].initial, net
+                assert ref[net].times == got[net].times, net
+
+    def test_sigmoid_kernels_within_bound(self, circuits, bundle):
+        for core in circuits:
+            clock = default_clock_for(core)
+            vectors = _vectors(core, 4, seed=7)
+            compiled = ClockedSigmoidSession(
+                core, bundle, clock=clock, n_cycles=4
+            )
+            interp = ClockedSigmoidSession(
+                core, bundle, clock=clock, n_cycles=4, compiled=False
+            )
+            run_clocked(compiled, vectors)
+            run_clocked(interp, vectors)
+            ref, got = compiled.po_traces(), interp.po_traces()
+            assert set(ref) == set(got)
+            for net in ref:
+                assert ref[net].initial_level == got[net].initial_level
+                assert ref[net].n_transitions == got[net].n_transitions
+                if ref[net].n_transitions:
+                    drift = float(np.max(np.abs(
+                        ref[net].params - got[net].params
+                    )))
+                    assert drift <= PARAM_ATOL, (core.name, net, drift)
+
+    def test_chunked_equals_one_shot_replay(self, circuits, delay_library):
+        from repro.digital.session import merge_digital_batches
+
+        for core in circuits:
+            clock = default_clock_for(core)
+            vectors = _vectors(core, 4, seed=9)
+            session = ClockedDigitalSession(
+                core, delay_library, clock=clock, n_cycles=4
+            )
+            run_clocked(session, vectors)
+            replay = session.simulator.open_session(
+                [session.t_stop],
+                record_nets=list(session.frame.primary_outputs),
+            )
+            batches = [
+                replay.feed([session.frame_stimulus()]),
+                replay.finish(),
+            ]
+            one_shot = merge_digital_batches(batches)[0]
+            chunked = session.po_traces()
+            for net, trace in chunked.items():
+                assert trace.initial == one_shot[net].initial, net
+                assert trace.times == one_shot[net].times, net
+
+
+@needs_artifacts
+class TestSequentialCheckpoints:
+    """Satellite: v2 checkpoints carry mid-run FF state."""
+
+    CYCLES = 4
+
+    def _reference(self, core, delay_library, clock, vectors):
+        session = ClockedDigitalSession(
+            core, delay_library, clock=clock, n_cycles=self.CYCLES
+        )
+        return run_clocked(session, vectors)
+
+    def test_round_trip_resumes_exactly(self, delay_library):
+        core = prepare_sequential(s27_like())
+        clock = default_clock_for(core)
+        vectors = _vectors(core, self.CYCLES, seed=21)
+        reference = self._reference(core, delay_library, clock, vectors)
+
+        half = ClockedDigitalSession(
+            core, delay_library, clock=clock, n_cycles=self.CYCLES
+        )
+        for vec in vectors[:2]:
+            half.cycle(vec)
+        assert half.registers == reference[  # mid-run FF state is live
+            len(half.history) - 1
+        ]["registers"]
+        # Strict JSON: no NaN/Infinity may leak into the payload.
+        payload = json.loads(json.dumps(half.state(), allow_nan=False))
+
+        # "Fresh process" restore: drop every compile cache first, so
+        # the resumed session rebuilds its cores from the payload alone.
+        clear_compile_cache()
+        resumed = ClockedDigitalSession(
+            core, delay_library, clock=clock, n_cycles=self.CYCLES,
+            state=payload,
+        )
+        assert resumed.registers == half.registers
+        for vec in vectors[2:]:
+            resumed.cycle(vec)
+        tail = resumed.finish()
+        assert tail == [r for r in reference if r["cycle"] >= 2]
+
+    def test_sigmoid_round_trip_resumes(self, bundle):
+        core = prepare_sequential(_shift_register(2))
+        clock = default_clock_for(core)
+        vectors = _vectors(core, self.CYCLES, seed=22)
+        full = ClockedSigmoidSession(
+            core, bundle, clock=clock, n_cycles=self.CYCLES
+        )
+        reference = run_clocked(full, vectors)
+
+        half = ClockedSigmoidSession(
+            core, bundle, clock=clock, n_cycles=self.CYCLES
+        )
+        for vec in vectors[:2]:
+            half.cycle(vec)
+        payload = json.loads(json.dumps(half.state(), allow_nan=False))
+        clear_compile_cache()
+        resumed = ClockedSigmoidSession(
+            core, bundle, clock=clock, n_cycles=self.CYCLES,
+            state=payload,
+        )
+        for vec in vectors[2:]:
+            resumed.cycle(vec)
+        tail = resumed.finish()
+        assert tail == [r for r in reference if r["cycle"] >= 2]
+
+    def test_wrong_clock_refused(self, delay_library):
+        core = prepare_sequential(s27_like())
+        clock = default_clock_for(core)
+        session = ClockedDigitalSession(
+            core, delay_library, clock=clock, n_cycles=self.CYCLES
+        )
+        session.cycle(_vectors(core, 1, seed=23)[0])
+        payload = json.loads(json.dumps(session.state()))
+        other = ClockSpec(
+            period=clock.period * 2, clk_to_q=clock.clk_to_q
+        )
+        with pytest.raises(SimulationError, match="clock is"):
+            ClockedDigitalSession(
+                core, delay_library, clock=other, n_cycles=self.CYCLES,
+                state=payload,
+            )
+
+    def test_wrong_n_cycles_refused(self, delay_library):
+        core = prepare_sequential(_shift_register(2))
+        session = ClockedDigitalSession(
+            core, delay_library, n_cycles=self.CYCLES
+        )
+        session.cycle({"si": True})
+        payload = session.state()
+        with pytest.raises(SimulationError, match="n_cycles is"):
+            ClockedDigitalSession(
+                core, delay_library, n_cycles=self.CYCLES + 1,
+                state=payload,
+            )
+
+    def test_checkpoint_before_first_cycle_refused(self, delay_library):
+        core = prepare_sequential(_shift_register(2))
+        session = ClockedDigitalSession(
+            core, delay_library, n_cycles=self.CYCLES
+        )
+        with pytest.raises(SimulationError, match="before the first"):
+            session.state()
+
+
+@needs_artifacts
+class TestSessionLifecycle:
+    def test_extra_cycle_rejected(self, delay_library):
+        session = ClockedDigitalSession(
+            _shift_register(2), delay_library, n_cycles=1
+        )
+        session.cycle({"si": True})
+        with pytest.raises(SimulationError, match="call finish"):
+            session.cycle({"si": False})
+
+    def test_cycle0_requires_all_pis(self, delay_library):
+        session = ClockedDigitalSession(
+            prepare_sequential(s27_like()), delay_library, n_cycles=2
+        )
+        with pytest.raises(SimulationError, match="missing"):
+            session.cycle({"si": True})
+
+    def test_unknown_pi_rejected(self, delay_library):
+        session = ClockedDigitalSession(
+            _shift_register(2), delay_library, n_cycles=2
+        )
+        with pytest.raises(SimulationError, match="unknown primary"):
+            session.cycle({"si": True, "clk": True})
+
+    def test_held_inputs_keep_their_level(self, delay_library):
+        session = ClockedDigitalSession(
+            prepare_sequential(s27_like()), delay_library, n_cycles=3
+        )
+        session.cycle({"si": True, "en": True, "rst": False})
+        first = session.registers
+        # Omitting every PI on later cycles holds the levels: the scan
+        # chain keeps shifting the held serial input.
+        session.cycle({})
+        assert session.registers["sr1"] == first["sr0"]
+        session.finish()
+
+    def test_launch_window_overflow_rejected(self, delay_library):
+        # clk_to_q alone fits, but the staggered launches of the s27
+        # frame's eight inputs push the window past period/2.
+        clock = ClockSpec(
+            period=10e-9, clk_to_q=4.999e-9, stagger=1e-12
+        )
+        with pytest.raises(SimulationError, match="launch window"):
+            ClockedDigitalSession(
+                prepare_sequential(s27_like()), delay_library,
+                clock=clock, n_cycles=1,
+            )

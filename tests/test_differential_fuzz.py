@@ -459,3 +459,100 @@ def test_differential_rejects_unmapped_gates_gracefully():
 
     mapped = ensure_nor_mapped(nl)
     assert all(g.gtype is GateType.NOR for g in mapped.gates.values())
+
+# ----------------------------------------------------------------------
+# sequential invariant: multi-cycle agreement of all four engines
+# ----------------------------------------------------------------------
+@needs_artifacts
+@pytest.mark.timeout(240)
+class TestSequentialDifferential:
+    """Sequential netlists route to the ``sequential`` invariant: per
+    strobe, the four engines' register/PO samples must agree (digital
+    bitwise, sigmoid within the 0.05 ps stream budget), chunked replay
+    must equal one-shot, and the mid-run checkpoint must resume
+    bit-identically."""
+
+    def _config(self):
+        return replace(
+            FUZZ_PRESETS["tiny_seq"].differential, n_runs=1, n_cycles=4
+        )
+
+    def test_s27_like_reports_sequential_reference(
+        self, bundle, delay_library
+    ):
+        from repro.eval.table1 import nor_mapped
+
+        report = run_differential(
+            nor_mapped("s27_like"), bundle, delay_library, self._config()
+        )
+        assert report.ok, [v.message for v in report.violations]
+        assert report.reference == "sequential"
+        assert report.checks == ("sequential",)
+        for run in report.runs:
+            assert len(run["registers"]) == 4
+            for rec in run["registers"]:
+                assert set(rec) == {"cycle", "time", "registers", "outputs"}
+
+    def test_random_sequential_member_passes(self, bundle, delay_library):
+        netlist = random_circuit(
+            RandomCircuitConfig(n_inputs=3, n_gates=6, n_flops=2), seed=2
+        )
+        report = run_differential(
+            netlist, bundle, delay_library, self._config()
+        )
+        assert report.ok, [v.message for v in report.violations]
+
+    def test_mutate_runner_rejected_for_sequential(
+        self, bundle, delay_library
+    ):
+        from repro.eval.table1 import nor_mapped
+
+        with pytest.raises(SimulationError, match="analog"):
+            run_differential(
+                nor_mapped("s27_like"), bundle, delay_library,
+                self._config(), mutate_runner=lambda r: None,
+            )
+
+    def test_golden_detects_register_history_drift(
+        self, bundle, delay_library, tmp_path
+    ):
+        """Flipping one register bit in the stored snapshot must show
+        up as a named cycle-level golden violation."""
+        from repro.eval.table1 import nor_mapped
+
+        store = GoldenStore(tmp_path, prefix="seq_")
+        report = run_differential(
+            nor_mapped("s27_like"), bundle, delay_library, self._config()
+        )
+        store.record(report)
+        assert store.compare(report) == []
+        payload = store.load(report.circuit)
+        rec = payload["runs"][0]["registers"][2]
+        name = sorted(rec["registers"])[0]
+        rec["registers"][name] = 1 - rec["registers"][name]
+        store.path(report.circuit).write_text(json.dumps(payload))
+        drift = store.compare(report)
+        assert drift
+        assert any("cycle 2" in v.message for v in drift)
+
+    def test_golden_detects_lost_register_history(
+        self, bundle, delay_library, tmp_path
+    ):
+        from repro.eval.table1 import nor_mapped
+
+        store = GoldenStore(tmp_path, prefix="seq_")
+        report = run_differential(
+            nor_mapped("s27_like"), bundle, delay_library, self._config()
+        )
+        store.record(report)
+        payload = store.load(report.circuit)
+        del payload["runs"][0]["registers"]
+        store.path(report.circuit).write_text(json.dumps(payload))
+        drift = store.compare(report)
+        assert any("register history" in v.message for v in drift)
+
+    def test_tiny_seq_preset_shape(self):
+        preset = FUZZ_PRESETS["tiny_seq"]
+        assert preset.circuit.n_flops > 0
+        assert preset.differential.checks == ("sequential",)
+        assert preset.differential.n_cycles >= 4

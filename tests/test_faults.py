@@ -308,3 +308,129 @@ class TestCampaignSemantics:
         )
         with pytest.raises(SimulationError, match="do not checkpoint"):
             session.state()
+
+class TestEagerConfigValidation:
+    """``CampaignConfig.__post_init__`` rejects bad knob combinations at
+    construction time — the CLI surfaces these as exit-2 usage errors,
+    so no campaign (or artifact load) ever starts on a nonsense config.
+    """
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"n_faults": 0}, "n_faults"),
+            ({"n_faults": -2}, "n_faults"),
+            ({"n_vectors": 0}, "n_vectors"),
+            ({"n_vectors": -3}, "n_vectors"),
+            ({"n_cycles": 0}, "n_cycles"),
+            ({"t_launch": -1e-9}, "t_launch"),
+            ({"t_launch": float("nan")}, "t_launch must be finite"),
+            ({"t_launch": float("inf")}, "t_launch must be finite"),
+            ({"t_capture": float("nan")}, "t_capture must be finite"),
+            ({"t_capture": float("inf")}, "t_capture must be finite"),
+            ({"t_launch": 2.0, "t_capture": 1.0}, "t_capture"),
+            ({"slope": 0.0}, "slope"),
+            ({"slope": float("nan")}, "slope"),
+        ],
+    )
+    def test_bad_knobs_raise_eagerly(self, kwargs, match):
+        with pytest.raises(SimulationError, match=match):
+            CampaignConfig(**kwargs)
+
+    def test_good_config_constructs(self):
+        config = CampaignConfig(
+            n_faults=3, n_vectors=2, n_cycles=5, t_launch=0.0, t_capture=4.0
+        )
+        assert config.n_cycles == 5
+
+
+@needs_artifacts
+class TestSequentialCampaign:
+    @pytest.fixture(scope="class")
+    def s27(self):
+        return nor_mapped("s27_like")
+
+    def test_engines_agree_over_cycles(self, s27, delay_library, tmp_path):
+        """>=10 faults, >=4 cycles: every (machine, cycle) grading must
+        agree between the compiled and event digital cores."""
+        from repro.faults import run_sequential_campaign
+
+        result = run_sequential_campaign(
+            s27, delay_library,
+            config=CampaignConfig(n_faults=10, n_cycles=5, seed=3),
+        )
+        assert result.ok, result.summary()
+        assert result.detection.shape == (10, 5)
+        assert result.n_cycles == 5
+        assert 0.0 <= result.coverage <= 1.0
+        assert "sequential fault campaign" in result.summary()
+        # Report round-trips as strict JSON.
+        path = tmp_path / "seq.json"
+        result.write_report(path)
+        report = json.loads(
+            path.read_text(),
+            parse_constant=lambda t: (_ for _ in ()).throw(ValueError(t)),
+        )
+        assert report["campaign"] == "sequential_stuck_at"
+        assert report["ok"] is True
+        assert len(report["detection"]) == 10
+        assert report["clock"]["period"] > 0
+
+    def test_stuck_register_output_is_detected(self, s27, delay_library):
+        """Forcing a state element's output stuck is observable at the
+        very first capture strobe (registers are scan-observable)."""
+        from repro.faults import run_sequential_campaign
+
+        q = s27.state_elements[0]
+        # Run both polarities: one of them must disagree with the good
+        # machine's register sample at some strobe.
+        detected = []
+        for value in (False, True):
+            result = run_sequential_campaign(
+                s27, delay_library,
+                faults=[StuckAtFault(q, value)],
+                config=CampaignConfig(n_cycles=4, seed=0),
+            )
+            assert result.ok
+            detected.append(bool(result.detected[0]))
+        assert any(detected)
+
+    def test_injected_disagreement_flips_ok(self, s27, delay_library):
+        """A divergence between the engines turns ``ok`` False — the
+        exit-1 path the CLI and CI key off."""
+        from repro.faults import SequentialCampaignResult, run_sequential_campaign
+
+        result = run_sequential_campaign(
+            s27, delay_library,
+            config=CampaignConfig(n_faults=2, n_cycles=4, seed=1),
+        )
+        assert result.ok
+        broken = SequentialCampaignResult(
+            circuit=result.circuit,
+            fault_names=result.fault_names,
+            n_cycles=result.n_cycles,
+            clock=result.clock,
+            detection=result.detection,
+            stimulus=result.stimulus,
+            disagreements=[{
+                "fault": result.fault_names[0], "cycle": 2,
+                "field": "registers",
+                "compiled": {"q": 1}, "event": {"q": 0},
+            }],
+        )
+        assert not broken.ok
+        assert "DISAGREE" in broken.summary()
+
+    def test_explicit_vectors_set_cycle_count(self, s27, delay_library):
+        from repro.faults import run_sequential_campaign
+
+        vectors = [
+            {pi: bool(k % 2) for pi in s27.primary_inputs} for k in range(6)
+        ]
+        result = run_sequential_campaign(
+            s27, delay_library,
+            faults=[StuckAtFault(s27.primary_inputs[0], True)],
+            vectors=vectors,
+        )
+        assert result.n_cycles == 6
+        assert result.detection.shape == (1, 6)

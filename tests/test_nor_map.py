@@ -83,6 +83,51 @@ class TestMappingCorrectness:
         mapped = nor_map(nl)
         assert all(is_tied_nor(g) for g in mapped.gates.values())
 
+    def test_buf_lowers_to_inv_inv_sharing_the_inner_inverter(self):
+        """Pinned contract: BUF -> INV·INV (two tied NORs back to
+        back), and the inner inverter is the *shared* inversion of the
+        buffered net — another consumer inverting the same net reuses
+        it instead of minting a private copy."""
+        from repro.circuits.nor_map import is_tied_nor
+
+        nl = Netlist("buf")
+        nl.add_input("a")
+        nl.add_gate("b1", GateType.BUF, ["a"])
+        nl.add_gate("b2", GateType.BUF, ["a"])
+        nl.add_output("b1")
+        nl.add_output("b2")
+        mapped = nor_map(nl)
+        # Each BUF output = tied NOR over the shared inversion of `a`.
+        inner_nets = set()
+        for name in ("b1", "b2"):
+            outer = mapped.gates[name]
+            assert is_tied_nor(outer)
+            inner = mapped.gates[outer.inputs[0]]
+            assert is_tied_nor(inner) and inner.inputs == ("a", "a")
+            inner_nets.add(outer.inputs[0])
+        # Both buffers lean on ONE inner inverter, and it is the only
+        # inversion of `a` in the whole mapped netlist.
+        assert len(inner_nets) == 1
+        inversions_of_a = [
+            g for g in mapped.gates.values() if g.inputs == ("a", "a")
+        ]
+        assert len(inversions_of_a) == 1
+
+    def test_state_elements_pass_through(self):
+        nl = Netlist("seq")
+        nl.add_input("d")
+        nl.add_gate("g", GateType.AND, ["d", "q"])
+        nl.add_gate("q", GateType.DFF, ["g"])
+        nl.add_output("g")
+        mapped = nor_map(nl)
+        assert mapped.gates["q"].gtype is GateType.DFF
+        assert mapped.gates["q"].inputs == ("g",)
+        # The combinational cloud around the register is NOR-only.
+        assert all(
+            g.gtype in (GateType.NOR, GateType.DFF)
+            for g in mapped.gates.values()
+        )
+
 
 class TestVerifyEquivalence:
     def test_detects_wrong_logic(self):
@@ -104,12 +149,19 @@ class TestVerifyEquivalence:
 
 @st.composite
 def random_netlists(draw):
-    """Random small DAG netlists over arbitrary gate types."""
+    """Random small DAG netlists over the combinational gate types.
+
+    State elements are excluded: this property checks boolean
+    equivalence of the *combinational* rewrite (sequential passthrough
+    has its own pinned test), and DFF/LATCH have their own arity rule.
+    """
+    from repro.circuits.gates import STATE_TYPES
+
     n_inputs = draw(st.integers(min_value=1, max_value=4))
     n_gates = draw(st.integers(min_value=1, max_value=10))
     nl = Netlist("rand")
     nets = [nl.add_input(f"i{k}") for k in range(n_inputs)]
-    types = list(GateType)
+    types = [t for t in GateType if t not in STATE_TYPES]
     for g in range(n_gates):
         gtype = types[draw(st.integers(min_value=0, max_value=len(types) - 1))]
         if gtype in (GateType.INV, GateType.BUF):

@@ -135,3 +135,62 @@ def test_generator_output_feeds_simulator_stack():
 def test_empty_output_list_impossible():
     nl: Netlist = random_circuit(RandomCircuitConfig(n_gates=1), seed=0)
     assert nl.primary_outputs
+
+class TestSequentialGeneration:
+    """The ``n_flops`` knob inserts D flip-flops into the generated
+    cloud deterministically — and, crucially, without perturbing the
+    ``n_flops=0`` corpora that every existing golden was drawn from
+    (the flop stream uses its own derived rng, consumed only when
+    ``n_flops > 0``)."""
+
+    def test_sequential_deterministic_per_seed(self):
+        config = RandomCircuitConfig(n_gates=10, n_flops=2)
+        a = random_circuit(config, seed=(5, 1))
+        b = random_circuit(config, seed=(5, 1))
+        assert a == b
+        assert format_bench(a) == format_bench(b)
+
+    def test_combinational_corpora_unchanged_by_flop_rng(self):
+        """``n_flops=0`` must draw the exact historical stream: the
+        flop rng is derived lazily, never consumed for combinational
+        configs, so old goldens stay bit-identical."""
+        plain = random_circuit(RandomCircuitConfig(n_gates=9), seed=42)
+        explicit = random_circuit(
+            RandomCircuitConfig(n_gates=9, n_flops=0), seed=42
+        )
+        assert plain == explicit
+        assert not plain.is_sequential
+
+    def test_inserted_flops_validate_and_count(self):
+        config = RandomCircuitConfig(n_inputs=4, n_gates=12, n_flops=3)
+        netlist = random_circuit(config, seed=7)
+        assert netlist.is_sequential
+        assert 1 <= len(netlist.state_elements) <= 3
+        netlist.validate()
+        for q in netlist.state_elements:
+            gate = netlist.gates[q]
+            assert gate.gtype is GateType.DFF
+            assert len(gate.inputs) == 1
+
+    def test_sequential_members_nor_map_to_registers_plus_nor(self):
+        config = RandomCircuitConfig(n_gates=8, n_flops=2)
+        netlist = random_circuit(config, seed=3)
+        mapped = nor_map(netlist)
+        assert set(mapped.state_elements) == set(netlist.state_elements)
+        for gate in mapped.gates.values():
+            assert gate.gtype in (GateType.NOR, GateType.DFF)
+
+    def test_negative_n_flops_rejected(self):
+        with pytest.raises(NetlistError, match="n_flops"):
+            RandomCircuitConfig(n_flops=-1)
+
+    def test_flops_change_only_with_the_knob(self):
+        """Same seed, flops on vs off: the combinational skeleton is
+        drawn from the same stream, so PI names agree even though the
+        sequential variant cuts nets through registers."""
+        combo = random_circuit(RandomCircuitConfig(n_gates=10), seed=13)
+        seq = random_circuit(
+            RandomCircuitConfig(n_gates=10, n_flops=2), seed=13
+        )
+        assert combo.primary_inputs == seq.primary_inputs
+        assert not combo.is_sequential and seq.is_sequential
